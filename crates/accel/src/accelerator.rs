@@ -1,0 +1,243 @@
+//! The `Accelerator` trait and the CPU reference backend.
+//!
+//! Every backend — CPU, quantum, oscillator, memcomputing — implements
+//! [`Accelerator`]; the host runtime ([`crate::host`]) owns them as trait
+//! objects and dispatches kernels. The CPU backend executes every kernel
+//! with a conventional classical algorithm, so there is always a correct
+//! (if slow) fallback and a von-Neumann baseline for every comparison.
+//!
+//! # Example
+//!
+//! ```
+//! use accel::accelerator::{Accelerator, CpuBackend};
+//! use accel::kernel::{Kernel, KernelResult};
+//!
+//! let mut cpu = CpuBackend::new(7);
+//! let run = cpu.execute(&Kernel::Compare { x: 0.25, y: 0.75 })?;
+//! match run.result {
+//!     KernelResult::Distance(d) => assert!((d - 0.5).abs() < 1e-12),
+//!     other => panic!("unexpected {other:?}"),
+//! }
+//! # Ok::<(), accel::AccelError>(())
+//! ```
+
+use crate::kernel::{CostReport, Kernel, KernelExecution, KernelResult};
+use crate::AccelError;
+use mem::dpll::Dpll;
+use quantum::dna::{edit_distance, kmer_profile};
+use quantum::numtheory::trial_division;
+
+/// A device that can execute some subset of kernels.
+///
+/// Object-safe so the host can hold heterogeneous backends.
+pub trait Accelerator {
+    /// A stable backend name for reports and errors.
+    fn name(&self) -> &str;
+
+    /// Whether this backend can execute the kernel.
+    fn supports(&self, kernel: &Kernel) -> bool;
+
+    /// Executes a kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::Unsupported`] for unsupported kernels or a
+    /// wrapped backend failure.
+    fn execute(&mut self, kernel: &Kernel) -> Result<KernelExecution, AccelError>;
+}
+
+/// The classical (von Neumann) reference backend.
+///
+/// Cost model: a fixed 1 ns per abstract operation (a generously fast
+/// classical core), so the *relative* scaling against the specialized
+/// backends is what shows up in reports.
+#[derive(Debug, Clone)]
+pub struct CpuBackend {
+    seed: u64,
+    /// Seconds per abstract operation.
+    pub seconds_per_op: f64,
+}
+
+impl CpuBackend {
+    /// Creates a CPU backend with a deterministic seed for its stochastic
+    /// fallbacks.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        CpuBackend {
+            seed,
+            seconds_per_op: 1e-9,
+        }
+    }
+
+    fn report(&self, result: KernelResult, operations: u64) -> KernelExecution {
+        KernelExecution {
+            result,
+            cost: CostReport {
+                device_seconds: operations as f64 * self.seconds_per_op,
+                operations,
+            },
+        }
+    }
+}
+
+impl Accelerator for CpuBackend {
+    fn name(&self) -> &str {
+        "cpu"
+    }
+
+    fn supports(&self, _kernel: &Kernel) -> bool {
+        true
+    }
+
+    fn execute(&mut self, kernel: &Kernel) -> Result<KernelExecution, AccelError> {
+        match kernel {
+            Kernel::Factor { n } => {
+                let (factor, ops) = trial_division(*n);
+                let f = factor.ok_or_else(|| {
+                    AccelError::backend(
+                        "cpu",
+                        std::io::Error::new(
+                            std::io::ErrorKind::InvalidInput,
+                            format!("{n} has no nontrivial factor"),
+                        ),
+                    )
+                })?;
+                Ok(self.report(KernelResult::Factors(f, n / f), ops))
+            }
+            Kernel::Search { n_qubits, marked } => {
+                // Linear scan: expected N/2 probes; executed deterministically.
+                let space = 1usize << n_qubits;
+                let mut probes = 0u64;
+                let mut found = None;
+                for item in 0..space {
+                    probes += 1;
+                    if marked.contains(&item) {
+                        found = Some(item);
+                        break;
+                    }
+                }
+                let item = found.ok_or_else(|| {
+                    AccelError::backend(
+                        "cpu",
+                        std::io::Error::new(
+                            std::io::ErrorKind::NotFound,
+                            "no marked item in search space",
+                        ),
+                    )
+                })?;
+                Ok(self.report(KernelResult::Found(item), probes))
+            }
+            Kernel::DnaSimilarity { a, b, k } => {
+                // Classical cosine similarity of k-mer profiles, squared to
+                // match the quantum overlap² convention.
+                let pa = kmer_profile(a, *k).map_err(|e| AccelError::backend("cpu", e))?;
+                let pb = kmer_profile(b, *k).map_err(|e| AccelError::backend("cpu", e))?;
+                let dot: f64 = pa.iter().zip(&pb).map(|(x, y)| x * y).sum();
+                let na: f64 = pa.iter().map(|x| x * x).sum::<f64>().sqrt();
+                let nb: f64 = pb.iter().map(|x| x * x).sum::<f64>().sqrt();
+                let cos = dot / (na * nb);
+                // Op count: profile builds + dot products, plus the edit
+                // distance a classical pipeline would typically also run.
+                let _ = edit_distance(&a[..a.len().min(16)], &b[..b.len().min(16)]);
+                let ops = (a.len() + b.len() + 3 * pa.len()) as u64;
+                Ok(self.report(KernelResult::Similarity(cos * cos), ops))
+            }
+            Kernel::SolveSat { formula } => {
+                let result = Dpll::new(10_000_000).solve(formula);
+                let ops = result.decisions + result.propagations;
+                Ok(self.report(
+                    KernelResult::SatSolution(result.solution.map(|a| a.to_bools())),
+                    ops.max(1),
+                ))
+            }
+            Kernel::Compare { x, y } => {
+                let _ = self.seed;
+                Ok(self.report(KernelResult::Distance((x - y).abs()), 3))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mem::generators::planted_3sat;
+
+    #[test]
+    fn cpu_supports_everything() {
+        let cpu = CpuBackend::new(1);
+        assert!(cpu.supports(&Kernel::Factor { n: 15 }));
+        assert!(cpu.supports(&Kernel::Compare { x: 0.0, y: 1.0 }));
+    }
+
+    #[test]
+    fn cpu_factors() {
+        let mut cpu = CpuBackend::new(1);
+        let run = cpu.execute(&Kernel::Factor { n: 91 }).unwrap();
+        match run.result {
+            KernelResult::Factors(p, q) => assert_eq!(p * q, 91),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(run.cost.operations > 0);
+    }
+
+    #[test]
+    fn cpu_factor_of_prime_errors() {
+        let mut cpu = CpuBackend::new(1);
+        assert!(cpu.execute(&Kernel::Factor { n: 13 }).is_err());
+    }
+
+    #[test]
+    fn cpu_search_scans_linearly() {
+        let mut cpu = CpuBackend::new(1);
+        let run = cpu
+            .execute(&Kernel::Search {
+                n_qubits: 8,
+                marked: vec![200],
+            })
+            .unwrap();
+        assert_eq!(run.result, KernelResult::Found(200));
+        assert_eq!(run.cost.operations, 201);
+    }
+
+    #[test]
+    fn cpu_solves_sat() {
+        let inst = planted_3sat(15, 3.5, 2).unwrap();
+        let mut cpu = CpuBackend::new(1);
+        let run = cpu
+            .execute(&Kernel::SolveSat {
+                formula: inst.formula.clone(),
+            })
+            .unwrap();
+        match run.result {
+            KernelResult::SatSolution(Some(bits)) => {
+                let a = mem::assignment::Assignment::from_bools(&bits);
+                assert!(inst.formula.is_satisfied(&a));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cpu_dna_similarity_in_unit_interval() {
+        let mut cpu = CpuBackend::new(1);
+        let run = cpu
+            .execute(&Kernel::DnaSimilarity {
+                a: "ACGTACGT".into(),
+                b: "ACGTTCGT".into(),
+                k: 2,
+            })
+            .unwrap();
+        match run.result {
+            KernelResult::Similarity(s) => assert!((0.0..=1.0).contains(&s)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cost_scales_with_ops() {
+        let cpu = CpuBackend::new(1);
+        let r = cpu.report(KernelResult::Found(0), 1000);
+        assert!((r.cost.device_seconds - 1e-6).abs() < 1e-18);
+    }
+}

@@ -1,0 +1,316 @@
+//! The three specialized backends.
+//!
+//! * [`QuantumBackend`] — Shor factoring, Grover search, swap-test DNA
+//!   similarity on the state-vector simulator, with device time from the
+//!   micro-architecture timing model.
+//! * [`OscillatorBackend`] — the calibrated coupled-oscillator distance
+//!   primitive; device time is one readout window per comparison.
+//! * [`MemBackend`] — the DMM SAT solver; device time is the simulated
+//!   physical time `steps · dt`.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use accel::accelerator::Accelerator;
+//! use accel::backends::MemBackend;
+//! use accel::kernel::Kernel;
+//! use mem::generators::planted_3sat;
+//!
+//! let inst = planted_3sat(20, 4.0, 1)?;
+//! let mut backend = MemBackend::new(3);
+//! let run = backend.execute(&Kernel::SolveSat { formula: inst.formula })?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::accelerator::Accelerator;
+use crate::kernel::{CostReport, Kernel, KernelExecution, KernelResult};
+use crate::AccelError;
+use mem::dmm::{DmmParams, DmmSolver};
+use numerics::rng::SeedStream;
+use osc::norms::{NormRegime, OscillatorDistance};
+use quantum::microarch::TimingModel;
+use quantum::{dna, grover, shor};
+
+const QUANTUM_NAME: &str = "quantum";
+const OSC_NAME: &str = "oscillator";
+const MEM_NAME: &str = "memcomputing";
+
+/// The quantum accelerator (Fig. 2's stack over the state-vector chip).
+#[derive(Debug, Clone)]
+pub struct QuantumBackend {
+    seeds: SeedStream,
+    timing: TimingModel,
+    /// Swap-test shots used for DNA similarity.
+    pub dna_shots: usize,
+}
+
+impl QuantumBackend {
+    /// Creates a quantum backend.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        QuantumBackend {
+            seeds: SeedStream::new(seed),
+            timing: TimingModel::default(),
+            dna_shots: 500,
+        }
+    }
+
+    fn gate_time(&self, ops: u64) -> f64 {
+        // Coarse device-time model: every abstract quantum op at the
+        // two-qubit latency.
+        ops as f64 * self.timing.two_qubit_ns * 1e-9
+    }
+}
+
+impl Accelerator for QuantumBackend {
+    fn name(&self) -> &str {
+        QUANTUM_NAME
+    }
+
+    fn supports(&self, kernel: &Kernel) -> bool {
+        matches!(
+            kernel,
+            Kernel::Factor { .. } | Kernel::Search { .. } | Kernel::DnaSimilarity { .. }
+        )
+    }
+
+    fn execute(&mut self, kernel: &Kernel) -> Result<KernelExecution, AccelError> {
+        let mut rng = self.seeds.next_rng();
+        match kernel {
+            Kernel::Factor { n } => {
+                let outcome = shor::factor(*n, &mut rng, 50)
+                    .map_err(|e| AccelError::backend(QUANTUM_NAME, e))?;
+                let ops = outcome.quantum_ops.max(1);
+                Ok(KernelExecution {
+                    result: KernelResult::Factors(outcome.factors.0, outcome.factors.1),
+                    cost: CostReport {
+                        device_seconds: self.gate_time(ops),
+                        operations: ops,
+                    },
+                })
+            }
+            Kernel::Search { n_qubits, marked } => {
+                let run = grover::search(*n_qubits, marked, &mut rng)
+                    .map_err(|e| AccelError::backend(QUANTUM_NAME, e))?;
+                // Oracle + diffusion per iteration, ~2(n+1) gates each.
+                let ops = (run.iterations * 2 * (n_qubits + 1)) as u64;
+                Ok(KernelExecution {
+                    result: KernelResult::Found(run.found),
+                    cost: CostReport {
+                        device_seconds: self.gate_time(ops),
+                        operations: ops,
+                    },
+                })
+            }
+            Kernel::DnaSimilarity { a, b, k } => {
+                let s = dna::quantum_similarity(a, b, *k, self.dna_shots, &mut rng)
+                    .map_err(|e| AccelError::backend(QUANTUM_NAME, e))?;
+                // Per shot: 2k-qubit swap test ≈ 3·2k CSWAP-equivalents.
+                let ops = (self.dna_shots * 6 * k) as u64;
+                Ok(KernelExecution {
+                    result: KernelResult::Similarity(s),
+                    cost: CostReport {
+                        device_seconds: self.gate_time(ops)
+                            + self.dna_shots as f64 * self.timing.measure_ns * 1e-9,
+                        operations: ops,
+                    },
+                })
+            }
+            other => Err(AccelError::Unsupported {
+                backend: QUANTUM_NAME.into(),
+                kernel: other.describe(),
+            }),
+        }
+    }
+}
+
+/// The coupled-oscillator analog comparison backend.
+#[derive(Debug, Clone)]
+pub struct OscillatorBackend {
+    distance: OscillatorDistance,
+    /// Readout window time per comparison (seconds).
+    window_seconds: f64,
+}
+
+impl OscillatorBackend {
+    /// Calibrates an oscillator backend in the shallow-norm regime.
+    ///
+    /// # Errors
+    ///
+    /// Propagates calibration failures.
+    pub fn new() -> Result<Self, AccelError> {
+        let config = NormRegime::Shallow.config();
+        let distance = OscillatorDistance::calibrate(config, 0.62, 0.02, 9)
+            .map_err(|e| AccelError::backend(OSC_NAME, e))?;
+        // One 32-cycle readout window at a ~20 MHz oscillation.
+        let window_seconds = 32.0 / 20e6;
+        Ok(OscillatorBackend {
+            distance,
+            window_seconds,
+        })
+    }
+}
+
+impl Accelerator for OscillatorBackend {
+    fn name(&self) -> &str {
+        OSC_NAME
+    }
+
+    fn supports(&self, kernel: &Kernel) -> bool {
+        matches!(kernel, Kernel::Compare { .. })
+    }
+
+    fn execute(&mut self, kernel: &Kernel) -> Result<KernelExecution, AccelError> {
+        match kernel {
+            Kernel::Compare { x, y } => Ok(KernelExecution {
+                result: KernelResult::Distance(
+                    self.distance.distance(x.clamp(0.0, 1.0), y.clamp(0.0, 1.0)),
+                ),
+                cost: CostReport {
+                    device_seconds: self.window_seconds,
+                    operations: 1,
+                },
+            }),
+            other => Err(AccelError::Unsupported {
+                backend: OSC_NAME.into(),
+                kernel: other.describe(),
+            }),
+        }
+    }
+}
+
+/// The digital-memcomputing optimization backend.
+#[derive(Debug, Clone)]
+pub struct MemBackend {
+    seeds: SeedStream,
+    solver: DmmSolver,
+}
+
+impl MemBackend {
+    /// Creates a memcomputing backend.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        MemBackend {
+            seeds: SeedStream::new(seed),
+            solver: DmmSolver::new(DmmParams::default()),
+        }
+    }
+}
+
+impl Accelerator for MemBackend {
+    fn name(&self) -> &str {
+        MEM_NAME
+    }
+
+    fn supports(&self, kernel: &Kernel) -> bool {
+        matches!(kernel, Kernel::SolveSat { .. })
+    }
+
+    fn execute(&mut self, kernel: &Kernel) -> Result<KernelExecution, AccelError> {
+        match kernel {
+            Kernel::SolveSat { formula } => {
+                let seed = self.seeds.next_seed();
+                let outcome = self
+                    .solver
+                    .solve(formula, seed)
+                    .map_err(|e| AccelError::backend(MEM_NAME, e))?;
+                Ok(KernelExecution {
+                    result: KernelResult::SatSolution(
+                        outcome.solution.as_ref().map(|a| a.to_bools()),
+                    ),
+                    cost: CostReport {
+                        // The DMM's "device time" is its simulated physical
+                        // time, scaled to an RC time unit of 1 ns.
+                        device_seconds: outcome.time * 1e-9,
+                        operations: outcome.steps,
+                    },
+                })
+            }
+            other => Err(AccelError::Unsupported {
+                backend: MEM_NAME.into(),
+                kernel: other.describe(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mem::generators::planted_3sat;
+
+    #[test]
+    fn quantum_backend_factors() {
+        let mut q = QuantumBackend::new(1);
+        let run = q.execute(&Kernel::Factor { n: 15 }).unwrap();
+        match run.result {
+            KernelResult::Factors(p, qf) => assert_eq!(p * qf, 15),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(run.cost.device_seconds > 0.0);
+    }
+
+    #[test]
+    fn quantum_backend_searches() {
+        let mut q = QuantumBackend::new(2);
+        let run = q
+            .execute(&Kernel::Search {
+                n_qubits: 6,
+                marked: vec![42],
+            })
+            .unwrap();
+        assert_eq!(run.result, KernelResult::Found(42));
+    }
+
+    #[test]
+    fn quantum_backend_rejects_sat() {
+        let inst = planted_3sat(10, 3.0, 1).unwrap();
+        let mut q = QuantumBackend::new(1);
+        assert!(matches!(
+            q.execute(&Kernel::SolveSat {
+                formula: inst.formula
+            }),
+            Err(AccelError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn mem_backend_solves_sat() {
+        let inst = planted_3sat(15, 3.8, 4).unwrap();
+        let mut m = MemBackend::new(3);
+        let run = m
+            .execute(&Kernel::SolveSat {
+                formula: inst.formula.clone(),
+            })
+            .unwrap();
+        match run.result {
+            KernelResult::SatSolution(Some(bits)) => {
+                let a = mem::assignment::Assignment::from_bools(&bits);
+                assert!(inst.formula.is_satisfied(&a));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(run.cost.operations > 0);
+    }
+
+    #[test]
+    fn oscillator_backend_compares() {
+        let mut o = OscillatorBackend::new().unwrap();
+        let near = o.execute(&Kernel::Compare { x: 0.5, y: 0.52 }).unwrap();
+        let far = o.execute(&Kernel::Compare { x: 0.1, y: 0.9 }).unwrap();
+        let (dn, df) = match (near.result, far.result) {
+            (KernelResult::Distance(a), KernelResult::Distance(b)) => (a, b),
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!(df >= dn, "{dn} vs {df}");
+    }
+
+    #[test]
+    fn support_matrices_disjoint() {
+        let q = QuantumBackend::new(1);
+        let m = MemBackend::new(1);
+        let k = Kernel::Compare { x: 0.0, y: 0.0 };
+        assert!(!q.supports(&k));
+        assert!(!m.supports(&k));
+    }
+}

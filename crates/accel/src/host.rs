@@ -1,0 +1,248 @@
+//! The host runtime (paper Fig. 1).
+//!
+//! Owns a set of [`Accelerator`] backends and dispatches kernels to them —
+//! "end-user application developers are capable of programming their source
+//! code to be compiled and executed on the quantum device" — while keeping
+//! per-backend utilization accounting so the heterogeneous-speedup
+//! experiment (E12) can compare specialized dispatch against a CPU-only
+//! configuration.
+//!
+//! # Example
+//!
+//! ```
+//! use accel::accelerator::CpuBackend;
+//! use accel::host::{DispatchPolicy, HostRuntime};
+//! use accel::kernel::Kernel;
+//!
+//! let mut host = HostRuntime::new(DispatchPolicy::PreferSpecialized);
+//! host.register(Box::new(CpuBackend::new(1)));
+//! let run = host.dispatch(&Kernel::Factor { n: 15 })?;
+//! # Ok::<(), accel::AccelError>(())
+//! ```
+
+use crate::accelerator::Accelerator;
+use crate::kernel::{Kernel, KernelExecution};
+use crate::AccelError;
+use std::collections::BTreeMap;
+
+/// How the host picks a backend for a kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchPolicy {
+    /// Use the first non-CPU backend that supports the kernel, falling back
+    /// to any supporting backend (the heterogeneous configuration).
+    PreferSpecialized,
+    /// Use only the backend named "cpu" (the von Neumann baseline).
+    CpuOnly,
+}
+
+/// Per-backend aggregate statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BackendStats {
+    /// Kernels executed on this backend.
+    pub kernels: u64,
+    /// Total modelled device time (seconds).
+    pub device_seconds: f64,
+    /// Total backend operations.
+    pub operations: u64,
+}
+
+/// The host runtime: backends + dispatch accounting.
+pub struct HostRuntime {
+    policy: DispatchPolicy,
+    backends: Vec<Box<dyn Accelerator>>,
+    stats: BTreeMap<String, BackendStats>,
+}
+
+impl std::fmt::Debug for HostRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HostRuntime")
+            .field("policy", &self.policy)
+            .field(
+                "backends",
+                &self
+                    .backends
+                    .iter()
+                    .map(|b| b.name().to_string())
+                    .collect::<Vec<_>>(),
+            )
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl HostRuntime {
+    /// Creates an empty host with the given policy.
+    #[must_use]
+    pub fn new(policy: DispatchPolicy) -> Self {
+        HostRuntime {
+            policy,
+            backends: Vec::new(),
+            stats: BTreeMap::new(),
+        }
+    }
+
+    /// The dispatch policy.
+    #[must_use]
+    pub fn policy(&self) -> DispatchPolicy {
+        self.policy
+    }
+
+    /// Registers a backend (later registrations have lower priority).
+    pub fn register(&mut self, backend: Box<dyn Accelerator>) {
+        self.stats
+            .entry(backend.name().to_string())
+            .or_default();
+        self.backends.push(backend);
+    }
+
+    /// The registered backend names, in priority order.
+    #[must_use]
+    pub fn backend_names(&self) -> Vec<String> {
+        self.backends.iter().map(|b| b.name().to_string()).collect()
+    }
+
+    /// Dispatches one kernel according to the policy.
+    ///
+    /// # Errors
+    ///
+    /// * [`AccelError::NoBackend`] when nothing supports the kernel under
+    ///   the policy.
+    /// * Propagates backend execution failures.
+    pub fn dispatch(&mut self, kernel: &Kernel) -> Result<KernelExecution, AccelError> {
+        let idx = match self.policy {
+            DispatchPolicy::CpuOnly => self
+                .backends
+                .iter()
+                .position(|b| b.name() == "cpu" && b.supports(kernel)),
+            DispatchPolicy::PreferSpecialized => self
+                .backends
+                .iter()
+                .position(|b| b.name() != "cpu" && b.supports(kernel))
+                .or_else(|| self.backends.iter().position(|b| b.supports(kernel))),
+        };
+        let Some(idx) = idx else {
+            return Err(AccelError::NoBackend {
+                kernel: kernel.describe(),
+            });
+        };
+        let backend = &mut self.backends[idx];
+        let name = backend.name().to_string();
+        let execution = backend.execute(kernel)?;
+        let entry = self.stats.entry(name).or_default();
+        entry.kernels += 1;
+        entry.device_seconds += execution.cost.device_seconds;
+        entry.operations += execution.cost.operations;
+        Ok(execution)
+    }
+
+    /// Runs a workload of kernels, returning the executions in order.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first kernel that cannot be dispatched or executed.
+    pub fn run_workload(
+        &mut self,
+        kernels: &[Kernel],
+    ) -> Result<Vec<KernelExecution>, AccelError> {
+        kernels.iter().map(|k| self.dispatch(k)).collect()
+    }
+
+    /// Per-backend aggregate statistics.
+    #[must_use]
+    pub fn stats(&self) -> &BTreeMap<String, BackendStats> {
+        &self.stats
+    }
+
+    /// Total modelled device time across backends.
+    #[must_use]
+    pub fn total_device_seconds(&self) -> f64 {
+        self.stats.values().map(|s| s.device_seconds).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accelerator::CpuBackend;
+    use crate::backends::{MemBackend, QuantumBackend};
+    use crate::kernel::KernelResult;
+    use mem::generators::planted_3sat;
+
+    fn hetero_host() -> HostRuntime {
+        let mut host = HostRuntime::new(DispatchPolicy::PreferSpecialized);
+        host.register(Box::new(QuantumBackend::new(1)));
+        host.register(Box::new(MemBackend::new(2)));
+        host.register(Box::new(CpuBackend::new(3)));
+        host
+    }
+
+    #[test]
+    fn specialized_dispatch_routes_by_class() {
+        let mut host = hetero_host();
+        host.dispatch(&Kernel::Factor { n: 15 }).unwrap();
+        let inst = planted_3sat(12, 3.5, 1).unwrap();
+        host.dispatch(&Kernel::SolveSat {
+            formula: inst.formula,
+        })
+        .unwrap();
+        let stats = host.stats();
+        assert_eq!(stats["quantum"].kernels, 1);
+        assert_eq!(stats["memcomputing"].kernels, 1);
+        assert_eq!(stats["cpu"].kernels, 0);
+    }
+
+    #[test]
+    fn cpu_fallback_for_unclaimed_kernels() {
+        let mut host = hetero_host();
+        // No oscillator backend registered: Compare falls back to CPU.
+        let run = host.dispatch(&Kernel::Compare { x: 0.2, y: 0.7 }).unwrap();
+        match run.result {
+            KernelResult::Distance(d) => assert!((d - 0.5).abs() < 1e-12),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(host.stats()["cpu"].kernels, 1);
+    }
+
+    #[test]
+    fn cpu_only_policy_ignores_specialized() {
+        let mut host = HostRuntime::new(DispatchPolicy::CpuOnly);
+        host.register(Box::new(QuantumBackend::new(1)));
+        host.register(Box::new(CpuBackend::new(2)));
+        host.dispatch(&Kernel::Factor { n: 21 }).unwrap();
+        assert_eq!(host.stats()["cpu"].kernels, 1);
+        assert_eq!(host.stats()["quantum"].kernels, 0);
+    }
+
+    #[test]
+    fn no_backend_error() {
+        let mut host = HostRuntime::new(DispatchPolicy::CpuOnly);
+        host.register(Box::new(QuantumBackend::new(1)));
+        assert!(matches!(
+            host.dispatch(&Kernel::Factor { n: 15 }),
+            Err(AccelError::NoBackend { .. })
+        ));
+    }
+
+    #[test]
+    fn workload_accumulates_stats() {
+        let mut host = hetero_host();
+        let kernels = vec![
+            Kernel::Factor { n: 15 },
+            Kernel::Search {
+                n_qubits: 5,
+                marked: vec![7],
+            },
+            Kernel::Compare { x: 0.1, y: 0.3 },
+        ];
+        let runs = host.run_workload(&kernels).unwrap();
+        assert_eq!(runs.len(), 3);
+        assert!(host.total_device_seconds() > 0.0);
+        assert_eq!(host.stats()["quantum"].kernels, 2);
+    }
+
+    #[test]
+    fn backend_names_in_priority_order() {
+        let host = hetero_host();
+        assert_eq!(host.backend_names(), vec!["quantum", "memcomputing", "cpu"]);
+    }
+}

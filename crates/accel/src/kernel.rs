@@ -1,0 +1,184 @@
+//! Kernels: the work items a heterogeneous host dispatches.
+//!
+//! One kernel per headline capability of the paper's three paradigms, plus
+//! the result and cost-report types every backend returns.
+//!
+//! # Example
+//!
+//! ```
+//! use accel::kernel::Kernel;
+//!
+//! let k = Kernel::Factor { n: 15 };
+//! assert_eq!(k.describe(), "factor(15)");
+//! ```
+
+use mem::cnf::Formula;
+
+/// A dispatchable unit of work.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Kernel {
+    /// Factor an integer (the cryptography killer app, §II-C).
+    Factor {
+        /// The composite to factor.
+        n: u64,
+    },
+    /// Unstructured search for any marked item in `0..2^n_qubits`.
+    Search {
+        /// Search-space width in qubits.
+        n_qubits: usize,
+        /// Marked items.
+        marked: Vec<usize>,
+    },
+    /// DNA sequence similarity (the genomics discussion, §II-C).
+    DnaSimilarity {
+        /// First sequence (ACGT alphabet).
+        a: String,
+        /// Second sequence.
+        b: String,
+        /// k-mer length.
+        k: usize,
+    },
+    /// Solve a SAT instance (the memcomputing workload, §IV).
+    SolveSat {
+        /// The CNF formula.
+        formula: Formula,
+    },
+    /// Analog distance between two normalized scalars in `[0, 1]` (the
+    /// coupled-oscillator comparison primitive, §III).
+    Compare {
+        /// First operand.
+        x: f64,
+        /// Second operand.
+        y: f64,
+    },
+}
+
+impl Kernel {
+    /// A short human-readable description (used in errors and reports).
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match self {
+            Kernel::Factor { n } => format!("factor({n})"),
+            Kernel::Search { n_qubits, marked } => {
+                format!("search(2^{n_qubits}, {} marked)", marked.len())
+            }
+            Kernel::DnaSimilarity { a, b, k } => {
+                format!("dna_similarity(|a|={}, |b|={}, k={k})", a.len(), b.len())
+            }
+            Kernel::SolveSat { formula } => format!(
+                "solve_sat({} vars, {} clauses)",
+                formula.n_vars(),
+                formula.len()
+            ),
+            Kernel::Compare { x, y } => format!("compare({x:.3}, {y:.3})"),
+        }
+    }
+
+    /// A coarse class tag for dispatch policies.
+    #[must_use]
+    pub fn class(&self) -> KernelClass {
+        match self {
+            Kernel::Factor { .. } | Kernel::Search { .. } | Kernel::DnaSimilarity { .. } => {
+                KernelClass::Quantum
+            }
+            Kernel::SolveSat { .. } => KernelClass::Optimization,
+            Kernel::Compare { .. } => KernelClass::Analog,
+        }
+    }
+}
+
+/// Coarse kernel classes used for dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelClass {
+    /// Quantum-algorithm-shaped work.
+    Quantum,
+    /// Combinatorial optimization.
+    Optimization,
+    /// Analog comparison primitives.
+    Analog,
+}
+
+impl std::fmt::Display for KernelClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            KernelClass::Quantum => "quantum",
+            KernelClass::Optimization => "optimization",
+            KernelClass::Analog => "analog",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The result payload of a kernel execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KernelResult {
+    /// Nontrivial factors `(p, q)` with `p·q = n`.
+    Factors(u64, u64),
+    /// The found item of a search.
+    Found(usize),
+    /// A similarity score in `[0, 1]`.
+    Similarity(f64),
+    /// A SAT solution as booleans, or `None` when unsolved.
+    SatSolution(Option<Vec<bool>>),
+    /// An analog distance measure.
+    Distance(f64),
+}
+
+/// Device-time and work accounting for one execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostReport {
+    /// Modelled device time in seconds (simulated physical time on the
+    /// backend's substrate, not wall-clock of the simulator).
+    pub device_seconds: f64,
+    /// Abstract operation count on the backend (gates, integration steps,
+    /// comparisons, instructions — backend-specific units).
+    pub operations: u64,
+}
+
+/// A completed execution: payload + cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelExecution {
+    /// The result payload.
+    pub result: KernelResult,
+    /// The cost accounting.
+    pub cost: CostReport,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mem::generators::random_ksat;
+
+    #[test]
+    fn descriptions() {
+        assert_eq!(Kernel::Factor { n: 21 }.describe(), "factor(21)");
+        let k = Kernel::Search {
+            n_qubits: 6,
+            marked: vec![1, 2],
+        };
+        assert!(k.describe().contains("2^6"));
+        let f = random_ksat(5, 3, 2.0, 1).unwrap();
+        assert!(Kernel::SolveSat { formula: f }
+            .describe()
+            .contains("5 vars"));
+    }
+
+    #[test]
+    fn classes() {
+        assert_eq!(Kernel::Factor { n: 15 }.class(), KernelClass::Quantum);
+        assert_eq!(
+            Kernel::Compare { x: 0.1, y: 0.2 }.class(),
+            KernelClass::Analog
+        );
+        let f = random_ksat(4, 3, 2.0, 2).unwrap();
+        assert_eq!(
+            Kernel::SolveSat { formula: f }.class(),
+            KernelClass::Optimization
+        );
+    }
+
+    #[test]
+    fn class_display() {
+        assert_eq!(KernelClass::Analog.to_string(), "analog");
+    }
+}

@@ -1,0 +1,125 @@
+//! Heterogeneous-accelerator substrate (paper Figs. 1–2).
+//!
+//! The paper's framing device: "a heterogeneous multi-core system
+//! architecture … in which GPUs, FPGAs, TPUs and now also quantum
+//! accelerators can all be used", with the quantum accelerator itself a
+//! layered stack from application down to chip. This crate makes the
+//! framing executable:
+//!
+//! * [`kernel`] — work items spanning the three paradigms (factoring,
+//!   search, DNA similarity, SAT, analog vector comparison);
+//! * [`accelerator`] — the [`accelerator::Accelerator`] trait and a CPU
+//!   reference backend implementing every kernel classically;
+//! * [`backends`] — the quantum, coupled-oscillator, and memcomputing
+//!   backends built on the workspace's simulators;
+//! * [`host`] — the host runtime that dispatches kernels to backends and
+//!   accounts device time per backend (Fig. 1's system view);
+//! * [`stack`] — the Fig. 2 layer model: per-layer latency accounting for
+//!   a quantum job travelling application → … → chip.
+//!
+//! # Example
+//!
+//! ```
+//! use accel::accelerator::{Accelerator, CpuBackend};
+//! use accel::kernel::Kernel;
+//!
+//! let mut cpu = CpuBackend::new(1);
+//! let run = cpu.execute(&Kernel::Factor { n: 21 })?;
+//! # Ok::<(), accel::AccelError>(())
+//! ```
+
+// Deliberate style choices for numerical simulation code: `!(x > 0.0)`
+// rejects NaN alongside non-positive values, and indexed loops mirror the
+// mathematics they implement (state-vector strides, lattice walks).
+#![allow(
+    clippy::neg_cmp_op_on_partial_ord,
+    clippy::needless_range_loop,
+    clippy::manual_is_multiple_of,
+    clippy::field_reassign_with_default
+)]
+pub mod accelerator;
+pub mod backends;
+pub mod host;
+pub mod kernel;
+pub mod stack;
+
+/// Crate-wide error type.
+#[derive(Debug)]
+pub enum AccelError {
+    /// The kernel is not supported by the chosen backend.
+    Unsupported {
+        /// Backend name.
+        backend: String,
+        /// Kernel description.
+        kernel: String,
+    },
+    /// No backend in the host runtime supports the kernel.
+    NoBackend {
+        /// Kernel description.
+        kernel: String,
+    },
+    /// A backend failed while executing.
+    Backend {
+        /// Backend name.
+        backend: String,
+        /// Underlying error.
+        source: Box<dyn std::error::Error + Send + Sync + 'static>,
+    },
+}
+
+impl std::fmt::Display for AccelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AccelError::Unsupported { backend, kernel } => {
+                write!(f, "backend `{backend}` does not support kernel {kernel}")
+            }
+            AccelError::NoBackend { kernel } => {
+                write!(f, "no backend supports kernel {kernel}")
+            }
+            AccelError::Backend { backend, source } => {
+                write!(f, "backend `{backend}` failed: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AccelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AccelError::Backend { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+impl AccelError {
+    /// Wraps a backend failure.
+    pub fn backend<E: std::error::Error + Send + Sync + 'static>(
+        backend: &str,
+        source: E,
+    ) -> Self {
+        AccelError::Backend {
+            backend: backend.to_string(),
+            source: Box::new(source),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display() {
+        let e = AccelError::NoBackend {
+            kernel: "factor(15)".into(),
+        };
+        assert!(e.to_string().contains("factor(15)"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AccelError>();
+    }
+}

@@ -1,0 +1,68 @@
+//! E6 — §IV dynamical-systems claims (refs. [51, 52, 53]): DMM
+//! trajectories are bounded (point dissipativity) and, when a solution
+//! exists, show no periodic recurrence in their digital projection.
+
+use bench::banner;
+use criterion::{criterion_group, criterion_main, Criterion};
+use mem::analysis::{boundedness, cluster_flip_stats, recurrence_check};
+use mem::dmm::{DmmParams, DmmSolver};
+use mem::generators::planted_3sat;
+
+fn print_experiment() {
+    banner(
+        "E6 dmm_dynamics",
+        "§IV boundedness + no-periodic-orbits (refs. 51-53)",
+    );
+    let params = DmmParams {
+        check_every: 10,
+        max_steps: 500_000,
+        ..DmmParams::default()
+    };
+    let solver = DmmSolver::new(params);
+    println!(
+        "{:>5} | {:>7} | {:>9} | {:>8} | {:>8} | {:>9} | {:>10}",
+        "N", "solved", "max|v|", "bounded", "cycles?", "max flip", "collective"
+    );
+    println!("{}", "-".repeat(72));
+    for (i, n) in [30usize, 50, 70].iter().enumerate() {
+        let inst = planted_3sat(*n, 4.25, 7_000 + i as u64).expect("instance");
+        let out = solver.solve(&inst.formula, i as u64).expect("run");
+        let bounds = boundedness(&out);
+        let rec = recurrence_check(&out.checkpoints);
+        let flips = cluster_flip_stats(&out.checkpoints);
+        println!(
+            "{:>5} | {:>7} | {:>9.4} | {:>8} | {:>8} | {:>8} | {:>9.2}",
+            n,
+            out.solution.is_some(),
+            bounds.max_abs_v,
+            bounds.bounded,
+            rec.has_cycle(),
+            flips.max_size,
+            flips.collective_fraction
+        );
+    }
+    println!("\nexpected shape: bounded = true, cycles = false on solvable");
+    println!("instances; collective (multi-variable) flips present — the DLRO");
+    println!("signature of instantonic transients (ref. 58)");
+}
+
+fn bench(c: &mut Criterion) {
+    print_experiment();
+    let inst = planted_3sat(50, 4.25, 31).expect("instance");
+    let solver = DmmSolver::new(DmmParams::default());
+    c.bench_function("dmm_dynamics/solve_and_analyze_n50", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let out = solver.solve(&inst.formula, seed).expect("solve");
+            criterion::black_box(cluster_flip_stats(&out.checkpoints))
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! # `rebooting` — three post-von-Neumann computing models, executable
+//!
+//! A from-scratch Rust reproduction of *"Rebooting Our Computing Models"*
+//! (Cadareanu et al., DATE 2019): the paper's three beyond-CMOS computing
+//! paradigms, each built as a complete simulated system.
+//!
+//! | Paper section | Paradigm | Workspace crates |
+//! |---------------|----------|------------------|
+//! | §II | Quantum computing as an accelerator | [`quantum`], [`accel`] |
+//! | §III | Weakly coupled VO₂ oscillators | [`device`], [`osc`], [`vision`] |
+//! | §IV | Digital memcomputing machines | [`mem`] |
+//!
+//! This crate re-exports the workspace and provides a [`prelude`].
+//!
+//! # Example
+//!
+//! One line from each paradigm:
+//!
+//! ```
+//! use rebooting::prelude::*;
+//!
+//! // §II: a Bell pair on the quantum accelerator stack.
+//! let mut circuit = Circuit::new(2)?;
+//! circuit.h(0)?.cx(0, 1)?;
+//! let state = circuit.run(StateVector::zero(2))?;
+//! assert!((state.probability(0b11)? - 0.5).abs() < 1e-12);
+//!
+//! // §III: the oscillator fabric's input range.
+//! let params = OscillatorParams::default();
+//! let (lo, hi) = params.oscillating_vgs_range(100)?;
+//! assert!(hi.0 > lo.0);
+//!
+//! // §IV: a memcomputing solve of a tiny SAT instance.
+//! let formula = mem::dimacs::parse("p cnf 2 2\n1 -2 0\n2 0\n")?;
+//! let outcome = DmmSolver::new(DmmParams::default()).solve(&formula, 1)?;
+//! assert!(outcome.solution.is_some());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+// Deliberate style choices for numerical simulation code: `!(x > 0.0)`
+// rejects NaN alongside non-positive values, and indexed loops mirror the
+// mathematics they implement (state-vector strides, lattice walks).
+#![allow(
+    clippy::neg_cmp_op_on_partial_ord,
+    clippy::needless_range_loop,
+    clippy::manual_is_multiple_of,
+    clippy::field_reassign_with_default
+)]
+pub use accel;
+pub use device;
+pub use mem;
+pub use numerics;
+pub use osc;
+pub use quantum;
+pub use vision;
+
+/// The most commonly used types across all three paradigms.
+pub mod prelude {
+    pub use accel::accelerator::{Accelerator, CpuBackend};
+    pub use accel::host::{DispatchPolicy, HostRuntime};
+    pub use accel::kernel::{Kernel, KernelResult};
+    pub use device::units::{Farads, Hertz, Joules, Ohms, Seconds, Volts, Watts};
+    pub use mem::assignment::Assignment;
+    pub use mem::cnf::{Clause, Formula, Literal};
+    pub use mem::dmm::{DmmParams, DmmSolver};
+    pub use mem::walksat::{WalkSat, WalkSatParams};
+    pub use numerics::Complex;
+    pub use osc::norms::{NormRegime, OscillatorDistance};
+    pub use osc::pair::{CoupledPair, PairConfig};
+    pub use osc::relaxation::{OscillatorParams, SingleOscillator};
+    pub use quantum::circuit::Circuit;
+    pub use quantum::gate::Gate;
+    pub use quantum::state::StateVector;
+    pub use vision::fast::{FastDetector, FastParams};
+    pub use vision::image::GrayImage;
+    pub use vision::synth::SceneBuilder;
+}
+
+/// Version of the reproduction, mirroring the crate version.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+/// The paper this workspace reproduces.
+pub const PAPER: &str =
+    "Cadareanu et al., \"Rebooting Our Computing Models\", DATE 2019, pp. 1469-1476";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_nonempty() {
+        assert!(!super::VERSION.is_empty());
+        assert!(super::PAPER.contains("DATE 2019"));
+    }
+
+    #[test]
+    fn prelude_usable() {
+        use super::prelude::*;
+        let c = Circuit::new(1).unwrap();
+        assert_eq!(c.n_qubits(), 1);
+        let v = Volts(1.0) + Volts(2.0);
+        assert_eq!(v, Volts(3.0));
+    }
+}

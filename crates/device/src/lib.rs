@@ -1,0 +1,106 @@
+//! Compact device and energy models for the *Rebooting Our Computing Models*
+//! reproduction.
+//!
+//! The paper's §III builds its oscillator computing fabric from three
+//! physical ingredients, each modelled here:
+//!
+//! * [`vo2`] — the vanadium-dioxide insulator-to-metal-transition (IMT)
+//!   device: a two-state resistor with a hysteretic switching window, which
+//!   produces relaxation oscillations when loaded by a series resistance.
+//! * [`mosfet`] — a square-law NMOS transistor used as the tunable series
+//!   resistance of the 1T1R oscillator cell (the gate voltage `V_gs` is the
+//!   *input encoding* of the oscillator computing model).
+//! * [`passive`] — resistors, capacitors, and the RC coupling network that
+//!   links two oscillators.
+//!
+//! Two more modules support the paper's comparisons:
+//!
+//! * [`cmos`] — a per-operation energy/power model of a conventional CMOS
+//!   implementation at a 32 nm-like node, used for the paper's
+//!   "0.936 mW vs 3 mW" corner-detection comparison.
+//! * [`noise`] — seeded Gaussian/uniform noise sources for the robustness
+//!   experiments of §IV.
+//!
+//! Physical quantities use the newtypes in [`units`] so a conductance can
+//! never be passed where a capacitance is expected.
+//!
+//! # Example
+//!
+//! ```
+//! use device::units::Volts;
+//! use device::vo2::{Vo2Device, Vo2Params};
+//!
+//! let mut dev = Vo2Device::new(Vo2Params::default());
+//! // Below the insulator→metal threshold the device stays insulating.
+//! dev.update(Volts(0.1));
+//! assert!(!dev.is_metallic());
+//! // Above it, the device switches metallic…
+//! dev.update(Volts(5.0));
+//! assert!(dev.is_metallic());
+//! // …and stays metallic until the voltage falls below the hold voltage
+//! // (hysteresis).
+//! dev.update(Volts(0.7));
+//! assert!(dev.is_metallic());
+//! dev.update(Volts(0.2));
+//! assert!(!dev.is_metallic());
+//! ```
+
+// Deliberate style choices for numerical simulation code: `!(x > 0.0)`
+// rejects NaN alongside non-positive values, and indexed loops mirror the
+// mathematics they implement (state-vector strides, lattice walks).
+#![allow(
+    clippy::neg_cmp_op_on_partial_ord,
+    clippy::needless_range_loop,
+    clippy::manual_is_multiple_of,
+    clippy::field_reassign_with_default
+)]
+pub mod cmos;
+pub mod mosfet;
+pub mod noise;
+pub mod passive;
+pub mod units;
+pub mod vo2;
+
+/// Crate-wide error type for device-model construction and evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeviceError {
+    /// A physical parameter was out of its admissible range.
+    InvalidParameter {
+        /// Which parameter.
+        name: &'static str,
+        /// Why it was rejected.
+        reason: &'static str,
+    },
+}
+
+impl std::fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = DeviceError::InvalidParameter {
+            name: "r_on",
+            reason: "must be positive",
+        };
+        assert!(e.to_string().contains("r_on"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DeviceError>();
+    }
+}

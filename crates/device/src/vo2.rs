@@ -1,0 +1,393 @@
+//! Vanadium-dioxide (VO₂) insulator-to-metal-transition device model.
+//!
+//! VO₂ undergoes a volatile, sharp insulator-to-metal phase transition (IMT)
+//! under electrical bias (paper §III-A). The compact model used here is the
+//! standard one from the coupled-oscillator literature (Shukla et al., IEDM
+//! 2014; Parihar et al., Sci. Rep. 2017):
+//!
+//! * two resistance states, insulating `R_ins` and metallic `R_met`
+//!   (`R_ins ≫ R_met`);
+//! * hysteretic switching: the device turns metallic when the voltage across
+//!   it rises above `v_imt`, and returns to insulating only when the voltage
+//!   falls below `v_mit < v_imt`;
+//! * a finite phase-transition time constant `tau_switch` that smooths the
+//!   conductance between the two states (the metallic fraction relaxes
+//!   exponentially toward its target), keeping the ODE right-hand side
+//!   Lipschitz.
+//!
+//! When such a device is loaded by a series resistance chosen so the load
+//! line crosses the unstable hysteretic region, the circuit has no stable
+//! operating point and relaxation-oscillates — that is the oscillator
+//! primitive of the paper's computing model (built in the `osc` crate).
+//!
+//! # Example
+//!
+//! ```
+//! use device::units::Volts;
+//! use device::vo2::{Vo2Device, Vo2Params};
+//!
+//! let params = Vo2Params::default();
+//! let mut dev = Vo2Device::new(params);
+//! dev.update(Volts(2.0));                // above v_imt → metallic
+//! assert!(dev.is_metallic());
+//! let g_met = dev.conductance_at(f64::INFINITY); // fully relaxed
+//! assert!((g_met.0 - 1.0 / params.r_metallic.0).abs() < 1e-12);
+//! ```
+
+use crate::units::{Ohms, Seconds, Siemens, Volts};
+use crate::DeviceError;
+
+/// Parameters of the hysteretic VO₂ compact model.
+///
+/// The defaults are representative of the VO₂ devices in the coupled-
+/// oscillator literature: a ~10:1 resistance ratio and a switching window
+/// around 1 V, giving oscillation frequencies in the hundreds of kHz with
+/// ~100 fF node capacitance and ~10–100 kΩ series resistances.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Vo2Params {
+    /// Insulating-state resistance.
+    pub r_insulating: Ohms,
+    /// Metallic-state resistance.
+    pub r_metallic: Ohms,
+    /// Insulator→metal switching threshold (device voltage rising).
+    pub v_imt: Volts,
+    /// Metal→insulator hold threshold (device voltage falling).
+    pub v_mit: Volts,
+    /// Phase-transition time constant for conductance relaxation.
+    pub tau_switch: Seconds,
+}
+
+impl Default for Vo2Params {
+    fn default() -> Self {
+        Vo2Params {
+            r_insulating: Ohms(1e6),
+            r_metallic: Ohms(50e3),
+            v_imt: Volts(1.1),
+            v_mit: Volts(0.5),
+            tau_switch: Seconds(20e-9),
+        }
+    }
+}
+
+impl Vo2Params {
+    /// Validates the parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidParameter`] when resistances are not
+    /// positive, `r_metallic >= r_insulating`, the thresholds are disordered
+    /// (`v_mit >= v_imt`), or `tau_switch` is negative.
+    pub fn validate(&self) -> Result<(), DeviceError> {
+        if !(self.r_insulating.0 > 0.0) {
+            return Err(DeviceError::InvalidParameter {
+                name: "r_insulating",
+                reason: "must be positive",
+            });
+        }
+        if !(self.r_metallic.0 > 0.0) {
+            return Err(DeviceError::InvalidParameter {
+                name: "r_metallic",
+                reason: "must be positive",
+            });
+        }
+        if self.r_metallic.0 >= self.r_insulating.0 {
+            return Err(DeviceError::InvalidParameter {
+                name: "r_metallic",
+                reason: "must be smaller than r_insulating",
+            });
+        }
+        if !(self.v_imt.0 > self.v_mit.0) {
+            return Err(DeviceError::InvalidParameter {
+                name: "v_mit",
+                reason: "hold threshold must be below the IMT threshold",
+            });
+        }
+        if self.tau_switch.0 < 0.0 {
+            return Err(DeviceError::InvalidParameter {
+                name: "tau_switch",
+                reason: "must be non-negative",
+            });
+        }
+        Ok(())
+    }
+
+    /// Width of the hysteresis window `v_imt − v_mit`.
+    #[must_use]
+    pub fn hysteresis_window(&self) -> Volts {
+        self.v_imt - self.v_mit
+    }
+}
+
+/// A stateful VO₂ device instance.
+///
+/// The discrete phase (`metallic`) follows the hysteresis comparators; the
+/// continuous `metallic_fraction ∈ [0,1]` relaxes toward the phase target
+/// with time constant `tau_switch`, and the conductance is the linear mix of
+/// the two state conductances weighted by that fraction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Vo2Device {
+    params: Vo2Params,
+    metallic: bool,
+    metallic_fraction: f64,
+}
+
+impl Vo2Device {
+    /// Creates a device in the insulating state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fails [`Vo2Params::validate`]; use
+    /// [`Vo2Device::try_new`] for a fallible constructor.
+    #[must_use]
+    pub fn new(params: Vo2Params) -> Self {
+        params.validate().expect("invalid Vo2Params");
+        Vo2Device {
+            params,
+            metallic: false,
+            metallic_fraction: 0.0,
+        }
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation error from [`Vo2Params::validate`].
+    pub fn try_new(params: Vo2Params) -> Result<Self, DeviceError> {
+        params.validate()?;
+        Ok(Vo2Device {
+            params,
+            metallic: false,
+            metallic_fraction: 0.0,
+        })
+    }
+
+    /// The device parameters.
+    #[must_use]
+    pub fn params(&self) -> &Vo2Params {
+        &self.params
+    }
+
+    /// Whether the discrete phase is currently metallic.
+    #[must_use]
+    pub fn is_metallic(&self) -> bool {
+        self.metallic
+    }
+
+    /// The continuous metallic fraction in `[0, 1]`.
+    #[must_use]
+    pub fn metallic_fraction(&self) -> f64 {
+        self.metallic_fraction
+    }
+
+    /// Advances the discrete hysteresis comparator for a device voltage `v`.
+    ///
+    /// Returns `true` when the phase changed.
+    pub fn update(&mut self, v: Volts) -> bool {
+        let before = self.metallic;
+        if self.metallic {
+            if v.0 < self.params.v_mit.0 {
+                self.metallic = false;
+            }
+        } else if v.0 > self.params.v_imt.0 {
+            self.metallic = true;
+        }
+        before != self.metallic
+    }
+
+    /// Relaxes the metallic fraction toward the current phase target over a
+    /// time step `dt`, then returns the resulting conductance.
+    ///
+    /// With `tau_switch == 0` the fraction snaps instantly.
+    pub fn relax(&mut self, dt: Seconds) -> Siemens {
+        let target = if self.metallic { 1.0 } else { 0.0 };
+        let tau = self.params.tau_switch.0;
+        if tau <= 0.0 || dt.0 <= 0.0 {
+            self.metallic_fraction = target;
+        } else {
+            let alpha = (-dt.0 / tau).exp();
+            self.metallic_fraction = target + (self.metallic_fraction - target) * alpha;
+        }
+        self.conductance()
+    }
+
+    /// Conductance at the current metallic fraction.
+    #[must_use]
+    pub fn conductance(&self) -> Siemens {
+        self.conductance_at_fraction(self.metallic_fraction)
+    }
+
+    /// Conductance the device *would* have after relaxing for `t` seconds
+    /// toward the current phase (`t = ∞` gives the fully switched value).
+    #[must_use]
+    pub fn conductance_at(&self, t: f64) -> Siemens {
+        let target = if self.metallic { 1.0 } else { 0.0 };
+        let tau = self.params.tau_switch.0;
+        let frac = if tau <= 0.0 || t.is_infinite() {
+            target
+        } else {
+            target + (self.metallic_fraction - target) * (-t / tau).exp()
+        };
+        self.conductance_at_fraction(frac)
+    }
+
+    fn conductance_at_fraction(&self, frac: f64) -> Siemens {
+        let g_ins = 1.0 / self.params.r_insulating.0;
+        let g_met = 1.0 / self.params.r_metallic.0;
+        Siemens(g_ins + (g_met - g_ins) * frac.clamp(0.0, 1.0))
+    }
+
+    /// Quasi-static current for a device voltage `v`, updating the hysteresis
+    /// state first (convenience for plotting the hysteretic I–V curve).
+    pub fn current(&mut self, v: Volts, dt: Seconds) -> crate::units::Amps {
+        self.update(v);
+        let g = self.relax(dt);
+        crate::units::Amps(g.0 * v.0)
+    }
+
+    /// Resets to the insulating state with zero metallic fraction.
+    pub fn reset(&mut self) {
+        self.metallic = false;
+        self.metallic_fraction = 0.0;
+    }
+}
+
+/// Checks whether a supply/series-resistance choice places the load line in
+/// the unstable region of the hysteresis, which is the condition for
+/// self-sustained relaxation oscillation (paper §III-A).
+///
+/// Concretely: the insulating-state steady voltage must exceed `v_imt` (the
+/// device keeps switching on) and the metallic-state steady voltage must fall
+/// below `v_mit` (it keeps switching off).
+#[must_use]
+pub fn oscillation_condition(params: &Vo2Params, vdd: Volts, r_series: Ohms) -> bool {
+    let div = |r_dev: f64| vdd.0 * r_dev / (r_dev + r_series.0);
+    let v_ins = div(params.r_insulating.0);
+    let v_met = div(params.r_metallic.0);
+    v_ins > params.v_imt.0 && v_met < params.v_mit.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_params_valid() {
+        assert!(Vo2Params::default().validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let mut p = Vo2Params::default();
+        p.r_metallic = Ohms(-1.0);
+        assert!(p.validate().is_err());
+
+        let mut p = Vo2Params::default();
+        p.r_metallic = p.r_insulating;
+        assert!(p.validate().is_err());
+
+        let mut p = Vo2Params::default();
+        p.v_mit = Volts(2.0);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn hysteresis_loop() {
+        let mut dev = Vo2Device::new(Vo2Params::default());
+        assert!(!dev.is_metallic());
+        // Rising below threshold: stays insulating.
+        assert!(!dev.update(Volts(1.0)));
+        assert!(!dev.is_metallic());
+        // Crossing v_imt: switches.
+        assert!(dev.update(Volts(1.2)));
+        assert!(dev.is_metallic());
+        // Falling but above v_mit: stays metallic (hysteresis).
+        assert!(!dev.update(Volts(0.8)));
+        assert!(dev.is_metallic());
+        // Below v_mit: back to insulating.
+        assert!(dev.update(Volts(0.4)));
+        assert!(!dev.is_metallic());
+    }
+
+    #[test]
+    fn relaxation_converges_to_state_conductance() {
+        let params = Vo2Params::default();
+        let mut dev = Vo2Device::new(params);
+        dev.update(Volts(2.0));
+        // Relax for many time constants.
+        for _ in 0..1000 {
+            dev.relax(Seconds(params.tau_switch.0));
+        }
+        let g = dev.conductance();
+        assert!((g.0 - 1.0 / params.r_metallic.0).abs() / g.0 < 1e-6);
+    }
+
+    #[test]
+    fn relaxation_is_gradual() {
+        let params = Vo2Params::default();
+        let mut dev = Vo2Device::new(params);
+        dev.update(Volts(2.0));
+        dev.relax(Seconds(params.tau_switch.0 * 0.1));
+        let f = dev.metallic_fraction();
+        assert!(f > 0.0 && f < 0.2, "fraction {f}");
+    }
+
+    #[test]
+    fn zero_tau_snaps() {
+        let mut p = Vo2Params::default();
+        p.tau_switch = Seconds(0.0);
+        let mut dev = Vo2Device::new(p);
+        dev.update(Volts(2.0));
+        dev.relax(Seconds(1e-12));
+        assert_eq!(dev.metallic_fraction(), 1.0);
+    }
+
+    #[test]
+    fn conductance_bounds() {
+        let params = Vo2Params::default();
+        let mut dev = Vo2Device::new(params);
+        let g_ins = 1.0 / params.r_insulating.0;
+        let g_met = 1.0 / params.r_metallic.0;
+        assert!((dev.conductance().0 - g_ins).abs() < 1e-15);
+        dev.update(Volts(5.0));
+        let g_inf = dev.conductance_at(f64::INFINITY);
+        assert!((g_inf.0 - g_met).abs() < 1e-15);
+    }
+
+    #[test]
+    fn oscillation_condition_window() {
+        let p = Vo2Params::default();
+        let vdd = Volts(3.0);
+        // A mid-range series resistance oscillates…
+        assert!(oscillation_condition(&p, vdd, Ohms(300e3)));
+        // …a tiny one latches metallic (v_met too high)…
+        assert!(!oscillation_condition(&p, vdd, Ohms(1e3)));
+        // …a huge one latches insulating (v_ins too low).
+        assert!(!oscillation_condition(&p, vdd, Ohms(100e6)));
+    }
+
+    #[test]
+    fn current_follows_ohms_law_per_state() {
+        let params = Vo2Params::default();
+        let mut dev = Vo2Device::new(params);
+        let i = dev.current(Volts(0.3), Seconds(1e-3));
+        // Insulating, fully relaxed after a long dt.
+        assert!((i.0 - 0.3 / params.r_insulating.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_restores_insulating() {
+        let mut dev = Vo2Device::new(Vo2Params::default());
+        dev.update(Volts(5.0));
+        dev.relax(Seconds(1.0));
+        dev.reset();
+        assert!(!dev.is_metallic());
+        assert_eq!(dev.metallic_fraction(), 0.0);
+    }
+
+    #[test]
+    fn hysteresis_window_width() {
+        let p = Vo2Params::default();
+        assert!((p.hysteresis_window().0 - 0.6).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,264 @@
+//! Synthetic datasets for the RBM experiments.
+//!
+//! The environment ships no MNIST, so the mode-assisted-training experiment
+//! (paper refs. [55, 57]) runs on **bars-and-stripes** — the standard small
+//! generative benchmark with exactly enumerable likelihood — plus noisy
+//! variants for robustness and a labeled version for the downstream
+//! classification measurement.
+//!
+//! # Example
+//!
+//! ```
+//! use mem::datasets::bars_and_stripes;
+//!
+//! let data = bars_and_stripes(3);
+//! // 2·(2³ − 2) distinct non-uniform patterns of 9 pixels.
+//! assert_eq!(data.len(), 12);
+//! assert!(data.iter().all(|p| p.pixels.len() == 9));
+//! ```
+
+use numerics::rng::rng_from_seed;
+use rand::Rng;
+
+/// One labeled binary pattern.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Pattern {
+    /// Row-major pixels of an `n × n` image.
+    pub pixels: Vec<bool>,
+    /// `true` for stripes (constant rows), `false` for bars (constant
+    /// columns).
+    pub is_stripe: bool,
+}
+
+/// The full bars-and-stripes set on an `n × n` grid: every row pattern
+/// (stripes) and column pattern (bars), excluding the all-on/all-off images
+/// (which are ambiguous).
+#[must_use]
+pub fn bars_and_stripes(n: usize) -> Vec<Pattern> {
+    let mut out = Vec::new();
+    for bits in 1..((1u32 << n) - 1) {
+        // Stripes: row i is on iff bit i set.
+        let mut stripe = vec![false; n * n];
+        let mut bar = vec![false; n * n];
+        for r in 0..n {
+            for c in 0..n {
+                if bits >> r & 1 == 1 {
+                    stripe[r * n + c] = true;
+                }
+                if bits >> c & 1 == 1 {
+                    bar[r * n + c] = true;
+                }
+            }
+        }
+        out.push(Pattern {
+            pixels: stripe,
+            is_stripe: true,
+        });
+        out.push(Pattern {
+            pixels: bar,
+            is_stripe: false,
+        });
+    }
+    out
+}
+
+/// Adds independent pixel-flip noise to each pattern, producing `copies`
+/// noisy variants per original (labels preserved).
+#[must_use]
+pub fn noisy_copies(patterns: &[Pattern], copies: usize, flip_prob: f64, seed: u64) -> Vec<Pattern> {
+    let mut rng = rng_from_seed(seed);
+    let mut out = Vec::with_capacity(patterns.len() * copies);
+    for p in patterns {
+        for _ in 0..copies {
+            let pixels = p
+                .pixels
+                .iter()
+                .map(|&b| {
+                    if rng.gen::<f64>() < flip_prob {
+                        !b
+                    } else {
+                        b
+                    }
+                })
+                .collect();
+            out.push(Pattern {
+                pixels,
+                is_stripe: p.is_stripe,
+            });
+        }
+    }
+    out
+}
+
+/// One example of the shifter task: a random bit row, its cyclic shift,
+/// and the shift direction.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ShifterExample {
+    /// Concatenation `[row…, shifted row…]` (length `2·width`).
+    pub bits: Vec<bool>,
+    /// `true` when the second row is the first shifted left (else right).
+    pub shifted_left: bool,
+}
+
+/// Generates `count` examples of Hinton's shifter task: a random `width`-bit
+/// row paired with its left- or right-cyclic shift. A classic small
+/// benchmark whose structure (correlations between distant bits) defeats
+/// purely local models — complementary to bars-and-stripes.
+///
+/// # Panics
+///
+/// Panics when `width < 2`.
+#[must_use]
+pub fn shifter(width: usize, count: usize, seed: u64) -> Vec<ShifterExample> {
+    assert!(width >= 2, "shifter rows need at least 2 bits");
+    let mut rng = rng_from_seed(seed);
+    (0..count)
+        .map(|_| {
+            let row: Vec<bool> = (0..width).map(|_| rng.gen()).collect();
+            let shifted_left: bool = rng.gen();
+            let mut shifted = row.clone();
+            if shifted_left {
+                shifted.rotate_left(1);
+            } else {
+                shifted.rotate_right(1);
+            }
+            let mut bits = row;
+            bits.extend(shifted);
+            ShifterExample { bits, shifted_left }
+        })
+        .collect()
+}
+
+/// Appends a one-hot label pair to each pattern's pixels:
+/// `[pixels…, is_bar, is_stripe]` — the joint visible layer used by the
+/// classification RBM.
+#[must_use]
+pub fn with_label_units(patterns: &[Pattern]) -> Vec<Vec<bool>> {
+    patterns
+        .iter()
+        .map(|p| {
+            let mut v = p.pixels.clone();
+            v.push(!p.is_stripe);
+            v.push(p.is_stripe);
+            v
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_size_and_shape() {
+        let d = bars_and_stripes(2);
+        assert_eq!(d.len(), 2 * (4 - 2));
+        assert!(d.iter().all(|p| p.pixels.len() == 4));
+        let d3 = bars_and_stripes(3);
+        assert_eq!(d3.len(), 12);
+    }
+
+    #[test]
+    fn stripes_have_constant_rows() {
+        for p in bars_and_stripes(3).iter().filter(|p| p.is_stripe) {
+            for r in 0..3 {
+                let row: Vec<bool> = (0..3).map(|c| p.pixels[r * 3 + c]).collect();
+                assert!(row.iter().all(|&x| x == row[0]), "{p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn bars_have_constant_columns() {
+        for p in bars_and_stripes(3).iter().filter(|p| !p.is_stripe) {
+            for c in 0..3 {
+                let col: Vec<bool> = (0..3).map(|r| p.pixels[r * 3 + c]).collect();
+                assert!(col.iter().all(|&x| x == col[0]), "{p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn no_uniform_patterns() {
+        for p in bars_and_stripes(3) {
+            let on = p.pixels.iter().filter(|&&b| b).count();
+            assert!(on > 0 && on < 9, "uniform pattern leaked: {p:?}");
+        }
+    }
+
+    #[test]
+    fn all_patterns_distinct_within_class() {
+        let d = bars_and_stripes(3);
+        let stripes: std::collections::HashSet<_> = d
+            .iter()
+            .filter(|p| p.is_stripe)
+            .map(|p| p.pixels.clone())
+            .collect();
+        assert_eq!(stripes.len(), 6);
+    }
+
+    #[test]
+    fn noisy_copies_preserve_labels_and_count() {
+        let d = bars_and_stripes(2);
+        let noisy = noisy_copies(&d, 3, 0.1, 1);
+        assert_eq!(noisy.len(), d.len() * 3);
+        // Deterministic per seed.
+        assert_eq!(noisy, noisy_copies(&d, 3, 0.1, 1));
+        assert_ne!(noisy, noisy_copies(&d, 3, 0.1, 2));
+    }
+
+    #[test]
+    fn zero_noise_copies_identical() {
+        let d = bars_and_stripes(2);
+        let copies = noisy_copies(&d, 1, 0.0, 5);
+        assert_eq!(
+            copies.iter().map(|p| &p.pixels).collect::<Vec<_>>(),
+            d.iter().map(|p| &p.pixels).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn shifter_examples_are_valid_shifts() {
+        let examples = shifter(6, 40, 3);
+        assert_eq!(examples.len(), 40);
+        for ex in &examples {
+            assert_eq!(ex.bits.len(), 12);
+            let row = &ex.bits[..6];
+            let shifted = &ex.bits[6..];
+            let mut expected = row.to_vec();
+            if ex.shifted_left {
+                expected.rotate_left(1);
+            } else {
+                expected.rotate_right(1);
+            }
+            assert_eq!(shifted, &expected[..]);
+        }
+    }
+
+    #[test]
+    fn shifter_deterministic_and_varied() {
+        assert_eq!(shifter(4, 10, 1), shifter(4, 10, 1));
+        assert_ne!(shifter(4, 10, 1), shifter(4, 10, 2));
+        // Both directions should appear over enough samples.
+        let examples = shifter(5, 64, 9);
+        assert!(examples.iter().any(|e| e.shifted_left));
+        assert!(examples.iter().any(|e| !e.shifted_left));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 bits")]
+    fn shifter_rejects_tiny_rows() {
+        let _ = shifter(1, 3, 1);
+    }
+
+    #[test]
+    fn label_units_one_hot() {
+        let d = bars_and_stripes(2);
+        for (v, p) in with_label_units(&d).iter().zip(&d) {
+            assert_eq!(v.len(), p.pixels.len() + 2);
+            let (bar, stripe) = (v[v.len() - 2], v[v.len() - 1]);
+            assert!(bar ^ stripe, "label must be one-hot");
+            assert_eq!(stripe, p.is_stripe);
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! DIMACS CNF parsing and emission.
+//!
+//! The standard interchange format for SAT instances, so the solvers here
+//! can exchange problems with external tooling.
+//!
+//! # Example
+//!
+//! ```
+//! use mem::dimacs;
+//!
+//! let source = "c tiny instance\np cnf 2 2\n1 -2 0\n2 0\n";
+//! let formula = dimacs::parse(source)?;
+//! assert_eq!(formula.n_vars(), 2);
+//! assert_eq!(formula.len(), 2);
+//! let text = dimacs::emit(&formula);
+//! assert_eq!(dimacs::parse(&text)?, formula);
+//! # Ok::<(), mem::MemError>(())
+//! ```
+
+use crate::cnf::{Clause, Formula, Literal};
+use crate::MemError;
+
+/// Parses DIMACS CNF text.
+///
+/// # Errors
+///
+/// Returns [`MemError::Dimacs`] with the offending line for malformed
+/// headers/literals, clause counts that disagree with the header, or
+/// clauses that fail [`Clause::new`] validation.
+pub fn parse(source: &str) -> Result<Formula, MemError> {
+    let mut n_vars: Option<usize> = None;
+    let mut declared_clauses = 0usize;
+    let mut clauses: Vec<Clause> = Vec::new();
+    let mut current: Vec<Literal> = Vec::new();
+
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            if n_vars.is_some() {
+                return Err(MemError::Dimacs {
+                    line: line_no,
+                    reason: "duplicate problem line".into(),
+                });
+            }
+            let tokens: Vec<&str> = rest.split_whitespace().collect();
+            if tokens.len() != 3 || tokens[0] != "cnf" {
+                return Err(MemError::Dimacs {
+                    line: line_no,
+                    reason: format!("malformed problem line `{line}`"),
+                });
+            }
+            let nv: usize = tokens[1].parse().map_err(|_| MemError::Dimacs {
+                line: line_no,
+                reason: format!("bad variable count `{}`", tokens[1]),
+            })?;
+            declared_clauses = tokens[2].parse().map_err(|_| MemError::Dimacs {
+                line: line_no,
+                reason: format!("bad clause count `{}`", tokens[2]),
+            })?;
+            n_vars = Some(nv);
+            continue;
+        }
+        if n_vars.is_none() {
+            return Err(MemError::Dimacs {
+                line: line_no,
+                reason: "clause before problem line".into(),
+            });
+        }
+        for token in line.split_whitespace() {
+            let code: i64 = token.parse().map_err(|_| MemError::Dimacs {
+                line: line_no,
+                reason: format!("bad literal `{token}`"),
+            })?;
+            if code == 0 {
+                let lits = std::mem::take(&mut current);
+                let clause = Clause::new(lits).map_err(|e| MemError::Dimacs {
+                    line: line_no,
+                    reason: e.to_string(),
+                })?;
+                clauses.push(clause);
+            } else {
+                current.push(Literal::from_dimacs(code).map_err(|e| MemError::Dimacs {
+                    line: line_no,
+                    reason: e.to_string(),
+                })?);
+            }
+        }
+    }
+    if !current.is_empty() {
+        return Err(MemError::Dimacs {
+            line: 0,
+            reason: "unterminated clause (missing trailing 0)".into(),
+        });
+    }
+    let n = n_vars.ok_or(MemError::Dimacs {
+        line: 0,
+        reason: "missing problem line".into(),
+    })?;
+    if clauses.len() != declared_clauses {
+        return Err(MemError::Dimacs {
+            line: 0,
+            reason: format!(
+                "header declares {declared_clauses} clauses, found {}",
+                clauses.len()
+            ),
+        });
+    }
+    Formula::new(n, clauses).map_err(|e| MemError::Dimacs {
+        line: 0,
+        reason: e.to_string(),
+    })
+}
+
+/// Emits a formula as DIMACS CNF text.
+#[must_use]
+pub fn emit(formula: &Formula) -> String {
+    let mut out = format!("p cnf {} {}\n", formula.n_vars(), formula.len());
+    for clause in formula.clauses() {
+        for lit in clause.literals() {
+            out.push_str(&lit.to_dimacs().to_string());
+            out.push(' ');
+        }
+        out.push_str("0\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_standard_form() {
+        let f = parse("p cnf 3 2\n1 -2 3 0\n-1 2 0\n").unwrap();
+        assert_eq!(f.n_vars(), 3);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.clauses()[0].len(), 3);
+    }
+
+    #[test]
+    fn comments_ignored() {
+        let f = parse("c hello\nc world\np cnf 1 1\n1 0\n").unwrap();
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn multi_clause_per_line() {
+        let f = parse("p cnf 2 2\n1 0 2 0\n").unwrap();
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn clause_count_mismatch_detected() {
+        assert!(parse("p cnf 2 3\n1 0\n2 0\n").is_err());
+    }
+
+    #[test]
+    fn missing_header_detected() {
+        assert!(parse("1 -2 0\n").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn unterminated_clause_detected() {
+        assert!(parse("p cnf 2 1\n1 -2\n").is_err());
+    }
+
+    #[test]
+    fn bad_tokens_report_line() {
+        let err = parse("p cnf 2 1\n1 x 0\n").unwrap_err();
+        match err {
+            MemError::Dimacs { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn variable_range_enforced() {
+        assert!(parse("p cnf 1 1\n2 0\n").is_err());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let f = parse("p cnf 4 3\n1 -2 3 0\n-3 4 0\n-1 -4 0\n").unwrap();
+        let text = emit(&f);
+        assert_eq!(parse(&text).unwrap(), f);
+    }
+
+    #[test]
+    fn duplicate_problem_line_rejected() {
+        assert!(parse("p cnf 1 0\np cnf 2 0\n").is_err());
+    }
+}

@@ -1,0 +1,407 @@
+//! The digital-memcomputing SAT solver.
+//!
+//! [`DmmSolver`] assembles one [`crate::solg::ClauseDynamics`] per clause
+//! and integrates the coupled system with clamped forward Euler (the
+//! integration scheme the DMM literature itself uses — the dynamics are
+//! engineered to be robust to integration error, which is the paper's
+//! noise-robustness point). Properties delivered by the dynamics:
+//!
+//! * trajectories stay bounded (`v ∈ [−1,1]`, `x_s ∈ [ε, 1−ε]`,
+//!   `x_l ∈ [1, x_l^max]` by projection — the point-dissipative property);
+//! * when the formula is satisfiable, the only attractors are solutions
+//!   (no periodic orbits or chaos coexist — checked empirically in
+//!   [`crate::analysis`]);
+//! * the voltage readout is *digital*: `v_i > 0 ↦ true`, so precision
+//!   requirements do not grow with size (why DMMs scale, per the paper).
+//!
+//! Optional Gaussian noise on every state derivative reproduces the
+//! robustness experiment of ref. \[59\].
+//!
+//! # Example
+//!
+//! ```
+//! use mem::generators::planted_3sat;
+//! use mem::dmm::{DmmParams, DmmSolver};
+//!
+//! let inst = planted_3sat(20, 4.0, 1)?;
+//! let outcome = DmmSolver::new(DmmParams::default()).solve(&inst.formula, 3)?;
+//! assert!(outcome.solution.is_some());
+//! # Ok::<(), mem::MemError>(())
+//! ```
+
+use crate::assignment::Assignment;
+use crate::cnf::Formula;
+use crate::solg::ClauseDynamics;
+use crate::MemError;
+use numerics::rng::{rng_from_seed, sample_normal};
+use rand::Rng;
+
+/// DMM dynamical parameters (the standard values from the SAT-DMM
+/// literature).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DmmParams {
+    /// Long-memory growth rate α.
+    pub alpha: f64,
+    /// Short-memory rate β.
+    pub beta: f64,
+    /// Short-memory threshold γ.
+    pub gamma: f64,
+    /// Long-memory threshold δ.
+    pub delta: f64,
+    /// Long-memory mixing ζ in the rigidity term.
+    pub zeta: f64,
+    /// Short-memory clamping margin ε.
+    pub epsilon: f64,
+    /// Integration step.
+    pub dt: f64,
+    /// Maximum integration steps before giving up.
+    pub max_steps: u64,
+    /// Solution check cadence (steps).
+    pub check_every: u64,
+    /// Gaussian noise amplitude added to every derivative (`0` = clean).
+    pub noise_sigma: f64,
+}
+
+impl Default for DmmParams {
+    fn default() -> Self {
+        DmmParams {
+            alpha: 5.0,
+            beta: 20.0,
+            gamma: 0.25,
+            delta: 0.05,
+            zeta: 0.1,
+            epsilon: 1e-3,
+            dt: 0.08,
+            max_steps: 200_000,
+            check_every: 25,
+            noise_sigma: 0.0,
+        }
+    }
+}
+
+impl DmmParams {
+    /// Validates the parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::Parameter`] for non-positive rates/steps or an
+    /// `epsilon` outside `(0, 0.5)`.
+    pub fn validate(&self) -> Result<(), MemError> {
+        if !(self.alpha > 0.0) || !(self.beta > 0.0) {
+            return Err(MemError::Parameter {
+                name: "alpha/beta",
+                reason: "memory rates must be positive",
+            });
+        }
+        if !(self.dt > 0.0) {
+            return Err(MemError::Parameter {
+                name: "dt",
+                reason: "integration step must be positive",
+            });
+        }
+        if !(self.epsilon > 0.0 && self.epsilon < 0.5) {
+            return Err(MemError::Parameter {
+                name: "epsilon",
+                reason: "clamping margin must be in (0, 0.5)",
+            });
+        }
+        if self.max_steps == 0 || self.check_every == 0 {
+            return Err(MemError::Parameter {
+                name: "max_steps/check_every",
+                reason: "step counts must be positive",
+            });
+        }
+        if self.noise_sigma < 0.0 {
+            return Err(MemError::Parameter {
+                name: "noise_sigma",
+                reason: "noise amplitude must be non-negative",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of a DMM run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DmmOutcome {
+    /// The satisfying assignment, when the dynamics reached one.
+    pub solution: Option<Assignment>,
+    /// Integration steps taken.
+    pub steps: u64,
+    /// Simulated physical time `steps · dt`.
+    pub time: f64,
+    /// Fewest violated clauses observed at any checkpoint.
+    pub best_unsat: usize,
+    /// Snapshots of the thresholded assignment at every checkpoint
+    /// (including the final one); used for cluster-flip / DLRO analysis.
+    pub checkpoints: Vec<Assignment>,
+    /// Extreme |v| observed (boundedness diagnostic; must stay ≤ 1).
+    pub max_abs_v: f64,
+}
+
+/// The DMM SAT solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DmmSolver {
+    params: DmmParams,
+}
+
+impl DmmSolver {
+    /// Creates a solver.
+    #[must_use]
+    pub fn new(params: DmmParams) -> Self {
+        DmmSolver { params }
+    }
+
+    /// The parameters.
+    #[must_use]
+    pub fn params(&self) -> &DmmParams {
+        &self.params
+    }
+
+    /// Integrates the SOLG dynamics until a satisfying assignment appears
+    /// at a checkpoint or the step budget is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::Parameter`] for invalid parameters.
+    pub fn solve(&self, formula: &Formula, seed: u64) -> Result<DmmOutcome, MemError> {
+        self.params.validate()?;
+        let p = &self.params;
+        let n = formula.n_vars();
+        let m = formula.len();
+        let clauses: Vec<ClauseDynamics> =
+            formula.clauses().iter().map(ClauseDynamics::new).collect();
+        let xl_max = 1e4 * (m.max(1) as f64);
+
+        let mut rng = rng_from_seed(seed);
+        let mut v: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut x_s = vec![0.5f64; m];
+        let mut x_l = vec![1.0f64; m];
+
+        let mut dv = vec![0.0f64; n];
+        // The trajectory's digital projection starts at t = 0.
+        let mut checkpoints: Vec<Assignment> = vec![Assignment::from_voltages(&v)];
+        let mut best_unsat = formula.len();
+        let mut max_abs_v: f64 = 0.0;
+
+        // Trivial case: no clauses.
+        if m == 0 {
+            let a = Assignment::from_voltages(&v);
+            return Ok(DmmOutcome {
+                solution: Some(a.clone()),
+                steps: 0,
+                time: 0.0,
+                best_unsat: 0,
+                checkpoints: vec![a],
+                max_abs_v: 0.0,
+            });
+        }
+
+        let mut steps = 0u64;
+        while steps < p.max_steps {
+            // One clamped-Euler step of the full system.
+            for d in dv.iter_mut() {
+                *d = 0.0;
+            }
+            for (mi, clause) in clauses.iter().enumerate() {
+                let c = clause.unsatisfaction(&v);
+                clause.accumulate_dv(&v, x_s[mi], x_l[mi], p.zeta, 1.0, &mut dv);
+                // Memory dynamics.
+                let dx_s = p.beta * x_s[mi] * (c - p.gamma);
+                let dx_l = p.alpha * (c - p.delta);
+                x_s[mi] = (x_s[mi] + p.dt * dx_s).clamp(p.epsilon, 1.0 - p.epsilon);
+                x_l[mi] = (x_l[mi] + p.dt * dx_l).clamp(1.0, xl_max);
+                if p.noise_sigma > 0.0 {
+                    let sqrt_dt = p.dt.sqrt();
+                    x_s[mi] = (x_s[mi] + p.noise_sigma * sqrt_dt * sample_normal(&mut rng))
+                        .clamp(p.epsilon, 1.0 - p.epsilon);
+                    x_l[mi] = (x_l[mi] + p.noise_sigma * sqrt_dt * sample_normal(&mut rng))
+                        .clamp(1.0, xl_max);
+                }
+            }
+            let sqrt_dt = p.dt.sqrt();
+            for (vi, d) in v.iter_mut().zip(&dv) {
+                let mut next = *vi + p.dt * d;
+                if p.noise_sigma > 0.0 {
+                    next += p.noise_sigma * sqrt_dt * sample_normal(&mut rng);
+                }
+                *vi = next.clamp(-1.0, 1.0);
+                max_abs_v = max_abs_v.max(vi.abs());
+            }
+            steps += 1;
+
+            if steps % p.check_every == 0 {
+                let assignment = Assignment::from_voltages(&v);
+                let unsat = formula.count_unsatisfied(&assignment);
+                best_unsat = best_unsat.min(unsat);
+                checkpoints.push(assignment.clone());
+                if unsat == 0 {
+                    return Ok(DmmOutcome {
+                        solution: Some(assignment),
+                        steps,
+                        time: steps as f64 * p.dt,
+                        best_unsat: 0,
+                        checkpoints,
+                        max_abs_v,
+                    });
+                }
+            }
+        }
+        let final_assignment = Assignment::from_voltages(&v);
+        let unsat = formula.count_unsatisfied(&final_assignment);
+        best_unsat = best_unsat.min(unsat);
+        checkpoints.push(final_assignment.clone());
+        Ok(DmmOutcome {
+            solution: if unsat == 0 {
+                Some(final_assignment)
+            } else {
+                None
+            },
+            steps,
+            time: steps as f64 * p.dt,
+            best_unsat,
+            checkpoints,
+            max_abs_v,
+        })
+    }
+
+    /// Median steps-to-solution over several seeds (`None` entries — runs
+    /// that timed out — are reported as `max_steps`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DmmSolver::solve`] errors.
+    pub fn median_steps(
+        &self,
+        formula: &Formula,
+        seeds: &[u64],
+    ) -> Result<(f64, usize), MemError> {
+        let mut costs = Vec::with_capacity(seeds.len());
+        let mut solved = 0usize;
+        for &seed in seeds {
+            let outcome = self.solve(formula, seed)?;
+            if outcome.solution.is_some() {
+                solved += 1;
+            }
+            costs.push(outcome.steps as f64);
+        }
+        Ok((numerics::stats::median(&costs)?, solved))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dimacs;
+    use crate::generators::{planted_3sat, random_ksat};
+
+    #[test]
+    fn solves_tiny_formula() {
+        let f = dimacs::parse("p cnf 3 3\n1 2 0\n-1 3 0\n-2 -3 0\n").unwrap();
+        let outcome = DmmSolver::new(DmmParams::default()).solve(&f, 1).unwrap();
+        let sol = outcome.solution.expect("satisfiable");
+        assert!(f.is_satisfied(&sol));
+        assert_eq!(outcome.best_unsat, 0);
+    }
+
+    #[test]
+    fn solves_planted_instances_at_hard_ratio() {
+        for seed in 0..3 {
+            let inst = planted_3sat(30, 4.2, seed).unwrap();
+            let outcome = DmmSolver::new(DmmParams::default())
+                .solve(&inst.formula, seed + 10)
+                .unwrap();
+            let sol = outcome
+                .solution
+                .unwrap_or_else(|| panic!("seed {seed}: unsolved in {} steps", outcome.steps));
+            assert!(inst.formula.is_satisfied(&sol));
+        }
+    }
+
+    #[test]
+    fn trajectories_stay_bounded() {
+        let inst = planted_3sat(25, 4.0, 5).unwrap();
+        let outcome = DmmSolver::new(DmmParams::default())
+            .solve(&inst.formula, 2)
+            .unwrap();
+        assert!(outcome.max_abs_v <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let inst = planted_3sat(20, 4.0, 7).unwrap();
+        let solver = DmmSolver::new(DmmParams::default());
+        let a = solver.solve(&inst.formula, 3).unwrap();
+        let b = solver.solve(&inst.formula, 3).unwrap();
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.solution, b.solution);
+    }
+
+    #[test]
+    fn noise_does_not_break_solving() {
+        // The ref.-[59] robustness property: moderate noise leaves the
+        // solution search intact.
+        let inst = planted_3sat(20, 4.0, 11).unwrap();
+        let mut params = DmmParams::default();
+        params.noise_sigma = 0.05;
+        let outcome = DmmSolver::new(params).solve(&inst.formula, 4).unwrap();
+        let sol = outcome.solution.expect("noisy run should still solve");
+        assert!(inst.formula.is_satisfied(&sol));
+    }
+
+    #[test]
+    fn unsat_instance_times_out_without_false_positive() {
+        let f = dimacs::parse("p cnf 1 2\n1 0\n-1 0\n").unwrap();
+        let mut params = DmmParams::default();
+        params.max_steps = 2_000;
+        let outcome = DmmSolver::new(params).solve(&f, 1).unwrap();
+        assert!(outcome.solution.is_none());
+        assert!(outcome.best_unsat >= 1);
+        assert_eq!(outcome.steps, 2_000);
+    }
+
+    #[test]
+    fn checkpoints_recorded() {
+        let inst = planted_3sat(15, 3.5, 2).unwrap();
+        let outcome = DmmSolver::new(DmmParams::default())
+            .solve(&inst.formula, 6)
+            .unwrap();
+        assert!(!outcome.checkpoints.is_empty());
+        // The last checkpoint is the returned solution when solved.
+        if let Some(sol) = &outcome.solution {
+            assert_eq!(outcome.checkpoints.last().unwrap(), sol);
+        }
+    }
+
+    #[test]
+    fn empty_formula_trivial() {
+        let f = Formula::new(3, vec![]).unwrap();
+        let outcome = DmmSolver::new(DmmParams::default()).solve(&f, 1).unwrap();
+        assert!(outcome.solution.is_some());
+        assert_eq!(outcome.steps, 0);
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let mut p = DmmParams::default();
+        p.dt = 0.0;
+        assert!(DmmSolver::new(p)
+            .solve(&random_ksat(5, 3, 2.0, 1).unwrap(), 1)
+            .is_err());
+        let mut p = DmmParams::default();
+        p.epsilon = 0.7;
+        assert!(p.validate().is_err());
+        let mut p = DmmParams::default();
+        p.noise_sigma = -1.0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn median_steps_reports_solved_count() {
+        let inst = planted_3sat(15, 3.8, 3).unwrap();
+        let solver = DmmSolver::new(DmmParams::default());
+        let (median, solved) = solver.median_steps(&inst.formula, &[1, 2, 3]).unwrap();
+        assert!(median > 0.0);
+        assert_eq!(solved, 3);
+    }
+}

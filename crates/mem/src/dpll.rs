@@ -1,0 +1,369 @@
+//! A complete DPLL solver.
+//!
+//! The systematic-search baseline: unit propagation, pure-literal
+//! elimination, and most-occurrences branching, with decision counting so
+//! scaling experiments can report the classical exponential cost the
+//! paper's §IV contrasts against DMM dynamics.
+//!
+//! # Example
+//!
+//! ```
+//! use mem::dimacs;
+//! use mem::dpll::Dpll;
+//!
+//! let f = dimacs::parse("p cnf 2 2\n1 -2 0\n2 0\n")?;
+//! let result = Dpll::new(1_000_000).solve(&f);
+//! let solution = result.solution.expect("satisfiable");
+//! assert!(f.is_satisfied(&solution));
+//! # Ok::<(), mem::MemError>(())
+//! ```
+
+use crate::assignment::Assignment;
+use crate::cnf::Formula;
+
+/// Tri-state variable value during search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Value {
+    Unset,
+    True,
+    False,
+}
+
+/// Result of a DPLL run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DpllResult {
+    /// A satisfying assignment, when one exists (and was found within the
+    /// budget).
+    pub solution: Option<Assignment>,
+    /// Whether the search completed (proved SAT or UNSAT) rather than
+    /// hitting the decision budget.
+    pub complete: bool,
+    /// Branching decisions made.
+    pub decisions: u64,
+    /// Unit propagations performed.
+    pub propagations: u64,
+}
+
+impl DpllResult {
+    /// `true` when the search proved unsatisfiability.
+    #[must_use]
+    pub fn proved_unsat(&self) -> bool {
+        self.complete && self.solution.is_none()
+    }
+}
+
+/// The DPLL solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dpll {
+    max_decisions: u64,
+}
+
+impl Dpll {
+    /// Creates a solver with a decision budget.
+    #[must_use]
+    pub fn new(max_decisions: u64) -> Self {
+        Dpll { max_decisions }
+    }
+
+    /// Solves a formula.
+    #[must_use]
+    pub fn solve(&self, formula: &Formula) -> DpllResult {
+        let mut state = SearchState {
+            formula,
+            values: vec![Value::Unset; formula.n_vars()],
+            decisions: 0,
+            propagations: 0,
+            budget: self.max_decisions,
+            exhausted: false,
+        };
+        let sat = state.search();
+        let solution = if sat {
+            Some(Assignment::from_bools(
+                &state
+                    .values
+                    .iter()
+                    .map(|v| matches!(v, Value::True))
+                    .collect::<Vec<_>>(),
+            ))
+        } else {
+            None
+        };
+        DpllResult {
+            solution,
+            complete: !state.exhausted,
+            decisions: state.decisions,
+            propagations: state.propagations,
+        }
+    }
+}
+
+struct SearchState<'a> {
+    formula: &'a Formula,
+    values: Vec<Value>,
+    decisions: u64,
+    propagations: u64,
+    budget: u64,
+    exhausted: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ClauseStatus {
+    Satisfied,
+    Conflict,
+    Unit(usize, bool),
+    Unresolved,
+}
+
+impl SearchState<'_> {
+    fn clause_status(&self, ci: usize) -> ClauseStatus {
+        let clause = &self.formula.clauses()[ci];
+        let mut unassigned: Option<(usize, bool)> = None;
+        let mut count_unassigned = 0;
+        for lit in clause.literals() {
+            match self.values[lit.var()] {
+                Value::Unset => {
+                    count_unassigned += 1;
+                    unassigned = Some((lit.var(), !lit.is_negated()));
+                }
+                Value::True => {
+                    if !lit.is_negated() {
+                        return ClauseStatus::Satisfied;
+                    }
+                }
+                Value::False => {
+                    if lit.is_negated() {
+                        return ClauseStatus::Satisfied;
+                    }
+                }
+            }
+        }
+        match count_unassigned {
+            0 => ClauseStatus::Conflict,
+            1 => {
+                let (var, val) = unassigned.expect("one unassigned literal");
+                ClauseStatus::Unit(var, val)
+            }
+            _ => ClauseStatus::Unresolved,
+        }
+    }
+
+    /// Unit propagation + pure literal elimination to fixpoint.
+    /// Returns `(ok, trail)` where `trail` lists variables assigned here.
+    fn propagate(&mut self) -> (bool, Vec<usize>) {
+        let mut trail = Vec::new();
+        loop {
+            let mut changed = false;
+            // Unit propagation.
+            for ci in 0..self.formula.len() {
+                match self.clause_status(ci) {
+                    ClauseStatus::Conflict => {
+                        return (false, trail);
+                    }
+                    ClauseStatus::Unit(var, val) => {
+                        self.values[var] = if val { Value::True } else { Value::False };
+                        self.propagations += 1;
+                        trail.push(var);
+                        changed = true;
+                    }
+                    _ => {}
+                }
+            }
+            if changed {
+                continue;
+            }
+            // Pure literal elimination over unresolved clauses.
+            let n = self.formula.n_vars();
+            let mut pos = vec![false; n];
+            let mut neg = vec![false; n];
+            for ci in 0..self.formula.len() {
+                if self.clause_status(ci) != ClauseStatus::Unresolved {
+                    continue;
+                }
+                for lit in self.formula.clauses()[ci].literals() {
+                    if self.values[lit.var()] == Value::Unset {
+                        if lit.is_negated() {
+                            neg[lit.var()] = true;
+                        } else {
+                            pos[lit.var()] = true;
+                        }
+                    }
+                }
+            }
+            for v in 0..n {
+                if self.values[v] == Value::Unset && (pos[v] ^ neg[v]) {
+                    self.values[v] = if pos[v] { Value::True } else { Value::False };
+                    self.propagations += 1;
+                    trail.push(v);
+                    changed = true;
+                }
+            }
+            if !changed {
+                return (true, trail);
+            }
+        }
+    }
+
+    fn all_satisfied(&self) -> bool {
+        (0..self.formula.len()).all(|ci| self.clause_status(ci) == ClauseStatus::Satisfied)
+    }
+
+    /// Most-occurrences-in-unresolved-clauses branching heuristic.
+    fn pick_branch_var(&self) -> Option<usize> {
+        let mut counts = vec![0usize; self.formula.n_vars()];
+        for ci in 0..self.formula.len() {
+            if self.clause_status(ci) != ClauseStatus::Unresolved {
+                continue;
+            }
+            for lit in self.formula.clauses()[ci].literals() {
+                if self.values[lit.var()] == Value::Unset {
+                    counts[lit.var()] += 1;
+                }
+            }
+        }
+        counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .max_by_key(|(_, &c)| c)
+            .map(|(v, _)| v)
+    }
+
+    fn undo(&mut self, trail: &[usize]) {
+        for &v in trail {
+            self.values[v] = Value::Unset;
+        }
+    }
+
+    fn search(&mut self) -> bool {
+        let (ok, trail) = self.propagate();
+        if !ok {
+            self.undo(&trail);
+            return false;
+        }
+        if self.all_satisfied() {
+            // Give any remaining unset variables a definite value.
+            for v in &mut self.values {
+                if *v == Value::Unset {
+                    *v = Value::False;
+                }
+            }
+            return true;
+        }
+        let Some(var) = self.pick_branch_var() else {
+            // No unresolved clauses but not all satisfied: conflict.
+            self.undo(&trail);
+            return false;
+        };
+        if self.decisions >= self.budget {
+            self.exhausted = true;
+            self.undo(&trail);
+            return false;
+        }
+        self.decisions += 1;
+        for &value in &[Value::True, Value::False] {
+            self.values[var] = value;
+            if self.search() {
+                return true;
+            }
+            self.values[var] = Value::Unset;
+            if self.exhausted {
+                break;
+            }
+        }
+        self.undo(&trail);
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::{Clause, Literal};
+    use crate::dimacs;
+    use crate::generators::{planted_3sat, random_ksat};
+
+    #[test]
+    fn solves_simple_sat() {
+        let f = dimacs::parse("p cnf 3 3\n1 2 0\n-1 3 0\n-2 -3 0\n").unwrap();
+        let r = Dpll::new(1000).solve(&f);
+        assert!(r.complete);
+        let sol = r.solution.expect("satisfiable");
+        assert!(f.is_satisfied(&sol));
+    }
+
+    #[test]
+    fn proves_unsat() {
+        // (x0) ∧ (¬x0)
+        let f = Formula::new(
+            1,
+            vec![
+                Clause::new(vec![Literal::positive(0)]).unwrap(),
+                Clause::new(vec![Literal::negative(0)]).unwrap(),
+            ],
+        )
+        .unwrap();
+        let r = Dpll::new(1000).solve(&f);
+        assert!(r.proved_unsat());
+    }
+
+    #[test]
+    fn proves_unsat_pigeonhole_2_1() {
+        // 2 pigeons, 1 hole: p00 ∧ p10 ∧ (¬p00 ∨ ¬p10).
+        let f = dimacs::parse("p cnf 2 3\n1 0\n2 0\n-1 -2 0\n").unwrap();
+        let r = Dpll::new(1000).solve(&f);
+        assert!(r.proved_unsat());
+    }
+
+    #[test]
+    fn solves_planted_instances() {
+        for seed in 0..3 {
+            let inst = planted_3sat(20, 4.0, seed).unwrap();
+            let r = Dpll::new(1_000_000).solve(&inst.formula);
+            assert!(r.complete, "seed {seed}");
+            let sol = r.solution.expect("planted is satisfiable");
+            assert!(inst.formula.is_satisfied(&sol));
+        }
+    }
+
+    #[test]
+    fn unit_propagation_counted() {
+        let f = dimacs::parse("p cnf 3 3\n1 0\n-1 2 0\n-2 3 0\n").unwrap();
+        let r = Dpll::new(1000).solve(&f);
+        assert!(r.solution.is_some());
+        assert!(r.propagations >= 3, "propagations {}", r.propagations);
+        assert_eq!(r.decisions, 0, "chain should solve by propagation alone");
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        let f = random_ksat(40, 3, 4.3, 2).unwrap();
+        let r = Dpll::new(1).solve(&f);
+        if r.solution.is_none() {
+            assert!(!r.complete, "must admit incompleteness at budget 1");
+        }
+    }
+
+    #[test]
+    fn agreement_with_walksat_on_satisfiable() {
+        use crate::walksat::{WalkSat, WalkSatParams};
+        for seed in 0..4 {
+            let inst = planted_3sat(15, 3.8, 100 + seed).unwrap();
+            let d = Dpll::new(1_000_000).solve(&inst.formula);
+            let w = WalkSat::new(WalkSatParams::default()).solve(&inst.formula, seed);
+            assert!(d.solution.is_some());
+            assert!(w.solution.is_some());
+        }
+    }
+
+    #[test]
+    fn random_unsat_detected() {
+        // Dense random 3-SAT far above the transition is almost surely
+        // UNSAT; DPLL must terminate with a proof.
+        let f = random_ksat(12, 3, 10.0, 5).unwrap();
+        let r = Dpll::new(10_000_000).solve(&f);
+        assert!(r.complete);
+        if let Some(sol) = &r.solution {
+            assert!(f.is_satisfied(sol));
+        }
+    }
+}

@@ -1,0 +1,362 @@
+//! Weighted MaxSAT via weighted SOLG dynamics.
+//!
+//! The paper's ref. \[54\] shows DMM simulations "outperform specialized
+//! software specifically designed to tackle maximum satisfiability
+//! problems". Weighted MaxSAT also carries the QUBO/Ising reductions used
+//! by the RBM mode-search ([`crate::qubo`], [`crate::rbm`]).
+//!
+//! The DMM side generalizes the SAT dynamics by scaling every clause's
+//! drive with its weight; since a MaxSAT optimum may leave clauses violated
+//! there is no terminating "satisfied" state — the solver runs a step
+//! budget and reports the best (lowest weighted-violation) assignment its
+//! trajectory visited. The classical baseline is a weighted GSAT with
+//! random restarts.
+//!
+//! # Example
+//!
+//! ```
+//! use mem::cnf::{Clause, Literal};
+//! use mem::maxsat::{WeightedFormula, MaxSatDmm, MaxSatDmmParams};
+//!
+//! // Conflicting unit clauses with different weights: keep the heavy one.
+//! let wf = WeightedFormula::new(1, vec![
+//!     (Clause::new(vec![Literal::positive(0)])?, 5.0),
+//!     (Clause::new(vec![Literal::negative(0)])?, 1.0),
+//! ])?;
+//! let out = MaxSatDmm::new(MaxSatDmmParams::default()).solve(&wf, 1)?;
+//! assert!(out.best.value(0), "heavy clause should win");
+//! assert!((out.best_cost - 1.0).abs() < 1e-12);
+//! # Ok::<(), mem::MemError>(())
+//! ```
+
+use crate::assignment::Assignment;
+use crate::cnf::{Clause, Formula};
+use crate::dmm::DmmParams;
+use crate::solg::ClauseDynamics;
+use crate::MemError;
+use numerics::rng::rng_from_seed;
+use rand::Rng;
+
+/// A CNF formula with positive clause weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedFormula {
+    formula: Formula,
+    weights: Vec<f64>,
+}
+
+impl WeightedFormula {
+    /// Creates a weighted formula.
+    ///
+    /// # Errors
+    ///
+    /// * Propagates [`Formula::new`] validation.
+    /// * [`MemError::Parameter`] for non-positive or non-finite weights.
+    pub fn new(n_vars: usize, clauses: Vec<(Clause, f64)>) -> Result<Self, MemError> {
+        for (_, w) in &clauses {
+            if !(w.is_finite() && *w > 0.0) {
+                return Err(MemError::Parameter {
+                    name: "weight",
+                    reason: "clause weights must be positive and finite",
+                });
+            }
+        }
+        let (cs, weights): (Vec<Clause>, Vec<f64>) = clauses.into_iter().unzip();
+        Ok(WeightedFormula {
+            formula: Formula::new(n_vars, cs)?,
+            weights,
+        })
+    }
+
+    /// Wraps an unweighted formula with unit weights.
+    #[must_use]
+    pub fn uniform(formula: Formula) -> Self {
+        let weights = vec![1.0; formula.len()];
+        WeightedFormula { formula, weights }
+    }
+
+    /// The underlying formula.
+    #[must_use]
+    pub fn formula(&self) -> &Formula {
+        &self.formula
+    }
+
+    /// The clause weights.
+    #[must_use]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Total weight of clauses violated by an assignment (the MaxSAT cost).
+    #[must_use]
+    pub fn violation_cost(&self, assignment: &Assignment) -> f64 {
+        self.formula
+            .clauses()
+            .iter()
+            .zip(&self.weights)
+            .filter(|(c, _)| !c.is_satisfied(assignment))
+            .map(|(_, w)| w)
+            .sum()
+    }
+}
+
+/// Parameters of the weighted-MaxSAT DMM.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MaxSatDmmParams {
+    /// Underlying SOLG dynamics parameters.
+    pub dynamics: DmmParams,
+}
+
+impl Default for MaxSatDmmParams {
+    fn default() -> Self {
+        let mut dynamics = DmmParams::default();
+        dynamics.max_steps = 30_000;
+        MaxSatDmmParams { dynamics }
+    }
+}
+
+/// Result of a MaxSAT optimization run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaxSatOutcome {
+    /// The best assignment visited.
+    pub best: Assignment,
+    /// Its weighted violation cost.
+    pub best_cost: f64,
+    /// Steps integrated (DMM) or flips performed (baseline).
+    pub work: u64,
+}
+
+/// The weighted-MaxSAT DMM solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MaxSatDmm {
+    params: MaxSatDmmParams,
+}
+
+impl MaxSatDmm {
+    /// Creates a solver.
+    #[must_use]
+    pub fn new(params: MaxSatDmmParams) -> Self {
+        MaxSatDmm { params }
+    }
+
+    /// Integrates the weighted SOLG dynamics for the step budget, tracking
+    /// the best thresholded assignment visited.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::Parameter`] for invalid dynamics parameters.
+    pub fn solve(&self, wf: &WeightedFormula, seed: u64) -> Result<MaxSatOutcome, MemError> {
+        let p = &self.params.dynamics;
+        p.validate()?;
+        let formula = wf.formula();
+        let n = formula.n_vars();
+        let m = formula.len();
+        // Normalize weights so the dynamics' rates keep their usual scale.
+        let w_max = wf
+            .weights()
+            .iter()
+            .cloned()
+            .fold(f64::MIN, f64::max)
+            .max(1e-12);
+        let weights: Vec<f64> = wf.weights().iter().map(|w| w / w_max).collect();
+        let clauses: Vec<ClauseDynamics> =
+            formula.clauses().iter().map(ClauseDynamics::new).collect();
+        let xl_max = 1e4 * (m.max(1) as f64);
+
+        let mut rng = rng_from_seed(seed);
+        let mut v: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut x_s = vec![0.5f64; m];
+        let mut x_l = vec![1.0f64; m];
+        let mut dv = vec![0.0f64; n];
+
+        let mut best = Assignment::from_voltages(&v);
+        let mut best_cost = wf.violation_cost(&best);
+
+        let mut steps = 0u64;
+        while steps < p.max_steps && best_cost > 0.0 {
+            for d in dv.iter_mut() {
+                *d = 0.0;
+            }
+            for (mi, clause) in clauses.iter().enumerate() {
+                let c = clause.unsatisfaction(&v);
+                clause.accumulate_dv(&v, x_s[mi], x_l[mi], p.zeta, weights[mi], &mut dv);
+                // Weighted memory dynamics: heavier clauses escalate faster.
+                let dx_s = p.beta * x_s[mi] * (weights[mi] * c - p.gamma * weights[mi]);
+                let dx_l = p.alpha * weights[mi] * (c - p.delta);
+                x_s[mi] = (x_s[mi] + p.dt * dx_s).clamp(p.epsilon, 1.0 - p.epsilon);
+                x_l[mi] = (x_l[mi] + p.dt * dx_l).clamp(1.0, xl_max);
+            }
+            for (vi, d) in v.iter_mut().zip(&dv) {
+                *vi = (*vi + p.dt * d).clamp(-1.0, 1.0);
+            }
+            steps += 1;
+            if steps % p.check_every == 0 {
+                let a = Assignment::from_voltages(&v);
+                let cost = wf.violation_cost(&a);
+                if cost < best_cost {
+                    best_cost = cost;
+                    best = a;
+                }
+            }
+        }
+        Ok(MaxSatOutcome {
+            best,
+            best_cost,
+            work: steps,
+        })
+    }
+}
+
+/// Weighted GSAT baseline: greedy weighted-cost descent with sideways moves
+/// and restarts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightedGsat {
+    /// Maximum flips per restart.
+    pub max_flips: u64,
+    /// Restart count.
+    pub max_tries: u32,
+}
+
+impl Default for WeightedGsat {
+    fn default() -> Self {
+        WeightedGsat {
+            max_flips: 5_000,
+            max_tries: 8,
+        }
+    }
+}
+
+impl WeightedGsat {
+    /// Optimizes a weighted formula.
+    #[must_use]
+    pub fn solve(&self, wf: &WeightedFormula, seed: u64) -> MaxSatOutcome {
+        let mut rng = rng_from_seed(seed);
+        let n = wf.formula().n_vars();
+        let mut best: Option<(Assignment, f64)> = None;
+        let mut work = 0u64;
+        for _ in 0..self.max_tries.max(1) {
+            let mut a = Assignment::random(n, &mut rng);
+            let mut cost = wf.violation_cost(&a);
+            for _ in 0..self.max_flips {
+                if cost == 0.0 {
+                    break;
+                }
+                let mut best_var = None;
+                let mut best_delta = f64::INFINITY;
+                for v in 0..n {
+                    a.flip(v);
+                    let delta = wf.violation_cost(&a) - cost;
+                    a.flip(v);
+                    if delta < best_delta {
+                        best_delta = delta;
+                        best_var = Some(v);
+                    }
+                }
+                let Some(v) = best_var else { break };
+                if best_delta > 0.0 {
+                    break; // strict local minimum → restart
+                }
+                a.flip(v);
+                cost += best_delta;
+                work += 1;
+            }
+            if best.as_ref().is_none_or(|(_, c)| cost < *c) {
+                best = Some((a, cost));
+            }
+            if matches!(best, Some((_, c)) if c == 0.0) {
+                break;
+            }
+        }
+        let (assignment, best_cost) = best.expect("at least one try ran");
+        MaxSatOutcome {
+            best: assignment,
+            best_cost,
+            work,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::Literal;
+    use crate::generators::planted_3sat;
+
+    fn conflicting_units() -> WeightedFormula {
+        WeightedFormula::new(
+            2,
+            vec![
+                (Clause::new(vec![Literal::positive(0)]).unwrap(), 4.0),
+                (Clause::new(vec![Literal::negative(0)]).unwrap(), 1.0),
+                (Clause::new(vec![Literal::positive(1)]).unwrap(), 2.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn violation_cost_weighted() {
+        let wf = conflicting_units();
+        let good = Assignment::from_bools(&[true, true]);
+        assert_eq!(wf.violation_cost(&good), 1.0);
+        let bad = Assignment::from_bools(&[false, false]);
+        assert_eq!(wf.violation_cost(&bad), 6.0);
+    }
+
+    #[test]
+    fn dmm_prefers_heavy_clauses() {
+        let wf = conflicting_units();
+        let out = MaxSatDmm::new(MaxSatDmmParams::default())
+            .solve(&wf, 2)
+            .unwrap();
+        assert!(out.best.value(0));
+        assert!(out.best.value(1));
+        assert!((out.best_cost - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gsat_baseline_matches_on_small_instances() {
+        let wf = conflicting_units();
+        let out = WeightedGsat::default().solve(&wf, 3);
+        assert!((out.best_cost - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn satisfiable_instance_reaches_zero_cost() {
+        let inst = planted_3sat(15, 3.5, 4).unwrap();
+        let wf = WeightedFormula::uniform(inst.formula.clone());
+        let out = MaxSatDmm::new(MaxSatDmmParams::default())
+            .solve(&wf, 5)
+            .unwrap();
+        assert_eq!(out.best_cost, 0.0, "steps {}", out.work);
+        assert!(inst.formula.is_satisfied(&out.best));
+    }
+
+    #[test]
+    fn weights_must_be_positive() {
+        assert!(WeightedFormula::new(
+            1,
+            vec![(Clause::new(vec![Literal::positive(0)]).unwrap(), 0.0)],
+        )
+        .is_err());
+        assert!(WeightedFormula::new(
+            1,
+            vec![(Clause::new(vec![Literal::positive(0)]).unwrap(), f64::NAN)],
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn uniform_wrapper_unit_weights() {
+        let inst = planted_3sat(10, 3.0, 1).unwrap();
+        let wf = WeightedFormula::uniform(inst.formula.clone());
+        assert!(wf.weights().iter().all(|&w| w == 1.0));
+        assert_eq!(wf.weights().len(), inst.formula.len());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let wf = conflicting_units();
+        let solver = MaxSatDmm::new(MaxSatDmmParams::default());
+        assert_eq!(solver.solve(&wf, 9).unwrap(), solver.solve(&wf, 9).unwrap());
+    }
+}

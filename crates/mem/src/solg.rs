@@ -1,0 +1,279 @@
+//! Self-organizing logic gate (SOLG) dynamics.
+//!
+//! The paper's Eqs. 1–2 describe DMM circuits abstractly: voltage variables
+//! driven by memristive (`Δg_M·x·ΔV_M`) and resistive (`g_R·ΔV_R`) terms,
+//! plus bounded memory variables `x ∈ [0, 1]` evolving as `ẋ = h(ΔV_M, x)`.
+//! For SAT, the concrete realization used throughout the memcomputing
+//! literature (Traversa & Di Ventra 2017; Bearden, Pei & Di Ventra 2020)
+//! assigns each variable a continuous voltage `v ∈ [−1, 1]` and each clause
+//! `m` (an OR-SOLG) two memory variables — a fast one `x_s ∈ [0, 1]` and a
+//! slow one `x_l ≥ 1` — with per-clause terms:
+//!
+//! ```text
+//! C_m(v)   = ½ · min_i (1 − q_{m,i} v_i)          clause "unsatisfaction"
+//! G_{m,i}  = ½ · q_{m,i} · min_{j≠i} (1 − q_{m,j} v_j)   gradient-like drive
+//! R_{m,i}  = ½ · (q_{m,i} − v_i)  if i = argmin, else 0  rigidity drive
+//!
+//! v̇_i  = Σ_m  x_l,m · x_s,m · G_{m,i} + (1 + ζ·x_l,m)(1 − x_s,m) · R_{m,i}
+//! ẋ_s,m = β · x_s,m · (C_m − γ)
+//! ẋ_l,m = α · (C_m − δ)
+//! ```
+//!
+//! where `q_{m,i} = ±1` is the literal polarity. The memory terms are what
+//! makes the gate *terminal agnostic*: information flows from outputs back
+//! to inputs until the gate self-organizes into a satisfied configuration.
+//!
+//! This module computes the per-clause quantities; [`crate::dmm`] assembles
+//! and integrates the full system.
+//!
+//! # Example
+//!
+//! ```
+//! use mem::cnf::{Clause, Literal};
+//! use mem::solg::ClauseDynamics;
+//!
+//! let clause = Clause::new(vec![Literal::positive(0), Literal::negative(1)])?;
+//! let dyn_ = ClauseDynamics::new(&clause);
+//! // v0 = 1 satisfies the first literal: C = 0.
+//! assert_eq!(dyn_.unsatisfaction(&[1.0, 1.0]), 0.0);
+//! // v = (−1, 1) violates both literals maximally: C = 1.
+//! assert_eq!(dyn_.unsatisfaction(&[-1.0, 1.0]), 1.0);
+//! # Ok::<(), mem::MemError>(())
+//! ```
+
+use crate::cnf::Clause;
+
+/// Precomputed per-clause dynamics: variable indices and polarities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClauseDynamics {
+    vars: Vec<usize>,
+    polarities: Vec<f64>,
+}
+
+impl ClauseDynamics {
+    /// Extracts the dynamics data from a clause.
+    #[must_use]
+    pub fn new(clause: &Clause) -> Self {
+        ClauseDynamics {
+            vars: clause.literals().iter().map(|l| l.var()).collect(),
+            polarities: clause.literals().iter().map(|l| l.polarity()).collect(),
+        }
+    }
+
+    /// The variable indices of the clause's literals.
+    #[must_use]
+    pub fn vars(&self) -> &[usize] {
+        &self.vars
+    }
+
+    /// The ±1 polarities `q_{m,i}`.
+    #[must_use]
+    pub fn polarities(&self) -> &[f64] {
+        &self.polarities
+    }
+
+    /// Clause width.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Never true — clauses are non-empty by construction.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// The literal terms `1 − q_i·v_i` (each in `[0, 2]` for `v ∈ [−1,1]`).
+    fn literal_terms<'a>(&'a self, v: &'a [f64]) -> impl Iterator<Item = f64> + 'a {
+        self.vars
+            .iter()
+            .zip(&self.polarities)
+            .map(move |(&var, &q)| 1.0 - q * v[var])
+    }
+
+    /// The clause unsatisfaction `C_m(v) ∈ [0, 1]`: 0 when some literal is
+    /// fully satisfied (`q·v = 1`), 1 when every literal is maximally
+    /// violated.
+    #[must_use]
+    pub fn unsatisfaction(&self, v: &[f64]) -> f64 {
+        0.5 * self
+            .literal_terms(v)
+            .fold(f64::INFINITY, f64::min)
+            .max(0.0)
+    }
+
+    /// The index (within the clause) of the minimizing literal — the one
+    /// closest to satisfying the clause.
+    #[must_use]
+    pub fn argmin_literal(&self, v: &[f64]) -> usize {
+        let mut best = 0;
+        let mut best_term = f64::INFINITY;
+        for (i, term) in self.literal_terms(v).enumerate() {
+            if term < best_term {
+                best_term = term;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// The gradient-like drive `G_{m,i} = ½·q_i·min_{j≠i}(1 − q_j·v_j)` for
+    /// the clause's `i`-th literal. For unit clauses the empty minimum is
+    /// taken as 1 (full drive toward satisfaction).
+    #[must_use]
+    pub fn gradient(&self, v: &[f64], i: usize) -> f64 {
+        let mut min_other = f64::INFINITY;
+        for (j, term) in self.literal_terms(v).enumerate() {
+            if j != i {
+                min_other = min_other.min(term);
+            }
+        }
+        if min_other.is_infinite() {
+            min_other = 1.0;
+        }
+        0.5 * self.polarities[i] * min_other
+    }
+
+    /// The rigidity drive `R_{m,i}`: `½·(q_i − v_i)` when `i` is the
+    /// minimizing literal, 0 otherwise. It holds the best literal at its
+    /// satisfying rail while the others are free.
+    #[must_use]
+    pub fn rigidity(&self, v: &[f64], i: usize) -> f64 {
+        if self.argmin_literal(v) == i {
+            0.5 * (self.polarities[i] - v[self.vars[i]])
+        } else {
+            0.0
+        }
+    }
+
+    /// Accumulates this clause's contribution to `dv` given its memory
+    /// variables and the SOLG mixing parameter `zeta`, optionally scaled by
+    /// a clause weight (used by weighted MaxSAT).
+    pub fn accumulate_dv(
+        &self,
+        v: &[f64],
+        x_s: f64,
+        x_l: f64,
+        zeta: f64,
+        weight: f64,
+        dv: &mut [f64],
+    ) {
+        for i in 0..self.vars.len() {
+            let g = self.gradient(v, i);
+            let r = self.rigidity(v, i);
+            dv[self.vars[i]] +=
+                weight * (x_l * x_s * g + (1.0 + zeta * x_l) * (1.0 - x_s) * r);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::Literal;
+
+    fn clause3() -> ClauseDynamics {
+        // (x0 ∨ ¬x1 ∨ x2)
+        ClauseDynamics::new(
+            &Clause::new(vec![
+                Literal::positive(0),
+                Literal::negative(1),
+                Literal::positive(2),
+            ])
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn unsatisfaction_range() {
+        let d = clause3();
+        // All literals satisfied at the rails.
+        assert_eq!(d.unsatisfaction(&[1.0, -1.0, 1.0]), 0.0);
+        // All maximally violated.
+        assert_eq!(d.unsatisfaction(&[-1.0, 1.0, -1.0]), 1.0);
+        // Anything in between is within [0, 1].
+        let c = d.unsatisfaction(&[0.3, 0.2, -0.5]);
+        assert!((0.0..=1.0).contains(&c));
+    }
+
+    #[test]
+    fn unsatisfaction_zero_iff_some_literal_at_rail() {
+        let d = clause3();
+        assert_eq!(d.unsatisfaction(&[1.0, 1.0, -1.0]), 0.0); // x0 = 1 wins
+        assert!(d.unsatisfaction(&[0.9, 1.0, -1.0]) > 0.0);
+    }
+
+    #[test]
+    fn argmin_picks_best_literal() {
+        let d = clause3();
+        // x2 closest to its rail.
+        assert_eq!(d.argmin_literal(&[0.0, 0.0, 0.9]), 2);
+        // ¬x1 with v1 = −0.95 is the best.
+        assert_eq!(d.argmin_literal(&[0.0, -0.95, 0.5]), 1);
+    }
+
+    #[test]
+    fn gradient_sign_pushes_toward_satisfaction() {
+        let d = clause3();
+        let v = [-0.5, 0.5, -0.5];
+        // Positive literal x0: gradient positive (push v0 up).
+        assert!(d.gradient(&v, 0) > 0.0);
+        // Negative literal ¬x1: gradient negative (push v1 down).
+        assert!(d.gradient(&v, 1) < 0.0);
+    }
+
+    #[test]
+    fn gradient_vanishes_when_another_literal_satisfied() {
+        let d = clause3();
+        // x2 at its rail satisfies the clause: other literals feel no drive.
+        let v = [0.0, 0.0, 1.0];
+        assert_eq!(d.gradient(&v, 0), 0.0);
+        assert_eq!(d.gradient(&v, 1), 0.0);
+    }
+
+    #[test]
+    fn rigidity_only_on_argmin() {
+        let d = clause3();
+        let v = [0.2, 0.1, 0.8];
+        let am = d.argmin_literal(&v);
+        for i in 0..3 {
+            if i == am {
+                assert_ne!(d.rigidity(&v, i), 0.0);
+            } else {
+                assert_eq!(d.rigidity(&v, i), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn rigidity_pulls_to_rail() {
+        // Unit clause (x0): rigidity drives v0 toward +1.
+        let d = ClauseDynamics::new(&Clause::new(vec![Literal::positive(0)]).unwrap());
+        assert!(d.rigidity(&[0.0], 0) > 0.0);
+        assert_eq!(d.rigidity(&[1.0], 0), 0.0);
+    }
+
+    #[test]
+    fn unit_clause_gradient_full_drive() {
+        let d = ClauseDynamics::new(&Clause::new(vec![Literal::negative(3)]).unwrap());
+        let v = [0.0, 0.0, 0.0, 0.5];
+        assert_eq!(d.gradient(&v, 0), -0.5);
+    }
+
+    #[test]
+    fn accumulate_dv_adds_to_buffer() {
+        let d = clause3();
+        let v = [-0.5, 0.5, -0.5];
+        let mut dv = vec![0.0; 3];
+        d.accumulate_dv(&v, 0.5, 2.0, 0.1, 1.0, &mut dv);
+        // Every variable in the clause receives a push.
+        assert!(dv.iter().any(|&x| x != 0.0));
+        // Doubling the weight doubles the contribution.
+        let mut dv2 = vec![0.0; 3];
+        d.accumulate_dv(&v, 0.5, 2.0, 0.1, 2.0, &mut dv2);
+        for (a, b) in dv.iter().zip(&dv2) {
+            assert!((2.0 * a - b).abs() < 1e-12);
+        }
+    }
+}

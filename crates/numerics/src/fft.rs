@@ -1,0 +1,239 @@
+//! Radix-2 fast Fourier transform.
+//!
+//! Used to compute oscillator spectra: the frequency-locking experiments
+//! (paper Fig. 3) cross-check the threshold-crossing frequency estimator in
+//! [`crate::signal`] against the dominant FFT bin.
+//!
+//! # Example
+//!
+//! ```
+//! use numerics::fft;
+//!
+//! // 8 Hz tone, 256 samples at 64 Hz sample rate.
+//! let dt = 1.0 / 64.0;
+//! let wave: Vec<f64> = (0..256)
+//!     .map(|i| (std::f64::consts::TAU * 8.0 * i as f64 * dt).cos())
+//!     .collect();
+//! let f = fft::dominant_frequency(&wave, dt)?;
+//! assert!((f - 8.0).abs() < 0.3);
+//! # Ok::<(), numerics::NumericsError>(())
+//! ```
+
+use crate::complex::Complex;
+use crate::NumericsError;
+
+/// In-place radix-2 decimation-in-time FFT.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::InvalidArgument`] when the length is not a power
+/// of two (zero-length input is accepted as a no-op).
+pub fn fft_in_place(data: &mut [Complex]) -> Result<(), NumericsError> {
+    transform(data, false)
+}
+
+/// In-place inverse FFT, including the `1/N` normalization.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::InvalidArgument`] when the length is not a power
+/// of two.
+pub fn ifft_in_place(data: &mut [Complex]) -> Result<(), NumericsError> {
+    transform(data, true)?;
+    let n = data.len() as f64;
+    for z in data.iter_mut() {
+        *z = *z / n;
+    }
+    Ok(())
+}
+
+fn transform(data: &mut [Complex], inverse: bool) -> Result<(), NumericsError> {
+    let n = data.len();
+    if n == 0 {
+        return Ok(());
+    }
+    if !n.is_power_of_two() {
+        return Err(NumericsError::InvalidArgument {
+            what: "fft length must be a power of two",
+        });
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let angle = sign * std::f64::consts::TAU / len as f64;
+        let wlen = Complex::cis(angle);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::ONE;
+            for k in 0..len / 2 {
+                let u = data[start + k];
+                let v = data[start + k + len / 2] * w;
+                data[start + k] = u + v;
+                data[start + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+    Ok(())
+}
+
+/// FFT of a real signal, zero-padded up to the next power of two.
+///
+/// Returns the complex spectrum of length `next_power_of_two(signal.len())`.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::InsufficientData`] for an empty signal.
+pub fn real_fft(signal: &[f64]) -> Result<Vec<Complex>, NumericsError> {
+    if signal.is_empty() {
+        return Err(NumericsError::InsufficientData {
+            required: 1,
+            provided: 0,
+        });
+    }
+    let n = signal.len().next_power_of_two();
+    let mut data: Vec<Complex> = signal.iter().map(|&x| Complex::new(x, 0.0)).collect();
+    data.resize(n, Complex::ZERO);
+    fft_in_place(&mut data)?;
+    Ok(data)
+}
+
+/// One-sided power spectrum `|X_k|²` for bins `0..N/2`.
+///
+/// # Errors
+///
+/// Propagates [`real_fft`] errors.
+pub fn power_spectrum(signal: &[f64]) -> Result<Vec<f64>, NumericsError> {
+    let spectrum = real_fft(signal)?;
+    let half = spectrum.len() / 2;
+    Ok(spectrum[..half.max(1)]
+        .iter()
+        .map(|z| z.norm_sqr())
+        .collect())
+}
+
+/// Frequency (Hz) of the strongest non-DC bin of a real signal sampled at
+/// interval `dt`.
+///
+/// The signal mean is removed before transforming so that a DC offset (e.g.
+/// a relaxation oscillator swinging between two positive voltages) does not
+/// mask the oscillation frequency.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::InsufficientData`] when the signal has fewer
+/// than 4 samples, or [`NumericsError::InvalidArgument`] when `dt <= 0`.
+pub fn dominant_frequency(signal: &[f64], dt: f64) -> Result<f64, NumericsError> {
+    if signal.len() < 4 {
+        return Err(NumericsError::InsufficientData {
+            required: 4,
+            provided: signal.len(),
+        });
+    }
+    if !(dt > 0.0) {
+        return Err(NumericsError::InvalidArgument {
+            what: "sample interval must be positive",
+        });
+    }
+    let mean = signal.iter().sum::<f64>() / signal.len() as f64;
+    let centered: Vec<f64> = signal.iter().map(|&x| x - mean).collect();
+    let ps = power_spectrum(&centered)?;
+    let n_fft = centered.len().next_power_of_two();
+    let (best_bin, _) = ps
+        .iter()
+        .enumerate()
+        .skip(1)
+        .fold((1usize, f64::MIN), |(bi, bv), (i, &v)| {
+            if v > bv {
+                (i, v)
+            } else {
+                (bi, bv)
+            }
+        });
+    Ok(best_bin as f64 / (n_fft as f64 * dt))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut data = vec![Complex::ZERO; 8];
+        data[0] = Complex::ONE;
+        fft_in_place(&mut data).unwrap();
+        for z in &data {
+            assert!((z.re - 1.0).abs() < 1e-12 && z.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_ifft_roundtrip() {
+        let original: Vec<Complex> = (0..16)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.7).cos()))
+            .collect();
+        let mut data = original.clone();
+        fft_in_place(&mut data).unwrap();
+        ifft_in_place(&mut data).unwrap();
+        for (a, b) in data.iter().zip(&original) {
+            assert!((*a - *b).norm() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn fft_rejects_non_power_of_two() {
+        let mut data = vec![Complex::ZERO; 3];
+        assert!(fft_in_place(&mut data).is_err());
+    }
+
+    #[test]
+    fn fft_parseval() {
+        let signal: Vec<f64> = (0..64).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
+        let time_energy: f64 = signal.iter().map(|x| x * x).sum();
+        let spectrum = real_fft(&signal).unwrap();
+        let freq_energy: f64 =
+            spectrum.iter().map(|z| z.norm_sqr()).sum::<f64>() / spectrum.len() as f64;
+        assert!(approx_eq(time_energy, freq_energy, 1e-9));
+    }
+
+    #[test]
+    fn dominant_frequency_of_tone() {
+        let dt = 1.0 / 128.0;
+        let wave: Vec<f64> = (0..512)
+            .map(|i| (std::f64::consts::TAU * 16.0 * i as f64 * dt).sin())
+            .collect();
+        let f = dominant_frequency(&wave, dt).unwrap();
+        assert!((f - 16.0).abs() < 0.5, "estimated {f}");
+    }
+
+    #[test]
+    fn dominant_frequency_ignores_dc() {
+        let dt = 1.0 / 128.0;
+        let wave: Vec<f64> = (0..512)
+            .map(|i| 100.0 + (std::f64::consts::TAU * 10.0 * i as f64 * dt).sin())
+            .collect();
+        let f = dominant_frequency(&wave, dt).unwrap();
+        assert!((f - 10.0).abs() < 0.5, "estimated {f}");
+    }
+
+    #[test]
+    fn dominant_frequency_rejects_tiny_input() {
+        assert!(dominant_frequency(&[1.0, 2.0], 1.0).is_err());
+    }
+
+    #[test]
+    fn empty_fft_is_noop() {
+        let mut data: Vec<Complex> = Vec::new();
+        assert!(fft_in_place(&mut data).is_ok());
+    }
+}

@@ -1,0 +1,544 @@
+//! Small dense linear algebra.
+//!
+//! The workspace needs modest-size dense operations: least-squares normal
+//! equations in [`crate::fit`], small Jacobians in device models, and 2×2 /
+//! 4×4 systems in circuit analysis. [`Matrix`] is a row-major dense matrix
+//! with partial-pivot LU solving; [`Vector`] is a thin newtype over
+//! `Vec<f64>` with the handful of BLAS-1 operations we use.
+//!
+//! # Example
+//!
+//! ```
+//! use numerics::linalg::Matrix;
+//!
+//! let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]])?;
+//! let x = a.solve(&[3.0, 5.0])?;
+//! assert!((x[0] - 0.8).abs() < 1e-12);
+//! assert!((x[1] - 1.4).abs() < 1e-12);
+//! # Ok::<(), numerics::NumericsError>(())
+//! ```
+
+use crate::NumericsError;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense vector of `f64` with basic BLAS-1 operations.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Vector(Vec<f64>);
+
+impl Vector {
+    /// Creates a zero vector of length `n`.
+    #[must_use]
+    pub fn zeros(n: usize) -> Self {
+        Vector(vec![0.0; n])
+    }
+
+    /// Creates a vector from a slice.
+    #[must_use]
+    pub fn from_slice(values: &[f64]) -> Self {
+        Vector(values.to_vec())
+    }
+
+    /// Length of the vector.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns `true` when the vector has no elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Borrow the underlying slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.0
+    }
+
+    /// Mutably borrow the underlying slice.
+    #[must_use]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.0
+    }
+
+    /// Consumes the vector and returns the underlying `Vec<f64>`.
+    #[must_use]
+    pub fn into_inner(self) -> Vec<f64> {
+        self.0
+    }
+
+    /// Dot product with another vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DimensionMismatch`] if lengths differ.
+    pub fn dot(&self, other: &Vector) -> Result<f64, NumericsError> {
+        if self.len() != other.len() {
+            return Err(NumericsError::DimensionMismatch {
+                expected: self.len(),
+                actual: other.len(),
+            });
+        }
+        Ok(self
+            .0
+            .iter()
+            .zip(other.0.iter())
+            .map(|(a, b)| a * b)
+            .sum())
+    }
+
+    /// Euclidean (l₂) norm.
+    #[must_use]
+    pub fn norm(&self) -> f64 {
+        self.0.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// General `l_k` norm `(Σ|xᵢ|^k)^{1/k}` for `k > 0`.
+    ///
+    /// This is the distance family the coupled-oscillator readout realizes in
+    /// hardware (paper Fig. 5); fractional `k < 1` is allowed (then this is a
+    /// quasi-norm, as in the paper's "fractional norm" regime).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::InvalidArgument`] if `k <= 0` or non-finite.
+    pub fn lk_norm(&self, k: f64) -> Result<f64, NumericsError> {
+        if !(k > 0.0) || !k.is_finite() {
+            return Err(NumericsError::InvalidArgument {
+                what: "lk_norm exponent must be finite and > 0",
+            });
+        }
+        Ok(self
+            .0
+            .iter()
+            .map(|x| x.abs().powf(k))
+            .sum::<f64>()
+            .powf(1.0 / k))
+    }
+
+    /// In-place `self += alpha * other` (axpy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DimensionMismatch`] if lengths differ.
+    pub fn axpy(&mut self, alpha: f64, other: &Vector) -> Result<(), NumericsError> {
+        if self.len() != other.len() {
+            return Err(NumericsError::DimensionMismatch {
+                expected: self.len(),
+                actual: other.len(),
+            });
+        }
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Scales every element by `k` in place.
+    pub fn scale(&mut self, k: f64) {
+        for x in &mut self.0 {
+            *x *= k;
+        }
+    }
+}
+
+impl From<Vec<f64>> for Vector {
+    fn from(v: Vec<f64>) -> Self {
+        Vector(v)
+    }
+}
+
+impl FromIterator<f64> for Vector {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        Vector(iter.into_iter().collect())
+    }
+}
+
+impl Index<usize> for Vector {
+    type Output = f64;
+    fn index(&self, i: usize) -> &f64 {
+        &self.0[i]
+    }
+}
+
+impl IndexMut<usize> for Vector {
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.0[i]
+    }
+}
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix of the given shape.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DimensionMismatch`] when rows have unequal
+    /// lengths, or [`NumericsError::InsufficientData`] when `rows` is empty.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self, NumericsError> {
+        let nrows = rows.len();
+        if nrows == 0 {
+            return Err(NumericsError::InsufficientData {
+                required: 1,
+                provided: 0,
+            });
+        }
+        let ncols = rows[0].len();
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for row in rows {
+            if row.len() != ncols {
+                return Err(NumericsError::DimensionMismatch {
+                    expected: ncols,
+                    actual: row.len(),
+                });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Matrix {
+            rows: nrows,
+            cols: ncols,
+            data,
+        })
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix transpose.
+    #[must_use]
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t[(c, r)] = self[(r, c)];
+            }
+        }
+        t
+    }
+
+    /// Matrix–vector product `A·x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DimensionMismatch`] if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>, NumericsError> {
+        if x.len() != self.cols {
+            return Err(NumericsError::DimensionMismatch {
+                expected: self.cols,
+                actual: x.len(),
+            });
+        }
+        let mut y = vec![0.0; self.rows];
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            y[r] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        Ok(y)
+    }
+
+    /// Matrix–matrix product `A·B`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DimensionMismatch`] if inner dimensions
+    /// disagree.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix, NumericsError> {
+        if self.cols != other.rows {
+            return Err(NumericsError::DimensionMismatch {
+                expected: self.cols,
+                actual: other.rows,
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(r, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for c in 0..other.cols {
+                    out[(r, c)] += a * other[(k, c)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Solves `A·x = b` by LU decomposition with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumericsError::DimensionMismatch`] if `A` is not square or `b` has
+    ///   the wrong length.
+    /// * [`NumericsError::SingularMatrix`] if a pivot collapses below
+    ///   `1e-300`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, NumericsError> {
+        if self.rows != self.cols {
+            return Err(NumericsError::DimensionMismatch {
+                expected: self.rows,
+                actual: self.cols,
+            });
+        }
+        if b.len() != self.rows {
+            return Err(NumericsError::DimensionMismatch {
+                expected: self.rows,
+                actual: b.len(),
+            });
+        }
+        let n = self.rows;
+        let mut a = self.data.clone();
+        let mut x = b.to_vec();
+
+        for col in 0..n {
+            // Partial pivot: find the row with the largest magnitude in this
+            // column at or below the diagonal.
+            let mut pivot_row = col;
+            let mut pivot_val = a[col * n + col].abs();
+            for r in (col + 1)..n {
+                let v = a[r * n + col].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < 1e-300 {
+                return Err(NumericsError::SingularMatrix);
+            }
+            if pivot_row != col {
+                for c in 0..n {
+                    a.swap(col * n + c, pivot_row * n + c);
+                }
+                x.swap(col, pivot_row);
+            }
+            let pivot = a[col * n + col];
+            for r in (col + 1)..n {
+                let factor = a[r * n + col] / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                for c in col..n {
+                    a[r * n + c] -= factor * a[col * n + c];
+                }
+                x[r] -= factor * x[col];
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            let mut sum = x[col];
+            for c in (col + 1)..n {
+                sum -= a[col * n + c] * x[c];
+            }
+            x[col] = sum / a[col * n + col];
+        }
+        Ok(x)
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if c > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:10.4}", self[(r, c)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn vector_dot_and_norm() {
+        let a = Vector::from_slice(&[3.0, 4.0]);
+        let b = Vector::from_slice(&[1.0, 2.0]);
+        assert_eq!(a.dot(&b).unwrap(), 11.0);
+        assert_eq!(a.norm(), 5.0);
+    }
+
+    #[test]
+    fn vector_dot_dimension_mismatch() {
+        let a = Vector::from_slice(&[1.0]);
+        let b = Vector::from_slice(&[1.0, 2.0]);
+        assert!(matches!(
+            a.dot(&b),
+            Err(NumericsError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn lk_norm_special_cases() {
+        let v = Vector::from_slice(&[3.0, -4.0]);
+        // k = 2 is the euclidean norm.
+        assert!(approx_eq(v.lk_norm(2.0).unwrap(), 5.0, 1e-12));
+        // k = 1 is the taxicab norm.
+        assert!(approx_eq(v.lk_norm(1.0).unwrap(), 7.0, 1e-12));
+        // large k approaches the max norm.
+        assert!((v.lk_norm(60.0).unwrap() - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lk_norm_rejects_bad_exponent() {
+        let v = Vector::from_slice(&[1.0]);
+        assert!(v.lk_norm(0.0).is_err());
+        assert!(v.lk_norm(-1.0).is_err());
+        assert!(v.lk_norm(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn fractional_norm_is_smaller_than_l1_for_spread_vectors() {
+        // For vectors with several comparable components, the fractional
+        // quasi-norm exceeds l1 — that inversion is what makes fractional
+        // norms interesting in the paper's Fig. 5 tails.
+        let v = Vector::from_slice(&[1.0, 1.0, 1.0, 1.0]);
+        let half = v.lk_norm(0.5).unwrap();
+        let one = v.lk_norm(1.0).unwrap();
+        assert!(half > one);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Vector::from_slice(&[1.0, 2.0]);
+        let b = Vector::from_slice(&[10.0, 20.0]);
+        a.axpy(0.5, &b).unwrap();
+        assert_eq!(a.as_slice(), &[6.0, 12.0]);
+    }
+
+    #[test]
+    fn matrix_identity_solve() {
+        let a = Matrix::identity(3);
+        let x = a.solve(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn matrix_solve_2x2() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let x = a.solve(&[3.0, 5.0]).unwrap();
+        assert!(approx_eq(x[0], 0.8, 1e-12));
+        assert!(approx_eq(x[1], 1.4, 1e-12));
+    }
+
+    #[test]
+    fn matrix_solve_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let x = a.solve(&[7.0, 9.0]).unwrap();
+        assert!(approx_eq(x[0], 9.0, 1e-12));
+        assert!(approx_eq(x[1], 7.0, 1e-12));
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert_eq!(a.solve(&[1.0, 2.0]), Err(NumericsError::SingularMatrix));
+    }
+
+    #[test]
+    fn matmul_against_identity() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let i = Matrix::identity(2);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+        assert_eq!(i.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matvec_matches_manual() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        let y = a.matvec(&[1.0, 0.0, -1.0]).unwrap();
+        assert_eq!(y, vec![-2.0, -2.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn from_rows_ragged_rejected() {
+        let r1: &[f64] = &[1.0, 2.0];
+        let r2: &[f64] = &[3.0];
+        assert!(Matrix::from_rows(&[r1, r2]).is_err());
+    }
+
+    #[test]
+    fn solve_roundtrip_random() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for _ in 0..20 {
+            let n = rng.gen_range(1..6);
+            let mut m = Matrix::zeros(n, n);
+            for r in 0..n {
+                for c in 0..n {
+                    m[(r, c)] = rng.gen_range(-1.0..1.0);
+                }
+                // Diagonal dominance keeps the system well conditioned.
+                m[(r, r)] += 4.0;
+            }
+            let x_true: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let b = m.matvec(&x_true).unwrap();
+            let x = m.solve(&b).unwrap();
+            for (xi, ti) in x.iter().zip(&x_true) {
+                assert!(approx_eq(*xi, *ti, 1e-9), "{xi} vs {ti}");
+            }
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Deterministic random-number helpers.
+//!
+//! Every experiment in the workspace is seeded so results reproduce
+//! bit-for-bit. [`SeedStream`] derives independent child seeds from one
+//! master seed (so, e.g., 100 SAT instances each get their own stream and
+//! adding an experiment never perturbs existing ones), and the free
+//! functions wrap the [`rand`] idioms used throughout.
+//!
+//! # Example
+//!
+//! ```
+//! use numerics::rng::SeedStream;
+//!
+//! let mut stream = SeedStream::new(42);
+//! let a = stream.next_seed();
+//! let b = stream.next_seed();
+//! assert_ne!(a, b);
+//!
+//! // Same master seed ⇒ same children.
+//! let mut again = SeedStream::new(42);
+//! assert_eq!(again.next_seed(), a);
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Derives a deterministic sequence of independent `u64` seeds from one
+/// master seed using the SplitMix64 finalizer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeedStream {
+    state: u64,
+}
+
+impl SeedStream {
+    /// Creates a stream rooted at `master_seed`.
+    #[must_use]
+    pub fn new(master_seed: u64) -> Self {
+        SeedStream { state: master_seed }
+    }
+
+    /// Returns the next child seed.
+    pub fn next_seed(&mut self) -> u64 {
+        // SplitMix64: well-distributed even for sequential states.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a ready-to-use PRNG seeded with the next child seed.
+    pub fn next_rng(&mut self) -> StdRng {
+        StdRng::seed_from_u64(self.next_seed())
+    }
+}
+
+/// Creates a deterministic PRNG from a seed.
+#[must_use]
+pub fn rng_from_seed(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Samples a standard normal via the Box–Muller transform.
+///
+/// Kept here (rather than pulling in `rand_distr`) per the workspace's
+/// dependency policy.
+pub fn sample_normal<R: Rng>(rng: &mut R) -> f64 {
+    // Avoid u1 == 0 which would send ln to -inf.
+    let u1: f64 = loop {
+        let v: f64 = rng.gen();
+        if v > f64::MIN_POSITIVE {
+            break v;
+        }
+    };
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Samples `N(mu, sigma²)`.
+pub fn sample_gaussian<R: Rng>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    mu + sigma * sample_normal(rng)
+}
+
+/// Fisher–Yates shuffles a slice in place.
+pub fn shuffle<R: Rng, T>(rng: &mut R, items: &mut [T]) {
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+/// Draws `k` distinct indices from `0..n` (partial Fisher–Yates).
+///
+/// # Panics
+///
+/// Panics when `k > n`.
+pub fn sample_indices<R: Rng>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
+    assert!(k <= n, "cannot sample {k} distinct indices from {n}");
+    let mut pool: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = rng.gen_range(i..n);
+        pool.swap(i, j);
+    }
+    pool.truncate(k);
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_stream_deterministic() {
+        let mut a = SeedStream::new(7);
+        let mut b = SeedStream::new(7);
+        for _ in 0..10 {
+            assert_eq!(a.next_seed(), b.next_seed());
+        }
+    }
+
+    #[test]
+    fn seed_stream_distinct_masters_diverge() {
+        let mut a = SeedStream::new(1);
+        let mut b = SeedStream::new(2);
+        assert_ne!(a.next_seed(), b.next_seed());
+    }
+
+    #[test]
+    fn seed_stream_children_distinct() {
+        let mut s = SeedStream::new(0);
+        let children: Vec<u64> = (0..100).map(|_| s.next_seed()).collect();
+        let mut unique = children.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), children.len());
+    }
+
+    #[test]
+    fn normal_sample_moments() {
+        let mut rng = rng_from_seed(123);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn gaussian_shift_scale() {
+        let mut rng = rng_from_seed(9);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n)
+            .map(|_| sample_gaussian(&mut rng, 5.0, 2.0))
+            .collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = rng_from_seed(4);
+        let mut v: Vec<usize> = (0..50).collect();
+        shuffle(&mut rng, &mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_in_range() {
+        let mut rng = rng_from_seed(11);
+        for _ in 0..20 {
+            let idx = sample_indices(&mut rng, 10, 4);
+            assert_eq!(idx.len(), 4);
+            let mut sorted = idx.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 4);
+            assert!(idx.iter().all(|&i| i < 10));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn sample_indices_overdraw_panics() {
+        let mut rng = rng_from_seed(1);
+        let _ = sample_indices(&mut rng, 3, 4);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests of the numerics crate's invariants.
+
+use numerics::interp::Interpolator;
+use numerics::ode::{integrate, OdeSystem, Rk4};
+use numerics::stats::{Online, Summary};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Welford accumulation agrees with batch statistics.
+    #[test]
+    fn online_matches_batch(data in prop::collection::vec(-1e3f64..1e3, 1..50)) {
+        let mut online = Online::new();
+        for &x in &data {
+            online.push(x);
+        }
+        let batch = Summary::from_slice(&data).unwrap();
+        prop_assert!((online.mean() - batch.mean).abs() < 1e-6);
+        prop_assert!((online.std_dev() - batch.std_dev).abs() < 1e-6);
+        prop_assert_eq!(online.min(), batch.min);
+        prop_assert_eq!(online.max(), batch.max);
+    }
+
+    /// Merging accumulators equals accumulating the concatenation.
+    #[test]
+    fn online_merge_associative(
+        a in prop::collection::vec(-1e2f64..1e2, 0..30),
+        b in prop::collection::vec(-1e2f64..1e2, 0..30),
+    ) {
+        let mut left = Online::new();
+        for &x in &a {
+            left.push(x);
+        }
+        let mut right = Online::new();
+        for &x in &b {
+            right.push(x);
+        }
+        left.merge(&right);
+        let mut seq = Online::new();
+        for &x in a.iter().chain(&b) {
+            seq.push(x);
+        }
+        prop_assert_eq!(left.count(), seq.count());
+        prop_assert!((left.mean() - seq.mean()).abs() < 1e-9 || left.count() == 0);
+        prop_assert!((left.variance() - seq.variance()).abs() < 1e-6);
+    }
+
+    /// Linear interpolation stays within the convex hull of the knot values.
+    #[test]
+    fn linear_interp_within_hull(
+        ys in prop::collection::vec(-10.0f64..10.0, 2..12),
+        t in 0.0f64..1.0,
+    ) {
+        let xs: Vec<f64> = (0..ys.len()).map(|i| i as f64).collect();
+        let interp = Interpolator::linear(&xs, &ys).unwrap();
+        let x = t * (ys.len() - 1) as f64;
+        let y = interp.eval(x);
+        let lo = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(y >= lo - 1e-12 && y <= hi + 1e-12, "y = {} outside [{}, {}]", y, lo, hi);
+    }
+
+    /// PCHIP interpolation of monotone data is monotone.
+    #[test]
+    fn pchip_preserves_monotonicity(increments in prop::collection::vec(0.0f64..5.0, 2..10)) {
+        let xs: Vec<f64> = (0..=increments.len()).map(|i| i as f64).collect();
+        let mut ys = vec![0.0];
+        for &d in &increments {
+            ys.push(ys.last().unwrap() + d);
+        }
+        let interp = Interpolator::pchip(&xs, &ys).unwrap();
+        let mut prev = interp.eval(0.0);
+        for i in 1..=(increments.len() * 20) {
+            let x = i as f64 * 0.05;
+            let y = interp.eval(x);
+            prop_assert!(y >= prev - 1e-9, "non-monotone at x = {}", x);
+            prev = y;
+        }
+    }
+
+    /// RK4 on dy/dt = a·y matches the exact exponential for stable rates.
+    #[test]
+    fn rk4_matches_exponential(a in -2.0f64..0.5, y0 in 0.1f64..5.0) {
+        struct Linear {
+            a: f64,
+        }
+        impl OdeSystem for Linear {
+            fn dim(&self) -> usize {
+                1
+            }
+            fn rhs(&self, _t: f64, y: &[f64], dy: &mut [f64]) {
+                dy[0] = self.a * y[0];
+            }
+        }
+        let sys = Linear { a };
+        let mut y = vec![y0];
+        integrate(&sys, &mut Rk4::new(1e-3), 0.0, 1.0, &mut y);
+        let exact = y0 * a.exp();
+        prop_assert!((y[0] - exact).abs() < 1e-6 * exact.abs().max(1.0));
+    }
+
+    /// Power-law fitting recovers exponents from clean synthetic data.
+    #[test]
+    fn power_law_fit_recovers_exponent(k in 0.5f64..4.0, amp in 0.5f64..3.0) {
+        let xs: Vec<f64> = (1..=40).map(|i| i as f64 * 0.05).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| amp * x.powf(k) + 0.1).collect();
+        let fit = numerics::fit::fit_power_law_offset(&xs, &ys, 0.2, 6.0).unwrap();
+        prop_assert!((fit.exponent - k).abs() < 0.01, "k = {} fitted {}", k, fit.exponent);
+    }
+
+    /// Seed streams never collide across distinct masters (spot check).
+    #[test]
+    fn seed_streams_distinct(master_a in any::<u64>(), master_b in any::<u64>()) {
+        prop_assume!(master_a != master_b);
+        let mut sa = numerics::rng::SeedStream::new(master_a);
+        let mut sb = numerics::rng::SeedStream::new(master_b);
+        prop_assert_ne!(sa.next_seed(), sb.next_seed());
+    }
+}

@@ -1,0 +1,217 @@
+//! Graph vertex coloring by coupled-oscillator phase dynamics.
+//!
+//! §III cites "vertex coloring of graphs \[via\] phase dynamics of coupled
+//! oscillatory networks" (Parihar, Shukla, Jerry, Datta & Raychowdhury,
+//! *Scientific Reports* 2017, the paper's ref. \[42\]): identical oscillators
+//! coupled along the edges of a graph repel each other in phase, so after
+//! the transient, phase-ordering clusters the vertices — adjacent vertices
+//! end up phase-separated, and rounding phases into `k` sectors yields a
+//! (heuristic) `k`-coloring.
+//!
+//! [`color_graph`] runs the fabric, extracts relative phases, greedily
+//! clusters them on the circle, and reports the coloring plus how many
+//! edges it leaves monochromatic.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use osc::coloring::{color_graph, ColoringConfig};
+//!
+//! // A 4-cycle is 2-colorable; anti-phase ordering finds it.
+//! let edges = [(0, 1), (1, 2), (2, 3), (3, 0)];
+//! let result = color_graph(4, &edges, &ColoringConfig::default())?;
+//! assert_eq!(result.conflicts, 0);
+//! # Ok::<(), osc::OscError>(())
+//! ```
+
+use crate::network::OscillatorGraph;
+use crate::norms::NormRegime;
+use crate::pair::PairConfig;
+use crate::OscError;
+use device::units::Seconds;
+
+/// Configuration of a phase-coloring run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColoringConfig {
+    /// The oscillator fabric configuration (cells are identical; coupling
+    /// along edges).
+    pub pair: PairConfig,
+    /// Gate voltage shared by every cell.
+    pub v_gs: f64,
+    /// Number of colors (phase sectors) to round into.
+    pub n_colors: usize,
+}
+
+impl Default for ColoringConfig {
+    fn default() -> Self {
+        let mut pair = NormRegime::Shallow.config();
+        pair.sim.duration = Seconds(4e-6);
+        ColoringConfig {
+            pair,
+            v_gs: 0.62,
+            n_colors: 2,
+        }
+    }
+}
+
+/// Result of a phase-coloring run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColoringResult {
+    /// The color assigned to each vertex (`0..n_colors`).
+    pub colors: Vec<usize>,
+    /// The relative phase of each vertex, radians in `[0, 2π)`.
+    pub phases: Vec<f64>,
+    /// Number of edges whose endpoints share a color (0 = proper coloring).
+    pub conflicts: usize,
+}
+
+/// Colors a graph by simulating phase dynamics and rounding phases into
+/// `n_colors` sectors anchored on the largest phase gaps.
+///
+/// This is a heuristic: like the hardware it models, it succeeds on graphs
+/// whose chromatic structure matches a stable phase ordering (bipartite
+/// graphs and small cliques are the well-behaved cases in ref. \[42\]).
+///
+/// # Errors
+///
+/// * [`OscError::Numerics`] for invalid graphs.
+/// * Propagates simulation/phase-estimation errors.
+pub fn color_graph(
+    n_vertices: usize,
+    edges: &[(usize, usize)],
+    config: &ColoringConfig,
+) -> Result<ColoringResult, OscError> {
+    let v_gs = vec![config.v_gs; n_vertices];
+    let fabric = OscillatorGraph::new(config.pair, &v_gs, edges)?;
+    let run = fabric.simulate_default()?;
+    let phases = run.phases_relative_to(0)?;
+    let colors = cluster_phases(&phases, config.n_colors);
+    let conflicts = edges
+        .iter()
+        .filter(|&&(a, b)| colors[a] == colors[b])
+        .count();
+    Ok(ColoringResult {
+        colors,
+        phases,
+        conflicts,
+    })
+}
+
+/// Clusters phases on the circle into `k` groups by cutting the circle at
+/// the `k` largest angular gaps between sorted phases.
+#[must_use]
+pub fn cluster_phases(phases: &[f64], k: usize) -> Vec<usize> {
+    let n = phases.len();
+    let k = k.max(1).min(n.max(1));
+    if n == 0 {
+        return Vec::new();
+    }
+    // Sort vertex indices by phase.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| phases[a].partial_cmp(&phases[b]).expect("finite phases"));
+    // Circular gaps between consecutive sorted phases.
+    let mut gaps: Vec<(f64, usize)> = (0..n)
+        .map(|i| {
+            let a = phases[order[i]];
+            let b = phases[order[(i + 1) % n]];
+            let gap = if i + 1 == n {
+                b + std::f64::consts::TAU - a
+            } else {
+                b - a
+            };
+            (gap, i)
+        })
+        .collect();
+    gaps.sort_by(|x, y| y.0.partial_cmp(&x.0).expect("finite gaps"));
+    // Cut at the k largest gaps: cluster boundaries AFTER sorted index i.
+    let mut cuts: Vec<usize> = gaps.iter().take(k).map(|&(_, i)| i).collect();
+    cuts.sort_unstable();
+    // Assign cluster ids walking the sorted order.
+    let mut colors = vec![0usize; n];
+    let mut cluster = 0usize;
+    for (pos, &vertex) in order.iter().enumerate() {
+        colors[vertex] = cluster % k;
+        if cuts.contains(&pos) {
+            cluster += 1;
+        }
+    }
+    colors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config(n_colors: usize) -> ColoringConfig {
+        let mut cfg = ColoringConfig::default();
+        cfg.pair.sim.duration = Seconds(3e-6);
+        cfg.n_colors = n_colors;
+        cfg
+    }
+
+    #[test]
+    fn cluster_phases_two_groups() {
+        // Phases near 0 and near π cluster into two colors.
+        let phases = [0.05, 3.1, 0.1, 3.2, 6.2];
+        let colors = cluster_phases(&phases, 2);
+        assert_eq!(colors[0], colors[2]);
+        assert_eq!(colors[1], colors[3]);
+        assert_ne!(colors[0], colors[1]);
+        // 6.2 rad wraps around to the 0-cluster.
+        assert_eq!(colors[4], colors[0]);
+    }
+
+    #[test]
+    fn cluster_phases_respects_k() {
+        let phases = [0.0, 2.0, 4.0];
+        let colors = cluster_phases(&phases, 3);
+        let distinct: std::collections::HashSet<_> = colors.iter().collect();
+        assert_eq!(distinct.len(), 3);
+    }
+
+    #[test]
+    fn cluster_phases_edge_cases() {
+        assert!(cluster_phases(&[], 2).is_empty());
+        assert_eq!(cluster_phases(&[1.0], 3), vec![0]);
+    }
+
+    #[test]
+    fn two_vertices_anti_phase_two_colors() {
+        let result = color_graph(2, &[(0, 1)], &quick_config(2)).unwrap();
+        assert_eq!(result.conflicts, 0, "phases {:?}", result.phases);
+        assert_ne!(result.colors[0], result.colors[1]);
+    }
+
+    #[test]
+    fn four_cycle_is_two_colored() {
+        let edges = [(0, 1), (1, 2), (2, 3), (3, 0)];
+        let result = color_graph(4, &edges, &quick_config(2)).unwrap();
+        assert_eq!(
+            result.conflicts, 0,
+            "colors {:?} phases {:?}",
+            result.colors, result.phases
+        );
+    }
+
+    #[test]
+    fn triangle_needs_and_gets_three_colors() {
+        // K3 settles into three ~120°-spaced phases.
+        let edges = [(0, 1), (1, 2), (0, 2)];
+        let result = color_graph(3, &edges, &quick_config(3)).unwrap();
+        assert_eq!(
+            result.conflicts, 0,
+            "colors {:?} phases {:?}",
+            result.colors, result.phases
+        );
+        let distinct: std::collections::HashSet<_> = result.colors.iter().collect();
+        assert_eq!(distinct.len(), 3);
+    }
+
+    #[test]
+    fn invalid_graph_rejected() {
+        let cfg = quick_config(2);
+        assert!(color_graph(2, &[(0, 2)], &cfg).is_err());
+        assert!(color_graph(2, &[(1, 1)], &cfg).is_err());
+        assert!(color_graph(1, &[], &cfg).is_err());
+    }
+}

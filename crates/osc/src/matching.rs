@@ -1,0 +1,200 @@
+//! Degree-of-match co-processor functions.
+//!
+//! §III cites "a coupled oscillator-based co-processor … to accelerate
+//! computations like sorting, degree of matching, etc. for use in
+//! applications such as pattern recognition, clustering, and text
+//! recognition" (ref. \[44\], Gala et al., JETC 2018). This module builds
+//! those co-processor primitives on the calibrated
+//! [`OscillatorDistance`]:
+//!
+//! * [`MatchProcessor::degree_of_match`] — the aggregate dissimilarity between a template
+//!   and a candidate vector (mean element-wise oscillator distance);
+//! * [`MatchProcessor::best_match`] / [`MatchProcessor::rank_matches`] — pattern recognition: order a
+//!   gallery of candidates by match quality;
+//! * [`MatchProcessor::sort_by_key_distance`] — the co-processor sorting primitive: order
+//!   items by analog distance from a reference value.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use osc::matching::MatchProcessor;
+//! use osc::norms::{NormRegime, OscillatorDistance};
+//!
+//! let distance = OscillatorDistance::calibrate(NormRegime::Shallow.config(), 0.62, 0.02, 9)?;
+//! let proc = MatchProcessor::new(distance);
+//! let template = [0.2, 0.8, 0.5];
+//! let gallery = [vec![0.25, 0.75, 0.5], vec![0.9, 0.1, 0.1]];
+//! let best = proc.best_match(&template, &gallery)?;
+//! assert_eq!(best, 0);
+//! # Ok::<(), osc::OscError>(())
+//! ```
+
+use crate::norms::OscillatorDistance;
+use crate::OscError;
+
+/// A degree-of-match co-processor around a calibrated oscillator distance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchProcessor {
+    distance: OscillatorDistance,
+}
+
+impl MatchProcessor {
+    /// Creates a processor.
+    #[must_use]
+    pub fn new(distance: OscillatorDistance) -> Self {
+        MatchProcessor { distance }
+    }
+
+    /// The underlying distance primitive.
+    #[must_use]
+    pub fn distance(&self) -> &OscillatorDistance {
+        &self.distance
+    }
+
+    /// Degree of match between two equal-length vectors of normalized
+    /// values: the mean element-wise oscillator distance (0 = identical).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OscError::Numerics`] for mismatched or empty inputs.
+    pub fn degree_of_match(&self, template: &[f64], candidate: &[f64]) -> Result<f64, OscError> {
+        if template.len() != candidate.len() {
+            return Err(OscError::Numerics(
+                numerics::NumericsError::DimensionMismatch {
+                    expected: template.len(),
+                    actual: candidate.len(),
+                },
+            ));
+        }
+        if template.is_empty() {
+            return Err(OscError::Numerics(
+                numerics::NumericsError::InsufficientData {
+                    required: 1,
+                    provided: 0,
+                },
+            ));
+        }
+        let total: f64 = template
+            .iter()
+            .zip(candidate)
+            .map(|(&a, &b)| self.distance.distance(a, b))
+            .sum();
+        Ok(total / template.len() as f64)
+    }
+
+    /// Index of the gallery entry with the smallest degree of match.
+    ///
+    /// # Errors
+    ///
+    /// * [`OscError::Numerics`] for an empty gallery or shape mismatches.
+    pub fn best_match(&self, template: &[f64], gallery: &[Vec<f64>]) -> Result<usize, OscError> {
+        let ranked = self.rank_matches(template, gallery)?;
+        Ok(ranked[0].0)
+    }
+
+    /// The gallery ranked by ascending degree of match:
+    /// `(index, score)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MatchProcessor::best_match`].
+    pub fn rank_matches(
+        &self,
+        template: &[f64],
+        gallery: &[Vec<f64>],
+    ) -> Result<Vec<(usize, f64)>, OscError> {
+        if gallery.is_empty() {
+            return Err(OscError::Numerics(
+                numerics::NumericsError::InsufficientData {
+                    required: 1,
+                    provided: 0,
+                },
+            ));
+        }
+        let mut scored: Vec<(usize, f64)> = gallery
+            .iter()
+            .enumerate()
+            .map(|(i, candidate)| Ok((i, self.degree_of_match(template, candidate)?)))
+            .collect::<Result<_, OscError>>()?;
+        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"));
+        Ok(scored)
+    }
+
+    /// Sorts scalar items by their analog distance from a reference value
+    /// (the ref.-\[44\] sorting primitive). Returns indices in ascending
+    /// distance order.
+    #[must_use]
+    pub fn sort_by_key_distance(&self, reference: f64, items: &[f64]) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..items.len()).collect();
+        order.sort_by(|&i, &j| {
+            let di = self.distance.distance(reference, items[i]);
+            let dj = self.distance.distance(reference, items[j]);
+            di.partial_cmp(&dj).expect("finite distances")
+        });
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::norms::NormRegime;
+    use device::units::Seconds;
+
+    fn processor() -> MatchProcessor {
+        let mut cfg = NormRegime::Shallow.config();
+        cfg.sim.duration = Seconds(2e-6);
+        MatchProcessor::new(
+            OscillatorDistance::calibrate(cfg, 0.62, 0.02, 7).expect("calibrates"),
+        )
+    }
+
+    #[test]
+    fn identical_vectors_score_lowest() {
+        let p = processor();
+        let template = [0.3, 0.6, 0.9];
+        let same = p.degree_of_match(&template, &template).unwrap();
+        let different = p.degree_of_match(&template, &[0.9, 0.1, 0.3]).unwrap();
+        assert!(same < different, "{same} vs {different}");
+    }
+
+    #[test]
+    fn best_match_prefers_nearest() {
+        let p = processor();
+        let template = [0.2, 0.8, 0.5, 0.5];
+        let gallery = vec![
+            vec![0.9, 0.1, 0.9, 0.1], // far
+            vec![0.22, 0.78, 0.52, 0.5], // near
+            vec![0.5, 0.5, 0.5, 0.5], // middling
+        ];
+        assert_eq!(p.best_match(&template, &gallery).unwrap(), 1);
+    }
+
+    #[test]
+    fn rank_is_sorted_ascending() {
+        let p = processor();
+        let template = [0.4, 0.6];
+        let gallery = vec![vec![0.4, 0.6], vec![0.1, 0.9], vec![0.45, 0.62]];
+        let ranked = p.rank_matches(&template, &gallery).unwrap();
+        assert_eq!(ranked.len(), 3);
+        assert!(ranked.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert_eq!(ranked[0].0, 0);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let p = processor();
+        assert!(p.degree_of_match(&[0.1, 0.2], &[0.1]).is_err());
+        assert!(p.degree_of_match(&[], &[]).is_err());
+        assert!(p.rank_matches(&[0.5], &[]).is_err());
+    }
+
+    #[test]
+    fn sorting_by_key_distance() {
+        let p = processor();
+        let items = [0.9, 0.35, 0.6, 0.31];
+        let order = p.sort_by_key_distance(0.3, &items);
+        // 0.31 closest, then 0.35, then 0.6, then 0.9.
+        assert_eq!(order, vec![3, 1, 2, 0]);
+    }
+}

@@ -1,0 +1,508 @@
+//! Single 1T1R VO₂ relaxation oscillator.
+//!
+//! The cell (paper §III-A, Fig. 3 inset): a VO₂ IMT device from the
+//! oscillation node to ground, a node capacitance `C`, and a series NMOS
+//! from `V_DD` whose channel resistance — set by the gate voltage `V_gs` —
+//! controls the charge rate and therefore the oscillation frequency. When
+//! the load line crosses the hysteretic window the node voltage relaxes
+//! back and forth between the two switching thresholds forever.
+//!
+//! The dynamics integrated here:
+//!
+//! ```text
+//! C·dv/dt = (V_DD − v)/R_s(V_gs) − v·G_vo2(f)
+//! df/dt   = (m − f)/τ_switch          (metallic fraction relaxation)
+//! m       ∈ {0, 1}  — hysteresis comparator updated after every step
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use osc::relaxation::{OscillatorParams, SingleOscillator};
+//! use device::units::Volts;
+//!
+//! let params = OscillatorParams::default();
+//! let osc = SingleOscillator::new(params, Volts(0.62))?;
+//! let run = osc.simulate_default()?;
+//! let f = run.frequency(0)?;
+//! assert!(f > 1e6, "should oscillate in the MHz range, got {f}");
+//! # Ok::<(), osc::OscError>(())
+//! ```
+
+use crate::OscError;
+use device::mosfet::{Mosfet, MosfetParams};
+use device::units::{Farads, Ohms, Seconds, Volts};
+use device::vo2::{oscillation_condition, Vo2Params};
+use numerics::ode::{integrate_sampled, OdeSystem, Rk4};
+use numerics::signal;
+
+/// Per-oscillator state layout inside ODE state vectors.
+///
+/// Each oscillator occupies [`STATE_VARS`] consecutive slots:
+/// `[v, f, m]` — node voltage, metallic fraction, discrete phase (0/1).
+pub const STATE_VARS: usize = 3;
+
+/// Circuit parameters shared by every oscillator in a fabric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OscillatorParams {
+    /// VO₂ device parameters.
+    pub vo2: Vo2Params,
+    /// Series-transistor parameters.
+    pub mosfet: MosfetParams,
+    /// Supply voltage.
+    pub vdd: Volts,
+    /// Node capacitance.
+    pub c_node: Farads,
+}
+
+impl Default for OscillatorParams {
+    fn default() -> Self {
+        let mut vo2 = Vo2Params::default();
+        // Faster phase transition than the device-crate default so the IMT
+        // lag stays subordinate to the RC time constants (tens of ns).
+        vo2.tau_switch = Seconds(2e-9);
+        let mut mosfet = MosfetParams::default();
+        // k = 10 µA/V² puts the useful V_gs input range at ~0.5–0.9 V for
+        // the µA-class supply currents reported for VO₂ oscillators.
+        mosfet.k = 10e-6;
+        OscillatorParams {
+            vo2,
+            mosfet,
+            vdd: Volts(2.5),
+            c_node: Farads(0.1e-12),
+        }
+    }
+}
+
+impl OscillatorParams {
+    /// The series resistance produced by a gate voltage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OscError::Device`] for invalid MOSFET parameters.
+    pub fn series_resistance(&self, v_gs: Volts) -> Result<Ohms, OscError> {
+        let fet = Mosfet::new(self.mosfet)?;
+        Ok(fet.effective_resistance(v_gs))
+    }
+
+    /// The `(V_gs_min, V_gs_max)` interval over which the cell oscillates,
+    /// probed at `resolution` points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OscError::NoOscillation`] when no probed bias point
+    /// oscillates.
+    pub fn oscillating_vgs_range(&self, resolution: usize) -> Result<(Volts, Volts), OscError> {
+        let res = resolution.max(2);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for i in 0..res {
+            let v_gs = self.mosfet.v_th.0 + 0.02 + i as f64 * (2.0 / res as f64);
+            if let Ok(r) = self.series_resistance(Volts(v_gs)) {
+                if r.0.is_finite() && oscillation_condition(&self.vo2, self.vdd, r) {
+                    lo = lo.min(v_gs);
+                    hi = hi.max(v_gs);
+                }
+            }
+        }
+        if lo.is_infinite() {
+            return Err(OscError::NoOscillation {
+                r_series_ohms: f64::NAN,
+            });
+        }
+        Ok((Volts(lo), Volts(hi)))
+    }
+
+    /// The mid-swing threshold used by the XOR readout: halfway between the
+    /// two switching voltages.
+    #[must_use]
+    pub fn readout_threshold(&self) -> Volts {
+        Volts(0.5 * (self.vo2.v_imt.0 + self.vo2.v_mit.0))
+    }
+
+    /// Validates the bias point and returns the series resistance.
+    ///
+    /// # Errors
+    ///
+    /// * [`OscError::Device`] for invalid device parameters.
+    /// * [`OscError::NoOscillation`] when the load line misses the
+    ///   hysteretic window.
+    pub fn checked_bias(&self, v_gs: Volts) -> Result<Ohms, OscError> {
+        self.vo2.validate()?;
+        self.mosfet.validate()?;
+        let r = self.series_resistance(v_gs)?;
+        if !r.0.is_finite() || !oscillation_condition(&self.vo2, self.vdd, r) {
+            return Err(OscError::NoOscillation { r_series_ohms: r.0 });
+        }
+        Ok(r)
+    }
+}
+
+/// Time-stepping configuration for oscillator simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Integration step.
+    pub dt: Seconds,
+    /// Total simulated time.
+    pub duration: Seconds,
+    /// Fraction of the run discarded as transient warm-up.
+    pub warmup_fraction: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            dt: Seconds(0.1e-9),
+            duration: Seconds(3e-6),
+            warmup_fraction: 0.25,
+        }
+    }
+}
+
+/// Shared RHS helper: writes the derivatives for one oscillator given its
+/// state slice `[v, f, m]` and any extra node current `i_extra` flowing
+/// *out* of the node (e.g. into a coupling branch).
+pub(crate) fn oscillator_rhs(
+    params: &OscillatorParams,
+    r_series: f64,
+    y: &[f64],
+    dy: &mut [f64],
+    i_extra: f64,
+) {
+    let v = y[0];
+    let f = y[1];
+    let m = y[2];
+    let g_ins = 1.0 / params.vo2.r_insulating.0;
+    let g_met = 1.0 / params.vo2.r_metallic.0;
+    let g = g_ins + (g_met - g_ins) * f.clamp(0.0, 1.0);
+    dy[0] = ((params.vdd.0 - v) / r_series - v * g - i_extra) / params.c_node.0;
+    let tau = params.vo2.tau_switch.0;
+    dy[1] = if tau > 0.0 { (m - f) / tau } else { 0.0 };
+    dy[2] = 0.0;
+}
+
+/// Shared projection helper: hysteresis comparator + metallic-fraction
+/// clamping for one oscillator state slice.
+pub(crate) fn oscillator_project(params: &OscillatorParams, y: &mut [f64]) {
+    let v = y[0];
+    let metallic = y[2] > 0.5;
+    let new_metallic = if metallic {
+        v >= params.vo2.v_mit.0
+    } else {
+        v > params.vo2.v_imt.0
+    };
+    y[2] = if new_metallic { 1.0 } else { 0.0 };
+    if params.vo2.tau_switch.0 <= 0.0 {
+        y[1] = y[2];
+    } else {
+        y[1] = y[1].clamp(0.0, 1.0);
+    }
+}
+
+/// A single relaxation oscillator ready to simulate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SingleOscillator {
+    params: OscillatorParams,
+    r_series: f64,
+    v_gs: Volts,
+}
+
+impl SingleOscillator {
+    /// Creates an oscillator biased at gate voltage `v_gs`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`OscillatorParams::checked_bias`] errors — in particular
+    /// [`OscError::NoOscillation`] for bias points outside the oscillating
+    /// window.
+    pub fn new(params: OscillatorParams, v_gs: Volts) -> Result<Self, OscError> {
+        let r = params.checked_bias(v_gs)?;
+        Ok(SingleOscillator {
+            params,
+            r_series: r.0,
+            v_gs,
+        })
+    }
+
+    /// The circuit parameters.
+    #[must_use]
+    pub fn params(&self) -> &OscillatorParams {
+        &self.params
+    }
+
+    /// The gate voltage encoding this oscillator's input.
+    #[must_use]
+    pub fn v_gs(&self) -> Volts {
+        self.v_gs
+    }
+
+    /// The series resistance at this bias point.
+    #[must_use]
+    pub fn r_series(&self) -> Ohms {
+        Ohms(self.r_series)
+    }
+
+    /// Simulates with the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice but kept fallible for parity with
+    /// the coupled simulators.
+    pub fn simulate(&self, config: SimConfig) -> Result<OscRun, OscError> {
+        let mut y = vec![0.0; STATE_VARS];
+        let mut stepper = Rk4::new(config.dt.0);
+        let (times, states) = integrate_sampled(
+            self,
+            &mut stepper,
+            0.0,
+            config.duration.0,
+            &mut y,
+            1,
+        );
+        Ok(OscRun::from_states(
+            &times,
+            &states,
+            config,
+            1,
+            self.params.readout_threshold(),
+        ))
+    }
+
+    /// Simulates with [`SimConfig::default`].
+    ///
+    /// # Errors
+    ///
+    /// See [`SingleOscillator::simulate`].
+    pub fn simulate_default(&self) -> Result<OscRun, OscError> {
+        self.simulate(SimConfig::default())
+    }
+}
+
+impl OdeSystem for SingleOscillator {
+    fn dim(&self) -> usize {
+        STATE_VARS
+    }
+
+    fn rhs(&self, _t: f64, y: &[f64], dy: &mut [f64]) {
+        oscillator_rhs(&self.params, self.r_series, y, dy, 0.0);
+    }
+
+    fn project(&self, y: &mut [f64]) {
+        oscillator_project(&self.params, y);
+    }
+}
+
+/// A recorded oscillator run: node-voltage waveforms after warm-up.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OscRun {
+    dt: f64,
+    threshold: f64,
+    /// `waveforms[i]` is the node voltage of oscillator `i`.
+    waveforms: Vec<Vec<f64>>,
+}
+
+impl OscRun {
+    /// Builds a run record from sampled ODE states, discarding warm-up and
+    /// extracting each oscillator's node voltage (state slot `3·i`).
+    pub(crate) fn from_states(
+        _times: &[f64],
+        states: &[Vec<f64>],
+        config: SimConfig,
+        n_osc: usize,
+        threshold: Volts,
+    ) -> Self {
+        let skip = (states.len() as f64 * config.warmup_fraction.clamp(0.0, 0.9)) as usize;
+        let mut waveforms = vec![Vec::with_capacity(states.len() - skip); n_osc];
+        for state in &states[skip..] {
+            for (i, wf) in waveforms.iter_mut().enumerate() {
+                wf.push(state[i * STATE_VARS]);
+            }
+        }
+        OscRun {
+            dt: config.dt.0,
+            threshold: threshold.0,
+            waveforms,
+        }
+    }
+
+    /// Number of oscillators recorded.
+    #[must_use]
+    pub fn n_oscillators(&self) -> usize {
+        self.waveforms.len()
+    }
+
+    /// Sampling interval of the waveforms.
+    #[must_use]
+    pub fn dt(&self) -> Seconds {
+        Seconds(self.dt)
+    }
+
+    /// The readout threshold used for cycle detection.
+    #[must_use]
+    pub fn threshold(&self) -> Volts {
+        Volts(self.threshold)
+    }
+
+    /// The recorded node-voltage waveform of oscillator `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OscError::BadIndex`] when out of range.
+    pub fn waveform(&self, index: usize) -> Result<&[f64], OscError> {
+        self.waveforms
+            .get(index)
+            .map(Vec::as_slice)
+            .ok_or(OscError::BadIndex {
+                index,
+                len: self.waveforms.len(),
+            })
+    }
+
+    /// Oscillation frequency (Hz) of oscillator `index` from threshold
+    /// crossings.
+    ///
+    /// # Errors
+    ///
+    /// * [`OscError::BadIndex`] for an out-of-range index.
+    /// * [`OscError::TooFewCycles`] when fewer than 2 cycles were captured.
+    pub fn frequency(&self, index: usize) -> Result<f64, OscError> {
+        let wf = self.waveform(index)?;
+        signal::estimate_frequency(wf, self.dt, self.threshold).map_err(|_| {
+            OscError::TooFewCycles {
+                found: signal::rising_crossings(wf, self.threshold).len(),
+                required: 2,
+            }
+        })
+    }
+
+    /// Number of complete cycles captured for oscillator `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OscError::BadIndex`] when out of range.
+    pub fn cycles(&self, index: usize) -> Result<usize, OscError> {
+        let wf = self.waveform(index)?;
+        Ok(signal::rising_crossings(wf, self.threshold)
+            .len()
+            .saturating_sub(1))
+    }
+
+    /// Peak-to-peak swing of oscillator `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OscError::BadIndex`] when out of range.
+    pub fn swing(&self, index: usize) -> Result<f64, OscError> {
+        let wf = self.waveform(index)?;
+        let max = wf.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = wf.iter().cloned().fold(f64::INFINITY, f64::min);
+        Ok(max - min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn osc(v_gs: f64) -> SingleOscillator {
+        SingleOscillator::new(OscillatorParams::default(), Volts(v_gs)).unwrap()
+    }
+
+    #[test]
+    fn default_params_have_oscillating_window() {
+        let params = OscillatorParams::default();
+        let (lo, hi) = params.oscillating_vgs_range(200).unwrap();
+        assert!(hi.0 > lo.0, "window empty: {lo} .. {hi}");
+        // The window should comfortably contain ~0.6 V.
+        assert!(lo.0 < 0.6 && hi.0 > 0.65, "window {lo} .. {hi}");
+    }
+
+    #[test]
+    fn oscillates_in_mhz_range() {
+        let run = osc(0.62).simulate_default().unwrap();
+        let f = run.frequency(0).unwrap();
+        assert!(
+            (1e6..1e9).contains(&f),
+            "frequency {f} Hz outside plausible range"
+        );
+        assert!(run.cycles(0).unwrap() >= 10);
+    }
+
+    #[test]
+    fn swing_spans_hysteresis_window() {
+        let params = OscillatorParams::default();
+        let run = osc(0.62).simulate_default().unwrap();
+        let swing = run.swing(0).unwrap();
+        assert!(
+            swing >= params.vo2.hysteresis_window().0 * 0.9,
+            "swing {swing} too small"
+        );
+    }
+
+    #[test]
+    fn frequency_increases_with_vgs() {
+        // Higher V_gs → lower series resistance → faster charging.
+        let f_slow = osc(0.55).simulate_default().unwrap().frequency(0).unwrap();
+        let f_fast = osc(0.75).simulate_default().unwrap().frequency(0).unwrap();
+        assert!(
+            f_fast > f_slow * 1.05,
+            "expected tuning: {f_slow} → {f_fast}"
+        );
+    }
+
+    #[test]
+    fn non_oscillating_bias_rejected() {
+        let params = OscillatorParams::default();
+        // Very high V_gs → tiny series resistance → metallic latch.
+        assert!(matches!(
+            SingleOscillator::new(params, Volts(5.0)),
+            Err(OscError::NoOscillation { .. })
+        ));
+        // Below threshold → infinite resistance → no charge path.
+        assert!(matches!(
+            SingleOscillator::new(params, Volts(0.2)),
+            Err(OscError::NoOscillation { .. })
+        ));
+    }
+
+    #[test]
+    fn waveform_index_checked() {
+        let run = osc(0.62).simulate_default().unwrap();
+        assert!(run.waveform(0).is_ok());
+        assert!(matches!(
+            run.waveform(1),
+            Err(OscError::BadIndex { index: 1, len: 1 })
+        ));
+    }
+
+    #[test]
+    fn readout_threshold_is_mid_window() {
+        let p = OscillatorParams::default();
+        let th = p.readout_threshold();
+        assert!(th.0 > p.vo2.v_mit.0 && th.0 < p.vo2.v_imt.0);
+    }
+
+    #[test]
+    fn deterministic_simulation() {
+        let a = osc(0.6).simulate_default().unwrap();
+        let b = osc(0.6).simulate_default().unwrap();
+        assert_eq!(a.waveform(0).unwrap(), b.waveform(0).unwrap());
+    }
+
+    #[test]
+    fn series_resistance_tracks_vgs() {
+        let p = OscillatorParams::default();
+        let r1 = p.series_resistance(Volts(0.5)).unwrap();
+        let r2 = p.series_resistance(Volts(0.9)).unwrap();
+        assert!(r2.0 < r1.0);
+    }
+
+    #[test]
+    fn waveform_stays_bounded_by_supply() {
+        let p = OscillatorParams::default();
+        let run = osc(0.62).simulate_default().unwrap();
+        for &v in run.waveform(0).unwrap() {
+            assert!((-0.01..=p.vdd.0 + 0.01).contains(&v), "v = {v}");
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Gate decomposition into the `{1-qubit, CX}` basis.
+//!
+//! Physical chips execute a small native set; the compiler layer of the
+//! Fig. 2 stack must lower everything else. This pass rewrites SWAP,
+//! CZ, controlled-phase, and Toffoli gates into single-qubit gates plus
+//! CNOTs (textbook constructions), which also makes circuits routable by
+//! [`crate::mapping`] (whose router accepts only 1- and 2-qubit gates).
+//!
+//! # Example
+//!
+//! ```
+//! use quantum::circuit::Circuit;
+//! use quantum::decompose::decompose_circuit;
+//! use quantum::gate::Gate;
+//!
+//! let mut c = Circuit::new(3)?;
+//! c.push(Gate::Toffoli(0, 1, 2))?;
+//! let lowered = decompose_circuit(&c)?;
+//! assert!(lowered.gates().iter().all(|g| g.arity() <= 2));
+//! # Ok::<(), quantum::QuantumError>(())
+//! ```
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use crate::QuantumError;
+use std::f64::consts::FRAC_PI_2;
+
+/// Lowers one gate into the `{1q, CX}` basis (native gates pass through).
+#[must_use]
+pub fn decompose_gate(gate: Gate) -> Vec<Gate> {
+    match gate {
+        // SWAP = 3 CNOTs.
+        Gate::Swap(a, b) => vec![Gate::CX(a, b), Gate::CX(b, a), Gate::CX(a, b)],
+        // CZ = H(t) · CX · H(t).
+        Gate::CZ(c, t) => vec![Gate::H(t), Gate::CX(c, t), Gate::H(t)],
+        // Controlled phase via two CNOTs and three half-angle phases.
+        Gate::CPhase(c, t, theta) => vec![
+            Gate::Phase(c, theta / 2.0),
+            Gate::CX(c, t),
+            Gate::Phase(t, -theta / 2.0),
+            Gate::CX(c, t),
+            Gate::Phase(t, theta / 2.0),
+        ],
+        // Standard 6-CNOT Toffoli (Nielsen & Chuang Fig. 4.9).
+        Gate::Toffoli(a, b, t) => vec![
+            Gate::H(t),
+            Gate::CX(b, t),
+            Gate::Tdg(t),
+            Gate::CX(a, t),
+            Gate::T(t),
+            Gate::CX(b, t),
+            Gate::Tdg(t),
+            Gate::CX(a, t),
+            Gate::T(b),
+            Gate::T(t),
+            Gate::H(t),
+            Gate::CX(a, b),
+            Gate::T(a),
+            Gate::Tdg(b),
+            Gate::CX(a, b),
+        ],
+        // Native single-qubit gates and CX pass through.
+        g => vec![g],
+    }
+}
+
+/// Lowers a whole circuit into the `{1q, CX}` basis.
+///
+/// # Errors
+///
+/// Propagates circuit-construction errors (cannot occur for valid inputs).
+pub fn decompose_circuit(circuit: &Circuit) -> Result<Circuit, QuantumError> {
+    let mut out = Circuit::new(circuit.n_qubits())?;
+    for &gate in circuit.gates() {
+        for lowered in decompose_gate(gate) {
+            out.push(lowered)?;
+        }
+    }
+    Ok(out)
+}
+
+/// Lowers S/T phase gates to `Phase` rotations (useful before hardware
+/// models that only support continuous rotations).
+#[must_use]
+pub fn canonicalize_phases(gate: Gate) -> Gate {
+    match gate {
+        Gate::S(q) => Gate::Phase(q, FRAC_PI_2),
+        Gate::Sdg(q) => Gate::Phase(q, -FRAC_PI_2),
+        Gate::T(q) => Gate::Phase(q, FRAC_PI_2 / 2.0),
+        Gate::Tdg(q) => Gate::Phase(q, -FRAC_PI_2 / 2.0),
+        g => g,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::StateVector;
+
+    /// Fidelity between a circuit and its lowering over every basis state.
+    fn equivalent(original: &Circuit, lowered: &Circuit) -> bool {
+        let dim = 1usize << original.n_qubits();
+        for basis in 0..dim {
+            let a = original
+                .run(StateVector::basis(original.n_qubits(), basis).unwrap())
+                .unwrap();
+            let b = lowered
+                .run(StateVector::basis(lowered.n_qubits(), basis).unwrap())
+                .unwrap();
+            let fidelity = a.overlap(&b).unwrap().norm();
+            if (fidelity - 1.0).abs() > 1e-9 {
+                return false;
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn swap_decomposition_exact() {
+        let mut c = Circuit::new(2).unwrap();
+        c.push(Gate::Swap(0, 1)).unwrap();
+        let d = decompose_circuit(&c).unwrap();
+        assert_eq!(d.len(), 3);
+        assert!(equivalent(&c, &d));
+    }
+
+    #[test]
+    fn cz_decomposition_exact() {
+        let mut c = Circuit::new(2).unwrap();
+        c.h(0).unwrap().push(Gate::CZ(0, 1)).unwrap().h(1).unwrap();
+        let d = decompose_circuit(&c).unwrap();
+        assert!(equivalent(&c, &d));
+    }
+
+    #[test]
+    fn cphase_decomposition_exact() {
+        for theta in [0.3, 1.0, -2.2] {
+            let mut c = Circuit::new(2).unwrap();
+            c.h(0).unwrap().h(1).unwrap();
+            c.push(Gate::CPhase(0, 1, theta)).unwrap();
+            let d = decompose_circuit(&c).unwrap();
+            assert!(equivalent(&c, &d), "theta {theta}");
+        }
+    }
+
+    #[test]
+    fn toffoli_decomposition_exact_on_all_basis_states() {
+        let mut c = Circuit::new(3).unwrap();
+        c.push(Gate::Toffoli(0, 1, 2)).unwrap();
+        let d = decompose_circuit(&c).unwrap();
+        assert!(d.gates().iter().all(|g| g.arity() <= 2));
+        assert!(equivalent(&c, &d));
+    }
+
+    #[test]
+    fn decomposed_toffoli_routes_on_a_line() {
+        use crate::mapping::{check_routed, route, CouplingGraph, RoutingStrategy};
+        let mut c = Circuit::new(3).unwrap();
+        c.push(Gate::Toffoli(0, 1, 2)).unwrap();
+        let lowered = decompose_circuit(&c).unwrap();
+        let graph = CouplingGraph::line(3);
+        let routed = route(&lowered, &graph, RoutingStrategy::Greedy).unwrap();
+        check_routed(&routed.circuit, &graph).unwrap();
+    }
+
+    #[test]
+    fn native_gates_pass_through() {
+        assert_eq!(decompose_gate(Gate::H(1)), vec![Gate::H(1)]);
+        assert_eq!(decompose_gate(Gate::CX(0, 2)), vec![Gate::CX(0, 2)]);
+    }
+
+    #[test]
+    fn phase_canonicalization_preserves_action() {
+        let mut original = Circuit::new(1).unwrap();
+        original.h(0).unwrap();
+        original.push(Gate::T(0)).unwrap();
+        original.push(Gate::S(0)).unwrap();
+        let mut canonical = Circuit::new(1).unwrap();
+        canonical.h(0).unwrap();
+        canonical.push(canonicalize_phases(Gate::T(0))).unwrap();
+        canonical.push(canonicalize_phases(Gate::S(0))).unwrap();
+        assert!(equivalent(&original, &canonical));
+    }
+}

@@ -1,0 +1,230 @@
+//! Grover search.
+//!
+//! The quadratic-speedup workhorse for unstructured search: `~π/4·√(N/M)`
+//! oracle calls to find one of `M` marked items among `N`, versus `N/M`
+//! expected classical probes. Used in the benches as the "large data set"
+//! demonstration of §II-C.
+//!
+//! The oracle is a basis-state phase flip applied directly by the
+//! simulator; the diffusion operator is built from elementary gates.
+//!
+//! # Example
+//!
+//! ```
+//! use quantum::grover;
+//! use numerics::rng::rng_from_seed;
+//!
+//! let mut rng = rng_from_seed(1);
+//! let run = grover::search(6, &[37], &mut rng)?;
+//! assert_eq!(run.found, 37);
+//! assert!(run.success_probability > 0.9);
+//! # Ok::<(), quantum::QuantumError>(())
+//! ```
+
+use crate::gate::Gate;
+use crate::state::StateVector;
+use crate::QuantumError;
+use numerics::Complex;
+use rand::Rng;
+
+/// Result of a Grover run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroverRun {
+    /// The measured item.
+    pub found: usize,
+    /// Whether the measured item was marked.
+    pub hit: bool,
+    /// Number of Grover iterations (oracle calls) applied.
+    pub iterations: usize,
+    /// Probability mass on marked states just before measurement.
+    pub success_probability: f64,
+}
+
+/// The optimal iteration count `⌊π/4·√(N/M)⌋` (at least 1).
+#[must_use]
+pub fn optimal_iterations(n_qubits: usize, n_marked: usize) -> usize {
+    let n = (1usize << n_qubits) as f64;
+    let m = n_marked.max(1) as f64;
+    let iters = (std::f64::consts::FRAC_PI_4 * (n / m).sqrt()).floor() as usize;
+    iters.max(1)
+}
+
+/// Applies the phase oracle: flips the sign of every marked basis state.
+fn apply_oracle(state: &mut StateVector, marked: &[usize]) -> Result<(), QuantumError> {
+    let dim = state.dim();
+    for &m in marked {
+        if m >= dim {
+            return Err(QuantumError::BasisOutOfRange { basis: m, dim });
+        }
+    }
+    // Build as a (diagonal) permutation-free update: use from_amplitudes to
+    // stay within the public API.
+    let mut amps = state.amplitudes().to_vec();
+    for &m in marked {
+        amps[m] = -amps[m];
+    }
+    *state = StateVector::from_amplitudes(amps)?;
+    Ok(())
+}
+
+/// Applies the diffusion operator `2|s⟩⟨s| − I` via H⊗ⁿ · (phase flip on
+/// |0…0⟩) · H⊗ⁿ.
+fn apply_diffusion(state: &mut StateVector) -> Result<(), QuantumError> {
+    let n = state.n_qubits();
+    for q in 0..n {
+        Gate::H(q).apply(state)?;
+    }
+    let mut amps = state.amplitudes().to_vec();
+    for (i, a) in amps.iter_mut().enumerate() {
+        if i != 0 {
+            *a = -*a;
+        }
+    }
+    *state = StateVector::from_amplitudes(amps)?;
+    for q in 0..n {
+        Gate::H(q).apply(state)?;
+    }
+    Ok(())
+}
+
+/// Runs Grover search with the optimal iteration count and measures.
+///
+/// # Errors
+///
+/// * [`QuantumError::Algorithm`] when `marked` is empty.
+/// * [`QuantumError::BasisOutOfRange`] for marked items beyond `2^n`.
+pub fn search<R: Rng>(
+    n_qubits: usize,
+    marked: &[usize],
+    rng: &mut R,
+) -> Result<GroverRun, QuantumError> {
+    search_with_iterations(n_qubits, marked, optimal_iterations(n_qubits, marked.len()), rng)
+}
+
+/// Runs Grover search with an explicit iteration count.
+///
+/// # Errors
+///
+/// Same conditions as [`search`].
+pub fn search_with_iterations<R: Rng>(
+    n_qubits: usize,
+    marked: &[usize],
+    iterations: usize,
+    rng: &mut R,
+) -> Result<GroverRun, QuantumError> {
+    if marked.is_empty() {
+        return Err(QuantumError::Algorithm {
+            reason: "grover search needs at least one marked item".into(),
+        });
+    }
+    let mut state = StateVector::try_zero(n_qubits)?;
+    for q in 0..n_qubits {
+        Gate::H(q).apply(&mut state)?;
+    }
+    for _ in 0..iterations {
+        apply_oracle(&mut state, marked)?;
+        apply_diffusion(&mut state)?;
+    }
+    let success_probability: f64 = marked
+        .iter()
+        .map(|&m| state.probability(m).unwrap_or(0.0))
+        .sum();
+    let found = state.measure_all(rng);
+    Ok(GroverRun {
+        found,
+        hit: marked.contains(&found),
+        iterations,
+        success_probability,
+    })
+}
+
+/// Expected classical probe count to find one of `n_marked` items in a
+/// space of `2^n_qubits` by uniform random probing without replacement.
+#[must_use]
+pub fn classical_expected_probes(n_qubits: usize, n_marked: usize) -> f64 {
+    let n = (1usize << n_qubits) as f64;
+    let m = n_marked.max(1) as f64;
+    (n + 1.0) / (m + 1.0)
+}
+
+/// Builds the uniform superposition amplitude for reference in tests.
+#[doc(hidden)]
+#[must_use]
+pub fn uniform_amplitude(n_qubits: usize) -> Complex {
+    Complex::new(1.0 / ((1usize << n_qubits) as f64).sqrt(), 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numerics::rng::rng_from_seed;
+
+    #[test]
+    fn finds_single_marked_item() {
+        let mut rng = rng_from_seed(1);
+        let run = search(7, &[100], &mut rng).unwrap();
+        assert!(run.success_probability > 0.9, "{run:?}");
+        assert!(run.hit);
+    }
+
+    #[test]
+    fn finds_one_of_many() {
+        let mut rng = rng_from_seed(2);
+        let marked = [3usize, 17, 42, 63];
+        let run = search(6, &marked, &mut rng).unwrap();
+        assert!(run.success_probability > 0.85, "{run:?}");
+    }
+
+    #[test]
+    fn iteration_count_scales_as_sqrt() {
+        let i6 = optimal_iterations(6, 1);
+        let i10 = optimal_iterations(10, 1);
+        // √(2^10 / 2^6) = 4 → roughly 4× as many iterations.
+        let ratio = i10 as f64 / i6 as f64;
+        assert!((3.0..5.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn too_many_iterations_overshoot() {
+        let mut rng = rng_from_seed(3);
+        let optimal = optimal_iterations(6, 1);
+        let good = search_with_iterations(6, &[5], optimal, &mut rng).unwrap();
+        let over = search_with_iterations(6, &[5], optimal * 2, &mut rng).unwrap();
+        assert!(
+            over.success_probability < good.success_probability,
+            "overshoot not visible: {} vs {}",
+            over.success_probability,
+            good.success_probability
+        );
+    }
+
+    #[test]
+    fn empty_marked_rejected() {
+        let mut rng = rng_from_seed(4);
+        assert!(search(4, &[], &mut rng).is_err());
+    }
+
+    #[test]
+    fn marked_out_of_range_rejected() {
+        let mut rng = rng_from_seed(4);
+        assert!(search(3, &[8], &mut rng).is_err());
+    }
+
+    #[test]
+    fn beats_classical_probe_count() {
+        let n_qubits = 8;
+        let quantum = optimal_iterations(n_qubits, 1) as f64;
+        let classical = classical_expected_probes(n_qubits, 1);
+        assert!(
+            quantum < classical / 4.0,
+            "quantum {quantum} vs classical {classical}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = search(6, &[9], &mut rng_from_seed(8)).unwrap();
+        let b = search(6, &[9], &mut rng_from_seed(8)).unwrap();
+        assert_eq!(a, b);
+    }
+}

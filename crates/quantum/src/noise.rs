@@ -1,0 +1,319 @@
+//! Noise channels and noisy circuit execution.
+//!
+//! §II-B: "Qubits with sufficiently long coherence times … are crucial
+//! requirements that have not yet been met." This module quantifies that
+//! requirement on the simulator with Monte-Carlo (quantum-trajectory)
+//! noise: after every gate, each touched qubit suffers a depolarizing Pauli
+//! error with some probability and amplitude damping toward `|0⟩`;
+//! measurements flip with a readout-error probability.
+//!
+//! Running an algorithm under increasing noise exposes the fidelity cliff
+//! that motivates the paper's coherence-time discussion.
+//!
+//! # Example
+//!
+//! ```
+//! use quantum::circuit::Circuit;
+//! use quantum::noise::{NoiseModel, run_noisy};
+//! use numerics::rng::rng_from_seed;
+//!
+//! let mut c = Circuit::new(2)?;
+//! c.h(0)?.cx(0, 1)?;
+//! let mut rng = rng_from_seed(1);
+//! let ideal = run_noisy(&c, &NoiseModel::noiseless(), &mut rng)?;
+//! assert!((ideal.probability(0b00)? - 0.5).abs() < 1e-12);
+//! # Ok::<(), quantum::QuantumError>(())
+//! ```
+
+use crate::circuit::Circuit;
+use crate::gate::matrices;
+use crate::state::StateVector;
+use crate::QuantumError;
+use rand::Rng;
+
+/// Stochastic error rates per operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseModel {
+    /// Depolarizing probability per qubit after a single-qubit gate.
+    pub p1: f64,
+    /// Depolarizing probability per qubit after a two-/three-qubit gate.
+    pub p2: f64,
+    /// Amplitude-damping probability per qubit per gate.
+    pub gamma: f64,
+    /// Readout bit-flip probability.
+    pub p_readout: f64,
+}
+
+impl NoiseModel {
+    /// The noiseless model.
+    #[must_use]
+    pub fn noiseless() -> Self {
+        NoiseModel {
+            p1: 0.0,
+            p2: 0.0,
+            gamma: 0.0,
+            p_readout: 0.0,
+        }
+    }
+
+    /// A uniform depolarizing model with 10× stronger two-qubit errors (a
+    /// typical hardware ratio), no damping, 1 % readout error.
+    #[must_use]
+    pub fn depolarizing(p: f64) -> Self {
+        NoiseModel {
+            p1: p,
+            p2: 10.0 * p,
+            gamma: 0.0,
+            p_readout: 0.01,
+        }
+    }
+
+    /// Whether every rate is zero.
+    #[must_use]
+    pub fn is_noiseless(&self) -> bool {
+        self.p1 == 0.0 && self.p2 == 0.0 && self.gamma == 0.0 && self.p_readout == 0.0
+    }
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        NoiseModel::noiseless()
+    }
+}
+
+fn apply_depolarizing<R: Rng>(
+    state: &mut StateVector,
+    q: usize,
+    p: f64,
+    rng: &mut R,
+) -> Result<(), QuantumError> {
+    if p <= 0.0 || rng.gen::<f64>() >= p {
+        return Ok(());
+    }
+    match rng.gen_range(0..3) {
+        0 => state.apply_single(q, &matrices::PAULI_X),
+        1 => state.apply_single(q, &matrices::PAULI_Y),
+        _ => state.apply_single(q, &matrices::PAULI_Z),
+    }
+}
+
+fn apply_damping<R: Rng>(
+    state: &mut StateVector,
+    q: usize,
+    gamma: f64,
+    rng: &mut R,
+) -> Result<(), QuantumError> {
+    if gamma <= 0.0 {
+        return Ok(());
+    }
+    // Quantum-trajectory amplitude damping: with probability γ·P(|1⟩) the
+    // qubit decays (projective jump to |0⟩); otherwise the no-jump Kraus
+    // operator diag(1, √(1−γ)) is applied and the state renormalized.
+    let p1 = state.prob_one(q)?;
+    if rng.gen::<f64>() < gamma * p1 {
+        // Jump: project onto |1⟩ then flip — equivalent to σ⁻.
+        let dim = state.dim();
+        let mask = 1usize << q;
+        let mut amps = state.amplitudes().to_vec();
+        for (i, a) in amps.iter_mut().enumerate().take(dim) {
+            if i & mask == 0 {
+                *a = numerics::Complex::ZERO;
+            }
+        }
+        *state = StateVector::from_amplitudes(amps)?;
+        state.apply_single(q, &matrices::PAULI_X)?;
+    } else {
+        let no_jump = [
+            [numerics::Complex::ONE, numerics::Complex::ZERO],
+            [
+                numerics::Complex::ZERO,
+                numerics::Complex::new((1.0 - gamma).sqrt(), 0.0),
+            ],
+        ];
+        state.apply_single(q, &no_jump)?;
+        state.normalize();
+    }
+    Ok(())
+}
+
+/// Runs one noisy trajectory of a circuit, returning the (normalized) final
+/// state.
+///
+/// # Errors
+///
+/// Propagates gate-application errors.
+pub fn run_noisy<R: Rng>(
+    circuit: &Circuit,
+    model: &NoiseModel,
+    rng: &mut R,
+) -> Result<StateVector, QuantumError> {
+    let mut state = StateVector::try_zero(circuit.n_qubits())?;
+    for gate in circuit.gates() {
+        gate.apply(&mut state)?;
+        let p = if gate.arity() == 1 { model.p1 } else { model.p2 };
+        for q in gate.qubits() {
+            apply_depolarizing(&mut state, q, p, rng)?;
+            apply_damping(&mut state, q, model.gamma, rng)?;
+        }
+    }
+    Ok(state)
+}
+
+/// Samples `shots` noisy trajectories, measuring all qubits at the end
+/// (with readout error), and returns `(basis index, count)` pairs.
+///
+/// # Errors
+///
+/// Propagates trajectory errors.
+pub fn sample_noisy<R: Rng>(
+    circuit: &Circuit,
+    model: &NoiseModel,
+    shots: usize,
+    rng: &mut R,
+) -> Result<Vec<(usize, usize)>, QuantumError> {
+    use std::collections::BTreeMap;
+    let mut counts: BTreeMap<usize, usize> = BTreeMap::new();
+    for _ in 0..shots {
+        let mut state = run_noisy(circuit, model, rng)?;
+        let mut outcome = state.measure_all(rng);
+        if model.p_readout > 0.0 {
+            for q in 0..circuit.n_qubits() {
+                if rng.gen::<f64>() < model.p_readout {
+                    outcome ^= 1 << q;
+                }
+            }
+        }
+        *counts.entry(outcome).or_insert(0) += 1;
+    }
+    Ok(counts.into_iter().collect())
+}
+
+/// Average fidelity `|⟨ψ_ideal|ψ_noisy⟩|²` over `trials` trajectories.
+///
+/// # Errors
+///
+/// Propagates trajectory errors.
+pub fn average_fidelity<R: Rng>(
+    circuit: &Circuit,
+    model: &NoiseModel,
+    trials: usize,
+    rng: &mut R,
+) -> Result<f64, QuantumError> {
+    let ideal = circuit.run(StateVector::try_zero(circuit.n_qubits())?)?;
+    let mut total = 0.0;
+    for _ in 0..trials.max(1) {
+        let noisy = run_noisy(circuit, model, rng)?;
+        total += ideal.overlap(&noisy)?.norm_sqr();
+    }
+    Ok(total / trials.max(1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numerics::rng::rng_from_seed;
+
+    fn ghz(n: usize) -> Circuit {
+        let mut c = Circuit::new(n).unwrap();
+        c.h(0).unwrap();
+        for q in 1..n {
+            c.cx(q - 1, q).unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn noiseless_matches_ideal() {
+        let c = ghz(3);
+        let mut rng = rng_from_seed(1);
+        let out = run_noisy(&c, &NoiseModel::noiseless(), &mut rng).unwrap();
+        let ideal = c.run(StateVector::zero(3)).unwrap();
+        assert!((out.overlap(&ideal).unwrap().norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fidelity_decreases_with_noise() {
+        let c = ghz(4);
+        let mut rng = rng_from_seed(2);
+        let f_low = average_fidelity(&c, &NoiseModel::depolarizing(0.001), 100, &mut rng).unwrap();
+        let f_high = average_fidelity(&c, &NoiseModel::depolarizing(0.05), 100, &mut rng).unwrap();
+        assert!(
+            f_low > f_high,
+            "fidelity should fall with noise: {f_low} vs {f_high}"
+        );
+        assert!(f_low > 0.8, "light noise fidelity {f_low}");
+    }
+
+    #[test]
+    fn damping_drives_toward_ground() {
+        // Repeated identity-ish gates with heavy damping decay |1⟩ → |0⟩.
+        let mut c = Circuit::new(1).unwrap();
+        c.x(0).unwrap();
+        for _ in 0..30 {
+            c.z(0).unwrap(); // Z leaves |1⟩ invariant; damping acts each gate
+        }
+        let model = NoiseModel {
+            gamma: 0.2,
+            ..NoiseModel::noiseless()
+        };
+        let mut rng = rng_from_seed(3);
+        let mut ground = 0;
+        for _ in 0..50 {
+            let out = run_noisy(&c, &model, &mut rng).unwrap();
+            if out.probability(0).unwrap() > 0.99 {
+                ground += 1;
+            }
+        }
+        assert!(ground > 40, "decayed {ground}/50");
+    }
+
+    #[test]
+    fn readout_error_pollutes_histogram() {
+        let c = ghz(2);
+        let model = NoiseModel {
+            p_readout: 0.2,
+            ..NoiseModel::noiseless()
+        };
+        let mut rng = rng_from_seed(4);
+        let counts = sample_noisy(&c, &model, 500, &mut rng).unwrap();
+        // Ideal GHZ only yields 00/11; readout error must produce others.
+        let polluted: usize = counts
+            .iter()
+            .filter(|(o, _)| *o == 1 || *o == 2)
+            .map(|(_, c)| *c)
+            .sum();
+        assert!(polluted > 20, "expected readout pollution, got {polluted}");
+    }
+
+    #[test]
+    fn noiseless_sampling_pure() {
+        let c = ghz(2);
+        let mut rng = rng_from_seed(5);
+        let counts = sample_noisy(&c, &NoiseModel::noiseless(), 300, &mut rng).unwrap();
+        for (outcome, _) in counts {
+            assert!(outcome == 0 || outcome == 3);
+        }
+    }
+
+    #[test]
+    fn norm_preserved_under_noise() {
+        let c = ghz(3);
+        let model = NoiseModel {
+            p1: 0.05,
+            p2: 0.1,
+            gamma: 0.05,
+            p_readout: 0.0,
+        };
+        let mut rng = rng_from_seed(6);
+        for _ in 0..20 {
+            let out = run_noisy(&c, &model, &mut rng).unwrap();
+            assert!((out.norm() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn is_noiseless_flag() {
+        assert!(NoiseModel::noiseless().is_noiseless());
+        assert!(!NoiseModel::depolarizing(0.01).is_noiseless());
+    }
+}

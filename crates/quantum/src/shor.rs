@@ -1,0 +1,340 @@
+//! Shor's factoring algorithm.
+//!
+//! The paper names cryptography as the clearest quantum killer app: "a
+//! quantum computer has the potential to break any RSA-based encryption by
+//! finding the prime factors of the public key" (§II-C). This module runs
+//! the full pipeline on the simulator:
+//!
+//! 1. classical pre-checks (even, perfect power, lucky gcd);
+//! 2. quantum order finding: phase estimation over the controlled modular
+//!    multiplication unitaries of [`crate::arith`], with an inverse QFT on
+//!    the counting register;
+//! 3. continued-fraction post-processing of the measured phase;
+//! 4. factor extraction from an even order `r` with
+//!    `a^{r/2} ≢ −1 (mod N)`.
+//!
+//! # Example
+//!
+//! ```
+//! use quantum::shor;
+//! use numerics::rng::rng_from_seed;
+//!
+//! let mut rng = rng_from_seed(7);
+//! let outcome = shor::factor(15, &mut rng, 20)?;
+//! let (p, q) = outcome.factors;
+//! assert_eq!(p * q, 15);
+//! # Ok::<(), quantum::QuantumError>(())
+//! ```
+
+use crate::arith::apply_controlled_modmul;
+use crate::gate::Gate;
+use crate::numtheory::{convergents, gcd, is_perfect_power, is_prime, mod_pow};
+use crate::qft::inverse_qft_circuit;
+use crate::state::StateVector;
+use crate::{QuantumError, MAX_QUBITS};
+use rand::Rng;
+
+/// Result of one quantum order-finding run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderFinding {
+    /// The base whose order was sought.
+    pub a: u64,
+    /// The modulus.
+    pub n: u64,
+    /// The measured counting-register value.
+    pub measurement: u64,
+    /// Counting-register width.
+    pub counting_bits: usize,
+    /// The recovered order, when continued fractions succeeded and the
+    /// candidate verified (`a^r ≡ 1 mod n`).
+    pub order: Option<u64>,
+}
+
+/// Statistics of a full factoring run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FactorOutcome {
+    /// The recovered nontrivial factors `(p, q)` with `p·q = n`.
+    pub factors: (u64, u64),
+    /// Number of quantum order-finding invocations used.
+    pub quantum_calls: u64,
+    /// Total simulated quantum gates/permutations applied.
+    pub quantum_ops: u64,
+    /// Whether a classical shortcut (gcd/parity/perfect power) short-
+    /// circuited the quantum part.
+    pub classical_shortcut: bool,
+}
+
+fn bits_for(n: u64) -> usize {
+    (64 - n.leading_zeros()) as usize
+}
+
+/// One quantum order-finding attempt for `a` modulo `n`.
+///
+/// Uses `2·m` counting qubits (where `m = ⌈log₂ n⌉`), capped so the total
+/// register stays within [`MAX_QUBITS`].
+///
+/// # Errors
+///
+/// * [`QuantumError::Algorithm`] when `gcd(a, n) != 1` or the problem needs
+///   more than [`MAX_QUBITS`] qubits.
+pub fn order_finding<R: Rng>(
+    a: u64,
+    n: u64,
+    rng: &mut R,
+) -> Result<OrderFinding, QuantumError> {
+    if gcd(a, n) != 1 {
+        return Err(QuantumError::Algorithm {
+            reason: format!("gcd({a}, {n}) != 1"),
+        });
+    }
+    let work_bits = bits_for(n);
+    let counting_bits = (2 * work_bits).min(MAX_QUBITS.saturating_sub(work_bits));
+    if counting_bits < work_bits {
+        return Err(QuantumError::Algorithm {
+            reason: format!("{n} too large to simulate"),
+        });
+    }
+    let total = counting_bits + work_bits;
+
+    let mut state = StateVector::try_zero(total)?;
+    // Counting register into uniform superposition.
+    for q in 0..counting_bits {
+        Gate::H(q).apply(&mut state)?;
+    }
+    // Work register to |1⟩.
+    Gate::X(counting_bits).apply(&mut state)?;
+
+    // Controlled U^(2^j) for each counting qubit.
+    for j in 0..counting_bits {
+        let a_pow = mod_pow(a, 1u64 << j, n);
+        apply_controlled_modmul(&mut state, j, counting_bits, work_bits, a_pow, n)?;
+    }
+
+    // Inverse QFT on the counting register (it occupies the low qubits, so
+    // the circuit applies directly).
+    let mut iqft_state = state;
+    let iqft = inverse_qft_circuit(counting_bits)?;
+    for gate in iqft.gates() {
+        gate.apply(&mut iqft_state)?;
+    }
+
+    // Measure the counting register.
+    let mut measurement = 0u64;
+    for q in 0..counting_bits {
+        if iqft_state.measure_qubit(q, rng)? {
+            measurement |= 1 << q;
+        }
+    }
+
+    // Continued fractions: measurement / 2^counting ≈ s / r.
+    let denom = 1u64 << counting_bits;
+    let mut order = None;
+    for (_, q) in convergents(measurement, denom, n) {
+        if q > 1 && mod_pow(a, q, n) == 1 {
+            order = Some(q);
+            break;
+        }
+    }
+    Ok(OrderFinding {
+        a,
+        n,
+        measurement,
+        counting_bits,
+        order,
+    })
+}
+
+/// Factors `n` with Shor's algorithm, retrying order finding up to
+/// `max_attempts` times. Classical shortcuts (parity, perfect powers,
+/// lucky gcd draws) are taken when available.
+///
+/// # Errors
+///
+/// * [`QuantumError::Algorithm`] when `n` is prime, smaller than 4, or no
+///   factor was found within the attempt budget.
+pub fn factor<R: Rng>(n: u64, rng: &mut R, max_attempts: u64) -> Result<FactorOutcome, QuantumError> {
+    factor_with_options(n, rng, max_attempts, true)
+}
+
+/// Like [`factor`], but with classical shortcuts optionally disabled so the
+/// run exercises the quantum order-finding path even when a lucky `gcd`
+/// draw would have produced a factor for free (used by the benches to
+/// measure the quantum pipeline itself). The parity and primality
+/// pre-checks still apply — they are prerequisites of the algorithm, not
+/// shortcuts.
+///
+/// # Errors
+///
+/// Same conditions as [`factor`].
+pub fn factor_with_options<R: Rng>(
+    n: u64,
+    rng: &mut R,
+    max_attempts: u64,
+    classical_shortcuts: bool,
+) -> Result<FactorOutcome, QuantumError> {
+    if n < 4 {
+        return Err(QuantumError::Algorithm {
+            reason: format!("{n} has no nontrivial factorization"),
+        });
+    }
+    if is_prime(n) {
+        return Err(QuantumError::Algorithm {
+            reason: format!("{n} is prime"),
+        });
+    }
+    if n % 2 == 0 {
+        return Ok(FactorOutcome {
+            factors: (2, n / 2),
+            quantum_calls: 0,
+            quantum_ops: 0,
+            classical_shortcut: true,
+        });
+    }
+    if is_perfect_power(n) {
+        // Find the base by root extraction.
+        for k in 2..=n.ilog2() {
+            let b = (n as f64).powf(1.0 / k as f64).round() as u64;
+            if b >= 2 && b.checked_pow(k) == Some(n) {
+                return Ok(FactorOutcome {
+                    factors: (b, n / b),
+                    quantum_calls: 0,
+                    quantum_ops: 0,
+                    classical_shortcut: true,
+                });
+            }
+        }
+    }
+
+    let mut quantum_calls = 0u64;
+    let mut quantum_ops = 0u64;
+    for _ in 0..max_attempts {
+        let a = rng.gen_range(2..n);
+        let g = gcd(a, n);
+        if g != 1 {
+            if classical_shortcuts {
+                // Lucky classical factor.
+                return Ok(FactorOutcome {
+                    factors: (g, n / g),
+                    quantum_calls,
+                    quantum_ops,
+                    classical_shortcut: true,
+                });
+            }
+            continue; // redraw a coprime base
+        }
+        quantum_calls += 1;
+        let run = order_finding(a, n, rng)?;
+        // Cost model: counting_bits controlled-modmuls + iQFT gates.
+        quantum_ops += run.counting_bits as u64
+            + (run.counting_bits * (run.counting_bits + 3) / 2) as u64;
+        let Some(r) = run.order else { continue };
+        if r % 2 != 0 {
+            continue;
+        }
+        let half = mod_pow(a, r / 2, n);
+        if half == n - 1 {
+            continue; // a^{r/2} ≡ −1: useless
+        }
+        let p = gcd(half + 1, n);
+        let q = gcd(half + n - 1, n);
+        for f in [p, q] {
+            if f > 1 && f < n {
+                return Ok(FactorOutcome {
+                    factors: (f, n / f),
+                    quantum_calls,
+                    quantum_ops,
+                    classical_shortcut: false,
+                });
+            }
+        }
+    }
+    Err(QuantumError::Algorithm {
+        reason: format!("no factor of {n} found in {max_attempts} attempts"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numerics::rng::rng_from_seed;
+
+    #[test]
+    fn order_finding_recovers_known_order() {
+        let mut rng = rng_from_seed(11);
+        // Order of 7 mod 15 is 4; phase estimation succeeds with high
+        // probability — try a few runs.
+        let mut found = false;
+        for _ in 0..6 {
+            let run = order_finding(7, 15, &mut rng).unwrap();
+            if run.order == Some(4) {
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "order of 7 mod 15 never recovered");
+    }
+
+    #[test]
+    fn order_finding_rejects_common_factor() {
+        let mut rng = rng_from_seed(1);
+        assert!(order_finding(5, 15, &mut rng).is_err());
+    }
+
+    #[test]
+    fn factors_15() {
+        let mut rng = rng_from_seed(3);
+        let out = factor(15, &mut rng, 30).unwrap();
+        let (p, q) = out.factors;
+        assert_eq!(p * q, 15);
+        assert!(p > 1 && q > 1);
+    }
+
+    #[test]
+    fn factors_21() {
+        let mut rng = rng_from_seed(5);
+        let out = factor(21, &mut rng, 30).unwrap();
+        let (p, q) = out.factors;
+        assert_eq!(p * q, 21);
+        assert!(p > 1 && q > 1);
+    }
+
+    #[test]
+    fn even_numbers_shortcut() {
+        let mut rng = rng_from_seed(2);
+        let out = factor(22, &mut rng, 5).unwrap();
+        assert!(out.classical_shortcut);
+        assert_eq!(out.factors.0 * out.factors.1, 22);
+        assert_eq!(out.quantum_calls, 0);
+    }
+
+    #[test]
+    fn perfect_power_shortcut() {
+        let mut rng = rng_from_seed(2);
+        let out = factor(27, &mut rng, 5).unwrap();
+        assert!(out.classical_shortcut);
+        assert_eq!(out.factors.0 * out.factors.1, 27);
+    }
+
+    #[test]
+    fn primes_rejected() {
+        let mut rng = rng_from_seed(4);
+        assert!(factor(13, &mut rng, 5).is_err());
+        assert!(factor(3, &mut rng, 5).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = factor(15, &mut rng_from_seed(9), 30).unwrap();
+        let b = factor(15, &mut rng_from_seed(9), 30).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn quantum_only_path_factors_without_shortcuts() {
+        let mut rng = rng_from_seed(6);
+        let out = factor_with_options(15, &mut rng, 40, false).unwrap();
+        assert_eq!(out.factors.0 * out.factors.1, 15);
+        assert!(!out.classical_shortcut);
+        assert!(out.quantum_calls >= 1, "must use order finding");
+    }
+}

@@ -1,0 +1,643 @@
+//! Exact state-vector simulation.
+//!
+//! [`StateVector`] holds the `2^n` complex amplitudes of an `n`-qubit
+//! register. Qubit 0 is the least-significant bit of the basis index.
+//! Single-qubit and controlled gates are applied in place with the standard
+//! stride walk; measurement collapses the state.
+//!
+//! # Example
+//!
+//! ```
+//! use quantum::state::StateVector;
+//! use quantum::gate::matrices;
+//!
+//! let mut state = StateVector::zero(1);
+//! state.apply_single(0, &matrices::HADAMARD)?;
+//! assert!((state.probability(0)? - 0.5).abs() < 1e-12);
+//! # Ok::<(), quantum::QuantumError>(())
+//! ```
+
+use crate::{QuantumError, MAX_QUBITS};
+use numerics::Complex;
+use rand::Rng;
+
+/// A 2×2 complex matrix in row-major order.
+pub type Matrix2 = [[Complex; 2]; 2];
+
+/// The quantum state of an `n`-qubit register.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVector {
+    n_qubits: usize,
+    amps: Vec<Complex>,
+}
+
+impl StateVector {
+    /// The all-zeros computational basis state `|0…0⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n_qubits` is 0 or exceeds [`MAX_QUBITS`]; use
+    /// [`StateVector::try_zero`] for a fallible constructor.
+    #[must_use]
+    pub fn zero(n_qubits: usize) -> Self {
+        Self::try_zero(n_qubits).expect("invalid register width")
+    }
+
+    /// Fallible form of [`StateVector::zero`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantumError::BadRegisterWidth`] outside `1..=MAX_QUBITS`.
+    pub fn try_zero(n_qubits: usize) -> Result<Self, QuantumError> {
+        if n_qubits == 0 || n_qubits > MAX_QUBITS {
+            return Err(QuantumError::BadRegisterWidth { n_qubits });
+        }
+        let mut amps = vec![Complex::ZERO; 1 << n_qubits];
+        amps[0] = Complex::ONE;
+        Ok(StateVector { n_qubits, amps })
+    }
+
+    /// A computational basis state `|index⟩`.
+    ///
+    /// # Errors
+    ///
+    /// * [`QuantumError::BadRegisterWidth`] for an invalid width.
+    /// * [`QuantumError::BasisOutOfRange`] when `index >= 2^n`.
+    pub fn basis(n_qubits: usize, index: usize) -> Result<Self, QuantumError> {
+        let mut s = Self::try_zero(n_qubits)?;
+        if index >= s.amps.len() {
+            return Err(QuantumError::BasisOutOfRange {
+                basis: index,
+                dim: s.amps.len(),
+            });
+        }
+        s.amps[0] = Complex::ZERO;
+        s.amps[index] = Complex::ONE;
+        Ok(s)
+    }
+
+    /// Builds a state from raw amplitudes, normalizing them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantumError::BadAmplitudes`] when the length is not a
+    /// power of two ≥ 2, or the vector has zero norm or non-finite entries.
+    pub fn from_amplitudes(amps: Vec<Complex>) -> Result<Self, QuantumError> {
+        let len = amps.len();
+        if len < 2 || !len.is_power_of_two() {
+            return Err(QuantumError::BadAmplitudes {
+                reason: "length must be a power of two >= 2",
+            });
+        }
+        if amps.iter().any(|a| !a.is_finite()) {
+            return Err(QuantumError::BadAmplitudes {
+                reason: "non-finite amplitude",
+            });
+        }
+        let norm_sqr: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
+        if norm_sqr <= 0.0 {
+            return Err(QuantumError::BadAmplitudes {
+                reason: "zero norm",
+            });
+        }
+        let scale = 1.0 / norm_sqr.sqrt();
+        let n_qubits = len.trailing_zeros() as usize;
+        if n_qubits > MAX_QUBITS {
+            return Err(QuantumError::BadRegisterWidth { n_qubits });
+        }
+        Ok(StateVector {
+            n_qubits,
+            amps: amps.into_iter().map(|a| a.scale(scale)).collect(),
+        })
+    }
+
+    /// Register width.
+    #[must_use]
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// State dimension `2^n`.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.amps.len()
+    }
+
+    /// The raw amplitudes, basis-ordered.
+    #[must_use]
+    pub fn amplitudes(&self) -> &[Complex] {
+        &self.amps
+    }
+
+    /// The amplitude of basis state `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantumError::BasisOutOfRange`] when out of range.
+    pub fn amplitude(&self, index: usize) -> Result<Complex, QuantumError> {
+        self.amps
+            .get(index)
+            .copied()
+            .ok_or(QuantumError::BasisOutOfRange {
+                basis: index,
+                dim: self.amps.len(),
+            })
+    }
+
+    /// The probability of measuring basis state `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantumError::BasisOutOfRange`] when out of range.
+    pub fn probability(&self, index: usize) -> Result<f64, QuantumError> {
+        Ok(self.amplitude(index)?.norm_sqr())
+    }
+
+    /// Total norm (should stay 1 under unitary evolution).
+    #[must_use]
+    pub fn norm(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Renormalizes in place (used after non-unitary noise branches).
+    pub fn normalize(&mut self) {
+        let n = self.norm();
+        if n > 0.0 {
+            let s = 1.0 / n;
+            for a in &mut self.amps {
+                *a = a.scale(s);
+            }
+        }
+    }
+
+    fn check_qubit(&self, q: usize) -> Result<(), QuantumError> {
+        if q >= self.n_qubits {
+            return Err(QuantumError::QubitOutOfRange {
+                qubit: q,
+                n_qubits: self.n_qubits,
+            });
+        }
+        Ok(())
+    }
+
+    /// Applies a single-qubit unitary to qubit `q`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantumError::QubitOutOfRange`] for a bad index.
+    pub fn apply_single(&mut self, q: usize, m: &Matrix2) -> Result<(), QuantumError> {
+        self.check_qubit(q)?;
+        let stride = 1usize << q;
+        let dim = self.amps.len();
+        let mut base = 0usize;
+        while base < dim {
+            for offset in base..base + stride {
+                let i0 = offset;
+                let i1 = offset + stride;
+                let a0 = self.amps[i0];
+                let a1 = self.amps[i1];
+                self.amps[i0] = m[0][0] * a0 + m[0][1] * a1;
+                self.amps[i1] = m[1][0] * a0 + m[1][1] * a1;
+            }
+            base += stride << 1;
+        }
+        Ok(())
+    }
+
+    /// Applies a single-qubit unitary to qubit `target`, controlled on
+    /// `control` being `|1⟩`.
+    ///
+    /// # Errors
+    ///
+    /// * [`QuantumError::QubitOutOfRange`] for bad indices.
+    /// * [`QuantumError::DuplicateQubits`] when `control == target`.
+    pub fn apply_controlled(
+        &mut self,
+        control: usize,
+        target: usize,
+        m: &Matrix2,
+    ) -> Result<(), QuantumError> {
+        self.check_qubit(control)?;
+        self.check_qubit(target)?;
+        if control == target {
+            return Err(QuantumError::DuplicateQubits);
+        }
+        let t_stride = 1usize << target;
+        let c_mask = 1usize << control;
+        let dim = self.amps.len();
+        let mut base = 0usize;
+        while base < dim {
+            for offset in base..base + t_stride {
+                if offset & c_mask == 0 {
+                    continue;
+                }
+                let i0 = offset;
+                let i1 = offset + t_stride;
+                let a0 = self.amps[i0];
+                let a1 = self.amps[i1];
+                self.amps[i0] = m[0][0] * a0 + m[0][1] * a1;
+                self.amps[i1] = m[1][0] * a0 + m[1][1] * a1;
+            }
+            base += t_stride << 1;
+        }
+        Ok(())
+    }
+
+    /// Applies a doubly-controlled single-qubit unitary (for Toffoli).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StateVector::apply_controlled`].
+    pub fn apply_controlled2(
+        &mut self,
+        c1: usize,
+        c2: usize,
+        target: usize,
+        m: &Matrix2,
+    ) -> Result<(), QuantumError> {
+        self.check_qubit(c1)?;
+        self.check_qubit(c2)?;
+        self.check_qubit(target)?;
+        if c1 == c2 || c1 == target || c2 == target {
+            return Err(QuantumError::DuplicateQubits);
+        }
+        let t_stride = 1usize << target;
+        let mask = (1usize << c1) | (1usize << c2);
+        let dim = self.amps.len();
+        let mut base = 0usize;
+        while base < dim {
+            for offset in base..base + t_stride {
+                if offset & mask != mask {
+                    continue;
+                }
+                let i0 = offset;
+                let i1 = offset + t_stride;
+                let a0 = self.amps[i0];
+                let a1 = self.amps[i1];
+                self.amps[i0] = m[0][0] * a0 + m[0][1] * a1;
+                self.amps[i1] = m[1][0] * a0 + m[1][1] * a1;
+            }
+            base += t_stride << 1;
+        }
+        Ok(())
+    }
+
+    /// Swaps qubits `a` and `b`.
+    ///
+    /// # Errors
+    ///
+    /// * [`QuantumError::QubitOutOfRange`] for bad indices.
+    /// * [`QuantumError::DuplicateQubits`] when `a == b`.
+    pub fn apply_swap(&mut self, a: usize, b: usize) -> Result<(), QuantumError> {
+        self.check_qubit(a)?;
+        self.check_qubit(b)?;
+        if a == b {
+            return Err(QuantumError::DuplicateQubits);
+        }
+        let ma = 1usize << a;
+        let mb = 1usize << b;
+        for i in 0..self.amps.len() {
+            let bit_a = (i & ma) != 0;
+            let bit_b = (i & mb) != 0;
+            if bit_a && !bit_b {
+                let j = (i & !ma) | mb;
+                self.amps.swap(i, j);
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies an arbitrary basis-state permutation `π`: the amplitude of
+    /// `|i⟩` moves to `|π(i)⟩`. The caller must supply a bijection; this is
+    /// how the modular-arithmetic "oracle" unitaries of Shor's algorithm are
+    /// executed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantumError::BadAmplitudes`] when `perm` is not a
+    /// permutation of `0..2^n`.
+    pub fn apply_permutation(&mut self, perm: &[usize]) -> Result<(), QuantumError> {
+        if perm.len() != self.amps.len() {
+            return Err(QuantumError::BadAmplitudes {
+                reason: "permutation length must equal state dimension",
+            });
+        }
+        let mut seen = vec![false; perm.len()];
+        for &p in perm {
+            if p >= perm.len() || seen[p] {
+                return Err(QuantumError::BadAmplitudes {
+                    reason: "not a permutation",
+                });
+            }
+            seen[p] = true;
+        }
+        let mut new_amps = vec![Complex::ZERO; self.amps.len()];
+        for (i, &p) in perm.iter().enumerate() {
+            new_amps[p] = self.amps[i];
+        }
+        self.amps = new_amps;
+        Ok(())
+    }
+
+    /// Probability that qubit `q` measures as `|1⟩`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantumError::QubitOutOfRange`] for a bad index.
+    pub fn prob_one(&self, q: usize) -> Result<f64, QuantumError> {
+        self.check_qubit(q)?;
+        let mask = 1usize << q;
+        Ok(self
+            .amps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & mask != 0)
+            .map(|(_, a)| a.norm_sqr())
+            .sum())
+    }
+
+    /// Measures qubit `q`, collapsing the state. Returns the outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantumError::QubitOutOfRange`] for a bad index.
+    pub fn measure_qubit<R: Rng>(&mut self, q: usize, rng: &mut R) -> Result<bool, QuantumError> {
+        let p1 = self.prob_one(q)?;
+        let outcome = rng.gen::<f64>() < p1;
+        let mask = 1usize << q;
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            let bit = (i & mask) != 0;
+            if bit != outcome {
+                *a = Complex::ZERO;
+            }
+        }
+        self.normalize();
+        Ok(outcome)
+    }
+
+    /// Measures the full register, collapsing to a basis state. Returns the
+    /// basis index.
+    pub fn measure_all<R: Rng>(&mut self, rng: &mut R) -> usize {
+        let r: f64 = rng.gen();
+        let mut acc = 0.0;
+        let mut outcome = self.amps.len() - 1;
+        for (i, a) in self.amps.iter().enumerate() {
+            acc += a.norm_sqr();
+            if r < acc {
+                outcome = i;
+                break;
+            }
+        }
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            *a = if i == outcome { Complex::ONE } else { Complex::ZERO };
+        }
+        outcome
+    }
+
+    /// Samples `shots` measurement outcomes *without* collapsing the state.
+    pub fn sample_counts<R: Rng>(&self, shots: usize, rng: &mut R) -> Vec<(usize, usize)> {
+        use std::collections::BTreeMap;
+        let mut counts: BTreeMap<usize, usize> = BTreeMap::new();
+        // Cumulative distribution for inversion sampling.
+        let mut cdf = Vec::with_capacity(self.amps.len());
+        let mut acc = 0.0;
+        for a in &self.amps {
+            acc += a.norm_sqr();
+            cdf.push(acc);
+        }
+        for _ in 0..shots {
+            let r: f64 = rng.gen::<f64>() * acc;
+            let idx = match cdf.binary_search_by(|p| p.partial_cmp(&r).expect("finite")) {
+                Ok(i) | Err(i) => i.min(self.amps.len() - 1),
+            };
+            *counts.entry(idx).or_insert(0) += 1;
+        }
+        counts.into_iter().collect()
+    }
+
+    /// The inner product `⟨self|other⟩`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantumError::BadRegisterWidth`] on width mismatch.
+    pub fn overlap(&self, other: &StateVector) -> Result<Complex, QuantumError> {
+        if self.n_qubits != other.n_qubits {
+            return Err(QuantumError::BadRegisterWidth {
+                n_qubits: other.n_qubits,
+            });
+        }
+        Ok(self
+            .amps
+            .iter()
+            .zip(&other.amps)
+            .map(|(a, b)| a.conj() * *b)
+            .sum())
+    }
+
+    /// The tensor product `self ⊗ other` (`other`'s qubits become the
+    /// low-order qubits of the result).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantumError::BadRegisterWidth`] when the combined width
+    /// exceeds [`MAX_QUBITS`].
+    pub fn tensor(&self, other: &StateVector) -> Result<StateVector, QuantumError> {
+        let n = self.n_qubits + other.n_qubits;
+        if n > MAX_QUBITS {
+            return Err(QuantumError::BadRegisterWidth { n_qubits: n });
+        }
+        let mut amps = vec![Complex::ZERO; 1 << n];
+        for (i, a) in self.amps.iter().enumerate() {
+            for (j, b) in other.amps.iter().enumerate() {
+                amps[(i << other.n_qubits) | j] = *a * *b;
+            }
+        }
+        Ok(StateVector { n_qubits: n, amps })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::matrices;
+    use numerics::rng::rng_from_seed;
+
+    #[test]
+    fn zero_state() {
+        let s = StateVector::zero(3);
+        assert_eq!(s.dim(), 8);
+        assert_eq!(s.probability(0).unwrap(), 1.0);
+        assert!((s.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn width_limits() {
+        assert!(StateVector::try_zero(0).is_err());
+        assert!(StateVector::try_zero(MAX_QUBITS + 1).is_err());
+    }
+
+    #[test]
+    fn basis_state() {
+        let s = StateVector::basis(2, 3).unwrap();
+        assert_eq!(s.probability(3).unwrap(), 1.0);
+        assert!(StateVector::basis(2, 4).is_err());
+    }
+
+    #[test]
+    fn from_amplitudes_normalizes() {
+        let s = StateVector::from_amplitudes(vec![
+            Complex::new(3.0, 0.0),
+            Complex::new(4.0, 0.0),
+        ])
+        .unwrap();
+        assert!((s.probability(0).unwrap() - 0.36).abs() < 1e-12);
+        assert!((s.probability(1).unwrap() - 0.64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_amplitudes_rejects_bad() {
+        assert!(StateVector::from_amplitudes(vec![Complex::ONE; 3]).is_err());
+        assert!(StateVector::from_amplitudes(vec![Complex::ZERO; 4]).is_err());
+        assert!(
+            StateVector::from_amplitudes(vec![Complex::new(f64::NAN, 0.0), Complex::ONE])
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn hadamard_and_x() {
+        let mut s = StateVector::zero(2);
+        s.apply_single(0, &matrices::HADAMARD).unwrap();
+        assert!((s.probability(0b00).unwrap() - 0.5).abs() < 1e-12);
+        assert!((s.probability(0b01).unwrap() - 0.5).abs() < 1e-12);
+        s.apply_single(1, &matrices::PAULI_X).unwrap();
+        assert!((s.probability(0b10).unwrap() - 0.5).abs() < 1e-12);
+        assert!((s.probability(0b11).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn controlled_x_makes_bell() {
+        let mut s = StateVector::zero(2);
+        s.apply_single(0, &matrices::HADAMARD).unwrap();
+        s.apply_controlled(0, 1, &matrices::PAULI_X).unwrap();
+        assert!((s.probability(0b00).unwrap() - 0.5).abs() < 1e-12);
+        assert!((s.probability(0b11).unwrap() - 0.5).abs() < 1e-12);
+        assert!(s.probability(0b01).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn controlled_requires_distinct() {
+        let mut s = StateVector::zero(2);
+        assert_eq!(
+            s.apply_controlled(1, 1, &matrices::PAULI_X),
+            Err(QuantumError::DuplicateQubits)
+        );
+    }
+
+    #[test]
+    fn toffoli_truth_table() {
+        for input in 0..8usize {
+            let mut s = StateVector::basis(3, input).unwrap();
+            s.apply_controlled2(0, 1, 2, &matrices::PAULI_X).unwrap();
+            let expected = if input & 0b11 == 0b11 {
+                input ^ 0b100
+            } else {
+                input
+            };
+            assert_eq!(s.probability(expected).unwrap(), 1.0, "input {input}");
+        }
+    }
+
+    #[test]
+    fn swap_exchanges_bits() {
+        for input in 0..4usize {
+            let mut s = StateVector::basis(2, input).unwrap();
+            s.apply_swap(0, 1).unwrap();
+            let expected = ((input & 1) << 1) | ((input >> 1) & 1);
+            assert_eq!(s.probability(expected).unwrap(), 1.0);
+        }
+    }
+
+    #[test]
+    fn permutation_applies() {
+        let mut s = StateVector::basis(2, 1).unwrap();
+        // Cyclic shift i -> i+1 mod 4.
+        s.apply_permutation(&[1, 2, 3, 0]).unwrap();
+        assert_eq!(s.probability(2).unwrap(), 1.0);
+        assert!(s.apply_permutation(&[0, 0, 1, 2]).is_err());
+        assert!(s.apply_permutation(&[0, 1]).is_err());
+    }
+
+    #[test]
+    fn norm_preserved_by_gates() {
+        let mut s = StateVector::zero(4);
+        let mut rng = rng_from_seed(3);
+        for i in 0..50 {
+            let q = i % 4;
+            s.apply_single(q, &matrices::HADAMARD).unwrap();
+            s.apply_single((q + 1) % 4, &matrices::phase(0.3)).unwrap();
+            s.apply_controlled(q, (q + 2) % 4, &matrices::PAULI_X)
+                .unwrap();
+            let _ = rng.gen::<f64>();
+        }
+        assert!((s.norm() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn measurement_collapses() {
+        let mut rng = rng_from_seed(1);
+        let mut s = StateVector::zero(1);
+        s.apply_single(0, &matrices::HADAMARD).unwrap();
+        let outcome = s.measure_qubit(0, &mut rng).unwrap();
+        let idx = usize::from(outcome);
+        assert!((s.probability(idx).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measurement_statistics() {
+        let mut rng = rng_from_seed(7);
+        let mut ones = 0;
+        for _ in 0..2000 {
+            let mut s = StateVector::zero(1);
+            s.apply_single(0, &matrices::HADAMARD).unwrap();
+            if s.measure_qubit(0, &mut rng).unwrap() {
+                ones += 1;
+            }
+        }
+        assert!((900..1100).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    fn sample_counts_total_and_support() {
+        let mut rng = rng_from_seed(5);
+        let mut s = StateVector::zero(2);
+        s.apply_single(0, &matrices::HADAMARD).unwrap();
+        let counts = s.sample_counts(1000, &mut rng);
+        let total: usize = counts.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 1000);
+        for (idx, _) in counts {
+            assert!(idx == 0 || idx == 1, "impossible outcome {idx}");
+        }
+    }
+
+    #[test]
+    fn overlap_and_tensor() {
+        let zero = StateVector::zero(1);
+        let one = StateVector::basis(1, 1).unwrap();
+        assert!((zero.overlap(&zero).unwrap().re - 1.0).abs() < 1e-12);
+        assert!(zero.overlap(&one).unwrap().norm() < 1e-12);
+
+        let prod = one.tensor(&zero).unwrap();
+        assert_eq!(prod.n_qubits(), 2);
+        // `one` occupies the high qubit: |1⟩⊗|0⟩ = |10⟩ = index 2.
+        assert_eq!(prod.probability(2).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn measure_all_deterministic_on_basis() {
+        let mut rng = rng_from_seed(2);
+        let mut s = StateVector::basis(3, 5).unwrap();
+        assert_eq!(s.measure_all(&mut rng), 5);
+        assert_eq!(s.probability(5).unwrap(), 1.0);
+    }
+}

@@ -1,0 +1,174 @@
+//! The swap test: quantum state-overlap estimation.
+//!
+//! Given registers prepared in `|a⟩` and `|b⟩` plus one ancilla, the swap
+//! test measures the ancilla as `|0⟩` with probability
+//! `(1 + |⟨a|b⟩|²)/2`. Repeating the test estimates the squared overlap —
+//! the similarity primitive behind the paper's DNA-comparison discussion
+//! ([`crate::dna`]).
+//!
+//! # Example
+//!
+//! ```
+//! use quantum::state::StateVector;
+//! use quantum::swap_test;
+//! use numerics::rng::rng_from_seed;
+//!
+//! let a = StateVector::basis(2, 1)?;
+//! let b = StateVector::basis(2, 1)?;
+//! let mut rng = rng_from_seed(5);
+//! let est = swap_test::estimate_overlap_sq(&a, &b, 500, &mut rng)?;
+//! assert!(est > 0.9, "identical states: {est}");
+//! # Ok::<(), quantum::QuantumError>(())
+//! ```
+
+use crate::gate::{matrices, Gate};
+use crate::state::StateVector;
+use crate::QuantumError;
+use rand::Rng;
+
+/// Runs one swap test and returns the ancilla measurement (`false` = `|0⟩`).
+///
+/// Register layout: ancilla is the highest qubit; `a` occupies the low
+/// qubits, `b` the middle qubits.
+///
+/// # Errors
+///
+/// * [`QuantumError::BadRegisterWidth`] when the registers differ in width
+///   or the combined register exceeds the simulator limit.
+pub fn swap_test_once<R: Rng>(
+    a: &StateVector,
+    b: &StateVector,
+    rng: &mut R,
+) -> Result<bool, QuantumError> {
+    if a.n_qubits() != b.n_qubits() {
+        return Err(QuantumError::BadRegisterWidth {
+            n_qubits: b.n_qubits(),
+        });
+    }
+    let m = a.n_qubits();
+    // ancilla ⊗ b ⊗ a : a on qubits 0..m, b on m..2m, ancilla at 2m.
+    let ancilla = StateVector::try_zero(1)?;
+    let combined = ancilla.tensor(b)?.tensor(a)?;
+    let mut state = combined;
+    let anc = 2 * m;
+    Gate::H(anc).apply(&mut state)?;
+    // Controlled swap of register pairs, qubit by qubit (Fredkin gates built
+    // from the doubly-controlled X identity: CSWAP = CX(b,a)·CCX(anc,a,b)·CX(b,a)).
+    for q in 0..m {
+        let qa = q;
+        let qb = m + q;
+        state.apply_controlled(qb, qa, &matrices::PAULI_X)?;
+        state.apply_controlled2(anc, qa, qb, &matrices::PAULI_X)?;
+        state.apply_controlled(qb, qa, &matrices::PAULI_X)?;
+    }
+    Gate::H(anc).apply(&mut state)?;
+    state.measure_qubit(anc, rng)
+}
+
+/// Estimates `|⟨a|b⟩|²` from `shots` swap tests:
+/// `est = max(0, 2·P(ancilla = 0) − 1)`.
+///
+/// # Errors
+///
+/// * Propagates [`swap_test_once`] errors.
+/// * [`QuantumError::Algorithm`] when `shots == 0`.
+pub fn estimate_overlap_sq<R: Rng>(
+    a: &StateVector,
+    b: &StateVector,
+    shots: usize,
+    rng: &mut R,
+) -> Result<f64, QuantumError> {
+    if shots == 0 {
+        return Err(QuantumError::Algorithm {
+            reason: "swap test needs at least one shot".into(),
+        });
+    }
+    let mut zeros = 0usize;
+    for _ in 0..shots {
+        if !swap_test_once(a, b, rng)? {
+            zeros += 1;
+        }
+    }
+    let p0 = zeros as f64 / shots as f64;
+    Ok((2.0 * p0 - 1.0).max(0.0))
+}
+
+/// The exact squared overlap `|⟨a|b⟩|²` (the simulator has the amplitudes,
+/// so the sampled estimate can be validated against truth).
+///
+/// # Errors
+///
+/// Returns [`QuantumError::BadRegisterWidth`] on width mismatch.
+pub fn exact_overlap_sq(a: &StateVector, b: &StateVector) -> Result<f64, QuantumError> {
+    Ok(a.overlap(b)?.norm_sqr())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numerics::rng::rng_from_seed;
+    use numerics::Complex;
+
+    #[test]
+    fn identical_states_full_overlap() {
+        let mut rng = rng_from_seed(1);
+        let a = StateVector::basis(2, 2).unwrap();
+        let est = estimate_overlap_sq(&a, &a.clone(), 400, &mut rng).unwrap();
+        assert!(est > 0.9, "est {est}");
+        assert!((exact_overlap_sq(&a, &a).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn orthogonal_states_zero_overlap() {
+        let mut rng = rng_from_seed(2);
+        let a = StateVector::basis(2, 0).unwrap();
+        let b = StateVector::basis(2, 3).unwrap();
+        let est = estimate_overlap_sq(&a, &b, 400, &mut rng).unwrap();
+        assert!(est < 0.15, "est {est}");
+        assert!(exact_overlap_sq(&a, &b).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn partial_overlap_tracks_truth() {
+        let mut rng = rng_from_seed(3);
+        // |a⟩ = |0⟩, |b⟩ = cos θ |0⟩ + sin θ |1⟩ with overlap² = cos²θ.
+        let theta: f64 = 0.7;
+        let a = StateVector::basis(1, 0).unwrap();
+        let b = StateVector::from_amplitudes(vec![
+            Complex::new(theta.cos(), 0.0),
+            Complex::new(theta.sin(), 0.0),
+        ])
+        .unwrap();
+        let truth = exact_overlap_sq(&a, &b).unwrap();
+        let est = estimate_overlap_sq(&a, &b, 3000, &mut rng).unwrap();
+        assert!((est - truth).abs() < 0.06, "est {est} vs truth {truth}");
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let mut rng = rng_from_seed(4);
+        let a = StateVector::zero(1);
+        let b = StateVector::zero(2);
+        assert!(swap_test_once(&a, &b, &mut rng).is_err());
+    }
+
+    #[test]
+    fn zero_shots_rejected() {
+        let mut rng = rng_from_seed(4);
+        let a = StateVector::zero(1);
+        assert!(estimate_overlap_sq(&a, &a.clone(), 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn estimate_clamped_nonnegative() {
+        // Orthogonal states can yield p0 slightly below 1/2 by sampling
+        // noise; the estimator must clamp at zero.
+        let mut rng = rng_from_seed(6);
+        let a = StateVector::basis(1, 0).unwrap();
+        let b = StateVector::basis(1, 1).unwrap();
+        for _ in 0..5 {
+            let est = estimate_overlap_sq(&a, &b, 21, &mut rng).unwrap();
+            assert!(est >= 0.0);
+        }
+    }
+}

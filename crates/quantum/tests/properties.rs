@@ -1,0 +1,122 @@
+//! Property-based tests of the quantum crate's invariants.
+
+use proptest::prelude::*;
+use quantum::circuit::Circuit;
+use quantum::decompose::decompose_circuit;
+use quantum::gate::Gate;
+use quantum::isa::{assemble, Program};
+use quantum::numtheory;
+use quantum::state::StateVector;
+
+fn gate_strategy(n: usize) -> impl Strategy<Value = Gate> {
+    let q = 0..n;
+    let q2 = move || {
+        (0..n, 0..n)
+            .prop_filter_map("distinct", |(a, b)| if a == b { None } else { Some((a, b)) })
+    };
+    prop_oneof![
+        q.clone().prop_map(Gate::H),
+        q.clone().prop_map(Gate::X),
+        q.clone().prop_map(Gate::Y),
+        q.clone().prop_map(Gate::Z),
+        q.clone().prop_map(Gate::S),
+        q.clone().prop_map(Gate::Tdg),
+        (q, -3.0f64..3.0).prop_map(|(q, t)| Gate::Rz(q, t)),
+        q2().prop_map(|(a, b)| Gate::CX(a, b)),
+        q2().prop_map(|(a, b)| Gate::CZ(a, b)),
+        q2().prop_map(|(a, b)| Gate::Swap(a, b)),
+        q2().prop_map(|(a, b)| Gate::CPhase(a, b, 0.7)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Decomposition to {1q, CX} preserves circuit semantics exactly.
+    #[test]
+    fn decomposition_preserves_semantics(gates in prop::collection::vec(gate_strategy(3), 1..15)) {
+        let mut c = Circuit::new(3).unwrap();
+        for g in &gates {
+            c.push(*g).unwrap();
+        }
+        let lowered = decompose_circuit(&c).unwrap();
+        prop_assert!(lowered.gates().iter().all(|g| g.arity() <= 2));
+        for basis in 0..8usize {
+            let a = c.run(StateVector::basis(3, basis).unwrap()).unwrap();
+            let b = lowered.run(StateVector::basis(3, basis).unwrap()).unwrap();
+            let fidelity = a.overlap(&b).unwrap().norm();
+            prop_assert!((fidelity - 1.0).abs() < 1e-8, "basis {}: fidelity {}", basis, fidelity);
+        }
+    }
+
+    /// Assembly round-trips programs built from circuits.
+    #[test]
+    fn isa_roundtrip(gates in prop::collection::vec(gate_strategy(4), 0..20)) {
+        let mut c = Circuit::new(4).unwrap();
+        for g in &gates {
+            c.push(*g).unwrap();
+        }
+        let program = Program::from_circuit(&c, true);
+        let text = program.disassemble();
+        let reparsed = assemble(&text).unwrap();
+        prop_assert_eq!(reparsed, program);
+    }
+
+    /// Probabilities of a state always sum to 1 after arbitrary circuits.
+    #[test]
+    fn probabilities_normalized(gates in prop::collection::vec(gate_strategy(4), 1..30)) {
+        let mut state = StateVector::zero(4);
+        for g in &gates {
+            g.apply(&mut state).unwrap();
+        }
+        let total: f64 = (0..state.dim())
+            .map(|i| state.probability(i).unwrap())
+            .sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    /// mod_pow agrees with the naive product for small exponents.
+    #[test]
+    fn mod_pow_agrees_with_naive(base in 1u64..50, exp in 0u64..12, modulus in 2u64..1000) {
+        let naive = (0..exp).fold(1u64, |acc, _| acc * (base % modulus) % modulus);
+        prop_assert_eq!(numtheory::mod_pow(base, exp, modulus), naive);
+    }
+
+    /// gcd divides both arguments and any common divisor divides it.
+    #[test]
+    fn gcd_is_greatest(a in 1u64..10_000, b in 1u64..10_000) {
+        let g = numtheory::gcd(a, b);
+        prop_assert_eq!(a % g, 0);
+        prop_assert_eq!(b % g, 0);
+        for d in (g + 1)..=(a.min(b)).min(g + 50) {
+            prop_assert!(!(a % d == 0 && b % d == 0), "common divisor {} > gcd {}", d, g);
+        }
+    }
+
+    /// Convergents of p/q include the exact fraction when q is small.
+    #[test]
+    fn convergents_reach_exact_fraction(p in 1u64..50, q in 1u64..50) {
+        let g = numtheory::gcd(p, q);
+        let (pr, qr) = (p / g, q / g);
+        let convergents = numtheory::convergents(p, q, qr);
+        prop_assert!(
+            convergents.contains(&(pr, qr)),
+            "{}/{} not among {:?}",
+            pr,
+            qr,
+            convergents
+        );
+    }
+
+    /// Multiplicative order divides Euler's totient (Lagrange, spot form):
+    /// a^order = 1 and no smaller positive power is 1.
+    #[test]
+    fn multiplicative_order_minimal(a in 2u64..40, n in 3u64..60) {
+        prop_assume!(numtheory::gcd(a, n) == 1);
+        let order = numtheory::multiplicative_order(a, n).unwrap();
+        prop_assert_eq!(numtheory::mod_pow(a, order, n), 1);
+        for r in 1..order {
+            prop_assert_ne!(numtheory::mod_pow(a, r, n), 1, "smaller order {} exists", r);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Quantum DNA-sequence similarity (paper §II-C): k-mer profiles amplitude-
+//! encoded "as a superposition of a single wave function", compared by swap
+//! test, validated against classical measures.
+//!
+//! Run with: `cargo run --release --example dna_similarity`
+
+use numerics::rng::rng_from_seed;
+use quantum::dna;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = rng_from_seed(21);
+    let reference = dna::random_sequence(&mut rng, 120);
+    println!("reference sequence ({} bases)\n", reference.len());
+    println!(
+        "{:>12} | {:>12} | {:>12} | {:>12} | {:>9}",
+        "mutation", "swap test", "exact |<a|b>|2", "cosine", "edit dist"
+    );
+    println!("{}", "-".repeat(68));
+    for rate in [0.0, 0.02, 0.05, 0.1, 0.2, 0.4] {
+        let mutated = dna::mutate_sequence(&mut rng, &reference, rate);
+        let sampled = dna::quantum_similarity(&reference, &mutated, 3, 800, &mut rng)?;
+        let exact = dna::exact_similarity(&reference, &mutated, 3)?;
+        let cosine = dna::cosine_similarity(&reference, &mutated, 3)?;
+        let edit = dna::edit_distance(&reference, &mutated);
+        println!(
+            "{:>11.0}% | {:>12.4} | {:>12.4} | {:>12.4} | {:>9}",
+            rate * 100.0,
+            sampled,
+            exact,
+            cosine,
+            edit
+        );
+    }
+    println!("\nThe swap-test estimate tracks the exact overlap, and the quantum");
+    println!("similarity ranking agrees with the classical edit-distance ranking.");
+    Ok(())
+}

@@ -1,0 +1,4 @@
+//! Workspace-root helper library for the `rebooting-models` reproduction.
+//!
+//! The actual functionality lives in the workspace crates; this package
+//! exists to own the repository-level `examples/` and `tests/` directories.

@@ -1,0 +1,184 @@
+//! Integration: the §IV memcomputing pipeline — generators → DMM vs
+//! classical solvers → trajectory analysis → spin glass → RBM training.
+
+use mem::analysis::{boundedness, cluster_flip_stats, recurrence_check};
+use mem::assignment::Assignment;
+use mem::dmm::{DmmParams, DmmSolver};
+use mem::dpll::Dpll;
+use mem::generators::{frustrated_loop_ising, planted_3sat, random_ksat};
+use mem::ising::{AnnealSchedule, SimulatedAnnealing};
+use mem::maxsat::{MaxSatDmm, MaxSatDmmParams, WeightedFormula};
+use mem::walksat::{WalkSat, WalkSatParams};
+
+#[test]
+fn all_three_solvers_agree_on_planted_instances() {
+    for seed in 0..3u64 {
+        let inst = planted_3sat(25, 4.0, seed).unwrap();
+        let dmm = DmmSolver::new(DmmParams::default())
+            .solve(&inst.formula, seed)
+            .unwrap();
+        let ws = WalkSat::new(WalkSatParams::default()).solve(&inst.formula, seed);
+        let dp = Dpll::new(10_000_000).solve(&inst.formula);
+        for (name, solution) in [
+            ("dmm", dmm.solution),
+            ("walksat", ws.solution),
+            ("dpll", dp.solution),
+        ] {
+            let sol = solution.unwrap_or_else(|| panic!("{name} failed on seed {seed}"));
+            assert!(inst.formula.is_satisfied(&sol), "{name} invalid solution");
+        }
+    }
+}
+
+#[test]
+fn dmm_respects_unsat_instances() {
+    // DPLL proves UNSAT; the DMM must never claim a solution.
+    let f = mem::dimacs::parse("p cnf 2 4\n1 2 0\n1 -2 0\n-1 2 0\n-1 -2 0\n").unwrap();
+    assert!(Dpll::new(1000).solve(&f).proved_unsat());
+    let params = DmmParams {
+        max_steps: 3_000,
+        ..DmmParams::default()
+    };
+    let outcome = DmmSolver::new(params).solve(&f, 1).unwrap();
+    assert!(outcome.solution.is_none());
+    assert!(outcome.best_unsat >= 1);
+}
+
+#[test]
+fn dmm_noise_robustness_plateau() {
+    // The ref.-[59] experiment shape: moderate ODE noise leaves success
+    // intact.
+    let inst = planted_3sat(20, 4.0, 7).unwrap();
+    for sigma in [0.0, 0.02, 0.08] {
+        let params = DmmParams {
+            noise_sigma: sigma,
+            ..DmmParams::default()
+        };
+        let outcome = DmmSolver::new(params).solve(&inst.formula, 3).unwrap();
+        let sol = outcome
+            .solution
+            .unwrap_or_else(|| panic!("failed at sigma {sigma}"));
+        assert!(inst.formula.is_satisfied(&sol));
+    }
+}
+
+#[test]
+fn dmm_trajectories_bounded_and_acyclic() {
+    let inst = planted_3sat(25, 4.2, 11).unwrap();
+    let outcome = DmmSolver::new(DmmParams::default())
+        .solve(&inst.formula, 9)
+        .unwrap();
+    assert!(outcome.solution.is_some());
+    assert!(boundedness(&outcome).bounded);
+    // Refs. [52, 53]: with a solution present, the digital projection makes
+    // monotone-ish progress without revisiting configurations.
+    let rec = recurrence_check(&outcome.checkpoints);
+    assert!(
+        !rec.has_cycle(),
+        "cycle of length {} detected",
+        rec.longest_cycle
+    );
+}
+
+#[test]
+fn dmm_flips_clusters_annealer_flips_spins() {
+    // The DLRO contrast of ref. [56]: between checkpoints the DMM flips
+    // whole clusters; Metropolis flips one spin per accepted move.
+    let inst = planted_3sat(30, 4.2, 13).unwrap();
+    let outcome = DmmSolver::new(DmmParams::default())
+        .solve(&inst.formula, 2)
+        .unwrap();
+    let stats = cluster_flip_stats(&outcome.checkpoints);
+    assert!(
+        stats.max_size > 1,
+        "DMM never flipped a cluster: {stats:?}"
+    );
+}
+
+#[test]
+fn dmm_reaches_spin_glass_ground_state_via_maxsat() {
+    let inst = frustrated_loop_ising(4, 4, 5).unwrap();
+    // Reduce the Ising ground-state search to a QUBO and then MaxSAT.
+    let mut qubo = mem::qubo::Qubo::new(inst.model.n_spins()).unwrap();
+    for &(a, b, j) in inst.model.couplings() {
+        // E = −J s_a s_b with s = 2x − 1:
+        // −J(2xa−1)(2xb−1) = −4J xa xb + 2J xa + 2J xb − J.
+        qubo.add_quadratic(a, b, -4.0 * j).unwrap();
+        qubo.add_linear(a, 2.0 * j).unwrap();
+        qubo.add_linear(b, 2.0 * j).unwrap();
+    }
+    let (bits, _) = qubo
+        .minimize_dmm(MaxSatDmmParams::default(), 3)
+        .unwrap();
+    let energy = inst.model.energy(&Assignment::from_bools(&bits));
+    assert!(
+        (energy - inst.ground_energy).abs() < 1e-9,
+        "dmm energy {energy} vs ground {}",
+        inst.ground_energy
+    );
+}
+
+#[test]
+fn annealer_also_finds_small_ground_states() {
+    let inst = frustrated_loop_ising(4, 3, 9).unwrap();
+    let sa = SimulatedAnnealing::new(AnnealSchedule::default());
+    let result = sa.run(&inst.model, 4);
+    assert!(
+        (result.best_energy - inst.ground_energy).abs() < 1e-9,
+        "sa energy {} vs ground {}",
+        result.best_energy,
+        inst.ground_energy
+    );
+}
+
+#[test]
+fn maxsat_dmm_beats_or_matches_gsat_on_weighted_conflicts() {
+    use mem::cnf::{Clause, Literal};
+    // A weighted instance with a known optimum: chain of conflicting units.
+    let mut clauses = Vec::new();
+    for v in 0..6 {
+        clauses.push((Clause::new(vec![Literal::positive(v)]).unwrap(), 3.0));
+        clauses.push((Clause::new(vec![Literal::negative(v)]).unwrap(), 1.0));
+    }
+    let wf = WeightedFormula::new(6, clauses).unwrap();
+    let dmm = MaxSatDmm::new(MaxSatDmmParams::default()).solve(&wf, 1).unwrap();
+    // Optimum: all true, cost 6 × 1.0.
+    assert!((dmm.best_cost - 6.0).abs() < 1e-9, "cost {}", dmm.best_cost);
+}
+
+#[test]
+fn boolean_circuit_self_organizes_through_dmm() {
+    // The paper's §IV construction, end to end: write the problem as a
+    // Boolean circuit, replace each gate by its SOLG (Tseitin clauses),
+    // pin the output, and let the dynamics self-organize the inputs.
+    use mem::encode::{BoolCircuit, GateKind};
+    // out = (in0 XOR in1) AND (in2 OR ¬in3), forced true.
+    let mut circuit = BoolCircuit::new(4);
+    let x = circuit.add_gate(GateKind::Xor, &[0, 1]).unwrap();
+    let n3 = circuit.add_gate(GateKind::Not, &[3]).unwrap();
+    let o = circuit.add_gate(GateKind::Or, &[2, n3]).unwrap();
+    let out = circuit.add_gate(GateKind::And, &[x, o]).unwrap();
+    let formula = circuit.to_cnf(&[(out, true)]).unwrap();
+
+    let outcome = DmmSolver::new(DmmParams::default())
+        .solve(&formula, 5)
+        .unwrap();
+    let solution = outcome.solution.expect("solvable circuit constraint");
+    // The self-organized inputs must actually drive the circuit true.
+    let inputs: Vec<bool> = (0..4).map(|i| solution.value(i)).collect();
+    let wires = circuit.evaluate(&inputs);
+    assert!(wires[out], "DMM inputs {inputs:?} do not satisfy the circuit");
+}
+
+#[test]
+fn dimacs_roundtrip_through_solver() {
+    let f = random_ksat(15, 3, 3.0, 21).unwrap();
+    let text = mem::dimacs::emit(&f);
+    let parsed = mem::dimacs::parse(&text).unwrap();
+    assert_eq!(parsed, f);
+    // Solving the reparsed formula gives a valid answer.
+    let out = WalkSat::new(WalkSatParams::default()).solve(&parsed, 1);
+    if let Some(sol) = out.solution {
+        assert!(f.is_satisfied(&sol));
+    }
+}
