@@ -29,8 +29,9 @@ use quantum::numtheory::trial_division;
 
 /// A device that can execute some subset of kernels.
 ///
-/// Object-safe so the host can hold heterogeneous backends.
-pub trait Accelerator {
+/// Object-safe so the host can hold heterogeneous backends, and `Send` so
+/// the `runtime` crate's worker threads can own backend sets.
+pub trait Accelerator: Send {
     /// A stable backend name for reports and errors.
     fn name(&self) -> &str;
 
@@ -44,6 +45,15 @@ pub trait Accelerator {
     /// Returns [`AccelError::Unsupported`] for unsupported kernels or a
     /// wrapped backend failure.
     fn execute(&mut self, kernel: &Kernel) -> Result<KernelExecution, AccelError>;
+
+    /// Resets the backend's stochastic state to a deterministic seed.
+    ///
+    /// Concurrent serving dispatches jobs to whichever backend instance is
+    /// free, so a backend that advances an internal RNG per execution would
+    /// make job results depend on scheduling history. Reseeding before each
+    /// execution pins every job's result to its own seed instead. The
+    /// default is a no-op for backends with no stochastic state.
+    fn reseed(&mut self, _seed: u64) {}
 }
 
 /// The classical (von Neumann) reference backend.
@@ -87,6 +97,10 @@ impl Accelerator for CpuBackend {
 
     fn supports(&self, _kernel: &Kernel) -> bool {
         true
+    }
+
+    fn reseed(&mut self, seed: u64) {
+        self.seed = seed;
     }
 
     fn execute(&mut self, kernel: &Kernel) -> Result<KernelExecution, AccelError> {

@@ -35,6 +35,28 @@ const QUANTUM_NAME: &str = "quantum";
 const OSC_NAME: &str = "oscillator";
 const MEM_NAME: &str = "memcomputing";
 
+/// Builds the full heterogeneous pool — quantum, oscillator, memcomputing,
+/// and the CPU fallback — in the priority order
+/// [`crate::host::DispatchPolicy::PreferSpecialized`] expects.
+///
+/// This is the constructor the `runtime` crate's workers use: each worker
+/// thread owns its own pool, so backends only need `Send`, not `Sync`.
+///
+/// # Errors
+///
+/// Propagates oscillator calibration failures.
+pub fn standard_pool(
+    seed: u64,
+) -> Result<Vec<Box<dyn crate::accelerator::Accelerator>>, AccelError> {
+    let mut seeds = SeedStream::new(seed);
+    Ok(vec![
+        Box::new(QuantumBackend::new(seeds.next_seed())),
+        Box::new(OscillatorBackend::new()?),
+        Box::new(MemBackend::new(seeds.next_seed())),
+        Box::new(crate::accelerator::CpuBackend::new(seeds.next_seed())),
+    ])
+}
+
 /// The quantum accelerator (Fig. 2's stack over the state-vector chip).
 #[derive(Debug, Clone)]
 pub struct QuantumBackend {
@@ -65,6 +87,10 @@ impl QuantumBackend {
 impl Accelerator for QuantumBackend {
     fn name(&self) -> &str {
         QUANTUM_NAME
+    }
+
+    fn reseed(&mut self, seed: u64) {
+        self.seeds.reseed(seed);
     }
 
     fn supports(&self, kernel: &Kernel) -> bool {
@@ -200,6 +226,10 @@ impl MemBackend {
 impl Accelerator for MemBackend {
     fn name(&self) -> &str {
         MEM_NAME
+    }
+
+    fn reseed(&mut self, seed: u64) {
+        self.seeds.reseed(seed);
     }
 
     fn supports(&self, kernel: &Kernel) -> bool {

@@ -46,6 +46,15 @@ pub struct BackendStats {
     pub operations: u64,
 }
 
+/// A completed dispatch: which backend ran the kernel, and the execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DispatchReport {
+    /// Name of the backend that executed the kernel.
+    pub backend: String,
+    /// The execution result and cost.
+    pub execution: KernelExecution,
+}
+
 /// The host runtime: backends + dispatch accounting.
 pub struct HostRuntime {
     policy: DispatchPolicy,
@@ -89,9 +98,7 @@ impl HostRuntime {
 
     /// Registers a backend (later registrations have lower priority).
     pub fn register(&mut self, backend: Box<dyn Accelerator>) {
-        self.stats
-            .entry(backend.name().to_string())
-            .or_default();
+        self.stats.entry(backend.name().to_string()).or_default();
         self.backends.push(backend);
     }
 
@@ -99,6 +106,21 @@ impl HostRuntime {
     #[must_use]
     pub fn backend_names(&self) -> Vec<String> {
         self.backends.iter().map(|b| b.name().to_string()).collect()
+    }
+
+    /// Index of the backend the policy selects for `kernel`, if any.
+    fn select(&self, kernel: &Kernel) -> Option<usize> {
+        match self.policy {
+            DispatchPolicy::CpuOnly => self
+                .backends
+                .iter()
+                .position(|b| b.name() == "cpu" && b.supports(kernel)),
+            DispatchPolicy::PreferSpecialized => self
+                .backends
+                .iter()
+                .position(|b| b.name() != "cpu" && b.supports(kernel))
+                .or_else(|| self.backends.iter().position(|b| b.supports(kernel))),
+        }
     }
 
     /// Dispatches one kernel according to the policy.
@@ -109,30 +131,44 @@ impl HostRuntime {
     ///   the policy.
     /// * Propagates backend execution failures.
     pub fn dispatch(&mut self, kernel: &Kernel) -> Result<KernelExecution, AccelError> {
-        let idx = match self.policy {
-            DispatchPolicy::CpuOnly => self
-                .backends
-                .iter()
-                .position(|b| b.name() == "cpu" && b.supports(kernel)),
-            DispatchPolicy::PreferSpecialized => self
-                .backends
-                .iter()
-                .position(|b| b.name() != "cpu" && b.supports(kernel))
-                .or_else(|| self.backends.iter().position(|b| b.supports(kernel))),
-        };
-        let Some(idx) = idx else {
+        self.dispatch_traced(kernel, None).map(|r| r.execution)
+    }
+
+    /// Dispatches one kernel, reporting which backend ran it, optionally
+    /// reseeding the selected backend first.
+    ///
+    /// Reseeding makes the result a pure function of `(kernel, seed)`
+    /// rather than of the backend's execution history, which is what the
+    /// `runtime` crate's concurrent workers need for results that are
+    /// reproducible independent of scheduling order.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`HostRuntime::dispatch`].
+    pub fn dispatch_traced(
+        &mut self,
+        kernel: &Kernel,
+        reseed: Option<u64>,
+    ) -> Result<DispatchReport, AccelError> {
+        let Some(idx) = self.select(kernel) else {
             return Err(AccelError::NoBackend {
                 kernel: kernel.describe(),
             });
         };
         let backend = &mut self.backends[idx];
         let name = backend.name().to_string();
+        if let Some(seed) = reseed {
+            backend.reseed(seed);
+        }
         let execution = backend.execute(kernel)?;
-        let entry = self.stats.entry(name).or_default();
+        let entry = self.stats.entry(name.clone()).or_default();
         entry.kernels += 1;
         entry.device_seconds += execution.cost.device_seconds;
         entry.operations += execution.cost.operations;
-        Ok(execution)
+        Ok(DispatchReport {
+            backend: name,
+            execution,
+        })
     }
 
     /// Runs a workload of kernels, returning the executions in order.
@@ -140,10 +176,7 @@ impl HostRuntime {
     /// # Errors
     ///
     /// Fails on the first kernel that cannot be dispatched or executed.
-    pub fn run_workload(
-        &mut self,
-        kernels: &[Kernel],
-    ) -> Result<Vec<KernelExecution>, AccelError> {
+    pub fn run_workload(&mut self, kernels: &[Kernel]) -> Result<Vec<KernelExecution>, AccelError> {
         kernels.iter().map(|k| self.dispatch(k)).collect()
     }
 
@@ -244,5 +277,100 @@ mod tests {
     fn backend_names_in_priority_order() {
         let host = hetero_host();
         assert_eq!(host.backend_names(), vec!["quantum", "memcomputing", "cpu"]);
+    }
+
+    #[test]
+    fn prefer_specialized_respects_registration_order() {
+        // Quantum registered after mem: still wins Factor because it is
+        // the first *supporting* non-CPU backend; mem never claims Factor.
+        let mut host = HostRuntime::new(DispatchPolicy::PreferSpecialized);
+        host.register(Box::new(MemBackend::new(1)));
+        host.register(Box::new(QuantumBackend::new(2)));
+        host.register(Box::new(CpuBackend::new(3)));
+        host.dispatch(&Kernel::Factor { n: 15 }).unwrap();
+        assert_eq!(host.stats()["quantum"].kernels, 1);
+        assert_eq!(host.stats()["memcomputing"].kernels, 0);
+    }
+
+    #[test]
+    fn prefer_specialized_falls_back_to_cpu_in_order() {
+        // No specialized backend supports Compare: the fallback scan must
+        // pick the first supporting backend overall, which is the CPU.
+        let mut host = hetero_host();
+        let report = host
+            .dispatch_traced(&Kernel::Compare { x: 0.25, y: 0.75 }, None)
+            .unwrap();
+        assert_eq!(report.backend, "cpu");
+    }
+
+    #[test]
+    fn cpu_only_baseline_runs_every_kernel_class() {
+        let mut host = HostRuntime::new(DispatchPolicy::CpuOnly);
+        host.register(Box::new(QuantumBackend::new(1)));
+        host.register(Box::new(MemBackend::new(2)));
+        host.register(Box::new(CpuBackend::new(3)));
+        let inst = planted_3sat(10, 3.5, 7).unwrap();
+        let kernels = vec![
+            Kernel::Factor { n: 15 },
+            Kernel::Search {
+                n_qubits: 4,
+                marked: vec![3],
+            },
+            Kernel::SolveSat {
+                formula: inst.formula,
+            },
+            Kernel::Compare { x: 0.1, y: 0.6 },
+        ];
+        let runs = host.run_workload(&kernels).unwrap();
+        assert_eq!(runs.len(), 4);
+        assert_eq!(host.stats()["cpu"].kernels, 4);
+        assert_eq!(host.stats()["quantum"].kernels, 0);
+        assert_eq!(host.stats()["memcomputing"].kernels, 0);
+    }
+
+    #[test]
+    fn unsupported_kernel_errors_not_panics() {
+        // A host with only specialized backends and a kernel none support.
+        let mut host = HostRuntime::new(DispatchPolicy::PreferSpecialized);
+        host.register(Box::new(QuantumBackend::new(1)));
+        host.register(Box::new(MemBackend::new(2)));
+        let err = host
+            .dispatch(&Kernel::Compare { x: 0.0, y: 1.0 })
+            .unwrap_err();
+        assert!(matches!(err, AccelError::NoBackend { .. }));
+        assert!(err.to_string().contains("compare"));
+    }
+
+    #[test]
+    fn stats_accounting_sums_costs() {
+        let mut host = hetero_host();
+        let a = host.dispatch(&Kernel::Factor { n: 15 }).unwrap();
+        let b = host.dispatch(&Kernel::Factor { n: 21 }).unwrap();
+        let s = host.stats()["quantum"];
+        assert_eq!(s.kernels, 2);
+        assert_eq!(s.operations, a.cost.operations + b.cost.operations);
+        let expected = a.cost.device_seconds + b.cost.device_seconds;
+        assert!((s.device_seconds - expected).abs() < 1e-15);
+        assert!((host.total_device_seconds() - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn seeded_dispatch_is_reproducible() {
+        // Same (kernel, seed) must yield identical results regardless of
+        // how many executions the backend ran before — the property the
+        // concurrent runtime depends on.
+        let kernel = Kernel::DnaSimilarity {
+            a: "ACGTACGTACGT".into(),
+            b: "ACGTTCGTACGA".into(),
+            k: 2,
+        };
+        let mut host = hetero_host();
+        let first = host.dispatch_traced(&kernel, Some(99)).unwrap();
+        // Burn executions to advance backend state.
+        host.dispatch(&Kernel::Factor { n: 15 }).unwrap();
+        host.dispatch_traced(&kernel, Some(11)).unwrap();
+        let again = host.dispatch_traced(&kernel, Some(99)).unwrap();
+        assert_eq!(first.backend, again.backend);
+        assert_eq!(first.execution.result, again.execution.result);
     }
 }

@@ -23,10 +23,10 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+use numerics::rng::Rng;
 use quantum::isa::Program;
 use quantum::microarch::{ExecutionReport, Microarchitecture, TimingModel};
 use quantum::QuantumError;
-use rand::Rng;
 
 /// The layers of Fig. 2, top to bottom.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -164,11 +164,7 @@ impl StackModel {
     /// # Errors
     ///
     /// Propagates micro-architecture execution errors.
-    pub fn run<R: Rng>(
-        &self,
-        program: &Program,
-        rng: &mut R,
-    ) -> Result<StackReport, QuantumError> {
+    pub fn run<R: Rng>(&self, program: &Program, rng: &mut R) -> Result<StackReport, QuantumError> {
         self.run_shots(program, 1, rng)
     }
 
@@ -200,9 +196,8 @@ impl StackModel {
         // The micro-architecture layer is the decode/issue overhead; the
         // chip layer is the quantum critical path. Both repeat per shot.
         let decode_ns = n_instr * self.timing.decode_ns * shots as f64;
-        let chip_ns = (execution.duration_ns - n_instr * self.timing.decode_ns)
-            .max(0.0)
-            * shots as f64;
+        let chip_ns =
+            (execution.duration_ns - n_instr * self.timing.decode_ns).max(0.0) * shots as f64;
         let layers = vec![
             (Layer::Application, self.application_ns),
             (Layer::Algorithm, self.algorithm_ns),

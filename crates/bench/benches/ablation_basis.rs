@@ -23,9 +23,8 @@ fn split_basis(formula: &Formula) -> Formula {
             let aux = n_vars;
             n_vars += 1;
             clauses.push(Clause::new(vec![lits[0], Literal::positive(aux)]).expect("clause"));
-            clauses.push(
-                Clause::new(vec![Literal::negative(aux), lits[1], lits[2]]).expect("clause"),
-            );
+            clauses
+                .push(Clause::new(vec![Literal::negative(aux), lits[1], lits[2]]).expect("clause"));
         } else {
             clauses.push(clause.clone());
         }

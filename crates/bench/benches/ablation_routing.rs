@@ -5,9 +5,9 @@
 use bench::banner;
 use criterion::{criterion_group, criterion_main, Criterion};
 use numerics::rng::rng_from_seed;
+use numerics::rng::Rng;
 use quantum::circuit::Circuit;
 use quantum::mapping::{check_routed, route, CouplingGraph, RoutingStrategy};
-use rand::Rng;
 
 fn random_circuit(n_qubits: usize, n_gates: usize, seed: u64) -> Circuit {
     let mut rng = rng_from_seed(seed);
@@ -47,12 +47,8 @@ fn print_experiment() {
             let circuit = random_circuit(n, n_gates, seed);
             let greedy = route(&circuit, graph, RoutingStrategy::Greedy).expect("greedy");
             check_routed(&greedy.circuit, graph).expect("valid greedy");
-            let look = route(
-                &circuit,
-                graph,
-                RoutingStrategy::Lookahead { window: 5 },
-            )
-            .expect("lookahead");
+            let look = route(&circuit, graph, RoutingStrategy::Lookahead { window: 5 })
+                .expect("lookahead");
             check_routed(&look.circuit, graph).expect("valid lookahead");
             greedy_total += greedy.swap_count;
             look_total += look.swap_count;
@@ -76,16 +72,13 @@ fn bench(c: &mut Criterion) {
     let circuit = random_circuit(12, 60, 42);
     c.bench_function("routing/greedy_grid3x4", |b| {
         b.iter(|| {
-            criterion::black_box(
-                route(&circuit, &graph, RoutingStrategy::Greedy).expect("route"),
-            )
+            criterion::black_box(route(&circuit, &graph, RoutingStrategy::Greedy).expect("route"))
         });
     });
     c.bench_function("routing/lookahead5_grid3x4", |b| {
         b.iter(|| {
             criterion::black_box(
-                route(&circuit, &graph, RoutingStrategy::Lookahead { window: 5 })
-                    .expect("route"),
+                route(&circuit, &graph, RoutingStrategy::Lookahead { window: 5 }).expect("route"),
             )
         });
     });

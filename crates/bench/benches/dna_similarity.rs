@@ -8,7 +8,10 @@ use numerics::rng::rng_from_seed;
 use quantum::dna;
 
 fn print_experiment() {
-    banner("E10 dna_similarity", "§II-C DNA similarity on superposed data");
+    banner(
+        "E10 dna_similarity",
+        "§II-C DNA similarity on superposed data",
+    );
     let mut rng = rng_from_seed(23);
     let reference = dna::random_sequence(&mut rng, 150);
     println!(
@@ -51,9 +54,7 @@ fn print_experiment() {
             }
         }
     }
-    println!(
-        "\nranking agreement with edit distance: {concordant}/{pairs} concordant pairs"
-    );
+    println!("\nranking agreement with edit distance: {concordant}/{pairs} concordant pairs");
 }
 
 fn bench(c: &mut Criterion) {

@@ -27,11 +27,7 @@ fn print_experiment() {
         }
         print!("\n  measure : ");
         for p in curve.points().iter().filter(|p| p.delta_vgs >= 0.0) {
-            print!(
-                "{:>7.3}{}",
-                p.measure,
-                if p.locked { " " } else { "*" }
-            );
+            print!("{:>7.3}{}", p.measure, if p.locked { " " } else { "*" });
         }
         println!("   (* = unlocked)");
         match curve.fit_exponent(0.3, 6.0) {

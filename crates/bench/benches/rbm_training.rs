@@ -9,7 +9,10 @@ use mem::datasets::{bars_and_stripes, with_label_units};
 use mem::rbm::{ModeSearch, Rbm, TrainConfig, Trainer};
 
 fn print_experiment() {
-    banner("E7 rbm_training", "§IV mode-assisted RBM training (refs. 55, 57)");
+    banner(
+        "E7 rbm_training",
+        "§IV mode-assisted RBM training (refs. 55, 57)",
+    );
     let patterns = bars_and_stripes(2);
     let data: Vec<Vec<bool>> = patterns.iter().map(|p| p.pixels.clone()).collect();
     // Long training (2000 epochs) exposes CD's mixing bias — the regime the
@@ -23,10 +26,7 @@ fn print_experiment() {
 
     println!("generative quality (equal epochs, bars-and-stripes 2x2,");
     println!("exact LL averaged over 3 seeds):");
-    println!(
-        "{:>28} | {:>10} | {:>10}",
-        "trainer", "LL@500", "LL@2000"
-    );
+    println!("{:>28} | {:>10} | {:>10}", "trainer", "LL@500", "LL@2000");
     println!("{}", "-".repeat(56));
     let trainers: Vec<(&str, Trainer)> = vec![
         ("CD-1", Trainer::cd(1)),
@@ -111,7 +111,9 @@ fn print_experiment() {
         let mut avg = 0.0;
         for seed in 0..3u64 {
             let mut rbm = Rbm::new(9, 12, 0.05, 5 + seed).expect("rbm");
-            trainer.train(&mut rbm, &data3, &config3, seed).expect("train");
+            trainer
+                .train(&mut rbm, &data3, &config3, seed)
+                .expect("train");
             avg += rbm.exact_log_likelihood(&data3).expect("ll");
         }
         println!("  {:<24} LL {:.4}", name, avg / 3.0);

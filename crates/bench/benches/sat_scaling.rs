@@ -19,7 +19,10 @@ const TRIALS: u64 = 7;
 const RATIO: f64 = 4.25;
 
 fn print_experiment() {
-    banner("E4 sat_scaling", "§IV DMM-vs-solvers scaling (refs. 47, 54)");
+    banner(
+        "E4 sat_scaling",
+        "§IV DMM-vs-solvers scaling (refs. 47, 54)",
+    );
     let dmm = DmmSolver::new(DmmParams {
         max_steps: 2_000_000,
         ..DmmParams::default()

@@ -58,7 +58,10 @@ fn print_experiment() {
             side, loops, inst.ground_energy, dmm_energy, dmm_hit, sa_result.best_energy, sa_hit
         );
     }
-    println!("\nground-state hits: DMM {dmm_hits}/{} vs SA {sa_hits}/{}", 5, 5);
+    println!(
+        "\nground-state hits: DMM {dmm_hits}/{} vs SA {sa_hits}/{}",
+        5, 5
+    );
 
     // DLRO: cluster-flip statistics of the DMM trajectory on a planted SAT
     // projection of the glass vs single-spin SA.
@@ -95,7 +98,10 @@ fn bench(c: &mut Criterion) {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            criterion::black_box(qubo.minimize_dmm(MaxSatDmmParams::default(), seed).expect("dmm"))
+            criterion::black_box(
+                qubo.minimize_dmm(MaxSatDmmParams::default(), seed)
+                    .expect("dmm"),
+            )
         });
     });
 }

@@ -1,9 +1,9 @@
 //! E11 — Fig. 2: per-layer latency of quantum jobs travelling the full
 //! accelerator stack (application → … → chip), for growing circuit sizes.
 
+use accel::stack::{Layer, StackModel};
 use bench::banner;
 use criterion::{criterion_group, criterion_main, Criterion};
-use accel::stack::{Layer, StackModel};
 use numerics::rng::rng_from_seed;
 use quantum::isa::{assemble, Program};
 
@@ -20,7 +20,10 @@ fn ghz_program(n_qubits: usize, repeats: usize) -> Program {
 }
 
 fn print_experiment() {
-    banner("E11 stack_latency", "Fig. 2 (quantum accelerator stack layers)");
+    banner(
+        "E11 stack_latency",
+        "Fig. 2 (quantum accelerator stack layers)",
+    );
     let model = StackModel::default();
     let mut rng = rng_from_seed(3);
     const SHOTS: usize = 100;
@@ -57,7 +60,9 @@ fn print_experiment() {
     let program = ghz_program(5, 4);
     print!(" ");
     for shots in [1usize, 10, 100, 1000] {
-        let r = model.run_shots(&program, shots, &mut rng).expect("stack run");
+        let r = model
+            .run_shots(&program, shots, &mut rng)
+            .expect("stack run");
         print!("  {shots} shot(s): {:.1}%", r.chip_fraction() * 100.0);
     }
     println!();

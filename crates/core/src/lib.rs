@@ -52,6 +52,7 @@ pub use mem;
 pub use numerics;
 pub use osc;
 pub use quantum;
+pub use runtime;
 pub use vision;
 
 /// The most commonly used types across all three paradigms.
@@ -71,6 +72,7 @@ pub mod prelude {
     pub use quantum::circuit::Circuit;
     pub use quantum::gate::Gate;
     pub use quantum::state::StateVector;
+    pub use runtime::{JobOptions, JobOutcome, Runtime, RuntimeConfig, RuntimeStats};
     pub use vision::fast::{FastDetector, FastParams};
     pub use vision::image::GrayImage;
     pub use vision::synth::SceneBuilder;

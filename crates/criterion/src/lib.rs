@@ -1,0 +1,234 @@
+//! Offline stand-in for the `criterion.rs` benchmark harness.
+//!
+//! The workspace builds with no network access, so the real crates.io
+//! `criterion` cannot be a dependency. This crate implements the small API
+//! surface the `bench` crate uses — [`Criterion`], [`Bencher`],
+//! [`black_box`], [`BatchSize`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — with plain wall-clock timing and a
+//! one-line-per-benchmark report. It is intentionally simple: no warm-up
+//! modelling, no statistics beyond min/mean, no HTML reports. Swap the
+//! workspace dependency back to crates.io `criterion` for publication-grade
+//! measurements.
+//!
+//! # Example
+//!
+//! ```
+//! use criterion::{black_box, Criterion};
+//!
+//! let mut c = Criterion::default().sample_size(10);
+//! c.bench_function("sum", |b| {
+//!     b.iter(|| black_box((0..100u64).sum::<u64>()))
+//! });
+//! ```
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier: prevents the optimizer from deleting benchmark
+/// bodies whose results are otherwise unused.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. The shim times each routine
+/// invocation individually, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh input for every routine call.
+    PerIteration,
+}
+
+/// Times one benchmark body over the configured number of samples.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    /// Collected per-sample durations, read back by [`Criterion`].
+    timings: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            timings: Vec::with_capacity(samples),
+        }
+    }
+
+    /// Runs `routine` once per sample, timing each call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One untimed call to warm caches and lazy statics.
+        black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.timings.push(start.elapsed());
+        }
+    }
+
+    /// Runs `setup` untimed before each timed `routine` call.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.timings.push(start.elapsed());
+        }
+    }
+}
+
+/// The benchmark driver: configuration plus the reporting loop.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark and prints a `name  mean  min` report line.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        let report = summarize(&bencher.timings);
+        println!("bench: {name:<48} {report}");
+        self
+    }
+}
+
+fn summarize(timings: &[Duration]) -> String {
+    if timings.is_empty() {
+        return "no samples".into();
+    }
+    let total: Duration = timings.iter().sum();
+    let mean = total / timings.len() as u32;
+    let min = timings.iter().min().copied().unwrap_or_default();
+    format!(
+        "mean {:>12} min {:>12} ({} samples)",
+        format_duration(mean),
+        format_duration(min),
+        timings.len()
+    )
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group as a function running each target in order.
+///
+/// Supports both criterion forms:
+/// `criterion_group!(benches, f, g)` and
+/// `criterion_group! { name = benches; config = ...; targets = f, g }`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default().sample_size(5);
+        let mut ran = 0u32;
+        c.bench_function("trivial", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        // 5 timed + 1 warm-up.
+        assert_eq!(ran, 6);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut b = Bencher::new(4);
+        let mut setups = 0u32;
+        b.iter_batched(
+            || {
+                setups += 1;
+                setups
+            },
+            |x| x * 2,
+            BatchSize::LargeInput,
+        );
+        assert_eq!(setups, 5);
+        assert_eq!(b.timings.len(), 4);
+    }
+
+    #[test]
+    fn durations_format_by_scale() {
+        assert!(format_duration(Duration::from_nanos(10)).contains("ns"));
+        assert!(format_duration(Duration::from_micros(10)).contains("µs"));
+        assert!(format_duration(Duration::from_millis(10)).contains("ms"));
+        assert!(format_duration(Duration::from_secs(2)).contains(" s"));
+    }
+
+    criterion_group! {
+        name = macro_group;
+        config = Criterion::default().sample_size(2);
+        targets = noop_bench
+    }
+
+    fn noop_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_macro_expands_to_runnable_fn() {
+        macro_group();
+    }
+}

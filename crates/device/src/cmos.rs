@@ -408,7 +408,12 @@ mod tests {
         let period = Seconds(1e-3);
         let bare = engine.model.average_power(&counts, period);
         let full = engine.average_power(&counts, period);
-        assert!(full.0 > bare.0, "overhead missing: {} vs {}", full.0, bare.0);
+        assert!(
+            full.0 > bare.0,
+            "overhead missing: {} vs {}",
+            full.0,
+            bare.0
+        );
     }
 
     #[test]

@@ -143,9 +143,7 @@ impl Mosfet {
         match self.region(v_gs, v_ds) {
             Region::Cutoff => Amps(0.0),
             Region::Triode => Amps(k * (vov * v_ds.0 - 0.5 * v_ds.0 * v_ds.0)),
-            Region::Saturation => {
-                Amps(0.5 * k * vov * vov * (1.0 + self.params.lambda * v_ds.0))
-            }
+            Region::Saturation => Amps(0.5 * k * vov * vov * (1.0 + self.params.lambda * v_ds.0)),
         }
     }
 

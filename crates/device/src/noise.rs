@@ -22,9 +22,9 @@
 //! assert_eq!(a, again.sample());
 //! ```
 
+use numerics::rng::Rng;
+use numerics::rng::StdRng;
 use numerics::rng::{rng_from_seed, sample_normal};
-use rand::rngs::StdRng;
-use rand::Rng;
 
 /// A stream of scalar noise samples.
 ///

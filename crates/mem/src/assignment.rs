@@ -15,7 +15,7 @@
 //! assert_eq!(a.to_bools(), vec![false, true, false]);
 //! ```
 
-use rand::Rng;
+use numerics::rng::Rng;
 
 /// An assignment of boolean values to `n` variables.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -104,7 +104,10 @@ impl Assignment {
     /// The values as ±1 spins (`true ↦ +1`), the Ising-side convention.
     #[must_use]
     pub fn to_spins(&self) -> Vec<i8> {
-        self.values.iter().map(|&b| if b { 1 } else { -1 }).collect()
+        self.values
+            .iter()
+            .map(|&b| if b { 1 } else { -1 })
+            .collect()
     }
 
     /// Hamming distance to another assignment.

@@ -218,9 +218,7 @@ impl Formula {
             for lit in clause.literals() {
                 if lit.var() >= n_vars {
                     return Err(MemError::Formula {
-                        reason: format!(
-                            "literal {lit} out of range for {n_vars} variables"
-                        ),
+                        reason: format!("literal {lit} out of range for {n_vars} variables"),
                     });
                 }
             }

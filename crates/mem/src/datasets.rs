@@ -18,7 +18,7 @@
 //! ```
 
 use numerics::rng::rng_from_seed;
-use rand::Rng;
+use numerics::rng::Rng;
 
 /// One labeled binary pattern.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -65,7 +65,12 @@ pub fn bars_and_stripes(n: usize) -> Vec<Pattern> {
 /// Adds independent pixel-flip noise to each pattern, producing `copies`
 /// noisy variants per original (labels preserved).
 #[must_use]
-pub fn noisy_copies(patterns: &[Pattern], copies: usize, flip_prob: f64, seed: u64) -> Vec<Pattern> {
+pub fn noisy_copies(
+    patterns: &[Pattern],
+    copies: usize,
+    flip_prob: f64,
+    seed: u64,
+) -> Vec<Pattern> {
     let mut rng = rng_from_seed(seed);
     let mut out = Vec::with_capacity(patterns.len() * copies);
     for p in patterns {
@@ -73,13 +78,7 @@ pub fn noisy_copies(patterns: &[Pattern], copies: usize, flip_prob: f64, seed: u
             let pixels = p
                 .pixels
                 .iter()
-                .map(|&b| {
-                    if rng.gen::<f64>() < flip_prob {
-                        !b
-                    } else {
-                        b
-                    }
-                })
+                .map(|&b| if rng.gen::<f64>() < flip_prob { !b } else { b })
                 .collect();
             out.push(Pattern {
                 pixels,

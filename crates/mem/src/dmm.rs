@@ -33,8 +33,8 @@ use crate::assignment::Assignment;
 use crate::cnf::Formula;
 use crate::solg::ClauseDynamics;
 use crate::MemError;
+use numerics::rng::Rng;
 use numerics::rng::{rng_from_seed, sample_normal};
-use rand::Rng;
 
 /// DMM dynamical parameters (the standard values from the SAT-DMM
 /// literature).
@@ -271,11 +271,7 @@ impl DmmSolver {
     /// # Errors
     ///
     /// Propagates [`DmmSolver::solve`] errors.
-    pub fn median_steps(
-        &self,
-        formula: &Formula,
-        seeds: &[u64],
-    ) -> Result<(f64, usize), MemError> {
+    pub fn median_steps(&self, formula: &Formula, seeds: &[u64]) -> Result<(f64, usize), MemError> {
         let mut costs = Vec::with_capacity(seeds.len());
         let mut solved = 0usize;
         for &seed in seeds {

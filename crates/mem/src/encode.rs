@@ -174,8 +174,7 @@ impl BoolCircuit {
                     for &i in &gate.inputs {
                         clauses.push(Clause::new(vec![neg(o), pos(i)])?);
                     }
-                    let mut lits: Vec<Literal> =
-                        gate.inputs.iter().map(|&i| neg(i)).collect();
+                    let mut lits: Vec<Literal> = gate.inputs.iter().map(|&i| neg(i)).collect();
                     lits.push(pos(o));
                     clauses.push(Clause::new(lits)?);
                 }
@@ -184,8 +183,7 @@ impl BoolCircuit {
                     for &i in &gate.inputs {
                         clauses.push(Clause::new(vec![neg(i), pos(o)])?);
                     }
-                    let mut lits: Vec<Literal> =
-                        gate.inputs.iter().map(|&i| pos(i)).collect();
+                    let mut lits: Vec<Literal> = gate.inputs.iter().map(|&i| pos(i)).collect();
                     lits.push(neg(o));
                     clauses.push(Clause::new(lits)?);
                 }
@@ -209,7 +207,11 @@ impl BoolCircuit {
                     reason: format!("constraint on nonexistent wire {wire}"),
                 });
             }
-            clauses.push(Clause::new(vec![if value { pos(wire) } else { neg(wire) }])?);
+            clauses.push(Clause::new(vec![if value {
+                pos(wire)
+            } else {
+                neg(wire)
+            }])?);
         }
         Formula::new(self.n_wires, clauses)
     }
@@ -303,7 +305,10 @@ mod tests {
         // Re-evaluate the circuit on the solved inputs.
         let inputs: Vec<bool> = (0..3).map(|i| solution.value(i)).collect();
         let wires = c.evaluate(&inputs);
-        assert!(wires[out], "solver produced inputs that violate the constraint");
+        assert!(
+            wires[out],
+            "solver produced inputs that violate the constraint"
+        );
     }
 
     #[test]
@@ -347,8 +352,7 @@ mod tests {
         // For each assignment of the original variables: it satisfies the
         // original formula iff some auxiliary completion satisfies the
         // split formula.
-        let wide =
-            crate::dimacs::parse("p cnf 5 2\n1 2 3 4 5 0\n-1 -2 -3 -4 -5 0\n").unwrap();
+        let wide = crate::dimacs::parse("p cnf 5 2\n1 2 3 4 5 0\n-1 -2 -3 -4 -5 0\n").unwrap();
         let split = split_wide_clauses(&wide, 3).unwrap();
         let aux = split.n_vars() - wide.n_vars();
         for bits in 0..(1u32 << wide.n_vars()) {

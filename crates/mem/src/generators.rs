@@ -23,8 +23,8 @@ use crate::assignment::Assignment;
 use crate::cnf::{Clause, Formula, Literal};
 use crate::ising::IsingModel;
 use crate::MemError;
+use numerics::rng::Rng;
 use numerics::rng::{rng_from_seed, sample_indices};
-use rand::Rng;
 
 /// A generated satisfiable instance with its planted solution.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,12 +42,7 @@ pub struct PlantedInstance {
 ///
 /// Returns [`MemError::Parameter`] for `k == 0`, `k > n_vars`, or a
 /// non-positive ratio.
-pub fn random_ksat(
-    n_vars: usize,
-    k: usize,
-    ratio: f64,
-    seed: u64,
-) -> Result<Formula, MemError> {
+pub fn random_ksat(n_vars: usize, k: usize, ratio: f64, seed: u64) -> Result<Formula, MemError> {
     if k == 0 || k > n_vars {
         return Err(MemError::Parameter {
             name: "k",
@@ -156,9 +151,7 @@ pub fn planted_xorsat(
     for _ in 0..n_constraints {
         let vars = sample_indices(&mut rng, n_vars, k);
         // Parity of the planted assignment over these variables.
-        let parity = vars
-            .iter()
-            .fold(false, |acc, &v| acc ^ planted.value(v));
+        let parity = vars.iter().fold(false, |acc, &v| acc ^ planted.value(v));
         // Forbid every sign pattern whose parity differs from `parity`:
         // clause = OR of literals that are false under the forbidden
         // pattern.

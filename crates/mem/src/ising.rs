@@ -21,7 +21,7 @@
 use crate::assignment::Assignment;
 use crate::MemError;
 use numerics::rng::rng_from_seed;
-use rand::Rng;
+use numerics::rng::Rng;
 
 /// An Ising model: pairwise couplings and local fields.
 #[derive(Debug, Clone, PartialEq)]
@@ -210,7 +210,8 @@ impl SimulatedAnnealing {
         for sweep in 0..sweeps {
             // Geometric interpolation of the temperature.
             let frac = sweep as f64 / sweeps as f64;
-            let t = self.schedule.t_start * (self.schedule.t_end / self.schedule.t_start).powf(frac);
+            let t =
+                self.schedule.t_start * (self.schedule.t_end / self.schedule.t_start).powf(frac);
             for _ in 0..n {
                 let i = rng.gen_range(0..n);
                 let delta = model.flip_delta(&spins, i);
@@ -226,9 +227,7 @@ impl SimulatedAnnealing {
             }
         }
         AnnealResult {
-            best: Assignment::from_bools(
-                &best.iter().map(|&s| s > 0).collect::<Vec<_>>(),
-            ),
+            best: Assignment::from_bools(&best.iter().map(|&s| s > 0).collect::<Vec<_>>()),
             best_energy,
             accepted_flips: accepted,
             sweeps,

@@ -35,7 +35,7 @@ use crate::dmm::DmmParams;
 use crate::solg::ClauseDynamics;
 use crate::MemError;
 use numerics::rng::rng_from_seed;
-use rand::Rng;
+use numerics::rng::Rng;
 
 /// A CNF formula with positive clause weights.
 #[derive(Debug, Clone, PartialEq)]

@@ -107,11 +107,7 @@ impl Qubo {
             });
         }
         let key = (i.min(j), i.max(j));
-        if let Some(entry) = self
-            .quadratic
-            .iter_mut()
-            .find(|(a, b, _)| (*a, *b) == key)
-        {
+        if let Some(entry) = self.quadratic.iter_mut().find(|(a, b, _)| (*a, *b) == key) {
             entry.2 += q;
         } else {
             self.quadratic.push((key.0, key.1, q));
@@ -207,18 +203,10 @@ impl Qubo {
         for (i, &c) in self.linear.iter().enumerate() {
             if c > 0.0 {
                 // Pay c when x_i = 1 → soft clause (¬x_i) of weight c.
-                add(
-                    Clause::new(vec![Literal::negative(i)])?,
-                    c,
-                    &mut clauses,
-                );
+                add(Clause::new(vec![Literal::negative(i)])?, c, &mut clauses);
             } else if c < 0.0 {
                 // Gain |c| when x_i = 1 → pay |c| when x_i = 0, offset −|c|.
-                add(
-                    Clause::new(vec![Literal::positive(i)])?,
-                    -c,
-                    &mut clauses,
-                );
+                add(Clause::new(vec![Literal::positive(i)])?, -c, &mut clauses);
                 offset += c;
             }
         }
@@ -292,10 +280,7 @@ impl Qubo {
             h[j] -= q / 4.0;
             offset += q / 4.0;
         }
-        Ok((
-            crate::ising::IsingModel::new(self.n, couplings, h)?,
-            offset,
-        ))
+        Ok((crate::ising::IsingModel::new(self.n, couplings, h)?, offset))
     }
 }
 
@@ -310,7 +295,7 @@ pub fn bits_to_assignment(bits: &[bool]) -> Assignment {
 mod tests {
     use super::*;
     use numerics::rng::rng_from_seed;
-    use rand::Rng;
+    use numerics::rng::Rng;
 
     fn random_qubo(n: usize, seed: u64) -> Qubo {
         let mut rng = rng_from_seed(seed);

@@ -33,9 +33,9 @@
 use crate::maxsat::MaxSatDmmParams;
 use crate::qubo::Qubo;
 use crate::MemError;
+use numerics::rng::Rng;
+use numerics::rng::StdRng;
 use numerics::rng::{rng_from_seed, sample_gaussian};
-use rand::rngs::StdRng;
-use rand::Rng;
 
 fn sigmoid(x: f64) -> f64 {
     1.0 / (1.0 + (-x).exp())
@@ -376,7 +376,12 @@ impl Trainer {
         &self.negative
     }
 
-    fn mode_sample(&self, rbm: &Rbm, search: ModeSearch, seed: u64) -> Result<(Vec<bool>, Vec<bool>), MemError> {
+    fn mode_sample(
+        &self,
+        rbm: &Rbm,
+        search: ModeSearch,
+        seed: u64,
+    ) -> Result<(Vec<bool>, Vec<bool>), MemError> {
         let q = rbm.joint_qubo()?;
         let joint = match search {
             ModeSearch::Exhaustive => q.minimize_exhaustive()?.0,
@@ -630,7 +635,9 @@ mod tests {
             learning_rate: 0.3,
             weight_decay: 0.0,
         };
-        Trainer::cd(1).train(&mut rbm, &labeled, &config, 3).unwrap();
+        Trainer::cd(1)
+            .train(&mut rbm, &labeled, &config, 3)
+            .unwrap();
         let correct = patterns
             .iter()
             .filter(|p| rbm.classify(&p.pixels) == p.is_stripe)

@@ -97,10 +97,7 @@ impl ClauseDynamics {
     /// violated.
     #[must_use]
     pub fn unsatisfaction(&self, v: &[f64]) -> f64 {
-        0.5 * self
-            .literal_terms(v)
-            .fold(f64::INFINITY, f64::min)
-            .max(0.0)
+        0.5 * self.literal_terms(v).fold(f64::INFINITY, f64::min).max(0.0)
     }
 
     /// The index (within the clause) of the minimizing literal — the one
@@ -162,8 +159,7 @@ impl ClauseDynamics {
         for i in 0..self.vars.len() {
             let g = self.gradient(v, i);
             let r = self.rigidity(v, i);
-            dv[self.vars[i]] +=
-                weight * (x_l * x_s * g + (1.0 + zeta * x_l) * (1.0 - x_s) * r);
+            dv[self.vars[i]] += weight * (x_l * x_s * g + (1.0 + zeta * x_l) * (1.0 - x_s) * r);
         }
     }
 }

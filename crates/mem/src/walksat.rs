@@ -26,7 +26,7 @@
 use crate::assignment::Assignment;
 use crate::cnf::Formula;
 use numerics::rng::rng_from_seed;
-use rand::Rng;
+use numerics::rng::Rng;
 
 /// WalkSAT parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]

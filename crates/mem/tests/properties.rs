@@ -1,140 +1,173 @@
-//! Property-based tests of the memcomputing crate's invariants.
+//! Randomized tests of the memcomputing crate's invariants.
+//!
+//! Formerly written with `proptest`; rewritten on the in-repo
+//! `numerics::rng` so the suite builds offline. Each test draws many
+//! random cases from a fixed seed, so failures reproduce deterministically.
 
 use mem::assignment::Assignment;
 use mem::cnf::{Clause, Formula, Literal};
 use mem::solg::ClauseDynamics;
-use proptest::prelude::*;
+use numerics::rng::{rng_from_seed, sample_indices, Rng, StdRng};
 
-fn clause_strategy(n_vars: usize) -> impl Strategy<Value = Clause> {
-    prop::collection::btree_set(0..n_vars, 1..=3).prop_map(|vars| {
-        Clause::new(
-            vars.into_iter()
-                .enumerate()
-                .map(|(i, v)| {
-                    if i % 2 == 0 {
-                        Literal::positive(v)
-                    } else {
-                        Literal::negative(v)
-                    }
-                })
-                .collect(),
-        )
-        .expect("distinct vars")
-    })
+const CASES: usize = 128;
+
+/// Draws a clause of 1–3 distinct variables with alternating polarities.
+fn random_clause(rng: &mut StdRng, n_vars: usize) -> Clause {
+    let width = rng.gen_range(1..=3usize.min(n_vars));
+    let mut vars = sample_indices(rng, n_vars, width);
+    vars.sort_unstable();
+    Clause::new(
+        vars.into_iter()
+            .enumerate()
+            .map(|(i, v)| {
+                if i % 2 == 0 {
+                    Literal::positive(v)
+                } else {
+                    Literal::negative(v)
+                }
+            })
+            .collect(),
+    )
+    .expect("distinct vars")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn random_bools(rng: &mut StdRng, len: usize) -> Vec<bool> {
+    (0..len).map(|_| rng.gen()).collect()
+}
 
-    /// The SOLG clause unsatisfaction is 0 exactly when the clause is
-    /// satisfied at the voltage rails.
-    #[test]
-    fn solg_unsat_matches_boolean_at_rails(
-        clause in clause_strategy(6),
-        bits in prop::collection::vec(any::<bool>(), 6),
-    ) {
+/// The SOLG clause unsatisfaction is 0 exactly when the clause is
+/// satisfied at the voltage rails.
+#[test]
+fn solg_unsat_matches_boolean_at_rails() {
+    let mut rng = rng_from_seed(0x501);
+    for _ in 0..CASES {
+        let clause = random_clause(&mut rng, 6);
+        let bits = random_bools(&mut rng, 6);
         let dyn_ = ClauseDynamics::new(&clause);
         let v: Vec<f64> = bits.iter().map(|&b| if b { 1.0 } else { -1.0 }).collect();
         let c = dyn_.unsatisfaction(&v);
         let satisfied = clause.is_satisfied(&Assignment::from_bools(&bits));
         if satisfied {
-            prop_assert!(c.abs() < 1e-12, "satisfied clause has C = {}", c);
+            assert!(c.abs() < 1e-12, "satisfied clause has C = {c}");
         } else {
-            prop_assert!(c >= 1.0 - 1e-12, "violated clause has C = {}", c);
+            assert!(c >= 1.0 - 1e-12, "violated clause has C = {c}");
         }
     }
+}
 
-    /// SOLG unsatisfaction is always within [0, 1] for in-range voltages.
-    #[test]
-    fn solg_unsat_bounded(
-        clause in clause_strategy(6),
-        v in prop::collection::vec(-1.0f64..1.0, 6),
-    ) {
+/// SOLG unsatisfaction is always within [0, 1] for in-range voltages.
+#[test]
+fn solg_unsat_bounded() {
+    let mut rng = rng_from_seed(0x502);
+    for _ in 0..CASES {
+        let clause = random_clause(&mut rng, 6);
+        let v: Vec<f64> = (0..6).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let c = ClauseDynamics::new(&clause).unsatisfaction(&v);
-        prop_assert!((0.0..=1.0 + 1e-12).contains(&c));
+        assert!((0.0..=1.0 + 1e-12).contains(&c));
     }
+}
 
-    /// Gradient drive always points toward satisfying the chosen literal.
-    #[test]
-    fn solg_gradient_sign_matches_polarity(
-        clause in clause_strategy(6),
-        v in prop::collection::vec(-0.99f64..0.99, 6),
-    ) {
+/// Gradient drive always points toward satisfying the chosen literal.
+#[test]
+fn solg_gradient_sign_matches_polarity() {
+    let mut rng = rng_from_seed(0x503);
+    for _ in 0..CASES {
+        let clause = random_clause(&mut rng, 6);
+        let v: Vec<f64> = (0..6).map(|_| rng.gen_range(-0.99..0.99)).collect();
         let dyn_ = ClauseDynamics::new(&clause);
         for i in 0..dyn_.len() {
             let g = dyn_.gradient(&v, i);
             let q = dyn_.polarities()[i];
             // g = ½·q·min_other(non-negative), so sign(g) ∈ {0, sign(q)}.
-            prop_assert!(g * q >= -1e-12, "gradient {} against polarity {}", g, q);
+            assert!(g * q >= -1e-12, "gradient {g} against polarity {q}");
         }
     }
+}
 
-    /// Flipping a variable changes the unsat count by exactly the number of
-    /// clauses whose satisfaction status flips.
-    #[test]
-    fn flip_delta_consistency(
-        clauses in prop::collection::vec(clause_strategy(8), 1..20),
-        bits in prop::collection::vec(any::<bool>(), 8),
-        var in 0usize..8,
-    ) {
+/// Flipping a variable changes the unsat count by exactly the number of
+/// clauses whose satisfaction status flips.
+#[test]
+fn flip_delta_consistency() {
+    let mut rng = rng_from_seed(0x504);
+    for _ in 0..CASES {
+        let n_clauses = rng.gen_range(1..20);
+        let clauses: Vec<Clause> = (0..n_clauses).map(|_| random_clause(&mut rng, 8)).collect();
+        let bits = random_bools(&mut rng, 8);
+        let var = rng.gen_range(0..8usize);
         let formula = Formula::new(8, clauses).unwrap();
         let mut a = Assignment::from_bools(&bits);
         let before = formula.count_unsatisfied(&a);
         a.flip(var);
         let after = formula.count_unsatisfied(&a);
         a.flip(var);
-        prop_assert_eq!(formula.count_unsatisfied(&a), before);
+        assert_eq!(formula.count_unsatisfied(&a), before);
         // The delta is bounded by the number of clauses containing var.
         let occ = formula.occurrence_lists();
-        prop_assert!(before.abs_diff(after) <= occ[var].len());
+        assert!(before.abs_diff(after) <= occ[var].len());
     }
+}
 
-    /// DIMACS round-trips arbitrary valid formulas.
-    #[test]
-    fn dimacs_roundtrip(clauses in prop::collection::vec(clause_strategy(10), 0..25)) {
+/// DIMACS round-trips arbitrary valid formulas.
+#[test]
+fn dimacs_roundtrip() {
+    let mut rng = rng_from_seed(0x505);
+    for _ in 0..CASES {
+        let n_clauses = rng.gen_range(0..25);
+        let clauses: Vec<Clause> = (0..n_clauses)
+            .map(|_| random_clause(&mut rng, 10))
+            .collect();
         let f = Formula::new(10, clauses).unwrap();
         let parsed = mem::dimacs::parse(&mem::dimacs::emit(&f)).unwrap();
-        prop_assert_eq!(parsed, f);
+        assert_eq!(parsed, f);
     }
+}
 
-    /// Ising flip_delta agrees with the energy difference.
-    #[test]
-    fn ising_flip_delta_exact(
-        couplings in prop::collection::vec((0usize..6, 0usize..6, -2.0f64..2.0), 0..12),
-        fields in prop::collection::vec(-1.0f64..1.0, 6),
-        bits in prop::collection::vec(any::<bool>(), 6),
-        spin in 0usize..6,
-    ) {
-        let couplings: Vec<(usize, usize, f64)> = couplings
-            .into_iter()
+/// Ising flip_delta agrees with the energy difference.
+#[test]
+fn ising_flip_delta_exact() {
+    let mut rng = rng_from_seed(0x506);
+    for _ in 0..CASES {
+        let n_couplings = rng.gen_range(0..12);
+        let couplings: Vec<(usize, usize, f64)> = (0..n_couplings)
+            .map(|_| {
+                (
+                    rng.gen_range(0..6usize),
+                    rng.gen_range(0..6usize),
+                    rng.gen_range(-2.0..2.0),
+                )
+            })
             .filter(|&(a, b, _)| a != b)
             .collect();
+        let fields: Vec<f64> = (0..6).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let bits = random_bools(&mut rng, 6);
+        let spin = rng.gen_range(0..6usize);
         let model = mem::ising::IsingModel::new(6, couplings, fields).unwrap();
         let mut spins = Assignment::from_bools(&bits).to_spins();
         let before = model.energy_spins(&spins);
         let delta = model.flip_delta(&spins, spin);
         spins[spin] = -spins[spin];
         let after = model.energy_spins(&spins);
-        prop_assert!((after - before - delta).abs() < 1e-9);
+        assert!((after - before - delta).abs() < 1e-9);
     }
+}
 
-    /// QUBO ↔ Ising reduction is exact pointwise.
-    #[test]
-    fn qubo_ising_pointwise(
-        linear in prop::collection::vec(-2.0f64..2.0, 5),
-        quad in prop::collection::vec(-2.0f64..2.0, 4),
-        bits in prop::collection::vec(any::<bool>(), 5),
-    ) {
+/// QUBO ↔ Ising reduction is exact pointwise.
+#[test]
+fn qubo_ising_pointwise() {
+    let mut rng = rng_from_seed(0x507);
+    for _ in 0..CASES {
         let mut q = mem::qubo::Qubo::new(5).unwrap();
-        for (i, &c) in linear.iter().enumerate() {
-            q.add_linear(i, c).unwrap();
+        for i in 0..5 {
+            q.add_linear(i, rng.gen_range(-2.0..2.0)).unwrap();
         }
-        for (k, &w) in quad.iter().enumerate() {
-            q.add_quadratic(k, (k + 2) % 5, w).unwrap();
+        for k in 0..4 {
+            q.add_quadratic(k, (k + 2) % 5, rng.gen_range(-2.0..2.0))
+                .unwrap();
         }
+        let bits = random_bools(&mut rng, 5);
         let (model, offset) = q.to_ising().unwrap();
         let direct = q.value(&bits);
         let via = model.energy(&Assignment::from_bools(&bits)) + offset;
-        prop_assert!((direct - via).abs() < 1e-9);
+        assert!((direct - via).abs() < 1e-9);
     }
 }

@@ -148,17 +148,20 @@ pub fn dominant_frequency(signal: &[f64], dt: f64) -> Result<f64, NumericsError>
     let centered: Vec<f64> = signal.iter().map(|&x| x - mean).collect();
     let ps = power_spectrum(&centered)?;
     let n_fft = centered.len().next_power_of_two();
-    let (best_bin, _) = ps
-        .iter()
-        .enumerate()
-        .skip(1)
-        .fold((1usize, f64::MIN), |(bi, bv), (i, &v)| {
-            if v > bv {
-                (i, v)
-            } else {
-                (bi, bv)
-            }
-        });
+    let (best_bin, _) =
+        ps.iter()
+            .enumerate()
+            .skip(1)
+            .fold(
+                (1usize, f64::MIN),
+                |(bi, bv), (i, &v)| {
+                    if v > bv {
+                        (i, v)
+                    } else {
+                        (bi, bv)
+                    }
+                },
+            );
     Ok(best_bin as f64 / (n_fft as f64 * dt))
 }
 

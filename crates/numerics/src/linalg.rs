@@ -81,12 +81,7 @@ impl Vector {
                 actual: other.len(),
             });
         }
-        Ok(self
-            .0
-            .iter()
-            .zip(other.0.iter())
-            .map(|(a, b)| a * b)
-            .sum())
+        Ok(self.0.iter().zip(other.0.iter()).map(|(a, b)| a * b).sum())
     }
 
     /// Euclidean (l₂) norm.
@@ -521,8 +516,8 @@ mod tests {
 
     #[test]
     fn solve_roundtrip_random() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        use crate::rng::Rng;
+        let mut rng = crate::rng::StdRng::seed_from_u64(42);
         for _ in 0..20 {
             let n = rng.gen_range(1..6);
             let mut m = Matrix::zeros(n, n);

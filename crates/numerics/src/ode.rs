@@ -483,8 +483,7 @@ mod tests {
     fn sampled_trajectory_includes_endpoints() {
         let sys = Decay { lambda: 1.0 };
         let mut y = vec![1.0];
-        let (times, states) =
-            integrate_sampled(&sys, &mut Rk4::new(0.01), 0.0, 1.0, &mut y, 10);
+        let (times, states) = integrate_sampled(&sys, &mut Rk4::new(0.01), 0.0, 1.0, &mut y, 10);
         assert_eq!(times.len(), states.len());
         assert_eq!(times[0], 0.0);
         assert!(*times.last().unwrap() >= 1.0);

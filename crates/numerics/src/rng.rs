@@ -1,15 +1,18 @@
-//! Deterministic random-number helpers.
+//! Deterministic random-number generation, self-contained.
 //!
 //! Every experiment in the workspace is seeded so results reproduce
-//! bit-for-bit. [`SeedStream`] derives independent child seeds from one
-//! master seed (so, e.g., 100 SAT instances each get their own stream and
-//! adding an experiment never perturbs existing ones), and the free
-//! functions wrap the [`rand`] idioms used throughout.
+//! bit-for-bit, and the workspace builds offline: this module implements
+//! the full PRNG stack in-repo instead of depending on the `rand` crate.
+//! [`StdRng`] is a xoshiro256++ generator, [`Rng`] mirrors the small slice
+//! of the `rand` API the workspace uses (`gen`, `gen_range`, `gen_bool`),
+//! and [`SeedStream`] derives independent child seeds from one master seed
+//! (so, e.g., 100 SAT instances each get their own stream and adding an
+//! experiment never perturbs existing ones).
 //!
 //! # Example
 //!
 //! ```
-//! use numerics::rng::SeedStream;
+//! use numerics::rng::{Rng, SeedStream};
 //!
 //! let mut stream = SeedStream::new(42);
 //! let a = stream.next_seed();
@@ -19,10 +22,237 @@
 //! // Same master seed ⇒ same children.
 //! let mut again = SeedStream::new(42);
 //! assert_eq!(again.next_seed(), a);
+//!
+//! let mut rng = stream.next_rng();
+//! let x: f64 = rng.gen();
+//! assert!((0.0..1.0).contains(&x));
+//! let roll = rng.gen_range(0..6);
+//! assert!((0..6).contains(&roll));
 //! ```
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// SplitMix64 finalizer: the canonical seed expander.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A uniform pseudo-random generator: the required method is
+/// [`Rng::next_u64`]; everything else is provided on top of it.
+///
+/// This is the workspace-local replacement for `rand::Rng`, covering the
+/// idioms the simulators use: `gen::<f64>()`, `gen::<bool>()`,
+/// `gen_range(a..b)` / `gen_range(a..=b)`, and `gen_bool(p)`.
+pub trait Rng {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns a uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn next_f64(&mut self) -> f64 {
+        // Take the top 53 bits: exactly representable, uniform in [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Samples a uniform value of a primitive type (`f64` in `[0, 1)`,
+    /// full-range integers, fair `bool`).
+    #[inline]
+    fn gen<T: Sample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from a half-open or inclusive range.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    #[inline]
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.next_f64() < p
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types [`Rng::gen`] can sample uniformly.
+pub trait Sample: Sized {
+    /// Draws one uniform value.
+    fn sample<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl Sample for f64 {
+    #[inline]
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_f64()
+    }
+}
+
+impl Sample for bool {
+    #[inline]
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        // Use the high bit: xoshiro's low bits are its weakest.
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Sample for u64 {
+    #[inline]
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Sample for u32 {
+    #[inline]
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Sample for usize {
+    #[inline]
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+/// Ranges [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one uniform value from the range.
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T;
+}
+
+/// Uniform draw from `0..span` (`span ≥ 1`) without modulo bias, via
+/// Lemire's multiply-shift rejection method.
+#[inline]
+fn uniform_below<R: Rng>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span >= 1);
+    let mut m = u128::from(rng.next_u64()) * u128::from(span);
+    let mut lo = m as u64;
+    if lo < span {
+        let threshold = span.wrapping_neg() % span;
+        while lo < threshold {
+            m = u128::from(rng.next_u64()) * u128::from(span);
+            lo = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+macro_rules! impl_int_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range on empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    // Full-width inclusive range: every draw is in range.
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(uniform_below(rng, span as u64) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample_from<R: Rng>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range on empty range");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    #[inline]
+    fn sample_from<R: Rng>(self, rng: &mut R) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "gen_range on empty range");
+        start + rng.next_f64() * (end - start)
+    }
+}
+
+/// The workspace's standard PRNG: xoshiro256++.
+///
+/// Fast, 256-bit state, passes BigCrush; named `StdRng` to mirror the
+/// `rand` type it replaced. Always constructed from an explicit seed —
+/// there is deliberately no entropy-based constructor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    /// Creates a generator from a 64-bit seed, expanding it through
+    /// SplitMix64 as the xoshiro authors recommend.
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut state = seed;
+        StdRng {
+            s: [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ],
+        }
+    }
+}
+
+impl Rng for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
 
 /// Derives a deterministic sequence of independent `u64` seeds from one
 /// master seed using the SplitMix64 finalizer.
@@ -40,17 +270,17 @@ impl SeedStream {
 
     /// Returns the next child seed.
     pub fn next_seed(&mut self) -> u64 {
-        // SplitMix64: well-distributed even for sequential states.
-        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+        splitmix64(&mut self.state)
     }
 
     /// Returns a ready-to-use PRNG seeded with the next child seed.
     pub fn next_rng(&mut self) -> StdRng {
         StdRng::seed_from_u64(self.next_seed())
+    }
+
+    /// Restarts the stream at a new master seed.
+    pub fn reseed(&mut self, master_seed: u64) {
+        self.state = master_seed;
     }
 }
 
@@ -62,7 +292,7 @@ pub fn rng_from_seed(seed: u64) -> StdRng {
 
 /// Samples a standard normal via the Box–Muller transform.
 ///
-/// Kept here (rather than pulling in `rand_distr`) per the workspace's
+/// Kept here (rather than a distributions dependency) per the workspace's
 /// dependency policy.
 pub fn sample_normal<R: Rng>(rng: &mut R) -> f64 {
     // Avoid u1 == 0 which would send ln to -inf.
@@ -133,6 +363,93 @@ mod tests {
         unique.sort_unstable();
         unique.dedup();
         assert_eq!(unique.len(), children.len());
+    }
+
+    #[test]
+    fn seed_stream_reseed_restarts() {
+        let mut s = SeedStream::new(5);
+        let first = s.next_seed();
+        s.next_seed();
+        s.reseed(5);
+        assert_eq!(s.next_seed(), first);
+    }
+
+    #[test]
+    fn std_rng_deterministic_and_seed_sensitive() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        let mut c = StdRng::seed_from_u64(10);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn unit_f64_in_range_and_uniform() {
+        let mut rng = rng_from_seed(3);
+        let n = 40_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_is_fair() {
+        let mut rng = rng_from_seed(8);
+        let heads = (0..20_000).filter(|_| rng.gen::<bool>()).count();
+        assert!((heads as f64 / 20_000.0 - 0.5).abs() < 0.02, "{heads}");
+    }
+
+    #[test]
+    fn gen_range_int_bounds_and_coverage() {
+        let mut rng = rng_from_seed(12);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            let v = rng.gen_range(0..6);
+            assert!((0..6).contains(&v));
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+        for _ in 0..1000 {
+            let v = rng.gen_range(-3i64..=3);
+            assert!((-3..=3).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_range_float_bounds() {
+        let mut rng = rng_from_seed(2);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&v));
+            let w = rng.gen_range(-0.5..=0.5);
+            assert!((-0.5..=0.5).contains(&w));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn gen_range_empty_panics() {
+        let mut rng = rng_from_seed(1);
+        let _ = rng.gen_range(5..5);
+    }
+
+    #[test]
+    fn rng_usable_through_mut_reference() {
+        fn draw<R: Rng>(rng: &mut R) -> f64 {
+            sample_normal(rng)
+        }
+        let mut rng = rng_from_seed(4);
+        let _ = draw(&mut rng);
+        let by_ref: &mut StdRng = &mut rng;
+        let _ = draw(by_ref);
     }
 
     #[test]

@@ -85,7 +85,11 @@ pub fn rising_crossings(wave: &[f64], level: f64) -> Vec<f64> {
     for i in 1..wave.len() {
         let (lo, hi) = (wave[i - 1], wave[i]);
         if lo <= level && hi > level {
-            let frac = if hi != lo { (level - lo) / (hi - lo) } else { 0.0 };
+            let frac = if hi != lo {
+                (level - lo) / (hi - lo)
+            } else {
+                0.0
+            };
             out.push((i - 1) as f64 + frac);
         }
     }
@@ -129,12 +133,7 @@ pub fn estimate_frequency(wave: &[f64], dt: f64, level: f64) -> Result<f64, Nume
 ///
 /// Returns [`NumericsError::InsufficientData`] when either waveform has
 /// fewer than two rising crossings.
-pub fn phase_difference(
-    a: &[f64],
-    b: &[f64],
-    dt: f64,
-    level: f64,
-) -> Result<f64, NumericsError> {
+pub fn phase_difference(a: &[f64], b: &[f64], dt: f64, level: f64) -> Result<f64, NumericsError> {
     let ca = rising_crossings(a, level);
     let cb = rising_crossings(b, level);
     if ca.len() < 2 || cb.len() < 2 {
@@ -144,7 +143,7 @@ pub fn phase_difference(
         });
     }
     let period = estimate_period(a, dt, level)? / dt; // in samples
-    // Use circular mean so phases near 0/2π do not cancel.
+                                                      // Use circular mean so phases near 0/2π do not cancel.
     let (mut sx, mut sy) = (0.0, 0.0);
     let mut count = 0usize;
     for &tb in &cb {

@@ -137,9 +137,7 @@ mod tests {
     #[test]
     fn error_display_nonempty() {
         let errors = [
-            OscError::NoOscillation {
-                r_series_ohms: 1e3,
-            },
+            OscError::NoOscillation { r_series_ohms: 1e3 },
             OscError::TooFewCycles {
                 found: 1,
                 required: 4,

@@ -144,9 +144,7 @@ mod tests {
     fn processor() -> MatchProcessor {
         let mut cfg = NormRegime::Shallow.config();
         cfg.sim.duration = Seconds(2e-6);
-        MatchProcessor::new(
-            OscillatorDistance::calibrate(cfg, 0.62, 0.02, 7).expect("calibrates"),
-        )
+        MatchProcessor::new(OscillatorDistance::calibrate(cfg, 0.62, 0.02, 7).expect("calibrates"))
     }
 
     #[test]
@@ -163,9 +161,9 @@ mod tests {
         let p = processor();
         let template = [0.2, 0.8, 0.5, 0.5];
         let gallery = vec![
-            vec![0.9, 0.1, 0.9, 0.1], // far
+            vec![0.9, 0.1, 0.9, 0.1],    // far
             vec![0.22, 0.78, 0.52, 0.5], // near
-            vec![0.5, 0.5, 0.5, 0.5], // middling
+            vec![0.5, 0.5, 0.5, 0.5],    // middling
         ];
         assert_eq!(p.best_match(&template, &gallery).unwrap(), 1);
     }

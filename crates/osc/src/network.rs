@@ -26,9 +26,7 @@
 
 use crate::pair::{CoupledPair, PairConfig};
 use crate::readout::XorReadout;
-use crate::relaxation::{
-    oscillator_project, oscillator_rhs, OscRun, SimConfig, STATE_VARS,
-};
+use crate::relaxation::{oscillator_project, oscillator_rhs, OscRun, SimConfig, STATE_VARS};
 use crate::OscError;
 use device::units::Volts;
 use numerics::ode::{integrate_sampled, OdeSystem, Rk4};
@@ -176,8 +174,7 @@ impl OscillatorGraph {
             y[i * STATE_VARS] = base + window * (i as f64 / self.n as f64);
         }
         let mut stepper = Rk4::new(sim.dt.0);
-        let (times, states) =
-            integrate_sampled(self, &mut stepper, 0.0, sim.duration.0, &mut y, 1);
+        let (times, states) = integrate_sampled(self, &mut stepper, 0.0, sim.duration.0, &mut y, 1);
         let run = OscRun::from_states(
             &times,
             &states,
@@ -341,8 +338,7 @@ impl OscillatorChain {
             y[i * STATE_VARS] = base + window * (i as f64 / self.n as f64);
         }
         let mut stepper = Rk4::new(sim.dt.0);
-        let (times, states) =
-            integrate_sampled(self, &mut stepper, 0.0, sim.duration.0, &mut y, 1);
+        let (times, states) = integrate_sampled(self, &mut stepper, 0.0, sim.duration.0, &mut y, 1);
         let run = OscRun::from_states(
             &times,
             &states,
@@ -495,10 +491,7 @@ mod tests {
     fn pair_array_orders_measures_by_detuning() {
         let array = PairArray::new(quick_config());
         let measures = array
-            .compare_all(&[
-                (Volts(0.62), Volts(0.62)),
-                (Volts(0.62), Volts(0.626)),
-            ])
+            .compare_all(&[(Volts(0.62), Volts(0.62)), (Volts(0.62), Volts(0.626))])
             .unwrap();
         assert_eq!(measures.len(), 2);
         assert!(
@@ -526,8 +519,7 @@ mod tests {
 
     #[test]
     fn chain_with_close_inputs_synchronizes() {
-        let chain =
-            OscillatorChain::chain(quick_config(), &[0.620, 0.622, 0.621]).unwrap();
+        let chain = OscillatorChain::chain(quick_config(), &[0.620, 0.622, 0.621]).unwrap();
         let run = chain.simulate_default().unwrap();
         assert!(
             run.is_synchronized(0.015).unwrap(),

@@ -491,9 +491,7 @@ mod tests {
 
     #[test]
     fn calibration_requires_three_points() {
-        assert!(
-            OscillatorDistance::calibrate(quick(NormRegime::Shallow), 0.62, 0.01, 2).is_err()
-        );
+        assert!(OscillatorDistance::calibrate(quick(NormRegime::Shallow), 0.62, 0.01, 2).is_err());
     }
 
     #[test]

@@ -154,14 +154,8 @@ impl CoupledPair {
         // Symmetry breaking: start osc 2 mid-window.
         y[STATE_VARS] = self.config.osc.readout_threshold().0;
         let mut stepper = Rk4::new(config.dt.0);
-        let (times, states) = integrate_sampled(
-            self,
-            &mut stepper,
-            0.0,
-            config.duration.0,
-            &mut y,
-            1,
-        );
+        let (times, states) =
+            integrate_sampled(self, &mut stepper, 0.0, config.duration.0, &mut y, 1);
         let run = OscRun::from_states(
             &times,
             &states,
@@ -192,7 +186,13 @@ impl OdeSystem for CoupledPair {
         let v2 = y[STATE_VARS];
         let vc = y[2 * STATE_VARS];
         let i_c = (v1 - v2 - vc) / self.config.coupling.r_c().0;
-        oscillator_rhs(&self.config.osc, self.r1, &y[..STATE_VARS], &mut dy[..STATE_VARS], i_c);
+        oscillator_rhs(
+            &self.config.osc,
+            self.r1,
+            &y[..STATE_VARS],
+            &mut dy[..STATE_VARS],
+            i_c,
+        );
         oscillator_rhs(
             &self.osc2,
             self.r2,

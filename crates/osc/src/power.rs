@@ -80,11 +80,8 @@ pub fn analog_power(pair: &CoupledPair, run: &PairRun) -> Result<Watts, OscError
     let mut count = 0usize;
     for (idx, r) in [(0usize, r1), (1usize, r2)] {
         let wf = run.waveform(idx)?;
-        let mean_i: f64 = wf
-            .iter()
-            .map(|&v| (params.vdd.0 - v) / r)
-            .sum::<f64>()
-            / wf.len().max(1) as f64;
+        let mean_i: f64 =
+            wf.iter().map(|&v| (params.vdd.0 - v) / r).sum::<f64>() / wf.len().max(1) as f64;
         total += params.vdd.0 * mean_i;
         count += 1;
     }
@@ -154,8 +151,7 @@ mod tests {
     use device::units::Volts;
 
     fn setup() -> (CoupledPair, PairRun) {
-        let pair =
-            CoupledPair::new(PairConfig::default(), Volts(0.62), Volts(0.63)).unwrap();
+        let pair = CoupledPair::new(PairConfig::default(), Volts(0.62), Volts(0.63)).unwrap();
         let run = pair.simulate_default().unwrap();
         (pair, run)
     }

@@ -81,7 +81,11 @@ impl XorReadout {
         }
         let start = crossings[0].ceil() as usize;
         let end = (crossings[self.window_cycles].floor() as usize).min(a.len());
-        Ok(signal::xor_measure(&a[start..end], &b[start..end], threshold)?)
+        Ok(signal::xor_measure(
+            &a[start..end],
+            &b[start..end],
+            threshold,
+        )?)
     }
 
     /// Measures over every disjoint window in the run, exposing the
@@ -110,7 +114,11 @@ impl XorReadout {
         while cycle + self.window_cycles < crossings.len() {
             let start = crossings[cycle].ceil() as usize;
             let end = (crossings[cycle + self.window_cycles].floor() as usize).min(a.len());
-            out.push(signal::xor_measure(&a[start..end], &b[start..end], threshold)?);
+            out.push(signal::xor_measure(
+                &a[start..end],
+                &b[start..end],
+                threshold,
+            )?);
             cycle += self.window_cycles;
         }
         Ok(out)
@@ -151,7 +159,11 @@ impl XorReadout {
         while cycle + window < crossings.len() {
             let start = crossings[cycle].ceil() as usize;
             let end = (crossings[cycle + window].floor() as usize).min(a.len());
-            out.push(signal::xor_measure(&a[start..end], &b[start..end], threshold)?);
+            out.push(signal::xor_measure(
+                &a[start..end],
+                &b[start..end],
+                threshold,
+            )?);
             cycle += window;
         }
         Ok(out)

@@ -251,14 +251,8 @@ impl SingleOscillator {
     pub fn simulate(&self, config: SimConfig) -> Result<OscRun, OscError> {
         let mut y = vec![0.0; STATE_VARS];
         let mut stepper = Rk4::new(config.dt.0);
-        let (times, states) = integrate_sampled(
-            self,
-            &mut stepper,
-            0.0,
-            config.duration.0,
-            &mut y,
-            1,
-        );
+        let (times, states) =
+            integrate_sampled(self, &mut stepper, 0.0, config.duration.0, &mut y, 1);
         Ok(OscRun::from_states(
             &times,
             &states,

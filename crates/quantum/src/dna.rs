@@ -29,8 +29,8 @@
 use crate::state::StateVector;
 use crate::swap_test::{estimate_overlap_sq, exact_overlap_sq};
 use crate::QuantumError;
+use numerics::rng::Rng;
 use numerics::Complex;
-use rand::Rng;
 
 /// Maps a nucleotide to its 2-bit code.
 ///
@@ -155,7 +155,9 @@ pub fn edit_distance(a: &str, b: &str) -> usize {
 /// Generates a random DNA sequence of the given length.
 pub fn random_sequence<R: Rng>(rng: &mut R, len: usize) -> String {
     const BASES: [char; 4] = ['A', 'C', 'G', 'T'];
-    (0..len).map(|_| BASES[rng.gen_range(0..4)]).collect()
+    (0..len)
+        .map(|_| BASES[rng.gen_range(0..BASES.len())])
+        .collect()
 }
 
 /// Mutates a sequence with independent per-base substitution probability
@@ -166,7 +168,7 @@ pub fn mutate_sequence<R: Rng>(rng: &mut R, sequence: &str, rate: f64) -> String
         .chars()
         .map(|c| {
             if rng.gen::<f64>() < rate {
-                BASES[rng.gen_range(0..4)]
+                BASES[rng.gen_range(0..BASES.len())]
             } else {
                 c
             }

@@ -41,10 +41,7 @@ pub mod matrices {
         ],
     ];
     /// Pauli X.
-    pub const PAULI_X: Matrix2 = [
-        [Complex::ZERO, Complex::ONE],
-        [Complex::ONE, Complex::ZERO],
-    ];
+    pub const PAULI_X: Matrix2 = [[Complex::ZERO, Complex::ONE], [Complex::ONE, Complex::ZERO]];
     /// Pauli Y.
     pub const PAULI_Y: Matrix2 = [
         [Complex::ZERO, Complex::new(0.0, -1.0)],
@@ -230,9 +227,7 @@ impl Gate {
             Gate::Phase(q, t) => state.apply_single(q, &matrices::phase(t)),
             Gate::CX(c, t) => state.apply_controlled(c, t, &matrices::PAULI_X),
             Gate::CZ(c, t) => state.apply_controlled(c, t, &matrices::PAULI_Z),
-            Gate::CPhase(c, t, theta) => {
-                state.apply_controlled(c, t, &matrices::phase(theta))
-            }
+            Gate::CPhase(c, t, theta) => state.apply_controlled(c, t, &matrices::phase(theta)),
             Gate::Swap(a, b) => state.apply_swap(a, b),
             Gate::Toffoli(a, b, t) => state.apply_controlled2(a, b, t, &matrices::PAULI_X),
         }

@@ -24,8 +24,8 @@
 use crate::gate::Gate;
 use crate::state::StateVector;
 use crate::QuantumError;
+use numerics::rng::Rng;
 use numerics::Complex;
-use rand::Rng;
 
 /// Result of a Grover run.
 #[derive(Debug, Clone, PartialEq)]
@@ -98,7 +98,12 @@ pub fn search<R: Rng>(
     marked: &[usize],
     rng: &mut R,
 ) -> Result<GroverRun, QuantumError> {
-    search_with_iterations(n_qubits, marked, optimal_iterations(n_qubits, marked.len()), rng)
+    search_with_iterations(
+        n_qubits,
+        marked,
+        optimal_iterations(n_qubits, marked.len()),
+        rng,
+    )
 }
 
 /// Runs Grover search with an explicit iteration count.

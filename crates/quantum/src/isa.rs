@@ -121,8 +121,12 @@ impl Program {
     /// optional trailing `measure_all`).
     #[must_use]
     pub fn from_circuit(circuit: &crate::circuit::Circuit, measure_all: bool) -> Program {
-        let mut instructions: Vec<Instruction> =
-            circuit.gates().iter().copied().map(Instruction::Gate).collect();
+        let mut instructions: Vec<Instruction> = circuit
+            .gates()
+            .iter()
+            .copied()
+            .map(Instruction::Gate)
+            .collect();
         if measure_all {
             instructions.push(Instruction::MeasureAll);
         }

@@ -118,7 +118,10 @@ impl std::fmt::Display for QuantumError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             QuantumError::QubitOutOfRange { qubit, n_qubits } => {
-                write!(f, "qubit {qubit} out of range for {n_qubits}-qubit register")
+                write!(
+                    f,
+                    "qubit {qubit} out of range for {n_qubits}-qubit register"
+                )
             }
             QuantumError::BasisOutOfRange { basis, dim } => {
                 write!(f, "basis index {basis} out of range for dimension {dim}")

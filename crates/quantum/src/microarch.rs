@@ -26,7 +26,7 @@
 use crate::isa::{Instruction, Program};
 use crate::state::StateVector;
 use crate::QuantumError;
-use rand::Rng;
+use numerics::rng::Rng;
 
 /// Per-operation latencies in nanoseconds.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -29,7 +29,7 @@ use crate::circuit::Circuit;
 use crate::gate::matrices;
 use crate::state::StateVector;
 use crate::QuantumError;
-use rand::Rng;
+use numerics::rng::Rng;
 
 /// Stochastic error rates per operation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -150,7 +150,11 @@ pub fn run_noisy<R: Rng>(
     let mut state = StateVector::try_zero(circuit.n_qubits())?;
     for gate in circuit.gates() {
         gate.apply(&mut state)?;
-        let p = if gate.arity() == 1 { model.p1 } else { model.p2 };
+        let p = if gate.arity() == 1 {
+            model.p1
+        } else {
+            model.p2
+        };
         for q in gate.qubits() {
             apply_depolarizing(&mut state, q, p, rng)?;
             apply_damping(&mut state, q, model.gamma, rng)?;

@@ -69,8 +69,9 @@ mod tests {
             let circuit = qft_circuit(n).unwrap();
             let out = circuit.run(StateVector::basis(n, x).unwrap()).unwrap();
             for y in 0..dim {
-                let expected = Complex::cis(2.0 * std::f64::consts::PI * (x * y) as f64 / dim as f64)
-                    .scale(1.0 / (dim as f64).sqrt());
+                let expected =
+                    Complex::cis(2.0 * std::f64::consts::PI * (x * y) as f64 / dim as f64)
+                        .scale(1.0 / (dim as f64).sqrt());
                 let actual = out.amplitude(y).unwrap();
                 assert!(
                     (actual - expected).norm() < 1e-10,
@@ -96,9 +97,7 @@ mod tests {
     #[test]
     fn qft_preserves_norm() {
         let circuit = qft_circuit(6).unwrap();
-        let out = circuit
-            .run(StateVector::basis(6, 13).unwrap())
-            .unwrap();
+        let out = circuit.run(StateVector::basis(6, 13).unwrap()).unwrap();
         assert!((out.norm() - 1.0).abs() < 1e-10);
     }
 

@@ -32,7 +32,7 @@ use crate::numtheory::{convergents, gcd, is_perfect_power, is_prime, mod_pow};
 use crate::qft::inverse_qft_circuit;
 use crate::state::StateVector;
 use crate::{QuantumError, MAX_QUBITS};
-use rand::Rng;
+use numerics::rng::Rng;
 
 /// Result of one quantum order-finding run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -77,11 +77,7 @@ fn bits_for(n: u64) -> usize {
 ///
 /// * [`QuantumError::Algorithm`] when `gcd(a, n) != 1` or the problem needs
 ///   more than [`MAX_QUBITS`] qubits.
-pub fn order_finding<R: Rng>(
-    a: u64,
-    n: u64,
-    rng: &mut R,
-) -> Result<OrderFinding, QuantumError> {
+pub fn order_finding<R: Rng>(a: u64, n: u64, rng: &mut R) -> Result<OrderFinding, QuantumError> {
     if gcd(a, n) != 1 {
         return Err(QuantumError::Algorithm {
             reason: format!("gcd({a}, {n}) != 1"),
@@ -152,7 +148,11 @@ pub fn order_finding<R: Rng>(
 ///
 /// * [`QuantumError::Algorithm`] when `n` is prime, smaller than 4, or no
 ///   factor was found within the attempt budget.
-pub fn factor<R: Rng>(n: u64, rng: &mut R, max_attempts: u64) -> Result<FactorOutcome, QuantumError> {
+pub fn factor<R: Rng>(
+    n: u64,
+    rng: &mut R,
+    max_attempts: u64,
+) -> Result<FactorOutcome, QuantumError> {
     factor_with_options(n, rng, max_attempts, true)
 }
 
@@ -225,8 +225,8 @@ pub fn factor_with_options<R: Rng>(
         quantum_calls += 1;
         let run = order_finding(a, n, rng)?;
         // Cost model: counting_bits controlled-modmuls + iQFT gates.
-        quantum_ops += run.counting_bits as u64
-            + (run.counting_bits * (run.counting_bits + 3) / 2) as u64;
+        quantum_ops +=
+            run.counting_bits as u64 + (run.counting_bits * (run.counting_bits + 3) / 2) as u64;
         let Some(r) = run.order else { continue };
         if r % 2 != 0 {
             continue;

@@ -18,8 +18,8 @@
 //! ```
 
 use crate::{QuantumError, MAX_QUBITS};
+use numerics::rng::Rng;
 use numerics::Complex;
-use rand::Rng;
 
 /// A 2×2 complex matrix in row-major order.
 pub type Matrix2 = [[Complex; 2]; 2];
@@ -389,7 +389,11 @@ impl StateVector {
             }
         }
         for (i, a) in self.amps.iter_mut().enumerate() {
-            *a = if i == outcome { Complex::ONE } else { Complex::ZERO };
+            *a = if i == outcome {
+                Complex::ONE
+            } else {
+                Complex::ZERO
+            };
         }
         outcome
     }
@@ -485,11 +489,8 @@ mod tests {
 
     #[test]
     fn from_amplitudes_normalizes() {
-        let s = StateVector::from_amplitudes(vec![
-            Complex::new(3.0, 0.0),
-            Complex::new(4.0, 0.0),
-        ])
-        .unwrap();
+        let s = StateVector::from_amplitudes(vec![Complex::new(3.0, 0.0), Complex::new(4.0, 0.0)])
+            .unwrap();
         assert!((s.probability(0).unwrap() - 0.36).abs() < 1e-12);
         assert!((s.probability(1).unwrap() - 0.64).abs() < 1e-12);
     }
@@ -499,8 +500,7 @@ mod tests {
         assert!(StateVector::from_amplitudes(vec![Complex::ONE; 3]).is_err());
         assert!(StateVector::from_amplitudes(vec![Complex::ZERO; 4]).is_err());
         assert!(
-            StateVector::from_amplitudes(vec![Complex::new(f64::NAN, 0.0), Complex::ONE])
-                .is_err()
+            StateVector::from_amplitudes(vec![Complex::new(f64::NAN, 0.0), Complex::ONE]).is_err()
         );
     }
 

@@ -24,7 +24,7 @@
 use crate::gate::{matrices, Gate};
 use crate::state::StateVector;
 use crate::QuantumError;
-use rand::Rng;
+use numerics::rng::Rng;
 
 /// Runs one swap test and returns the ancilla measurement (`false` = `|0⟩`).
 ///

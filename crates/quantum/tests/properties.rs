@@ -1,6 +1,10 @@
-//! Property-based tests of the quantum crate's invariants.
+//! Randomized tests of the quantum crate's invariants.
+//!
+//! Formerly written with `proptest`; rewritten on the in-repo
+//! `numerics::rng` so the suite builds offline. Each test draws many
+//! random cases from a fixed seed, so failures reproduce deterministically.
 
-use proptest::prelude::*;
+use numerics::rng::{rng_from_seed, Rng, StdRng};
 use quantum::circuit::Circuit;
 use quantum::decompose::decompose_circuit;
 use quantum::gate::Gate;
@@ -8,115 +12,168 @@ use quantum::isa::{assemble, Program};
 use quantum::numtheory;
 use quantum::state::StateVector;
 
-fn gate_strategy(n: usize) -> impl Strategy<Value = Gate> {
-    let q = 0..n;
-    let q2 = move || {
-        (0..n, 0..n)
-            .prop_filter_map("distinct", |(a, b)| if a == b { None } else { Some((a, b)) })
-    };
-    prop_oneof![
-        q.clone().prop_map(Gate::H),
-        q.clone().prop_map(Gate::X),
-        q.clone().prop_map(Gate::Y),
-        q.clone().prop_map(Gate::Z),
-        q.clone().prop_map(Gate::S),
-        q.clone().prop_map(Gate::Tdg),
-        (q, -3.0f64..3.0).prop_map(|(q, t)| Gate::Rz(q, t)),
-        q2().prop_map(|(a, b)| Gate::CX(a, b)),
-        q2().prop_map(|(a, b)| Gate::CZ(a, b)),
-        q2().prop_map(|(a, b)| Gate::Swap(a, b)),
-        q2().prop_map(|(a, b)| Gate::CPhase(a, b, 0.7)),
-    ]
+const CASES: usize = 64;
+
+fn random_gate(rng: &mut StdRng, n: usize) -> Gate {
+    fn q2(rng: &mut StdRng, n: usize) -> (usize, usize) {
+        let a = rng.gen_range(0..n);
+        loop {
+            let b = rng.gen_range(0..n);
+            if b != a {
+                return (a, b);
+            }
+        }
+    }
+    let kind = rng.gen_range(0..11);
+    let q = rng.gen_range(0..n);
+    match kind {
+        0 => Gate::H(q),
+        1 => Gate::X(q),
+        2 => Gate::Y(q),
+        3 => Gate::Z(q),
+        4 => Gate::S(q),
+        5 => Gate::Tdg(q),
+        6 => Gate::Rz(q, rng.gen_range(-3.0..3.0)),
+        7 => {
+            let (a, b) = q2(rng, n);
+            Gate::CX(a, b)
+        }
+        8 => {
+            let (a, b) = q2(rng, n);
+            Gate::CZ(a, b)
+        }
+        9 => {
+            let (a, b) = q2(rng, n);
+            Gate::Swap(a, b)
+        }
+        _ => {
+            let (a, b) = q2(rng, n);
+            Gate::CPhase(a, b, 0.7)
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Decomposition to {1q, CX} preserves circuit semantics exactly.
-    #[test]
-    fn decomposition_preserves_semantics(gates in prop::collection::vec(gate_strategy(3), 1..15)) {
+/// Decomposition to {1q, CX} preserves circuit semantics exactly.
+#[test]
+fn decomposition_preserves_semantics() {
+    let mut rng = rng_from_seed(0xDEC);
+    for _ in 0..CASES {
+        let n_gates = rng.gen_range(1..15);
         let mut c = Circuit::new(3).unwrap();
-        for g in &gates {
-            c.push(*g).unwrap();
+        for _ in 0..n_gates {
+            c.push(random_gate(&mut rng, 3)).unwrap();
         }
         let lowered = decompose_circuit(&c).unwrap();
-        prop_assert!(lowered.gates().iter().all(|g| g.arity() <= 2));
+        assert!(lowered.gates().iter().all(|g| g.arity() <= 2));
         for basis in 0..8usize {
             let a = c.run(StateVector::basis(3, basis).unwrap()).unwrap();
             let b = lowered.run(StateVector::basis(3, basis).unwrap()).unwrap();
             let fidelity = a.overlap(&b).unwrap().norm();
-            prop_assert!((fidelity - 1.0).abs() < 1e-8, "basis {}: fidelity {}", basis, fidelity);
+            assert!(
+                (fidelity - 1.0).abs() < 1e-8,
+                "basis {basis}: fidelity {fidelity}"
+            );
         }
     }
+}
 
-    /// Assembly round-trips programs built from circuits.
-    #[test]
-    fn isa_roundtrip(gates in prop::collection::vec(gate_strategy(4), 0..20)) {
+/// Assembly round-trips programs built from circuits.
+#[test]
+fn isa_roundtrip() {
+    let mut rng = rng_from_seed(0x15A);
+    for _ in 0..CASES {
+        let n_gates = rng.gen_range(0..20);
         let mut c = Circuit::new(4).unwrap();
-        for g in &gates {
-            c.push(*g).unwrap();
+        for _ in 0..n_gates {
+            c.push(random_gate(&mut rng, 4)).unwrap();
         }
         let program = Program::from_circuit(&c, true);
         let text = program.disassemble();
         let reparsed = assemble(&text).unwrap();
-        prop_assert_eq!(reparsed, program);
+        assert_eq!(reparsed, program);
     }
+}
 
-    /// Probabilities of a state always sum to 1 after arbitrary circuits.
-    #[test]
-    fn probabilities_normalized(gates in prop::collection::vec(gate_strategy(4), 1..30)) {
+/// Probabilities of a state always sum to 1 after arbitrary circuits.
+#[test]
+fn probabilities_normalized() {
+    let mut rng = rng_from_seed(0x9A0B);
+    for _ in 0..CASES {
+        let n_gates = rng.gen_range(1..30);
         let mut state = StateVector::zero(4);
-        for g in &gates {
-            g.apply(&mut state).unwrap();
+        for _ in 0..n_gates {
+            random_gate(&mut rng, 4).apply(&mut state).unwrap();
         }
         let total: f64 = (0..state.dim())
             .map(|i| state.probability(i).unwrap())
             .sum();
-        prop_assert!((total - 1.0).abs() < 1e-9);
+        assert!((total - 1.0).abs() < 1e-9);
     }
+}
 
-    /// mod_pow agrees with the naive product for small exponents.
-    #[test]
-    fn mod_pow_agrees_with_naive(base in 1u64..50, exp in 0u64..12, modulus in 2u64..1000) {
+/// mod_pow agrees with the naive product for small exponents.
+#[test]
+fn mod_pow_agrees_with_naive() {
+    let mut rng = rng_from_seed(0x90D);
+    for _ in 0..CASES {
+        let base = rng.gen_range(1u64..50);
+        let exp = rng.gen_range(0u64..12);
+        let modulus = rng.gen_range(2u64..1000);
         let naive = (0..exp).fold(1u64, |acc, _| acc * (base % modulus) % modulus);
-        prop_assert_eq!(numtheory::mod_pow(base, exp, modulus), naive);
+        assert_eq!(numtheory::mod_pow(base, exp, modulus), naive);
     }
+}
 
-    /// gcd divides both arguments and any common divisor divides it.
-    #[test]
-    fn gcd_is_greatest(a in 1u64..10_000, b in 1u64..10_000) {
+/// gcd divides both arguments and any common divisor divides it.
+#[test]
+fn gcd_is_greatest() {
+    let mut rng = rng_from_seed(0x6CD);
+    for _ in 0..CASES {
+        let a = rng.gen_range(1u64..10_000);
+        let b = rng.gen_range(1u64..10_000);
         let g = numtheory::gcd(a, b);
-        prop_assert_eq!(a % g, 0);
-        prop_assert_eq!(b % g, 0);
+        assert_eq!(a % g, 0);
+        assert_eq!(b % g, 0);
         for d in (g + 1)..=(a.min(b)).min(g + 50) {
-            prop_assert!(!(a % d == 0 && b % d == 0), "common divisor {} > gcd {}", d, g);
+            assert!(!(a % d == 0 && b % d == 0), "common divisor {d} > gcd {g}");
         }
     }
+}
 
-    /// Convergents of p/q include the exact fraction when q is small.
-    #[test]
-    fn convergents_reach_exact_fraction(p in 1u64..50, q in 1u64..50) {
+/// Convergents of p/q include the exact fraction when q is small.
+#[test]
+fn convergents_reach_exact_fraction() {
+    let mut rng = rng_from_seed(0xC0F);
+    for _ in 0..CASES {
+        let p = rng.gen_range(1u64..50);
+        let q = rng.gen_range(1u64..50);
         let g = numtheory::gcd(p, q);
         let (pr, qr) = (p / g, q / g);
         let convergents = numtheory::convergents(p, q, qr);
-        prop_assert!(
+        assert!(
             convergents.contains(&(pr, qr)),
-            "{}/{} not among {:?}",
-            pr,
-            qr,
-            convergents
+            "{pr}/{qr} not among {convergents:?}"
         );
     }
+}
 
-    /// Multiplicative order divides Euler's totient (Lagrange, spot form):
-    /// a^order = 1 and no smaller positive power is 1.
-    #[test]
-    fn multiplicative_order_minimal(a in 2u64..40, n in 3u64..60) {
-        prop_assume!(numtheory::gcd(a, n) == 1);
+/// Multiplicative order divides Euler's totient (Lagrange, spot form):
+/// a^order = 1 and no smaller positive power is 1.
+#[test]
+fn multiplicative_order_minimal() {
+    let mut rng = rng_from_seed(0x03D);
+    let mut checked = 0;
+    while checked < CASES {
+        let a = rng.gen_range(2u64..40);
+        let n = rng.gen_range(3u64..60);
+        if numtheory::gcd(a, n) != 1 {
+            continue;
+        }
+        checked += 1;
         let order = numtheory::multiplicative_order(a, n).unwrap();
-        prop_assert_eq!(numtheory::mod_pow(a, order, n), 1);
+        assert_eq!(numtheory::mod_pow(a, order, n), 1);
         for r in 1..order {
-            prop_assert_ne!(numtheory::mod_pow(a, r, n), 1, "smaller order {} exists", r);
+            assert_ne!(numtheory::mod_pow(a, r, n), 1, "smaller order {r} exists");
         }
     }
 }

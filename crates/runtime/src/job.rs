@@ -1,0 +1,259 @@
+//! Job lifecycle: submission options, outcomes, and the caller-side handle.
+//!
+//! A submitted job is shared between the submitting thread and the worker
+//! that eventually executes it through an [`JobState`] cell: a
+//! `Mutex<Option<JobOutcome>>` plus a `Condvar` for waiters and an atomic
+//! cancellation flag. Exactly one party installs the outcome — whoever wins
+//! the race between completion, timeout, and cancellation — and the cell is
+//! write-once thereafter.
+
+use accel::kernel::KernelExecution;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Per-job submission options.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobOptions {
+    /// Maximum time the job may spend *queued*. A job still waiting when
+    /// its deadline passes resolves to [`JobOutcome::TimedOut`] instead of
+    /// executing. `None` falls back to the runtime's default timeout.
+    pub timeout: Option<Duration>,
+}
+
+impl JobOptions {
+    /// Options with an explicit queue timeout.
+    #[must_use]
+    pub fn with_timeout(timeout: Duration) -> Self {
+        JobOptions {
+            timeout: Some(timeout),
+        }
+    }
+}
+
+/// The terminal state of a job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutcome {
+    /// The kernel executed.
+    Completed {
+        /// Name of the backend that ran the kernel.
+        backend: String,
+        /// The kernel result and modelled device cost.
+        execution: KernelExecution,
+        /// Host wall-clock time spent executing (not queueing).
+        wall: Duration,
+    },
+    /// The backend returned an error (rendered, since backend errors are
+    /// not `Clone` and an outcome may be read by several waiters).
+    Failed(String),
+    /// The job's queue deadline passed before a worker picked it up.
+    TimedOut,
+    /// The job was cancelled before it completed.
+    Cancelled,
+}
+
+impl JobOutcome {
+    /// Whether the job produced a kernel execution.
+    #[must_use]
+    pub fn is_completed(&self) -> bool {
+        matches!(self, JobOutcome::Completed { .. })
+    }
+}
+
+/// The shared completion cell. Crate-internal; callers interact through
+/// [`JobHandle`].
+#[derive(Debug)]
+pub(crate) struct JobState {
+    cancel_requested: AtomicBool,
+    outcome: Mutex<Option<JobOutcome>>,
+    done: Condvar,
+}
+
+impl JobState {
+    pub(crate) fn new() -> Self {
+        JobState {
+            cancel_requested: AtomicBool::new(false),
+            outcome: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Installs `outcome` if no outcome is set yet, waking all waiters.
+    /// Returns whether this call won the installation race.
+    pub(crate) fn finish(&self, outcome: JobOutcome) -> bool {
+        let mut slot = self.outcome.lock().unwrap();
+        if slot.is_some() {
+            return false;
+        }
+        *slot = Some(outcome);
+        drop(slot);
+        self.done.notify_all();
+        true
+    }
+
+    pub(crate) fn cancel_requested(&self) -> bool {
+        self.cancel_requested.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn outcome(&self) -> Option<JobOutcome> {
+        self.outcome.lock().unwrap().clone()
+    }
+}
+
+/// The caller's view of a submitted job.
+///
+/// Cloneable so several threads can await the same job; all clones observe
+/// the same outcome.
+#[derive(Debug, Clone)]
+pub struct JobHandle {
+    id: u64,
+    pub(crate) state: Arc<JobState>,
+}
+
+impl JobHandle {
+    pub(crate) fn new(id: u64, state: Arc<JobState>) -> Self {
+        JobHandle { id, state }
+    }
+
+    /// The runtime-assigned job id (dense, in submission order).
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Whether the job has reached a terminal state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job's state mutex was poisoned.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.state.outcome.lock().unwrap().is_some()
+    }
+
+    /// The outcome, if the job has finished; `None` while pending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job's state mutex was poisoned.
+    #[must_use]
+    pub fn try_result(&self) -> Option<JobOutcome> {
+        self.state.outcome()
+    }
+
+    /// Blocks until the job finishes and returns its outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job's state mutex was poisoned.
+    #[must_use]
+    pub fn wait(&self) -> JobOutcome {
+        let mut slot = self.state.outcome.lock().unwrap();
+        while slot.is_none() {
+            slot = self.state.done.wait(slot).unwrap();
+        }
+        slot.clone().unwrap()
+    }
+
+    /// Blocks up to `timeout` for the job to finish; `None` if it is still
+    /// pending when the wait expires.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job's state mutex was poisoned.
+    #[must_use]
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<JobOutcome> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut slot = self.state.outcome.lock().unwrap();
+        loop {
+            if slot.is_some() {
+                return slot.clone();
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _timed_out) = self.state.done.wait_timeout(slot, deadline - now).unwrap();
+            slot = guard;
+        }
+    }
+
+    /// Requests cooperative cancellation.
+    ///
+    /// Returns `true` iff this call settled the job as
+    /// [`JobOutcome::Cancelled`] — i.e. cancellation won the race against
+    /// completion. A `false` return means the job had already finished (or
+    /// another canceller won), and [`JobHandle::try_result`] shows the
+    /// actual outcome. A job already picked up by a worker is not
+    /// preempted: if its execution finishes after this call, the worker's
+    /// result loses the race and is discarded.
+    pub fn cancel(&self) -> bool {
+        self.state.cancel_requested.store(true, Ordering::Release);
+        self.state.finish(JobOutcome::Cancelled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn handle() -> JobHandle {
+        JobHandle::new(7, Arc::new(JobState::new()))
+    }
+
+    #[test]
+    fn outcome_installs_once() {
+        let h = handle();
+        assert!(h.state.finish(JobOutcome::TimedOut));
+        assert!(!h.state.finish(JobOutcome::Cancelled));
+        assert_eq!(h.try_result(), Some(JobOutcome::TimedOut));
+    }
+
+    #[test]
+    fn pending_job_reports_none() {
+        let h = handle();
+        assert!(!h.is_finished());
+        assert_eq!(h.try_result(), None);
+        assert_eq!(h.wait_timeout(Duration::from_millis(10)), None);
+    }
+
+    #[test]
+    fn wait_unblocks_on_finish() {
+        let h = handle();
+        let waiter = {
+            let h = h.clone();
+            thread::spawn(move || h.wait())
+        };
+        thread::sleep(Duration::from_millis(20));
+        assert!(h.state.finish(JobOutcome::Failed("boom".into())));
+        assert_eq!(waiter.join().unwrap(), JobOutcome::Failed("boom".into()));
+    }
+
+    #[test]
+    fn cancel_before_finish_wins() {
+        let h = handle();
+        assert!(h.cancel());
+        assert!(h.state.cancel_requested());
+        // A worker finishing late loses the race.
+        assert!(!h.state.finish(JobOutcome::TimedOut));
+        assert_eq!(h.try_result(), Some(JobOutcome::Cancelled));
+    }
+
+    #[test]
+    fn cancel_after_finish_loses() {
+        let h = handle();
+        assert!(h.state.finish(JobOutcome::TimedOut));
+        assert!(!h.cancel());
+        assert_eq!(h.try_result(), Some(JobOutcome::TimedOut));
+    }
+
+    #[test]
+    fn clones_observe_same_outcome() {
+        let h = handle();
+        let h2 = h.clone();
+        assert!(h.state.finish(JobOutcome::TimedOut));
+        assert_eq!(h2.wait(), JobOutcome::TimedOut);
+        assert_eq!(h2.id(), 7);
+    }
+}

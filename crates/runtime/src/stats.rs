@@ -1,0 +1,337 @@
+//! Serving statistics: counters, per-backend throughput, latency histogram.
+//!
+//! Workers record into a shared [`StatsCollector`] (a mutexed accumulator);
+//! [`crate::Runtime::stats`] snapshots it into an owned [`RuntimeStats`]
+//! that renders as a small serving report.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Upper bounds (inclusive, microseconds) of the latency histogram buckets;
+/// one extra unbounded bucket catches everything slower.
+pub const LATENCY_BOUNDS_US: [u64; 7] = [10, 100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000];
+
+/// Number of histogram buckets ([`LATENCY_BOUNDS_US`] plus the overflow).
+pub const LATENCY_BUCKETS: usize = LATENCY_BOUNDS_US.len() + 1;
+
+/// A fixed-bucket latency histogram over power-of-ten microsecond bounds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: [u64; LATENCY_BUCKETS],
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency observation.
+    pub fn record(&mut self, latency: Duration) {
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let idx = LATENCY_BOUNDS_US
+            .iter()
+            .position(|&bound| us <= bound)
+            .unwrap_or(LATENCY_BOUNDS_US.len());
+        self.counts[idx] += 1;
+    }
+
+    /// Per-bucket observation counts, lowest bucket first.
+    #[must_use]
+    pub fn counts(&self) -> &[u64; LATENCY_BUCKETS] {
+        &self.counts
+    }
+
+    /// Total observations.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Human label for bucket `idx`, e.g. `"≤1ms"` or `">10s"`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= LATENCY_BUCKETS`.
+    #[must_use]
+    pub fn bucket_label(idx: usize) -> String {
+        fn us_label(us: u64) -> String {
+            match us {
+                us if us >= 1_000_000 => format!("{}s", us / 1_000_000),
+                us if us >= 1_000 => format!("{}ms", us / 1_000),
+                us => format!("{us}\u{00b5}s"),
+            }
+        }
+        assert!(idx < LATENCY_BUCKETS, "bucket index out of range");
+        if idx < LATENCY_BOUNDS_US.len() {
+            format!("\u{2264}{}", us_label(LATENCY_BOUNDS_US[idx]))
+        } else {
+            format!(
+                ">{}",
+                us_label(LATENCY_BOUNDS_US[LATENCY_BOUNDS_US.len() - 1])
+            )
+        }
+    }
+}
+
+/// Aggregate work routed to one backend.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BackendThroughput {
+    /// Jobs completed on this backend.
+    pub jobs: u64,
+    /// Total modelled device time (seconds).
+    pub device_seconds: f64,
+    /// Total backend operations.
+    pub operations: u64,
+    /// Host wall-clock seconds the backend spent executing.
+    pub busy_seconds: f64,
+}
+
+impl BackendThroughput {
+    /// Completed jobs per host wall-clock second spent on this backend
+    /// (0 when the backend never ran).
+    #[must_use]
+    pub fn jobs_per_second(&self) -> f64 {
+        if self.busy_seconds > 0.0 {
+            self.jobs as f64 / self.busy_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A point-in-time snapshot of the serving engine.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RuntimeStats {
+    /// Jobs accepted into the queue.
+    pub submitted: u64,
+    /// Jobs that executed and returned a result.
+    pub completed: u64,
+    /// Jobs whose backend returned an error.
+    pub failed: u64,
+    /// Non-blocking submissions rejected because the queue was full.
+    pub rejected: u64,
+    /// Jobs whose queue deadline expired before execution.
+    pub timed_out: u64,
+    /// Jobs cancelled before completion.
+    pub cancelled: u64,
+    /// Items waiting in the queue at snapshot time.
+    pub queue_depth: usize,
+    /// Worker threads serving the queue.
+    pub workers: usize,
+    /// Completed-job accounting per backend name.
+    pub per_backend: BTreeMap<String, BackendThroughput>,
+    /// Queue-to-completion latency of completed jobs.
+    pub latency: LatencyHistogram,
+}
+
+impl RuntimeStats {
+    /// Jobs that reached a terminal state (any kind).
+    #[must_use]
+    pub fn settled(&self) -> u64 {
+        self.completed + self.failed + self.timed_out + self.cancelled
+    }
+}
+
+impl fmt::Display for RuntimeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "runtime: {} workers, queue depth {}",
+            self.workers, self.queue_depth
+        )?;
+        writeln!(
+            f,
+            "jobs: {} submitted | {} completed | {} failed | {} timed out | {} cancelled | {} rejected",
+            self.submitted,
+            self.completed,
+            self.failed,
+            self.timed_out,
+            self.cancelled,
+            self.rejected
+        )?;
+        writeln!(f, "per-backend throughput:")?;
+        for (name, t) in &self.per_backend {
+            writeln!(
+                f,
+                "  {:<14} {:>6} jobs  {:>10.1} jobs/s  {:>12.6} device-s  {:>10} ops",
+                name,
+                t.jobs,
+                t.jobs_per_second(),
+                t.device_seconds,
+                t.operations
+            )?;
+        }
+        writeln!(f, "completion latency:")?;
+        for (idx, &count) in self.latency.counts().iter().enumerate() {
+            if count > 0 {
+                writeln!(f, "  {:<8} {count}", LatencyHistogram::bucket_label(idx))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The workers' shared accumulator behind a mutex.
+#[derive(Debug, Default)]
+pub(crate) struct StatsCollector {
+    inner: Mutex<Collected>,
+}
+
+#[derive(Debug, Default, Clone)]
+struct Collected {
+    submitted: u64,
+    completed: u64,
+    failed: u64,
+    rejected: u64,
+    timed_out: u64,
+    cancelled: u64,
+    per_backend: BTreeMap<String, BackendThroughput>,
+    latency: LatencyHistogram,
+}
+
+impl StatsCollector {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_submitted(&self) {
+        self.inner.lock().unwrap().submitted += 1;
+    }
+
+    pub(crate) fn record_rejected(&self) {
+        self.inner.lock().unwrap().rejected += 1;
+    }
+
+    pub(crate) fn record_failed(&self) {
+        self.inner.lock().unwrap().failed += 1;
+    }
+
+    pub(crate) fn record_timed_out(&self) {
+        self.inner.lock().unwrap().timed_out += 1;
+    }
+
+    pub(crate) fn record_cancelled(&self) {
+        self.inner.lock().unwrap().cancelled += 1;
+    }
+
+    pub(crate) fn record_completed(
+        &self,
+        backend: &str,
+        device_seconds: f64,
+        operations: u64,
+        busy: Duration,
+        latency: Duration,
+    ) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.completed += 1;
+        let entry = inner.per_backend.entry(backend.to_string()).or_default();
+        entry.jobs += 1;
+        entry.device_seconds += device_seconds;
+        entry.operations += operations;
+        entry.busy_seconds += busy.as_secs_f64();
+        inner.latency.record(latency);
+    }
+
+    pub(crate) fn snapshot(&self, queue_depth: usize, workers: usize) -> RuntimeStats {
+        let inner = self.inner.lock().unwrap().clone();
+        RuntimeStats {
+            submitted: inner.submitted,
+            completed: inner.completed,
+            failed: inner.failed,
+            rejected: inner.rejected,
+            timed_out: inner.timed_out,
+            cancelled: inner.cancelled,
+            queue_depth,
+            workers,
+            per_backend: inner.per_backend,
+            latency: inner.latency,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_magnitude() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_micros(3)); // ≤10µs
+        h.record(Duration::from_micros(10)); // ≤10µs (inclusive)
+        h.record(Duration::from_micros(11)); // ≤100µs
+        h.record(Duration::from_millis(5)); // ≤10ms
+        h.record(Duration::from_secs(100)); // >10s overflow
+        assert_eq!(h.counts()[0], 2);
+        assert_eq!(h.counts()[1], 1);
+        assert_eq!(h.counts()[3], 1);
+        assert_eq!(h.counts()[LATENCY_BUCKETS - 1], 1);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn bucket_labels_scale_units() {
+        assert_eq!(LatencyHistogram::bucket_label(0), "\u{2264}10\u{00b5}s");
+        assert_eq!(LatencyHistogram::bucket_label(2), "\u{2264}1ms");
+        assert_eq!(LatencyHistogram::bucket_label(6), "\u{2264}10s");
+        assert_eq!(LatencyHistogram::bucket_label(LATENCY_BUCKETS - 1), ">10s");
+    }
+
+    #[test]
+    fn throughput_rate() {
+        let t = BackendThroughput {
+            jobs: 10,
+            busy_seconds: 2.0,
+            ..Default::default()
+        };
+        assert!((t.jobs_per_second() - 5.0).abs() < 1e-12);
+        assert_eq!(BackendThroughput::default().jobs_per_second(), 0.0);
+    }
+
+    #[test]
+    fn collector_snapshot_roundtrip() {
+        let c = StatsCollector::new();
+        c.record_submitted();
+        c.record_submitted();
+        c.record_rejected();
+        c.record_completed(
+            "quantum",
+            1e-6,
+            40,
+            Duration::from_millis(2),
+            Duration::from_millis(3),
+        );
+        c.record_timed_out();
+        let s = c.snapshot(5, 3);
+        assert_eq!(s.submitted, 2);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.completed, 1);
+        assert_eq!(s.timed_out, 1);
+        assert_eq!(s.settled(), 2);
+        assert_eq!(s.queue_depth, 5);
+        assert_eq!(s.workers, 3);
+        assert_eq!(s.per_backend["quantum"].jobs, 1);
+        assert!(s.per_backend["quantum"].jobs_per_second() > 0.0);
+        assert_eq!(s.latency.total(), 1);
+    }
+
+    #[test]
+    fn display_mentions_backends_and_counters() {
+        let c = StatsCollector::new();
+        c.record_submitted();
+        c.record_completed(
+            "oscillator",
+            1e-6,
+            1,
+            Duration::from_micros(50),
+            Duration::from_micros(80),
+        );
+        let text = c.snapshot(0, 2).to_string();
+        assert!(text.contains("oscillator"));
+        assert!(text.contains("1 submitted"));
+        assert!(text.contains("jobs/s"));
+    }
+}

@@ -57,10 +57,7 @@ pub fn ring_offsets() -> &'static [(i32, i32); RING_SIZE] {
 pub fn ring_coords(x: usize, y: usize) -> [(usize, usize); RING_SIZE] {
     let mut out = [(0usize, 0usize); RING_SIZE];
     for (slot, &(dx, dy)) in out.iter_mut().zip(OFFSETS.iter()) {
-        *slot = (
-            (x as i32 + dx) as usize,
-            (y as i32 + dy) as usize,
-        );
+        *slot = ((x as i32 + dx) as usize, (y as i32 + dy) as usize);
     }
     out
 }

@@ -156,8 +156,7 @@ pub fn compare_power(
     let frame_time = Seconds(rounds * window_time);
 
     // --- Digital side -----------------------------------------------------
-    let (digital_corners, counts) =
-        FastDetector::new(setup.fast).detect_counted(img);
+    let (digital_corners, counts) = FastDetector::new(setup.fast).detect_counted(img);
     let engine = PipelinedDatapath::vision_engine(setup.node);
     let cmos_power = engine.average_power(&counts, frame_time);
 

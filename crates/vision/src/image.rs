@@ -49,11 +49,7 @@ impl GrayImage {
     ///
     /// Returns [`VisionError::BadGeometry`] when `pixels.len()` ≠
     /// `width · height` or a dimension is zero.
-    pub fn from_pixels(
-        width: usize,
-        height: usize,
-        pixels: Vec<u8>,
-    ) -> Result<Self, VisionError> {
+    pub fn from_pixels(width: usize, height: usize, pixels: Vec<u8>) -> Result<Self, VisionError> {
         if width == 0 || height == 0 {
             return Err(VisionError::BadGeometry {
                 what: "image dimensions must be nonzero".into(),

@@ -170,9 +170,7 @@ impl OscFastDetector {
             for &i in &[0usize, 4, 8, 12] {
                 let (rx, ry) = ring[i];
                 *comparisons += 1;
-                if self.distance.distance(p, Self::norm(img.at(rx, ry)))
-                    > self.measure_threshold
-                {
+                if self.distance.distance(p, Self::norm(img.at(rx, ry))) > self.measure_threshold {
                     differs += 1;
                 }
             }
@@ -311,8 +309,7 @@ mod tests {
     #[test]
     fn detects_square_corners_like_digital_fast() {
         let img = scene();
-        let osc_out = OscFastDetector::new(quick_distance(), OscFastParams::default())
-            .detect(&img);
+        let osc_out = OscFastDetector::new(quick_distance(), OscFastParams::default()).detect(&img);
         let digital = FastDetector::new(FastParams::default()).detect(&img);
         assert!(!osc_out.corners.is_empty(), "oscillator FAST found nothing");
         let m = match_corners(&digital, &osc_out.corners, 2);

@@ -131,9 +131,8 @@ impl SceneBuilder {
     #[must_use]
     pub fn ground_truth_corners(&self) -> Vec<(usize, usize)> {
         let mut out = Vec::new();
-        let interior = |x: usize, y: usize| {
-            x >= 3 && y >= 3 && x + 3 < self.width && y + 3 < self.height
-        };
+        let interior =
+            |x: usize, y: usize| x >= 3 && y >= 3 && x + 3 < self.width && y + 3 < self.height;
         for shape in &self.shapes {
             match *shape {
                 Shape::Rectangle { x, y, w, h, .. } => {
@@ -259,9 +258,7 @@ mod tests {
 
     #[test]
     fn rectangle_clips_at_border() {
-        let img = SceneBuilder::new(8, 8)
-            .rectangle(6, 6, 10, 10, 99)
-            .build(0);
+        let img = SceneBuilder::new(8, 8).rectangle(6, 6, 10, 10, 99).build(0);
         assert_eq!(img.at(7, 7), 99);
     }
 

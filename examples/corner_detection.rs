@@ -22,12 +22,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Digital baseline.
     let digital = FastDetector::new(FastParams::default()).detect(&img);
     let dm = match_against_ground_truth(&truth, &digital, 2);
-    println!("software FAST-9 : {} corners | vs truth: {}", digital.len(), dm);
+    println!(
+        "software FAST-9 : {} corners | vs truth: {}",
+        digital.len(),
+        dm
+    );
 
     // Oscillator pipeline + throughput-matched power comparison.
     println!("\ncalibrating the coupled-oscillator distance primitive …");
     let cmp = compare_power(&img, &ComparisonSetup::default())?;
-    println!("oscillator FAST : agreement with digital F1 = {:.3}", cmp.agreement_f1);
+    println!(
+        "oscillator FAST : agreement with digital F1 = {:.3}",
+        cmp.agreement_f1
+    );
     println!(
         "\npower (throughput-matched, frame time {:.2} ms):",
         cmp.frame_time.0 * 1e3

@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         weight_decay: 0.0,
     };
 
-    println!("{:>26} | {:>12} | {:>14}", "trainer", "final LL", "recon error");
+    println!(
+        "{:>26} | {:>12} | {:>14}",
+        "trainer", "final LL", "recon error"
+    );
     println!("{}", "-".repeat(60));
     let trainers: Vec<(&str, Trainer)> = vec![
         ("CD-1", Trainer::cd(1)),

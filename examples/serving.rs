@@ -1,0 +1,132 @@
+//! The heterogeneous machine under load: a concurrent serving run.
+//!
+//! Builds a [`runtime::Runtime`] whose workers each own the full
+//! accelerator pool (quantum, oscillator, memcomputing, CPU fallback),
+//! submits a few hundred mixed jobs, prints the serving statistics, and
+//! then re-runs the identical workload on a single-worker runtime to show
+//! that results are deterministic — independent of worker count and
+//! scheduling order.
+//!
+//! Run with: `cargo run --release --example serving`
+
+use accel::kernel::Kernel;
+use mem::generators::planted_3sat;
+use numerics::rng::{rng_from_seed, Rng};
+use runtime::{DispatchPolicy, JobOutcome, Runtime, RuntimeConfig};
+
+const MASTER_SEED: u64 = 2019;
+const JOBS: usize = 240;
+
+/// A deterministic mixed workload touching every paradigm.
+fn build_workload() -> Result<Vec<Kernel>, Box<dyn std::error::Error>> {
+    let mut rng = rng_from_seed(MASTER_SEED);
+    let semiprimes = [15u64, 21, 33, 35, 55, 77];
+    let bases = ['A', 'C', 'G', 'T'];
+    let mut kernels = Vec::with_capacity(JOBS);
+    for i in 0..JOBS {
+        kernels.push(match i % 4 {
+            0 => Kernel::Factor {
+                n: semiprimes[rng.gen_range(0..semiprimes.len())],
+            },
+            1 => Kernel::Compare {
+                x: rng.gen_range(0.0..1.0),
+                y: rng.gen_range(0.0..1.0),
+            },
+            2 => {
+                let sat = planted_3sat(12, 3.8, rng.gen::<u64>())?;
+                Kernel::SolveSat {
+                    formula: sat.formula,
+                }
+            }
+            _ => {
+                let mut seq = |len: usize| -> String {
+                    (0..len)
+                        .map(|_| bases[rng.gen_range(0..bases.len())])
+                        .collect()
+                };
+                let a = seq(12);
+                let b = seq(12);
+                Kernel::DnaSimilarity { a, b, k: 2 }
+            }
+        });
+    }
+    Ok(kernels)
+}
+
+/// Runs the workload on `workers` threads, returning the outcomes in
+/// submission order (plus the final stats).
+fn serve(
+    workload: &[Kernel],
+    workers: usize,
+) -> Result<(Vec<JobOutcome>, runtime::RuntimeStats), Box<dyn std::error::Error>> {
+    let rt = Runtime::start(RuntimeConfig {
+        workers,
+        queue_capacity: 32,
+        policy: DispatchPolicy::PreferSpecialized,
+        seed: MASTER_SEED,
+        default_timeout: None,
+    })?;
+    let handles: Vec<_> = workload
+        .iter()
+        .map(|k| rt.submit(k.clone()))
+        .collect::<Result<_, _>>()?;
+    let outcomes = handles.iter().map(runtime::JobHandle::wait).collect();
+    Ok((outcomes, rt.shutdown()))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = build_workload()?;
+    println!(
+        "serving {} mixed jobs (factor / compare / sat / dna) ...\n",
+        workload.len()
+    );
+
+    let (outcomes, stats) = serve(&workload, 4)?;
+    println!("{stats}");
+
+    let completed = outcomes.iter().filter(|o| o.is_completed()).count();
+    assert_eq!(completed, workload.len(), "every job should complete");
+    let busy_backends = stats
+        .per_backend
+        .values()
+        .filter(|t| t.jobs > 0 && t.jobs_per_second() > 0.0)
+        .count();
+    assert!(
+        busy_backends >= 3,
+        "expected ≥3 backends with non-zero throughput, saw {busy_backends}"
+    );
+
+    // Determinism: the same seed on a single worker reproduces every result.
+    println!("re-running on 1 worker to check determinism ...");
+    let (solo, _) = serve(&workload, 1)?;
+    let mut agreements = 0usize;
+    for (concurrent, single) in outcomes.iter().zip(&solo) {
+        match (concurrent, single) {
+            (
+                JobOutcome::Completed {
+                    execution: a,
+                    backend: ba,
+                    ..
+                },
+                JobOutcome::Completed {
+                    execution: b,
+                    backend: bb,
+                    ..
+                },
+            ) => {
+                assert_eq!(ba, bb, "backend routing must not depend on worker count");
+                assert_eq!(
+                    a.result, b.result,
+                    "results must not depend on worker count"
+                );
+                agreements += 1;
+            }
+            other => panic!("unexpected outcome pair {other:?}"),
+        }
+    }
+    println!(
+        "4-worker and 1-worker runs agree on all {agreements}/{} job results",
+        workload.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Full local verification: formatting, lints, tier-1 build + tests.
+# Everything here works offline — the workspace has no registry
+# dependencies, so no network access is needed at any step.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (workspace, all targets, -D warnings)"
+cargo clippy --workspace --all-targets --release -- -D warnings
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "==> workspace tests"
+cargo test -q --release --workspace
+
+echo "verify: all checks passed"

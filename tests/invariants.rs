@@ -1,178 +1,242 @@
-//! Property-based tests on the workspace's core invariants (proptest).
+//! Randomized tests on the workspace's core invariants.
+//!
+//! Formerly written with `proptest`; rewritten on the in-repo
+//! `numerics::rng` so the tier-1 suite builds with no crates.io
+//! dependencies. Each test draws many random cases from a fixed seed, so
+//! failures reproduce deterministically.
 
 use mem::assignment::Assignment;
 use mem::cnf::{Clause, Formula, Literal};
+use numerics::rng::{rng_from_seed, Rng, StdRng};
 use numerics::Complex;
-use proptest::prelude::*;
 use quantum::circuit::Circuit;
 use quantum::gate::Gate;
 use quantum::state::StateVector;
 use vision::image::GrayImage;
 
-/// Strategy: a random gate over `n` qubits.
-fn gate_strategy(n: usize) -> impl Strategy<Value = Gate> {
-    let q = 0..n;
-    let q2 = move || {
-        (0..n, 0..n).prop_filter_map("distinct qubits", |(a, b)| {
-            if a == b {
-                None
-            } else {
-                Some((a, b))
+const CASES: usize = 64;
+
+/// Draws a random gate over `n` qubits.
+fn random_gate(rng: &mut StdRng, n: usize) -> Gate {
+    fn q2(rng: &mut StdRng, n: usize) -> (usize, usize) {
+        let a = rng.gen_range(0..n);
+        loop {
+            let b = rng.gen_range(0..n);
+            if b != a {
+                return (a, b);
             }
-        })
-    };
-    prop_oneof![
-        q.clone().prop_map(Gate::H),
-        q.clone().prop_map(Gate::X),
-        q.clone().prop_map(Gate::S),
-        q.clone().prop_map(Gate::T),
-        (q.clone(), -3.0f64..3.0).prop_map(|(q, t)| Gate::Rx(q, t)),
-        (q.clone(), -3.0f64..3.0).prop_map(|(q, t)| Gate::Ry(q, t)),
-        (q, -3.0f64..3.0).prop_map(|(q, t)| Gate::Phase(q, t)),
-        q2().prop_map(|(a, b)| Gate::CX(a, b)),
-        q2().prop_map(|(a, b)| Gate::CZ(a, b)),
-        q2().prop_map(|(a, b)| Gate::Swap(a, b)),
-    ]
+        }
+    }
+    let kind = rng.gen_range(0..10);
+    let q = rng.gen_range(0..n);
+    match kind {
+        0 => Gate::H(q),
+        1 => Gate::X(q),
+        2 => Gate::S(q),
+        3 => Gate::T(q),
+        4 => Gate::Rx(q, rng.gen_range(-3.0..3.0)),
+        5 => Gate::Ry(q, rng.gen_range(-3.0..3.0)),
+        6 => Gate::Phase(q, rng.gen_range(-3.0..3.0)),
+        7 => {
+            let (a, b) = q2(rng, n);
+            Gate::CX(a, b)
+        }
+        8 => {
+            let (a, b) = q2(rng, n);
+            Gate::CZ(a, b)
+        }
+        _ => {
+            let (a, b) = q2(rng, n);
+            Gate::Swap(a, b)
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Unitary evolution preserves the state norm.
-    #[test]
-    fn random_circuits_preserve_norm(gates in prop::collection::vec(gate_strategy(4), 1..40)) {
+/// Unitary evolution preserves the state norm.
+#[test]
+fn random_circuits_preserve_norm() {
+    let mut rng = rng_from_seed(0xA11CE);
+    for _ in 0..CASES {
+        let n_gates = rng.gen_range(1..40);
         let mut state = StateVector::zero(4);
-        for g in &gates {
-            g.apply(&mut state).unwrap();
+        for _ in 0..n_gates {
+            random_gate(&mut rng, 4).apply(&mut state).unwrap();
         }
-        prop_assert!((state.norm() - 1.0).abs() < 1e-9);
+        assert!((state.norm() - 1.0).abs() < 1e-9);
     }
+}
 
-    /// A circuit followed by its inverse is the identity.
-    #[test]
-    fn circuit_inverse_roundtrip(gates in prop::collection::vec(gate_strategy(3), 1..25)) {
+/// A circuit followed by its inverse is the identity.
+#[test]
+fn circuit_inverse_roundtrip() {
+    let mut rng = rng_from_seed(0xB0B);
+    for _ in 0..CASES {
+        let n_gates = rng.gen_range(1..25);
         let mut c = Circuit::new(3).unwrap();
-        for g in &gates {
-            c.push(*g).unwrap();
+        for _ in 0..n_gates {
+            c.push(random_gate(&mut rng, 3)).unwrap();
         }
         let forward = c.run(StateVector::zero(3)).unwrap();
         let back = c.inverse().run(forward).unwrap();
-        prop_assert!((back.probability(0).unwrap() - 1.0).abs() < 1e-8);
+        assert!((back.probability(0).unwrap() - 1.0).abs() < 1e-8);
     }
+}
 
-    /// FFT then inverse FFT is the identity.
-    #[test]
-    fn fft_roundtrip(values in prop::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 1..5)) {
-        // Pad to a power of two.
-        let mut data: Vec<Complex> = values.iter().map(|&(re, im)| Complex::new(re, im)).collect();
+/// FFT then inverse FFT is the identity.
+#[test]
+fn fft_roundtrip() {
+    let mut rng = rng_from_seed(0xFF7);
+    for _ in 0..CASES {
+        let len = rng.gen_range(1..5);
+        let mut data: Vec<Complex> = (0..len)
+            .map(|_| Complex::new(rng.gen_range(-10.0..10.0), rng.gen_range(-10.0..10.0)))
+            .collect();
         let n = data.len().next_power_of_two().max(2);
         data.resize(n, Complex::ZERO);
         let original = data.clone();
         numerics::fft::fft_in_place(&mut data).unwrap();
         numerics::fft::ifft_in_place(&mut data).unwrap();
         for (a, b) in data.iter().zip(&original) {
-            prop_assert!((*a - *b).norm() < 1e-9);
+            assert!((*a - *b).norm() < 1e-9);
         }
     }
+}
 
-    /// `l_k` norms are monotone nonincreasing in `k` (power-mean inequality).
-    #[test]
-    fn lk_norm_monotone_in_k(values in prop::collection::vec(-5.0f64..5.0, 1..10)) {
+/// `l_k` norms are monotone nonincreasing in `k` (power-mean inequality).
+#[test]
+fn lk_norm_monotone_in_k() {
+    let mut rng = rng_from_seed(0x17);
+    for _ in 0..CASES {
+        let len = rng.gen_range(1..10);
+        let values: Vec<f64> = (0..len).map(|_| rng.gen_range(-5.0..5.0)).collect();
         let v = numerics::linalg::Vector::from_slice(&values);
         let n1 = v.lk_norm(1.0).unwrap();
         let n2 = v.lk_norm(2.0).unwrap();
         let n4 = v.lk_norm(4.0).unwrap();
-        prop_assert!(n1 >= n2 - 1e-9);
-        prop_assert!(n2 >= n4 - 1e-9);
+        assert!(n1 >= n2 - 1e-9);
+        assert!(n2 >= n4 - 1e-9);
     }
+}
 
-    /// DIMACS emit/parse round-trips arbitrary valid formulas.
-    #[test]
-    fn dimacs_roundtrip(clause_specs in prop::collection::vec(
-        prop::collection::btree_set(0usize..12, 1..4), 1..20
-    )) {
-        let clauses: Vec<Clause> = clause_specs.iter().map(|vars| {
-            Clause::new(vars.iter().enumerate().map(|(i, &v)| {
-                if i % 2 == 0 { Literal::positive(v) } else { Literal::negative(v) }
-            }).collect()).unwrap()
-        }).collect();
+/// DIMACS emit/parse round-trips arbitrary valid formulas.
+#[test]
+fn dimacs_roundtrip() {
+    let mut rng = rng_from_seed(0xD1AC5);
+    for _ in 0..CASES {
+        let n_clauses = rng.gen_range(1..20);
+        let clauses: Vec<Clause> = (0..n_clauses)
+            .map(|_| {
+                let width = rng.gen_range(1..4);
+                let vars = numerics::rng::sample_indices(&mut rng, 12, width);
+                Clause::new(
+                    vars.iter()
+                        .enumerate()
+                        .map(|(i, &v)| {
+                            if i % 2 == 0 {
+                                Literal::positive(v)
+                            } else {
+                                Literal::negative(v)
+                            }
+                        })
+                        .collect(),
+                )
+                .unwrap()
+            })
+            .collect();
         let f = Formula::new(12, clauses).unwrap();
         let text = mem::dimacs::emit(&f);
         let parsed = mem::dimacs::parse(&text).unwrap();
-        prop_assert_eq!(parsed, f);
+        assert_eq!(parsed, f);
     }
+}
 
-    /// SAT evaluation agrees between count and boolean forms.
-    #[test]
-    fn unsat_count_consistent(bits in prop::collection::vec(any::<bool>(), 12)) {
-        let f = mem::generators::random_ksat(12, 3, 3.0, 99).unwrap();
+/// SAT evaluation agrees between count and boolean forms.
+#[test]
+fn unsat_count_consistent() {
+    let mut rng = rng_from_seed(0x5A7);
+    let f = mem::generators::random_ksat(12, 3, 3.0, 99).unwrap();
+    for _ in 0..CASES {
+        let bits: Vec<bool> = (0..12).map(|_| rng.gen()).collect();
         let a = Assignment::from_bools(&bits);
         let count = f.count_unsatisfied(&a);
-        prop_assert_eq!(count == 0, f.is_satisfied(&a));
-        prop_assert_eq!(count, f.unsatisfied_clauses(&a).len());
+        assert_eq!(count == 0, f.is_satisfied(&a));
+        assert_eq!(count, f.unsatisfied_clauses(&a).len());
     }
+}
 
-    /// The QUBO → weighted-MaxSAT reduction is exact on random points.
-    #[test]
-    fn qubo_maxsat_reduction_exact(
-        linear in prop::collection::vec(-2.0f64..2.0, 5),
-        quad in prop::collection::vec((-2.0f64..2.0,), 4),
-        probe in prop::collection::vec(any::<bool>(), 5),
-    ) {
+/// The QUBO → weighted-MaxSAT reduction is exact on random points.
+#[test]
+fn qubo_maxsat_reduction_exact() {
+    let mut rng = rng_from_seed(0x9B0);
+    for _ in 0..CASES {
         let mut q = mem::qubo::Qubo::new(5).unwrap();
-        for (i, &c) in linear.iter().enumerate() {
-            q.add_linear(i, c).unwrap();
+        for i in 0..5 {
+            q.add_linear(i, rng.gen_range(-2.0..2.0)).unwrap();
         }
-        for (k, &(w,)) in quad.iter().enumerate() {
-            q.add_quadratic(k, (k + 1) % 5, w).unwrap();
+        for k in 0..4 {
+            q.add_quadratic(k, (k + 1) % 5, rng.gen_range(-2.0..2.0))
+                .unwrap();
         }
+        let probe: Vec<bool> = (0..5).map(|_| rng.gen()).collect();
         let (wf, offset) = q.to_weighted_maxsat().unwrap();
         let direct = q.value(&probe);
         let via = wf.violation_cost(&Assignment::from_bools(&probe)) + offset;
-        prop_assert!((direct - via).abs() < 1e-9, "direct {} vs via {}", direct, via);
+        assert!((direct - via).abs() < 1e-9, "direct {direct} vs via {via}");
     }
+}
 
-    /// PGM image round-trips through write/read.
-    #[test]
-    fn pgm_roundtrip(w in 1usize..12, h in 1usize..12, seed in any::<u64>()) {
+/// PGM image round-trips through write/read.
+#[test]
+fn pgm_roundtrip() {
+    let mut rng = rng_from_seed(0x969);
+    for _ in 0..CASES {
+        let w = rng.gen_range(1..12);
+        let h = rng.gen_range(1..12);
         let mut img = GrayImage::new(w, h, 0);
-        let mut state = seed;
         for y in 0..h {
             for x in 0..w {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-                img.set(x, y, (state >> 32) as u8).unwrap();
+                img.set(x, y, (rng.next_u64() >> 32) as u8).unwrap();
             }
         }
         let mut buf = Vec::new();
         img.write_pgm(&mut buf).unwrap();
         let back = GrayImage::read_pgm(&buf[..]).unwrap();
-        prop_assert_eq!(img, back);
+        assert_eq!(img, back);
     }
+}
 
-    /// Voltage thresholding and spin conversion are mutually consistent.
-    #[test]
-    fn assignment_voltage_spin_consistency(voltages in prop::collection::vec(-1.0f64..1.0, 1..20)) {
+/// Voltage thresholding and spin conversion are mutually consistent.
+#[test]
+fn assignment_voltage_spin_consistency() {
+    let mut rng = rng_from_seed(0xB01);
+    for _ in 0..CASES {
+        let len = rng.gen_range(1..20);
+        let voltages: Vec<f64> = (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let a = Assignment::from_voltages(&voltages);
         let spins = a.to_spins();
         for (v, s) in voltages.iter().zip(&spins) {
-            prop_assert_eq!(*v > 0.0, *s == 1);
+            assert_eq!(*v > 0.0, *s == 1);
         }
     }
+}
 
-    /// Matrix solve satisfies A·x = b for diagonally dominant systems.
-    #[test]
-    fn linear_solve_residual(vals in prop::collection::vec(-1.0f64..1.0, 9), b in prop::collection::vec(-5.0f64..5.0, 3)) {
+/// Matrix solve satisfies A·x = b for diagonally dominant systems.
+#[test]
+fn linear_solve_residual() {
+    let mut rng = rng_from_seed(0x50F);
+    for _ in 0..CASES {
         let mut m = numerics::linalg::Matrix::zeros(3, 3);
         for r in 0..3 {
             for c in 0..3 {
-                m[(r, c)] = vals[r * 3 + c];
+                m[(r, c)] = rng.gen_range(-1.0..1.0);
             }
             m[(r, r)] += 4.0;
         }
+        let b: Vec<f64> = (0..3).map(|_| rng.gen_range(-5.0..5.0)).collect();
         let x = m.solve(&b).unwrap();
         let back = m.matvec(&x).unwrap();
         for (bi, bb) in b.iter().zip(&back) {
-            prop_assert!((bi - bb).abs() < 1e-8);
+            assert!((bi - bb).abs() < 1e-8);
         }
     }
 }

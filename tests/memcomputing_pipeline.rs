@@ -89,10 +89,7 @@ fn dmm_flips_clusters_annealer_flips_spins() {
         .solve(&inst.formula, 2)
         .unwrap();
     let stats = cluster_flip_stats(&outcome.checkpoints);
-    assert!(
-        stats.max_size > 1,
-        "DMM never flipped a cluster: {stats:?}"
-    );
+    assert!(stats.max_size > 1, "DMM never flipped a cluster: {stats:?}");
 }
 
 #[test]
@@ -107,9 +104,7 @@ fn dmm_reaches_spin_glass_ground_state_via_maxsat() {
         qubo.add_linear(a, 2.0 * j).unwrap();
         qubo.add_linear(b, 2.0 * j).unwrap();
     }
-    let (bits, _) = qubo
-        .minimize_dmm(MaxSatDmmParams::default(), 3)
-        .unwrap();
+    let (bits, _) = qubo.minimize_dmm(MaxSatDmmParams::default(), 3).unwrap();
     let energy = inst.model.energy(&Assignment::from_bools(&bits));
     assert!(
         (energy - inst.ground_energy).abs() < 1e-9,
@@ -141,7 +136,9 @@ fn maxsat_dmm_beats_or_matches_gsat_on_weighted_conflicts() {
         clauses.push((Clause::new(vec![Literal::negative(v)]).unwrap(), 1.0));
     }
     let wf = WeightedFormula::new(6, clauses).unwrap();
-    let dmm = MaxSatDmm::new(MaxSatDmmParams::default()).solve(&wf, 1).unwrap();
+    let dmm = MaxSatDmm::new(MaxSatDmmParams::default())
+        .solve(&wf, 1)
+        .unwrap();
     // Optimum: all true, cost 6 × 1.0.
     assert!((dmm.best_cost - 6.0).abs() < 1e-9, "cost {}", dmm.best_cost);
 }
@@ -167,7 +164,10 @@ fn boolean_circuit_self_organizes_through_dmm() {
     // The self-organized inputs must actually drive the circuit true.
     let inputs: Vec<bool> = (0..4).map(|i| solution.value(i)).collect();
     let wires = circuit.evaluate(&inputs);
-    assert!(wires[out], "DMM inputs {inputs:?} do not satisfy the circuit");
+    assert!(
+        wires[out],
+        "DMM inputs {inputs:?} do not satisfy the circuit"
+    );
 }
 
 #[test]

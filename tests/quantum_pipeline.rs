@@ -34,7 +34,14 @@ measure_all
 fn mapped_and_routed_circuit_preserves_ghz_statistics() {
     // Logical GHZ needing routing on a line.
     let mut c = Circuit::new(4).unwrap();
-    c.h(0).unwrap().cx(0, 3).unwrap().cx(3, 1).unwrap().cx(1, 2).unwrap();
+    c.h(0)
+        .unwrap()
+        .cx(0, 3)
+        .unwrap()
+        .cx(3, 1)
+        .unwrap()
+        .cx(1, 2)
+        .unwrap();
     let graph = CouplingGraph::line(4);
     let routed = route(&c, &graph, RoutingStrategy::Lookahead { window: 4 }).unwrap();
     check_routed(&routed.circuit, &graph).unwrap();
