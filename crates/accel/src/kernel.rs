@@ -14,6 +14,87 @@
 
 use mem::cnf::Formula;
 
+/// Why a kernel was rejected at submission time, before reaching any
+/// backend.
+///
+/// Submission-time validation keeps malformed work out of the serving
+/// queue entirely: the runtime and the network server both reject these
+/// kernels with a typed error instead of letting them fail (or worse,
+/// panic) deep inside a backend.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InvalidKernel {
+    /// `Factor { n }` with `n < 4`: no nontrivial factorization exists.
+    FactorTooSmall {
+        /// The rejected composite.
+        n: u64,
+    },
+    /// `Search` over zero qubits: the search space is empty.
+    EmptySearchSpace,
+    /// A `Search` marked item outside `0..2^n_qubits`.
+    MarkedOutOfRange {
+        /// The offending marked item.
+        item: usize,
+        /// The search-space width in qubits.
+        n_qubits: usize,
+    },
+    /// `DnaSimilarity` with `k == 0`: k-mers must be non-empty.
+    ZeroKmer,
+    /// `DnaSimilarity` with `k` longer than the shorter sequence: no
+    /// k-mer can be extracted.
+    KmerTooLong {
+        /// The rejected k-mer length.
+        k: usize,
+        /// Length of the shorter sequence.
+        shorter: usize,
+    },
+    /// A `Compare` operand is NaN or infinite.
+    CompareNotFinite {
+        /// First operand.
+        x: f64,
+        /// Second operand.
+        y: f64,
+    },
+    /// A `Compare` operand lies outside the normalized range `[0, 1]`.
+    CompareOutOfRange {
+        /// First operand.
+        x: f64,
+        /// Second operand.
+        y: f64,
+    },
+}
+
+impl std::fmt::Display for InvalidKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InvalidKernel::FactorTooSmall { n } => {
+                write!(
+                    f,
+                    "factor({n}): composites below 4 have no nontrivial factors"
+                )
+            }
+            InvalidKernel::EmptySearchSpace => {
+                write!(f, "search over 0 qubits: the search space is empty")
+            }
+            InvalidKernel::MarkedOutOfRange { item, n_qubits } => {
+                write!(f, "marked item {item} outside search space 0..2^{n_qubits}")
+            }
+            InvalidKernel::ZeroKmer => write!(f, "dna similarity with k = 0"),
+            InvalidKernel::KmerTooLong { k, shorter } => write!(
+                f,
+                "dna similarity k-mer length {k} exceeds shorter sequence length {shorter}"
+            ),
+            InvalidKernel::CompareNotFinite { x, y } => {
+                write!(f, "compare operands ({x}, {y}) must be finite")
+            }
+            InvalidKernel::CompareOutOfRange { x, y } => {
+                write!(f, "compare operands ({x}, {y}) must lie in [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InvalidKernel {}
+
 /// A dispatchable unit of work.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Kernel {
@@ -72,6 +153,59 @@ impl Kernel {
             ),
             Kernel::Compare { x, y } => format!("compare({x:.3}, {y:.3})"),
         }
+    }
+
+    /// Validates the kernel's inputs, as done at submission time by the
+    /// serving layer (see [`InvalidKernel`]).
+    ///
+    /// # Errors
+    ///
+    /// The specific [`InvalidKernel`] variant describing the first
+    /// violated constraint.
+    pub fn validate(&self) -> Result<(), InvalidKernel> {
+        match self {
+            Kernel::Factor { n } => {
+                if *n < 4 {
+                    return Err(InvalidKernel::FactorTooSmall { n: *n });
+                }
+            }
+            Kernel::Search { n_qubits, marked } => {
+                if *n_qubits == 0 {
+                    return Err(InvalidKernel::EmptySearchSpace);
+                }
+                // Past usize::BITS qubits every representable item fits.
+                if *n_qubits < usize::BITS as usize {
+                    let space = 1usize << n_qubits;
+                    if let Some(&item) = marked.iter().find(|&&m| m >= space) {
+                        return Err(InvalidKernel::MarkedOutOfRange {
+                            item,
+                            n_qubits: *n_qubits,
+                        });
+                    }
+                }
+            }
+            Kernel::DnaSimilarity { a, b, k } => {
+                if *k == 0 {
+                    return Err(InvalidKernel::ZeroKmer);
+                }
+                let shorter = a.len().min(b.len());
+                if *k > shorter {
+                    return Err(InvalidKernel::KmerTooLong { k: *k, shorter });
+                }
+            }
+            Kernel::SolveSat { .. } => {
+                // Formula validity is enforced by construction in `mem::cnf`.
+            }
+            Kernel::Compare { x, y } => {
+                if !x.is_finite() || !y.is_finite() {
+                    return Err(InvalidKernel::CompareNotFinite { x: *x, y: *y });
+                }
+                if !(0.0..=1.0).contains(x) || !(0.0..=1.0).contains(y) {
+                    return Err(InvalidKernel::CompareOutOfRange { x: *x, y: *y });
+                }
+            }
+        }
+        Ok(())
     }
 
     /// A coarse class tag for dispatch policies.
@@ -180,5 +314,124 @@ mod tests {
     #[test]
     fn class_display() {
         assert_eq!(KernelClass::Analog.to_string(), "analog");
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_kernels() {
+        let f = random_ksat(5, 3, 2.0, 1).unwrap();
+        for k in [
+            Kernel::Factor { n: 4 },
+            Kernel::Factor { n: 21 },
+            Kernel::Search {
+                n_qubits: 3,
+                marked: vec![0, 7],
+            },
+            Kernel::DnaSimilarity {
+                a: "ACGT".into(),
+                b: "ACGA".into(),
+                k: 4,
+            },
+            Kernel::SolveSat { formula: f },
+            Kernel::Compare { x: 0.0, y: 1.0 },
+        ] {
+            assert_eq!(k.validate(), Ok(()), "{}", k.describe());
+        }
+    }
+
+    #[test]
+    fn validate_rejects_small_factor() {
+        for n in 0..4 {
+            assert_eq!(
+                Kernel::Factor { n }.validate(),
+                Err(InvalidKernel::FactorTooSmall { n })
+            );
+        }
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_search() {
+        assert_eq!(
+            Kernel::Search {
+                n_qubits: 0,
+                marked: vec![],
+            }
+            .validate(),
+            Err(InvalidKernel::EmptySearchSpace)
+        );
+        assert_eq!(
+            Kernel::Search {
+                n_qubits: 3,
+                marked: vec![1, 8],
+            }
+            .validate(),
+            Err(InvalidKernel::MarkedOutOfRange {
+                item: 8,
+                n_qubits: 3,
+            })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_dna() {
+        assert_eq!(
+            Kernel::DnaSimilarity {
+                a: "ACGT".into(),
+                b: "ACGT".into(),
+                k: 0,
+            }
+            .validate(),
+            Err(InvalidKernel::ZeroKmer)
+        );
+        assert_eq!(
+            Kernel::DnaSimilarity {
+                a: "ACGTACGT".into(),
+                b: "ACG".into(),
+                k: 4,
+            }
+            .validate(),
+            Err(InvalidKernel::KmerTooLong { k: 4, shorter: 3 })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_bad_compare_operands() {
+        // NaN != NaN under PartialEq, so match on the variant.
+        assert!(matches!(
+            Kernel::Compare {
+                x: f64::NAN,
+                y: 0.5,
+            }
+            .validate(),
+            Err(InvalidKernel::CompareNotFinite { y, .. }) if y == 0.5
+        ));
+        assert!(matches!(
+            Kernel::Compare {
+                x: f64::INFINITY,
+                y: 0.5,
+            }
+            .validate(),
+            Err(InvalidKernel::CompareNotFinite { .. })
+        ));
+        assert_eq!(
+            Kernel::Compare { x: -0.1, y: 0.5 }.validate(),
+            Err(InvalidKernel::CompareOutOfRange { x: -0.1, y: 0.5 })
+        );
+        assert_eq!(
+            Kernel::Compare { x: 0.5, y: 1.5 }.validate(),
+            Err(InvalidKernel::CompareOutOfRange { x: 0.5, y: 1.5 })
+        );
+    }
+
+    #[test]
+    fn invalid_kernel_messages_name_the_constraint() {
+        assert!(InvalidKernel::FactorTooSmall { n: 2 }
+            .to_string()
+            .contains("factor(2)"));
+        assert!(InvalidKernel::KmerTooLong { k: 9, shorter: 4 }
+            .to_string()
+            .contains("9"));
+        assert!(InvalidKernel::CompareOutOfRange { x: 2.0, y: 0.0 }
+            .to_string()
+            .contains("[0, 1]"));
     }
 }

@@ -23,7 +23,7 @@ use crate::stats::{RuntimeStats, StatsCollector};
 use crate::RuntimeError;
 use accel::accelerator::Accelerator;
 use accel::host::{DispatchPolicy, HostRuntime};
-use accel::kernel::Kernel;
+use accel::kernel::{InvalidKernel, Kernel};
 use accel::AccelError;
 use numerics::rng::SeedStream;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -32,12 +32,15 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Why a submission was not accepted.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SubmitError {
     /// Non-blocking submission found the queue at capacity.
     QueueFull,
     /// The runtime is shutting down.
     ShutDown,
+    /// The kernel failed submission-time validation and never entered the
+    /// queue (counted in [`RuntimeStats::invalid`]).
+    Invalid(InvalidKernel),
 }
 
 impl std::fmt::Display for SubmitError {
@@ -45,11 +48,19 @@ impl std::fmt::Display for SubmitError {
         match self {
             SubmitError::QueueFull => write!(f, "job queue is full"),
             SubmitError::ShutDown => write!(f, "runtime is shut down"),
+            SubmitError::Invalid(e) => write!(f, "invalid kernel: {e}"),
         }
     }
 }
 
-impl std::error::Error for SubmitError {}
+impl std::error::Error for SubmitError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SubmitError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// Serving-engine configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -186,12 +197,15 @@ impl Runtime {
     ///
     /// # Errors
     ///
-    /// [`SubmitError::ShutDown`] if the runtime stopped accepting work.
+    /// [`SubmitError::Invalid`] for a kernel that fails submission-time
+    /// validation; [`SubmitError::ShutDown`] if the runtime stopped
+    /// accepting work.
     pub fn submit_with(
         &self,
         kernel: Kernel,
         options: JobOptions,
     ) -> Result<JobHandle, SubmitError> {
+        self.validate(&kernel)?;
         let (job, handle) = self.prepare(kernel, options);
         match self.shared.queue.push(job) {
             Ok(()) => {
@@ -222,6 +236,7 @@ impl Runtime {
         kernel: Kernel,
         options: JobOptions,
     ) -> Result<JobHandle, SubmitError> {
+        self.validate(&kernel)?;
         let (job, handle) = self.prepare(kernel, options);
         match self.shared.queue.try_push(job) {
             Ok(()) => {
@@ -236,6 +251,15 @@ impl Runtime {
         }
     }
 
+    /// Rejects malformed kernels before they consume a queue slot or a
+    /// job id (see [`Kernel::validate`]).
+    fn validate(&self, kernel: &Kernel) -> Result<(), SubmitError> {
+        kernel.validate().map_err(|e| {
+            self.shared.stats.record_invalid();
+            SubmitError::Invalid(e)
+        })
+    }
+
     fn prepare(&self, kernel: Kernel, options: JobOptions) -> (QueuedJob, JobHandle) {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let state = Arc::new(JobState::new());
@@ -244,7 +268,7 @@ impl Runtime {
         let timeout = options.timeout.or(self.default_timeout);
         let job = QueuedJob {
             kernel,
-            seed: job_seed(self.seed, id),
+            seed: options.seed.unwrap_or_else(|| job_seed(self.seed, id)),
             state,
             enqueued: now,
             deadline: timeout.map(|t| now + t),
@@ -522,6 +546,80 @@ mod tests {
             };
             assert_eq!(ra, rb);
         }
+    }
+
+    #[test]
+    fn invalid_kernels_rejected_at_submission() {
+        let rt = Runtime::with_backend_factory(small(), cpu_pool).unwrap();
+        let cases = vec![
+            Kernel::Factor { n: 3 },
+            Kernel::Search {
+                n_qubits: 0,
+                marked: vec![],
+            },
+            Kernel::Search {
+                n_qubits: 2,
+                marked: vec![4],
+            },
+            Kernel::DnaSimilarity {
+                a: "ACGT".into(),
+                b: "ACGT".into(),
+                k: 0,
+            },
+            Kernel::DnaSimilarity {
+                a: "AC".into(),
+                b: "ACGT".into(),
+                k: 3,
+            },
+            Kernel::Compare {
+                x: f64::NAN,
+                y: 0.5,
+            },
+            Kernel::Compare { x: 0.5, y: 2.0 },
+        ];
+        let n = cases.len() as u64;
+        for kernel in cases {
+            let desc = kernel.describe();
+            assert!(
+                matches!(rt.submit(kernel.clone()), Err(SubmitError::Invalid(_))),
+                "blocking submit accepted {desc}"
+            );
+            assert!(
+                matches!(rt.try_submit(kernel), Err(SubmitError::Invalid(_))),
+                "non-blocking submit accepted {desc}"
+            );
+        }
+        let stats = rt.shutdown();
+        assert_eq!(stats.invalid, 2 * n);
+        assert_eq!(stats.submitted, 0);
+    }
+
+    #[test]
+    fn explicit_seed_overrides_derived_seed() {
+        // The same kernel submitted under different job ids but the same
+        // explicit seed must produce identical results, and the explicit
+        // seed must reproduce a derived-seed run that used the same value.
+        let rt = Runtime::with_backend_factory(small(), cpu_pool).unwrap();
+        let kernel = Kernel::DnaSimilarity {
+            a: "ACGTACGTACGT".into(),
+            b: "ACGTTCGTACGA".into(),
+            k: 2,
+        };
+        let opts = JobOptions::with_seed(12345);
+        let first = rt.submit_with(kernel.clone(), opts).unwrap().wait();
+        // Burn job ids so the derived seed would differ.
+        for _ in 0..5 {
+            let _ = rt.submit(Kernel::Compare { x: 0.1, y: 0.9 }).unwrap();
+        }
+        let again = rt.submit_with(kernel, opts).unwrap().wait();
+        match (&first, &again) {
+            (
+                JobOutcome::Completed { execution: a, .. },
+                JobOutcome::Completed { execution: b, .. },
+            ) => assert_eq!(a.result, b.result),
+            other => panic!("unexpected {other:?}"),
+        }
+        drop(rt);
     }
 
     #[test]

@@ -19,6 +19,13 @@ pub struct JobOptions {
     /// its deadline passes resolves to [`JobOutcome::TimedOut`] instead of
     /// executing. `None` falls back to the runtime's default timeout.
     pub timeout: Option<Duration>,
+    /// Explicit execution seed. When set, the backend is reseeded with
+    /// exactly this value instead of one derived from
+    /// `(master seed, job id)`, making the result a pure function of
+    /// `(kernel, seed)` regardless of submission order — which is what
+    /// remote callers racing each other over the network need for
+    /// reproducible runs.
+    pub seed: Option<u64>,
 }
 
 impl JobOptions {
@@ -27,6 +34,16 @@ impl JobOptions {
     pub fn with_timeout(timeout: Duration) -> Self {
         JobOptions {
             timeout: Some(timeout),
+            ..Self::default()
+        }
+    }
+
+    /// Options with an explicit execution seed.
+    #[must_use]
+    pub fn with_seed(seed: u64) -> Self {
+        JobOptions {
+            seed: Some(seed),
+            ..Self::default()
         }
     }
 }

@@ -56,9 +56,10 @@ pub use job::{JobHandle, JobOptions, JobOutcome};
 pub use queue::{JobQueue, PushError};
 pub use stats::{BackendThroughput, LatencyHistogram, RuntimeStats};
 
-// Re-exported so serving callers can pick a routing policy without
-// depending on `accel` directly.
+// Re-exported so serving callers can pick a routing policy and match on
+// submission-validation failures without depending on `accel` directly.
 pub use accel::host::DispatchPolicy;
+pub use accel::kernel::InvalidKernel;
 
 /// Crate-wide error type.
 #[derive(Debug)]

@@ -29,6 +29,21 @@ impl LatencyHistogram {
         Self::default()
     }
 
+    /// A histogram with the given per-bucket counts (lowest bucket
+    /// first) — the constructor wire decoders use to rebuild a snapshot.
+    #[must_use]
+    pub fn from_counts(counts: [u64; LATENCY_BUCKETS]) -> Self {
+        LatencyHistogram { counts }
+    }
+
+    /// Adds every observation of `other` into this histogram, bucket by
+    /// bucket (used to aggregate per-client histograms).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+    }
+
     /// Records one latency observation.
     pub fn record(&mut self, latency: Duration) {
         let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
@@ -114,6 +129,8 @@ pub struct RuntimeStats {
     pub failed: u64,
     /// Non-blocking submissions rejected because the queue was full.
     pub rejected: u64,
+    /// Submissions rejected by kernel validation before queueing.
+    pub invalid: u64,
     /// Jobs whose queue deadline expired before execution.
     pub timed_out: u64,
     /// Jobs cancelled before completion.
@@ -145,13 +162,14 @@ impl fmt::Display for RuntimeStats {
         )?;
         writeln!(
             f,
-            "jobs: {} submitted | {} completed | {} failed | {} timed out | {} cancelled | {} rejected",
+            "jobs: {} submitted | {} completed | {} failed | {} timed out | {} cancelled | {} rejected | {} invalid",
             self.submitted,
             self.completed,
             self.failed,
             self.timed_out,
             self.cancelled,
-            self.rejected
+            self.rejected,
+            self.invalid
         )?;
         writeln!(f, "per-backend throughput:")?;
         for (name, t) in &self.per_backend {
@@ -187,6 +205,7 @@ struct Collected {
     completed: u64,
     failed: u64,
     rejected: u64,
+    invalid: u64,
     timed_out: u64,
     cancelled: u64,
     per_backend: BTreeMap<String, BackendThroughput>,
@@ -204,6 +223,10 @@ impl StatsCollector {
 
     pub(crate) fn record_rejected(&self) {
         self.inner.lock().unwrap().rejected += 1;
+    }
+
+    pub(crate) fn record_invalid(&self) {
+        self.inner.lock().unwrap().invalid += 1;
     }
 
     pub(crate) fn record_failed(&self) {
@@ -243,6 +266,7 @@ impl StatsCollector {
             completed: inner.completed,
             failed: inner.failed,
             rejected: inner.rejected,
+            invalid: inner.invalid,
             timed_out: inner.timed_out,
             cancelled: inner.cancelled,
             queue_depth,
@@ -278,6 +302,22 @@ mod tests {
         assert_eq!(LatencyHistogram::bucket_label(2), "\u{2264}1ms");
         assert_eq!(LatencyHistogram::bucket_label(6), "\u{2264}10s");
         assert_eq!(LatencyHistogram::bucket_label(LATENCY_BUCKETS - 1), ">10s");
+    }
+
+    #[test]
+    fn histogram_from_counts_and_merge() {
+        let mut counts = [0u64; LATENCY_BUCKETS];
+        counts[0] = 3;
+        counts[LATENCY_BUCKETS - 1] = 1;
+        let mut h = LatencyHistogram::from_counts(counts);
+        assert_eq!(h.total(), 4);
+        let mut other = LatencyHistogram::new();
+        other.record(Duration::from_micros(5)); // bucket 0
+        other.record(Duration::from_millis(5)); // bucket 3
+        h.merge(&other);
+        assert_eq!(h.counts()[0], 4);
+        assert_eq!(h.counts()[3], 1);
+        assert_eq!(h.total(), 6);
     }
 
     #[test]
@@ -329,9 +369,11 @@ mod tests {
             Duration::from_micros(50),
             Duration::from_micros(80),
         );
+        c.record_invalid();
         let text = c.snapshot(0, 2).to_string();
         assert!(text.contains("oscillator"));
         assert!(text.contains("1 submitted"));
+        assert!(text.contains("1 invalid"));
         assert!(text.contains("jobs/s"));
     }
 }

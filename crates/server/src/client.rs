@@ -1,0 +1,354 @@
+//! A blocking client with ticket-based pipelining.
+//!
+//! [`Client::submit`] writes the request and returns a ticket without
+//! waiting; [`Client::wait`] reads frames until that ticket's result
+//! arrives, stashing any other responses it sees along the way. Many
+//! submissions can therefore be in flight on one connection, and results
+//! may arrive in any order.
+
+use accel::kernel::Kernel;
+use runtime::RuntimeStats;
+use std::collections::HashMap;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use wire::{
+    decode_response, encode_request, read_frame, write_frame, ErrorCode, Request, Response,
+    WireError, WireOutcome, MIN_SUPPORTED_VERSION, PROTOCOL_VERSION,
+};
+
+/// Per-submission knobs, mirroring [`runtime::JobOptions`] across the
+/// wire.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SubmitOptions {
+    /// Queue deadline in milliseconds; `None` uses the server default.
+    pub timeout_ms: Option<u64>,
+    /// Explicit backend seed; `None` derives one from the job id.
+    pub seed: Option<u64>,
+}
+
+impl SubmitOptions {
+    /// Options carrying an explicit backend seed.
+    #[must_use]
+    pub fn with_seed(seed: u64) -> Self {
+        SubmitOptions {
+            seed: Some(seed),
+            ..SubmitOptions::default()
+        }
+    }
+}
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// A transport or codec failure.
+    Wire(WireError),
+    /// The server turned the connection away at its connection limit.
+    Busy(String),
+    /// No protocol version in common.
+    VersionRejected(String),
+    /// The server rejected one specific request.
+    Rejected {
+        /// Machine-readable category.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The server reported a connection-level error; the connection is
+    /// unusable.
+    Connection {
+        /// Machine-readable category.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The server said something the protocol state machine does not
+    /// allow here.
+    UnexpectedResponse(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "wire error: {e}"),
+            ClientError::Busy(msg) => write!(f, "server busy: {msg}"),
+            ClientError::VersionRejected(msg) => write!(f, "version rejected: {msg}"),
+            ClientError::Rejected { code, message } => {
+                write!(f, "request rejected ({code}): {message}")
+            }
+            ClientError::Connection { code, message } => {
+                write!(f, "connection error ({code}): {message}")
+            }
+            ClientError::UnexpectedResponse(msg) => write!(f, "unexpected response: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Wire(WireError::Io(e))
+    }
+}
+
+/// A blocking connection to a [`crate::Server`]. See the [module
+/// docs](self) for the pipelining model.
+pub struct Client {
+    stream: TcpStream,
+    version: u16,
+    next_id: u64,
+    results: HashMap<u64, WireOutcome>,
+    cancels: HashMap<u64, bool>,
+    stats: HashMap<u64, RuntimeStats>,
+    errors: HashMap<u64, (ErrorCode, String)>,
+    pongs: HashMap<u64, ()>,
+}
+
+impl Client {
+    /// Connects and performs the version handshake.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Busy`] when turned away at the connection limit,
+    /// [`ClientError::VersionRejected`] with no common version, or a
+    /// transport error.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr).map_err(WireError::Io)?;
+        let _ = stream.set_nodelay(true);
+        let mut client = Client {
+            stream,
+            version: 0,
+            next_id: 1, // id 0 is reserved for connection-level errors
+            results: HashMap::new(),
+            cancels: HashMap::new(),
+            stats: HashMap::new(),
+            errors: HashMap::new(),
+            pongs: HashMap::new(),
+        };
+        client.write_request(&Request::Hello {
+            min_version: MIN_SUPPORTED_VERSION,
+            max_version: PROTOCOL_VERSION,
+        })?;
+        match client.read_response()? {
+            Response::HelloAck { version } => {
+                client.version = version;
+                Ok(client)
+            }
+            Response::Error { code, message, .. } => match code {
+                ErrorCode::Busy => Err(ClientError::Busy(message)),
+                ErrorCode::UnsupportedVersion => Err(ClientError::VersionRejected(message)),
+                _ => Err(ClientError::Connection { code, message }),
+            },
+            other => Err(ClientError::UnexpectedResponse(format!(
+                "handshake answered with {other:?}"
+            ))),
+        }
+    }
+
+    /// The protocol version negotiated at connect time.
+    #[must_use]
+    pub fn version(&self) -> u16 {
+        self.version
+    }
+
+    /// Submits a kernel and returns its ticket immediately (pipelined);
+    /// redeem it with [`Client::wait`].
+    ///
+    /// # Errors
+    ///
+    /// Transport errors only — server-side rejection surfaces at `wait`.
+    pub fn submit(&mut self, kernel: Kernel, options: SubmitOptions) -> Result<u64, ClientError> {
+        let ticket = self.next_id;
+        self.next_id += 1;
+        self.write_request(&Request::Submit {
+            request_id: ticket,
+            timeout_ms: options.timeout_ms,
+            seed: options.seed,
+            kernel,
+        })?;
+        Ok(ticket)
+    }
+
+    /// Blocks until the given ticket's job reaches a terminal outcome.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Rejected`] if the server refused this submission,
+    /// [`ClientError::Connection`] for connection-level failures, or a
+    /// transport error.
+    pub fn wait(&mut self, ticket: u64) -> Result<WireOutcome, ClientError> {
+        loop {
+            if let Some(outcome) = self.results.remove(&ticket) {
+                return Ok(outcome);
+            }
+            if let Some((code, message)) = self.errors.remove(&ticket) {
+                return Err(ClientError::Rejected { code, message });
+            }
+            self.pump()?;
+        }
+    }
+
+    /// Submit-and-wait convenience for unpipelined callers.
+    ///
+    /// # Errors
+    ///
+    /// Union of [`Client::submit`] and [`Client::wait`].
+    pub fn run(
+        &mut self,
+        kernel: Kernel,
+        options: SubmitOptions,
+    ) -> Result<WireOutcome, ClientError> {
+        let ticket = self.submit(kernel, options)?;
+        self.wait(ticket)
+    }
+
+    /// Asks the server to cancel an in-flight ticket; `true` means the
+    /// cancellation landed before the job finished.
+    ///
+    /// # Errors
+    ///
+    /// Transport or connection-level errors.
+    pub fn cancel(&mut self, ticket: u64) -> Result<bool, ClientError> {
+        self.write_request(&Request::Cancel { request_id: ticket })?;
+        loop {
+            if let Some(cancelled) = self.cancels.remove(&ticket) {
+                return Ok(cancelled);
+            }
+            self.pump()?;
+        }
+    }
+
+    /// Round-trips a liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Transport or connection-level errors.
+    pub fn ping(&mut self, token: u64) -> Result<(), ClientError> {
+        self.write_request(&Request::Ping { token })?;
+        loop {
+            if self.pongs.remove(&token).is_some() {
+                return Ok(());
+            }
+            self.pump()?;
+        }
+    }
+
+    /// Fetches a [`RuntimeStats`] snapshot from the server.
+    ///
+    /// # Errors
+    ///
+    /// Transport or connection-level errors.
+    pub fn stats(&mut self) -> Result<RuntimeStats, ClientError> {
+        let ticket = self.next_id;
+        self.next_id += 1;
+        self.write_request(&Request::GetStats { request_id: ticket })?;
+        loop {
+            if let Some(stats) = self.stats.remove(&ticket) {
+                return Ok(stats);
+            }
+            if let Some((code, message)) = self.errors.remove(&ticket) {
+                return Err(ClientError::Rejected { code, message });
+            }
+            self.pump()?;
+        }
+    }
+
+    /// Reads one response and routes it into the right stash.
+    fn pump(&mut self) -> Result<(), ClientError> {
+        match self.read_response()? {
+            Response::JobResult {
+                request_id,
+                outcome,
+            } => {
+                self.results.insert(request_id, outcome);
+            }
+            Response::CancelResult {
+                request_id,
+                cancelled,
+            } => {
+                self.cancels.insert(request_id, cancelled);
+            }
+            Response::Stats { request_id, stats } => {
+                self.stats.insert(request_id, stats);
+            }
+            Response::Pong { token } => {
+                self.pongs.insert(token, ());
+            }
+            Response::Error {
+                request_id: 0,
+                code,
+                message,
+            } => return Err(ClientError::Connection { code, message }),
+            Response::Error {
+                request_id,
+                code,
+                message,
+            } => {
+                self.errors.insert(request_id, (code, message));
+            }
+            Response::HelloAck { version } => {
+                return Err(ClientError::UnexpectedResponse(format!(
+                    "HelloAck({version}) after the handshake"
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    fn write_request(&mut self, request: &Request) -> Result<(), ClientError> {
+        let payload = encode_request(request)?;
+        write_frame(&mut self.stream, &payload)?;
+        Ok(())
+    }
+
+    fn read_response(&mut self) -> Result<Response, ClientError> {
+        let payload = read_frame(&mut self.stream)?;
+        Ok(decode_response(&payload)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_options_carry_seed() {
+        let opts = SubmitOptions::with_seed(9);
+        assert_eq!(opts.seed, Some(9));
+        assert_eq!(opts.timeout_ms, None);
+        assert_eq!(SubmitOptions::default().seed, None);
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = ClientError::Busy("limit reached".into());
+        assert!(e.to_string().contains("limit reached"));
+        let e = ClientError::Rejected {
+            code: ErrorCode::InvalidKernel,
+            message: "factor target must be at least 4".into(),
+        };
+        assert!(e.to_string().contains("invalid kernel"));
+        let e = ClientError::from(WireError::Truncated { context: "tag" });
+        assert!(e.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn connect_to_dead_port_errors() {
+        // Port 1 on localhost is essentially never listening.
+        let result = Client::connect("127.0.0.1:1");
+        assert!(matches!(result, Err(ClientError::Wire(WireError::Io(_)))));
+    }
+}

@@ -1,0 +1,298 @@
+//! The per-connection protocol loop.
+//!
+//! Each connection gets one handler thread running this loop plus one
+//! short-lived waiter thread per in-flight job. Requests are pipelined:
+//! the handler keeps reading while waiters write each job's result as it
+//! finishes, so responses arrive in completion order, demultiplexed by
+//! `request_id`. All writes to the socket go through one mutex so frames
+//! never interleave.
+
+use crate::server::ServerShared;
+use runtime::{JobHandle, JobOptions, SubmitError};
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use wire::{
+    decode_request, encode_response, negotiate, read_frame, write_frame, ErrorCode, Request,
+    Response, WireError, WireOutcome, MIN_SUPPORTED_VERSION, PROTOCOL_VERSION,
+};
+
+/// Everything a handler needs from the server.
+pub(crate) struct ConnectionContext {
+    pub(crate) shared: Arc<ServerShared>,
+    pub(crate) peer: SocketAddr,
+    pub(crate) conn_id: u64,
+}
+
+/// Jobs in flight on one connection, keyed by client request id.
+type PendingJobs = Arc<Mutex<HashMap<u64, Arc<JobHandle>>>>;
+
+/// Serves one connection to completion: handshake, then the request
+/// loop, then joining every waiter so all responses flush before the
+/// handler exits (which is what makes server shutdown drain cleanly).
+pub(crate) fn handle_connection(stream: TcpStream, ctx: &ConnectionContext) {
+    let reader = stream;
+    let writer = match reader.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    let mut conn = Connection {
+        reader,
+        writer,
+        ctx,
+        pending: Arc::new(Mutex::new(HashMap::new())),
+        waiters: Vec::new(),
+    };
+    if conn.handshake() {
+        conn.serve();
+    }
+    for waiter in conn.waiters.drain(..) {
+        let _ = waiter.join();
+    }
+    // Close the socket for real: the server's registry holds a clone, so
+    // dropping our halves alone would leave the peer waiting for EOF.
+    let _ = conn.reader.shutdown(std::net::Shutdown::Both);
+    ctx.shared.deregister(ctx.conn_id);
+}
+
+struct Connection<'a> {
+    reader: TcpStream,
+    writer: Arc<Mutex<TcpStream>>,
+    ctx: &'a ConnectionContext,
+    pending: PendingJobs,
+    waiters: Vec<JoinHandle<()>>,
+}
+
+impl Connection<'_> {
+    /// Reads the opening `Hello` and answers with `HelloAck` or a
+    /// connection-level error. Returns whether the session may proceed.
+    fn handshake(&mut self) -> bool {
+        let request = match self.read_request() {
+            Some(r) => r,
+            None => return false,
+        };
+        match request {
+            Request::Hello {
+                min_version,
+                max_version,
+            } => match negotiate(min_version, max_version) {
+                Some(version) => self.send(&Response::HelloAck { version }),
+                None => {
+                    self.send(&Response::Error {
+                        request_id: 0,
+                        code: ErrorCode::UnsupportedVersion,
+                        message: format!(
+                            "server speaks versions {MIN_SUPPORTED_VERSION}..={PROTOCOL_VERSION}, \
+                             client offered {min_version}..={max_version}"
+                        ),
+                    });
+                    false
+                }
+            },
+            _ => {
+                self.send(&Response::Error {
+                    request_id: 0,
+                    code: ErrorCode::Malformed,
+                    message: "expected Hello as the first request".into(),
+                });
+                false
+            }
+        }
+    }
+
+    /// The post-handshake request loop; returns on disconnect or a
+    /// malformed frame.
+    fn serve(&mut self) {
+        loop {
+            let request = match self.read_request() {
+                Some(r) => r,
+                None => return,
+            };
+            let keep_going = match request {
+                Request::Hello { .. } => {
+                    self.send(&Response::Error {
+                        request_id: 0,
+                        code: ErrorCode::Malformed,
+                        message: "duplicate Hello".into(),
+                    });
+                    false
+                }
+                Request::Ping { token } => self.send(&Response::Pong { token }),
+                Request::Submit {
+                    request_id,
+                    timeout_ms,
+                    seed,
+                    kernel,
+                } => self.submit(request_id, timeout_ms, seed, kernel),
+                Request::Cancel { request_id } => self.cancel(request_id),
+                Request::GetStats { request_id } => self.send(&Response::Stats {
+                    request_id,
+                    stats: self.ctx.shared.runtime.stats(),
+                }),
+            };
+            if !keep_going {
+                return;
+            }
+        }
+    }
+
+    /// Reads and decodes one request. `None` means the connection is
+    /// done: clean disconnect, or a malformed/hostile frame (answered
+    /// with a connection-level error first). Never panics on bad input —
+    /// the wire layer bounds every length before allocating.
+    fn read_request(&mut self) -> Option<Request> {
+        let payload = match read_frame(&mut self.reader) {
+            Ok(p) => p,
+            Err(e) => {
+                if !e.is_disconnect() {
+                    self.send(&Response::Error {
+                        request_id: 0,
+                        code: ErrorCode::Malformed,
+                        message: format!("unreadable frame from {}: {e}", self.ctx.peer),
+                    });
+                }
+                return None;
+            }
+        };
+        match decode_request(&payload) {
+            Ok(request) => Some(request),
+            Err(e) => {
+                self.send(&Response::Error {
+                    request_id: 0,
+                    code: ErrorCode::Malformed,
+                    message: format!("undecodable request: {e}"),
+                });
+                None
+            }
+        }
+    }
+
+    /// Submits a kernel and spawns a waiter that writes the job's result
+    /// when it completes. Uses the runtime's *blocking* submission path,
+    /// so a full queue slows this connection down (backpressure) instead
+    /// of failing its requests.
+    fn submit(
+        &mut self,
+        request_id: u64,
+        timeout_ms: Option<u64>,
+        seed: Option<u64>,
+        kernel: accel::kernel::Kernel,
+    ) -> bool {
+        if self.pending.lock().unwrap().contains_key(&request_id) {
+            return self.send(&Response::Error {
+                request_id,
+                code: ErrorCode::Malformed,
+                message: format!("request id {request_id} is already in flight"),
+            });
+        }
+        let options = JobOptions {
+            timeout: timeout_ms.map(Duration::from_millis),
+            seed,
+        };
+        let handle = match self.ctx.shared.runtime.submit_with(kernel, options) {
+            Ok(handle) => Arc::new(handle),
+            Err(e) => {
+                let (code, message) = submit_error_frame(&e);
+                return self.send(&Response::Error {
+                    request_id,
+                    code,
+                    message,
+                });
+            }
+        };
+        self.pending
+            .lock()
+            .unwrap()
+            .insert(request_id, Arc::clone(&handle));
+        let pending = Arc::clone(&self.pending);
+        let writer = Arc::clone(&self.writer);
+        let spawned = std::thread::Builder::new()
+            .name(format!("server-job-{request_id}"))
+            .spawn(move || {
+                let outcome = WireOutcome::from(&handle.wait());
+                pending.lock().unwrap().remove(&request_id);
+                write_response(
+                    &writer,
+                    &Response::JobResult {
+                        request_id,
+                        outcome,
+                    },
+                );
+            });
+        match spawned {
+            Ok(waiter) => {
+                self.waiters.push(waiter);
+                true
+            }
+            Err(_) => self.send(&Response::Error {
+                request_id,
+                code: ErrorCode::Internal,
+                message: "could not spawn result waiter".into(),
+            }),
+        }
+    }
+
+    /// Requests cancellation of an in-flight submission. A request id
+    /// that already completed (or never existed) reports
+    /// `cancelled: false` — cancellation raced completion and lost.
+    fn cancel(&mut self, request_id: u64) -> bool {
+        let cancelled = self
+            .pending
+            .lock()
+            .unwrap()
+            .get(&request_id)
+            .is_some_and(|handle| handle.cancel());
+        self.send(&Response::CancelResult {
+            request_id,
+            cancelled,
+        })
+    }
+
+    fn send(&self, response: &Response) -> bool {
+        write_response(&self.writer, response)
+    }
+}
+
+/// Maps a submission failure to its wire error frame.
+fn submit_error_frame(e: &SubmitError) -> (ErrorCode, String) {
+    let code = match e {
+        SubmitError::Invalid(_) => ErrorCode::InvalidKernel,
+        SubmitError::QueueFull => ErrorCode::QueueFull,
+        SubmitError::ShutDown => ErrorCode::ShuttingDown,
+    };
+    (code, e.to_string())
+}
+
+/// Serializes one response onto the shared socket; returns whether the
+/// write succeeded (a failed write means the peer is gone).
+fn write_response(writer: &Arc<Mutex<TcpStream>>, response: &Response) -> bool {
+    let payload = match encode_response(response) {
+        Ok(p) => p,
+        Err(WireError::TooLarge { .. }) | Err(_) => return false,
+    };
+    let mut stream = writer.lock().unwrap();
+    write_frame(&mut *stream, &payload).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accel::kernel::InvalidKernel;
+
+    #[test]
+    fn submit_errors_map_to_codes() {
+        let (code, msg) = submit_error_frame(&SubmitError::QueueFull);
+        assert_eq!(code, ErrorCode::QueueFull);
+        assert!(msg.contains("full"));
+        let (code, _) = submit_error_frame(&SubmitError::ShutDown);
+        assert_eq!(code, ErrorCode::ShuttingDown);
+        let (code, msg) =
+            submit_error_frame(&SubmitError::Invalid(InvalidKernel::FactorTooSmall {
+                n: 2,
+            }));
+        assert_eq!(code, ErrorCode::InvalidKernel);
+        assert!(msg.contains("invalid kernel"));
+    }
+}

@@ -1,0 +1,328 @@
+//! The listener: accept loop, connection limit, draining shutdown.
+
+use crate::connection::{handle_connection, ConnectionContext};
+use runtime::{Runtime, RuntimeConfig, RuntimeError, RuntimeStats};
+use std::collections::HashMap;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use wire::{encode_response, write_frame, ErrorCode, Response};
+
+/// How long the accept loop sleeps when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address. Port 0 picks a free port; read it back with
+    /// [`Server::local_addr`].
+    pub addr: String,
+    /// Connections served concurrently before new ones are turned away
+    /// with a graceful [`ErrorCode::Busy`] frame. Must be ≥ 1.
+    pub max_connections: usize,
+    /// The runtime the server fronts.
+    pub runtime: RuntimeConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_connections: 32,
+            runtime: RuntimeConfig::default(),
+        }
+    }
+}
+
+/// Why the server could not start.
+#[derive(Debug)]
+pub enum ServerError {
+    /// Binding the listener failed.
+    Io(io::Error),
+    /// Starting the runtime failed.
+    Runtime(RuntimeError),
+    /// The configuration is unusable.
+    Config(String),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Io(e) => write!(f, "server i/o error: {e}"),
+            ServerError::Runtime(e) => write!(f, "server runtime error: {e}"),
+            ServerError::Config(msg) => write!(f, "invalid server config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerError::Io(e) => Some(e),
+            ServerError::Runtime(e) => Some(e),
+            ServerError::Config(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for ServerError {
+    fn from(e: io::Error) -> Self {
+        ServerError::Io(e)
+    }
+}
+
+/// State shared between the accept loop, connection handlers, and the
+/// shutdown path.
+pub(crate) struct ServerShared {
+    pub(crate) runtime: Runtime,
+    pub(crate) running: AtomicBool,
+    pub(crate) active: AtomicUsize,
+    /// Live connections by id, so shutdown can unblock their handlers'
+    /// reads. Handlers deregister themselves on exit.
+    streams: Mutex<HashMap<u64, TcpStream>>,
+    /// Monotonic counter naming connections.
+    conn_counter: AtomicU64,
+}
+
+impl ServerShared {
+    pub(crate) fn is_running(&self) -> bool {
+        self.running.load(Ordering::Acquire)
+    }
+
+    /// Drops a finished connection's registry entry (its socket was
+    /// already shut down by the handler).
+    pub(crate) fn deregister(&self, conn_id: u64) {
+        self.streams.lock().unwrap().remove(&conn_id);
+    }
+}
+
+/// Decrements the live-connection count when a handler exits, however it
+/// exits.
+pub(crate) struct ActiveGuard {
+    shared: Arc<ServerShared>,
+}
+
+impl ActiveGuard {
+    fn new(shared: Arc<ServerShared>) -> Self {
+        shared.active.fetch_add(1, Ordering::AcqRel);
+        ActiveGuard { shared }
+    }
+}
+
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        self.shared.active.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// A TCP front-end serving the wire protocol over a [`Runtime`].
+///
+/// See the [crate docs](crate) for the serving model and an example.
+pub struct Server {
+    shared: Arc<ServerShared>,
+    local_addr: SocketAddr,
+    accept_handle: Option<JoinHandle<()>>,
+    conn_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds the listener, starts the runtime, and spawns the accept
+    /// loop.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Config`] for a zero connection limit,
+    /// [`ServerError::Io`] if binding fails, [`ServerError::Runtime`] if
+    /// the runtime cannot start.
+    pub fn start(config: ServerConfig) -> Result<Self, ServerError> {
+        if config.max_connections == 0 {
+            return Err(ServerError::Config(
+                "connection limit must be at least 1".into(),
+            ));
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let runtime = Runtime::start(config.runtime).map_err(ServerError::Runtime)?;
+        let shared = Arc::new(ServerShared {
+            runtime,
+            running: AtomicBool::new(true),
+            active: AtomicUsize::new(0),
+            streams: Mutex::new(HashMap::new()),
+            conn_counter: AtomicU64::new(0),
+        });
+        let conn_handles = Arc::new(Mutex::new(Vec::new()));
+        let accept_handle = {
+            let shared = Arc::clone(&shared);
+            let conn_handles = Arc::clone(&conn_handles);
+            let max_connections = config.max_connections;
+            std::thread::Builder::new()
+                .name("server-accept".into())
+                .spawn(move || accept_loop(&listener, &shared, &conn_handles, max_connections))
+                .map_err(ServerError::Io)?
+        };
+        Ok(Server {
+            shared,
+            local_addr,
+            accept_handle: Some(accept_handle),
+            conn_handles,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Connections currently being served.
+    #[must_use]
+    pub fn active_connections(&self) -> usize {
+        self.shared.active.load(Ordering::Acquire)
+    }
+
+    /// A point-in-time snapshot of the fronted runtime's statistics.
+    #[must_use]
+    pub fn stats(&self) -> RuntimeStats {
+        self.shared.runtime.stats()
+    }
+
+    /// Gracefully drains and stops the server, returning final runtime
+    /// statistics.
+    ///
+    /// Ordering matters: stop accepting, unblock every connection's read
+    /// side, let handlers finish waiting on their in-flight jobs (the
+    /// runtime is still alive, so results execute and flush to clients),
+    /// join the handlers, and only then shut the runtime down.
+    #[must_use]
+    pub fn shutdown(mut self) -> RuntimeStats {
+        self.stop();
+        let shared = Arc::clone(&self.shared);
+        drop(self); // releases this handle's Arc before the unwrap below
+        match Arc::try_unwrap(shared) {
+            Ok(shared) => shared.runtime.shutdown(),
+            // A handler thread leaked its Arc (should be impossible once
+            // all handlers are joined); fall back to a snapshot.
+            Err(shared) => shared.runtime.stats(),
+        }
+    }
+
+    fn stop(&mut self) {
+        self.shared.running.store(false, Ordering::Release);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        // Unblock handlers stuck in read_frame. Writes stay open so
+        // in-flight job results still reach their clients.
+        for (_, stream) in self.shared.streams.lock().unwrap().drain() {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+        let handles: Vec<_> = self.conn_handles.lock().unwrap().drain(..).collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<ServerShared>,
+    conn_handles: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+    max_connections: usize,
+) {
+    while shared.is_running() {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                let _ = stream.set_nodelay(true);
+                if shared.active.load(Ordering::Acquire) >= max_connections {
+                    reject_busy(stream, max_connections);
+                    continue;
+                }
+                let _ = stream.set_nonblocking(false);
+                let conn_id = shared.conn_counter.fetch_add(1, Ordering::Relaxed);
+                if let Ok(read_half) = stream.try_clone() {
+                    shared.streams.lock().unwrap().insert(conn_id, read_half);
+                } else {
+                    continue;
+                }
+                let guard = ActiveGuard::new(Arc::clone(shared));
+                let ctx = ConnectionContext {
+                    shared: Arc::clone(shared),
+                    peer,
+                    conn_id,
+                };
+                let spawned = std::thread::Builder::new()
+                    .name(format!("server-conn-{conn_id}"))
+                    .spawn(move || {
+                        let _guard = guard;
+                        handle_connection(stream, &ctx);
+                    });
+                match spawned {
+                    Ok(handle) => conn_handles.lock().unwrap().push(handle),
+                    // The guard already dropped with the closure; free
+                    // the registry slot too.
+                    Err(_) => shared.deregister(conn_id),
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+/// Turns a connection away with a connection-level busy frame instead of
+/// a silent hangup, so clients can distinguish "try later" from a crash.
+fn reject_busy(mut stream: TcpStream, max_connections: usize) {
+    let _ = stream.set_nonblocking(false);
+    let response = Response::Error {
+        request_id: 0,
+        code: ErrorCode::Busy,
+        message: format!("server at its {max_connections}-connection limit"),
+    };
+    if let Ok(payload) = encode_response(&response) {
+        let _ = write_frame(&mut stream, &payload);
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_connection_limit() {
+        let config = ServerConfig {
+            max_connections: 0,
+            ..ServerConfig::default()
+        };
+        assert!(matches!(Server::start(config), Err(ServerError::Config(_))));
+    }
+
+    #[test]
+    fn binds_ephemeral_port_and_shuts_down() {
+        let server = Server::start(ServerConfig::default()).unwrap();
+        assert_ne!(server.local_addr().port(), 0);
+        assert_eq!(server.active_connections(), 0);
+        let stats = server.shutdown();
+        assert_eq!(stats.submitted, 0);
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = ServerError::Config("connection limit must be at least 1".into());
+        assert!(e.to_string().contains("connection limit"));
+        let e = ServerError::from(io::Error::new(io::ErrorKind::AddrInUse, "taken"));
+        assert!(e.to_string().contains("taken"));
+    }
+}

@@ -1,0 +1,437 @@
+//! Bounds-checked primitive encoding: the byte-level reader and writer
+//! every payload codec is built on.
+//!
+//! All multi-byte integers are big-endian. Floats travel as their IEEE-754
+//! bit patterns, so a value that round-trips the wire is *byte-identical*
+//! to the original — the property the serving layer's cross-wire
+//! determinism check relies on.
+//!
+//! [`ByteReader`] is total: every accessor checks the remaining input and
+//! returns [`WireError::Truncated`] instead of slicing out of bounds, and
+//! collection counts are validated against both a protocol maximum and the
+//! bytes actually remaining *before* any allocation.
+
+use crate::{WireError, MAX_STRING_LEN};
+
+/// An append-only encoder over a growable buffer.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes encoded so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been encoded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a big-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `i64`.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends an optional `u64` as a presence flag plus the value.
+    pub fn put_opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            Some(v) => {
+                self.put_u8(1);
+                self.put_u64(v);
+            }
+            None => self.put_u8(0),
+        }
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::TooLarge`] when the string exceeds
+    /// [`MAX_STRING_LEN`](crate::MAX_STRING_LEN) bytes.
+    pub fn put_str(&mut self, s: &str) -> Result<(), WireError> {
+        let len = u64::try_from(s.len()).unwrap_or(u64::MAX);
+        if len > u64::from(MAX_STRING_LEN) {
+            return Err(WireError::TooLarge {
+                context: "string",
+                len,
+                max: u64::from(MAX_STRING_LEN),
+            });
+        }
+        self.put_u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+        Ok(())
+    }
+}
+
+/// A checked decoder over a borrowed byte slice.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over `buf`, positioned at the start.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Fails unless every byte has been consumed — strict decoders call
+    /// this last so a frame cannot smuggle trailing garbage.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::TrailingBytes`] when input remains.
+    pub fn finish(&self) -> Result<(), WireError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes {
+                count: self.remaining(),
+            })
+        }
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated { context });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] at end of input.
+    pub fn get_u8(&mut self, context: &'static str) -> Result<u8, WireError> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    /// Reads a big-endian `u16`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] at end of input.
+    pub fn get_u16(&mut self, context: &'static str) -> Result<u16, WireError> {
+        Ok(u16::from_be_bytes(
+            self.take(2, context)?.try_into().expect("2-byte slice"),
+        ))
+    }
+
+    /// Reads a big-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] at end of input.
+    pub fn get_u32(&mut self, context: &'static str) -> Result<u32, WireError> {
+        Ok(u32::from_be_bytes(
+            self.take(4, context)?.try_into().expect("4-byte slice"),
+        ))
+    }
+
+    /// Reads a big-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] at end of input.
+    pub fn get_u64(&mut self, context: &'static str) -> Result<u64, WireError> {
+        Ok(u64::from_be_bytes(
+            self.take(8, context)?.try_into().expect("8-byte slice"),
+        ))
+    }
+
+    /// Reads a big-endian `i64`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] at end of input.
+    pub fn get_i64(&mut self, context: &'static str) -> Result<i64, WireError> {
+        Ok(i64::from_be_bytes(
+            self.take(8, context)?.try_into().expect("8-byte slice"),
+        ))
+    }
+
+    /// Reads an `f64` from its IEEE-754 bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] at end of input.
+    pub fn get_f64(&mut self, context: &'static str) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.get_u64(context)?))
+    }
+
+    /// Reads a `u64` decoded into `usize`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] at end of input; [`WireError::Invalid`]
+    /// when the value does not fit a `usize`.
+    pub fn get_usize(&mut self, context: &'static str) -> Result<usize, WireError> {
+        let v = self.get_u64(context)?;
+        usize::try_from(v).map_err(|_| WireError::Invalid {
+            context,
+            detail: format!("{v} does not fit a usize"),
+        })
+    }
+
+    /// Reads an optional `u64` (presence flag plus value).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] at end of input; [`WireError::Invalid`]
+    /// for a flag byte other than 0/1.
+    pub fn get_opt_u64(&mut self, context: &'static str) -> Result<Option<u64>, WireError> {
+        match self.get_u8(context)? {
+            0 => Ok(None),
+            1 => Ok(Some(self.get_u64(context)?)),
+            flag => Err(WireError::Invalid {
+                context,
+                detail: format!("option flag must be 0 or 1, got {flag}"),
+            }),
+        }
+    }
+
+    /// Reads a collection count, rejecting counts above `max` or counts
+    /// whose elements (at `min_elem_bytes` each) could not possibly fit in
+    /// the remaining input. This makes `Vec::with_capacity(count)` safe:
+    /// a hostile length prefix can never trigger a large allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::TooLarge`] above `max`; [`WireError::Truncated`] when
+    /// the remaining input is provably too short.
+    pub fn get_count(
+        &mut self,
+        max: u32,
+        min_elem_bytes: usize,
+        context: &'static str,
+    ) -> Result<usize, WireError> {
+        let count = self.get_u32(context)?;
+        if count > max {
+            return Err(WireError::TooLarge {
+                context,
+                len: u64::from(count),
+                max: u64::from(max),
+            });
+        }
+        let count = count as usize;
+        if count.saturating_mul(min_elem_bytes) > self.remaining() {
+            return Err(WireError::Truncated { context });
+        }
+        Ok(count)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::TooLarge`], [`WireError::Truncated`], or
+    /// [`WireError::Invalid`] for non-UTF-8 bytes.
+    pub fn get_str(&mut self, context: &'static str) -> Result<String, WireError> {
+        let len = self.get_u32(context)?;
+        if len > MAX_STRING_LEN {
+            return Err(WireError::TooLarge {
+                context,
+                len: u64::from(len),
+                max: u64::from(MAX_STRING_LEN),
+            });
+        }
+        let bytes = self.take(len as usize, context)?;
+        String::from_utf8(bytes.to_vec()).map_err(|e| WireError::Invalid {
+            context,
+            detail: format!("invalid utf-8: {e}"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u16(300);
+        w.put_u32(70_000);
+        w.put_u64(u64::MAX);
+        w.put_i64(-42);
+        w.put_f64(std::f64::consts::PI);
+        w.put_opt_u64(Some(9));
+        w.put_opt_u64(None);
+        w.put_str("héllo").unwrap();
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u8("t").unwrap(), 7);
+        assert_eq!(r.get_u16("t").unwrap(), 300);
+        assert_eq!(r.get_u32("t").unwrap(), 70_000);
+        assert_eq!(r.get_u64("t").unwrap(), u64::MAX);
+        assert_eq!(r.get_i64("t").unwrap(), -42);
+        assert_eq!(r.get_f64("t").unwrap(), std::f64::consts::PI);
+        assert_eq!(r.get_opt_u64("t").unwrap(), Some(9));
+        assert_eq!(r.get_opt_u64("t").unwrap(), None);
+        assert_eq!(r.get_str("t").unwrap(), "héllo");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn nan_bit_pattern_survives() {
+        let mut w = ByteWriter::new();
+        let weird = f64::from_bits(0x7ff8_dead_beef_0001);
+        w.put_f64(weird);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_f64("t").unwrap().to_bits(), weird.to_bits());
+    }
+
+    #[test]
+    fn truncated_reads_error() {
+        let mut r = ByteReader::new(&[1, 2]);
+        assert!(matches!(
+            r.get_u32("field"),
+            Err(WireError::Truncated { context: "field" })
+        ));
+        // The failed read consumed nothing usable but the reader is still safe.
+        assert!(r.get_u16("field").is_ok());
+    }
+
+    #[test]
+    fn string_limits_enforced() {
+        // Claimed length far beyond the buffer.
+        let mut w = ByteWriter::new();
+        w.put_u32(1000);
+        w.put_u8(b'x');
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            ByteReader::new(&bytes).get_str("s"),
+            Err(WireError::Truncated { .. })
+        ));
+        // Claimed length beyond the protocol cap.
+        let mut w = ByteWriter::new();
+        w.put_u32(MAX_STRING_LEN + 1);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            ByteReader::new(&bytes).get_str("s"),
+            Err(WireError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut w = ByteWriter::new();
+        w.put_u32(2);
+        w.put_u8(0xff);
+        w.put_u8(0xfe);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            ByteReader::new(&bytes).get_str("s"),
+            Err(WireError::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn hostile_count_rejected_before_allocation() {
+        // A count of ~4 billion with 2 bytes of input must fail fast.
+        let mut w = ByteWriter::new();
+        w.put_u32(u32::MAX);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(
+            r.get_count(u32::MAX, 8, "list"),
+            Err(WireError::Truncated { .. })
+        ));
+        // And a count above the protocol cap fails even if bytes remain.
+        let mut w = ByteWriter::new();
+        w.put_u32(100);
+        for _ in 0..100 {
+            w.put_u8(0);
+        }
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(
+            r.get_count(10, 1, "list"),
+            Err(WireError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_option_flag_rejected() {
+        let bytes = [2u8];
+        assert!(matches!(
+            ByteReader::new(&bytes).get_opt_u64("opt"),
+            Err(WireError::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn finish_rejects_trailing() {
+        let bytes = [0u8; 3];
+        let mut r = ByteReader::new(&bytes);
+        let _ = r.get_u8("t").unwrap();
+        assert!(matches!(
+            r.finish(),
+            Err(WireError::TrailingBytes { count: 2 })
+        ));
+    }
+
+    #[test]
+    fn writer_len_tracks() {
+        let mut w = ByteWriter::new();
+        assert!(w.is_empty());
+        w.put_u32(1);
+        assert_eq!(w.len(), 4);
+    }
+}

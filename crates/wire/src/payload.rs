@@ -1,0 +1,743 @@
+//! Payload codecs: kernels, results, costs, formulas, outcomes, stats.
+//!
+//! Every codec is a `put_*` / `get_*` pair over the bounds-checked
+//! [`ByteWriter`] / [`ByteReader`]. Variant tags are one byte; collection
+//! lengths are validated against protocol maxima *and* remaining input
+//! before allocation; formulas are rebuilt through `mem::cnf`'s validating
+//! constructors so a decoded formula is structurally sound by construction.
+
+use crate::codec::{ByteReader, ByteWriter};
+use crate::{WireError, MAX_CLAUSES, MAX_CLAUSE_WIDTH, MAX_SEQUENCE_LEN};
+use accel::kernel::{CostReport, Kernel, KernelResult};
+use mem::cnf::{Clause, Formula, Literal};
+use runtime::stats::{BackendThroughput, LatencyHistogram, LATENCY_BUCKETS};
+use runtime::{JobOutcome, RuntimeStats};
+use std::collections::BTreeMap;
+
+/// A job outcome as it travels the wire.
+///
+/// Mirrors [`runtime::JobOutcome`] but replaces the host-side
+/// `KernelExecution` wrapper with its flattened fields and carries the
+/// execution wall time in nanoseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireOutcome {
+    /// The kernel executed.
+    Completed {
+        /// Name of the backend that ran the kernel.
+        backend: String,
+        /// The result payload.
+        result: KernelResult,
+        /// The modelled device cost.
+        cost: CostReport,
+        /// Host wall-clock execution time, in nanoseconds.
+        wall_nanos: u64,
+    },
+    /// The backend returned an error (rendered).
+    Failed(String),
+    /// The job's queue deadline passed before a worker picked it up.
+    TimedOut,
+    /// The job was cancelled before it completed.
+    Cancelled,
+}
+
+impl WireOutcome {
+    /// Whether the outcome carries a kernel result.
+    #[must_use]
+    pub fn is_completed(&self) -> bool {
+        matches!(self, WireOutcome::Completed { .. })
+    }
+}
+
+impl From<&JobOutcome> for WireOutcome {
+    fn from(outcome: &JobOutcome) -> Self {
+        match outcome {
+            JobOutcome::Completed {
+                backend,
+                execution,
+                wall,
+            } => WireOutcome::Completed {
+                backend: backend.clone(),
+                result: execution.result.clone(),
+                cost: execution.cost,
+                wall_nanos: u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX),
+            },
+            JobOutcome::Failed(msg) => WireOutcome::Failed(msg.clone()),
+            JobOutcome::TimedOut => WireOutcome::TimedOut,
+            JobOutcome::Cancelled => WireOutcome::Cancelled,
+        }
+    }
+}
+
+// ---------------------------------------------------------------- kernels
+
+pub(crate) fn put_kernel(w: &mut ByteWriter, kernel: &Kernel) -> Result<(), WireError> {
+    match kernel {
+        Kernel::Factor { n } => {
+            w.put_u8(0);
+            w.put_u64(*n);
+        }
+        Kernel::Search { n_qubits, marked } => {
+            w.put_u8(1);
+            w.put_u32(u32::try_from(*n_qubits).map_err(|_| too_large("search width"))?);
+            put_seq_len(w, marked.len(), "marked items")?;
+            for &item in marked {
+                w.put_u64(item as u64);
+            }
+        }
+        Kernel::DnaSimilarity { a, b, k } => {
+            w.put_u8(2);
+            w.put_str(a)?;
+            w.put_str(b)?;
+            w.put_u64(*k as u64);
+        }
+        Kernel::SolveSat { formula } => {
+            w.put_u8(3);
+            put_formula(w, formula)?;
+        }
+        Kernel::Compare { x, y } => {
+            w.put_u8(4);
+            w.put_f64(*x);
+            w.put_f64(*y);
+        }
+    }
+    Ok(())
+}
+
+pub(crate) fn get_kernel(r: &mut ByteReader<'_>) -> Result<Kernel, WireError> {
+    match r.get_u8("kernel tag")? {
+        0 => Ok(Kernel::Factor {
+            n: r.get_u64("factor n")?,
+        }),
+        1 => {
+            let n_qubits = r.get_u32("search width")? as usize;
+            let count = r.get_count(MAX_SEQUENCE_LEN, 8, "marked items")?;
+            let mut marked = Vec::with_capacity(count);
+            for _ in 0..count {
+                marked.push(r.get_usize("marked item")?);
+            }
+            Ok(Kernel::Search { n_qubits, marked })
+        }
+        2 => Ok(Kernel::DnaSimilarity {
+            a: r.get_str("dna sequence a")?,
+            b: r.get_str("dna sequence b")?,
+            k: r.get_usize("dna k")?,
+        }),
+        3 => Ok(Kernel::SolveSat {
+            formula: get_formula(r)?,
+        }),
+        4 => Ok(Kernel::Compare {
+            x: r.get_f64("compare x")?,
+            y: r.get_f64("compare y")?,
+        }),
+        tag => Err(WireError::UnknownTag {
+            context: "kernel",
+            tag,
+        }),
+    }
+}
+
+/// Encodes one kernel to a standalone byte buffer.
+///
+/// # Errors
+///
+/// [`WireError::TooLarge`] for out-of-bounds field sizes.
+pub fn encode_kernel(kernel: &Kernel) -> Result<Vec<u8>, WireError> {
+    let mut w = ByteWriter::new();
+    put_kernel(&mut w, kernel)?;
+    Ok(w.into_bytes())
+}
+
+/// Decodes one kernel from a standalone byte buffer, rejecting trailing
+/// bytes.
+///
+/// # Errors
+///
+/// Any [`WireError`] decoding variant.
+pub fn decode_kernel(bytes: &[u8]) -> Result<Kernel, WireError> {
+    let mut r = ByteReader::new(bytes);
+    let kernel = get_kernel(&mut r)?;
+    r.finish()?;
+    Ok(kernel)
+}
+
+// ---------------------------------------------------------------- results
+
+pub(crate) fn put_kernel_result(
+    w: &mut ByteWriter,
+    result: &KernelResult,
+) -> Result<(), WireError> {
+    match result {
+        KernelResult::Factors(p, q) => {
+            w.put_u8(0);
+            w.put_u64(*p);
+            w.put_u64(*q);
+        }
+        KernelResult::Found(item) => {
+            w.put_u8(1);
+            w.put_u64(*item as u64);
+        }
+        KernelResult::Similarity(s) => {
+            w.put_u8(2);
+            w.put_f64(*s);
+        }
+        KernelResult::SatSolution(solution) => {
+            w.put_u8(3);
+            match solution {
+                Some(bits) => {
+                    w.put_u8(1);
+                    put_seq_len(w, bits.len(), "sat assignment")?;
+                    for &bit in bits {
+                        w.put_u8(u8::from(bit));
+                    }
+                }
+                None => w.put_u8(0),
+            }
+        }
+        KernelResult::Distance(d) => {
+            w.put_u8(4);
+            w.put_f64(*d);
+        }
+    }
+    Ok(())
+}
+
+pub(crate) fn get_kernel_result(r: &mut ByteReader<'_>) -> Result<KernelResult, WireError> {
+    match r.get_u8("result tag")? {
+        0 => Ok(KernelResult::Factors(
+            r.get_u64("factor p")?,
+            r.get_u64("factor q")?,
+        )),
+        1 => Ok(KernelResult::Found(r.get_usize("found item")?)),
+        2 => Ok(KernelResult::Similarity(r.get_f64("similarity")?)),
+        3 => match r.get_u8("sat solution flag")? {
+            0 => Ok(KernelResult::SatSolution(None)),
+            1 => {
+                let count = r.get_count(MAX_SEQUENCE_LEN, 1, "sat assignment")?;
+                let mut bits = Vec::with_capacity(count);
+                for _ in 0..count {
+                    match r.get_u8("sat assignment bit")? {
+                        0 => bits.push(false),
+                        1 => bits.push(true),
+                        bit => {
+                            return Err(WireError::Invalid {
+                                context: "sat assignment bit",
+                                detail: format!("expected 0 or 1, got {bit}"),
+                            })
+                        }
+                    }
+                }
+                Ok(KernelResult::SatSolution(Some(bits)))
+            }
+            flag => Err(WireError::Invalid {
+                context: "sat solution flag",
+                detail: format!("expected 0 or 1, got {flag}"),
+            }),
+        },
+        4 => Ok(KernelResult::Distance(r.get_f64("distance")?)),
+        tag => Err(WireError::UnknownTag {
+            context: "kernel result",
+            tag,
+        }),
+    }
+}
+
+/// Encodes one kernel result to a standalone byte buffer — also the
+/// canonical byte representation the load generator compares for its
+/// byte-for-byte cross-wire determinism check.
+///
+/// # Errors
+///
+/// [`WireError::TooLarge`] for out-of-bounds field sizes.
+pub fn encode_kernel_result(result: &KernelResult) -> Result<Vec<u8>, WireError> {
+    let mut w = ByteWriter::new();
+    put_kernel_result(&mut w, result)?;
+    Ok(w.into_bytes())
+}
+
+/// Decodes one kernel result from a standalone byte buffer, rejecting
+/// trailing bytes.
+///
+/// # Errors
+///
+/// Any [`WireError`] decoding variant.
+pub fn decode_kernel_result(bytes: &[u8]) -> Result<KernelResult, WireError> {
+    let mut r = ByteReader::new(bytes);
+    let result = get_kernel_result(&mut r)?;
+    r.finish()?;
+    Ok(result)
+}
+
+// ------------------------------------------------------------------ costs
+
+pub(crate) fn put_cost(w: &mut ByteWriter, cost: &CostReport) {
+    w.put_f64(cost.device_seconds);
+    w.put_u64(cost.operations);
+}
+
+pub(crate) fn get_cost(r: &mut ByteReader<'_>) -> Result<CostReport, WireError> {
+    Ok(CostReport {
+        device_seconds: r.get_f64("cost device seconds")?,
+        operations: r.get_u64("cost operations")?,
+    })
+}
+
+// --------------------------------------------------------------- formulas
+
+pub(crate) fn put_formula(w: &mut ByteWriter, formula: &Formula) -> Result<(), WireError> {
+    w.put_u32(u32::try_from(formula.n_vars()).map_err(|_| too_large("formula variables"))?);
+    let clauses = formula.clauses();
+    if clauses.len() as u64 > u64::from(MAX_CLAUSES) {
+        return Err(WireError::TooLarge {
+            context: "formula clauses",
+            len: clauses.len() as u64,
+            max: u64::from(MAX_CLAUSES),
+        });
+    }
+    w.put_u32(clauses.len() as u32);
+    for clause in clauses {
+        if clause.len() as u64 > u64::from(MAX_CLAUSE_WIDTH) {
+            return Err(WireError::TooLarge {
+                context: "clause width",
+                len: clause.len() as u64,
+                max: u64::from(MAX_CLAUSE_WIDTH),
+            });
+        }
+        w.put_u32(clause.len() as u32);
+        for lit in clause.literals() {
+            w.put_i64(lit.to_dimacs());
+        }
+    }
+    Ok(())
+}
+
+pub(crate) fn get_formula(r: &mut ByteReader<'_>) -> Result<Formula, WireError> {
+    let n_vars = r.get_u32("formula variables")? as usize;
+    // Each clause needs at least a length word plus one literal.
+    let clause_count = r.get_count(MAX_CLAUSES, 12, "formula clauses")?;
+    let mut clauses = Vec::with_capacity(clause_count);
+    for _ in 0..clause_count {
+        let width = r.get_count(MAX_CLAUSE_WIDTH, 8, "clause width")?;
+        let mut literals = Vec::with_capacity(width);
+        for _ in 0..width {
+            let code = r.get_i64("literal")?;
+            literals.push(Literal::from_dimacs(code).map_err(|e| WireError::Invalid {
+                context: "literal",
+                detail: e.to_string(),
+            })?);
+        }
+        clauses.push(Clause::new(literals).map_err(|e| WireError::Invalid {
+            context: "clause",
+            detail: e.to_string(),
+        })?);
+    }
+    Formula::new(n_vars, clauses).map_err(|e| WireError::Invalid {
+        context: "formula",
+        detail: e.to_string(),
+    })
+}
+
+// --------------------------------------------------------------- outcomes
+
+pub(crate) fn put_outcome(w: &mut ByteWriter, outcome: &WireOutcome) -> Result<(), WireError> {
+    match outcome {
+        WireOutcome::Completed {
+            backend,
+            result,
+            cost,
+            wall_nanos,
+        } => {
+            w.put_u8(0);
+            w.put_str(backend)?;
+            put_kernel_result(w, result)?;
+            put_cost(w, cost);
+            w.put_u64(*wall_nanos);
+        }
+        WireOutcome::Failed(msg) => {
+            w.put_u8(1);
+            w.put_str(msg)?;
+        }
+        WireOutcome::TimedOut => w.put_u8(2),
+        WireOutcome::Cancelled => w.put_u8(3),
+    }
+    Ok(())
+}
+
+pub(crate) fn get_outcome(r: &mut ByteReader<'_>) -> Result<WireOutcome, WireError> {
+    match r.get_u8("outcome tag")? {
+        0 => Ok(WireOutcome::Completed {
+            backend: r.get_str("backend name")?,
+            result: get_kernel_result(r)?,
+            cost: get_cost(r)?,
+            wall_nanos: r.get_u64("wall nanos")?,
+        }),
+        1 => Ok(WireOutcome::Failed(r.get_str("failure message")?)),
+        2 => Ok(WireOutcome::TimedOut),
+        3 => Ok(WireOutcome::Cancelled),
+        tag => Err(WireError::UnknownTag {
+            context: "outcome",
+            tag,
+        }),
+    }
+}
+
+// ------------------------------------------------------------------ stats
+
+pub(crate) fn put_stats(w: &mut ByteWriter, stats: &RuntimeStats) -> Result<(), WireError> {
+    w.put_u64(stats.submitted);
+    w.put_u64(stats.completed);
+    w.put_u64(stats.failed);
+    w.put_u64(stats.rejected);
+    w.put_u64(stats.invalid);
+    w.put_u64(stats.timed_out);
+    w.put_u64(stats.cancelled);
+    w.put_u64(stats.queue_depth as u64);
+    w.put_u64(stats.workers as u64);
+    if stats.per_backend.len() as u64 > u64::from(MAX_SEQUENCE_LEN) {
+        return Err(WireError::TooLarge {
+            context: "backend table",
+            len: stats.per_backend.len() as u64,
+            max: u64::from(MAX_SEQUENCE_LEN),
+        });
+    }
+    w.put_u32(stats.per_backend.len() as u32);
+    for (name, t) in &stats.per_backend {
+        w.put_str(name)?;
+        w.put_u64(t.jobs);
+        w.put_f64(t.device_seconds);
+        w.put_u64(t.operations);
+        w.put_f64(t.busy_seconds);
+    }
+    w.put_u32(LATENCY_BUCKETS as u32);
+    for &count in stats.latency.counts() {
+        w.put_u64(count);
+    }
+    Ok(())
+}
+
+pub(crate) fn get_stats(r: &mut ByteReader<'_>) -> Result<RuntimeStats, WireError> {
+    let submitted = r.get_u64("stats submitted")?;
+    let completed = r.get_u64("stats completed")?;
+    let failed = r.get_u64("stats failed")?;
+    let rejected = r.get_u64("stats rejected")?;
+    let invalid = r.get_u64("stats invalid")?;
+    let timed_out = r.get_u64("stats timed out")?;
+    let cancelled = r.get_u64("stats cancelled")?;
+    let queue_depth = r.get_usize("stats queue depth")?;
+    let workers = r.get_usize("stats workers")?;
+    let backend_count = r.get_count(MAX_SEQUENCE_LEN, 37, "backend table")?;
+    let mut per_backend = BTreeMap::new();
+    for _ in 0..backend_count {
+        let name = r.get_str("backend name")?;
+        let t = BackendThroughput {
+            jobs: r.get_u64("backend jobs")?,
+            device_seconds: r.get_f64("backend device seconds")?,
+            operations: r.get_u64("backend operations")?,
+            busy_seconds: r.get_f64("backend busy seconds")?,
+        };
+        per_backend.insert(name, t);
+    }
+    let bucket_count = r.get_count(MAX_SEQUENCE_LEN, 8, "latency buckets")?;
+    if bucket_count != LATENCY_BUCKETS {
+        return Err(WireError::Invalid {
+            context: "latency buckets",
+            detail: format!("expected {LATENCY_BUCKETS} buckets, got {bucket_count}"),
+        });
+    }
+    let mut counts = [0u64; LATENCY_BUCKETS];
+    for slot in &mut counts {
+        *slot = r.get_u64("latency bucket count")?;
+    }
+    Ok(RuntimeStats {
+        submitted,
+        completed,
+        failed,
+        rejected,
+        invalid,
+        timed_out,
+        cancelled,
+        queue_depth,
+        workers,
+        per_backend,
+        latency: LatencyHistogram::from_counts(counts),
+    })
+}
+
+// ---------------------------------------------------------------- helpers
+
+fn put_seq_len(w: &mut ByteWriter, len: usize, context: &'static str) -> Result<(), WireError> {
+    if len as u64 > u64::from(MAX_SEQUENCE_LEN) {
+        return Err(WireError::TooLarge {
+            context,
+            len: len as u64,
+            max: u64::from(MAX_SEQUENCE_LEN),
+        });
+    }
+    w.put_u32(len as u32);
+    Ok(())
+}
+
+fn too_large(context: &'static str) -> WireError {
+    WireError::TooLarge {
+        context,
+        len: u64::MAX,
+        max: u64::from(u32::MAX),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mem::generators::planted_3sat;
+    use std::time::Duration;
+
+    fn round_trip_kernel(kernel: &Kernel) -> Kernel {
+        decode_kernel(&encode_kernel(kernel).unwrap()).unwrap()
+    }
+
+    fn round_trip_result(result: &KernelResult) -> KernelResult {
+        decode_kernel_result(&encode_kernel_result(result).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn kernels_round_trip() {
+        let sat = planted_3sat(12, 3.5, 3).unwrap();
+        let kernels = vec![
+            Kernel::Factor { n: 91 },
+            Kernel::Search {
+                n_qubits: 6,
+                marked: vec![0, 17, 63],
+            },
+            Kernel::DnaSimilarity {
+                a: "ACGTACGT".into(),
+                b: "TTGCACGA".into(),
+                k: 3,
+            },
+            Kernel::SolveSat {
+                formula: sat.formula,
+            },
+            Kernel::Compare { x: 0.25, y: 0.75 },
+        ];
+        for kernel in &kernels {
+            assert_eq!(&round_trip_kernel(kernel), kernel);
+        }
+    }
+
+    #[test]
+    fn results_round_trip() {
+        let results = vec![
+            KernelResult::Factors(7, 13),
+            KernelResult::Found(42),
+            KernelResult::Similarity(0.815),
+            KernelResult::SatSolution(None),
+            KernelResult::SatSolution(Some(vec![true, false, true])),
+            KernelResult::Distance(1.0 / 3.0),
+        ];
+        for result in &results {
+            assert_eq!(&round_trip_result(result), result);
+        }
+    }
+
+    #[test]
+    fn float_payloads_are_byte_exact() {
+        let tricky = [0.1 + 0.2, f64::MIN_POSITIVE, -0.0, 1e-300];
+        for &v in &tricky {
+            let bytes = encode_kernel_result(&KernelResult::Distance(v)).unwrap();
+            match decode_kernel_result(&bytes).unwrap() {
+                KernelResult::Distance(back) => assert_eq!(back.to_bits(), v.to_bits()),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn outcomes_round_trip() {
+        let outcomes = vec![
+            WireOutcome::Completed {
+                backend: "quantum".into(),
+                result: KernelResult::Factors(3, 5),
+                cost: CostReport {
+                    device_seconds: 1.5e-6,
+                    operations: 240,
+                },
+                wall_nanos: 81_000,
+            },
+            WireOutcome::Failed("backend exploded".into()),
+            WireOutcome::TimedOut,
+            WireOutcome::Cancelled,
+        ];
+        for outcome in &outcomes {
+            let mut w = ByteWriter::new();
+            put_outcome(&mut w, outcome).unwrap();
+            let bytes = w.into_bytes();
+            let mut r = ByteReader::new(&bytes);
+            assert_eq!(&get_outcome(&mut r).unwrap(), outcome);
+            r.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn job_outcome_conversion() {
+        let wall = Duration::from_micros(55);
+        let outcome = JobOutcome::Completed {
+            backend: "cpu".into(),
+            execution: accel::kernel::KernelExecution {
+                result: KernelResult::Found(9),
+                cost: CostReport {
+                    device_seconds: 0.5,
+                    operations: 3,
+                },
+            },
+            wall,
+        };
+        match WireOutcome::from(&outcome) {
+            WireOutcome::Completed {
+                backend,
+                result,
+                wall_nanos,
+                ..
+            } => {
+                assert_eq!(backend, "cpu");
+                assert_eq!(result, KernelResult::Found(9));
+                assert_eq!(wall_nanos, 55_000);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            WireOutcome::from(&JobOutcome::TimedOut),
+            WireOutcome::TimedOut
+        );
+        assert!(!WireOutcome::Cancelled.is_completed());
+    }
+
+    #[test]
+    fn stats_round_trip() {
+        let mut per_backend = BTreeMap::new();
+        per_backend.insert(
+            "memcomputing".to_string(),
+            BackendThroughput {
+                jobs: 12,
+                device_seconds: 3.5e-3,
+                operations: 90_000,
+                busy_seconds: 0.82,
+            },
+        );
+        let mut counts = [0u64; LATENCY_BUCKETS];
+        counts[2] = 7;
+        let stats = RuntimeStats {
+            submitted: 20,
+            completed: 12,
+            failed: 1,
+            rejected: 2,
+            invalid: 3,
+            timed_out: 1,
+            cancelled: 1,
+            queue_depth: 4,
+            workers: 6,
+            per_backend,
+            latency: LatencyHistogram::from_counts(counts),
+        };
+        let mut w = ByteWriter::new();
+        put_stats(&mut w, &stats).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(get_stats(&mut r).unwrap(), stats);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn malformed_formula_rejected() {
+        // An empty clause is structurally invalid and must be caught by
+        // the validating constructors, not panic downstream.
+        let mut w = ByteWriter::new();
+        w.put_u32(3); // n_vars
+        w.put_u32(1); // one clause
+        w.put_u32(0); // of width zero
+        w.put_u64(0); // padding past the per-clause size floor
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(
+            get_formula(&mut r),
+            Err(WireError::Invalid { .. })
+        ));
+        // Literal 0 is the DIMACS terminator, never a literal.
+        let mut w = ByteWriter::new();
+        w.put_u32(3);
+        w.put_u32(1);
+        w.put_u32(1);
+        w.put_i64(0);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(
+            get_formula(&mut r),
+            Err(WireError::Invalid { .. })
+        ));
+        // Out-of-range variable index.
+        let mut w = ByteWriter::new();
+        w.put_u32(2);
+        w.put_u32(1);
+        w.put_u32(1);
+        w.put_i64(5);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(
+            get_formula(&mut r),
+            Err(WireError::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn hostile_clause_count_rejected() {
+        let mut w = ByteWriter::new();
+        w.put_u32(3);
+        w.put_u32(u32::MAX); // claims 4 billion clauses with no bytes behind it
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let err = get_formula(&mut r).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                WireError::TooLarge { .. } | WireError::Truncated { .. }
+            ),
+            "unexpected {err}"
+        );
+    }
+
+    #[test]
+    fn unknown_tags_rejected() {
+        assert!(matches!(
+            decode_kernel(&[200]),
+            Err(WireError::UnknownTag {
+                context: "kernel",
+                tag: 200,
+            })
+        ));
+        assert!(matches!(
+            decode_kernel_result(&[99]),
+            Err(WireError::UnknownTag { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = encode_kernel(&Kernel::Factor { n: 15 }).unwrap();
+        bytes.push(0);
+        assert!(matches!(
+            decode_kernel(&bytes),
+            Err(WireError::TrailingBytes { count: 1 })
+        ));
+    }
+
+    #[test]
+    fn bad_sat_bits_rejected() {
+        let mut w = ByteWriter::new();
+        w.put_u8(3); // SatSolution
+        w.put_u8(1); // present
+        w.put_u32(1); // one bit
+        w.put_u8(7); // not a bool
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            decode_kernel_result(&bytes),
+            Err(WireError::Invalid { .. })
+        ));
+    }
+}

@@ -1,0 +1,227 @@
+//! Load generator: concurrent clients hammering the network serving
+//! layer, with a cross-wire determinism check.
+//!
+//! Starts a [`server::Server`] in-process, fans the shared mixed
+//! workload out across N client threads (each pipelining its slice over
+//! one connection), and reports throughput, a client-side latency
+//! histogram, and the server's own statistics. It then replays the
+//! identical workload on a direct single-worker [`runtime::Runtime`] and
+//! asserts every result matches **byte for byte** — same kernels, same
+//! explicit per-job seeds, so transport, concurrency, and scheduling
+//! order must not change a single bit of output.
+//!
+//! Run with: `cargo run --release --example loadgen -- [--clients N]
+//! [--jobs N] [--workers N] [--queue N]`
+
+use rebooting_models::workload::{job_seeds, mixed_workload};
+use runtime::stats::LatencyHistogram;
+use runtime::{DispatchPolicy, JobOptions, JobOutcome, Runtime, RuntimeConfig};
+use server::{Client, Server, ServerConfig, SubmitOptions};
+use std::time::Instant;
+use wire::{encode_kernel_result, WireOutcome};
+
+const MASTER_SEED: u64 = 2019;
+
+struct Args {
+    clients: usize,
+    jobs: usize,
+    workers: usize,
+    queue: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        clients: 4,
+        jobs: 160,
+        workers: 4,
+        queue: 64,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let value = it
+            .next()
+            .ok_or_else(|| format!("{flag} needs a value"))?
+            .parse::<usize>()
+            .map_err(|e| format!("{flag}: {e}"))?;
+        match flag.as_str() {
+            "--clients" => args.clients = value,
+            "--jobs" => args.jobs = value,
+            "--workers" => args.workers = value,
+            "--queue" => args.queue = value,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.clients == 0 || args.jobs == 0 || args.workers == 0 || args.queue == 0 {
+        return Err("all parameters must be at least 1".into());
+    }
+    Ok(args)
+}
+
+/// What one client thread brings home: `(workload index, encoded result
+/// bytes, backend name)` per job, plus its local latency histogram.
+type ClientReport = (Vec<(usize, Vec<u8>, String)>, LatencyHistogram);
+
+/// Runs one client over its round-robin slice of the workload,
+/// pipelining every submission before redeeming any ticket.
+fn run_client(
+    addr: std::net::SocketAddr,
+    workload: &[accel::kernel::Kernel],
+    seeds: &[u64],
+    client_idx: usize,
+    clients: usize,
+) -> Result<ClientReport, String> {
+    let fail = |e: &dyn std::fmt::Display| format!("client {client_idx}: {e}");
+    let mut client = Client::connect(addr).map_err(|e| fail(&e))?;
+    let mine: Vec<usize> = (0..workload.len())
+        .filter(|i| i % clients == client_idx)
+        .collect();
+    let started = Instant::now();
+    let mut tickets = Vec::with_capacity(mine.len());
+    for &i in &mine {
+        let options = SubmitOptions::with_seed(seeds[i]);
+        let ticket = client
+            .submit(workload[i].clone(), options)
+            .map_err(|e| fail(&e))?;
+        tickets.push((i, ticket));
+    }
+    let mut results = Vec::with_capacity(mine.len());
+    let mut latency = LatencyHistogram::new();
+    for (i, ticket) in tickets {
+        match client.wait(ticket).map_err(|e| fail(&e))? {
+            WireOutcome::Completed {
+                result, backend, ..
+            } => {
+                latency.record(started.elapsed());
+                results.push((
+                    i,
+                    encode_kernel_result(&result).map_err(|e| fail(&e))?,
+                    backend,
+                ));
+            }
+            other => return Err(format!("job {i} did not complete: {other:?}")),
+        }
+    }
+    Ok((results, latency))
+}
+
+/// `(encoded result bytes, backend name)` per workload index.
+type DirectResults = Vec<(Vec<u8>, String)>;
+
+/// Replays the workload on a direct single-worker runtime with the same
+/// explicit seeds, returning encoded result bytes per workload index.
+fn run_direct(
+    workload: &[accel::kernel::Kernel],
+    seeds: &[u64],
+) -> Result<DirectResults, Box<dyn std::error::Error>> {
+    let rt = Runtime::start(RuntimeConfig {
+        workers: 1,
+        queue_capacity: workload.len().max(1),
+        policy: DispatchPolicy::PreferSpecialized,
+        seed: MASTER_SEED,
+        default_timeout: None,
+    })?;
+    let handles: Vec<_> = workload
+        .iter()
+        .zip(seeds)
+        .map(|(kernel, &seed)| rt.submit_with(kernel.clone(), JobOptions::with_seed(seed)))
+        .collect::<Result<_, _>>()?;
+    let mut results = Vec::with_capacity(handles.len());
+    for (i, handle) in handles.iter().enumerate() {
+        match handle.wait() {
+            JobOutcome::Completed {
+                execution, backend, ..
+            } => results.push((encode_kernel_result(&execution.result)?, backend)),
+            other => return Err(format!("direct job {i} did not complete: {other:?}").into()),
+        }
+    }
+    let _ = rt.shutdown();
+    Ok(results)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = parse_args().map_err(|e| format!("usage error: {e}"))?;
+    let workload = mixed_workload(args.jobs, MASTER_SEED)?;
+    let seeds = job_seeds(args.jobs, MASTER_SEED);
+
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        max_connections: args.clients + 2,
+        runtime: RuntimeConfig {
+            workers: args.workers,
+            queue_capacity: args.queue,
+            policy: DispatchPolicy::PreferSpecialized,
+            seed: MASTER_SEED,
+            default_timeout: None,
+        },
+    })?;
+    let addr = server.local_addr();
+    println!(
+        "loadgen: {} jobs over {} clients against {addr} ({} workers, queue {})\n",
+        args.jobs, args.clients, args.workers, args.queue
+    );
+
+    let started = Instant::now();
+    let reports: Vec<ClientReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.clients)
+            .map(|c| {
+                let workload = &workload;
+                let seeds = &seeds;
+                scope.spawn(move || run_client(addr, workload, seeds, c, args.clients))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect::<Result<_, _>>()
+    })
+    .map_err(|e| format!("client failed: {e}"))?;
+    let wall = started.elapsed();
+
+    let mut wire_results: Vec<Option<(Vec<u8>, String)>> = vec![None; args.jobs];
+    let mut latency = LatencyHistogram::new();
+    for (results, client_latency) in reports {
+        latency.merge(&client_latency);
+        for (i, bytes, backend) in results {
+            wire_results[i] = Some((bytes, backend));
+        }
+    }
+    println!(
+        "served {} jobs in {:.3}s  ({:.0} jobs/s over the wire)",
+        args.jobs,
+        wall.as_secs_f64(),
+        args.jobs as f64 / wall.as_secs_f64()
+    );
+    println!("client-side completion latency:");
+    for (idx, &count) in latency.counts().iter().enumerate() {
+        if count > 0 {
+            println!("  {:<8} {count}", LatencyHistogram::bucket_label(idx));
+        }
+    }
+
+    let mut probe = Client::connect(addr)?;
+    println!("\nserver stats (over the wire):\n{}", probe.stats()?);
+    drop(probe);
+    let _ = server.shutdown();
+
+    println!("replaying on a direct 1-worker runtime to check determinism ...");
+    let direct = run_direct(&workload, &seeds)?;
+    let mut agreements = 0usize;
+    for (i, pair) in wire_results.iter().enumerate() {
+        let (wire_bytes, wire_backend) = pair.as_ref().expect("every job must report");
+        let (direct_bytes, direct_backend) = &direct[i];
+        assert_eq!(
+            wire_backend, direct_backend,
+            "job {i}: backend routing must not depend on transport"
+        );
+        assert_eq!(
+            wire_bytes, direct_bytes,
+            "job {i}: results must match byte for byte across the wire"
+        );
+        agreements += 1;
+    }
+    println!(
+        "networked ({} clients) and direct (1 worker) runs agree byte-for-byte on all {agreements}/{} results",
+        args.clients, args.jobs
+    );
+    Ok(())
+}

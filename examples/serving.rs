@@ -10,48 +10,11 @@
 //! Run with: `cargo run --release --example serving`
 
 use accel::kernel::Kernel;
-use mem::generators::planted_3sat;
-use numerics::rng::{rng_from_seed, Rng};
+use rebooting_models::workload::mixed_workload;
 use runtime::{DispatchPolicy, JobOutcome, Runtime, RuntimeConfig};
 
 const MASTER_SEED: u64 = 2019;
 const JOBS: usize = 240;
-
-/// A deterministic mixed workload touching every paradigm.
-fn build_workload() -> Result<Vec<Kernel>, Box<dyn std::error::Error>> {
-    let mut rng = rng_from_seed(MASTER_SEED);
-    let semiprimes = [15u64, 21, 33, 35, 55, 77];
-    let bases = ['A', 'C', 'G', 'T'];
-    let mut kernels = Vec::with_capacity(JOBS);
-    for i in 0..JOBS {
-        kernels.push(match i % 4 {
-            0 => Kernel::Factor {
-                n: semiprimes[rng.gen_range(0..semiprimes.len())],
-            },
-            1 => Kernel::Compare {
-                x: rng.gen_range(0.0..1.0),
-                y: rng.gen_range(0.0..1.0),
-            },
-            2 => {
-                let sat = planted_3sat(12, 3.8, rng.gen::<u64>())?;
-                Kernel::SolveSat {
-                    formula: sat.formula,
-                }
-            }
-            _ => {
-                let mut seq = |len: usize| -> String {
-                    (0..len)
-                        .map(|_| bases[rng.gen_range(0..bases.len())])
-                        .collect()
-                };
-                let a = seq(12);
-                let b = seq(12);
-                Kernel::DnaSimilarity { a, b, k: 2 }
-            }
-        });
-    }
-    Ok(kernels)
-}
 
 /// Runs the workload on `workers` threads, returning the outcomes in
 /// submission order (plus the final stats).
@@ -75,7 +38,7 @@ fn serve(
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let workload = build_workload()?;
+    let workload = mixed_workload(JOBS, MASTER_SEED)?;
     println!(
         "serving {} mixed jobs (factor / compare / sat / dna) ...\n",
         workload.len()

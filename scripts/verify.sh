@@ -21,4 +21,7 @@ cargo test -q
 echo "==> workspace tests"
 cargo test -q --release --workspace
 
+echo "==> smoke: loadgen (TCP serving + cross-wire determinism)"
+timeout 180 cargo run --release --example loadgen -- --clients 2 --jobs 24 --workers 2
+
 echo "verify: all checks passed"

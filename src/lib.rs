@@ -1,4 +1,7 @@
 //! Workspace-root helper library for the `rebooting-models` reproduction.
 //!
 //! The actual functionality lives in the workspace crates; this package
-//! exists to own the repository-level `examples/` and `tests/` directories.
+//! owns the repository-level `examples/` and `tests/` directories plus
+//! the [`workload`] generator they share.
+
+pub mod workload;

@@ -1,0 +1,102 @@
+//! The shared mixed workload the examples and smoke tests drive.
+//!
+//! One deterministic generator feeds both `examples/serving.rs` (direct
+//! runtime) and `examples/loadgen.rs` (over the network), so the two can
+//! compare results byte for byte.
+
+use accel::kernel::Kernel;
+use mem::generators::planted_3sat;
+use mem::MemError;
+use numerics::rng::{rng_from_seed, Rng, SeedStream};
+
+/// A deterministic mixed workload touching every paradigm: integer
+/// factoring, oscillator comparison, SAT solving, and DNA similarity,
+/// interleaved round-robin.
+///
+/// # Errors
+///
+/// Propagates [`MemError`] from SAT instance generation (cannot happen
+/// for the sizes used here).
+pub fn mixed_workload(jobs: usize, master_seed: u64) -> Result<Vec<Kernel>, MemError> {
+    let mut rng = rng_from_seed(master_seed);
+    let semiprimes = [15u64, 21, 33, 35, 55, 77];
+    let bases = ['A', 'C', 'G', 'T'];
+    let mut kernels = Vec::with_capacity(jobs);
+    for i in 0..jobs {
+        kernels.push(match i % 4 {
+            0 => Kernel::Factor {
+                n: semiprimes[rng.gen_range(0..semiprimes.len())],
+            },
+            1 => Kernel::Compare {
+                x: rng.gen_range(0.0..1.0),
+                y: rng.gen_range(0.0..1.0),
+            },
+            2 => {
+                let sat = planted_3sat(12, 3.8, rng.gen::<u64>())?;
+                Kernel::SolveSat {
+                    formula: sat.formula,
+                }
+            }
+            _ => {
+                let mut seq = |len: usize| -> String {
+                    (0..len)
+                        .map(|_| bases[rng.gen_range(0..bases.len())])
+                        .collect()
+                };
+                let a = seq(12);
+                let b = seq(12);
+                Kernel::DnaSimilarity { a, b, k: 2 }
+            }
+        });
+    }
+    Ok(kernels)
+}
+
+/// One explicit execution seed per job, derived from the master seed.
+///
+/// Concurrent clients reach the server in nondeterministic order, so
+/// server-assigned job ids differ run to run; pinning each job's seed by
+/// *workload index* instead makes every result a pure function of
+/// `(kernel, seed)` regardless of arrival order, worker count, or
+/// transport.
+#[must_use]
+pub fn job_seeds(jobs: usize, master_seed: u64) -> Vec<u64> {
+    let mut stream = SeedStream::new(master_seed ^ 0xa076_1d64_78bd_642f);
+    (0..jobs).map(|_| stream.next_seed()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_deterministic_and_mixed() {
+        let a = mixed_workload(24, 7).unwrap();
+        let b = mixed_workload(24, 7).unwrap();
+        assert_eq!(a, b);
+        assert!(a.iter().any(|k| matches!(k, Kernel::Factor { .. })));
+        assert!(a.iter().any(|k| matches!(k, Kernel::Compare { .. })));
+        assert!(a.iter().any(|k| matches!(k, Kernel::SolveSat { .. })));
+        assert!(a.iter().any(|k| matches!(k, Kernel::DnaSimilarity { .. })));
+        let c = mixed_workload(24, 8).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn workload_kernels_pass_validation() {
+        for kernel in mixed_workload(48, 2019).unwrap() {
+            kernel.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable_and_distinct() {
+        let a = job_seeds(16, 1);
+        assert_eq!(a, job_seeds(16, 1));
+        assert_ne!(a, job_seeds(16, 2));
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), a.len(), "seeds must not collide");
+    }
+}
