@@ -21,7 +21,7 @@
 //! ```
 
 use crate::accelerator::Accelerator;
-use crate::kernel::{Kernel, KernelExecution};
+use crate::kernel::{CostEstimate, Kernel, KernelExecution};
 use crate::AccelError;
 use std::collections::BTreeMap;
 
@@ -33,6 +33,228 @@ pub enum DispatchPolicy {
     PreferSpecialized,
     /// Use only the backend named "cpu" (the von Neumann baseline).
     CpuOnly,
+    /// Pick the backend with the smallest corrected predicted device time.
+    MinPredictedLatency,
+    /// Pick the backend with the smallest corrected predicted energy.
+    MinPredictedEnergy,
+    /// Prefer the specialized backend, but fall back to the cheapest
+    /// backend (typically the CPU) whenever the specialist's corrected
+    /// estimate would blow the job's deadline budget. With no deadline this
+    /// behaves like [`DispatchPolicy::MinPredictedLatency`].
+    DeadlineAware,
+}
+
+/// The EWMA smoothing weight for predicted-vs-actual corrections.
+pub const CORRECTION_ALPHA: f64 = 0.25;
+
+/// Per-backend multiplicative correction factors on cost estimates,
+/// learned from predicted-vs-actual device time.
+///
+/// A factor of 1.0 means the model is trusted as-is; 2.0 means the backend
+/// has been running twice as slow as predicted, so estimates are doubled
+/// before ranking. Unknown backends default to 1.0.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CorrectionTable {
+    factors: BTreeMap<String, f64>,
+}
+
+impl CorrectionTable {
+    /// An identity table (every factor 1.0).
+    #[must_use]
+    pub fn new() -> Self {
+        CorrectionTable::default()
+    }
+
+    /// The correction factor for a backend (1.0 when unknown).
+    #[must_use]
+    pub fn factor(&self, backend: &str) -> f64 {
+        self.factors.get(backend).copied().unwrap_or(1.0)
+    }
+
+    /// Pins a backend's correction factor (non-finite or non-positive
+    /// values are ignored).
+    pub fn set(&mut self, backend: &str, factor: f64) {
+        if factor.is_finite() && factor > 0.0 {
+            self.factors.insert(backend.to_string(), factor);
+        }
+    }
+
+    /// Folds one predicted-vs-actual observation into the backend's
+    /// factor: `f ← (1−α)·f + α·(actual/predicted)`, with the ratio
+    /// clamped to `[1e-3, 1e3]` so one pathological sample cannot wreck
+    /// the table.
+    pub fn observe(&mut self, backend: &str, predicted_seconds: f64, actual_seconds: f64) {
+        if !(predicted_seconds > 0.0) || !actual_seconds.is_finite() || actual_seconds < 0.0 {
+            return;
+        }
+        let ratio = (actual_seconds / predicted_seconds).clamp(1e-3, 1e3);
+        let current = self.factor(backend);
+        self.factors.insert(
+            backend.to_string(),
+            (1.0 - CORRECTION_ALPHA) * current + CORRECTION_ALPHA * ratio,
+        );
+    }
+
+    /// Iterates `(backend, factor)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.factors.iter().map(|(name, &f)| (name.as_str(), f))
+    }
+}
+
+/// One ranked dispatch plan: the backends to try, best first, with the
+/// corrected estimate the ranking used for each.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// `(backend index, corrected estimate)` in the order dispatch should
+    /// attempt execution. The estimate is `None` when the backend offers
+    /// no cost model for the kernel.
+    pub ranked: Vec<(usize, Option<CostEstimate>)>,
+}
+
+/// The predictive dispatch planner: ranks candidate backends for a kernel
+/// under a policy, using each backend's [`CostEstimate`] scaled by the
+/// EWMA [`CorrectionTable`].
+///
+/// An *adaptive* planner updates its corrections after every execution —
+/// right for a single-threaded host where later routing may benefit from
+/// what earlier jobs revealed. A *frozen* planner never mutates its table,
+/// making routing a pure function of `(kernel, policy, deadline)` — the
+/// property the concurrent `runtime` crate needs so that results do not
+/// depend on scheduling history. Frozen planners are still calibratable
+/// *between* runs: harvest observed corrections from run N's stats and
+/// construct run N+1's planner with them.
+#[derive(Debug, Clone)]
+pub struct Planner {
+    corrections: CorrectionTable,
+    adaptive: bool,
+}
+
+impl Default for Planner {
+    fn default() -> Self {
+        Planner::adaptive()
+    }
+}
+
+impl Planner {
+    /// A planner that keeps learning corrections from every execution.
+    #[must_use]
+    pub fn adaptive() -> Self {
+        Planner {
+            corrections: CorrectionTable::new(),
+            adaptive: true,
+        }
+    }
+
+    /// A planner with fixed corrections; routing never drifts mid-run.
+    #[must_use]
+    pub fn frozen(corrections: CorrectionTable) -> Self {
+        Planner {
+            corrections,
+            adaptive: false,
+        }
+    }
+
+    /// Whether this planner updates corrections online.
+    #[must_use]
+    pub fn is_adaptive(&self) -> bool {
+        self.adaptive
+    }
+
+    /// The current correction table.
+    #[must_use]
+    pub fn corrections(&self) -> &CorrectionTable {
+        &self.corrections
+    }
+
+    /// A backend's estimate for `kernel`, scaled by its correction factor.
+    #[must_use]
+    pub fn corrected(&self, backend: &dyn Accelerator, kernel: &Kernel) -> Option<CostEstimate> {
+        backend
+            .estimate(kernel)
+            .map(|e| e.scaled(self.corrections.factor(backend.name())))
+    }
+
+    fn observe(&mut self, backend: &str, predicted_seconds: f64, actual_seconds: f64) {
+        if self.adaptive {
+            self.corrections
+                .observe(backend, predicted_seconds, actual_seconds);
+        }
+    }
+
+    /// Ranks the backends that should execute `kernel` under `policy`.
+    ///
+    /// `deadline_seconds` is the job's device-time budget, consulted only
+    /// by [`DispatchPolicy::DeadlineAware`].
+    ///
+    /// # Errors
+    ///
+    /// * [`AccelError::NoBackend`] when no registered backend is a
+    ///   candidate under the policy (`tried` lists every registered name).
+    /// * [`AccelError::DeadlineUnmeetable`] when candidates exist but none
+    ///   is predicted to finish inside the deadline budget.
+    pub fn plan(
+        &self,
+        backends: &[Box<dyn Accelerator>],
+        kernel: &Kernel,
+        policy: DispatchPolicy,
+        deadline_seconds: Option<f64>,
+    ) -> Result<Plan, AccelError> {
+        let no_backend = || AccelError::NoBackend {
+            kernel: kernel.describe(),
+            tried: backends.iter().map(|b| b.name().to_string()).collect(),
+        };
+        let candidates: Vec<(usize, Option<CostEstimate>)> = backends
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.supports(kernel))
+            .filter(|(_, b)| policy != DispatchPolicy::CpuOnly || b.name() == "cpu")
+            .map(|(i, b)| (i, self.corrected(b.as_ref(), kernel)))
+            .collect();
+        if candidates.is_empty() {
+            return Err(no_backend());
+        }
+
+        // Ranking keys; backends without an estimate sort last (stable
+        // sort keeps ties in registration order, preserving determinism).
+        let latency = |e: &Option<CostEstimate>| e.map_or(f64::INFINITY, |e| e.device_seconds);
+        let energy = |e: &Option<CostEstimate>| e.map_or(f64::INFINITY, |e| e.energy_joules);
+
+        let mut ranked = candidates;
+        match policy {
+            DispatchPolicy::CpuOnly => {}
+            DispatchPolicy::PreferSpecialized => {
+                // Compatibility ordering: non-CPU backends in registration
+                // order first, then the rest.
+                ranked.sort_by_key(|&(i, _)| backends[i].name() == "cpu");
+            }
+            DispatchPolicy::MinPredictedLatency => {
+                ranked.sort_by(|a, b| latency(&a.1).total_cmp(&latency(&b.1)));
+            }
+            DispatchPolicy::MinPredictedEnergy => {
+                ranked.sort_by(|a, b| energy(&a.1).total_cmp(&energy(&b.1)));
+            }
+            DispatchPolicy::DeadlineAware => {
+                ranked.sort_by(|a, b| latency(&a.1).total_cmp(&latency(&b.1)));
+                if let Some(budget) = deadline_seconds {
+                    // A backend with no estimate cannot be shown to fit.
+                    let best = latency(&ranked[0].1);
+                    ranked.retain(|(_, e)| latency(e) <= budget);
+                    if ranked.is_empty() {
+                        return Err(AccelError::DeadlineUnmeetable {
+                            kernel: kernel.describe(),
+                            deadline_seconds: budget,
+                            best_seconds: best,
+                        });
+                    }
+                    // Among the backends that fit, keep the specialist
+                    // preference: the whole point of the deadline check is
+                    // to fall back only when the specialist cannot finish.
+                    ranked.sort_by_key(|&(i, _)| backends[i].name() == "cpu");
+                }
+            }
+        }
+        Ok(Plan { ranked })
+    }
 }
 
 /// Per-backend aggregate statistics.
@@ -53,13 +275,30 @@ pub struct DispatchReport {
     pub backend: String,
     /// The execution result and cost.
     pub execution: KernelExecution,
+    /// The corrected cost estimate the planner ranked this backend with
+    /// (`None` when the backend offers no model for the kernel).
+    pub estimate: Option<CostEstimate>,
 }
 
-/// The host runtime: backends + dispatch accounting.
+/// Per-dispatch overrides threaded down from the serving layers.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DispatchRequest {
+    /// Reseed the selected backend before executing (see
+    /// [`HostRuntime::dispatch_traced`]).
+    pub reseed: Option<u64>,
+    /// Override the host's default policy for this kernel only.
+    pub policy: Option<DispatchPolicy>,
+    /// Device-time budget in seconds for
+    /// [`DispatchPolicy::DeadlineAware`].
+    pub deadline_seconds: Option<f64>,
+}
+
+/// The host runtime: backends + planner + dispatch accounting.
 pub struct HostRuntime {
     policy: DispatchPolicy,
     backends: Vec<Box<dyn Accelerator>>,
     stats: BTreeMap<String, BackendStats>,
+    planner: Planner,
 }
 
 impl std::fmt::Debug for HostRuntime {
@@ -80,13 +319,28 @@ impl std::fmt::Debug for HostRuntime {
 }
 
 impl HostRuntime {
-    /// Creates an empty host with the given policy.
+    /// Creates an empty host with the given policy and an adaptive
+    /// planner that keeps learning cost corrections online.
     #[must_use]
     pub fn new(policy: DispatchPolicy) -> Self {
         HostRuntime {
             policy,
             backends: Vec::new(),
             stats: BTreeMap::new(),
+            planner: Planner::adaptive(),
+        }
+    }
+
+    /// Creates an empty host whose planner uses *frozen* corrections:
+    /// routing stays a pure function of `(kernel, policy, deadline)`, as
+    /// the concurrent `runtime` workers require for reproducible results.
+    #[must_use]
+    pub fn with_corrections(policy: DispatchPolicy, corrections: CorrectionTable) -> Self {
+        HostRuntime {
+            policy,
+            backends: Vec::new(),
+            stats: BTreeMap::new(),
+            planner: Planner::frozen(corrections),
         }
     }
 
@@ -94,6 +348,12 @@ impl HostRuntime {
     #[must_use]
     pub fn policy(&self) -> DispatchPolicy {
         self.policy
+    }
+
+    /// The planner (its correction table reflects any online learning).
+    #[must_use]
+    pub fn planner(&self) -> &Planner {
+        &self.planner
     }
 
     /// Registers a backend (later registrations have lower priority).
@@ -108,19 +368,23 @@ impl HostRuntime {
         self.backends.iter().map(|b| b.name().to_string()).collect()
     }
 
-    /// Index of the backend the policy selects for `kernel`, if any.
-    fn select(&self, kernel: &Kernel) -> Option<usize> {
-        match self.policy {
-            DispatchPolicy::CpuOnly => self
-                .backends
-                .iter()
-                .position(|b| b.name() == "cpu" && b.supports(kernel)),
-            DispatchPolicy::PreferSpecialized => self
-                .backends
-                .iter()
-                .position(|b| b.name() != "cpu" && b.supports(kernel))
-                .or_else(|| self.backends.iter().position(|b| b.supports(kernel))),
-        }
+    /// Ranks the backends for `kernel` without executing anything.
+    ///
+    /// # Errors
+    ///
+    /// Same planning contract as [`Planner::plan`].
+    pub fn plan(
+        &self,
+        kernel: &Kernel,
+        policy: Option<DispatchPolicy>,
+        deadline_seconds: Option<f64>,
+    ) -> Result<Plan, AccelError> {
+        self.planner.plan(
+            &self.backends,
+            kernel,
+            policy.unwrap_or(self.policy),
+            deadline_seconds,
+        )
     }
 
     /// Dispatches one kernel according to the policy.
@@ -128,10 +392,12 @@ impl HostRuntime {
     /// # Errors
     ///
     /// * [`AccelError::NoBackend`] when nothing supports the kernel under
-    ///   the policy.
+    ///   the policy, listing the backends considered.
+    /// * [`AccelError::DeadlineUnmeetable`] from deadline-aware planning.
     /// * Propagates backend execution failures.
     pub fn dispatch(&mut self, kernel: &Kernel) -> Result<KernelExecution, AccelError> {
-        self.dispatch_traced(kernel, None).map(|r| r.execution)
+        self.dispatch_planned(kernel, &DispatchRequest::default())
+            .map(|r| r.execution)
     }
 
     /// Dispatches one kernel, reporting which backend ran it, optionally
@@ -150,24 +416,74 @@ impl HostRuntime {
         kernel: &Kernel,
         reseed: Option<u64>,
     ) -> Result<DispatchReport, AccelError> {
-        let Some(idx) = self.select(kernel) else {
-            return Err(AccelError::NoBackend {
-                kernel: kernel.describe(),
-            });
-        };
-        let backend = &mut self.backends[idx];
-        let name = backend.name().to_string();
-        if let Some(seed) = reseed {
-            backend.reseed(seed);
+        self.dispatch_planned(
+            kernel,
+            &DispatchRequest {
+                reseed,
+                ..DispatchRequest::default()
+            },
+        )
+    }
+
+    /// Dispatches one kernel with full per-job overrides: the planner
+    /// ranks the candidates, then execution walks the ranking, skipping
+    /// backends that refuse the kernel at execution time.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`HostRuntime::dispatch`]; additionally, when
+    /// every planned backend refuses the kernel at execution time, the
+    /// returned [`AccelError::NoBackend`] lists them in `tried`.
+    pub fn dispatch_planned(
+        &mut self,
+        kernel: &Kernel,
+        request: &DispatchRequest,
+    ) -> Result<DispatchReport, AccelError> {
+        let policy = request.policy.unwrap_or(self.policy);
+        let plan = self
+            .planner
+            .plan(&self.backends, kernel, policy, request.deadline_seconds)?;
+        let mut tried = Vec::with_capacity(plan.ranked.len());
+        for (idx, estimate) in plan.ranked {
+            let backend = &mut self.backends[idx];
+            let name = backend.name().to_string();
+            if let Some(seed) = request.reseed {
+                backend.reseed(seed);
+            }
+            match backend.execute(kernel) {
+                Ok(execution) => {
+                    // Calibration feedback: compare the *raw* model output
+                    // (not the corrected one) against what the execution
+                    // actually cost, so the factor converges to the true
+                    // actual/predicted ratio. No-op for frozen planners.
+                    if let Some(raw) = self.backends[idx].estimate(kernel) {
+                        self.planner.observe(
+                            &name,
+                            raw.device_seconds,
+                            execution.cost.device_seconds,
+                        );
+                    }
+                    let entry = self.stats.entry(name.clone()).or_default();
+                    entry.kernels += 1;
+                    entry.device_seconds += execution.cost.device_seconds;
+                    entry.operations += execution.cost.operations;
+                    return Ok(DispatchReport {
+                        backend: name,
+                        execution,
+                        estimate,
+                    });
+                }
+                Err(AccelError::Unsupported { .. }) => {
+                    // The backend claimed support but refused the kernel;
+                    // fall through to the next-ranked candidate.
+                    tried.push(name);
+                }
+                Err(other) => return Err(other),
+            }
         }
-        let execution = backend.execute(kernel)?;
-        let entry = self.stats.entry(name.clone()).or_default();
-        entry.kernels += 1;
-        entry.device_seconds += execution.cost.device_seconds;
-        entry.operations += execution.cost.operations;
-        Ok(DispatchReport {
-            backend: name,
-            execution,
+        Err(AccelError::NoBackend {
+            kernel: kernel.describe(),
+            tried,
         })
     }
 
@@ -197,7 +513,7 @@ impl HostRuntime {
 mod tests {
     use super::*;
     use crate::accelerator::CpuBackend;
-    use crate::backends::{MemBackend, QuantumBackend};
+    use crate::backends::{standard_pool, MemBackend, QuantumBackend};
     use crate::kernel::KernelResult;
     use mem::generators::planted_3sat;
 
@@ -206,6 +522,14 @@ mod tests {
         host.register(Box::new(QuantumBackend::new(1)));
         host.register(Box::new(MemBackend::new(2)));
         host.register(Box::new(CpuBackend::new(3)));
+        host
+    }
+
+    fn full_host(policy: DispatchPolicy) -> HostRuntime {
+        let mut host = HostRuntime::new(policy);
+        for backend in standard_pool(7).unwrap() {
+            host.register(backend);
+        }
         host
     }
 
@@ -352,6 +676,197 @@ mod tests {
         let expected = a.cost.device_seconds + b.cost.device_seconds;
         assert!((s.device_seconds - expected).abs() < 1e-15);
         assert!((host.total_device_seconds() - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn min_latency_routes_cheap_kernels_to_cpu() {
+        // The crossover story: tiny problem sizes never pay for the
+        // specialist. A semiprime factorization and a scalar comparison
+        // are both predicted cheaper on the CPU than the quantum and
+        // oscillator paths.
+        let mut host = full_host(DispatchPolicy::MinPredictedLatency);
+        let a = host
+            .dispatch_traced(&Kernel::Factor { n: 15 }, None)
+            .unwrap();
+        assert_eq!(a.backend, "cpu");
+        let b = host
+            .dispatch_traced(&Kernel::Compare { x: 0.2, y: 0.6 }, None)
+            .unwrap();
+        assert_eq!(b.backend, "cpu");
+        assert!(a.estimate.unwrap().device_seconds > 0.0);
+    }
+
+    #[test]
+    fn min_energy_routes_compare_to_oscillator() {
+        // §III: the FAST block at 0.936 mW beats a ~1 W core on energy
+        // even though its readout window is slower than three CPU ops.
+        let mut host = full_host(DispatchPolicy::MinPredictedEnergy);
+        let report = host
+            .dispatch_traced(&Kernel::Compare { x: 0.2, y: 0.6 }, None)
+            .unwrap();
+        assert_eq!(report.backend, "oscillator");
+        let latency_choice = full_host(DispatchPolicy::MinPredictedLatency)
+            .plan(&Kernel::Compare { x: 0.2, y: 0.6 }, None, None)
+            .unwrap();
+        assert_ne!(
+            latency_choice.ranked[0].0, 1,
+            "latency and energy policies should disagree on Compare"
+        );
+    }
+
+    #[test]
+    fn per_job_policy_override_wins() {
+        let mut host = full_host(DispatchPolicy::PreferSpecialized);
+        let report = host
+            .dispatch_planned(
+                &Kernel::Compare { x: 0.1, y: 0.9 },
+                &DispatchRequest {
+                    policy: Some(DispatchPolicy::CpuOnly),
+                    ..DispatchRequest::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(report.backend, "cpu");
+        assert_eq!(host.policy(), DispatchPolicy::PreferSpecialized);
+    }
+
+    #[test]
+    fn deadline_aware_prefers_specialist_within_budget() {
+        let mut host = full_host(DispatchPolicy::DeadlineAware);
+        // A one-second device budget is astronomically generous here.
+        let report = host
+            .dispatch_planned(
+                &Kernel::Factor { n: 15 },
+                &DispatchRequest {
+                    deadline_seconds: Some(1.0),
+                    ..DispatchRequest::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(report.backend, "quantum");
+        assert!(report.estimate.unwrap().device_seconds <= 1.0);
+    }
+
+    #[test]
+    fn deadline_aware_falls_back_to_cpu_on_tight_budget() {
+        let mut host = full_host(DispatchPolicy::DeadlineAware);
+        // Quantum factoring is predicted in the tens of microseconds; a
+        // 1 µs budget leaves only the CPU's few nanoseconds.
+        let report = host
+            .dispatch_planned(
+                &Kernel::Factor { n: 15 },
+                &DispatchRequest {
+                    deadline_seconds: Some(1e-6),
+                    ..DispatchRequest::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(report.backend, "cpu");
+        assert!(report.estimate.unwrap().device_seconds <= 1e-6);
+    }
+
+    #[test]
+    fn deadline_aware_rejects_unmeetable_budget() {
+        let mut host = full_host(DispatchPolicy::DeadlineAware);
+        let err = host
+            .dispatch_planned(
+                &Kernel::Factor { n: 15 },
+                &DispatchRequest {
+                    deadline_seconds: Some(1e-15),
+                    ..DispatchRequest::default()
+                },
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, AccelError::DeadlineUnmeetable { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn no_backend_error_lists_candidates_tried() {
+        /// Claims support for everything, refuses everything at execution
+        /// time — the pathological case the `tried` list exists for.
+        struct Liar(&'static str);
+        impl Accelerator for Liar {
+            fn name(&self) -> &str {
+                self.0
+            }
+            fn supports(&self, _kernel: &Kernel) -> bool {
+                true
+            }
+            fn execute(&mut self, kernel: &Kernel) -> Result<KernelExecution, AccelError> {
+                Err(AccelError::Unsupported {
+                    backend: self.0.into(),
+                    kernel: kernel.describe(),
+                })
+            }
+        }
+        let mut host = HostRuntime::new(DispatchPolicy::PreferSpecialized);
+        host.register(Box::new(Liar("alpha")));
+        host.register(Box::new(Liar("beta")));
+        let err = host
+            .dispatch(&Kernel::Compare { x: 0.1, y: 0.2 })
+            .unwrap_err();
+        match err {
+            AccelError::NoBackend { kernel, tried } => {
+                assert!(kernel.contains("compare"));
+                assert_eq!(tried, vec!["alpha".to_string(), "beta".to_string()]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn adaptive_planner_learns_corrections_frozen_does_not() {
+        let kernel = Kernel::Factor { n: 77 };
+        let mut adaptive = full_host(DispatchPolicy::PreferSpecialized);
+        adaptive.dispatch_traced(&kernel, Some(1)).unwrap();
+        assert_ne!(
+            adaptive.planner().corrections().factor("quantum"),
+            1.0,
+            "an execution must move the adaptive factor off identity"
+        );
+
+        let mut frozen = HostRuntime::with_corrections(
+            DispatchPolicy::PreferSpecialized,
+            CorrectionTable::new(),
+        );
+        for backend in standard_pool(7).unwrap() {
+            frozen.register(backend);
+        }
+        frozen.dispatch_traced(&kernel, Some(1)).unwrap();
+        assert_eq!(frozen.planner().corrections().factor("quantum"), 1.0);
+    }
+
+    #[test]
+    fn corrections_steer_routing() {
+        // Pin the CPU's factor up so its (truly cheap) Compare estimate
+        // ranks *worse* than the oscillator window: routing must follow.
+        let mut table = CorrectionTable::new();
+        table.set("cpu", 1e6);
+        let mut host = HostRuntime::with_corrections(DispatchPolicy::MinPredictedLatency, table);
+        for backend in standard_pool(3).unwrap() {
+            host.register(backend);
+        }
+        let report = host
+            .dispatch_traced(&Kernel::Compare { x: 0.3, y: 0.4 }, None)
+            .unwrap();
+        assert_eq!(report.backend, "oscillator");
+    }
+
+    #[test]
+    fn correction_table_ewma_converges_toward_ratio() {
+        let mut table = CorrectionTable::new();
+        for _ in 0..64 {
+            table.observe("q", 1.0, 2.0);
+        }
+        assert!((table.factor("q") - 2.0).abs() < 1e-3);
+        // Garbage observations are ignored.
+        table.observe("q", 0.0, 5.0);
+        table.observe("q", f64::NAN, 5.0);
+        table.observe("q", 1.0, f64::NAN);
+        assert!((table.factor("q") - 2.0).abs() < 1e-3);
     }
 
     #[test]

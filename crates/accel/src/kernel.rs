@@ -269,6 +269,35 @@ pub struct CostReport {
     pub operations: u64,
 }
 
+/// An a-priori prediction of what executing a kernel will cost on one
+/// backend, made *before* dispatch.
+///
+/// This is the planner's currency: where [`CostReport`] accounts for what
+/// an execution *did* cost, a `CostEstimate` predicts what it *will* cost,
+/// so the host can route on predicted latency or energy instead of
+/// registration order. Estimates are model outputs, not measurements —
+/// the dispatch layer tracks predicted-vs-actual error and applies an
+/// EWMA correction factor to keep them honest.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostEstimate {
+    /// Predicted device time in seconds (same modelled-substrate clock as
+    /// [`CostReport::device_seconds`]).
+    pub device_seconds: f64,
+    /// Predicted energy in joules (device power × predicted device time).
+    pub energy_joules: f64,
+}
+
+impl CostEstimate {
+    /// Scales both the time and energy prediction by a correction factor.
+    #[must_use]
+    pub fn scaled(self, factor: f64) -> CostEstimate {
+        CostEstimate {
+            device_seconds: self.device_seconds * factor,
+            energy_joules: self.energy_joules * factor,
+        }
+    }
+}
+
 /// A completed execution: payload + cost.
 #[derive(Debug, Clone, PartialEq)]
 pub struct KernelExecution {

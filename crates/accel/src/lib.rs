@@ -57,6 +57,20 @@ pub enum AccelError {
     NoBackend {
         /// Kernel description.
         kernel: String,
+        /// Names of the candidate backends that were considered (or
+        /// attempted and refused the kernel), in the order tried.
+        tried: Vec<String>,
+    },
+    /// Every candidate backend's corrected cost estimate exceeds the job's
+    /// deadline budget (the `DeadlineAware` policy refuses to start work
+    /// it predicts cannot finish in time).
+    DeadlineUnmeetable {
+        /// Kernel description.
+        kernel: String,
+        /// The job's device-time budget in seconds.
+        deadline_seconds: f64,
+        /// The smallest corrected estimate among the candidates, seconds.
+        best_seconds: f64,
     },
     /// A backend failed while executing.
     Backend {
@@ -73,8 +87,27 @@ impl std::fmt::Display for AccelError {
             AccelError::Unsupported { backend, kernel } => {
                 write!(f, "backend `{backend}` does not support kernel {kernel}")
             }
-            AccelError::NoBackend { kernel } => {
-                write!(f, "no backend supports kernel {kernel}")
+            AccelError::NoBackend { kernel, tried } => {
+                if tried.is_empty() {
+                    write!(f, "no backend supports kernel {kernel}")
+                } else {
+                    write!(
+                        f,
+                        "no backend supports kernel {kernel} (tried: {})",
+                        tried.join(", ")
+                    )
+                }
+            }
+            AccelError::DeadlineUnmeetable {
+                kernel,
+                deadline_seconds,
+                best_seconds,
+            } => {
+                write!(
+                    f,
+                    "no backend can meet the {deadline_seconds:.3e}s deadline for kernel \
+                     {kernel} (best estimate {best_seconds:.3e}s)"
+                )
             }
             AccelError::Backend { backend, source } => {
                 write!(f, "backend `{backend}` failed: {source}")
@@ -110,8 +143,21 @@ mod tests {
     fn errors_display() {
         let e = AccelError::NoBackend {
             kernel: "factor(15)".into(),
+            tried: vec![],
         };
         assert!(e.to_string().contains("factor(15)"));
+        let e = AccelError::NoBackend {
+            kernel: "factor(15)".into(),
+            tried: vec!["quantum".into(), "memcomputing".into()],
+        };
+        let text = e.to_string();
+        assert!(text.contains("tried: quantum, memcomputing"), "{text}");
+        let e = AccelError::DeadlineUnmeetable {
+            kernel: "compare(0.100, 0.200)".into(),
+            deadline_seconds: 1e-9,
+            best_seconds: 3e-9,
+        };
+        assert!(e.to_string().contains("deadline"), "{e}");
     }
 
     #[test]

@@ -1,0 +1,282 @@
+//! E16 — cost-model-driven dispatch: the mixed serving workload under every
+//! routing policy, with the calibration loop closed between rounds.
+//!
+//! Each policy runs the same `src/workload.rs` mix for several rounds; the
+//! correction table harvested from one round's [`RuntimeStats`] seeds the
+//! next round's planner, so the predicted-vs-actual device-time ledger
+//! should converge. Results land in `BENCH_dispatch.json` at the repo root
+//! (throughput, p50/p99 latency, predicted vs actual device seconds, and
+//! the per-round calibration error).
+
+use bench::{banner, eng};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rebooting_models::workload::{job_seeds, mixed_workload};
+use runtime::{
+    CorrectionTable, DispatchPolicy, JobOptions, JobOutcome, Runtime, RuntimeConfig, RuntimeStats,
+};
+use std::time::Instant;
+
+/// Jobs per calibration round.
+const JOBS: usize = 32;
+/// Calibration rounds per policy (round 0 plans uncorrected).
+const ROUNDS: usize = 4;
+/// Master seed for the workload mix and the per-job execution seeds.
+const SEED: u64 = 2019;
+
+const POLICIES: [DispatchPolicy; 5] = [
+    DispatchPolicy::PreferSpecialized,
+    DispatchPolicy::CpuOnly,
+    DispatchPolicy::MinPredictedLatency,
+    DispatchPolicy::MinPredictedEnergy,
+    DispatchPolicy::DeadlineAware,
+];
+
+fn policy_name(policy: DispatchPolicy) -> &'static str {
+    match policy {
+        DispatchPolicy::PreferSpecialized => "prefer-specialized",
+        DispatchPolicy::CpuOnly => "cpu-only",
+        DispatchPolicy::MinPredictedLatency => "min-latency",
+        DispatchPolicy::MinPredictedEnergy => "min-energy",
+        DispatchPolicy::DeadlineAware => "deadline-aware",
+    }
+}
+
+struct RoundReport {
+    stats: RuntimeStats,
+    /// Per-job submit-to-completion wall latencies, seconds, sorted.
+    latencies: Vec<f64>,
+    /// Wall-clock seconds for the whole round.
+    elapsed: f64,
+}
+
+/// Runs the workload once through a serving runtime planning with the
+/// given frozen corrections. Jobs are submitted closed-loop (one in
+/// flight) so per-job latency is clean and the stats EWMAs accumulate in
+/// a deterministic order.
+fn run_round(policy: DispatchPolicy, corrections: &CorrectionTable, jobs: usize) -> RoundReport {
+    let kernels = mixed_workload(jobs, SEED).expect("workload generates");
+    let seeds = job_seeds(jobs, SEED);
+    let rt = Runtime::start(RuntimeConfig {
+        workers: 2,
+        policy,
+        corrections: corrections.clone(),
+        ..RuntimeConfig::default()
+    })
+    .expect("runtime starts");
+    let started = Instant::now();
+    let mut latencies = Vec::with_capacity(jobs);
+    for (kernel, &seed) in kernels.iter().zip(&seeds) {
+        let t0 = Instant::now();
+        let handle = rt
+            .submit_with(kernel.clone(), JobOptions::with_seed(seed))
+            .expect("submit accepted");
+        match handle.wait() {
+            JobOutcome::Completed { .. } => latencies.push(t0.elapsed().as_secs_f64()),
+            other => panic!("job did not complete: {other:?}"),
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    RoundReport {
+        stats: rt.shutdown(),
+        latencies,
+        elapsed,
+    }
+}
+
+/// Runs `ROUNDS` calibration rounds, harvesting each round's corrections
+/// for the next.
+fn run_policy(policy: DispatchPolicy) -> Vec<RoundReport> {
+    let mut corrections = CorrectionTable::new();
+    let mut rounds = Vec::with_capacity(ROUNDS);
+    for _ in 0..ROUNDS {
+        let report = run_round(policy, &corrections, JOBS);
+        corrections = report.stats.calibrated(&corrections);
+        rounds.push(report);
+    }
+    rounds
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    let idx = ((sorted.len() - 1) as f64 * p / 100.0).round() as usize;
+    sorted[idx]
+}
+
+/// Aggregate relative prediction error of a snapshot:
+/// `|predicted − actual| / actual` over total device seconds.
+fn abs_rel_error(stats: &RuntimeStats) -> f64 {
+    let actual = stats.total_device_seconds();
+    if actual > 0.0 {
+        (stats.total_predicted_device_seconds() - actual).abs() / actual
+    } else {
+        0.0
+    }
+}
+
+/// Job-weighted mean of the per-backend EWMA prediction error.
+fn mean_ewma_error(stats: &RuntimeStats) -> f64 {
+    let (mut num, mut den) = (0.0, 0.0);
+    for t in stats.per_backend.values() {
+        num += t.ewma_error * t.jobs as f64;
+        den += t.jobs as f64;
+    }
+    if den > 0.0 {
+        num / den
+    } else {
+        0.0
+    }
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6e}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Renders the whole experiment as the `BENCH_dispatch.json` document.
+fn render_json(results: &[(DispatchPolicy, Vec<RoundReport>)]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"experiment\": \"dispatch_policies\",\n");
+    out.push_str(&format!("  \"jobs_per_round\": {JOBS},\n"));
+    out.push_str(&format!("  \"rounds\": {ROUNDS},\n"));
+    out.push_str(&format!("  \"seed\": {SEED},\n"));
+    out.push_str("  \"policies\": [\n");
+    for (pi, (policy, rounds)) in results.iter().enumerate() {
+        let last = rounds.last().expect("at least one round");
+        out.push_str("    {\n");
+        out.push_str(&format!(
+            "      \"policy\": \"{}\",\n",
+            policy_name(*policy)
+        ));
+        out.push_str(&format!(
+            "      \"throughput_jobs_per_sec\": {},\n",
+            json_num(JOBS as f64 / last.elapsed)
+        ));
+        out.push_str(&format!(
+            "      \"p50_latency_us\": {},\n",
+            json_num(percentile(&last.latencies, 50.0) * 1e6)
+        ));
+        out.push_str(&format!(
+            "      \"p99_latency_us\": {},\n",
+            json_num(percentile(&last.latencies, 99.0) * 1e6)
+        ));
+        out.push_str(&format!(
+            "      \"predicted_device_seconds\": {},\n",
+            json_num(last.stats.total_predicted_device_seconds())
+        ));
+        out.push_str(&format!(
+            "      \"actual_device_seconds\": {},\n",
+            json_num(last.stats.total_device_seconds())
+        ));
+        out.push_str(&format!(
+            "      \"prediction_error\": {},\n",
+            json_num(abs_rel_error(&last.stats))
+        ));
+        out.push_str("      \"jobs_per_backend\": {");
+        let mut first = true;
+        for (name, t) in &last.stats.per_backend {
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            out.push_str(&format!("\"{name}\": {}", t.jobs));
+        }
+        out.push_str("},\n");
+        out.push_str("      \"calibration\": [\n");
+        for (ri, round) in rounds.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"round\": {ri}, \"predicted_device_seconds\": {}, \
+                 \"actual_device_seconds\": {}, \"abs_rel_error\": {}, \
+                 \"mean_ewma_error\": {}}}{}\n",
+                json_num(round.stats.total_predicted_device_seconds()),
+                json_num(round.stats.total_device_seconds()),
+                json_num(abs_rel_error(&round.stats)),
+                json_num(mean_ewma_error(&round.stats)),
+                if ri + 1 < rounds.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("      ]\n");
+        out.push_str(&format!(
+            "    }}{}\n",
+            if pi + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+fn print_experiment() {
+    banner(
+        "E16 dispatch_policies",
+        "cost-model routing + calibration loop (Fig. 1 serving view)",
+    );
+    println!("workload: {JOBS} mixed kernels x {ROUNDS} calibration rounds per policy\n");
+    let mut results = Vec::new();
+    for policy in POLICIES {
+        let rounds = run_policy(policy);
+        let last = rounds.last().expect("rounds ran");
+        println!("policy {:<19}", policy_name(policy));
+        println!(
+            "  throughput {:>10} jobs/s   p50 {:>10} us   p99 {:>10} us",
+            eng(JOBS as f64 / last.elapsed),
+            eng(percentile(&last.latencies, 50.0) * 1e6),
+            eng(percentile(&last.latencies, 99.0) * 1e6),
+        );
+        println!(
+            "  device-s predicted {:>10}  actual {:>10}",
+            eng(last.stats.total_predicted_device_seconds()),
+            eng(last.stats.total_device_seconds()),
+        );
+        let errors: Vec<f64> = rounds.iter().map(|r| abs_rel_error(&r.stats)).collect();
+        println!(
+            "  prediction error by round: {}",
+            errors
+                .iter()
+                .map(|&e| eng(e))
+                .collect::<Vec<_>>()
+                .join(" -> ")
+        );
+        // The calibration loop is deterministic (routing and device costs
+        // are pure functions of the submission), so convergence is a hard
+        // property, not a tendency.
+        assert!(
+            errors.last().expect("rounds ran") <= &(errors[0] + 1e-12),
+            "calibration failed to shrink the prediction error: {errors:?}"
+        );
+        results.push((policy, rounds));
+    }
+    let json = render_json(&results);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dispatch.json");
+    std::fs::write(path, &json).expect("write BENCH_dispatch.json");
+    println!("\nwrote {path}");
+    println!("expected shape: min-latency pulls Compare kernels onto the CPU (ns-scale");
+    println!("estimate) while prefer-specialized keeps them on the oscillator; the");
+    println!("per-round error column shrinks as harvested corrections feed the planner");
+}
+
+fn bench(c: &mut Criterion) {
+    print_experiment();
+    c.bench_function("dispatch/calibrated_round", |b| {
+        b.iter_batched(
+            CorrectionTable::new,
+            |corrections| {
+                let report = run_round(DispatchPolicy::MinPredictedLatency, &corrections, 8);
+                criterion::black_box(report.stats.total_device_seconds())
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -22,7 +22,7 @@ use crate::queue::{JobQueue, PushError};
 use crate::stats::{RuntimeStats, StatsCollector};
 use crate::RuntimeError;
 use accel::accelerator::Accelerator;
-use accel::host::{DispatchPolicy, HostRuntime};
+use accel::host::{CorrectionTable, DispatchPolicy, DispatchRequest, HostRuntime};
 use accel::kernel::{InvalidKernel, Kernel};
 use accel::AccelError;
 use numerics::rng::SeedStream;
@@ -63,7 +63,7 @@ impl std::error::Error for SubmitError {
 }
 
 /// Serving-engine configuration.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RuntimeConfig {
     /// Worker threads, each owning a full backend pool. Must be ≥ 1.
     pub workers: usize,
@@ -75,6 +75,13 @@ pub struct RuntimeConfig {
     pub seed: u64,
     /// Queue timeout applied when a job's [`JobOptions::timeout`] is unset.
     pub default_timeout: Option<Duration>,
+    /// Cost-model correction factors every worker's planner is *frozen*
+    /// with. Workers never adapt corrections mid-run — routing must stay a
+    /// pure function of the submission for reproducibility — but observed
+    /// ratios accumulate in [`RuntimeStats`], and
+    /// [`RuntimeStats::calibrated`] folds them into the table for the next
+    /// runtime.
+    pub corrections: CorrectionTable,
 }
 
 impl Default for RuntimeConfig {
@@ -85,6 +92,7 @@ impl Default for RuntimeConfig {
             policy: DispatchPolicy::PreferSpecialized,
             seed: 0,
             default_timeout: None,
+            corrections: CorrectionTable::new(),
         }
     }
 }
@@ -93,6 +101,10 @@ impl Default for RuntimeConfig {
 struct QueuedJob {
     kernel: Kernel,
     seed: u64,
+    policy: Option<DispatchPolicy>,
+    /// The job's timeout budget, doubling as the `DeadlineAware` planner's
+    /// device-time budget (see [`JobOptions::timeout`]).
+    budget: Option<Duration>,
     state: Arc<JobState>,
     enqueued: Instant,
     deadline: Option<Instant>,
@@ -152,7 +164,7 @@ impl Runtime {
         let mut pool_seeds = SeedStream::new(config.seed ^ 0x9e37_79b9_7f4a_7c15);
         let mut hosts = Vec::with_capacity(config.workers);
         for _ in 0..config.workers {
-            let mut host = HostRuntime::new(config.policy);
+            let mut host = HostRuntime::with_corrections(config.policy, config.corrections.clone());
             for backend in factory(pool_seeds.next_seed()).map_err(RuntimeError::Backend)? {
                 host.register(backend);
             }
@@ -269,6 +281,8 @@ impl Runtime {
         let job = QueuedJob {
             kernel,
             seed: options.seed.unwrap_or_else(|| job_seed(self.seed, id)),
+            policy: options.policy,
+            budget: timeout,
             state,
             enqueued: now,
             deadline: timeout.map(|t| now + t),
@@ -333,38 +347,53 @@ fn worker_loop(shared: &Shared, mut host: HostRuntime) {
 /// chosen by whichever outcome actually won the installation race.
 fn serve_one(shared: &Shared, host: &mut HostRuntime, job: &QueuedJob) {
     let picked_up = Instant::now();
-    if job.deadline.is_some_and(|d| picked_up >= d) {
-        job.state.finish(JobOutcome::TimedOut);
+    let mut predicted_estimate = None;
+    let outcome = if job.deadline.is_some_and(|d| picked_up >= d) {
+        JobOutcome::TimedOut
     } else if job.state.cancel_requested() || job.state.outcome().is_some() {
-        job.state.finish(JobOutcome::Cancelled);
+        JobOutcome::Cancelled
     } else {
-        let outcome = match host.dispatch_traced(&job.kernel, Some(job.seed)) {
-            Ok(report) => JobOutcome::Completed {
-                backend: report.backend,
-                execution: report.execution,
-                wall: picked_up.elapsed(),
-            },
-            Err(err) => JobOutcome::Failed(err.to_string()),
+        let request = DispatchRequest {
+            reseed: Some(job.seed),
+            policy: job.policy,
+            deadline_seconds: job.budget.map(|t| t.as_secs_f64()),
         };
-        job.state.finish(outcome);
-    }
-    // Account the outcome that is actually visible to the caller — a
-    // late-arriving cancel may have beaten any of the branches above.
-    match job.state.outcome() {
-        Some(JobOutcome::Completed {
+        match host.dispatch_planned(&job.kernel, &request) {
+            Ok(report) => {
+                predicted_estimate = report.estimate;
+                JobOutcome::Completed {
+                    backend: report.backend,
+                    execution: report.execution,
+                    wall: picked_up.elapsed(),
+                }
+            }
+            Err(err) => JobOutcome::Failed(err.to_string()),
+        }
+    };
+    // Account the outcome *before* it becomes visible (under the state
+    // lock): a caller that has observed its result is guaranteed to find
+    // the job already counted in the statistics.
+    let installed = job.state.finish_then(outcome, |visible| match visible {
+        JobOutcome::Completed {
             execution,
             wall,
             backend,
-        }) => shared.stats.record_completed(
-            &backend,
+        } => shared.stats.record_completed(
+            backend,
             execution.cost.device_seconds,
             execution.cost.operations,
-            wall,
+            predicted_estimate,
+            *wall,
             job.enqueued.elapsed(),
         ),
-        Some(JobOutcome::Failed(_)) => shared.stats.record_failed(),
-        Some(JobOutcome::TimedOut) => shared.stats.record_timed_out(),
-        Some(JobOutcome::Cancelled) | None => shared.stats.record_cancelled(),
+        JobOutcome::Failed(_) => shared.stats.record_failed(),
+        JobOutcome::TimedOut => shared.stats.record_timed_out(),
+        JobOutcome::Cancelled => shared.stats.record_cancelled(),
+    });
+    if !installed {
+        // A late-arriving cancel won the publish race; it is the only
+        // external installer, and cancellers never touch the stats.
+        shared.stats.record_cancelled();
     }
 }
 
@@ -384,7 +413,7 @@ mod tests {
             queue_capacity: 8,
             policy: DispatchPolicy::CpuOnly,
             seed: 42,
-            default_timeout: None,
+            ..RuntimeConfig::default()
         }
     }
 
@@ -518,7 +547,7 @@ mod tests {
                 queue_capacity: 32,
                 policy: DispatchPolicy::CpuOnly,
                 seed: 7,
-                default_timeout: None,
+                ..RuntimeConfig::default()
             };
             let rt = Runtime::with_backend_factory(config, cpu_pool).unwrap();
             let handles: Vec<_> = (0..24)
@@ -634,10 +663,47 @@ mod tests {
     }
 
     #[test]
+    fn per_job_policy_override_reroutes() {
+        let config = RuntimeConfig {
+            workers: 1,
+            queue_capacity: 8,
+            policy: DispatchPolicy::PreferSpecialized,
+            seed: 3,
+            ..RuntimeConfig::default()
+        };
+        let rt = Runtime::start(config).unwrap();
+        let kernel = Kernel::Compare { x: 0.25, y: 0.5 };
+        let default_run = rt.submit(kernel.clone()).unwrap().wait();
+        let overridden = rt
+            .submit_with(
+                kernel,
+                JobOptions::with_policy(DispatchPolicy::MinPredictedLatency),
+            )
+            .unwrap()
+            .wait();
+        match (&default_run, &overridden) {
+            (
+                JobOutcome::Completed { backend: a, .. },
+                JobOutcome::Completed { backend: b, .. },
+            ) => {
+                assert_eq!(a, "oscillator");
+                assert_eq!(b, "cpu", "min-latency must reroute Compare to the CPU");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let stats = rt.shutdown();
+        assert!(
+            stats.total_predicted_device_seconds() > 0.0,
+            "completions must carry planner predictions into the stats"
+        );
+    }
+
+    #[test]
     fn factory_error_surfaces_at_start() {
         let failing = |_seed: u64| -> Result<Vec<Box<dyn Accelerator>>, AccelError> {
             Err(AccelError::NoBackend {
                 kernel: "pool construction".into(),
+                tried: vec![],
             })
         };
         assert!(matches!(

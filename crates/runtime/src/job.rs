@@ -7,6 +7,7 @@
 //! the race between completion, timeout, and cancellation — and the cell is
 //! write-once thereafter.
 
+use accel::host::DispatchPolicy;
 use accel::kernel::KernelExecution;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -18,6 +19,12 @@ pub struct JobOptions {
     /// Maximum time the job may spend *queued*. A job still waiting when
     /// its deadline passes resolves to [`JobOutcome::TimedOut`] instead of
     /// executing. `None` falls back to the runtime's default timeout.
+    ///
+    /// The timeout doubles as the job's device-time budget under
+    /// [`DispatchPolicy::DeadlineAware`]: the planner refuses backends
+    /// whose corrected estimate exceeds it. Using the *budget* (not
+    /// remaining wall time) keeps routing a pure function of the
+    /// submission, independent of queueing delays.
     pub timeout: Option<Duration>,
     /// Explicit execution seed. When set, the backend is reseeded with
     /// exactly this value instead of one derived from
@@ -26,6 +33,10 @@ pub struct JobOptions {
     /// remote callers racing each other over the network need for
     /// reproducible runs.
     pub seed: Option<u64>,
+    /// Per-job dispatch policy override. `None` uses the runtime's
+    /// configured policy; `Some` reroutes just this job — e.g. a
+    /// latency-critical request on a throughput-tuned runtime.
+    pub policy: Option<DispatchPolicy>,
 }
 
 impl JobOptions {
@@ -43,6 +54,15 @@ impl JobOptions {
     pub fn with_seed(seed: u64) -> Self {
         JobOptions {
             seed: Some(seed),
+            ..Self::default()
+        }
+    }
+
+    /// Options with a per-job dispatch policy override.
+    #[must_use]
+    pub fn with_policy(policy: DispatchPolicy) -> Self {
+        JobOptions {
+            policy: Some(policy),
             ..Self::default()
         }
     }
@@ -98,10 +118,24 @@ impl JobState {
     /// Installs `outcome` if no outcome is set yet, waking all waiters.
     /// Returns whether this call won the installation race.
     pub(crate) fn finish(&self, outcome: JobOutcome) -> bool {
+        self.finish_then(outcome, |_| {})
+    }
+
+    /// Like [`JobState::finish`], but runs `before_publish` on the
+    /// outcome while still holding the state lock — i.e. strictly before
+    /// any waiter can observe it. Workers use this to account a job in
+    /// the runtime statistics so a caller that has seen the result is
+    /// guaranteed to see it counted.
+    pub(crate) fn finish_then(
+        &self,
+        outcome: JobOutcome,
+        before_publish: impl FnOnce(&JobOutcome),
+    ) -> bool {
         let mut slot = self.outcome.lock().unwrap();
         if slot.is_some() {
             return false;
         }
+        before_publish(&outcome);
         *slot = Some(outcome);
         drop(slot);
         self.done.notify_all();

@@ -56,10 +56,11 @@ pub use job::{JobHandle, JobOptions, JobOutcome};
 pub use queue::{JobQueue, PushError};
 pub use stats::{BackendThroughput, LatencyHistogram, RuntimeStats};
 
-// Re-exported so serving callers can pick a routing policy and match on
-// submission-validation failures without depending on `accel` directly.
-pub use accel::host::DispatchPolicy;
-pub use accel::kernel::InvalidKernel;
+// Re-exported so serving callers can pick a routing policy, seed the
+// planner's cost corrections, and match on submission-validation failures
+// without depending on `accel` directly.
+pub use accel::host::{CorrectionTable, DispatchPolicy};
+pub use accel::kernel::{CostEstimate, InvalidKernel};
 
 /// Crate-wide error type.
 #[derive(Debug)]
@@ -98,6 +99,7 @@ mod tests {
         assert!(e.to_string().contains("worker count"));
         let e = RuntimeError::Backend(accel::AccelError::NoBackend {
             kernel: "factor(15)".into(),
+            tried: vec![],
         });
         assert!(e.to_string().contains("factor(15)"));
     }

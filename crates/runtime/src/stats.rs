@@ -4,6 +4,8 @@
 //! [`crate::Runtime::stats`] snapshots it into an owned [`RuntimeStats`]
 //! that renders as a small serving report.
 
+use accel::host::{CorrectionTable, CORRECTION_ALPHA};
+use accel::kernel::CostEstimate;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Mutex;
@@ -93,7 +95,7 @@ impl LatencyHistogram {
 }
 
 /// Aggregate work routed to one backend.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BackendThroughput {
     /// Jobs completed on this backend.
     pub jobs: u64,
@@ -103,6 +105,32 @@ pub struct BackendThroughput {
     pub operations: u64,
     /// Host wall-clock seconds the backend spent executing.
     pub busy_seconds: f64,
+    /// Total device time the planner *predicted* for the jobs it routed
+    /// here (corrected estimates, as used for ranking). Comparing this
+    /// against [`BackendThroughput::device_seconds`] is the
+    /// predicted-vs-actual ledger of the cost model.
+    pub predicted_device_seconds: f64,
+    /// EWMA of the per-job actual/predicted device-time ratio: the
+    /// correction factor a follow-up run should fold into its planner
+    /// (1.0 means the model has been spot-on as corrected).
+    pub ewma_correction: f64,
+    /// EWMA of the per-job relative prediction error
+    /// `|predicted − actual| / actual`; shrinks as calibration converges.
+    pub ewma_error: f64,
+}
+
+impl Default for BackendThroughput {
+    fn default() -> Self {
+        BackendThroughput {
+            jobs: 0,
+            device_seconds: 0.0,
+            operations: 0,
+            busy_seconds: 0.0,
+            predicted_device_seconds: 0.0,
+            ewma_correction: 1.0,
+            ewma_error: 0.0,
+        }
+    }
 }
 
 impl BackendThroughput {
@@ -114,6 +142,30 @@ impl BackendThroughput {
             self.jobs as f64 / self.busy_seconds
         } else {
             0.0
+        }
+    }
+
+    /// Aggregate relative prediction error over the whole snapshot:
+    /// `|predicted − actual| / actual` (0 when nothing ran).
+    #[must_use]
+    pub fn prediction_error(&self) -> f64 {
+        if self.device_seconds > 0.0 {
+            (self.predicted_device_seconds - self.device_seconds).abs() / self.device_seconds
+        } else {
+            0.0
+        }
+    }
+
+    fn observe_prediction(&mut self, predicted: CostEstimate, actual_seconds: f64) {
+        self.predicted_device_seconds += predicted.device_seconds;
+        if predicted.device_seconds > 0.0 && actual_seconds.is_finite() && actual_seconds >= 0.0 {
+            let ratio = (actual_seconds / predicted.device_seconds).clamp(1e-3, 1e3);
+            self.ewma_correction =
+                (1.0 - CORRECTION_ALPHA) * self.ewma_correction + CORRECTION_ALPHA * ratio;
+            let rel_err = (predicted.device_seconds - actual_seconds).abs()
+                / actual_seconds.max(f64::MIN_POSITIVE);
+            self.ewma_error =
+                (1.0 - CORRECTION_ALPHA) * self.ewma_error + CORRECTION_ALPHA * rel_err.min(1e3);
         }
     }
 }
@@ -151,6 +203,40 @@ impl RuntimeStats {
     pub fn settled(&self) -> u64 {
         self.completed + self.failed + self.timed_out + self.cancelled
     }
+
+    /// Total predicted device time across backends (corrected estimates).
+    #[must_use]
+    pub fn total_predicted_device_seconds(&self) -> f64 {
+        self.per_backend
+            .values()
+            .map(|t| t.predicted_device_seconds)
+            .sum()
+    }
+
+    /// Total actual device time across backends.
+    #[must_use]
+    pub fn total_device_seconds(&self) -> f64 {
+        self.per_backend.values().map(|t| t.device_seconds).sum()
+    }
+
+    /// Folds the observed per-backend correction ratios into `base`,
+    /// producing the correction table a follow-up run should plan with.
+    ///
+    /// The workers route with *frozen* corrections (so routing stays
+    /// reproducible), which makes this the calibration loop's hand-off
+    /// point: run with `base`, snapshot, and start the next run with
+    /// `snapshot.calibrated(&base)`. Since predictions were already
+    /// scaled by `base`, the observed ratio composes multiplicatively.
+    #[must_use]
+    pub fn calibrated(&self, base: &CorrectionTable) -> CorrectionTable {
+        let mut table = base.clone();
+        for (name, t) in &self.per_backend {
+            if t.jobs > 0 {
+                table.set(name, base.factor(name) * t.ewma_correction);
+            }
+        }
+        table
+    }
 }
 
 impl fmt::Display for RuntimeStats {
@@ -175,12 +261,14 @@ impl fmt::Display for RuntimeStats {
         for (name, t) in &self.per_backend {
             writeln!(
                 f,
-                "  {:<14} {:>6} jobs  {:>10.1} jobs/s  {:>12.6} device-s  {:>10} ops",
+                "  {:<14} {:>6} jobs  {:>10.1} jobs/s  {:>12.6} device-s  {:>12.6} predicted-s  {:>10} ops  ewma-corr {:>6.3}",
                 name,
                 t.jobs,
                 t.jobs_per_second(),
                 t.device_seconds,
-                t.operations
+                t.predicted_device_seconds,
+                t.operations,
+                t.ewma_correction
             )?;
         }
         writeln!(f, "completion latency:")?;
@@ -246,6 +334,7 @@ impl StatsCollector {
         backend: &str,
         device_seconds: f64,
         operations: u64,
+        predicted: Option<CostEstimate>,
         busy: Duration,
         latency: Duration,
     ) {
@@ -256,6 +345,9 @@ impl StatsCollector {
         entry.device_seconds += device_seconds;
         entry.operations += operations;
         entry.busy_seconds += busy.as_secs_f64();
+        if let Some(predicted) = predicted {
+            entry.observe_prediction(predicted, device_seconds);
+        }
         inner.latency.record(latency);
     }
 
@@ -341,6 +433,10 @@ mod tests {
             "quantum",
             1e-6,
             40,
+            Some(CostEstimate {
+                device_seconds: 2e-6,
+                energy_joules: 5e-5,
+            }),
             Duration::from_millis(2),
             Duration::from_millis(3),
         );
@@ -359,6 +455,45 @@ mod tests {
     }
 
     #[test]
+    fn prediction_tracking_converges_and_calibrates() {
+        let c = StatsCollector::new();
+        // The model consistently predicts half the actual device time.
+        for _ in 0..64 {
+            c.record_completed(
+                "quantum",
+                2e-6,
+                10,
+                Some(CostEstimate {
+                    device_seconds: 1e-6,
+                    energy_joules: 1e-5,
+                }),
+                Duration::from_micros(10),
+                Duration::from_micros(20),
+            );
+        }
+        let s = c.snapshot(0, 1);
+        let t = s.per_backend["quantum"];
+        assert!((t.predicted_device_seconds - 64e-6).abs() < 1e-12);
+        assert!(
+            (t.ewma_correction - 2.0).abs() < 1e-3,
+            "{}",
+            t.ewma_correction
+        );
+        assert!((t.ewma_error - 0.5).abs() < 1e-3, "{}", t.ewma_error);
+        assert!((t.prediction_error() - 0.5).abs() < 1e-9);
+        assert!(s.total_predicted_device_seconds() > 0.0);
+        assert!(s.total_device_seconds() > s.total_predicted_device_seconds());
+
+        // Harvesting folds the observed ratio into the base table.
+        let mut base = CorrectionTable::new();
+        base.set("quantum", 3.0);
+        let next = s.calibrated(&base);
+        assert!((next.factor("quantum") - 6.0).abs() < 1e-2);
+        // Backends with no completed jobs keep their base factor.
+        assert!((next.factor("cpu") - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn display_mentions_backends_and_counters() {
         let c = StatsCollector::new();
         c.record_submitted();
@@ -366,6 +501,7 @@ mod tests {
             "oscillator",
             1e-6,
             1,
+            None,
             Duration::from_micros(50),
             Duration::from_micros(80),
         );

@@ -6,13 +6,14 @@
 //! submissions can therefore be in flight on one connection, and results
 //! may arrive in any order.
 
+use accel::host::DispatchPolicy;
 use accel::kernel::Kernel;
 use runtime::RuntimeStats;
 use std::collections::HashMap;
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 use wire::{
-    decode_response, encode_request, read_frame, write_frame, ErrorCode, Request, Response,
+    decode_response_v, encode_request_v, read_frame, write_frame, ErrorCode, Request, Response,
     WireError, WireOutcome, MIN_SUPPORTED_VERSION, PROTOCOL_VERSION,
 };
 
@@ -24,6 +25,8 @@ pub struct SubmitOptions {
     pub timeout_ms: Option<u64>,
     /// Explicit backend seed; `None` derives one from the job id.
     pub seed: Option<u64>,
+    /// Per-job dispatch-policy override; needs a protocol-v2 connection.
+    pub policy: Option<DispatchPolicy>,
 }
 
 impl SubmitOptions {
@@ -34,6 +37,22 @@ impl SubmitOptions {
             seed: Some(seed),
             ..SubmitOptions::default()
         }
+    }
+
+    /// Options carrying a per-job dispatch-policy override.
+    #[must_use]
+    pub fn with_policy(policy: DispatchPolicy) -> Self {
+        SubmitOptions {
+            policy: Some(policy),
+            ..SubmitOptions::default()
+        }
+    }
+
+    /// Returns a copy with the policy override set.
+    #[must_use]
+    pub fn policy(mut self, policy: DispatchPolicy) -> Self {
+        self.policy = Some(policy);
+        self
     }
 }
 
@@ -126,11 +145,28 @@ impl Client {
     /// [`ClientError::VersionRejected`] with no common version, or a
     /// transport error.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, ClientError> {
+        Self::connect_with_range(addr, MIN_SUPPORTED_VERSION, PROTOCOL_VERSION)
+    }
+
+    /// Connects advertising an explicit protocol-version range — the
+    /// hook for impersonating an older client (e.g. a v1-only peer
+    /// against a v2 server) in compatibility tests.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::connect`].
+    pub fn connect_with_range<A: ToSocketAddrs>(
+        addr: A,
+        min_version: u16,
+        max_version: u16,
+    ) -> Result<Self, ClientError> {
         let stream = TcpStream::connect(addr).map_err(WireError::Io)?;
         let _ = stream.set_nodelay(true);
         let mut client = Client {
             stream,
-            version: 0,
+            // Hello encodes identically under every version; the real
+            // version is installed from the ack below.
+            version: max_version,
             next_id: 1, // id 0 is reserved for connection-level errors
             results: HashMap::new(),
             cancels: HashMap::new(),
@@ -139,8 +175,8 @@ impl Client {
             pongs: HashMap::new(),
         };
         client.write_request(&Request::Hello {
-            min_version: MIN_SUPPORTED_VERSION,
-            max_version: PROTOCOL_VERSION,
+            min_version,
+            max_version,
         })?;
         match client.read_response()? {
             Response::HelloAck { version } => {
@@ -169,7 +205,9 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// Transport errors only — server-side rejection surfaces at `wait`.
+    /// Transport errors — server-side rejection surfaces at `wait` — or
+    /// [`ClientError::Wire`] with [`WireError::Invalid`] when a policy
+    /// override is requested on a connection negotiated below v2.
     pub fn submit(&mut self, kernel: Kernel, options: SubmitOptions) -> Result<u64, ClientError> {
         let ticket = self.next_id;
         self.next_id += 1;
@@ -177,6 +215,7 @@ impl Client {
             request_id: ticket,
             timeout_ms: options.timeout_ms,
             seed: options.seed,
+            policy: options.policy,
             kernel,
         })?;
         Ok(ticket)
@@ -309,14 +348,14 @@ impl Client {
     }
 
     fn write_request(&mut self, request: &Request) -> Result<(), ClientError> {
-        let payload = encode_request(request)?;
+        let payload = encode_request_v(request, self.version)?;
         write_frame(&mut self.stream, &payload)?;
         Ok(())
     }
 
     fn read_response(&mut self) -> Result<Response, ClientError> {
         let payload = read_frame(&mut self.stream)?;
-        Ok(decode_response(&payload)?)
+        Ok(decode_response_v(&payload, self.version)?)
     }
 }
 
@@ -329,7 +368,17 @@ mod tests {
         let opts = SubmitOptions::with_seed(9);
         assert_eq!(opts.seed, Some(9));
         assert_eq!(opts.timeout_ms, None);
+        assert_eq!(opts.policy, None);
         assert_eq!(SubmitOptions::default().seed, None);
+    }
+
+    #[test]
+    fn submit_options_carry_policy() {
+        let opts = SubmitOptions::with_policy(DispatchPolicy::MinPredictedEnergy);
+        assert_eq!(opts.policy, Some(DispatchPolicy::MinPredictedEnergy));
+        let opts = SubmitOptions::with_seed(4).policy(DispatchPolicy::DeadlineAware);
+        assert_eq!(opts.seed, Some(4));
+        assert_eq!(opts.policy, Some(DispatchPolicy::DeadlineAware));
     }
 
     #[test]

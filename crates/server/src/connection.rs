@@ -8,6 +8,7 @@
 //! never interleave.
 
 use crate::server::ServerShared;
+use accel::host::DispatchPolicy;
 use runtime::{JobHandle, JobOptions, SubmitError};
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpStream};
@@ -15,7 +16,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 use wire::{
-    decode_request, encode_response, negotiate, read_frame, write_frame, ErrorCode, Request,
+    decode_request_v, encode_response_v, negotiate, read_frame, write_frame, ErrorCode, Request,
     Response, WireError, WireOutcome, MIN_SUPPORTED_VERSION, PROTOCOL_VERSION,
 };
 
@@ -42,6 +43,9 @@ pub(crate) fn handle_connection(stream: TcpStream, ctx: &ConnectionContext) {
         reader,
         writer,
         ctx,
+        // Hello decodes identically under every version, so the
+        // pre-negotiation default only matters for the error path.
+        version: PROTOCOL_VERSION,
         pending: Arc::new(Mutex::new(HashMap::new())),
         waiters: Vec::new(),
     };
@@ -61,6 +65,10 @@ struct Connection<'a> {
     reader: TcpStream,
     writer: Arc<Mutex<TcpStream>>,
     ctx: &'a ConnectionContext,
+    /// The protocol version negotiated in `handshake`. Every frame after
+    /// the ack — including waiter-thread job results — is encoded and
+    /// decoded at this version, so a v1 client never sees v2 bytes.
+    version: u16,
     pending: PendingJobs,
     waiters: Vec<JoinHandle<()>>,
 }
@@ -78,7 +86,10 @@ impl Connection<'_> {
                 min_version,
                 max_version,
             } => match negotiate(min_version, max_version) {
-                Some(version) => self.send(&Response::HelloAck { version }),
+                Some(version) => {
+                    self.version = version;
+                    self.send(&Response::HelloAck { version })
+                }
                 None => {
                     self.send(&Response::Error {
                         request_id: 0,
@@ -124,8 +135,9 @@ impl Connection<'_> {
                     request_id,
                     timeout_ms,
                     seed,
+                    policy,
                     kernel,
-                } => self.submit(request_id, timeout_ms, seed, kernel),
+                } => self.submit(request_id, timeout_ms, seed, policy, kernel),
                 Request::Cancel { request_id } => self.cancel(request_id),
                 Request::GetStats { request_id } => self.send(&Response::Stats {
                     request_id,
@@ -156,7 +168,7 @@ impl Connection<'_> {
                 return None;
             }
         };
-        match decode_request(&payload) {
+        match decode_request_v(&payload, self.version) {
             Ok(request) => Some(request),
             Err(e) => {
                 self.send(&Response::Error {
@@ -178,6 +190,7 @@ impl Connection<'_> {
         request_id: u64,
         timeout_ms: Option<u64>,
         seed: Option<u64>,
+        policy: Option<DispatchPolicy>,
         kernel: accel::kernel::Kernel,
     ) -> bool {
         if self.pending.lock().unwrap().contains_key(&request_id) {
@@ -190,6 +203,7 @@ impl Connection<'_> {
         let options = JobOptions {
             timeout: timeout_ms.map(Duration::from_millis),
             seed,
+            policy,
         };
         let handle = match self.ctx.shared.runtime.submit_with(kernel, options) {
             Ok(handle) => Arc::new(handle),
@@ -208,6 +222,7 @@ impl Connection<'_> {
             .insert(request_id, Arc::clone(&handle));
         let pending = Arc::clone(&self.pending);
         let writer = Arc::clone(&self.writer);
+        let version = self.version;
         let spawned = std::thread::Builder::new()
             .name(format!("server-job-{request_id}"))
             .spawn(move || {
@@ -219,6 +234,7 @@ impl Connection<'_> {
                         request_id,
                         outcome,
                     },
+                    version,
                 );
             });
         match spawned {
@@ -251,7 +267,7 @@ impl Connection<'_> {
     }
 
     fn send(&self, response: &Response) -> bool {
-        write_response(&self.writer, response)
+        write_response(&self.writer, response, self.version)
     }
 }
 
@@ -265,10 +281,11 @@ fn submit_error_frame(e: &SubmitError) -> (ErrorCode, String) {
     (code, e.to_string())
 }
 
-/// Serializes one response onto the shared socket; returns whether the
-/// write succeeded (a failed write means the peer is gone).
-fn write_response(writer: &Arc<Mutex<TcpStream>>, response: &Response) -> bool {
-    let payload = match encode_response(response) {
+/// Serializes one response onto the shared socket at the connection's
+/// negotiated version; returns whether the write succeeded (a failed
+/// write means the peer is gone).
+fn write_response(writer: &Arc<Mutex<TcpStream>>, response: &Response, version: u16) -> bool {
+    let payload = match encode_response_v(response, version) {
         Ok(p) => p,
         Err(WireError::TooLarge { .. }) | Err(_) => return false,
     };

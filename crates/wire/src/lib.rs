@@ -47,6 +47,7 @@
 //!     request_id: 7,
 //!     timeout_ms: Some(250),
 //!     seed: None,
+//!     policy: None,
 //!     kernel: Kernel::Factor { n: 21 },
 //! };
 //! let bytes = encode_request(&req)?;
@@ -61,8 +62,8 @@ pub mod payload;
 
 pub use frame::{read_frame, write_frame};
 pub use message::{
-    decode_request, decode_response, encode_request, encode_response, negotiate, ErrorCode,
-    Request, Response,
+    decode_request, decode_request_v, decode_response, decode_response_v, encode_request,
+    encode_request_v, encode_response, encode_response_v, negotiate, ErrorCode, Request, Response,
 };
 pub use payload::{
     decode_kernel, decode_kernel_result, encode_kernel, encode_kernel_result, WireOutcome,
@@ -72,7 +73,14 @@ pub use payload::{
 pub const MAGIC: [u8; 4] = *b"RBCM";
 
 /// The protocol version this build speaks.
-pub const PROTOCOL_VERSION: u16 = 1;
+///
+/// Version history:
+///
+/// * **1** — initial protocol: submit/cancel/stats over framed messages.
+/// * **2** — cost-model-driven dispatch: `Submit` carries an optional
+///   per-job [`accel::host::DispatchPolicy`] override, and `Stats` rows
+///   carry predicted device seconds plus the EWMA calibration pair.
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// The oldest protocol version this build still accepts.
 pub const MIN_SUPPORTED_VERSION: u16 = 1;

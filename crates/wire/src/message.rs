@@ -7,9 +7,11 @@
 
 use crate::codec::{ByteReader, ByteWriter};
 use crate::payload::{
-    get_kernel, get_outcome, get_stats, put_kernel, put_outcome, put_stats, WireOutcome,
+    get_kernel, get_outcome, get_policy, get_stats, put_kernel, put_outcome, put_policy, put_stats,
+    WireOutcome,
 };
 use crate::{WireError, MIN_SUPPORTED_VERSION, PROTOCOL_VERSION};
+use accel::host::DispatchPolicy;
 use accel::kernel::Kernel;
 use runtime::RuntimeStats;
 
@@ -36,6 +38,10 @@ pub enum Request {
         timeout_ms: Option<u64>,
         /// Optional explicit backend seed (for cross-run determinism).
         seed: Option<u64>,
+        /// Optional per-job dispatch-policy override. Only encodable at
+        /// protocol version ≥ 2; encoding `Some` on a v1 connection is a
+        /// [`WireError::Invalid`].
+        policy: Option<DispatchPolicy>,
         /// The kernel to execute.
         kernel: Kernel,
     },
@@ -173,12 +179,25 @@ const TAG_CANCEL_RESULT: u8 = 0x84;
 const TAG_STATS: u8 = 0x85;
 const TAG_ERROR: u8 = 0x86;
 
-/// Encodes one request to a frame payload.
+/// Encodes one request to a frame payload at [`PROTOCOL_VERSION`].
 ///
 /// # Errors
 ///
 /// [`WireError::TooLarge`] for out-of-bounds field sizes.
 pub fn encode_request(request: &Request) -> Result<Vec<u8>, WireError> {
+    encode_request_v(request, PROTOCOL_VERSION)
+}
+
+/// Encodes one request to a frame payload at a negotiated protocol
+/// version. `Hello` encodes identically under every version (it must be
+/// readable before negotiation completes).
+///
+/// # Errors
+///
+/// [`WireError::TooLarge`] for out-of-bounds field sizes, or
+/// [`WireError::Invalid`] when the request carries a field the negotiated
+/// version cannot express (a `Submit` policy override on a v1 link).
+pub fn encode_request_v(request: &Request, version: u16) -> Result<Vec<u8>, WireError> {
     let mut w = ByteWriter::new();
     match request {
         Request::Hello {
@@ -197,12 +216,23 @@ pub fn encode_request(request: &Request) -> Result<Vec<u8>, WireError> {
             request_id,
             timeout_ms,
             seed,
+            policy,
             kernel,
         } => {
             w.put_u8(TAG_SUBMIT);
             w.put_u64(*request_id);
             w.put_opt_u64(*timeout_ms);
             w.put_opt_u64(*seed);
+            if version >= 2 {
+                put_policy(&mut w, *policy);
+            } else if policy.is_some() {
+                return Err(WireError::Invalid {
+                    context: "submit policy",
+                    detail: format!(
+                        "dispatch-policy overrides need protocol version 2, link is v{version}"
+                    ),
+                });
+            }
             put_kernel(&mut w, kernel)?;
         }
         Request::Cancel { request_id } => {
@@ -217,12 +247,24 @@ pub fn encode_request(request: &Request) -> Result<Vec<u8>, WireError> {
     Ok(w.into_bytes())
 }
 
-/// Decodes one request from a frame payload, rejecting trailing bytes.
+/// Decodes one request from a frame payload at [`PROTOCOL_VERSION`],
+/// rejecting trailing bytes.
 ///
 /// # Errors
 ///
 /// Any [`WireError`] decoding variant; never panics on hostile input.
 pub fn decode_request(bytes: &[u8]) -> Result<Request, WireError> {
+    decode_request_v(bytes, PROTOCOL_VERSION)
+}
+
+/// Decodes one request from a frame payload at a negotiated protocol
+/// version, rejecting trailing bytes. A v1 `Submit` has no policy byte;
+/// the decoded request gets `policy: None`.
+///
+/// # Errors
+///
+/// Any [`WireError`] decoding variant; never panics on hostile input.
+pub fn decode_request_v(bytes: &[u8], version: u16) -> Result<Request, WireError> {
     let mut r = ByteReader::new(bytes);
     let request = match r.get_u8("request tag")? {
         TAG_HELLO => Request::Hello {
@@ -236,6 +278,11 @@ pub fn decode_request(bytes: &[u8]) -> Result<Request, WireError> {
             request_id: r.get_u64("submit request id")?,
             timeout_ms: r.get_opt_u64("submit timeout")?,
             seed: r.get_opt_u64("submit seed")?,
+            policy: if version >= 2 {
+                get_policy(&mut r)?
+            } else {
+                None
+            },
             kernel: get_kernel(&mut r)?,
         },
         TAG_CANCEL => Request::Cancel {
@@ -255,12 +302,23 @@ pub fn decode_request(bytes: &[u8]) -> Result<Request, WireError> {
     Ok(request)
 }
 
-/// Encodes one response to a frame payload.
+/// Encodes one response to a frame payload at [`PROTOCOL_VERSION`].
 ///
 /// # Errors
 ///
 /// [`WireError::TooLarge`] for out-of-bounds field sizes.
 pub fn encode_response(response: &Response) -> Result<Vec<u8>, WireError> {
+    encode_response_v(response, PROTOCOL_VERSION)
+}
+
+/// Encodes one response to a frame payload at a negotiated protocol
+/// version. `HelloAck` encodes identically under every version; `Stats`
+/// rows carry the prediction-tracking triple only at version ≥ 2.
+///
+/// # Errors
+///
+/// [`WireError::TooLarge`] for out-of-bounds field sizes.
+pub fn encode_response_v(response: &Response, version: u16) -> Result<Vec<u8>, WireError> {
     let mut w = ByteWriter::new();
     match response {
         Response::HelloAck { version } => {
@@ -290,7 +348,7 @@ pub fn encode_response(response: &Response) -> Result<Vec<u8>, WireError> {
         Response::Stats { request_id, stats } => {
             w.put_u8(TAG_STATS);
             w.put_u64(*request_id);
-            put_stats(&mut w, stats)?;
+            put_stats(&mut w, stats, version)?;
         }
         Response::Error {
             request_id,
@@ -306,12 +364,23 @@ pub fn encode_response(response: &Response) -> Result<Vec<u8>, WireError> {
     Ok(w.into_bytes())
 }
 
-/// Decodes one response from a frame payload, rejecting trailing bytes.
+/// Decodes one response from a frame payload at [`PROTOCOL_VERSION`],
+/// rejecting trailing bytes.
 ///
 /// # Errors
 ///
 /// Any [`WireError`] decoding variant; never panics on hostile input.
 pub fn decode_response(bytes: &[u8]) -> Result<Response, WireError> {
+    decode_response_v(bytes, PROTOCOL_VERSION)
+}
+
+/// Decodes one response from a frame payload at a negotiated protocol
+/// version, rejecting trailing bytes.
+///
+/// # Errors
+///
+/// Any [`WireError`] decoding variant; never panics on hostile input.
+pub fn decode_response_v(bytes: &[u8], version: u16) -> Result<Response, WireError> {
     let mut r = ByteReader::new(bytes);
     let response = match r.get_u8("response tag")? {
         TAG_HELLO_ACK => Response::HelloAck {
@@ -339,7 +408,7 @@ pub fn decode_response(bytes: &[u8]) -> Result<Response, WireError> {
         },
         TAG_STATS => Response::Stats {
             request_id: r.get_u64("stats request id")?,
-            stats: get_stats(&mut r)?,
+            stats: get_stats(&mut r, version)?,
         },
         TAG_ERROR => Response::Error {
             request_id: r.get_u64("error request id")?,
@@ -399,12 +468,14 @@ mod tests {
                 request_id: 7,
                 timeout_ms: Some(250),
                 seed: Some(42),
+                policy: Some(DispatchPolicy::MinPredictedLatency),
                 kernel: Kernel::Factor { n: 77 },
             },
             Request::Submit {
                 request_id: 8,
                 timeout_ms: None,
                 seed: None,
+                policy: None,
                 kernel: Kernel::Compare { x: 0.1, y: 0.9 },
             },
             Request::Cancel { request_id: 7 },
@@ -518,11 +589,67 @@ mod tests {
     }
 
     #[test]
+    fn v1_submit_round_trips_without_policy_byte() {
+        let submit = Request::Submit {
+            request_id: 11,
+            timeout_ms: Some(100),
+            seed: Some(5),
+            policy: None,
+            kernel: Kernel::Factor { n: 21 },
+        };
+        let v1 = encode_request_v(&submit, 1).unwrap();
+        let v2 = encode_request_v(&submit, 2).unwrap();
+        // The v2 frame carries exactly one extra byte: the policy slot.
+        assert_eq!(v2.len(), v1.len() + 1);
+        assert_eq!(decode_request_v(&v1, 1).unwrap(), submit);
+        // A v1 frame is NOT a valid v2 frame (the decoder would read the
+        // kernel tag as a policy byte) — versions must be negotiated.
+        assert_ne!(v1, v2);
+    }
+
+    #[test]
+    fn v1_cannot_carry_policy_override() {
+        let submit = Request::Submit {
+            request_id: 11,
+            timeout_ms: None,
+            seed: None,
+            policy: Some(DispatchPolicy::DeadlineAware),
+            kernel: Kernel::Factor { n: 21 },
+        };
+        assert!(matches!(
+            encode_request_v(&submit, 1),
+            Err(WireError::Invalid {
+                context: "submit policy",
+                ..
+            })
+        ));
+        assert!(encode_request_v(&submit, 2).is_ok());
+    }
+
+    #[test]
+    fn hello_and_ack_encode_identically_across_versions() {
+        let hello = Request::Hello {
+            min_version: 1,
+            max_version: 2,
+        };
+        assert_eq!(
+            encode_request_v(&hello, 1).unwrap(),
+            encode_request_v(&hello, 2).unwrap()
+        );
+        let ack = Response::HelloAck { version: 1 };
+        assert_eq!(
+            encode_response_v(&ack, 1).unwrap(),
+            encode_response_v(&ack, 2).unwrap()
+        );
+    }
+
+    #[test]
     fn truncated_envelopes_error_not_panic() {
         let full = encode_request(&Request::Submit {
             request_id: 3,
             timeout_ms: Some(100),
             seed: None,
+            policy: Some(DispatchPolicy::PreferSpecialized),
             kernel: Kernel::Factor { n: 33 },
         })
         .unwrap();

@@ -8,6 +8,7 @@
 
 use crate::codec::{ByteReader, ByteWriter};
 use crate::{WireError, MAX_CLAUSES, MAX_CLAUSE_WIDTH, MAX_SEQUENCE_LEN};
+use accel::host::DispatchPolicy;
 use accel::kernel::{CostReport, Kernel, KernelResult};
 use mem::cnf::{Clause, Formula, Literal};
 use runtime::stats::{BackendThroughput, LatencyHistogram, LATENCY_BUCKETS};
@@ -281,6 +282,37 @@ pub(crate) fn get_cost(r: &mut ByteReader<'_>) -> Result<CostReport, WireError> 
     })
 }
 
+// --------------------------------------------------------------- policies
+
+/// One byte: 0 = no override, 1..=5 = the five [`DispatchPolicy`]
+/// variants. Present in `Submit` payloads only at protocol version ≥ 2.
+pub(crate) fn put_policy(w: &mut ByteWriter, policy: Option<DispatchPolicy>) {
+    let code = match policy {
+        None => 0u8,
+        Some(DispatchPolicy::PreferSpecialized) => 1,
+        Some(DispatchPolicy::CpuOnly) => 2,
+        Some(DispatchPolicy::MinPredictedLatency) => 3,
+        Some(DispatchPolicy::MinPredictedEnergy) => 4,
+        Some(DispatchPolicy::DeadlineAware) => 5,
+    };
+    w.put_u8(code);
+}
+
+pub(crate) fn get_policy(r: &mut ByteReader<'_>) -> Result<Option<DispatchPolicy>, WireError> {
+    match r.get_u8("dispatch policy")? {
+        0 => Ok(None),
+        1 => Ok(Some(DispatchPolicy::PreferSpecialized)),
+        2 => Ok(Some(DispatchPolicy::CpuOnly)),
+        3 => Ok(Some(DispatchPolicy::MinPredictedLatency)),
+        4 => Ok(Some(DispatchPolicy::MinPredictedEnergy)),
+        5 => Ok(Some(DispatchPolicy::DeadlineAware)),
+        tag => Err(WireError::UnknownTag {
+            context: "dispatch policy",
+            tag,
+        }),
+    }
+}
+
 // --------------------------------------------------------------- formulas
 
 pub(crate) fn put_formula(w: &mut ByteWriter, formula: &Formula) -> Result<(), WireError> {
@@ -382,7 +414,14 @@ pub(crate) fn get_outcome(r: &mut ByteReader<'_>) -> Result<WireOutcome, WireErr
 
 // ------------------------------------------------------------------ stats
 
-pub(crate) fn put_stats(w: &mut ByteWriter, stats: &RuntimeStats) -> Result<(), WireError> {
+/// Encodes a stats snapshot at `version`. Version 1 peers receive the
+/// original row layout; version ≥ 2 rows append the prediction-tracking
+/// triple (predicted device seconds, EWMA correction, EWMA error).
+pub(crate) fn put_stats(
+    w: &mut ByteWriter,
+    stats: &RuntimeStats,
+    version: u16,
+) -> Result<(), WireError> {
     w.put_u64(stats.submitted);
     w.put_u64(stats.completed);
     w.put_u64(stats.failed);
@@ -406,6 +445,11 @@ pub(crate) fn put_stats(w: &mut ByteWriter, stats: &RuntimeStats) -> Result<(), 
         w.put_f64(t.device_seconds);
         w.put_u64(t.operations);
         w.put_f64(t.busy_seconds);
+        if version >= 2 {
+            w.put_f64(t.predicted_device_seconds);
+            w.put_f64(t.ewma_correction);
+            w.put_f64(t.ewma_error);
+        }
     }
     w.put_u32(LATENCY_BUCKETS as u32);
     for &count in stats.latency.counts() {
@@ -414,7 +458,7 @@ pub(crate) fn put_stats(w: &mut ByteWriter, stats: &RuntimeStats) -> Result<(), 
     Ok(())
 }
 
-pub(crate) fn get_stats(r: &mut ByteReader<'_>) -> Result<RuntimeStats, WireError> {
+pub(crate) fn get_stats(r: &mut ByteReader<'_>, version: u16) -> Result<RuntimeStats, WireError> {
     let submitted = r.get_u64("stats submitted")?;
     let completed = r.get_u64("stats completed")?;
     let failed = r.get_u64("stats failed")?;
@@ -428,12 +472,18 @@ pub(crate) fn get_stats(r: &mut ByteReader<'_>) -> Result<RuntimeStats, WireErro
     let mut per_backend = BTreeMap::new();
     for _ in 0..backend_count {
         let name = r.get_str("backend name")?;
-        let t = BackendThroughput {
+        let mut t = BackendThroughput {
             jobs: r.get_u64("backend jobs")?,
             device_seconds: r.get_f64("backend device seconds")?,
             operations: r.get_u64("backend operations")?,
             busy_seconds: r.get_f64("backend busy seconds")?,
+            ..BackendThroughput::default()
         };
+        if version >= 2 {
+            t.predicted_device_seconds = r.get_f64("backend predicted seconds")?;
+            t.ewma_correction = r.get_f64("backend ewma correction")?;
+            t.ewma_error = r.get_f64("backend ewma error")?;
+        }
         per_backend.insert(name, t);
     }
     let bucket_count = r.get_count(MAX_SEQUENCE_LEN, 8, "latency buckets")?;
@@ -609,8 +659,7 @@ mod tests {
         assert!(!WireOutcome::Cancelled.is_completed());
     }
 
-    #[test]
-    fn stats_round_trip() {
+    fn sample_stats() -> RuntimeStats {
         let mut per_backend = BTreeMap::new();
         per_backend.insert(
             "memcomputing".to_string(),
@@ -619,11 +668,14 @@ mod tests {
                 device_seconds: 3.5e-3,
                 operations: 90_000,
                 busy_seconds: 0.82,
+                predicted_device_seconds: 3.1e-3,
+                ewma_correction: 1.13,
+                ewma_error: 0.11,
             },
         );
         let mut counts = [0u64; LATENCY_BUCKETS];
         counts[2] = 7;
-        let stats = RuntimeStats {
+        RuntimeStats {
             submitted: 20,
             completed: 12,
             failed: 1,
@@ -635,13 +687,64 @@ mod tests {
             workers: 6,
             per_backend,
             latency: LatencyHistogram::from_counts(counts),
-        };
+        }
+    }
+
+    #[test]
+    fn stats_round_trip_v2() {
+        let stats = sample_stats();
         let mut w = ByteWriter::new();
-        put_stats(&mut w, &stats).unwrap();
+        put_stats(&mut w, &stats, 2).unwrap();
         let bytes = w.into_bytes();
         let mut r = ByteReader::new(&bytes);
-        assert_eq!(get_stats(&mut r).unwrap(), stats);
+        assert_eq!(get_stats(&mut r, 2).unwrap(), stats);
         r.finish().unwrap();
+    }
+
+    #[test]
+    fn stats_v1_drops_prediction_fields() {
+        let stats = sample_stats();
+        let mut w = ByteWriter::new();
+        put_stats(&mut w, &stats, 1).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = get_stats(&mut r, 1).unwrap();
+        r.finish().unwrap();
+        let t = &back.per_backend["memcomputing"];
+        // v1 rows carry no prediction triple; the decoder fills defaults.
+        assert_eq!(t.predicted_device_seconds, 0.0);
+        assert_eq!(t.ewma_correction, 1.0);
+        assert_eq!(t.ewma_error, 0.0);
+        assert_eq!(t.jobs, 12);
+        assert_eq!(t.busy_seconds, 0.82);
+    }
+
+    #[test]
+    fn policies_round_trip() {
+        let policies = [
+            None,
+            Some(DispatchPolicy::PreferSpecialized),
+            Some(DispatchPolicy::CpuOnly),
+            Some(DispatchPolicy::MinPredictedLatency),
+            Some(DispatchPolicy::MinPredictedEnergy),
+            Some(DispatchPolicy::DeadlineAware),
+        ];
+        for policy in policies {
+            let mut w = ByteWriter::new();
+            put_policy(&mut w, policy);
+            let bytes = w.into_bytes();
+            let mut r = ByteReader::new(&bytes);
+            assert_eq!(get_policy(&mut r).unwrap(), policy);
+            r.finish().unwrap();
+        }
+        let mut r = ByteReader::new(&[6]);
+        assert!(matches!(
+            get_policy(&mut r),
+            Err(WireError::UnknownTag {
+                context: "dispatch policy",
+                tag: 6,
+            })
+        ));
     }
 
     #[test]

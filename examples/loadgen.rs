@@ -11,7 +11,11 @@
 //! order must not change a single bit of output.
 //!
 //! Run with: `cargo run --release --example loadgen -- [--clients N]
-//! [--jobs N] [--workers N] [--queue N]`
+//! [--jobs N] [--workers N] [--queue N] [--policy P]` where `P` is one
+//! of `prefer-specialized`, `cpu-only`, `min-latency`, `min-energy`, or
+//! `deadline`. The policy rides the protocol-v2 per-job `Submit` field,
+//! and when it differs from `prefer-specialized` the run also reports
+//! how many jobs the cost-model planner routed differently.
 
 use rebooting_models::workload::{job_seeds, mixed_workload};
 use runtime::stats::LatencyHistogram;
@@ -27,6 +31,21 @@ struct Args {
     jobs: usize,
     workers: usize,
     queue: usize,
+    policy: DispatchPolicy,
+}
+
+fn parse_policy(name: &str) -> Result<DispatchPolicy, String> {
+    match name {
+        "prefer-specialized" => Ok(DispatchPolicy::PreferSpecialized),
+        "cpu-only" => Ok(DispatchPolicy::CpuOnly),
+        "min-latency" => Ok(DispatchPolicy::MinPredictedLatency),
+        "min-energy" => Ok(DispatchPolicy::MinPredictedEnergy),
+        "deadline" => Ok(DispatchPolicy::DeadlineAware),
+        other => Err(format!(
+            "unknown policy {other} (expected prefer-specialized, cpu-only, \
+             min-latency, min-energy, or deadline)"
+        )),
+    }
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -35,14 +54,16 @@ fn parse_args() -> Result<Args, String> {
         jobs: 160,
         workers: 4,
         queue: 64,
+        policy: DispatchPolicy::MinPredictedLatency,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let value = it
-            .next()
-            .ok_or_else(|| format!("{flag} needs a value"))?
-            .parse::<usize>()
-            .map_err(|e| format!("{flag}: {e}"))?;
+        let raw = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+        if flag == "--policy" {
+            args.policy = parse_policy(&raw)?;
+            continue;
+        }
+        let value = raw.parse::<usize>().map_err(|e| format!("{flag}: {e}"))?;
         match flag.as_str() {
             "--clients" => args.clients = value,
             "--jobs" => args.jobs = value,
@@ -67,6 +88,7 @@ fn run_client(
     addr: std::net::SocketAddr,
     workload: &[accel::kernel::Kernel],
     seeds: &[u64],
+    policy: DispatchPolicy,
     client_idx: usize,
     clients: usize,
 ) -> Result<ClientReport, String> {
@@ -78,7 +100,9 @@ fn run_client(
     let started = Instant::now();
     let mut tickets = Vec::with_capacity(mine.len());
     for &i in &mine {
-        let options = SubmitOptions::with_seed(seeds[i]);
+        // The per-job override rides the protocol-v2 Submit field, so
+        // every submission exercises the new wire path.
+        let options = SubmitOptions::with_seed(seeds[i]).policy(policy);
         let ticket = client
             .submit(workload[i].clone(), options)
             .map_err(|e| fail(&e))?;
@@ -112,13 +136,15 @@ type DirectResults = Vec<(Vec<u8>, String)>;
 fn run_direct(
     workload: &[accel::kernel::Kernel],
     seeds: &[u64],
+    policy: DispatchPolicy,
 ) -> Result<DirectResults, Box<dyn std::error::Error>> {
     let rt = Runtime::start(RuntimeConfig {
         workers: 1,
         queue_capacity: workload.len().max(1),
-        policy: DispatchPolicy::PreferSpecialized,
+        policy,
         seed: MASTER_SEED,
         default_timeout: None,
+        ..RuntimeConfig::default()
     })?;
     let handles: Vec<_> = workload
         .iter()
@@ -149,15 +175,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         runtime: RuntimeConfig {
             workers: args.workers,
             queue_capacity: args.queue,
-            policy: DispatchPolicy::PreferSpecialized,
+            policy: args.policy,
             seed: MASTER_SEED,
             default_timeout: None,
+            ..RuntimeConfig::default()
         },
     })?;
     let addr = server.local_addr();
     println!(
-        "loadgen: {} jobs over {} clients against {addr} ({} workers, queue {})\n",
-        args.jobs, args.clients, args.workers, args.queue
+        "loadgen: {} jobs over {} clients against {addr} ({} workers, queue {}, policy {:?})\n",
+        args.jobs, args.clients, args.workers, args.queue, args.policy
     );
 
     let started = Instant::now();
@@ -166,7 +193,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .map(|c| {
                 let workload = &workload;
                 let seeds = &seeds;
-                scope.spawn(move || run_client(addr, workload, seeds, c, args.clients))
+                scope.spawn(move || run_client(addr, workload, seeds, args.policy, c, args.clients))
             })
             .collect();
         handles
@@ -204,7 +231,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let _ = server.shutdown();
 
     println!("replaying on a direct 1-worker runtime to check determinism ...");
-    let direct = run_direct(&workload, &seeds)?;
+    let direct = run_direct(&workload, &seeds, args.policy)?;
     let mut agreements = 0usize;
     for (i, pair) in wire_results.iter().enumerate() {
         let (wire_bytes, wire_backend) = pair.as_ref().expect("every job must report");
@@ -223,5 +250,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "networked ({} clients) and direct (1 worker) runs agree byte-for-byte on all {agreements}/{} results",
         args.clients, args.jobs
     );
+
+    if args.policy != DispatchPolicy::PreferSpecialized {
+        let baseline = run_direct(&workload, &seeds, DispatchPolicy::PreferSpecialized)?;
+        let rerouted = direct
+            .iter()
+            .zip(&baseline)
+            .filter(|((_, b), (_, base))| b != base)
+            .count();
+        println!(
+            "cost-model planner ({:?}) routed {rerouted}/{} jobs to a different \
+             backend than PreferSpecialized",
+            args.policy, args.jobs
+        );
+        if args.policy == DispatchPolicy::MinPredictedLatency && args.jobs >= 2 {
+            assert!(
+                rerouted >= 1,
+                "MinPredictedLatency must reroute at least one job of the mixed workload"
+            );
+        }
+    }
     Ok(())
 }

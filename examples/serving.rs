@@ -28,6 +28,7 @@ fn serve(
         policy: DispatchPolicy::PreferSpecialized,
         seed: MASTER_SEED,
         default_timeout: None,
+        ..RuntimeConfig::default()
     })?;
     let handles: Vec<_> = workload
         .iter()

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Runs the dispatch-policy experiment bench and reports where the JSON
+# landed. Pass --all to run the full figure-regeneration suite instead.
+# Offline like everything else here: no registry dependencies.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--all" ]]; then
+  echo "==> cargo bench (full suite)"
+  cargo bench
+else
+  echo "==> cargo bench -p bench --bench dispatch_policies"
+  cargo bench -p bench --bench dispatch_policies
+fi
+
+if [[ -f BENCH_dispatch.json ]]; then
+  echo "==> BENCH_dispatch.json"
+  cat BENCH_dispatch.json
+fi

@@ -24,6 +24,7 @@ fn test_server(workers: usize, max_connections: usize) -> Server {
             policy: DispatchPolicy::PreferSpecialized,
             seed: 7,
             default_timeout: None,
+            ..RuntimeConfig::default()
         },
     })
     .expect("server must start")
@@ -142,7 +143,7 @@ fn zero_deadline_times_out_over_the_wire() {
     let mut client = Client::connect(server.local_addr()).unwrap();
     let options = SubmitOptions {
         timeout_ms: Some(0),
-        seed: None,
+        ..SubmitOptions::default()
     };
     match client
         .run(Kernel::Compare { x: 0.1, y: 0.9 }, options)
@@ -339,4 +340,97 @@ fn graceful_shutdown_drains_in_flight_jobs() {
     let stats = shutdown.join().unwrap();
     assert_eq!(stats.completed, 6);
     assert_eq!(stats.settled(), 6);
+}
+
+#[test]
+fn v1_client_negotiates_down_and_serves() {
+    // A client that only speaks protocol v1 must still get full service
+    // from a v2 server: the connection negotiates down and every frame
+    // after the ack uses the v1 layout.
+    let server = test_server(1, 2);
+    let mut client = Client::connect_with_range(server.local_addr(), 1, 1).unwrap();
+    assert_eq!(client.version(), 1);
+    client.ping(0xA11CE).unwrap();
+    match client
+        .run(Kernel::Factor { n: 21 }, SubmitOptions::with_seed(3))
+        .unwrap()
+    {
+        WireOutcome::Completed { result, .. } => match result {
+            KernelResult::Factors(p, q) => assert_eq!(p * q, 21),
+            other => panic!("unexpected {other:?}"),
+        },
+        other => panic!("unexpected {other:?}"),
+    }
+    // Stats decode under the v1 row layout (no prediction triple), so
+    // the calibration fields sit at their defaults.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.completed, 1);
+    for t in stats.per_backend.values() {
+        assert_eq!(t.predicted_device_seconds, 0.0);
+        assert_eq!(t.ewma_correction, 1.0);
+    }
+    drop(client);
+    let _ = server.shutdown();
+}
+
+#[test]
+fn v2_stats_carry_prediction_fields_over_the_wire() {
+    let server = test_server(1, 2);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    assert_eq!(client.version(), PROTOCOL_VERSION);
+    assert!(client
+        .run(Kernel::Factor { n: 35 }, SubmitOptions::with_seed(5))
+        .unwrap()
+        .is_completed());
+    let stats = client.stats().unwrap();
+    assert!(
+        stats.total_predicted_device_seconds() > 0.0,
+        "v2 stats must carry the planner's predictions across the wire"
+    );
+    drop(client);
+    let _ = server.shutdown();
+}
+
+#[test]
+fn policy_override_needs_v2_connection() {
+    let server = test_server(1, 2);
+    // On a v1 link the client refuses to encode the override ...
+    let mut v1 = Client::connect_with_range(server.local_addr(), 1, 1).unwrap();
+    let options = SubmitOptions::with_policy(DispatchPolicy::MinPredictedLatency);
+    match v1.submit(Kernel::Compare { x: 0.2, y: 0.8 }, options) {
+        Err(ClientError::Wire(wire::WireError::Invalid { .. })) => {}
+        other => panic!("unexpected {other:?}"),
+    }
+    // ... and the connection stays healthy for policy-free submissions.
+    assert!(v1
+        .run(
+            Kernel::Compare { x: 0.2, y: 0.8 },
+            SubmitOptions::with_seed(1)
+        )
+        .unwrap()
+        .is_completed());
+    drop(v1);
+
+    // On a v2 link the same override rides the Submit frame and reroutes
+    // the job: Compare normally lands on the oscillator, but the cost
+    // model knows the CPU comparison is cheaper than an analog readout
+    // window.
+    let mut v2 = Client::connect(server.local_addr()).unwrap();
+    let options = SubmitOptions::with_seed(1).policy(DispatchPolicy::MinPredictedLatency);
+    match v2.run(Kernel::Compare { x: 0.2, y: 0.8 }, options).unwrap() {
+        WireOutcome::Completed { backend, .. } => assert_eq!(backend, "cpu"),
+        other => panic!("unexpected {other:?}"),
+    }
+    match v2
+        .run(
+            Kernel::Compare { x: 0.2, y: 0.8 },
+            SubmitOptions::with_seed(1),
+        )
+        .unwrap()
+    {
+        WireOutcome::Completed { backend, .. } => assert_eq!(backend, "oscillator"),
+        other => panic!("unexpected {other:?}"),
+    }
+    drop(v2);
+    let _ = server.shutdown();
 }

@@ -45,6 +45,7 @@ fn slow_runtime(workers: usize, queue_capacity: usize, delay: Duration) -> Runti
         policy: DispatchPolicy::PreferSpecialized,
         seed: 1,
         default_timeout: None,
+        ..RuntimeConfig::default()
     };
     Runtime::with_backend_factory(config, move |_seed| {
         Ok(vec![Box::new(SlowBackend { delay }) as Box<dyn Accelerator>])
@@ -208,6 +209,7 @@ fn mixed_workload_routes_to_specialized_backends() {
         policy: DispatchPolicy::PreferSpecialized,
         seed: 9,
         default_timeout: None,
+        ..RuntimeConfig::default()
     })
     .expect("standard pool should start");
     let sat = mem::generators::planted_3sat(10, 3.5, 11).unwrap();

@@ -4,17 +4,29 @@
 //! The contract under test: malformed input always yields a `WireError`,
 //! never a panic and never an attacker-sized allocation.
 
+use accel::host::DispatchPolicy;
 use accel::kernel::{CostReport, Kernel, KernelResult};
 use mem::generators::{planted_3sat, random_ksat};
 use numerics::rng::{rng_from_seed, Rng, StdRng};
 use wire::{
-    decode_kernel, decode_kernel_result, decode_request, decode_response, encode_kernel,
-    encode_kernel_result, encode_request, encode_response, negotiate, read_frame, write_frame,
-    ErrorCode, Request, Response, WireError, WireOutcome, MAGIC, MAX_FRAME_LEN,
-    MIN_SUPPORTED_VERSION, PROTOCOL_VERSION,
+    decode_kernel, decode_kernel_result, decode_request, decode_request_v, decode_response,
+    encode_kernel, encode_kernel_result, encode_request, encode_request_v, encode_response,
+    negotiate, read_frame, write_frame, ErrorCode, Request, Response, WireError, WireOutcome,
+    MAGIC, MAX_FRAME_LEN, MIN_SUPPORTED_VERSION, PROTOCOL_VERSION,
 };
 
 const ROUNDS: usize = 64;
+
+fn random_policy(rng: &mut StdRng) -> Option<DispatchPolicy> {
+    match rng.gen_range(0..6u32) {
+        0 => None,
+        1 => Some(DispatchPolicy::PreferSpecialized),
+        2 => Some(DispatchPolicy::CpuOnly),
+        3 => Some(DispatchPolicy::MinPredictedLatency),
+        4 => Some(DispatchPolicy::MinPredictedEnergy),
+        _ => Some(DispatchPolicy::DeadlineAware),
+    }
+}
 
 fn random_string(rng: &mut StdRng, max_len: usize) -> String {
     let alphabet = ['A', 'C', 'G', 'T', 'x', '\u{00e9}', '\u{2264}'];
@@ -135,6 +147,7 @@ fn random_requests_round_trip() {
                 } else {
                     Some(rng.gen::<u64>())
                 },
+                policy: random_policy(&mut rng),
                 kernel: random_kernel(&mut rng),
             },
             3 => Request::Cancel {
@@ -194,6 +207,7 @@ fn framed_round_trip_and_every_truncation_errors() {
         request_id: 5,
         timeout_ms: Some(1_000),
         seed: Some(99),
+        policy: Some(DispatchPolicy::DeadlineAware),
         kernel: Kernel::SolveSat {
             formula: sat.formula,
         },
@@ -290,6 +304,7 @@ fn corrupted_valid_frames_never_panic() {
         request_id: 1,
         timeout_ms: Some(10),
         seed: None,
+        policy: Some(DispatchPolicy::MinPredictedLatency),
         kernel: random_kernel(&mut rng),
     })
     .unwrap();
@@ -300,4 +315,106 @@ fn corrupted_valid_frames_never_panic() {
             let _ = decode_request(&corrupted);
         }
     }
+}
+
+#[test]
+fn v1_submit_round_trips_against_v2_build() {
+    // A v1 peer's Submit has no policy byte; a server that negotiated
+    // the link down to v1 must decode it unchanged.
+    let mut rng = rng_from_seed(0xBEEF_0001);
+    for round in 0..ROUNDS {
+        let request = Request::Submit {
+            request_id: rng.gen::<u64>(),
+            timeout_ms: Some(rng.gen::<u64>()),
+            seed: Some(rng.gen::<u64>()),
+            policy: None,
+            kernel: random_kernel(&mut rng),
+        };
+        let v1_bytes = encode_request_v(&request, 1).expect("v1 encode");
+        let back = decode_request_v(&v1_bytes, 1).unwrap_or_else(|e| panic!("round {round}: {e}"));
+        assert_eq!(back, request, "round {round}");
+    }
+}
+
+#[test]
+fn v1_encode_rejects_policy_override() {
+    let request = Request::Submit {
+        request_id: 3,
+        timeout_ms: None,
+        seed: None,
+        policy: Some(DispatchPolicy::MinPredictedEnergy),
+        kernel: Kernel::Factor { n: 21 },
+    };
+    assert!(matches!(
+        encode_request_v(&request, 1),
+        Err(WireError::Invalid { .. })
+    ));
+}
+
+#[test]
+fn out_of_range_policy_byte_rejected() {
+    let valid = encode_request(&Request::Submit {
+        request_id: 9,
+        timeout_ms: None,
+        seed: None,
+        policy: Some(DispatchPolicy::CpuOnly),
+        kernel: Kernel::Factor { n: 35 },
+    })
+    .unwrap();
+    // Layout: tag(1) + request_id(8) + opt timeout(1) + opt seed(1), then
+    // the policy byte. Values 0..=5 are defined; everything above must
+    // fail with UnknownTag, never misparse into a kernel.
+    let policy_pos = 1 + 8 + 1 + 1;
+    for bad in [6u8, 7, 42, 0xFF] {
+        let mut corrupted = valid.clone();
+        corrupted[policy_pos] = bad;
+        assert!(
+            matches!(
+                decode_request(&corrupted),
+                Err(WireError::UnknownTag {
+                    context: "dispatch policy",
+                    ..
+                })
+            ),
+            "policy byte {bad} must be rejected"
+        );
+    }
+}
+
+#[test]
+fn policy_byte_fuzz_decodes_or_errors_cleanly() {
+    // Fuzz every value of the new v2 policy byte inside an otherwise
+    // valid frame: each decode either succeeds (0..=5) or errors; the
+    // successful ones must round-trip to one of the six defined states.
+    let valid = encode_request(&Request::Submit {
+        request_id: 1,
+        timeout_ms: None,
+        seed: None,
+        policy: None,
+        kernel: Kernel::Compare { x: 0.5, y: 0.5 },
+    })
+    .unwrap();
+    let policy_pos = 1 + 8 + 1 + 1;
+    let mut decoded = 0;
+    for byte in 0..=255u8 {
+        let mut frame = valid.clone();
+        frame[policy_pos] = byte;
+        match decode_request(&frame) {
+            Ok(Request::Submit { policy, .. }) => {
+                decoded += 1;
+                let reencoded = encode_request(&Request::Submit {
+                    request_id: 1,
+                    timeout_ms: None,
+                    seed: None,
+                    policy,
+                    kernel: Kernel::Compare { x: 0.5, y: 0.5 },
+                })
+                .unwrap();
+                assert_eq!(reencoded, frame, "policy byte {byte} must round-trip");
+            }
+            Ok(other) => panic!("policy byte {byte} decoded as {other:?}"),
+            Err(_) => {}
+        }
+    }
+    assert_eq!(decoded, 6, "exactly the six defined policy codes decode");
 }
