@@ -24,6 +24,7 @@ use crate::accelerator::Accelerator;
 use crate::kernel::{CostEstimate, Kernel, KernelExecution};
 use crate::AccelError;
 use std::collections::BTreeMap;
+use std::time::Duration;
 
 /// How the host picks a backend for a kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -257,6 +258,161 @@ impl Planner {
     }
 }
 
+/// How the dispatcher retries a backend that reports a *transient*
+/// [`AccelError::DeviceFault`] before failing over to the next-ranked
+/// candidate.
+///
+/// Retry `k` (1-based) sleeps `min(base_backoff · 2^(k−1), max_backoff)`
+/// first — capped exponential backoff. Permanent faults are never
+/// retried; they fail over immediately.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Retries after the first faulted attempt (0 = fail over at once).
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            base_backoff: Duration::from_micros(200),
+            max_backoff: Duration::from_millis(5),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that retries without sleeping — what deterministic tests
+    /// and bounded-wall-clock chaos runs use.
+    #[must_use]
+    pub fn no_backoff(max_retries: u32) -> Self {
+        RetryPolicy {
+            max_retries,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        }
+    }
+
+    /// The backoff before retry number `retry` (1-based).
+    #[must_use]
+    pub fn backoff(&self, retry: u32) -> Duration {
+        if self.base_backoff.is_zero() {
+            return Duration::ZERO;
+        }
+        let shift = retry.saturating_sub(1).min(16);
+        (self.base_backoff * (1u32 << shift)).min(self.max_backoff)
+    }
+}
+
+/// When the dispatcher quarantines a backend and how often it probes for
+/// recovery.
+///
+/// A backend that fault-exhausts `threshold` consecutive dispatches is
+/// quarantined: the dispatch walk skips it so the pool degrades
+/// gracefully instead of burning retries on dead hardware. Every
+/// `probe_interval`-th dispatch that would have used the backend probes
+/// it instead; a successful probe lifts the quarantine.
+///
+/// Quarantine is history-dependent: with it enabled, routing depends on
+/// the order dispatches were served, so workloads that need routing to be
+/// a pure function of the job (e.g. byte-for-byte determinism checks
+/// across worker counts) should use [`QuarantinePolicy::disabled`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuarantinePolicy {
+    /// Consecutive fault-exhausted dispatches before quarantine
+    /// (`u32::MAX` disables quarantine entirely).
+    pub threshold: u32,
+    /// Quarantined-candidate dispatches between recovery probes.
+    pub probe_interval: u64,
+}
+
+impl Default for QuarantinePolicy {
+    fn default() -> Self {
+        QuarantinePolicy {
+            threshold: 2,
+            probe_interval: 8,
+        }
+    }
+}
+
+impl QuarantinePolicy {
+    /// Never quarantine (routing stays a pure function of the job).
+    #[must_use]
+    pub fn disabled() -> Self {
+        QuarantinePolicy {
+            threshold: u32::MAX,
+            probe_interval: u64::MAX,
+        }
+    }
+
+    /// Whether this policy can ever quarantine a backend.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.threshold != u32::MAX
+    }
+}
+
+/// Fault and failover counters the host accumulates across dispatches.
+///
+/// The serving runtime drains this after every dispatch (success *or*
+/// failure — a failed dispatch returns no report to hang counters on) and
+/// folds it into `RuntimeStats`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultLedger {
+    /// Faulted execution attempts per backend name.
+    pub faults_by_backend: BTreeMap<String, u64>,
+    /// Same-backend retries performed after transient faults.
+    pub retries: u64,
+    /// Jobs that completed on a backend other than their first-ranked
+    /// candidate because an earlier candidate faulted or was quarantined.
+    pub reroutes: u64,
+    /// Backends newly placed under quarantine.
+    pub quarantine_events: u64,
+    /// Recovery probes sent to quarantined backends.
+    pub recovery_probes: u64,
+}
+
+impl FaultLedger {
+    /// Total faulted execution attempts across backends.
+    #[must_use]
+    pub fn total_faults(&self) -> u64 {
+        self.faults_by_backend.values().sum()
+    }
+
+    /// Whether anything has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.faults_by_backend.is_empty()
+            && self.retries == 0
+            && self.reroutes == 0
+            && self.quarantine_events == 0
+            && self.recovery_probes == 0
+    }
+
+    /// Adds every counter of `other` into this ledger.
+    pub fn merge(&mut self, other: &FaultLedger) {
+        for (name, n) in &other.faults_by_backend {
+            *self.faults_by_backend.entry(name.clone()).or_default() += n;
+        }
+        self.retries += other.retries;
+        self.reroutes += other.reroutes;
+        self.quarantine_events += other.quarantine_events;
+        self.recovery_probes += other.recovery_probes;
+    }
+}
+
+/// Per-backend quarantine bookkeeping.
+#[derive(Debug, Clone, Copy, Default)]
+struct QuarantineEntry {
+    consecutive_exhausted: u32,
+    quarantined: bool,
+    since_probe: u64,
+}
+
 /// Per-backend aggregate statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct BackendStats {
@@ -278,6 +434,13 @@ pub struct DispatchReport {
     /// The corrected cost estimate the planner ranked this backend with
     /// (`None` when the backend offers no model for the kernel).
     pub estimate: Option<CostEstimate>,
+    /// Execution attempts this dispatch made, including faulted ones.
+    pub attempts: u32,
+    /// Faulted attempts encountered along the way (0 = clean dispatch).
+    pub faults: u32,
+    /// Whether the job landed on a backend other than its first-ranked
+    /// candidate because an earlier candidate faulted or was quarantined.
+    pub rerouted: bool,
 }
 
 /// Per-dispatch overrides threaded down from the serving layers.
@@ -299,6 +462,10 @@ pub struct HostRuntime {
     backends: Vec<Box<dyn Accelerator>>,
     stats: BTreeMap<String, BackendStats>,
     planner: Planner,
+    retry: RetryPolicy,
+    quarantine: QuarantinePolicy,
+    quarantine_state: BTreeMap<String, QuarantineEntry>,
+    ledger: FaultLedger,
 }
 
 impl std::fmt::Debug for HostRuntime {
@@ -328,6 +495,10 @@ impl HostRuntime {
             backends: Vec::new(),
             stats: BTreeMap::new(),
             planner: Planner::adaptive(),
+            retry: RetryPolicy::default(),
+            quarantine: QuarantinePolicy::default(),
+            quarantine_state: BTreeMap::new(),
+            ledger: FaultLedger::default(),
         }
     }
 
@@ -341,6 +512,97 @@ impl HostRuntime {
             backends: Vec::new(),
             stats: BTreeMap::new(),
             planner: Planner::frozen(corrections),
+            retry: RetryPolicy::default(),
+            quarantine: QuarantinePolicy::default(),
+            quarantine_state: BTreeMap::new(),
+            ledger: FaultLedger::default(),
+        }
+    }
+
+    /// Sets how transient device faults are retried.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// The retry policy in effect.
+    #[must_use]
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Sets when faulting backends are quarantined and probed.
+    pub fn set_quarantine_policy(&mut self, quarantine: QuarantinePolicy) {
+        self.quarantine = quarantine;
+    }
+
+    /// The quarantine policy in effect.
+    #[must_use]
+    pub fn quarantine_policy(&self) -> QuarantinePolicy {
+        self.quarantine
+    }
+
+    /// Names of the backends currently under quarantine.
+    #[must_use]
+    pub fn quarantined_backends(&self) -> Vec<String> {
+        self.quarantine_state
+            .iter()
+            .filter(|(_, e)| e.quarantined)
+            .map(|(name, _)| name.clone())
+            .collect()
+    }
+
+    /// Takes the fault/failover counters accumulated since the last
+    /// drain, leaving the ledger empty. The serving runtime calls this
+    /// after every dispatch and folds the result into its statistics.
+    pub fn drain_faults(&mut self) -> FaultLedger {
+        std::mem::take(&mut self.ledger)
+    }
+
+    /// Whether the dispatch walk should skip this quarantined candidate,
+    /// counting down to (and accounting for) recovery probes.
+    fn quarantine_gate(&mut self, name: &str) -> bool {
+        if !self.quarantine.is_enabled() {
+            return false;
+        }
+        let interval = self.quarantine.probe_interval.max(1);
+        let Some(entry) = self.quarantine_state.get_mut(name) else {
+            return false;
+        };
+        if !entry.quarantined {
+            return false;
+        }
+        entry.since_probe += 1;
+        if entry.since_probe >= interval {
+            entry.since_probe = 0;
+            self.ledger.recovery_probes += 1;
+            false
+        } else {
+            true
+        }
+    }
+
+    /// A successful execution clears the backend's fault history and any
+    /// quarantine.
+    fn note_success(&mut self, name: &str) {
+        if let Some(entry) = self.quarantine_state.get_mut(name) {
+            *entry = QuarantineEntry::default();
+        }
+    }
+
+    /// A fault-exhausted dispatch (permanent fault, or transient retries
+    /// used up) is a strike; enough consecutive strikes quarantine the
+    /// backend.
+    fn note_fault_exhausted(&mut self, name: &str) {
+        if !self.quarantine.is_enabled() {
+            return;
+        }
+        let threshold = self.quarantine.threshold;
+        let entry = self.quarantine_state.entry(name.to_string()).or_default();
+        entry.consecutive_exhausted = entry.consecutive_exhausted.saturating_add(1);
+        if !entry.quarantined && entry.consecutive_exhausted >= threshold {
+            entry.quarantined = true;
+            entry.since_probe = 0;
+            self.ledger.quarantine_events += 1;
         }
     }
 
@@ -426,14 +688,26 @@ impl HostRuntime {
     }
 
     /// Dispatches one kernel with full per-job overrides: the planner
-    /// ranks the candidates, then execution walks the ranking, skipping
-    /// backends that refuse the kernel at execution time.
+    /// ranks the candidates, then execution walks the ranking with fault
+    /// tolerance.
+    ///
+    /// Per candidate: quarantined backends are skipped (except on
+    /// recovery probes); a *transient* [`AccelError::DeviceFault`] is
+    /// retried on the same backend under the [`RetryPolicy`]'s capped
+    /// exponential backoff; a permanent fault — or exhausted retries —
+    /// fails over to the next-ranked candidate and counts a strike toward
+    /// quarantine. Backends that refuse the kernel at execution time
+    /// ([`AccelError::Unsupported`]) fall through as before. Every fault,
+    /// retry, reroute, quarantine event, and probe is accumulated in the
+    /// [`FaultLedger`] (see [`HostRuntime::drain_faults`]).
     ///
     /// # Errors
     ///
     /// Same contract as [`HostRuntime::dispatch`]; additionally, when
     /// every planned backend refuses the kernel at execution time, the
-    /// returned [`AccelError::NoBackend`] lists them in `tried`.
+    /// returned [`AccelError::NoBackend`] lists them in `tried`, and when
+    /// the walk ends on faults the last [`AccelError::DeviceFault`] is
+    /// returned.
     pub fn dispatch_planned(
         &mut self,
         kernel: &Kernel,
@@ -444,47 +718,98 @@ impl HostRuntime {
             .planner
             .plan(&self.backends, kernel, policy, request.deadline_seconds)?;
         let mut tried = Vec::with_capacity(plan.ranked.len());
+        let mut attempts_total = 0u32;
+        let mut faults_total = 0u32;
+        let mut diverted = false;
+        let mut last_fault: Option<AccelError> = None;
         for (idx, estimate) in plan.ranked {
-            let backend = &mut self.backends[idx];
-            let name = backend.name().to_string();
-            if let Some(seed) = request.reseed {
-                backend.reseed(seed);
+            let name = self.backends[idx].name().to_string();
+            if self.quarantine_gate(&name) {
+                diverted = true;
+                tried.push(name);
+                continue;
             }
-            match backend.execute(kernel) {
-                Ok(execution) => {
-                    // Calibration feedback: compare the *raw* model output
-                    // (not the corrected one) against what the execution
-                    // actually cost, so the factor converges to the true
-                    // actual/predicted ratio. No-op for frozen planners.
-                    if let Some(raw) = self.backends[idx].estimate(kernel) {
-                        self.planner.observe(
-                            &name,
-                            raw.device_seconds,
-                            execution.cost.device_seconds,
-                        );
+            if let Some(seed) = request.reseed {
+                self.backends[idx].reseed(seed);
+            }
+            let mut retries = 0u32;
+            loop {
+                attempts_total += 1;
+                match self.backends[idx].execute(kernel) {
+                    Ok(execution) => {
+                        self.note_success(&name);
+                        if diverted {
+                            self.ledger.reroutes += 1;
+                        }
+                        // Calibration feedback: compare the *raw* model
+                        // output (not the corrected one) against what the
+                        // execution actually cost, so the factor converges
+                        // to the true actual/predicted ratio. No-op for
+                        // frozen planners.
+                        if let Some(raw) = self.backends[idx].estimate(kernel) {
+                            self.planner.observe(
+                                &name,
+                                raw.device_seconds,
+                                execution.cost.device_seconds,
+                            );
+                        }
+                        let entry = self.stats.entry(name.clone()).or_default();
+                        entry.kernels += 1;
+                        entry.device_seconds += execution.cost.device_seconds;
+                        entry.operations += execution.cost.operations;
+                        return Ok(DispatchReport {
+                            backend: name,
+                            execution,
+                            estimate,
+                            attempts: attempts_total,
+                            faults: faults_total,
+                            rerouted: diverted,
+                        });
                     }
-                    let entry = self.stats.entry(name.clone()).or_default();
-                    entry.kernels += 1;
-                    entry.device_seconds += execution.cost.device_seconds;
-                    entry.operations += execution.cost.operations;
-                    return Ok(DispatchReport {
-                        backend: name,
-                        execution,
-                        estimate,
-                    });
+                    Err(AccelError::Unsupported { .. }) => {
+                        // The backend claimed support but refused the
+                        // kernel; fall through to the next-ranked
+                        // candidate. Not a fault, so not a reroute either.
+                        tried.push(name.clone());
+                        break;
+                    }
+                    Err(fault @ AccelError::DeviceFault { .. }) => {
+                        faults_total += 1;
+                        *self
+                            .ledger
+                            .faults_by_backend
+                            .entry(name.clone())
+                            .or_default() += 1;
+                        let transient = matches!(
+                            fault,
+                            AccelError::DeviceFault {
+                                transient: true,
+                                ..
+                            }
+                        );
+                        if transient && retries < self.retry.max_retries {
+                            retries += 1;
+                            self.ledger.retries += 1;
+                            let backoff = self.retry.backoff(retries);
+                            if !backoff.is_zero() {
+                                std::thread::sleep(backoff);
+                            }
+                            continue;
+                        }
+                        self.note_fault_exhausted(&name);
+                        diverted = true;
+                        tried.push(name.clone());
+                        last_fault = Some(fault);
+                        break;
+                    }
+                    Err(other) => return Err(other),
                 }
-                Err(AccelError::Unsupported { .. }) => {
-                    // The backend claimed support but refused the kernel;
-                    // fall through to the next-ranked candidate.
-                    tried.push(name);
-                }
-                Err(other) => return Err(other),
             }
         }
-        Err(AccelError::NoBackend {
+        Err(last_fault.unwrap_or_else(|| AccelError::NoBackend {
             kernel: kernel.describe(),
             tried,
-        })
+        }))
     }
 
     /// Runs a workload of kernels, returning the executions in order.
@@ -867,6 +1192,226 @@ mod tests {
         table.observe("q", f64::NAN, 5.0);
         table.observe("q", 1.0, f64::NAN);
         assert!((table.factor("q") - 2.0).abs() < 1e-3);
+    }
+
+    /// Faults permanently for the first `fail_jobs` executions, then
+    /// delegates to a healthy CPU backend.
+    struct FaultyStub {
+        name: &'static str,
+        fail_jobs: u64,
+        executions: u64,
+        inner: CpuBackend,
+    }
+
+    impl FaultyStub {
+        fn new(name: &'static str, fail_jobs: u64) -> Self {
+            FaultyStub {
+                name,
+                fail_jobs,
+                executions: 0,
+                inner: CpuBackend::new(1),
+            }
+        }
+    }
+
+    impl Accelerator for FaultyStub {
+        fn name(&self) -> &str {
+            self.name
+        }
+        fn supports(&self, kernel: &Kernel) -> bool {
+            self.inner.supports(kernel)
+        }
+        fn execute(&mut self, kernel: &Kernel) -> Result<KernelExecution, AccelError> {
+            self.executions += 1;
+            if self.executions <= self.fail_jobs {
+                Err(AccelError::DeviceFault {
+                    backend: self.name.to_string(),
+                    transient: false,
+                    detail: "stub fault".into(),
+                })
+            } else {
+                self.inner.execute(kernel)
+            }
+        }
+    }
+
+    #[test]
+    fn transient_faults_retry_on_the_same_backend() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        let plan = FaultPlan::new(13).with_backend("cpu", FaultSpec::transient(1.0, 2));
+        let mut host = HostRuntime::new(DispatchPolicy::CpuOnly);
+        host.set_retry_policy(RetryPolicy::no_backoff(2));
+        host.register(plan.wrap(Box::new(CpuBackend::new(1))));
+        let burst = plan.decision("cpu", 55).transient_attempts;
+        assert!(burst >= 1);
+        let report = host
+            .dispatch_traced(&Kernel::Factor { n: 15 }, Some(55))
+            .unwrap();
+        assert_eq!(report.backend, "cpu");
+        assert_eq!(report.faults, burst);
+        assert_eq!(report.attempts, burst + 1);
+        assert!(!report.rerouted);
+        let ledger = host.drain_faults();
+        assert_eq!(ledger.retries, u64::from(burst));
+        assert_eq!(ledger.reroutes, 0);
+        assert_eq!(ledger.faults_by_backend["cpu"], u64::from(burst));
+        assert!(
+            host.drain_faults().is_empty(),
+            "drain must reset the ledger"
+        );
+    }
+
+    #[test]
+    fn permanent_fault_fails_over_to_next_candidate() {
+        let mut host = HostRuntime::new(DispatchPolicy::PreferSpecialized);
+        host.register(Box::new(FaultyStub::new("flaky", u64::MAX)));
+        host.register(Box::new(CpuBackend::new(2)));
+        let report = host
+            .dispatch_traced(&Kernel::Factor { n: 15 }, Some(7))
+            .unwrap();
+        assert_eq!(report.backend, "cpu");
+        assert!(report.rerouted);
+        assert_eq!(report.faults, 1, "permanent faults are not retried");
+        let ledger = host.drain_faults();
+        assert_eq!(ledger.faults_by_backend["flaky"], 1);
+        assert_eq!(ledger.reroutes, 1);
+        assert_eq!(ledger.retries, 0);
+    }
+
+    #[test]
+    fn exhausted_retries_fail_over() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        // A burst longer than the retry budget: the dispatcher gives up
+        // on the faulty backend and lands on the healthy one.
+        let plan = FaultPlan::new(21).with_backend("flaky", FaultSpec::transient(1.0, 1));
+        let mut host = HostRuntime::new(DispatchPolicy::PreferSpecialized);
+        host.set_retry_policy(RetryPolicy::no_backoff(0));
+        host.register(plan.wrap(Box::new(FaultyStub::new("flaky", 0))));
+        host.register(Box::new(CpuBackend::new(2)));
+        let report = host
+            .dispatch_traced(&Kernel::Factor { n: 15 }, Some(9))
+            .unwrap();
+        assert_eq!(report.backend, "cpu");
+        assert!(report.rerouted);
+        let ledger = host.drain_faults();
+        assert_eq!(ledger.retries, 0);
+        assert_eq!(ledger.reroutes, 1);
+    }
+
+    #[test]
+    fn every_candidate_faulted_returns_device_fault() {
+        let mut host = HostRuntime::new(DispatchPolicy::CpuOnly);
+        host.set_retry_policy(RetryPolicy::no_backoff(1));
+        host.register(Box::new(FaultyStub::new("cpu", u64::MAX)));
+        let err = host
+            .dispatch_traced(&Kernel::Factor { n: 15 }, Some(3))
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                AccelError::DeviceFault {
+                    transient: false,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        assert_eq!(host.drain_faults().total_faults(), 1);
+    }
+
+    #[test]
+    fn quarantine_skips_dead_backend_and_probes_for_recovery() {
+        let mut host = HostRuntime::new(DispatchPolicy::PreferSpecialized);
+        host.set_retry_policy(RetryPolicy::no_backoff(0));
+        host.set_quarantine_policy(QuarantinePolicy {
+            threshold: 2,
+            probe_interval: 3,
+        });
+        host.register(Box::new(FaultyStub::new("dead", u64::MAX)));
+        host.register(Box::new(CpuBackend::new(2)));
+        let mut ledger = FaultLedger::default();
+        for seed in 0..10u64 {
+            let report = host
+                .dispatch_traced(&Kernel::Factor { n: 15 }, Some(seed))
+                .unwrap();
+            assert_eq!(report.backend, "cpu");
+            assert!(report.rerouted);
+            ledger.merge(&host.drain_faults());
+        }
+        // Dispatches 1–2 strike the dead backend and quarantine it; the
+        // walk then skips it except on every 3rd would-be use (probes at
+        // dispatches 5 and 8), which fault again and keep it quarantined.
+        assert_eq!(ledger.faults_by_backend["dead"], 4);
+        assert_eq!(ledger.quarantine_events, 1);
+        assert_eq!(ledger.recovery_probes, 2);
+        assert_eq!(ledger.reroutes, 10);
+        assert_eq!(host.quarantined_backends(), vec!["dead".to_string()]);
+    }
+
+    #[test]
+    fn successful_probe_lifts_quarantine() {
+        let mut host = HostRuntime::new(DispatchPolicy::PreferSpecialized);
+        host.set_retry_policy(RetryPolicy::no_backoff(0));
+        host.set_quarantine_policy(QuarantinePolicy {
+            threshold: 2,
+            probe_interval: 1,
+        });
+        // Faults twice, then heals.
+        host.register(Box::new(FaultyStub::new("healing", 2)));
+        host.register(Box::new(CpuBackend::new(2)));
+        let mut ledger = FaultLedger::default();
+        for seed in 0..4u64 {
+            let report = host
+                .dispatch_traced(&Kernel::Factor { n: 15 }, Some(seed))
+                .unwrap();
+            ledger.merge(&host.drain_faults());
+            match seed {
+                0 | 1 => assert_eq!(report.backend, "cpu"),
+                // Dispatch 3 probes immediately (interval 1), the backend
+                // has healed, and the quarantine lifts.
+                _ => assert_eq!(report.backend, "healing"),
+            }
+        }
+        assert!(host.quarantined_backends().is_empty());
+        assert_eq!(ledger.quarantine_events, 1);
+        assert_eq!(ledger.recovery_probes, 1);
+        assert_eq!(ledger.faults_by_backend["healing"], 2);
+    }
+
+    #[test]
+    fn disabled_quarantine_keeps_routing_pure() {
+        let mut host = HostRuntime::new(DispatchPolicy::PreferSpecialized);
+        host.set_retry_policy(RetryPolicy::no_backoff(0));
+        host.set_quarantine_policy(QuarantinePolicy::disabled());
+        host.register(Box::new(FaultyStub::new("dead", u64::MAX)));
+        host.register(Box::new(CpuBackend::new(2)));
+        let mut ledger = FaultLedger::default();
+        for seed in 0..6u64 {
+            let report = host
+                .dispatch_traced(&Kernel::Factor { n: 15 }, Some(seed))
+                .unwrap();
+            assert_eq!(report.backend, "cpu");
+            ledger.merge(&host.drain_faults());
+        }
+        // Every dispatch tried the dead backend: no skips, no probes.
+        assert_eq!(ledger.faults_by_backend["dead"], 6);
+        assert_eq!(ledger.quarantine_events, 0);
+        assert_eq!(ledger.recovery_probes, 0);
+        assert!(host.quarantined_backends().is_empty());
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential() {
+        let retry = RetryPolicy {
+            max_retries: 5,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(4),
+        };
+        assert_eq!(retry.backoff(1), Duration::from_millis(1));
+        assert_eq!(retry.backoff(2), Duration::from_millis(2));
+        assert_eq!(retry.backoff(3), Duration::from_millis(4));
+        assert_eq!(retry.backoff(10), Duration::from_millis(4));
+        assert_eq!(RetryPolicy::no_backoff(2).backoff(1), Duration::ZERO);
     }
 
     #[test]

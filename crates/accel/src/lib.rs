@@ -39,6 +39,7 @@
 )]
 pub mod accelerator;
 pub mod backends;
+pub mod fault;
 pub mod host;
 pub mod kernel;
 pub mod stack;
@@ -79,6 +80,20 @@ pub enum AccelError {
         /// Underlying error.
         source: Box<dyn std::error::Error + Send + Sync + 'static>,
     },
+    /// The device itself faulted during execution — the error class the
+    /// dispatcher's retry/failover machinery handles (see
+    /// [`host::RetryPolicy`] and [`fault::FaultPlan`]). Transient faults
+    /// are retried on the same backend with capped exponential backoff;
+    /// permanent faults (and exhausted retries) fail over to the
+    /// next-ranked candidate.
+    DeviceFault {
+        /// Backend name.
+        backend: String,
+        /// Whether the fault is expected to clear on retry.
+        transient: bool,
+        /// Human-readable fault description.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for AccelError {
@@ -111,6 +126,14 @@ impl std::fmt::Display for AccelError {
             }
             AccelError::Backend { backend, source } => {
                 write!(f, "backend `{backend}` failed: {source}")
+            }
+            AccelError::DeviceFault {
+                backend,
+                transient,
+                detail,
+            } => {
+                let kind = if *transient { "transient" } else { "permanent" };
+                write!(f, "backend `{backend}` {kind} device fault: {detail}")
             }
         }
     }
@@ -158,6 +181,13 @@ mod tests {
             best_seconds: 3e-9,
         };
         assert!(e.to_string().contains("deadline"), "{e}");
+        let e = AccelError::DeviceFault {
+            backend: "quantum".into(),
+            transient: true,
+            detail: "injected".into(),
+        };
+        let text = e.to_string();
+        assert!(text.contains("transient device fault"), "{text}");
     }
 
     #[test]

@@ -22,7 +22,10 @@ use crate::queue::{JobQueue, PushError};
 use crate::stats::{RuntimeStats, StatsCollector};
 use crate::RuntimeError;
 use accel::accelerator::Accelerator;
-use accel::host::{CorrectionTable, DispatchPolicy, DispatchRequest, HostRuntime};
+use accel::fault::FaultPlan;
+use accel::host::{
+    CorrectionTable, DispatchPolicy, DispatchRequest, HostRuntime, QuarantinePolicy, RetryPolicy,
+};
 use accel::kernel::{InvalidKernel, Kernel};
 use accel::AccelError;
 use numerics::rng::SeedStream;
@@ -82,6 +85,21 @@ pub struct RuntimeConfig {
     /// [`RuntimeStats::calibrated`] folds them into the table for the next
     /// runtime.
     pub corrections: CorrectionTable,
+    /// Optional deterministic fault-injection plan. When set, every
+    /// worker's backends are wrapped in [`accel::fault::FaultyBackend`]
+    /// (per the plan's per-backend specs) and workers stall per the plan's
+    /// worker-stall schedule. Fault decisions are pure functions of
+    /// `(plan seed, backend name, job seed)`, so chaos runs reproduce
+    /// byte-for-byte across worker counts.
+    pub faults: Option<FaultPlan>,
+    /// Retry/backoff schedule each worker's dispatcher applies to
+    /// transient device faults before failing over.
+    pub retry: RetryPolicy,
+    /// When repeated fault-exhausted dispatches quarantine a backend, and
+    /// how often quarantined backends are probed for recovery. Quarantine
+    /// is history-dependent: runs that must reproduce byte-for-byte across
+    /// worker counts should use [`QuarantinePolicy::disabled`].
+    pub quarantine: QuarantinePolicy,
 }
 
 impl Default for RuntimeConfig {
@@ -93,6 +111,9 @@ impl Default for RuntimeConfig {
             seed: 0,
             default_timeout: None,
             corrections: CorrectionTable::new(),
+            faults: None,
+            retry: RetryPolicy::default(),
+            quarantine: QuarantinePolicy::default(),
         }
     }
 }
@@ -115,6 +136,9 @@ struct Shared {
     queue: JobQueue<QueuedJob>,
     stats: StatsCollector,
     workers: usize,
+    /// The fault plan, if chaos is on — consulted per job for worker
+    /// stalls (backend faults live inside the wrapped backends).
+    faults: Option<FaultPlan>,
 }
 
 /// The concurrent job-serving engine. See the [module docs](self).
@@ -165,7 +189,13 @@ impl Runtime {
         let mut hosts = Vec::with_capacity(config.workers);
         for _ in 0..config.workers {
             let mut host = HostRuntime::with_corrections(config.policy, config.corrections.clone());
+            host.set_retry_policy(config.retry);
+            host.set_quarantine_policy(config.quarantine);
             for backend in factory(pool_seeds.next_seed()).map_err(RuntimeError::Backend)? {
+                let backend = match &config.faults {
+                    Some(plan) => plan.wrap(backend),
+                    None => backend,
+                };
                 host.register(backend);
             }
             hosts.push(host);
@@ -174,6 +204,7 @@ impl Runtime {
             queue: JobQueue::new(config.queue_capacity),
             stats: StatsCollector::new(),
             workers: config.workers,
+            faults: config.faults,
         });
         let handles = hosts
             .into_iter()
@@ -353,12 +384,26 @@ fn serve_one(shared: &Shared, host: &mut HostRuntime, job: &QueuedJob) {
     } else if job.state.cancel_requested() || job.state.outcome().is_some() {
         JobOutcome::Cancelled
     } else {
+        // An injected worker stall delays the job but never changes its
+        // outcome: it runs after the deadline/cancel checks, and results
+        // are pure functions of the job seed regardless of timing.
+        if let Some(stall) = shared
+            .faults
+            .as_ref()
+            .and_then(|p| p.worker_stall(job.seed))
+        {
+            std::thread::sleep(stall);
+        }
         let request = DispatchRequest {
             reseed: Some(job.seed),
             policy: job.policy,
             deadline_seconds: job.budget.map(|t| t.as_secs_f64()),
         };
-        match host.dispatch_planned(&job.kernel, &request) {
+        let dispatched = host.dispatch_planned(&job.kernel, &request);
+        // Failed dispatches return no report, so fault accounting drains
+        // from the host's ledger on both paths.
+        shared.stats.record_faults(&host.drain_faults());
+        match dispatched {
             Ok(report) => {
                 predicted_estimate = report.estimate;
                 JobOutcome::Completed {
@@ -696,6 +741,119 @@ mod tests {
             stats.total_predicted_device_seconds() > 0.0,
             "completions must carry planner predictions into the stats"
         );
+    }
+
+    #[test]
+    fn transient_chaos_retries_and_still_completes_everything() {
+        use accel::fault::{FaultPlan, FaultSpec};
+        let config = RuntimeConfig {
+            workers: 2,
+            queue_capacity: 32,
+            policy: DispatchPolicy::CpuOnly,
+            seed: 9,
+            faults: Some(FaultPlan::new(17).with_backend("cpu", FaultSpec::transient(1.0, 2))),
+            retry: accel::host::RetryPolicy::no_backoff(2),
+            quarantine: accel::host::QuarantinePolicy::disabled(),
+            ..RuntimeConfig::default()
+        };
+        let rt = Runtime::with_backend_factory(config, cpu_pool).unwrap();
+        let handles: Vec<_> = (0..16)
+            .map(|i| {
+                rt.submit(Kernel::Compare {
+                    x: i as f64 / 16.0,
+                    y: 0.25,
+                })
+                .unwrap()
+            })
+            .collect();
+        for h in &handles {
+            assert!(h.wait().is_completed());
+        }
+        let stats = rt.shutdown();
+        assert_eq!(stats.completed, 16);
+        assert!(
+            stats.backend_faults >= 16,
+            "every job faulted at least once"
+        );
+        assert_eq!(stats.retries, stats.backend_faults);
+        assert_eq!(stats.reroutes, 0, "single-backend pool cannot reroute");
+        assert_eq!(stats.per_backend["cpu"].faults, stats.backend_faults);
+    }
+
+    #[test]
+    fn permanent_chaos_reroutes_to_healthy_backend() {
+        use accel::fault::{FaultPlan, FaultSpec};
+        let config = RuntimeConfig {
+            workers: 1,
+            queue_capacity: 16,
+            policy: DispatchPolicy::PreferSpecialized,
+            seed: 5,
+            faults: Some(FaultPlan::new(3).with_backend("quantum", FaultSpec::permanent(1.0))),
+            quarantine: accel::host::QuarantinePolicy::disabled(),
+            ..RuntimeConfig::default()
+        };
+        let rt = Runtime::start(config).unwrap();
+        let handles: Vec<_> = (0..6)
+            .map(|_| rt.submit(Kernel::Factor { n: 15 }).unwrap())
+            .collect();
+        for h in &handles {
+            match h.wait() {
+                JobOutcome::Completed { backend, .. } => {
+                    assert_eq!(backend, "cpu", "quantum is dead; cpu must absorb the work");
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        let stats = rt.shutdown();
+        assert_eq!(stats.reroutes, 6);
+        assert_eq!(stats.per_backend["quantum"].faults, 6);
+        assert_eq!(stats.quarantine_events, 0);
+    }
+
+    #[test]
+    fn chaos_results_match_clean_baseline() {
+        use accel::fault::{FaultPlan, FaultSpec};
+        // Transient faults + worker stalls delay jobs but never perturb
+        // results: the faulty wrapper re-reseeds the inner backend before
+        // the delegated attempt.
+        let run = |faults: Option<FaultPlan>, workers: usize| -> Vec<JobOutcome> {
+            let config = RuntimeConfig {
+                workers,
+                queue_capacity: 32,
+                policy: DispatchPolicy::CpuOnly,
+                seed: 11,
+                faults,
+                retry: accel::host::RetryPolicy::no_backoff(3),
+                quarantine: accel::host::QuarantinePolicy::disabled(),
+                ..RuntimeConfig::default()
+            };
+            let rt = Runtime::with_backend_factory(config, cpu_pool).unwrap();
+            let handles: Vec<_> = (0..12)
+                .map(|i| {
+                    rt.submit(Kernel::DnaSimilarity {
+                        a: "ACGTACGTACGTACGT".into(),
+                        b: "ACGTTCGTACGAACGT".into(),
+                        k: 2 + (i % 3),
+                    })
+                    .unwrap()
+                })
+                .collect();
+            handles.iter().map(JobHandle::wait).collect()
+        };
+        let plan = FaultPlan::new(23)
+            .with_backend("cpu", FaultSpec::transient(0.8, 3))
+            .with_worker_stall(0.5, Duration::from_micros(200));
+        let clean = run(None, 1);
+        let chaotic = run(Some(plan), 4);
+        for (a, b) in clean.iter().zip(&chaotic) {
+            match (a, b) {
+                (
+                    JobOutcome::Completed { execution: ea, .. },
+                    JobOutcome::Completed { execution: eb, .. },
+                ) => assert_eq!(ea.result, eb.result),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
     }
 
     #[test]

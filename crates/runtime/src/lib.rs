@@ -57,9 +57,11 @@ pub use queue::{JobQueue, PushError};
 pub use stats::{BackendThroughput, LatencyHistogram, RuntimeStats};
 
 // Re-exported so serving callers can pick a routing policy, seed the
-// planner's cost corrections, and match on submission-validation failures
-// without depending on `accel` directly.
-pub use accel::host::{CorrectionTable, DispatchPolicy};
+// planner's cost corrections, configure fault injection and failover, and
+// match on submission-validation failures without depending on `accel`
+// directly.
+pub use accel::fault::{FaultPlan, FaultSpec};
+pub use accel::host::{CorrectionTable, DispatchPolicy, QuarantinePolicy, RetryPolicy};
 pub use accel::kernel::{CostEstimate, InvalidKernel};
 
 /// Crate-wide error type.

@@ -4,7 +4,7 @@
 //! [`crate::Runtime::stats`] snapshots it into an owned [`RuntimeStats`]
 //! that renders as a small serving report.
 
-use accel::host::{CorrectionTable, CORRECTION_ALPHA};
+use accel::host::{CorrectionTable, FaultLedger, CORRECTION_ALPHA};
 use accel::kernel::CostEstimate;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -117,6 +117,11 @@ pub struct BackendThroughput {
     /// EWMA of the per-job relative prediction error
     /// `|predicted − actual| / actual`; shrinks as calibration converges.
     pub ewma_error: f64,
+    /// Device faults this backend raised during dispatch (transient and
+    /// permanent alike, including faults on attempts that were later
+    /// retried or failed over). A backend can accumulate faults without
+    /// completing any jobs.
+    pub faults: u64,
 }
 
 impl Default for BackendThroughput {
@@ -129,6 +134,7 @@ impl Default for BackendThroughput {
             predicted_device_seconds: 0.0,
             ewma_correction: 1.0,
             ewma_error: 0.0,
+            faults: 0,
         }
     }
 }
@@ -195,6 +201,19 @@ pub struct RuntimeStats {
     pub per_backend: BTreeMap<String, BackendThroughput>,
     /// Queue-to-completion latency of completed jobs.
     pub latency: LatencyHistogram,
+    /// Device faults raised by backends during dispatch (sum of the
+    /// per-backend [`BackendThroughput::faults`] counters).
+    pub backend_faults: u64,
+    /// Same-backend retries after transient faults.
+    pub retries: u64,
+    /// Jobs that completed on a different backend than first tried
+    /// because an earlier candidate faulted or was quarantined.
+    pub reroutes: u64,
+    /// Backends placed under quarantine after repeated fault-exhausted
+    /// dispatches.
+    pub quarantine_events: u64,
+    /// Recovery probes sent to quarantined backends.
+    pub recovery_probes: u64,
 }
 
 impl RuntimeStats {
@@ -257,6 +276,17 @@ impl fmt::Display for RuntimeStats {
             self.rejected,
             self.invalid
         )?;
+        if self.backend_faults > 0 || self.reroutes > 0 || self.quarantine_events > 0 {
+            writeln!(
+                f,
+                "faults: {} device faults | {} retries | {} reroutes | {} quarantines | {} probes",
+                self.backend_faults,
+                self.retries,
+                self.reroutes,
+                self.quarantine_events,
+                self.recovery_probes
+            )?;
+        }
         writeln!(f, "per-backend throughput:")?;
         for (name, t) in &self.per_backend {
             writeln!(
@@ -298,6 +328,11 @@ struct Collected {
     cancelled: u64,
     per_backend: BTreeMap<String, BackendThroughput>,
     latency: LatencyHistogram,
+    backend_faults: u64,
+    retries: u64,
+    reroutes: u64,
+    quarantine_events: u64,
+    recovery_probes: u64,
 }
 
 impl StatsCollector {
@@ -351,6 +386,22 @@ impl StatsCollector {
         inner.latency.record(latency);
     }
 
+    /// Folds one dispatch's drained [`FaultLedger`] into the counters.
+    pub(crate) fn record_faults(&self, ledger: &FaultLedger) {
+        if ledger.is_empty() {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        for (backend, &count) in &ledger.faults_by_backend {
+            inner.backend_faults += count;
+            inner.per_backend.entry(backend.clone()).or_default().faults += count;
+        }
+        inner.retries += ledger.retries;
+        inner.reroutes += ledger.reroutes;
+        inner.quarantine_events += ledger.quarantine_events;
+        inner.recovery_probes += ledger.recovery_probes;
+    }
+
     pub(crate) fn snapshot(&self, queue_depth: usize, workers: usize) -> RuntimeStats {
         let inner = self.inner.lock().unwrap().clone();
         RuntimeStats {
@@ -365,6 +416,11 @@ impl StatsCollector {
             workers,
             per_backend: inner.per_backend,
             latency: inner.latency,
+            backend_faults: inner.backend_faults,
+            retries: inner.retries,
+            reroutes: inner.reroutes,
+            quarantine_events: inner.quarantine_events,
+            recovery_probes: inner.recovery_probes,
         }
     }
 }
@@ -491,6 +547,36 @@ mod tests {
         assert!((next.factor("quantum") - 6.0).abs() < 1e-2);
         // Backends with no completed jobs keep their base factor.
         assert!((next.factor("cpu") - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_ledgers_accumulate_into_counters() {
+        let c = StatsCollector::new();
+        let mut ledger = FaultLedger::default();
+        ledger.faults_by_backend.insert("quantum".into(), 3);
+        ledger.faults_by_backend.insert("cpu".into(), 1);
+        ledger.retries = 2;
+        ledger.reroutes = 1;
+        c.record_faults(&ledger);
+        let mut second = FaultLedger::default();
+        second.faults_by_backend.insert("quantum".into(), 1);
+        second.quarantine_events = 1;
+        second.recovery_probes = 2;
+        c.record_faults(&second);
+        c.record_faults(&FaultLedger::default()); // no-op
+        let s = c.snapshot(0, 1);
+        assert_eq!(s.backend_faults, 5);
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.reroutes, 1);
+        assert_eq!(s.quarantine_events, 1);
+        assert_eq!(s.recovery_probes, 2);
+        assert_eq!(s.per_backend["quantum"].faults, 4);
+        assert_eq!(s.per_backend["cpu"].faults, 1);
+        // Faulted-only backends appear with zero completed jobs.
+        assert_eq!(s.per_backend["quantum"].jobs, 0);
+        let text = s.to_string();
+        assert!(text.contains("5 device faults"), "{text}");
+        assert!(text.contains("1 reroutes"), "{text}");
     }
 
     #[test]

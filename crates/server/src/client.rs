@@ -11,7 +11,7 @@ use accel::kernel::Kernel;
 use runtime::RuntimeStats;
 use std::collections::HashMap;
 use std::io;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use wire::{
     decode_response_v, encode_request_v, read_frame, write_frame, ErrorCode, Request, Response,
     WireError, WireOutcome, MIN_SUPPORTED_VERSION, PROTOCOL_VERSION,
@@ -123,11 +123,27 @@ impl From<io::Error> for ClientError {
     }
 }
 
+impl ClientError {
+    /// Whether this error means the connection itself died (EOF, reset,
+    /// broken pipe) — the signal that [`Client::reconnect`] is worth
+    /// trying, as opposed to a protocol-level rejection that a fresh
+    /// connection would only repeat.
+    #[must_use]
+    pub fn is_disconnect(&self) -> bool {
+        matches!(self, ClientError::Wire(e) if e.is_disconnect())
+    }
+}
+
 /// A blocking connection to a [`crate::Server`]. See the [module
 /// docs](self) for the pipelining model.
 pub struct Client {
     stream: TcpStream,
     version: u16,
+    /// The peer address and version range from connect time, kept so
+    /// [`Client::reconnect`] can redo the handshake after a mid-stream
+    /// disconnect.
+    peer: SocketAddr,
+    version_range: (u16, u16),
     next_id: u64,
     results: HashMap<u64, WireOutcome>,
     cancels: HashMap<u64, bool>,
@@ -161,12 +177,15 @@ impl Client {
         max_version: u16,
     ) -> Result<Self, ClientError> {
         let stream = TcpStream::connect(addr).map_err(WireError::Io)?;
+        let peer = stream.peer_addr().map_err(WireError::Io)?;
         let _ = stream.set_nodelay(true);
         let mut client = Client {
             stream,
             // Hello encodes identically under every version; the real
             // version is installed from the ack below.
             version: max_version,
+            peer,
+            version_range: (min_version, max_version),
             next_id: 1, // id 0 is reserved for connection-level errors
             results: HashMap::new(),
             cancels: HashMap::new(),
@@ -174,14 +193,44 @@ impl Client {
             errors: HashMap::new(),
             pongs: HashMap::new(),
         };
-        client.write_request(&Request::Hello {
+        client.handshake()?;
+        Ok(client)
+    }
+
+    /// Drops the current connection and performs a fresh connect plus
+    /// handshake against the same peer with the same version range.
+    ///
+    /// In-flight tickets do not survive: the server binds jobs to their
+    /// connection, so every stash is cleared and unredeemed tickets are
+    /// gone. Ticket numbering continues from where it was, keeping old
+    /// and new tickets distinguishable.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::connect`].
+    pub fn reconnect(&mut self) -> Result<(), ClientError> {
+        let stream = TcpStream::connect(self.peer).map_err(WireError::Io)?;
+        let _ = stream.set_nodelay(true);
+        self.stream = stream;
+        self.version = self.version_range.1;
+        self.results.clear();
+        self.cancels.clear();
+        self.stats.clear();
+        self.errors.clear();
+        self.pongs.clear();
+        self.handshake()
+    }
+
+    fn handshake(&mut self) -> Result<(), ClientError> {
+        let (min_version, max_version) = self.version_range;
+        self.write_request(&Request::Hello {
             min_version,
             max_version,
         })?;
-        match client.read_response()? {
+        match self.read_response()? {
             Response::HelloAck { version } => {
-                client.version = version;
-                Ok(client)
+                self.version = version;
+                Ok(())
             }
             Response::Error { code, message, .. } => match code {
                 ErrorCode::Busy => Err(ClientError::Busy(message)),
@@ -379,6 +428,19 @@ mod tests {
         let opts = SubmitOptions::with_seed(4).policy(DispatchPolicy::DeadlineAware);
         assert_eq!(opts.seed, Some(4));
         assert_eq!(opts.policy, Some(DispatchPolicy::DeadlineAware));
+    }
+
+    #[test]
+    fn disconnect_classification() {
+        let e = ClientError::Wire(WireError::Io(io::Error::new(
+            io::ErrorKind::ConnectionReset,
+            "reset",
+        )));
+        assert!(e.is_disconnect());
+        let e = ClientError::Busy("limit reached".into());
+        assert!(!e.is_disconnect());
+        let e = ClientError::Wire(WireError::Truncated { context: "tag" });
+        assert!(!e.is_disconnect());
     }
 
     #[test]

@@ -55,11 +55,13 @@
 //! # Ok::<(), wire::WireError>(())
 //! ```
 
+pub mod chaos;
 pub mod codec;
 pub mod frame;
 pub mod message;
 pub mod payload;
 
+pub use chaos::{ChaosStream, StreamFault};
 pub use frame::{read_frame, write_frame};
 pub use message::{
     decode_request, decode_request_v, decode_response, decode_response_v, encode_request,
@@ -80,7 +82,10 @@ pub const MAGIC: [u8; 4] = *b"RBCM";
 /// * **2** — cost-model-driven dispatch: `Submit` carries an optional
 ///   per-job [`accel::host::DispatchPolicy`] override, and `Stats` rows
 ///   carry predicted device seconds plus the EWMA calibration pair.
-pub const PROTOCOL_VERSION: u16 = 2;
+/// * **3** — fault accounting: `Stats` gains the global fault counters
+///   (device faults, retries, reroutes, quarantine events, recovery
+///   probes) and each backend row gains its fault count.
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// The oldest protocol version this build still accepts.
 pub const MIN_SUPPORTED_VERSION: u16 = 1;

@@ -416,7 +416,9 @@ pub(crate) fn get_outcome(r: &mut ByteReader<'_>) -> Result<WireOutcome, WireErr
 
 /// Encodes a stats snapshot at `version`. Version 1 peers receive the
 /// original row layout; version ≥ 2 rows append the prediction-tracking
-/// triple (predicted device seconds, EWMA correction, EWMA error).
+/// triple (predicted device seconds, EWMA correction, EWMA error);
+/// version ≥ 3 adds the global fault counters after the worker count and
+/// a per-row fault count after the triple.
 pub(crate) fn put_stats(
     w: &mut ByteWriter,
     stats: &RuntimeStats,
@@ -431,6 +433,13 @@ pub(crate) fn put_stats(
     w.put_u64(stats.cancelled);
     w.put_u64(stats.queue_depth as u64);
     w.put_u64(stats.workers as u64);
+    if version >= 3 {
+        w.put_u64(stats.backend_faults);
+        w.put_u64(stats.retries);
+        w.put_u64(stats.reroutes);
+        w.put_u64(stats.quarantine_events);
+        w.put_u64(stats.recovery_probes);
+    }
     if stats.per_backend.len() as u64 > u64::from(MAX_SEQUENCE_LEN) {
         return Err(WireError::TooLarge {
             context: "backend table",
@@ -450,6 +459,9 @@ pub(crate) fn put_stats(
             w.put_f64(t.ewma_correction);
             w.put_f64(t.ewma_error);
         }
+        if version >= 3 {
+            w.put_u64(t.faults);
+        }
     }
     w.put_u32(LATENCY_BUCKETS as u32);
     for &count in stats.latency.counts() {
@@ -468,6 +480,17 @@ pub(crate) fn get_stats(r: &mut ByteReader<'_>, version: u16) -> Result<RuntimeS
     let cancelled = r.get_u64("stats cancelled")?;
     let queue_depth = r.get_usize("stats queue depth")?;
     let workers = r.get_usize("stats workers")?;
+    let (backend_faults, retries, reroutes, quarantine_events, recovery_probes) = if version >= 3 {
+        (
+            r.get_u64("stats backend faults")?,
+            r.get_u64("stats retries")?,
+            r.get_u64("stats reroutes")?,
+            r.get_u64("stats quarantine events")?,
+            r.get_u64("stats recovery probes")?,
+        )
+    } else {
+        (0, 0, 0, 0, 0)
+    };
     let backend_count = r.get_count(MAX_SEQUENCE_LEN, 37, "backend table")?;
     let mut per_backend = BTreeMap::new();
     for _ in 0..backend_count {
@@ -483,6 +506,9 @@ pub(crate) fn get_stats(r: &mut ByteReader<'_>, version: u16) -> Result<RuntimeS
             t.predicted_device_seconds = r.get_f64("backend predicted seconds")?;
             t.ewma_correction = r.get_f64("backend ewma correction")?;
             t.ewma_error = r.get_f64("backend ewma error")?;
+        }
+        if version >= 3 {
+            t.faults = r.get_u64("backend faults")?;
         }
         per_backend.insert(name, t);
     }
@@ -509,6 +535,11 @@ pub(crate) fn get_stats(r: &mut ByteReader<'_>, version: u16) -> Result<RuntimeS
         workers,
         per_backend,
         latency: LatencyHistogram::from_counts(counts),
+        backend_faults,
+        retries,
+        reroutes,
+        quarantine_events,
+        recovery_probes,
     })
 }
 
@@ -671,6 +702,7 @@ mod tests {
                 predicted_device_seconds: 3.1e-3,
                 ewma_correction: 1.13,
                 ewma_error: 0.11,
+                faults: 5,
             },
         );
         let mut counts = [0u64; LATENCY_BUCKETS];
@@ -687,7 +719,23 @@ mod tests {
             workers: 6,
             per_backend,
             latency: LatencyHistogram::from_counts(counts),
+            backend_faults: 5,
+            retries: 3,
+            reroutes: 2,
+            quarantine_events: 1,
+            recovery_probes: 4,
         }
+    }
+
+    #[test]
+    fn stats_round_trip_v3() {
+        let stats = sample_stats();
+        let mut w = ByteWriter::new();
+        put_stats(&mut w, &stats, 3).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(get_stats(&mut r, 3).unwrap(), stats);
+        r.finish().unwrap();
     }
 
     #[test]
@@ -697,8 +745,20 @@ mod tests {
         put_stats(&mut w, &stats, 2).unwrap();
         let bytes = w.into_bytes();
         let mut r = ByteReader::new(&bytes);
-        assert_eq!(get_stats(&mut r, 2).unwrap(), stats);
+        let back = get_stats(&mut r, 2).unwrap();
         r.finish().unwrap();
+        // v2 peers never see the fault counters; everything else survives.
+        assert_eq!(back.backend_faults, 0);
+        assert_eq!(back.retries, 0);
+        assert_eq!(back.reroutes, 0);
+        assert_eq!(back.per_backend["memcomputing"].faults, 0);
+        assert_eq!(back.submitted, stats.submitted);
+        assert_eq!(back.workers, stats.workers);
+        assert_eq!(
+            back.per_backend["memcomputing"].ewma_correction,
+            stats.per_backend["memcomputing"].ewma_correction
+        );
+        assert_eq!(back.latency, stats.latency);
     }
 
     #[test]

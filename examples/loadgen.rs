@@ -11,18 +11,29 @@
 //! order must not change a single bit of output.
 //!
 //! Run with: `cargo run --release --example loadgen -- [--clients N]
-//! [--jobs N] [--workers N] [--queue N] [--policy P]` where `P` is one
-//! of `prefer-specialized`, `cpu-only`, `min-latency`, `min-energy`, or
-//! `deadline`. The policy rides the protocol-v2 per-job `Submit` field,
-//! and when it differs from `prefer-specialized` the run also reports
-//! how many jobs the cost-model planner routed differently.
+//! [--jobs N] [--workers N] [--queue N] [--policy P] [--chaos]
+//! [--seed N]` where `P` is one of `prefer-specialized`, `cpu-only`,
+//! `min-latency`, `min-energy`, or `deadline`. The policy rides the
+//! protocol-v2 per-job `Submit` field, and when it differs from
+//! `prefer-specialized` the run also reports how many jobs the
+//! cost-model planner routed differently.
+//!
+//! `--chaos` installs the stock [`FaultPlan::chaos`] schedule (seeded by
+//! `--seed`, default 29) on the server's runtime: backends fault, the
+//! dispatcher retries and fails over, and every job must still resolve
+//! to a typed outcome that matches the direct single-worker replay under
+//! the same plan. The run prints a `chaos digest` — an order-independent
+//! fingerprint of every outcome — so two runs with the same seed can be
+//! compared byte-for-byte from their stdout alone.
 
 use rebooting_models::workload::{job_seeds, mixed_workload};
 use runtime::stats::LatencyHistogram;
-use runtime::{DispatchPolicy, JobOptions, JobOutcome, Runtime, RuntimeConfig};
+use runtime::{
+    DispatchPolicy, FaultPlan, JobOptions, JobOutcome, QuarantinePolicy, Runtime, RuntimeConfig,
+};
 use server::{Client, Server, ServerConfig, SubmitOptions};
 use std::time::Instant;
-use wire::{encode_kernel_result, WireOutcome};
+use wire::{encode_kernel_result, WireError, WireOutcome};
 
 const MASTER_SEED: u64 = 2019;
 
@@ -32,6 +43,8 @@ struct Args {
     workers: usize,
     queue: usize,
     policy: DispatchPolicy,
+    chaos: bool,
+    chaos_seed: u64,
 }
 
 fn parse_policy(name: &str) -> Result<DispatchPolicy, String> {
@@ -55,12 +68,22 @@ fn parse_args() -> Result<Args, String> {
         workers: 4,
         queue: 64,
         policy: DispatchPolicy::MinPredictedLatency,
+        chaos: false,
+        chaos_seed: 29,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
+        if flag == "--chaos" {
+            args.chaos = true;
+            continue;
+        }
         let raw = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
         if flag == "--policy" {
             args.policy = parse_policy(&raw)?;
+            continue;
+        }
+        if flag == "--seed" {
+            args.chaos_seed = raw.parse::<u64>().map_err(|e| format!("{flag}: {e}"))?;
             continue;
         }
         let value = raw.parse::<usize>().map_err(|e| format!("{flag}: {e}"))?;
@@ -78,17 +101,68 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-/// What one client thread brings home: `(workload index, encoded result
-/// bytes, backend name)` per job, plus its local latency histogram.
-type ClientReport = (Vec<(usize, Vec<u8>, String)>, LatencyHistogram);
+/// A canonical byte fingerprint of one typed outcome. Two outcomes are
+/// identical iff their fingerprints match byte for byte, so chaos runs
+/// can compare completed results *and* failure modes across transports.
+fn wire_fingerprint(outcome: &WireOutcome) -> Result<Vec<u8>, WireError> {
+    Ok(match outcome {
+        WireOutcome::Completed {
+            backend, result, ..
+        } => {
+            let mut bytes = vec![0u8];
+            bytes.extend_from_slice(backend.as_bytes());
+            bytes.push(0);
+            bytes.extend_from_slice(&encode_kernel_result(result)?);
+            bytes
+        }
+        WireOutcome::Failed(msg) => {
+            let mut bytes = vec![1u8];
+            bytes.extend_from_slice(msg.as_bytes());
+            bytes
+        }
+        WireOutcome::TimedOut => vec![2],
+        WireOutcome::Cancelled => vec![3],
+    })
+}
+
+fn job_fingerprint(outcome: &JobOutcome) -> Result<Vec<u8>, WireError> {
+    wire_fingerprint(&WireOutcome::from(outcome))
+}
+
+/// FNV-1a over every fingerprint in workload order, length-prefixed so
+/// adjacent fingerprints cannot alias. Two chaos runs with the same seed
+/// must print the same digest — the flake detector's comparand.
+fn digest(fingerprints: &[Vec<u8>]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let eat = |h: &mut u64, byte: u8| {
+        *h ^= u64::from(byte);
+        *h = h.wrapping_mul(0x100_0000_01b3);
+    };
+    for fp in fingerprints {
+        for byte in (fp.len() as u64).to_le_bytes() {
+            eat(&mut h, byte);
+        }
+        for &byte in fp {
+            eat(&mut h, byte);
+        }
+    }
+    h
+}
+
+/// What one client thread brings home: `(workload index, outcome
+/// fingerprint)` per job, plus its local latency histogram.
+type ClientReport = (Vec<(usize, Vec<u8>)>, LatencyHistogram);
 
 /// Runs one client over its round-robin slice of the workload,
-/// pipelining every submission before redeeming any ticket.
+/// pipelining every submission before redeeming any ticket. Outside
+/// chaos mode every job must complete; under chaos any *typed* outcome
+/// is acceptable — hangs and dropped connections are not.
 fn run_client(
     addr: std::net::SocketAddr,
     workload: &[accel::kernel::Kernel],
     seeds: &[u64],
     policy: DispatchPolicy,
+    chaos: bool,
     client_idx: usize,
     clients: usize,
 ) -> Result<ClientReport, String> {
@@ -111,39 +185,41 @@ fn run_client(
     let mut results = Vec::with_capacity(mine.len());
     let mut latency = LatencyHistogram::new();
     for (i, ticket) in tickets {
-        match client.wait(ticket).map_err(|e| fail(&e))? {
-            WireOutcome::Completed {
-                result, backend, ..
-            } => {
-                latency.record(started.elapsed());
-                results.push((
-                    i,
-                    encode_kernel_result(&result).map_err(|e| fail(&e))?,
-                    backend,
-                ));
-            }
-            other => return Err(format!("job {i} did not complete: {other:?}")),
+        let outcome = client.wait(ticket).map_err(|e| fail(&e))?;
+        match &outcome {
+            WireOutcome::Completed { .. } => latency.record(started.elapsed()),
+            other if !chaos => return Err(format!("job {i} did not complete: {other:?}")),
+            _ => {}
         }
+        results.push((i, wire_fingerprint(&outcome).map_err(|e| fail(&e))?));
     }
     Ok((results, latency))
 }
 
-/// `(encoded result bytes, backend name)` per workload index.
+/// `(outcome fingerprint, backend name)` per workload index; the backend
+/// is empty for jobs that did not complete.
 type DirectResults = Vec<(Vec<u8>, String)>;
 
 /// Replays the workload on a direct single-worker runtime with the same
-/// explicit seeds, returning encoded result bytes per workload index.
+/// explicit seeds (and, in chaos mode, the same fault plan), returning
+/// outcome fingerprints per workload index.
 fn run_direct(
     workload: &[accel::kernel::Kernel],
     seeds: &[u64],
     policy: DispatchPolicy,
+    faults: Option<FaultPlan>,
 ) -> Result<DirectResults, Box<dyn std::error::Error>> {
+    let chaos = faults.is_some();
     let rt = Runtime::start(RuntimeConfig {
         workers: 1,
         queue_capacity: workload.len().max(1),
         policy,
         seed: MASTER_SEED,
         default_timeout: None,
+        faults,
+        // Quarantine is history-dependent; disabling it keeps routing a
+        // pure function of the job, matching the server configuration.
+        quarantine: QuarantinePolicy::disabled(),
         ..RuntimeConfig::default()
     })?;
     let handles: Vec<_> = workload
@@ -153,12 +229,15 @@ fn run_direct(
         .collect::<Result<_, _>>()?;
     let mut results = Vec::with_capacity(handles.len());
     for (i, handle) in handles.iter().enumerate() {
-        match handle.wait() {
-            JobOutcome::Completed {
-                execution, backend, ..
-            } => results.push((encode_kernel_result(&execution.result)?, backend)),
-            other => return Err(format!("direct job {i} did not complete: {other:?}").into()),
-        }
+        let outcome = handle.wait();
+        let backend = match &outcome {
+            JobOutcome::Completed { backend, .. } => backend.clone(),
+            other if !chaos => {
+                return Err(format!("direct job {i} did not complete: {other:?}").into())
+            }
+            _ => String::new(),
+        };
+        results.push((job_fingerprint(&outcome)?, backend));
     }
     let _ = rt.shutdown();
     Ok(results)
@@ -168,6 +247,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = parse_args().map_err(|e| format!("usage error: {e}"))?;
     let workload = mixed_workload(args.jobs, MASTER_SEED)?;
     let seeds = job_seeds(args.jobs, MASTER_SEED);
+    let plan = args.chaos.then(|| FaultPlan::chaos(args.chaos_seed));
 
     let server = Server::start(ServerConfig {
         addr: "127.0.0.1:0".into(),
@@ -178,14 +258,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             policy: args.policy,
             seed: MASTER_SEED,
             default_timeout: None,
+            faults: plan.clone(),
+            quarantine: QuarantinePolicy::disabled(),
             ..RuntimeConfig::default()
         },
     })?;
     let addr = server.local_addr();
     println!(
-        "loadgen: {} jobs over {} clients against {addr} ({} workers, queue {}, policy {:?})\n",
+        "loadgen: {} jobs over {} clients against {addr} ({} workers, queue {}, policy {:?})",
         args.jobs, args.clients, args.workers, args.queue, args.policy
     );
+    if args.chaos {
+        println!(
+            "chaos mode: fault plan seed {} (reproduce with --chaos --seed {})",
+            args.chaos_seed, args.chaos_seed
+        );
+    }
+    println!();
 
     let started = Instant::now();
     let reports: Vec<ClientReport> = std::thread::scope(|scope| {
@@ -193,7 +282,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .map(|c| {
                 let workload = &workload;
                 let seeds = &seeds;
-                scope.spawn(move || run_client(addr, workload, seeds, args.policy, c, args.clients))
+                scope.spawn(move || {
+                    run_client(
+                        addr,
+                        workload,
+                        seeds,
+                        args.policy,
+                        args.chaos,
+                        c,
+                        args.clients,
+                    )
+                })
             })
             .collect();
         handles
@@ -204,12 +303,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     .map_err(|e| format!("client failed: {e}"))?;
     let wall = started.elapsed();
 
-    let mut wire_results: Vec<Option<(Vec<u8>, String)>> = vec![None; args.jobs];
+    let mut wire_results: Vec<Option<Vec<u8>>> = vec![None; args.jobs];
     let mut latency = LatencyHistogram::new();
     for (results, client_latency) in reports {
         latency.merge(&client_latency);
-        for (i, bytes, backend) in results {
-            wire_results[i] = Some((bytes, backend));
+        for (i, fingerprint) in results {
+            wire_results[i] = Some(fingerprint);
         }
     }
     println!(
@@ -225,34 +324,48 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
+    let fingerprints: Vec<Vec<u8>> = wire_results
+        .iter()
+        .map(|o| o.clone().expect("every job must report"))
+        .collect();
+    if args.chaos {
+        println!("chaos digest: {:016x}", digest(&fingerprints));
+    }
+
     let mut probe = Client::connect(addr)?;
-    println!("\nserver stats (over the wire):\n{}", probe.stats()?);
+    let server_stats = probe.stats()?;
+    println!("\nserver stats (over the wire):\n{server_stats}");
     drop(probe);
     let _ = server.shutdown();
+    if args.chaos {
+        assert!(
+            server_stats.backend_faults > 0,
+            "a chaos run must inject at least one backend fault"
+        );
+        println!(
+            "chaos injected {} backend faults ({} retries, {} reroutes) and every job \
+             still resolved to a typed outcome",
+            server_stats.backend_faults, server_stats.retries, server_stats.reroutes
+        );
+    }
 
     println!("replaying on a direct 1-worker runtime to check determinism ...");
-    let direct = run_direct(&workload, &seeds, args.policy)?;
+    let direct = run_direct(&workload, &seeds, args.policy, plan)?;
     let mut agreements = 0usize;
-    for (i, pair) in wire_results.iter().enumerate() {
-        let (wire_bytes, wire_backend) = pair.as_ref().expect("every job must report");
-        let (direct_bytes, direct_backend) = &direct[i];
+    for (i, fingerprint) in fingerprints.iter().enumerate() {
         assert_eq!(
-            wire_backend, direct_backend,
-            "job {i}: backend routing must not depend on transport"
-        );
-        assert_eq!(
-            wire_bytes, direct_bytes,
-            "job {i}: results must match byte for byte across the wire"
+            fingerprint, &direct[i].0,
+            "job {i}: outcomes must match byte for byte across the wire"
         );
         agreements += 1;
     }
     println!(
-        "networked ({} clients) and direct (1 worker) runs agree byte-for-byte on all {agreements}/{} results",
+        "networked ({} clients) and direct (1 worker) runs agree byte-for-byte on all {agreements}/{} outcomes",
         args.clients, args.jobs
     );
 
-    if args.policy != DispatchPolicy::PreferSpecialized {
-        let baseline = run_direct(&workload, &seeds, DispatchPolicy::PreferSpecialized)?;
+    if args.policy != DispatchPolicy::PreferSpecialized && !args.chaos {
+        let baseline = run_direct(&workload, &seeds, DispatchPolicy::PreferSpecialized, None)?;
         let rerouted = direct
             .iter()
             .zip(&baseline)

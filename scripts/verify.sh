@@ -27,4 +27,8 @@ cargo test -q --release --workspace
 echo "==> smoke: loadgen (TCP serving + cross-wire determinism)"
 timeout 180 cargo run --release --example loadgen -- --clients 2 --jobs 24 --workers 2
 
+echo "==> smoke: loadgen chaos (seeded fault injection + failover)"
+timeout 180 cargo run --release --example loadgen -- --clients 2 --jobs 24 --workers 2 \
+  --policy prefer-specialized --chaos --seed 29
+
 echo "verify: all checks passed"

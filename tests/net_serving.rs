@@ -343,6 +343,38 @@ fn graceful_shutdown_drains_in_flight_jobs() {
 }
 
 #[test]
+fn cancel_during_drain_yields_typed_outcome_not_dropped_connection() {
+    let server = test_server(1, 2);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    // Occupy the single worker, then queue a victim behind it.
+    let busy = client
+        .submit(slow_kernel(), SubmitOptions::default())
+        .unwrap();
+    let victim = client
+        .submit(slow_kernel(), SubmitOptions::default())
+        .unwrap();
+    // Ping round-trips after the submissions, so both jobs were read by
+    // the handler before the drain begins.
+    client.ping(3).unwrap();
+    let shutdown = std::thread::spawn(move || server.shutdown());
+    // Cancel the queued victim while the server is draining. Whatever
+    // the race decides, the client must receive typed answers on a live
+    // connection — never a dropped socket.
+    let cancelled = client.cancel(victim).unwrap();
+    assert!(client.wait(busy).unwrap().is_completed());
+    let victim_outcome = client.wait(victim).unwrap();
+    match (&victim_outcome, cancelled) {
+        (WireOutcome::Cancelled, true) => {}
+        (WireOutcome::Completed { .. }, false) => {}
+        (outcome, acked) => panic!("cancel acked={acked} but outcome was {outcome:?}"),
+    }
+    let stats = shutdown.join().unwrap();
+    assert_eq!(stats.settled(), 2);
+    assert_eq!(stats.cancelled, u64::from(cancelled));
+    assert_eq!(stats.completed, if cancelled { 1 } else { 2 });
+}
+
+#[test]
 fn v1_client_negotiates_down_and_serves() {
     // A client that only speaks protocol v1 must still get full service
     // from a v2 server: the connection negotiates down and every frame

@@ -1,0 +1,402 @@
+//! Golden-vector regression tests for the wire codecs.
+//!
+//! Every request and response tag has its byte encoding frozen here, at
+//! every protocol version whose layout differs (v1, v2, v3). If any of
+//! these assertions fails, the change is a wire-format break: deployed
+//! peers will misparse frames. Either revert the layout change or bump
+//! [`PROTOCOL_VERSION`] and add *new* vectors while keeping the old
+//! versions' vectors bit-identical.
+//!
+//! To regenerate after an intentional version bump:
+//!
+//! ```text
+//! cargo test --test wire_golden regenerate -- --ignored --nocapture
+//! ```
+
+use accel::host::DispatchPolicy;
+use accel::kernel::{CostReport, Kernel, KernelResult};
+use runtime::stats::{BackendThroughput, LatencyHistogram, LATENCY_BUCKETS};
+use runtime::RuntimeStats;
+use wire::{
+    decode_request_v, decode_response_v, encode_request_v, encode_response_v, write_frame,
+    ErrorCode, Request, Response, WireOutcome, PROTOCOL_VERSION,
+};
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn unhex(s: &str) -> Vec<u8> {
+    assert!(s.len().is_multiple_of(2), "odd-length hex string");
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).expect("valid hex"))
+        .collect()
+}
+
+/// One fixed sample per request tag. Values are arbitrary but frozen:
+/// changing them invalidates the golden vectors below.
+fn sample_requests() -> Vec<(&'static str, Request)> {
+    vec![
+        (
+            "hello",
+            Request::Hello {
+                min_version: 1,
+                max_version: 3,
+            },
+        ),
+        ("ping", Request::Ping { token: 0xDEAD_BEEF }),
+        (
+            "submit_plain",
+            Request::Submit {
+                request_id: 7,
+                timeout_ms: Some(250),
+                seed: Some(42),
+                policy: None,
+                kernel: Kernel::Factor { n: 77 },
+            },
+        ),
+        (
+            "submit_policy",
+            Request::Submit {
+                request_id: 8,
+                timeout_ms: None,
+                seed: None,
+                policy: Some(DispatchPolicy::MinPredictedLatency),
+                kernel: Kernel::Compare { x: 0.25, y: 0.75 },
+            },
+        ),
+        ("cancel", Request::Cancel { request_id: 9 }),
+        ("get_stats", Request::GetStats { request_id: 10 }),
+    ]
+}
+
+/// One fixed sample per response tag (plus one per outcome variant).
+fn sample_responses() -> Vec<(&'static str, Response)> {
+    let mut counts = [0u64; LATENCY_BUCKETS];
+    counts[0] = 2;
+    counts[3] = 1;
+    let mut stats = RuntimeStats {
+        submitted: 6,
+        completed: 4,
+        failed: 1,
+        rejected: 0,
+        invalid: 0,
+        timed_out: 1,
+        cancelled: 0,
+        queue_depth: 2,
+        workers: 3,
+        latency: LatencyHistogram::from_counts(counts),
+        backend_faults: 5,
+        retries: 3,
+        reroutes: 2,
+        quarantine_events: 1,
+        recovery_probes: 4,
+        ..RuntimeStats::default()
+    };
+    stats.per_backend.insert(
+        "cpu".into(),
+        BackendThroughput {
+            jobs: 4,
+            device_seconds: 0.5,
+            operations: 128,
+            busy_seconds: 0.25,
+            predicted_device_seconds: 0.4,
+            ewma_correction: 1.25,
+            ewma_error: 0.125,
+            faults: 5,
+        },
+    );
+    vec![
+        ("hello_ack", Response::HelloAck { version: 3 }),
+        ("pong", Response::Pong { token: 0xDEAD_BEEF }),
+        (
+            "job_result_completed",
+            Response::JobResult {
+                request_id: 7,
+                outcome: WireOutcome::Completed {
+                    backend: "quantum".into(),
+                    result: KernelResult::Factors(7, 11),
+                    cost: CostReport {
+                        device_seconds: 2e-6,
+                        operations: 64,
+                    },
+                    wall_nanos: 1_234,
+                },
+            },
+        ),
+        (
+            "job_result_failed",
+            Response::JobResult {
+                request_id: 8,
+                outcome: WireOutcome::Failed("backend `quantum` permanent device fault".into()),
+            },
+        ),
+        (
+            "job_result_timed_out",
+            Response::JobResult {
+                request_id: 9,
+                outcome: WireOutcome::TimedOut,
+            },
+        ),
+        (
+            "job_result_cancelled",
+            Response::JobResult {
+                request_id: 10,
+                outcome: WireOutcome::Cancelled,
+            },
+        ),
+        (
+            "cancel_result",
+            Response::CancelResult {
+                request_id: 9,
+                cancelled: true,
+            },
+        ),
+        (
+            "stats",
+            Response::Stats {
+                request_id: 10,
+                stats,
+            },
+        ),
+        (
+            "error",
+            Response::Error {
+                request_id: 0,
+                code: ErrorCode::Malformed,
+                message: "bad frame".into(),
+            },
+        ),
+    ]
+}
+
+/// Versions whose payload layouts differ. v1 has no Submit policy byte
+/// and no stats prediction triple; v2 adds both; v3 adds fault counters.
+const VERSIONS: [u16; 3] = [1, 2, 3];
+
+/// Requests that cannot encode at a given version (by design).
+fn request_encodable(name: &str, version: u16) -> bool {
+    !(name == "submit_policy" && version < 2)
+}
+
+// ---------------------------------------------------------------------
+// Golden vectors. Regenerate with the ignored `regenerate` test below.
+// ---------------------------------------------------------------------
+
+const REQUEST_GOLDENS: &[(&str, u16, &str)] = &[
+    ("hello", 1, "0100010003"),
+    ("hello", 2, "0100010003"),
+    ("hello", 3, "0100010003"),
+    ("ping", 1, "0200000000deadbeef"),
+    ("ping", 2, "0200000000deadbeef"),
+    ("ping", 3, "0200000000deadbeef"),
+    (
+        "submit_plain",
+        1,
+        "0300000000000000070100000000000000fa01000000000000002a00000000000000004d",
+    ),
+    (
+        "submit_plain",
+        2,
+        "0300000000000000070100000000000000fa01000000000000002a0000000000000000004d",
+    ),
+    (
+        "submit_plain",
+        3,
+        "0300000000000000070100000000000000fa01000000000000002a0000000000000000004d",
+    ),
+    (
+        "submit_policy",
+        2,
+        "030000000000000008000003043fd00000000000003fe8000000000000",
+    ),
+    (
+        "submit_policy",
+        3,
+        "030000000000000008000003043fd00000000000003fe8000000000000",
+    ),
+    ("cancel", 1, "040000000000000009"),
+    ("cancel", 2, "040000000000000009"),
+    ("cancel", 3, "040000000000000009"),
+    ("get_stats", 1, "05000000000000000a"),
+    ("get_stats", 2, "05000000000000000a"),
+    ("get_stats", 3, "05000000000000000a"),
+];
+
+const RESPONSE_GOLDENS: &[(&str, u16, &str)] = &[
+    ("hello_ack", 1, "810003"),
+    ("hello_ack", 2, "810003"),
+    ("hello_ack", 3, "810003"),
+    ("pong", 1, "8200000000deadbeef"),
+    ("pong", 2, "8200000000deadbeef"),
+    ("pong", 3, "8200000000deadbeef"),
+    ("job_result_completed", 1, "83000000000000000700000000077175616e74756d000000000000000007000000000000000b3ec0c6f7a0b5ed8d000000000000004000000000000004d2"),
+    ("job_result_completed", 2, "83000000000000000700000000077175616e74756d000000000000000007000000000000000b3ec0c6f7a0b5ed8d000000000000004000000000000004d2"),
+    ("job_result_completed", 3, "83000000000000000700000000077175616e74756d000000000000000007000000000000000b3ec0c6f7a0b5ed8d000000000000004000000000000004d2"),
+    ("job_result_failed", 1, "83000000000000000801000000286261636b656e6420607175616e74756d60207065726d616e656e7420646576696365206661756c74"),
+    ("job_result_failed", 2, "83000000000000000801000000286261636b656e6420607175616e74756d60207065726d616e656e7420646576696365206661756c74"),
+    ("job_result_failed", 3, "83000000000000000801000000286261636b656e6420607175616e74756d60207065726d616e656e7420646576696365206661756c74"),
+    ("job_result_timed_out", 1, "83000000000000000902"),
+    ("job_result_timed_out", 2, "83000000000000000902"),
+    ("job_result_timed_out", 3, "83000000000000000902"),
+    ("job_result_cancelled", 1, "83000000000000000a03"),
+    ("job_result_cancelled", 2, "83000000000000000a03"),
+    ("job_result_cancelled", 3, "83000000000000000a03"),
+    ("cancel_result", 1, "84000000000000000901"),
+    ("cancel_result", 2, "84000000000000000901"),
+    ("cancel_result", 3, "84000000000000000901"),
+    ("stats", 1, "85000000000000000a000000000000000600000000000000040000000000000001000000000000000000000000000000000000000000000001000000000000000000000000000000020000000000000003000000010000000363707500000000000000043fe000000000000000000000000000803fd00000000000000000000800000000000000020000000000000000000000000000000000000000000000010000000000000000000000000000000000000000000000000000000000000000"),
+    ("stats", 2, "85000000000000000a000000000000000600000000000000040000000000000001000000000000000000000000000000000000000000000001000000000000000000000000000000020000000000000003000000010000000363707500000000000000043fe000000000000000000000000000803fd00000000000003fd999999999999a3ff40000000000003fc00000000000000000000800000000000000020000000000000000000000000000000000000000000000010000000000000000000000000000000000000000000000000000000000000000"),
+    ("stats", 3, "85000000000000000a00000000000000060000000000000004000000000000000100000000000000000000000000000000000000000000000100000000000000000000000000000002000000000000000300000000000000050000000000000003000000000000000200000000000000010000000000000004000000010000000363707500000000000000043fe000000000000000000000000000803fd00000000000003fd999999999999a3ff40000000000003fc000000000000000000000000000050000000800000000000000020000000000000000000000000000000000000000000000010000000000000000000000000000000000000000000000000000000000000000"),
+    ("error", 1, "8600000000000000000200000009626164206672616d65"),
+    ("error", 2, "8600000000000000000200000009626164206672616d65"),
+    ("error", 3, "8600000000000000000200000009626164206672616d65"),
+];
+
+/// A full frame (header + payload) for one fixed request, freezing the
+/// framing layer too: magic, length prefix, byte order.
+const FRAMED_PING_GOLDEN: &str = "5242434d000000090200000000deadbeef";
+
+fn golden_for<'a>(table: &'a [(&str, u16, &str)], name: &str, version: u16) -> &'a str {
+    table
+        .iter()
+        .find(|(n, v, _)| *n == name && *v == version)
+        .unwrap_or_else(|| panic!("missing golden for {name} v{version}"))
+        .2
+}
+
+#[test]
+fn request_encodings_match_goldens() {
+    for (name, request) in sample_requests() {
+        for version in VERSIONS {
+            if !request_encodable(name, version) {
+                continue;
+            }
+            let bytes = encode_request_v(&request, version)
+                .unwrap_or_else(|e| panic!("{name} v{version}: {e}"));
+            assert_eq!(
+                hex(&bytes),
+                golden_for(REQUEST_GOLDENS, name, version),
+                "{name} v{version}: encoding drifted — this is a wire-format break"
+            );
+        }
+    }
+}
+
+#[test]
+fn response_encodings_match_goldens() {
+    for (name, response) in sample_responses() {
+        for version in VERSIONS {
+            let bytes = encode_response_v(&response, version)
+                .unwrap_or_else(|e| panic!("{name} v{version}: {e}"));
+            assert_eq!(
+                hex(&bytes),
+                golden_for(RESPONSE_GOLDENS, name, version),
+                "{name} v{version}: encoding drifted — this is a wire-format break"
+            );
+        }
+    }
+}
+
+#[test]
+fn goldens_decode_back_to_the_original_values() {
+    for (name, request) in sample_requests() {
+        for version in VERSIONS {
+            if !request_encodable(name, version) {
+                continue;
+            }
+            let bytes = unhex(golden_for(REQUEST_GOLDENS, name, version));
+            let decoded = decode_request_v(&bytes, version)
+                .unwrap_or_else(|e| panic!("{name} v{version}: {e}"));
+            assert_eq!(decoded, request, "{name} v{version}");
+        }
+    }
+    for (name, response) in sample_responses() {
+        // Older versions drop fields by design (the decoder zero-fills),
+        // so exact equality only holds at the current version.
+        let bytes = unhex(golden_for(RESPONSE_GOLDENS, name, PROTOCOL_VERSION));
+        let decoded =
+            decode_response_v(&bytes, PROTOCOL_VERSION).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(decoded, response, "{name} v{PROTOCOL_VERSION}");
+    }
+}
+
+#[test]
+fn downlevel_stats_goldens_decode_with_zeroed_new_fields() {
+    let (_, response) = sample_responses()
+        .into_iter()
+        .find(|(n, _)| *n == "stats")
+        .unwrap();
+    let Response::Stats { stats: full, .. } = &response else {
+        unreachable!()
+    };
+    for version in [1u16, 2] {
+        let bytes = unhex(golden_for(RESPONSE_GOLDENS, "stats", version));
+        let Response::Stats { stats, request_id } = decode_response_v(&bytes, version).unwrap()
+        else {
+            panic!("stats golden must decode to Stats at v{version}")
+        };
+        assert_eq!(request_id, 10);
+        assert_eq!(stats.submitted, full.submitted);
+        assert_eq!(stats.completed, full.completed);
+        // v3 fields are zero-filled below v3.
+        assert_eq!(stats.backend_faults, 0);
+        assert_eq!(stats.reroutes, 0);
+        assert_eq!(stats.per_backend["cpu"].faults, 0);
+        if version == 1 {
+            // v2 fields are zero/default-filled below v2.
+            assert_eq!(stats.per_backend["cpu"].predicted_device_seconds, 0.0);
+            assert_eq!(stats.per_backend["cpu"].ewma_correction, 1.0);
+        } else {
+            assert_eq!(
+                stats.per_backend["cpu"].predicted_device_seconds,
+                full.per_backend["cpu"].predicted_device_seconds
+            );
+        }
+    }
+}
+
+#[test]
+fn framed_request_bytes_are_frozen() {
+    let payload =
+        encode_request_v(&Request::Ping { token: 0xDEAD_BEEF }, PROTOCOL_VERSION).unwrap();
+    let mut framed = Vec::new();
+    write_frame(&mut framed, &payload).unwrap();
+    assert_eq!(
+        hex(&framed),
+        FRAMED_PING_GOLDEN,
+        "frame header layout drifted — this is a wire-format break"
+    );
+}
+
+/// Prints the full golden tables. Run after an *intentional* format
+/// change, then paste the output over the constants above.
+#[test]
+#[ignore = "generator, not a check"]
+fn regenerate() {
+    println!("const REQUEST_GOLDENS: &[(&str, u16, &str)] = &[");
+    for (name, request) in sample_requests() {
+        for version in VERSIONS {
+            if !request_encodable(name, version) {
+                continue;
+            }
+            let bytes = encode_request_v(&request, version).unwrap();
+            println!("    (\"{name}\", {version}, \"{}\"),", hex(&bytes));
+        }
+    }
+    println!("];");
+    println!("const RESPONSE_GOLDENS: &[(&str, u16, &str)] = &[");
+    for (name, response) in sample_responses() {
+        for version in VERSIONS {
+            let bytes = encode_response_v(&response, version).unwrap();
+            println!("    (\"{name}\", {version}, \"{}\"),", hex(&bytes));
+        }
+    }
+    println!("];");
+    let payload =
+        encode_request_v(&Request::Ping { token: 0xDEAD_BEEF }, PROTOCOL_VERSION).unwrap();
+    let mut framed = Vec::new();
+    write_frame(&mut framed, &payload).unwrap();
+    println!("const FRAMED_PING_GOLDEN: &str = \"{}\";", hex(&framed));
+}
