@@ -226,6 +226,7 @@ impl Planner {
             DispatchPolicy::PreferSpecialized => {
                 // Compatibility ordering: non-CPU backends in registration
                 // order first, then the rest.
+                // lint:allow(panic::index, reason = "candidate indices come from enumerate over backends")
                 ranked.sort_by_key(|&(i, _)| backends[i].name() == "cpu");
             }
             DispatchPolicy::MinPredictedLatency => {
@@ -238,7 +239,7 @@ impl Planner {
                 ranked.sort_by(|a, b| latency(&a.1).total_cmp(&latency(&b.1)));
                 if let Some(budget) = deadline_seconds {
                     // A backend with no estimate cannot be shown to fit.
-                    let best = latency(&ranked[0].1);
+                    let best = ranked.first().map_or(f64::INFINITY, |r| latency(&r.1));
                     ranked.retain(|(_, e)| latency(e) <= budget);
                     if ranked.is_empty() {
                         return Err(AccelError::DeadlineUnmeetable {
@@ -250,6 +251,7 @@ impl Planner {
                     // Among the backends that fit, keep the specialist
                     // preference: the whole point of the deadline check is
                     // to fall back only when the specialist cannot finish.
+                    // lint:allow(panic::index, reason = "candidate indices come from enumerate over backends")
                     ranked.sort_by_key(|&(i, _)| backends[i].name() == "cpu");
                 }
             }
@@ -723,6 +725,7 @@ impl HostRuntime {
         let mut diverted = false;
         let mut last_fault: Option<AccelError> = None;
         for (idx, estimate) in plan.ranked {
+            // lint:allow(panic::index, reason = "plan indices come from enumerate over self.backends")
             let name = self.backends[idx].name().to_string();
             if self.quarantine_gate(&name) {
                 diverted = true;
@@ -730,11 +733,13 @@ impl HostRuntime {
                 continue;
             }
             if let Some(seed) = request.reseed {
+                // lint:allow(panic::index, reason = "plan indices come from enumerate over self.backends")
                 self.backends[idx].reseed(seed);
             }
             let mut retries = 0u32;
             loop {
                 attempts_total += 1;
+                // lint:allow(panic::index, reason = "plan indices come from enumerate over self.backends")
                 match self.backends[idx].execute(kernel) {
                     Ok(execution) => {
                         self.note_success(&name);
@@ -746,6 +751,7 @@ impl HostRuntime {
                         // execution actually cost, so the factor converges
                         // to the true actual/predicted ratio. No-op for
                         // frozen planners.
+                        // lint:allow(panic::index, reason = "plan indices come from enumerate over self.backends")
                         if let Some(raw) = self.backends[idx].estimate(kernel) {
                             self.planner.observe(
                                 &name,

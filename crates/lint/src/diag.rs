@@ -1,0 +1,202 @@
+//! Diagnostics: the finding type, rustc-style rendering, and the JSON
+//! report (hand-rolled writer — the workspace is dependency-free).
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Severity of a finding. Only `Error` affects the exit code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    Error,
+    Warning,
+}
+
+/// One finding, anchored to a file position.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    pub severity: Severity,
+    /// Rule id, e.g. `determinism::wall-clock` or `panic::unwrap`.
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub file: String,
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+    /// One-line remediation hint.
+    pub help: String,
+}
+
+impl Diagnostic {
+    pub fn error(
+        rule: &'static str,
+        file: &Path,
+        line: u32,
+        col: u32,
+        message: impl Into<String>,
+        help: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            severity: Severity::Error,
+            rule,
+            file: file.display().to_string(),
+            line,
+            col,
+            message: message.into(),
+            help: help.into(),
+        }
+    }
+
+    pub fn warning(
+        rule: &'static str,
+        file: &Path,
+        line: u32,
+        col: u32,
+        message: impl Into<String>,
+        help: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            rule,
+            file: file.display().to_string(),
+            line,
+            col,
+            message: message.into(),
+            help: help.into(),
+        }
+    }
+
+    /// Renders the finding in rustc's two-line style:
+    ///
+    /// ```text
+    /// error[panic::unwrap]: `unwrap()` on the serving surface
+    ///   --> crates/server/src/connection.rs:196:34
+    ///   = help: return a typed ServerError instead
+    /// ```
+    #[must_use]
+    pub fn render(&self) -> String {
+        let level = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "{level}[{}]: {}", self.rule, self.message);
+        let _ = writeln!(out, "  --> {}:{}:{}", self.file, self.line, self.col);
+        if !self.help.is_empty() {
+            let _ = writeln!(out, "  = help: {}", self.help);
+        }
+        out
+    }
+}
+
+/// Sorts findings into a stable display order: file, line, column, rule.
+pub fn sort(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serialises the findings as a JSON report.
+#[must_use]
+pub fn to_json(diags: &[Diagnostic], files_scanned: usize) -> String {
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diags.len() - errors;
+    let mut out = String::new();
+    out.push_str("{\n  \"tool\": \"rebootlint\",\n");
+    let _ = writeln!(out, "  \"files_scanned\": {files_scanned},");
+    let _ = writeln!(out, "  \"errors\": {errors},");
+    let _ = writeln!(out, "  \"warnings\": {warnings},");
+    out.push_str("  \"diagnostics\": [\n");
+    for (i, d) in diags.iter().enumerate() {
+        let sev = match d.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        let _ = write!(
+            out,
+            "    {{\"severity\": \"{sev}\", \"rule\": \"{}\", \"file\": \"{}\", \
+             \"line\": {}, \"col\": {}, \"message\": \"{}\", \"help\": \"{}\"}}",
+            json_escape(d.rule),
+            json_escape(&d.file),
+            d.line,
+            d.col,
+            json_escape(&d.message),
+            json_escape(&d.help),
+        );
+        out.push_str(if i + 1 < diags.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    #[test]
+    fn render_matches_rustc_shape() {
+        let d = Diagnostic::error(
+            "panic::unwrap",
+            &PathBuf::from("crates/server/src/x.rs"),
+            12,
+            3,
+            "`unwrap()` in non-test library code",
+            "return a typed error",
+        );
+        let s = d.render();
+        assert!(s.starts_with("error[panic::unwrap]: "));
+        assert!(s.contains("--> crates/server/src/x.rs:12:3"));
+        assert!(s.contains("= help: return a typed error"));
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let d = Diagnostic::error(
+            "wire::frozen",
+            &PathBuf::from("a\\b.rs"),
+            1,
+            1,
+            "edited \"frozen\" fn",
+            "",
+        );
+        let j = to_json(&[d], 3);
+        assert!(j.contains("\"files_scanned\": 3"));
+        assert!(j.contains("\"errors\": 1"));
+        assert!(j.contains("a\\\\b.rs"));
+        assert!(j.contains("\\\"frozen\\\""));
+    }
+
+    #[test]
+    fn sort_is_by_position() {
+        let mk = |file: &str, line| Diagnostic::error("r", &PathBuf::from(file), line, 1, "m", "");
+        let mut v = vec![mk("b.rs", 1), mk("a.rs", 9), mk("a.rs", 2)];
+        sort(&mut v);
+        assert_eq!(
+            v.iter()
+                .map(|d| (d.file.clone(), d.line))
+                .collect::<Vec<_>>(),
+            vec![("a.rs".into(), 2), ("a.rs".into(), 9), ("b.rs".into(), 1)]
+        );
+    }
+}

@@ -1,0 +1,407 @@
+//! A hand-rolled Rust lexer: just enough token structure for invariant
+//! scanning, with line/column tracking and comment capture.
+//!
+//! The lexer is total — any byte sequence produces a token stream — and
+//! deliberately simpler than rustc's: it distinguishes identifiers,
+//! literals, lifetimes and punctuation, merges `::` into one token, and
+//! records every comment (the `// lint:allow(...)` escape hatch lives in
+//! comments). It does not attempt full float-suffix or numeric-literal
+//! fidelity; rule matching only needs identifier and shape information.
+
+/// What a token is, at the granularity the rules care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `HashMap`, `r#async`).
+    Ident,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Numeric literal (`0x83`, `1_000`, `1.5e-3`).
+    Num,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Punctuation. Single characters, except `::` which is one token.
+    Punct,
+}
+
+/// One lexed token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// One comment (line `//…` or block `/*…*/`), with the line it starts on.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+}
+
+/// A lexed source file: the token stream plus all comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek(0)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into tokens and comments. Never fails: unrecognised bytes
+/// become single-character punctuation tokens.
+pub fn lex(src: &str) -> Lexed {
+    let mut c = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Lexed::default();
+
+    while let Some(b) = c.peek(0) {
+        let (line, col) = (c.line, c.col);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                c.bump();
+            }
+            b'/' if c.peek(1) == Some(b'/') => {
+                let start = c.pos;
+                while c.peek(0).is_some_and(|b| b != b'\n') {
+                    c.bump();
+                }
+                out.comments.push(Comment {
+                    text: String::from_utf8_lossy(&c.src[start..c.pos]).into_owned(),
+                    line,
+                });
+            }
+            b'/' if c.peek(1) == Some(b'*') => {
+                let start = c.pos;
+                c.bump();
+                c.bump();
+                let mut depth = 1u32;
+                while depth > 0 {
+                    match (c.peek(0), c.peek(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            c.bump();
+                            c.bump();
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            c.bump();
+                            c.bump();
+                        }
+                        (Some(_), _) => {
+                            c.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                out.comments.push(Comment {
+                    text: String::from_utf8_lossy(&c.src[start..c.pos]).into_owned(),
+                    line,
+                });
+            }
+            b'r' | b'b' if starts_raw_string(&c) => {
+                let start = c.pos;
+                lex_raw_string(&mut c);
+                push(&mut out, TokKind::Str, &c, start, line, col);
+            }
+            b'b' if c.peek(1) == Some(b'\'') => {
+                let start = c.pos;
+                c.bump();
+                lex_char(&mut c);
+                push(&mut out, TokKind::Char, &c, start, line, col);
+            }
+            b'b' if c.peek(1) == Some(b'"') => {
+                let start = c.pos;
+                c.bump();
+                lex_string(&mut c);
+                push(&mut out, TokKind::Str, &c, start, line, col);
+            }
+            b'"' => {
+                let start = c.pos;
+                lex_string(&mut c);
+                push(&mut out, TokKind::Str, &c, start, line, col);
+            }
+            b'\'' => {
+                let start = c.pos;
+                if is_char_literal(&c) {
+                    lex_char(&mut c);
+                    push(&mut out, TokKind::Char, &c, start, line, col);
+                } else {
+                    c.bump();
+                    while c.peek(0).is_some_and(is_ident_continue) {
+                        c.bump();
+                    }
+                    push(&mut out, TokKind::Lifetime, &c, start, line, col);
+                }
+            }
+            b'r' if c.peek(1) == Some(b'#') && c.peek(2).is_some_and(is_ident_start) => {
+                let start = c.pos;
+                c.bump();
+                c.bump();
+                while c.peek(0).is_some_and(is_ident_continue) {
+                    c.bump();
+                }
+                push(&mut out, TokKind::Ident, &c, start, line, col);
+            }
+            _ if is_ident_start(b) => {
+                let start = c.pos;
+                while c.peek(0).is_some_and(is_ident_continue) {
+                    c.bump();
+                }
+                push(&mut out, TokKind::Ident, &c, start, line, col);
+            }
+            _ if b.is_ascii_digit() => {
+                let start = c.pos;
+                lex_number(&mut c);
+                push(&mut out, TokKind::Num, &c, start, line, col);
+            }
+            b':' if c.peek(1) == Some(b':') => {
+                let start = c.pos;
+                c.bump();
+                c.bump();
+                push(&mut out, TokKind::Punct, &c, start, line, col);
+            }
+            _ => {
+                let start = c.pos;
+                c.bump();
+                push(&mut out, TokKind::Punct, &c, start, line, col);
+            }
+        }
+    }
+    out
+}
+
+fn push(out: &mut Lexed, kind: TokKind, c: &Cursor<'_>, start: usize, line: u32, col: u32) {
+    out.toks.push(Tok {
+        kind,
+        text: String::from_utf8_lossy(&c.src[start..c.pos]).into_owned(),
+        line,
+        col,
+    });
+}
+
+/// `r"…"`, `r#"…"#`, `br"…"`, `br##"…"##`?
+fn starts_raw_string(c: &Cursor<'_>) -> bool {
+    let mut i = 1;
+    if c.peek(0) == Some(b'b') {
+        if c.peek(1) != Some(b'r') {
+            return false;
+        }
+        i = 2;
+    }
+    while c.peek(i) == Some(b'#') {
+        i += 1;
+    }
+    // `r#ident` (raw identifier) has an identifier character, not a quote,
+    // after the hashes.
+    c.peek(i) == Some(b'"')
+}
+
+fn lex_raw_string(c: &mut Cursor<'_>) {
+    if c.peek(0) == Some(b'b') {
+        c.bump();
+    }
+    c.bump(); // r
+    let mut hashes = 0usize;
+    while c.peek(0) == Some(b'#') {
+        c.bump();
+        hashes += 1;
+    }
+    c.bump(); // opening quote
+    loop {
+        match c.bump() {
+            None => break,
+            Some(b'"') => {
+                let mut matched = 0usize;
+                while matched < hashes && c.peek(0) == Some(b'#') {
+                    c.bump();
+                    matched += 1;
+                }
+                if matched == hashes {
+                    break;
+                }
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+fn lex_string(c: &mut Cursor<'_>) {
+    c.bump(); // opening quote
+    loop {
+        match c.bump() {
+            None | Some(b'"') => break,
+            Some(b'\\') => {
+                c.bump();
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+/// After a `'`, decide char literal vs lifetime.
+fn is_char_literal(c: &Cursor<'_>) -> bool {
+    match c.peek(1) {
+        Some(b'\\') => true,
+        Some(b) if is_ident_continue(b) => c.peek(2) == Some(b'\''),
+        Some(_) => true, // e.g. '(' — punctuation chars are never lifetimes
+        None => false,
+    }
+}
+
+fn lex_char(c: &mut Cursor<'_>) {
+    c.bump(); // opening quote
+    loop {
+        match c.bump() {
+            None | Some(b'\'') => break,
+            Some(b'\\') => {
+                c.bump();
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+fn lex_number(c: &mut Cursor<'_>) {
+    while c.peek(0).is_some_and(is_ident_continue) {
+        let consumed = c.bump();
+        // Exponent sign: `1e-3`, `2.5E+10`.
+        if matches!(consumed, Some(b'e' | b'E'))
+            && matches!(c.peek(0), Some(b'+' | b'-'))
+            && c.peek(1).is_some_and(|b| b.is_ascii_digit())
+        {
+            c.bump();
+        }
+    }
+    // Fractional part: `1.5` but not the range `1..n` or a method `1.max(2)`.
+    if c.peek(0) == Some(b'.') && c.peek(1).is_some_and(|b| b.is_ascii_digit()) {
+        c.bump();
+        while c.peek(0).is_some_and(is_ident_continue) {
+            let consumed = c.bump();
+            if matches!(consumed, Some(b'e' | b'E'))
+                && matches!(c.peek(0), Some(b'+' | b'-'))
+                && c.peek(1).is_some_and(|b| b.is_ascii_digit())
+            {
+                c.bump();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .toks
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_paths() {
+        let toks = kinds("Instant::now()");
+        assert_eq!(toks[0], (TokKind::Ident, "Instant".into()));
+        assert_eq!(toks[1], (TokKind::Punct, "::".into()));
+        assert_eq!(toks[2], (TokKind::Ident, "now".into()));
+    }
+
+    #[test]
+    fn comments_are_captured_not_tokenised() {
+        let lexed = lex("a // lint:allow(panic, reason = \"x\")\nb /* block */ c");
+        assert_eq!(lexed.toks.len(), 3);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].text.contains("lint:allow"));
+        assert_eq!(lexed.comments[0].line, 1);
+        assert_eq!(lexed.comments[1].line, 2);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"let s = "unwrap() // not a comment";"#);
+        assert!(toks.iter().any(|(k, _)| *k == TokKind::Str));
+        assert!(!toks.iter().any(|(_, t)| t == "unwrap"));
+        assert_eq!(lex(r#""a\"b" x"#).toks.len(), 2);
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let toks = kinds(r##"r#"panic!() inside"# r#fn b"bytes" br"raw""##);
+        assert_eq!(toks[0].0, TokKind::Str);
+        assert_eq!(toks[1], (TokKind::Ident, "r#fn".into()));
+        assert_eq!(toks[2].0, TokKind::Str);
+        assert_eq!(toks[3].0, TokKind::Str);
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = kinds("&'a str 'x' '\\n' b'z'");
+        assert_eq!(toks[1].0, TokKind::Lifetime);
+        assert_eq!(toks[3].0, TokKind::Char);
+        assert_eq!(toks[4].0, TokKind::Char);
+        assert_eq!(toks[5].0, TokKind::Char);
+    }
+
+    #[test]
+    fn numbers_stay_whole() {
+        let toks = kinds("0x83 1_000 1.5e-3 1..n a.0");
+        assert_eq!(toks[0], (TokKind::Num, "0x83".into()));
+        assert_eq!(toks[1], (TokKind::Num, "1_000".into()));
+        assert_eq!(toks[2], (TokKind::Num, "1.5e-3".into()));
+        assert_eq!(toks[3], (TokKind::Num, "1".into()));
+        assert_eq!(toks[4], (TokKind::Punct, ".".into()));
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let lexed = lex("a\n  b");
+        assert_eq!((lexed.toks[0].line, lexed.toks[0].col), (1, 1));
+        assert_eq!((lexed.toks[1].line, lexed.toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lexed = lex("/* a /* b */ c */ x");
+        assert_eq!(lexed.toks.len(), 1);
+        assert_eq!(lexed.toks[0].text, "x");
+    }
+}

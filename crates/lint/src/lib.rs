@@ -1,0 +1,363 @@
+//! `rebootlint` — an offline, dependency-free invariant checker for this
+//! workspace.
+//!
+//! The repo's core contract is that chaos runs, planner routing, and
+//! cross-wire results replay byte-for-byte. The runtime tests enforce the
+//! contract after the fact; this crate enforces its *ingredients* at the
+//! source level, with four rule families:
+//!
+//! | family | rule ids | scope |
+//! |---|---|---|
+//! | determinism | `determinism::{wall-clock, system-time, thread-rng, hash-iter}` | `accel`, `wire`, `mem`, `osc`, `quantum`, `numerics`, `runtime` |
+//! | panic-hygiene | `panic::{unwrap, expect, panic, todo, unimplemented, index}` | `wire`, `server`, `accel::host` |
+//! | wire-freeze | `wire::{frozen, tag-dup, version-freeze}` | `crates/wire` + the registry |
+//! | lock-order | `locks::cycle` | `runtime`, `server` |
+//!
+//! Legitimate violations are annotated in place:
+//!
+//! ```text
+//! // lint:allow(wall-clock, reason = "latency stamping; never feeds a result")
+//! let now = Instant::now();
+//! ```
+//!
+//! An allow without a reason is itself an error; an allow that suppresses
+//! nothing is a warning.
+
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+
+use diag::{Diagnostic, Severity};
+use rules::locks::LockGraph;
+use source::SourceFile;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Crates whose results must replay byte-for-byte: wall-clock, ambient
+/// entropy and epoch reads are forbidden (annotated escapes aside).
+pub const DETERMINISTIC_CRATES: &[&str] = &[
+    "accel", "wire", "mem", "osc", "quantum", "numerics", "runtime",
+];
+
+/// The strictly pure subset where even hash-order iteration is forbidden.
+/// `runtime`/`server` legitimately keep hash maps for keyed lookup.
+pub const HASH_ITER_CRATES: &[&str] = &["accel", "wire", "mem", "osc", "quantum", "numerics"];
+
+/// Hostile-input and serving surfaces: library code must not panic.
+pub const PANIC_CRATES: &[&str] = &["wire", "server"];
+
+/// Crates whose `Mutex`/`Condvar` acquisitions feed the lock-order graph.
+pub const LOCK_CRATES: &[&str] = &["runtime", "server"];
+
+/// Workspace-relative path of the wire-freeze registry.
+pub const WIRE_REGISTRY: &str = "crates/lint/wire_freeze.registry";
+
+const MISSING_REASON: &str = "allow::missing-reason";
+const UNUSED_ALLOW: &str = "allow::unused";
+
+/// The outcome of a lint run.
+#[derive(Debug)]
+pub struct Report {
+    pub diags: Vec<Diagnostic>,
+    pub files_scanned: usize,
+}
+
+impl Report {
+    #[must_use]
+    pub fn errors(&self) -> usize {
+        self.diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    #[must_use]
+    pub fn warnings(&self) -> usize {
+        self.diags.len() - self.errors()
+    }
+}
+
+fn scanned_crates() -> BTreeSet<&'static str> {
+    DETERMINISTIC_CRATES
+        .iter()
+        .chain(HASH_ITER_CRATES)
+        .chain(PANIC_CRATES)
+        .chain(LOCK_CRATES)
+        .chain(["accel", "wire"].iter())
+        .copied()
+        .collect()
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(std::fs::DirEntry::file_name);
+    for entry in entries {
+        let path = entry.path();
+        if path.is_dir() {
+            walk_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Loads every `crates/<crate>/src/**/*.rs` for the crates any rule
+/// applies to. Paths inside the returned files are workspace-relative.
+pub fn load_workspace(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    for crate_name in scanned_crates() {
+        let src_dir = root.join("crates").join(crate_name).join("src");
+        if !src_dir.is_dir() {
+            continue;
+        }
+        let mut paths = Vec::new();
+        walk_rs(&src_dir, &mut paths)?;
+        for path in paths {
+            let text = fs::read_to_string(&path)?;
+            let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+            files.push(SourceFile::parse(rel, crate_name, &text));
+        }
+    }
+    Ok(files)
+}
+
+/// Runs every rule over pre-parsed sources. `wire_registry` is the text
+/// of the freeze registry ("" when absent — every frozen item then fails
+/// as unblessed).
+#[must_use]
+pub fn check_sources(files: &[SourceFile], wire_registry: &str) -> Report {
+    let mut raw = Vec::new();
+
+    for file in files {
+        let c = file.crate_name.as_str();
+        if DETERMINISTIC_CRATES.contains(&c) {
+            rules::determinism::check(file, HASH_ITER_CRATES.contains(&c), &mut raw);
+        }
+        let panic_surface = PANIC_CRATES.contains(&c)
+            || (c == "accel" && file.path.file_name().is_some_and(|n| n == "host.rs"));
+        if panic_surface {
+            rules::panics::check(file, &mut raw);
+        }
+    }
+
+    let mut graph = LockGraph::default();
+    for file in files {
+        if LOCK_CRATES.contains(&file.crate_name.as_str()) {
+            rules::locks::collect(file, &mut graph);
+        }
+    }
+    rules::locks::check_cycles(&graph, &mut raw);
+
+    let wire_files: BTreeMap<String, &SourceFile> = files
+        .iter()
+        .filter(|f| f.crate_name == "wire")
+        .filter_map(|f| {
+            f.path
+                .file_stem()
+                .map(|s| (s.to_string_lossy().into_owned(), f))
+        })
+        .collect();
+    if !wire_files.is_empty() {
+        rules::freeze::check(
+            &wire_files,
+            wire_registry,
+            Path::new(WIRE_REGISTRY),
+            &mut raw,
+        );
+    }
+
+    apply_allows(files, raw)
+}
+
+/// Filters raw findings through the `lint:allow` escape hatches, demands
+/// reasons, and flags stale allows.
+fn apply_allows(files: &[SourceFile], raw: Vec<Diagnostic>) -> Report {
+    let by_path: BTreeMap<String, &SourceFile> = files
+        .iter()
+        .map(|f| (f.path.display().to_string(), f))
+        .collect();
+    let mut used: BTreeMap<(String, usize), bool> = BTreeMap::new();
+    let mut kept = Vec::new();
+
+    for d in raw {
+        let suppressed = by_path
+            .get(&d.file)
+            .and_then(|f| f.allow_for(d.rule, d.line).map(|idx| (d.file.clone(), idx)));
+        match suppressed {
+            Some(key) => {
+                used.insert(key, true);
+            }
+            None => kept.push(d),
+        }
+    }
+
+    for (path, file) in &by_path {
+        for (idx, allow) in file.allows.iter().enumerate() {
+            let was_used = used.contains_key(&(path.clone(), idx));
+            if was_used && allow.reason.is_none() {
+                kept.push(Diagnostic::error(
+                    MISSING_REASON,
+                    &file.path,
+                    allow.line,
+                    allow.col,
+                    format!("`lint:allow({})` has no reason", allow.rule),
+                    "write `// lint:allow(rule, reason = \"why this site is sound\")`",
+                ));
+            } else if !was_used {
+                kept.push(Diagnostic::warning(
+                    UNUSED_ALLOW,
+                    &file.path,
+                    allow.line,
+                    allow.col,
+                    format!("`lint:allow({})` suppresses nothing", allow.rule),
+                    "delete the stale annotation",
+                ));
+            }
+        }
+    }
+
+    diag::sort(&mut kept);
+    Report {
+        diags: kept,
+        files_scanned: files.len(),
+    }
+}
+
+/// Full workspace check: loads sources and the freeze registry from
+/// `root` and runs every rule.
+pub fn check_workspace(root: &Path) -> io::Result<Report> {
+    let files = load_workspace(root)?;
+    let registry = fs::read_to_string(root.join(WIRE_REGISTRY)).unwrap_or_default();
+    Ok(check_sources(&files, &registry))
+}
+
+/// Checks explicit files (fixtures, ad-hoc runs) with the determinism,
+/// panic-hygiene and lock-order rules — everything except wire-freeze,
+/// which only makes sense against the real `crates/wire` tree.
+pub fn check_files(paths: &[PathBuf]) -> io::Result<Report> {
+    let mut files = Vec::new();
+    for path in paths {
+        let text = fs::read_to_string(path)?;
+        files.push(SourceFile::parse(path.clone(), "fixture", &text));
+    }
+    let mut raw = Vec::new();
+    let mut graph = LockGraph::default();
+    for file in &files {
+        rules::determinism::check(file, true, &mut raw);
+        rules::panics::check(file, &mut raw);
+        rules::locks::collect(file, &mut graph);
+    }
+    rules::locks::check_cycles(&graph, &mut raw);
+    Ok(apply_allows(&files, raw))
+}
+
+/// Regenerates the wire-freeze registry from the current sources and
+/// writes it to `root/`[`WIRE_REGISTRY`]. Returns the rendered registry.
+pub fn bless_wire(root: &Path) -> io::Result<String> {
+    let files = load_workspace(root)?;
+    let wire_files: BTreeMap<String, &SourceFile> = files
+        .iter()
+        .filter(|f| f.crate_name == "wire")
+        .filter_map(|f| {
+            f.path
+                .file_stem()
+                .map(|s| (s.to_string_lossy().into_owned(), f))
+        })
+        .collect();
+    let rendered = rules::freeze::bless(&wire_files);
+    fs::write(root.join(WIRE_REGISTRY), &rendered)?;
+    Ok(rendered)
+}
+
+/// Ascends from `start` to the first directory whose `Cargo.toml`
+/// declares `[workspace]`.
+#[must_use]
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn src_file(name: &str, crate_name: &str, src: &str) -> SourceFile {
+        SourceFile::parse(PathBuf::from(name), crate_name, src)
+    }
+
+    #[test]
+    fn allows_suppress_and_track_usage() {
+        let f = src_file(
+            "crates/runtime/src/x.rs",
+            "runtime",
+            "fn f() {\n    // lint:allow(wall-clock, reason = \"latency only\")\n    let t = Instant::now();\n}\n",
+        );
+        let report = check_sources(std::slice::from_ref(&f), "");
+        assert!(
+            report
+                .diags
+                .iter()
+                .all(|d| d.rule != "determinism::wall-clock"),
+            "{:?}",
+            report.diags
+        );
+    }
+
+    #[test]
+    fn allow_without_reason_is_an_error() {
+        let f = src_file(
+            "crates/runtime/src/x.rs",
+            "runtime",
+            "fn f() {\n    // lint:allow(wall-clock)\n    let t = Instant::now();\n}\n",
+        );
+        let report = check_sources(std::slice::from_ref(&f), "");
+        assert!(report
+            .diags
+            .iter()
+            .any(|d| d.rule == "allow::missing-reason"));
+    }
+
+    #[test]
+    fn stale_allow_warns() {
+        let f = src_file(
+            "crates/runtime/src/x.rs",
+            "runtime",
+            "// lint:allow(wall-clock, reason = \"nothing here\")\nfn f() {}\n",
+        );
+        let report = check_sources(std::slice::from_ref(&f), "");
+        assert!(report.diags.iter().any(|d| d.rule == "allow::unused"));
+        assert_eq!(report.errors(), 0);
+    }
+
+    #[test]
+    fn rules_are_scoped_per_crate() {
+        // unwrap in runtime is fine (panic rules target wire/server);
+        // Instant::now in server is fine (determinism targets the
+        // deterministic crates).
+        let runtime = src_file(
+            "crates/runtime/src/x.rs",
+            "runtime",
+            "fn f(x: Option<u8>) -> u8 { x.unwrap() }",
+        );
+        let server = src_file(
+            "crates/server/src/y.rs",
+            "server",
+            "fn g() { let t = Instant::now(); go(t); }",
+        );
+        let report = check_sources(&[runtime, server], "");
+        assert_eq!(report.errors(), 0, "{:?}", report.diags);
+    }
+}

@@ -1,0 +1,136 @@
+//! `rebootlint` CLI.
+//!
+//! ```text
+//! cargo run -p lint                      # check the whole workspace
+//! cargo run -p lint -- --json report.json
+//! cargo run -p lint -- --bless-wire     # re-record the wire-freeze registry
+//! cargo run -p lint -- --files a.rs ... # run the file-local rules on fixtures
+//! ```
+//!
+//! Exit status: 0 when no errors (warnings allowed), 1 on any error,
+//! 2 on usage or I/O problems.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: Option<PathBuf>,
+    json: Option<String>,
+    bless_wire: bool,
+    files: Vec<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        json: None,
+        bless_wire: false,
+        files: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                let v = it.next().ok_or("--root needs a directory")?;
+                args.root = Some(PathBuf::from(v));
+            }
+            "--json" => {
+                args.json = Some(it.next().unwrap_or_else(|| "-".to_string()));
+            }
+            "--bless-wire" => args.bless_wire = true,
+            "--files" => {
+                args.files.extend(it.by_ref().map(PathBuf::from));
+            }
+            "--help" | "-h" => {
+                return Err("usage: rebootlint [--root DIR] [--json [FILE|-]] \
+                            [--bless-wire] [--files FILE...]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = if args.files.is_empty() {
+        let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+        let root = args
+            .root
+            .clone()
+            .or_else(|| lint::find_workspace_root(&cwd));
+        let Some(root) = root else {
+            eprintln!("rebootlint: no workspace root found (looked for a Cargo.toml with [workspace]); pass --root");
+            return ExitCode::from(2);
+        };
+        if args.bless_wire {
+            return match lint::bless_wire(&root) {
+                Ok(rendered) => {
+                    let entries = rendered
+                        .lines()
+                        .filter(|l| !l.trim_start().starts_with('#') && !l.trim().is_empty())
+                        .count();
+                    println!(
+                        "rebootlint: blessed {} ({entries} entries)",
+                        lint::WIRE_REGISTRY
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("rebootlint: bless failed: {e}");
+                    ExitCode::from(2)
+                }
+            };
+        }
+        match lint::check_workspace(&root) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("rebootlint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        match lint::check_files(&args.files) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("rebootlint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+
+    for d in &report.diags {
+        print!("{}", d.render());
+    }
+    let summary = format!(
+        "rebootlint: checked {} files: {} errors, {} warnings",
+        report.files_scanned,
+        report.errors(),
+        report.warnings()
+    );
+    println!("{summary}");
+
+    if let Some(dest) = &args.json {
+        let json = lint::diag::to_json(&report.diags, report.files_scanned);
+        if dest == "-" {
+            print!("{json}");
+        } else if let Err(e) = std::fs::write(dest, json) {
+            eprintln!("rebootlint: writing {dest}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    if report.errors() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,245 @@
+//! Determinism lints: the serving stack's replay guarantees (chaos runs,
+//! cross-wire results, planner routing) hold only if no wall-clock time,
+//! ambient entropy, or hash-iteration order leaks into result-bearing
+//! code. These rules forbid the ingredients at the source level.
+//!
+//! * `determinism::wall-clock` — `Instant::now()`;
+//! * `determinism::system-time` — any `SystemTime` / `UNIX_EPOCH` use;
+//! * `determinism::thread-rng` — OS-entropy RNG constructors;
+//! * `determinism::hash-iter` — iterating a `HashMap`/`HashSet`, whose
+//!   order varies run to run (the deterministic crates should use sorted
+//!   structures or `numerics::rng`-seeded shuffles instead).
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+use std::collections::BTreeSet;
+
+pub const WALL_CLOCK: &str = "determinism::wall-clock";
+pub const SYSTEM_TIME: &str = "determinism::system-time";
+pub const THREAD_RNG: &str = "determinism::thread-rng";
+pub const HASH_ITER: &str = "determinism::hash-iter";
+
+const ENTROPY_IDENTS: &[&str] = &["thread_rng", "from_entropy", "getrandom", "RandomState"];
+
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "retain",
+];
+
+/// Scans one file. `check_hash_iter` is enabled for the pure deterministic
+/// crates only — the serving crates legitimately keep hash maps for keyed
+/// lookup and shutdown drains.
+pub fn check(file: &SourceFile, check_hash_iter: bool, out: &mut Vec<Diagnostic>) {
+    let toks = &file.toks;
+    let hash_bindings = if check_hash_iter {
+        hash_container_bindings(file)
+    } else {
+        BTreeSet::new()
+    };
+
+    for i in 0..toks.len() {
+        if file.is_test[i] || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let t = &toks[i];
+        match t.text.as_str() {
+            "Instant"
+                if toks.get(i + 1).is_some_and(|n| n.text == "::")
+                    && toks.get(i + 2).is_some_and(|n| n.text == "now") =>
+            {
+                out.push(Diagnostic::error(
+                    WALL_CLOCK,
+                    &file.path,
+                    t.line,
+                    t.col,
+                    "`Instant::now()` in a deterministic crate",
+                    "derive timing from the job seed or annotate \
+                     `// lint:allow(wall-clock, reason = \"...\")` if the value \
+                     never feeds a result",
+                ));
+            }
+            "SystemTime" | "UNIX_EPOCH" => {
+                out.push(Diagnostic::error(
+                    SYSTEM_TIME,
+                    &file.path,
+                    t.line,
+                    t.col,
+                    format!("`{}` in a deterministic crate", t.text),
+                    "wall-clock epochs are nondeterministic; thread an explicit \
+                     timestamp in from the caller",
+                ));
+            }
+            name if ENTROPY_IDENTS.contains(&name) => {
+                out.push(Diagnostic::error(
+                    THREAD_RNG,
+                    &file.path,
+                    t.line,
+                    t.col,
+                    format!("`{name}` draws OS entropy"),
+                    "use a seeded `numerics::rng` stream so runs replay",
+                ));
+            }
+            name if check_hash_iter && hash_bindings.contains(name) => {
+                if let Some(d) = hash_iteration_at(file, i) {
+                    out.push(d);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Names bound to `HashMap`/`HashSet` in this file: `let x = HashMap::new()`,
+/// `let x: HashMap<..>`, struct fields and params `x: HashMap<..>`.
+fn hash_container_bindings(file: &SourceFile) -> BTreeSet<String> {
+    let toks = &file.toks;
+    let mut names = BTreeSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || (t.text != "HashMap" && t.text != "HashSet") {
+            continue;
+        }
+        // `NAME = HashMap::new()` — look straight back over `=`.
+        if i >= 2 && toks[i - 1].text == "=" && toks[i - 2].kind == TokKind::Ident {
+            names.insert(toks[i - 2].text.clone());
+            continue;
+        }
+        // `NAME : ... HashMap ...` — walk back over type-ish tokens to the
+        // nearest `:`; the identifier before it is the binding.
+        let mut j = i;
+        let mut budget = 12;
+        while j > 0 && budget > 0 {
+            j -= 1;
+            budget -= 1;
+            let text = toks[j].text.as_str();
+            match toks[j].kind {
+                TokKind::Punct if text == ":" => {
+                    if j >= 1 && toks[j - 1].kind == TokKind::Ident {
+                        names.insert(toks[j - 1].text.clone());
+                    }
+                    break;
+                }
+                TokKind::Punct if matches!(text, "<" | ">" | "&" | "'" | "::" | ",") => {}
+                TokKind::Ident | TokKind::Lifetime | TokKind::Num => {}
+                _ => break,
+            }
+        }
+    }
+    names
+}
+
+/// Is token `i` (a known hash-container name) being iterated here?
+fn hash_iteration_at(file: &SourceFile, i: usize) -> Option<Diagnostic> {
+    let toks = &file.toks;
+    let t = &toks[i];
+    // `name.iter()` / `.keys()` / `.drain()` ...
+    if toks.get(i + 1).is_some_and(|n| n.text == ".")
+        && toks
+            .get(i + 2)
+            .is_some_and(|n| ITER_METHODS.contains(&n.text.as_str()))
+        && toks.get(i + 3).is_some_and(|n| n.text == "(")
+    {
+        let method = &toks[i + 2].text;
+        return Some(Diagnostic::error(
+            HASH_ITER,
+            &file.path,
+            t.line,
+            t.col,
+            format!("`{}.{}()` iterates in hash order", t.text, method),
+            "hash order varies between runs; use a BTreeMap/BTreeSet or sort \
+             the entries before iterating",
+        ));
+    }
+    // `for pat in &name {` / `for pat in name {`
+    let mut j = i;
+    while j > 0 {
+        let prev = &toks[j - 1];
+        if matches!(prev.text.as_str(), "&" | "mut") {
+            j -= 1;
+        } else {
+            break;
+        }
+    }
+    if j >= 1 && toks[j - 1].text == "in" && toks.get(i + 1).is_some_and(|n| n.text == "{") {
+        return Some(Diagnostic::error(
+            HASH_ITER,
+            &file.path,
+            t.line,
+            t.col,
+            format!("`for _ in {}` iterates in hash order", t.text),
+            "hash order varies between runs; use a BTreeMap/BTreeSet or sort \
+             the entries before iterating",
+        ));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn run(src: &str, hash_iter: bool) -> Vec<Diagnostic> {
+        let f = SourceFile::parse(PathBuf::from("t.rs"), "t", src);
+        let mut out = Vec::new();
+        check(&f, hash_iter, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_instant_now_but_not_the_type() {
+        let d = run("fn f() { let t = Instant::now(); }", false);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, WALL_CLOCK);
+        assert!(run("fn f(t: Instant) -> Instant { t }", false).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let d = run(
+            "#[cfg(test)]\nmod tests { fn f() { Instant::now(); } }",
+            false,
+        );
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn flags_entropy_sources() {
+        assert_eq!(
+            run("fn f() { let r = thread_rng(); }", false)[0].rule,
+            THREAD_RNG
+        );
+        assert_eq!(
+            run("fn f() { SystemTime::now(); }", false)[0].rule,
+            SYSTEM_TIME
+        );
+    }
+
+    #[test]
+    fn flags_hash_iteration_not_lookup() {
+        let src = "fn f() { let mut m = HashMap::new(); m.insert(1, 2); \
+                   for (k, v) in &m { use_it(k, v); } }";
+        let d = run(src, true);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, HASH_ITER);
+        let lookup = "fn f(m: HashMap<u32, u32>) -> Option<&u32> { m.get(&1) }";
+        assert!(run(lookup, true).is_empty());
+    }
+
+    #[test]
+    fn hash_iter_methods_flagged() {
+        let src = "struct S { seen: HashMap<u32, u32> }\n\
+                   fn f(s: &S) { for k in s.seen.keys() { go(k); } }";
+        let d = run(src, true);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("seen.keys()"));
+    }
+}

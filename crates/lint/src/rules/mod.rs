@@ -1,0 +1,6 @@
+//! The four rule families of `rebootlint`.
+
+pub mod determinism;
+pub mod freeze;
+pub mod locks;
+pub mod panics;

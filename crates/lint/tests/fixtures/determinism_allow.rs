@@ -1,0 +1,13 @@
+//! Fixture: annotated escape hatches — the lint must stay silent.
+
+pub fn stamp() -> u64 {
+    // lint:allow(wall-clock, reason = "latency stamping only; never feeds a result")
+    let t = Instant::now();
+    elapsed_nanos(t)
+}
+
+pub fn entropy() -> u64 {
+    // lint:allow(determinism::thread-rng, reason = "full rule-id selectors work too")
+    let mut rng = thread_rng();
+    rng.gen()
+}

@@ -1,0 +1,24 @@
+//! Fixture: deterministic-crate violations — every marked line fires.
+
+pub fn stamp() -> u64 {
+    let t = Instant::now();
+    elapsed_nanos(t)
+}
+
+pub fn epoch() -> u64 {
+    let e = SystemTime::now();
+    since(e, UNIX_EPOCH)
+}
+
+pub fn entropy() -> u64 {
+    let mut rng = thread_rng();
+    rng.gen()
+}
+
+pub fn sum_values(map: HashMap<u32, u32>) -> u32 {
+    let mut total = 0;
+    for (_k, v) in &map {
+        total += v;
+    }
+    total
+}

@@ -1,0 +1,26 @@
+//! Fixture: the same two mutexes taken in one global order everywhere —
+//! no cycle, no diagnostic.
+
+pub struct Pair {
+    first: Mutex<u32>,
+    second: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn sum(&self) -> u32 {
+        let a = lock_or_recover(&self.first);
+        let b = lock_or_recover(&self.second);
+        *a + *b
+    }
+
+    pub fn swap(&self) {
+        let mut a = lock_or_recover(&self.first);
+        let mut b = lock_or_recover(&self.second);
+        core::mem::swap(&mut *a, &mut *b);
+    }
+
+    pub fn reset(&self) {
+        *lock_or_recover(&self.first) = 0;
+        *lock_or_recover(&self.second) = 0;
+    }
+}

@@ -1,0 +1,21 @@
+//! Fixture: a two-mutex acquisition-order inversion — the classic
+//! deadlock shape the lock-order rule exists to catch.
+
+pub struct Pair {
+    first: Mutex<u32>,
+    second: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u32 {
+        let a = self.first.lock().unwrap_or_else(PoisonError::into_inner);
+        let b = self.second.lock().unwrap_or_else(PoisonError::into_inner);
+        *a + *b
+    }
+
+    pub fn backward(&self) -> u32 {
+        let b = lock_or_recover(&self.second);
+        let a = lock_or_recover(&self.first);
+        *a + *b
+    }
+}

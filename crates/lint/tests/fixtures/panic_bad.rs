@@ -1,0 +1,25 @@
+//! Fixture: panic-hygiene violations — one per function.
+
+pub fn first(v: &[u8]) -> u8 {
+    v[0]
+}
+
+pub fn must(x: Option<u8>) -> u8 {
+    x.unwrap()
+}
+
+pub fn expected(x: Option<u8>) -> u8 {
+    x.expect("always present")
+}
+
+pub fn boom() {
+    panic!("fixture")
+}
+
+pub fn later() {
+    todo!()
+}
+
+pub fn never() {
+    unimplemented!()
+}

@@ -1,0 +1,19 @@
+//! Fixture: hygienic library code plus an exempt test module.
+
+pub fn first(v: &[u8]) -> Option<u8> {
+    v.first().copied()
+}
+
+pub fn must(x: Option<u8>) -> Result<u8, &'static str> {
+    x.ok_or("missing")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_index_and_panic() {
+        let v = [1u8, 2];
+        assert_eq!(super::first(&v).unwrap(), v[0]);
+        panic!("even panic is fine in tests");
+    }
+}

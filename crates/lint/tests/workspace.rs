@@ -1,0 +1,84 @@
+//! The self-check: the workspace this lint ships in must itself be
+//! lint-clean, and the wire-freeze registry must actually bite when a
+//! frozen function is edited without re-blessing.
+
+use lint::rules::freeze;
+use lint::source::SourceFile;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let report = lint::check_workspace(&workspace_root()).expect("workspace must be readable");
+    assert_eq!(report.errors(), 0, "{:#?}", report.diags);
+    assert_eq!(report.warnings(), 0, "{:#?}", report.diags);
+    assert!(report.files_scanned > 40, "scan looks truncated");
+}
+
+#[test]
+fn blessed_registry_matches_the_checked_in_one() {
+    // `--bless-wire` output is a pure function of the sources; the file in
+    // the repo must be exactly what blessing today would produce.
+    let root = workspace_root();
+    let files = lint::load_workspace(&root).expect("workspace must be readable");
+    let wire = wire_map(&files);
+    let fresh = freeze::bless(&wire);
+    let checked_in = std::fs::read_to_string(root.join(lint::WIRE_REGISTRY))
+        .expect("registry must exist — run `cargo run -p lint -- --bless-wire`");
+    assert_eq!(fresh, checked_in, "registry is stale; re-bless");
+}
+
+#[test]
+fn editing_a_frozen_wire_fn_without_reblessing_fails() {
+    let root = workspace_root();
+    let files = lint::load_workspace(&root).expect("workspace must be readable");
+    let wire = wire_map(&files);
+    let registry = freeze::bless(&wire);
+
+    // Sanity: the freshly blessed registry accepts the clean sources.
+    let mut clean = Vec::new();
+    freeze::check(&wire, &registry, Path::new("registry"), &mut clean);
+    assert!(clean.is_empty(), "{clean:#?}");
+
+    // Tamper with a frozen decoder: flip get_u16 to little-endian. The
+    // byte layout changes, the blessed hash must no longer match.
+    let codec_path = root.join("crates/wire/src/codec.rs");
+    let original = std::fs::read_to_string(&codec_path).expect("codec.rs must exist");
+    let tampered_text = original.replace("u16::from_be_bytes", "u16::from_le_bytes");
+    assert_ne!(
+        original, tampered_text,
+        "tamper target not found in codec.rs"
+    );
+    let tampered = SourceFile::parse(
+        PathBuf::from("crates/wire/src/codec.rs"),
+        "wire",
+        &tampered_text,
+    );
+    let mut wire = wire;
+    wire.insert("codec".to_string(), &tampered);
+
+    let mut out = Vec::new();
+    freeze::check(&wire, &registry, Path::new("registry"), &mut out);
+    assert!(
+        out.iter().any(|d| d.rule == "wire::frozen"
+            && d.message.contains("codec::get_u16")
+            && d.message.contains("edited without re-blessing")),
+        "{out:#?}"
+    );
+}
+
+fn wire_map(files: &[SourceFile]) -> BTreeMap<String, &SourceFile> {
+    files
+        .iter()
+        .filter(|f| f.crate_name == "wire")
+        .filter_map(|f| {
+            f.path
+                .file_stem()
+                .map(|s| (s.to_string_lossy().into_owned(), f))
+        })
+        .collect()
+}

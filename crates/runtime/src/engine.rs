@@ -307,6 +307,7 @@ impl Runtime {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let state = Arc::new(JobState::new());
         let handle = JobHandle::new(id, Arc::clone(&state));
+        // lint:allow(determinism::wall-clock, reason = "queue-time/deadline stamping only; job seeds and payloads never derive from it")
         let now = Instant::now();
         let timeout = options.timeout.or(self.default_timeout);
         let job = QueuedJob {
@@ -377,6 +378,7 @@ fn worker_loop(shared: &Shared, mut host: HostRuntime) {
 /// Resolves one popped job and records exactly one terminal statistic,
 /// chosen by whichever outcome actually won the installation race.
 fn serve_one(shared: &Shared, host: &mut HostRuntime, job: &QueuedJob) {
+    // lint:allow(determinism::wall-clock, reason = "deadline check and latency accounting; results are pure functions of the job seed")
     let picked_up = Instant::now();
     let mut predicted_estimate = None;
     let outcome = if job.deadline.is_some_and(|d| picked_up >= d) {

@@ -214,12 +214,14 @@ impl JobHandle {
     /// Panics if the job's state mutex was poisoned.
     #[must_use]
     pub fn wait_timeout(&self, timeout: Duration) -> Option<JobOutcome> {
+        // lint:allow(determinism::wall-clock, reason = "caller-side wait deadline; never enters the job result")
         let deadline = std::time::Instant::now() + timeout;
         let mut slot = self.state.outcome.lock().unwrap();
         loop {
             if slot.is_some() {
                 return slot.clone();
             }
+            // lint:allow(determinism::wall-clock, reason = "caller-side wait deadline; never enters the job result")
             let now = std::time::Instant::now();
             if now >= deadline {
                 return None;

@@ -8,6 +8,7 @@
 //! never interleave.
 
 use crate::server::ServerShared;
+use crate::sync::lock_or_recover;
 use accel::host::DispatchPolicy;
 use runtime::{JobHandle, JobOptions, SubmitError};
 use std::collections::HashMap;
@@ -193,7 +194,7 @@ impl Connection<'_> {
         policy: Option<DispatchPolicy>,
         kernel: accel::kernel::Kernel,
     ) -> bool {
-        if self.pending.lock().unwrap().contains_key(&request_id) {
+        if lock_or_recover(&self.pending).contains_key(&request_id) {
             return self.send(&Response::Error {
                 request_id,
                 code: ErrorCode::Malformed,
@@ -216,10 +217,7 @@ impl Connection<'_> {
                 });
             }
         };
-        self.pending
-            .lock()
-            .unwrap()
-            .insert(request_id, Arc::clone(&handle));
+        lock_or_recover(&self.pending).insert(request_id, Arc::clone(&handle));
         let pending = Arc::clone(&self.pending);
         let writer = Arc::clone(&self.writer);
         let version = self.version;
@@ -227,7 +225,7 @@ impl Connection<'_> {
             .name(format!("server-job-{request_id}"))
             .spawn(move || {
                 let outcome = WireOutcome::from(&handle.wait());
-                pending.lock().unwrap().remove(&request_id);
+                lock_or_recover(&pending).remove(&request_id);
                 write_response(
                     &writer,
                     &Response::JobResult {
@@ -254,10 +252,7 @@ impl Connection<'_> {
     /// that already completed (or never existed) reports
     /// `cancelled: false` — cancellation raced completion and lost.
     fn cancel(&mut self, request_id: u64) -> bool {
-        let cancelled = self
-            .pending
-            .lock()
-            .unwrap()
+        let cancelled = lock_or_recover(&self.pending)
             .get(&request_id)
             .is_some_and(|handle| handle.cancel());
         self.send(&Response::CancelResult {
@@ -289,7 +284,7 @@ fn write_response(writer: &Arc<Mutex<TcpStream>>, response: &Response, version: 
         Ok(p) => p,
         Err(WireError::TooLarge { .. }) | Err(_) => return false,
     };
-    let mut stream = writer.lock().unwrap();
+    let mut stream = lock_or_recover(writer);
     write_frame(&mut *stream, &payload).is_ok()
 }
 

@@ -43,5 +43,21 @@ pub mod client;
 pub mod connection;
 pub mod server;
 
+pub(crate) mod sync {
+    //! Poison-tolerant locking for the serving surfaces.
+    //!
+    //! A handler or waiter thread that panics while holding one of the
+    //! server's registries poisons the mutex; every registry here stays
+    //! structurally valid mid-update (plain map inserts/removes), so
+    //! serving must outlive the panic rather than cascade it.
+
+    use std::sync::{Mutex, MutexGuard, PoisonError};
+
+    /// Locks `m`, recovering the guard if a previous holder panicked.
+    pub(crate) fn lock_or_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+        m.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
 pub use client::{Client, ClientError, SubmitOptions};
 pub use server::{Server, ServerConfig, ServerError};

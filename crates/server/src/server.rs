@@ -1,6 +1,7 @@
 //! The listener: accept loop, connection limit, draining shutdown.
 
 use crate::connection::{handle_connection, ConnectionContext};
+use crate::sync::lock_or_recover;
 use runtime::{Runtime, RuntimeConfig, RuntimeError, RuntimeStats};
 use std::collections::HashMap;
 use std::io;
@@ -95,7 +96,7 @@ impl ServerShared {
     /// Drops a finished connection's registry entry (its socket was
     /// already shut down by the handler).
     pub(crate) fn deregister(&self, conn_id: u64) {
-        self.streams.lock().unwrap().remove(&conn_id);
+        lock_or_recover(&self.streams).remove(&conn_id);
     }
 }
 
@@ -217,10 +218,10 @@ impl Server {
         }
         // Unblock handlers stuck in read_frame. Writes stay open so
         // in-flight job results still reach their clients.
-        for (_, stream) in self.shared.streams.lock().unwrap().drain() {
+        for (_, stream) in lock_or_recover(&self.shared.streams).drain() {
             let _ = stream.shutdown(Shutdown::Read);
         }
-        let handles: Vec<_> = self.conn_handles.lock().unwrap().drain(..).collect();
+        let handles: Vec<_> = lock_or_recover(&self.conn_handles).drain(..).collect();
         for handle in handles {
             let _ = handle.join();
         }
@@ -250,7 +251,7 @@ fn accept_loop(
                 let _ = stream.set_nonblocking(false);
                 let conn_id = shared.conn_counter.fetch_add(1, Ordering::Relaxed);
                 if let Ok(read_half) = stream.try_clone() {
-                    shared.streams.lock().unwrap().insert(conn_id, read_half);
+                    lock_or_recover(&shared.streams).insert(conn_id, read_half);
                 } else {
                     continue;
                 }
@@ -267,7 +268,7 @@ fn accept_loop(
                         handle_connection(stream, &ctx);
                     });
                 match spawned {
-                    Ok(handle) => conn_handles.lock().unwrap().push(handle),
+                    Ok(handle) => lock_or_recover(conn_handles).push(handle),
                     // The guard already dropped with the closure; free
                     // the registry slot too.
                     Err(_) => shared.deregister(conn_id),

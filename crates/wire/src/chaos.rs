@@ -106,6 +106,7 @@ impl<S: Read> Read for ChaosStream<S> {
             StreamFault::SlowChunks(chunk) => chunk.max(1),
         };
         let want = buf.len().min(budget);
+        // lint:allow(panic::index, reason = "want is clamped to buf.len() on the previous line")
         let got = self.inner.read(&mut buf[..want])?;
         self.read_bytes += got;
         Ok(got)
@@ -123,6 +124,7 @@ impl<S: Write> Write for ChaosStream<S> {
                     return Ok(buf.len());
                 }
                 let want = buf.len().min(left);
+                // lint:allow(panic::index, reason = "want is clamped to buf.len() on the previous line")
                 let wrote = self.inner.write(&buf[..want])?;
                 self.write_bytes += wrote;
                 // Report full success so the truncation is invisible to
@@ -140,6 +142,7 @@ impl<S: Write> Write for ChaosStream<S> {
                     return Err(reset_error());
                 }
                 let want = buf.len().min(left);
+                // lint:allow(panic::index, reason = "want is clamped to buf.len() on the previous line")
                 let wrote = self.inner.write(&buf[..want])?;
                 self.write_bytes += wrote;
                 Ok(wrote)

@@ -143,12 +143,21 @@ impl<'a> ByteReader<'a> {
     }
 
     fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], WireError> {
-        if self.remaining() < n {
-            return Err(WireError::Truncated { context });
-        }
-        let slice = &self.buf[self.pos..self.pos + n];
+        let slice = self
+            .buf
+            .get(self.pos..self.pos.saturating_add(n))
+            .ok_or(WireError::Truncated { context })?;
         self.pos += n;
         Ok(slice)
+    }
+
+    /// Reads exactly `N` bytes as an array. The length mismatch arm is
+    /// unreachable — `take` already returned an `N`-byte slice — but it
+    /// degrades to a `Truncated` error rather than a panic.
+    fn take_arr<const N: usize>(&mut self, context: &'static str) -> Result<[u8; N], WireError> {
+        self.take(N, context)?
+            .try_into()
+            .map_err(|_| WireError::Truncated { context })
     }
 
     /// Reads one byte.
@@ -157,7 +166,7 @@ impl<'a> ByteReader<'a> {
     ///
     /// [`WireError::Truncated`] at end of input.
     pub fn get_u8(&mut self, context: &'static str) -> Result<u8, WireError> {
-        Ok(self.take(1, context)?[0])
+        Ok(u8::from_be_bytes(self.take_arr(context)?))
     }
 
     /// Reads a big-endian `u16`.
@@ -166,9 +175,7 @@ impl<'a> ByteReader<'a> {
     ///
     /// [`WireError::Truncated`] at end of input.
     pub fn get_u16(&mut self, context: &'static str) -> Result<u16, WireError> {
-        Ok(u16::from_be_bytes(
-            self.take(2, context)?.try_into().expect("2-byte slice"),
-        ))
+        Ok(u16::from_be_bytes(self.take_arr(context)?))
     }
 
     /// Reads a big-endian `u32`.
@@ -177,9 +184,7 @@ impl<'a> ByteReader<'a> {
     ///
     /// [`WireError::Truncated`] at end of input.
     pub fn get_u32(&mut self, context: &'static str) -> Result<u32, WireError> {
-        Ok(u32::from_be_bytes(
-            self.take(4, context)?.try_into().expect("4-byte slice"),
-        ))
+        Ok(u32::from_be_bytes(self.take_arr(context)?))
     }
 
     /// Reads a big-endian `u64`.
@@ -188,9 +193,7 @@ impl<'a> ByteReader<'a> {
     ///
     /// [`WireError::Truncated`] at end of input.
     pub fn get_u64(&mut self, context: &'static str) -> Result<u64, WireError> {
-        Ok(u64::from_be_bytes(
-            self.take(8, context)?.try_into().expect("8-byte slice"),
-        ))
+        Ok(u64::from_be_bytes(self.take_arr(context)?))
     }
 
     /// Reads a big-endian `i64`.
@@ -199,9 +202,7 @@ impl<'a> ByteReader<'a> {
     ///
     /// [`WireError::Truncated`] at end of input.
     pub fn get_i64(&mut self, context: &'static str) -> Result<i64, WireError> {
-        Ok(i64::from_be_bytes(
-            self.take(8, context)?.try_into().expect("8-byte slice"),
-        ))
+        Ok(i64::from_be_bytes(self.take_arr(context)?))
     }
 
     /// Reads an `f64` from its IEEE-754 bit pattern.

@@ -15,6 +15,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo clippy (release profile)"
 cargo clippy --workspace --all-targets --release -- -D warnings
 
+echo "==> rebootlint (determinism, panic-hygiene, wire-freeze, lock-order)"
+cargo run --release -q -p lint
+
 echo "==> tier-1: cargo build --release"
 cargo build --release
 

@@ -210,6 +210,56 @@ fn seeded_chaos_resolves_reproduces_and_matches_direct_baseline() {
 }
 
 #[test]
+fn wall_clock_deadlines_never_leak_into_results() {
+    // The runtime's audited `Instant::now()` sites — queue-time/deadline
+    // stamping in `prepare`, the pickup deadline check in `serve_one`,
+    // and the caller-side `wait_timeout` deadline — carry
+    // `lint:allow(wall-clock)` annotations on the claim that their
+    // readings never feed a job result. This run exercises exactly those
+    // paths (generous per-job timeouts plus `wait_timeout` polling) and
+    // holds the claim to byte-for-byte agreement across two replays.
+    let run = || {
+        let workload = mixed_workload(JOBS, MASTER_SEED).expect("workload");
+        let seeds = job_seeds(JOBS, MASTER_SEED);
+        let rt = Runtime::start(chaos_runtime_config(13, 1)).expect("runtime");
+        let handles: Vec<_> = workload
+            .iter()
+            .zip(&seeds)
+            .map(|(kernel, &seed)| {
+                let options = JobOptions {
+                    timeout: Some(Duration::from_secs(60)),
+                    seed: Some(seed),
+                    policy: None,
+                };
+                rt.submit_with(kernel.clone(), options).expect("submit")
+            })
+            .collect();
+        let prints: Vec<Vec<u8>> = handles
+            .iter()
+            .map(|handle| {
+                let outcome = loop {
+                    if let Some(o) = handle.wait_timeout(Duration::from_millis(20)) {
+                        break o;
+                    }
+                };
+                job_fingerprint(&outcome)
+            })
+            .collect();
+        let _ = rt.shutdown();
+        prints
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(
+        first, second,
+        "wall-clock deadline stamping must not influence outcomes"
+    );
+    for (i, fp) in first.iter().enumerate() {
+        assert_eq!(fp[0], 0, "job {i}: a 60s budget must never time out");
+    }
+}
+
+#[test]
 fn at_least_one_chaos_seed_exercises_failover() {
     // The per-seed test above asserts exactness; this one pins the
     // tentpole claim that the planner actually *fails over* under the
