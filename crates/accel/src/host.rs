@@ -24,7 +24,15 @@ use crate::accelerator::Accelerator;
 use crate::kernel::{CostEstimate, Kernel, KernelExecution};
 use crate::AccelError;
 use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
+
+/// Locks a mutex, recovering the guard from a poisoned lock. The hedged
+/// race holds locks only around plain-data updates, so a panic elsewhere
+/// cannot leave the protected state half-written.
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// How the host picks a backend for a kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -445,6 +453,42 @@ pub struct DispatchReport {
     pub rerouted: bool,
 }
 
+/// What one raced candidate contributed to a hedged dispatch (see
+/// [`HostRuntime::dispatch_hedged`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HedgeOutcome {
+    /// The candidate backend's name.
+    pub backend: String,
+    /// Its position in the planner ranking (0 = first choice).
+    pub rank: u32,
+    /// The raw (uncorrected) cost estimate it was raced under.
+    pub predicted: Option<CostEstimate>,
+    /// The modelled device seconds its execution actually cost.
+    pub actual_device_seconds: f64,
+    /// Whether this candidate's result was the one returned.
+    pub won: bool,
+}
+
+/// Accounting for one hedged dispatch: which candidates raced, what each
+/// completed execution cost, and how many losers conceded early.
+///
+/// The serving layer feeds every completed [`HedgeOutcome`] — winner and
+/// losers alike — into its predicted-vs-actual calibration, so hedging
+/// continuously sharpens the cost model for *all* raced substrates, not
+/// just the one that happened to win.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HedgeReport {
+    /// Candidates that entered the race.
+    pub candidates: u32,
+    /// The winning candidate's rank (0 = the planner's first choice).
+    pub winner_rank: u32,
+    /// Losing candidates that conceded (stopped retrying) after a
+    /// higher-ranked candidate had already succeeded.
+    pub losers_cancelled: u32,
+    /// Every completed candidate execution, in rank order.
+    pub outcomes: Vec<HedgeOutcome>,
+}
+
 /// Per-dispatch overrides threaded down from the serving layers.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct DispatchRequest {
@@ -816,6 +860,313 @@ impl HostRuntime {
             kernel: kernel.describe(),
             tried,
         }))
+    }
+
+    /// Dispatches one kernel by *racing* the `top_k` planner-ranked
+    /// candidates concurrently instead of walking them sequentially.
+    ///
+    /// Every selected candidate is reseeded with the job seed and started
+    /// at once; the job's result is the execution of the **highest-ranked
+    /// candidate that succeeds** — exactly the backend the sequential
+    /// [`HostRuntime::dispatch_planned`] walk would have returned — so
+    /// hedging changes tail latency and calibration, never results. The
+    /// physical race supplies the rest: once a candidate succeeds, every
+    /// lower-ranked rival checks the shared concession flag between retry
+    /// attempts and stops early (a synchronous `execute` is never
+    /// preempted mid-attempt, which is what keeps the determinism
+    /// argument airtight: a candidate ranked above the winner always runs
+    /// to its own deterministic conclusion).
+    ///
+    /// Accounting: completed executions (winner and losers) are recorded
+    /// in the per-backend stats and fed to the planner's correction table
+    /// (a no-op for frozen planners — serving runtimes calibrate between
+    /// runs from the returned [`HedgeOutcome`]s instead); faults land in
+    /// the [`FaultLedger`]; quarantine strikes are only taken from
+    /// candidates whose failure is deterministic (ranked above the
+    /// winner, or any failure when nothing won).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`HostRuntime::dispatch_planned`]: the error the
+    /// sequential walk would have surfaced.
+    pub fn dispatch_hedged(
+        &mut self,
+        kernel: &Kernel,
+        request: &DispatchRequest,
+        top_k: usize,
+    ) -> Result<(DispatchReport, HedgeReport), AccelError> {
+        let policy = request.policy.unwrap_or(self.policy);
+        let plan = self
+            .planner
+            .plan(&self.backends, kernel, policy, request.deadline_seconds)?;
+        // Select up to top_k racers in rank order, honoring quarantine.
+        let mut selected: Vec<(usize, Option<CostEstimate>)> = Vec::new();
+        let mut tried: Vec<String> = Vec::new();
+        let mut gated = false;
+        for (idx, estimate) in plan.ranked {
+            if selected.len() >= top_k.max(1) {
+                break;
+            }
+            let Some(backend) = self.backends.get(idx) else {
+                continue;
+            };
+            let name = backend.name().to_string();
+            if self.quarantine_gate(&name) {
+                gated = true;
+                tried.push(name);
+                continue;
+            }
+            selected.push((idx, estimate));
+        }
+        if selected.is_empty() {
+            return Err(AccelError::NoBackend {
+                kernel: kernel.describe(),
+                tried,
+            });
+        }
+        if let Some(seed) = request.reseed {
+            for &(idx, _) in &selected {
+                if let Some(backend) = self.backends.get_mut(idx) {
+                    backend.reseed(seed);
+                }
+            }
+        }
+
+        struct RaceResult {
+            rank: usize,
+            attempts: u32,
+            faults: u32,
+            retries: u32,
+            end: RaceEnd,
+        }
+        enum RaceEnd {
+            Done(KernelExecution),
+            Fault { error: AccelError, conceded: bool },
+            Refused,
+            Broken(AccelError),
+        }
+
+        let retry = self.retry;
+        let rank_of: BTreeMap<usize, usize> = selected
+            .iter()
+            .enumerate()
+            .map(|(rank, &(idx, _))| (idx, rank))
+            .collect();
+        let racers: Vec<(usize, &mut Box<dyn Accelerator>)> = self
+            .backends
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(idx, backend)| rank_of.get(&idx).map(|&rank| (rank, backend)))
+            .collect();
+
+        // Lowest rank that has succeeded so far; the concession signal.
+        let best: Mutex<Option<usize>> = Mutex::new(None);
+        let results: Mutex<Vec<RaceResult>> = Mutex::new(Vec::with_capacity(racers.len()));
+        std::thread::scope(|scope| {
+            for (rank, backend) in racers {
+                let best = &best;
+                let results = &results;
+                scope.spawn(move || {
+                    let mut attempts = 0u32;
+                    let mut faults = 0u32;
+                    let mut retries = 0u32;
+                    let end = loop {
+                        attempts += 1;
+                        match backend.execute(kernel) {
+                            Ok(execution) => {
+                                let mut slot = lock_unpoisoned(best);
+                                if slot.is_none_or(|current| rank < current) {
+                                    *slot = Some(rank);
+                                }
+                                break RaceEnd::Done(execution);
+                            }
+                            Err(error @ AccelError::DeviceFault { .. }) => {
+                                faults += 1;
+                                let transient = matches!(
+                                    error,
+                                    AccelError::DeviceFault {
+                                        transient: true,
+                                        ..
+                                    }
+                                );
+                                if transient && retries < retry.max_retries {
+                                    // Concede only to a strictly
+                                    // higher-ranked success: rank 0 never
+                                    // concedes, so a candidate that would
+                                    // beat the winner always finishes its
+                                    // deterministic retry schedule.
+                                    let conceded = matches!(
+                                        *lock_unpoisoned(best),
+                                        Some(winner) if winner < rank
+                                    );
+                                    if conceded {
+                                        break RaceEnd::Fault {
+                                            error,
+                                            conceded: true,
+                                        };
+                                    }
+                                    retries += 1;
+                                    let backoff = retry.backoff(retries);
+                                    if !backoff.is_zero() {
+                                        std::thread::sleep(backoff);
+                                    }
+                                    continue;
+                                }
+                                break RaceEnd::Fault {
+                                    error,
+                                    conceded: false,
+                                };
+                            }
+                            Err(AccelError::Unsupported { .. }) => break RaceEnd::Refused,
+                            Err(error) => break RaceEnd::Broken(error),
+                        }
+                    };
+                    lock_unpoisoned(results).push(RaceResult {
+                        rank,
+                        attempts,
+                        faults,
+                        retries,
+                        end,
+                    });
+                });
+            }
+        });
+
+        let mut results = results.into_inner().unwrap_or_else(PoisonError::into_inner);
+        results.sort_by_key(|r| r.rank);
+        let winner_rank = results
+            .iter()
+            .position(|r| matches!(r.end, RaceEnd::Done(_)));
+
+        // Fold the race into the ledger / stats / planner, then walk the
+        // rank order exactly as the sequential dispatch would have.
+        let mut attempts_total = 0u32;
+        let mut faults_total = 0u32;
+        let mut losers_cancelled = 0u32;
+        let mut outcomes = Vec::new();
+        for result in &results {
+            attempts_total += result.attempts;
+            faults_total += result.faults;
+            self.ledger.retries += u64::from(result.retries);
+            let Some(&(idx, _)) = selected.get(result.rank) else {
+                continue;
+            };
+            let Some(backend) = self.backends.get(idx) else {
+                continue;
+            };
+            let name = backend.name().to_string();
+            if result.faults > 0 {
+                *self
+                    .ledger
+                    .faults_by_backend
+                    .entry(name.clone())
+                    .or_default() += u64::from(result.faults);
+            }
+            match &result.end {
+                RaceEnd::Done(execution) => {
+                    let raw = backend.estimate(kernel);
+                    if let Some(raw) = raw {
+                        self.planner.observe(
+                            &name,
+                            raw.device_seconds,
+                            execution.cost.device_seconds,
+                        );
+                    }
+                    let entry = self.stats.entry(name.clone()).or_default();
+                    entry.kernels += 1;
+                    entry.device_seconds += execution.cost.device_seconds;
+                    entry.operations += execution.cost.operations;
+                    outcomes.push(HedgeOutcome {
+                        backend: name,
+                        rank: result.rank as u32,
+                        predicted: raw,
+                        actual_device_seconds: execution.cost.device_seconds,
+                        won: Some(result.rank) == winner_rank,
+                    });
+                }
+                RaceEnd::Fault { conceded, .. } => {
+                    if *conceded {
+                        losers_cancelled += 1;
+                    } else if winner_rank.is_none_or(|w| result.rank < w) {
+                        // Deterministic exhaustion: this candidate outranks
+                        // the winner (or nothing won), so the sequential
+                        // walk would have struck it too.
+                        self.note_fault_exhausted(&name);
+                    }
+                }
+                RaceEnd::Refused | RaceEnd::Broken(_) => {}
+            }
+        }
+
+        let Some(winner_rank) = winner_rank else {
+            // Mirror the sequential walk's terminal error: a non-fault
+            // backend error surfaces as-is at its rank position; otherwise
+            // the last fault seen, and NoBackend as the fallback.
+            for result in &results {
+                if let Some(&(idx, _)) = selected.get(result.rank) {
+                    if let Some(backend) = self.backends.get(idx) {
+                        tried.push(backend.name().to_string());
+                    }
+                }
+            }
+            let mut last_fault = None;
+            for result in results {
+                match result.end {
+                    RaceEnd::Broken(error) => return Err(error),
+                    RaceEnd::Fault { error, .. } => last_fault = Some(error),
+                    RaceEnd::Done(_) | RaceEnd::Refused => {}
+                }
+            }
+            return Err(last_fault.unwrap_or(AccelError::NoBackend {
+                kernel: kernel.describe(),
+                tried,
+            }));
+        };
+
+        // Everything ranked above the winner failed deterministically, so
+        // the sequential walk would have rerouted past it too.
+        let rerouted = gated || winner_rank > 0;
+        if rerouted {
+            self.ledger.reroutes += 1;
+        }
+        let mut winner_execution = None;
+        for result in results {
+            if result.rank == winner_rank {
+                if let RaceEnd::Done(execution) = result.end {
+                    winner_execution = Some(execution);
+                }
+            }
+        }
+        let Some(execution) = winner_execution else {
+            // Unreachable: winner_rank came from a Done entry.
+            return Err(AccelError::NoBackend {
+                kernel: kernel.describe(),
+                tried,
+            });
+        };
+        let winner_idx = selected.get(winner_rank).map_or(0, |&(idx, _)| idx);
+        let winner_name = self
+            .backends
+            .get(winner_idx)
+            .map_or_else(String::new, |b| b.name().to_string());
+        self.note_success(&winner_name);
+        let estimate = selected.get(winner_rank).and_then(|&(_, e)| e);
+        Ok((
+            DispatchReport {
+                backend: winner_name,
+                execution,
+                estimate,
+                attempts: attempts_total,
+                faults: faults_total,
+                rerouted,
+            },
+            HedgeReport {
+                candidates: selected.len() as u32,
+                winner_rank: winner_rank as u32,
+                losers_cancelled,
+                outcomes,
+            },
+        ))
     }
 
     /// Runs a workload of kernels, returning the executions in order.
@@ -1404,6 +1755,115 @@ mod tests {
         assert_eq!(ledger.quarantine_events, 0);
         assert_eq!(ledger.recovery_probes, 0);
         assert!(host.quarantined_backends().is_empty());
+    }
+
+    #[test]
+    fn hedged_dispatch_never_changes_the_result() {
+        // A SAT kernel is rankable on two backends (DMM and CPU): the
+        // hedge races both, but the job's result must be exactly what the
+        // sequential walk returns under the same seed.
+        let sat = Kernel::SolveSat {
+            formula: planted_3sat(10, 3.8, 5).unwrap().formula,
+        };
+        let request = DispatchRequest {
+            reseed: Some(11),
+            ..DispatchRequest::default()
+        };
+        let sequential = full_host(DispatchPolicy::PreferSpecialized)
+            .dispatch_planned(&sat, &request)
+            .unwrap();
+        let mut hedging = full_host(DispatchPolicy::PreferSpecialized);
+        let (report, hedge) = hedging.dispatch_hedged(&sat, &request, 2).unwrap();
+        assert_eq!(report.backend, sequential.backend);
+        assert_eq!(report.execution, sequential.execution);
+        assert!(!report.rerouted);
+        assert_eq!(hedge.candidates, 2);
+        assert_eq!(hedge.winner_rank, 0);
+        let winners: Vec<_> = hedge.outcomes.iter().filter(|o| o.won).collect();
+        assert_eq!(winners.len(), 1);
+        assert_eq!(winners[0].backend, report.backend);
+        // Replaying the hedge on a fresh host reproduces it bit for bit.
+        let mut replay = full_host(DispatchPolicy::PreferSpecialized);
+        let (report2, hedge2) = replay.dispatch_hedged(&sat, &request, 2).unwrap();
+        assert_eq!(report2.execution, report.execution);
+        assert_eq!(hedge2.winner_rank, hedge.winner_rank);
+    }
+
+    #[test]
+    fn hedged_losers_feed_stats_and_corrections() {
+        let sat = Kernel::SolveSat {
+            formula: planted_3sat(10, 3.8, 6).unwrap().formula,
+        };
+        let request = DispatchRequest {
+            reseed: Some(21),
+            ..DispatchRequest::default()
+        };
+        let mut host = full_host(DispatchPolicy::PreferSpecialized);
+        let (_, hedge) = host.dispatch_hedged(&sat, &request, 2).unwrap();
+        // Both racers completed, so both appear in the outcomes and in the
+        // per-backend utilization stats, and both moved the adaptive
+        // planner's correction table off identity.
+        assert_eq!(hedge.outcomes.len(), 2);
+        for outcome in &hedge.outcomes {
+            assert_eq!(host.stats()[&outcome.backend].kernels, 1);
+            assert_ne!(
+                host.planner().corrections().factor(&outcome.backend),
+                1.0,
+                "{} completed: its observation must land",
+                outcome.backend
+            );
+        }
+    }
+
+    #[test]
+    fn hedged_dispatch_fails_over_past_a_dead_racer() {
+        let mut host = HostRuntime::new(DispatchPolicy::PreferSpecialized);
+        host.set_retry_policy(RetryPolicy::no_backoff(0));
+        host.register(Box::new(FaultyStub::new("flaky", u64::MAX)));
+        host.register(Box::new(CpuBackend::new(2)));
+        let request = DispatchRequest {
+            reseed: Some(7),
+            ..DispatchRequest::default()
+        };
+        let (report, hedge) = host
+            .dispatch_hedged(&Kernel::Factor { n: 15 }, &request, 2)
+            .unwrap();
+        assert_eq!(report.backend, "cpu");
+        assert!(report.rerouted);
+        assert_eq!(report.faults, 1);
+        assert_eq!(hedge.winner_rank, 1);
+        let ledger = host.drain_faults();
+        assert_eq!(ledger.faults_by_backend["flaky"], 1);
+        assert_eq!(ledger.reroutes, 1);
+    }
+
+    #[test]
+    fn hedged_dispatch_with_one_candidate_degenerates() {
+        let mut host = full_host(DispatchPolicy::CpuOnly);
+        let request = DispatchRequest {
+            reseed: Some(3),
+            ..DispatchRequest::default()
+        };
+        let (report, hedge) = host
+            .dispatch_hedged(&Kernel::Factor { n: 21 }, &request, 3)
+            .unwrap();
+        assert_eq!(report.backend, "cpu");
+        assert_eq!(hedge.candidates, 1);
+        assert_eq!(hedge.winner_rank, 0);
+        assert_eq!(hedge.losers_cancelled, 0);
+    }
+
+    #[test]
+    fn hedged_dispatch_surfaces_total_failure() {
+        let mut host = HostRuntime::new(DispatchPolicy::PreferSpecialized);
+        host.set_retry_policy(RetryPolicy::no_backoff(0));
+        host.register(Box::new(FaultyStub::new("a", u64::MAX)));
+        host.register(Box::new(FaultyStub::new("b", u64::MAX)));
+        let err = host
+            .dispatch_hedged(&Kernel::Factor { n: 15 }, &DispatchRequest::default(), 2)
+            .unwrap_err();
+        assert!(matches!(err, AccelError::DeviceFault { .. }), "{err}");
+        assert_eq!(host.drain_faults().total_faults(), 2);
     }
 
     #[test]

@@ -1,0 +1,487 @@
+//! Canonical forms and canonical keys for submitted kernels.
+//!
+//! Two submissions that denote the same computation should share one cache
+//! identity even when their syntax differs: a SAT formula with its clauses
+//! permuted, a search kernel with duplicate marked items, a comparison
+//! carrying `-0.0`. Each kernel family gets a *canonical form* — the
+//! variant of the kernel the runtime actually executes — and an FNV-1a
+//! [`CanonicalKey`] derived from it.
+//!
+//! # The byte-for-byte invariant
+//!
+//! The solvers behind these kernels are order-sensitive: a DMM or WalkSAT
+//! run on a clause-permuted formula takes a different trajectory and may
+//! return a *different satisfying assignment*. Canonicalization therefore
+//! never tries to be a semantic no-op on the raw backend — instead the
+//! serving runtime canonicalizes **every** submission and executes the
+//! canonical form, cold or cached alike. That makes
+//! `run(canonicalize(k), seed) == run(k, seed)` hold byte-for-byte by
+//! construction, and it is why the canonical form stays in the *original
+//! variable space*: a returned SAT assignment must still satisfy the
+//! formula the client submitted.
+//!
+//! # Two-level keys
+//!
+//! The key half of admission is allowed to be more aggressive than the
+//! form half. [`CanonicalKey::key`] hashes the form *after* a stable
+//! first-occurrence variable renumbering (for SAT) and a coarse parameter
+//! quantization (for the analog compare kernel), so α-equivalent formulas
+//! and nearly-identical oscillator operands collide into one cache
+//! bucket. [`CanonicalKey::exact`] hashes the canonical form verbatim.
+//! Both halves must match for the cache to serve a stored result, so the
+//! coarse half can only ever *group* candidates, never cause one kernel to
+//! be served another kernel's bytes.
+
+use accel::kernel::Kernel;
+use mem::cnf::{Clause, Formula};
+use quantum::circuit::Circuit;
+use quantum::gate::Gate;
+use std::collections::BTreeMap;
+
+/// FNV-1a offset basis (the same constants the load generator uses for
+/// its outcome digests).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// Grid resolution for quantizing the analog compare operands inside the
+/// coarse key: operands are snapped to a `2^-20` lattice, far finer than
+/// the oscillator substrate's own noise floor.
+const COMPARE_QUANTUM: f64 = (1u64 << 20) as f64;
+
+/// The two-level canonical identity of a kernel. See the module docs for
+/// why both halves must match before a cached result may be served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CanonicalKey {
+    /// Coarse identity: FNV-1a over the canonical form after stable
+    /// variable renumbering (SAT) and parameter quantization (compare).
+    pub key: u64,
+    /// Exact identity: FNV-1a over the canonical form verbatim,
+    /// including variable count and raw `f64` bit patterns.
+    pub exact: u64,
+}
+
+/// Incremental FNV-1a over a structured byte stream.
+#[derive(Debug, Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(FNV_OFFSET)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 ^= u64::from(b);
+        self.0 = self.0.wrapping_mul(FNV_PRIME);
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.byte(b);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_be_bytes());
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// Rewrites a kernel into the canonical form the runtime executes.
+///
+/// Per family:
+///
+/// * `SolveSat` — literals sorted within each clause, clauses sorted
+///   lexicographically and deduplicated, all in the original variable
+///   space. Idempotent, and a satisfying assignment of the canonical
+///   formula satisfies the submitted one (same clauses as a set).
+/// * `Search` — marked items sorted and deduplicated.
+/// * `Compare` — negative zero normalized to positive zero (the two are
+///   numerically equal, so every backend's distance is unchanged).
+/// * `Factor`, `DnaSimilarity` — already canonical; returned unchanged.
+///
+/// Canonicalization never fails: if a rebuilt formula would be rejected by
+/// its validating constructor (impossible for input that passed
+/// `Kernel::validate`), the kernel is returned unchanged.
+#[must_use]
+pub fn canonicalize(kernel: &Kernel) -> Kernel {
+    match kernel {
+        Kernel::Factor { .. } | Kernel::DnaSimilarity { .. } => kernel.clone(),
+        Kernel::Search { n_qubits, marked } => {
+            let mut marked = marked.clone();
+            marked.sort_unstable();
+            marked.dedup();
+            Kernel::Search {
+                n_qubits: *n_qubits,
+                marked,
+            }
+        }
+        Kernel::SolveSat { formula } => canonical_formula(formula)
+            .map_or_else(|| kernel.clone(), |formula| Kernel::SolveSat { formula }),
+        Kernel::Compare { x, y } => Kernel::Compare {
+            x: scrub_zero(*x),
+            y: scrub_zero(*y),
+        },
+    }
+}
+
+/// `-0.0` and `+0.0` compare equal but have different bit patterns; fold
+/// them together so the exact hash does not split them.
+fn scrub_zero(v: f64) -> f64 {
+    if v == 0.0 {
+        0.0
+    } else {
+        v
+    }
+}
+
+/// The canonical clause ordering: literals sorted within each clause,
+/// clauses sorted lexicographically, duplicates removed. `None` only if a
+/// rebuilt clause or formula fails validation, which cannot happen for a
+/// formula that was valid on the way in.
+fn canonical_formula(formula: &Formula) -> Option<Formula> {
+    let mut clauses = Vec::with_capacity(formula.len());
+    for clause in formula.clauses() {
+        let mut literals = clause.literals().to_vec();
+        literals.sort_unstable();
+        clauses.push(Clause::new(literals).ok()?);
+    }
+    clauses.sort_by(|a, b| a.literals().cmp(b.literals()));
+    clauses.dedup_by(|a, b| a.literals() == b.literals());
+    Formula::new(formula.n_vars(), clauses).ok()
+}
+
+/// Derives the two-level [`CanonicalKey`] of a kernel.
+///
+/// The input should already be in canonical form (see [`canonicalize`]);
+/// [`admit`] packages the two steps. Calling this on a non-canonical
+/// kernel simply yields the key of that syntactic variant.
+#[must_use]
+pub fn canonical_key(kernel: &Kernel) -> CanonicalKey {
+    let mut coarse = Fnv::new();
+    let mut exact = Fnv::new();
+    match kernel {
+        Kernel::Factor { n } => {
+            for h in [&mut coarse, &mut exact] {
+                h.byte(1);
+                h.u64(*n);
+            }
+        }
+        Kernel::Search { n_qubits, marked } => {
+            for h in [&mut coarse, &mut exact] {
+                h.byte(2);
+                h.u64(*n_qubits as u64);
+                h.u64(marked.len() as u64);
+                for &m in marked {
+                    h.u64(m as u64);
+                }
+            }
+        }
+        Kernel::DnaSimilarity { a, b, k } => {
+            for h in [&mut coarse, &mut exact] {
+                h.byte(3);
+                h.u64(a.len() as u64);
+                h.bytes(a.as_bytes());
+                h.u64(b.len() as u64);
+                h.bytes(b.as_bytes());
+                h.u64(*k as u64);
+            }
+        }
+        Kernel::SolveSat { formula } => {
+            exact.byte(4);
+            exact.u64(formula.n_vars() as u64);
+            exact.u64(formula.len() as u64);
+            for clause in formula.clauses() {
+                exact.u64(clause.literals().len() as u64);
+                for lit in clause.literals() {
+                    exact.u64(lit.var() as u64);
+                    exact.byte(u8::from(lit.is_negated()));
+                }
+            }
+            // Coarse half: stable first-occurrence renumbering. Variables
+            // are relabeled densely in the order they first appear in the
+            // canonical clause stream, and the variable *count* is left
+            // out, so formulas that differ only by a variable permutation
+            // or by trailing unused variables share a bucket. The exact
+            // half above still separates them before any bytes are served.
+            let mut renumber: BTreeMap<usize, u64> = BTreeMap::new();
+            coarse.byte(4);
+            coarse.u64(formula.len() as u64);
+            for clause in formula.clauses() {
+                coarse.u64(clause.literals().len() as u64);
+                for lit in clause.literals() {
+                    let next = renumber.len() as u64;
+                    let dense = *renumber.entry(lit.var()).or_insert(next);
+                    coarse.u64(dense);
+                    coarse.byte(u8::from(lit.is_negated()));
+                }
+            }
+        }
+        Kernel::Compare { x, y } => {
+            exact.byte(5);
+            exact.u64(x.to_bits());
+            exact.u64(y.to_bits());
+            coarse.byte(5);
+            coarse.u64(quantize(*x));
+            coarse.u64(quantize(*y));
+        }
+    }
+    CanonicalKey {
+        key: coarse.finish(),
+        exact: exact.finish(),
+    }
+}
+
+/// Snaps an analog operand to the coarse-key lattice.
+fn quantize(v: f64) -> u64 {
+    // Operands are validated into [0, 1], so the product fits comfortably
+    // in i64; the cast saturates rather than wrapping if it ever did not.
+    ((v * COMPARE_QUANTUM).round() as i64) as u64
+}
+
+/// Canonicalizes a kernel and derives its key in one step — the form the
+/// serving runtime executes plus the identity it caches under.
+#[must_use]
+pub fn admit(kernel: &Kernel) -> (Kernel, CanonicalKey) {
+    let canonical = canonicalize(kernel);
+    let key = canonical_key(&canonical);
+    (canonical, key)
+}
+
+/// Normalizes a quantum circuit by cancelling adjacent inverse gate pairs.
+///
+/// A gate immediately followed by its inverse on the same qubits is an
+/// identity; removing the pair can expose further cancellations, so the
+/// pass runs as a stack fold (`H q0, H q0, X q1` → `X q1`; a palindrome
+/// collapses completely). Gate order is otherwise preserved — no
+/// commutation reasoning — so the normalized circuit implements the same
+/// unitary as the input.
+///
+/// Kernels do not carry circuits directly; this is the admission-side
+/// normalization utility for callers that cache at the circuit level
+/// (e.g. pre-transpiled Shor / Grover fragments).
+#[must_use]
+pub fn cancel_adjacent_inverses(circuit: &Circuit) -> Circuit {
+    let mut kept: Vec<Gate> = Vec::with_capacity(circuit.gates().len());
+    for &gate in circuit.gates() {
+        if kept.last() == Some(&gate.inverse()) {
+            kept.pop();
+        } else {
+            kept.push(gate);
+        }
+    }
+    let Ok(mut rebuilt) = Circuit::new(circuit.n_qubits()) else {
+        return circuit.clone();
+    };
+    for gate in kept {
+        if rebuilt.push(gate).is_err() {
+            return circuit.clone();
+        }
+    }
+    rebuilt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mem::cnf::Literal;
+    use mem::generators::planted_3sat;
+    use quantum::state::StateVector;
+
+    fn formula(clauses: &[&[i64]]) -> Formula {
+        let built: Vec<Clause> = clauses
+            .iter()
+            .map(|c| {
+                Clause::new(
+                    c.iter()
+                        .map(|&d| Literal::from_dimacs(d).unwrap())
+                        .collect(),
+                )
+                .unwrap()
+            })
+            .collect();
+        let n_vars = clauses
+            .iter()
+            .flat_map(|c| c.iter())
+            .map(|&d| d.unsigned_abs() as usize)
+            .max()
+            .unwrap();
+        Formula::new(n_vars, built).unwrap()
+    }
+
+    #[test]
+    fn canonicalization_is_idempotent() {
+        let kernels = [
+            Kernel::Factor { n: 21 },
+            Kernel::Search {
+                n_qubits: 4,
+                marked: vec![9, 3, 3, 1],
+            },
+            Kernel::Compare { x: -0.0, y: 0.5 },
+            Kernel::SolveSat {
+                formula: formula(&[&[2, -1], &[1, 3], &[2, -1]]),
+            },
+            Kernel::DnaSimilarity {
+                a: "ACGT".into(),
+                b: "ACGA".into(),
+                k: 2,
+            },
+        ];
+        for k in kernels {
+            let once = canonicalize(&k);
+            assert_eq!(once, canonicalize(&once));
+        }
+    }
+
+    #[test]
+    fn clause_permutations_share_both_key_halves() {
+        let a = Kernel::SolveSat {
+            formula: formula(&[&[1, -2], &[3, 2], &[1, 2, 3]]),
+        };
+        let b = Kernel::SolveSat {
+            formula: formula(&[&[2, 3], &[2, 1, 3], &[-2, 1]]),
+        };
+        assert_eq!(canonicalize(&a), canonicalize(&b));
+        assert_eq!(admit(&a).1, admit(&b).1);
+    }
+
+    #[test]
+    fn alpha_equivalent_formulas_share_only_the_coarse_half() {
+        // x1..x3 renamed to x4..x6 (same clause structure): coarse keys
+        // collide, exact keys must not — α-equivalence may bucket, never
+        // serve bytes across.
+        let a = Kernel::SolveSat {
+            formula: formula(&[&[1, -2], &[2, 3]]),
+        };
+        let b = Kernel::SolveSat {
+            formula: formula(&[&[4, -5], &[5, 6]]),
+        };
+        let (ka, kb) = (admit(&a).1, admit(&b).1);
+        assert_eq!(ka.key, kb.key);
+        assert_ne!(ka.exact, kb.exact);
+    }
+
+    #[test]
+    fn distinct_formulas_get_distinct_keys() {
+        let a = Kernel::SolveSat {
+            formula: formula(&[&[1, -2], &[2, 3]]),
+        };
+        let b = Kernel::SolveSat {
+            formula: formula(&[&[1, 2], &[2, 3]]),
+        };
+        let (ka, kb) = (admit(&a).1, admit(&b).1);
+        assert_ne!(ka.exact, kb.exact);
+        assert_ne!(ka.key, kb.key);
+    }
+
+    #[test]
+    fn canonical_solution_satisfies_the_original_formula() {
+        // The canonical form stays in the original variable space, so any
+        // satisfying assignment transfers verbatim.
+        let sat = planted_3sat(10, 3.5, 77).unwrap();
+        let Kernel::SolveSat { formula: canon } = canonicalize(&Kernel::SolveSat {
+            formula: sat.formula.clone(),
+        }) else {
+            panic!("canonical form changed family");
+        };
+        assert_eq!(canon.n_vars(), sat.formula.n_vars());
+        assert!(sat.formula.is_satisfied(&sat.planted));
+        assert!(canon.is_satisfied(&sat.planted));
+    }
+
+    #[test]
+    fn negative_zero_and_quantization_behave() {
+        let a = admit(&Kernel::Compare { x: -0.0, y: 0.25 });
+        let b = admit(&Kernel::Compare { x: 0.0, y: 0.25 });
+        assert_eq!(a.1, b.1);
+        // Sub-lattice perturbation: coarse halves collide, exact differ.
+        let c = admit(&Kernel::Compare {
+            x: 0.5,
+            y: 0.25 + 1e-9,
+        });
+        let d = admit(&Kernel::Compare { x: 0.5, y: 0.25 });
+        assert_eq!(c.1.key, d.1.key);
+        assert_ne!(c.1.exact, d.1.exact);
+    }
+
+    #[test]
+    fn search_marked_items_sort_and_dedup() {
+        let (canon, key) = admit(&Kernel::Search {
+            n_qubits: 5,
+            marked: vec![7, 1, 7, 30],
+        });
+        assert_eq!(
+            canon,
+            Kernel::Search {
+                n_qubits: 5,
+                marked: vec![1, 7, 30],
+            }
+        );
+        assert_eq!(key, admit(&canon).1);
+    }
+
+    #[test]
+    fn keys_are_stable_across_calls() {
+        let k = Kernel::Factor { n: 35 };
+        assert_eq!(admit(&k).1, admit(&k).1);
+        assert_ne!(admit(&k).1, admit(&Kernel::Factor { n: 33 }).1);
+    }
+
+    #[test]
+    fn adjacent_inverse_gates_cancel() {
+        let mut c = Circuit::new(2).unwrap();
+        c.push(Gate::H(0)).unwrap();
+        c.push(Gate::H(0)).unwrap();
+        c.push(Gate::X(1)).unwrap();
+        let n = cancel_adjacent_inverses(&c);
+        assert_eq!(n.gates(), &[Gate::X(1)]);
+    }
+
+    #[test]
+    fn cancellation_cascades_through_palindromes() {
+        let mut c = Circuit::new(1).unwrap();
+        for g in [Gate::H(0), Gate::X(0), Gate::X(0), Gate::H(0)] {
+            c.push(g).unwrap();
+        }
+        assert!(cancel_adjacent_inverses(&c).gates().is_empty());
+    }
+
+    #[test]
+    fn gates_on_different_qubits_do_not_cancel() {
+        let mut c = Circuit::new(2).unwrap();
+        c.push(Gate::X(0)).unwrap();
+        c.push(Gate::X(1)).unwrap();
+        assert_eq!(cancel_adjacent_inverses(&c).gates().len(), 2);
+    }
+
+    #[test]
+    fn normalized_circuit_preserves_the_state_vector() {
+        let mut c = Circuit::new(3).unwrap();
+        for g in [
+            Gate::H(0),
+            Gate::CX(0, 1),
+            Gate::CX(0, 1),
+            Gate::Rz(2, 0.7),
+            Gate::Rz(2, -0.7),
+            Gate::X(2),
+        ] {
+            c.push(g).unwrap();
+        }
+        let n = cancel_adjacent_inverses(&c);
+        assert!(n.gates().len() < c.gates().len());
+        let mut full = StateVector::zero(3);
+        let mut reduced = StateVector::zero(3);
+        for g in c.gates() {
+            g.apply(&mut full).unwrap();
+        }
+        for g in n.gates() {
+            g.apply(&mut reduced).unwrap();
+        }
+        for (a, b) in full.amplitudes().iter().zip(reduced.amplitudes()) {
+            assert!((a.re - b.re).abs() < 1e-12 && (a.im - b.im).abs() < 1e-12);
+        }
+    }
+}

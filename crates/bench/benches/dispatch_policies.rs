@@ -10,9 +10,10 @@
 
 use bench::{banner, eng};
 use criterion::{criterion_group, criterion_main, Criterion};
-use rebooting_models::workload::{job_seeds, mixed_workload};
+use rebooting_models::workload::{duplicate_heavy_workload, job_seeds, mixed_workload};
 use runtime::{
-    CorrectionTable, DispatchPolicy, JobOptions, JobOutcome, Runtime, RuntimeConfig, RuntimeStats,
+    AdmissionConfig, CorrectionTable, DispatchPolicy, JobOptions, JobOutcome, Runtime,
+    RuntimeConfig, RuntimeStats,
 };
 use std::time::Instant;
 
@@ -22,6 +23,10 @@ const JOBS: usize = 32;
 const ROUNDS: usize = 4;
 /// Master seed for the workload mix and the per-job execution seeds.
 const SEED: u64 = 2019;
+/// Jobs in the duplicate-heavy admission experiment.
+const DUP_JOBS: usize = 64;
+/// Duplicate fraction of the duplicate-heavy workload.
+const DUP_RATIO: f64 = 0.9;
 
 const POLICIES: [DispatchPolicy; 5] = [
     DispatchPolicy::PreferSpecialized,
@@ -97,6 +102,49 @@ fn run_policy(policy: DispatchPolicy) -> Vec<RoundReport> {
     rounds
 }
 
+struct DupReport {
+    /// Wall-clock seconds for the whole run.
+    elapsed: f64,
+    stats: RuntimeStats,
+    /// `backend:result` per job, for the byte-equality check between the
+    /// cached and cold runs.
+    outcomes: Vec<String>,
+}
+
+/// Runs the duplicate-heavy workload closed-loop under
+/// `PreferSpecialized` (so cache hits skip genuinely expensive
+/// specialized-device executions) with the given admission tier.
+fn run_duplicate_heavy(admission: AdmissionConfig) -> DupReport {
+    let (kernels, seeds) =
+        duplicate_heavy_workload(DUP_JOBS, SEED, DUP_RATIO).expect("workload generates");
+    let rt = Runtime::start(RuntimeConfig {
+        workers: 2,
+        policy: DispatchPolicy::PreferSpecialized,
+        admission,
+        ..RuntimeConfig::default()
+    })
+    .expect("runtime starts");
+    let started = Instant::now();
+    let mut outcomes = Vec::with_capacity(DUP_JOBS);
+    for (kernel, &seed) in kernels.iter().zip(&seeds) {
+        let handle = rt
+            .submit_with(kernel.clone(), JobOptions::with_seed(seed))
+            .expect("submit accepted");
+        match handle.wait() {
+            JobOutcome::Completed {
+                backend, execution, ..
+            } => outcomes.push(format!("{backend}:{:?}", execution.result)),
+            other => panic!("job did not complete: {other:?}"),
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    DupReport {
+        elapsed,
+        stats: rt.shutdown(),
+        outcomes,
+    }
+}
+
 /// Nearest-rank percentile of an ascending-sorted sample.
 fn percentile(sorted: &[f64], p: f64) -> f64 {
     assert!(!sorted.is_empty());
@@ -138,13 +186,50 @@ fn json_num(v: f64) -> String {
 }
 
 /// Renders the whole experiment as the `BENCH_dispatch.json` document.
-fn render_json(results: &[(DispatchPolicy, Vec<RoundReport>)]) -> String {
+fn render_json(
+    results: &[(DispatchPolicy, Vec<RoundReport>)],
+    cached: &DupReport,
+    cold: &DupReport,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"experiment\": \"dispatch_policies\",\n");
     out.push_str(&format!("  \"jobs_per_round\": {JOBS},\n"));
     out.push_str(&format!("  \"rounds\": {ROUNDS},\n"));
     out.push_str(&format!("  \"seed\": {SEED},\n"));
+    let keyed = cached.stats.cache_hits + cached.stats.cache_misses + cached.stats.coalesced;
+    #[allow(clippy::cast_precision_loss)]
+    let hit_rate = if keyed == 0 {
+        0.0
+    } else {
+        (cached.stats.cache_hits + cached.stats.coalesced) as f64 / keyed as f64
+    };
+    out.push_str("  \"duplicate_heavy\": {\n");
+    out.push_str(&format!("    \"jobs\": {DUP_JOBS},\n"));
+    out.push_str(&format!("    \"dup_ratio\": {DUP_RATIO},\n"));
+    out.push_str("    \"policy\": \"prefer-specialized\",\n");
+    #[allow(clippy::cast_precision_loss)]
+    {
+        out.push_str(&format!(
+            "    \"throughput_cached_jobs_per_sec\": {},\n",
+            json_num(DUP_JOBS as f64 / cached.elapsed)
+        ));
+        out.push_str(&format!(
+            "    \"throughput_cold_jobs_per_sec\": {},\n",
+            json_num(DUP_JOBS as f64 / cold.elapsed)
+        ));
+    }
+    out.push_str(&format!(
+        "    \"speedup\": {},\n",
+        json_num(cold.elapsed / cached.elapsed)
+    ));
+    out.push_str(&format!(
+        "    \"cache_hits\": {},\n",
+        cached.stats.cache_hits
+    ));
+    out.push_str(&format!("    \"coalesced\": {},\n", cached.stats.coalesced));
+    out.push_str(&format!("    \"hit_rate\": {}\n", json_num(hit_rate)));
+    out.push_str("  },\n");
     out.push_str("  \"policies\": [\n");
     for (pi, (policy, rounds)) in results.iter().enumerate() {
         let last = rounds.last().expect("at least one round");
@@ -251,7 +336,47 @@ fn print_experiment() {
         );
         results.push((policy, rounds));
     }
-    let json = render_json(&results);
+
+    println!("\nduplicate-heavy admission experiment: {DUP_JOBS} jobs, dup ratio {DUP_RATIO}");
+    let cached = run_duplicate_heavy(AdmissionConfig::default());
+    let cold = run_duplicate_heavy(AdmissionConfig::disabled());
+    assert_eq!(
+        cached.outcomes, cold.outcomes,
+        "cached results must match cold recomputation byte for byte"
+    );
+    let keyed = cached.stats.cache_hits + cached.stats.cache_misses + cached.stats.coalesced;
+    #[allow(clippy::cast_precision_loss)]
+    let hit_rate = (cached.stats.cache_hits + cached.stats.coalesced) as f64 / keyed.max(1) as f64;
+    #[allow(clippy::cast_precision_loss)]
+    {
+        println!(
+            "  cached {:>10} jobs/s   cold {:>10} jobs/s   speedup {:.1}x",
+            eng(DUP_JOBS as f64 / cached.elapsed),
+            eng(DUP_JOBS as f64 / cold.elapsed),
+            cold.elapsed / cached.elapsed,
+        );
+        println!(
+            "  {} cache hits + {} coalesced over {keyed} keyed submissions (hit rate {:.1}%)",
+            cached.stats.cache_hits,
+            cached.stats.coalesced,
+            hit_rate * 100.0
+        );
+        assert!(
+            hit_rate >= DUP_RATIO,
+            "duplicate-heavy hit rate {hit_rate:.3} fell below the duplicate ratio {DUP_RATIO}"
+        );
+    }
+    // Cache hits skip millisecond-scale specialized-device executions, so
+    // the admission tier must beat cold recomputation outright.
+    assert!(
+        cold.elapsed > cached.elapsed,
+        "admission caching failed to improve duplicate-heavy throughput \
+         (cached {:.4}s vs cold {:.4}s)",
+        cached.elapsed,
+        cold.elapsed
+    );
+
+    let json = render_json(&results, &cached, &cold);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dispatch.json");
     std::fs::write(path, &json).expect("write BENCH_dispatch.json");
     println!("\nwrote {path}");
@@ -262,6 +387,12 @@ fn print_experiment() {
 
 fn bench(c: &mut Criterion) {
     print_experiment();
+    c.bench_function("dispatch/duplicate_heavy_cached", |b| {
+        b.iter(|| {
+            let report = run_duplicate_heavy(AdmissionConfig::default());
+            criterion::black_box(report.stats.cache_hits)
+        });
+    });
     c.bench_function("dispatch/calibrated_round", |b| {
         b.iter_batched(
             CorrectionTable::new,

@@ -39,15 +39,30 @@ use std::path::{Path, PathBuf};
 /// Crates whose results must replay byte-for-byte: wall-clock, ambient
 /// entropy and epoch reads are forbidden (annotated escapes aside).
 pub const DETERMINISTIC_CRATES: &[&str] = &[
-    "accel", "wire", "mem", "osc", "quantum", "numerics", "runtime",
+    "accel",
+    "wire",
+    "mem",
+    "osc",
+    "quantum",
+    "numerics",
+    "runtime",
+    "admission",
 ];
 
 /// The strictly pure subset where even hash-order iteration is forbidden.
 /// `runtime`/`server` legitimately keep hash maps for keyed lookup.
-pub const HASH_ITER_CRATES: &[&str] = &["accel", "wire", "mem", "osc", "quantum", "numerics"];
+pub const HASH_ITER_CRATES: &[&str] = &[
+    "accel",
+    "wire",
+    "mem",
+    "osc",
+    "quantum",
+    "numerics",
+    "admission",
+];
 
 /// Hostile-input and serving surfaces: library code must not panic.
-pub const PANIC_CRATES: &[&str] = &["wire", "server"];
+pub const PANIC_CRATES: &[&str] = &["wire", "server", "admission"];
 
 /// Crates whose `Mutex`/`Condvar` acquisitions feed the lock-order graph.
 pub const LOCK_CRATES: &[&str] = &["runtime", "server"];

@@ -36,6 +36,22 @@ fn determinism_violations_fire_at_the_right_lines() {
 }
 
 #[test]
+fn admission_tier_mistakes_fire_at_the_right_lines() {
+    // The admission crate sits in every rule family: deterministic (cache
+    // keys and recency must replay), hash-iter-free (eviction order), and
+    // panic-free (a cache lookup is a hostile-input surface).
+    assert_eq!(
+        findings("admission_bad.rs"),
+        vec![
+            ("determinism::wall-clock".to_string(), 6),
+            ("determinism::hash-iter".to_string(), 12),
+            ("panic::unwrap".to_string(), 19),
+            ("panic::index".to_string(), 23),
+        ]
+    );
+}
+
+#[test]
 fn annotated_escapes_silence_the_determinism_rules() {
     assert_eq!(findings("determinism_allow.rs"), vec![]);
 }

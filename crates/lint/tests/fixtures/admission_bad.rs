@@ -1,0 +1,24 @@
+//! Fixture: the mistakes an admission tier invites — wall-clock cache
+//! recency, hash-order eviction scans, and panicking cache lookups.
+//! Every marked line fires.
+
+pub fn recency_stamp() -> u64 {
+    let now = Instant::now();
+    nanos_since_start(now)
+}
+
+pub fn evict_scan(entries: HashMap<u64, u64>) -> u64 {
+    let mut coldest = 0;
+    for (key, _tick) in &entries {
+        coldest = *key;
+    }
+    coldest
+}
+
+pub fn cached_result(cache: &Cache, key: u64) -> Outcome {
+    cache.get(&key).unwrap().clone()
+}
+
+pub fn canonical_slot(clauses: &[Clause], idx: usize) -> Clause {
+    clauses[idx].clone()
+}

@@ -20,6 +20,16 @@ fn workspace_is_lint_clean() {
 }
 
 #[test]
+fn admission_crate_is_in_every_rule_family() {
+    // The admission tier caches results and canonicalizes kernels on the
+    // serving path; dropping it from any list would let nondeterminism or
+    // panics creep into cache keys unnoticed.
+    assert!(lint::DETERMINISTIC_CRATES.contains(&"admission"));
+    assert!(lint::HASH_ITER_CRATES.contains(&"admission"));
+    assert!(lint::PANIC_CRATES.contains(&"admission"));
+}
+
+#[test]
 fn blessed_registry_matches_the_checked_in_one() {
     // `--bless-wire` output is a pure function of the sources; the file in
     // the repo must be exactly what blessing today would produce.

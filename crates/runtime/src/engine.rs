@@ -26,11 +26,12 @@ use accel::fault::FaultPlan;
 use accel::host::{
     CorrectionTable, DispatchPolicy, DispatchRequest, HostRuntime, QuarantinePolicy, RetryPolicy,
 };
-use accel::kernel::{InvalidKernel, Kernel};
+use accel::kernel::{InvalidKernel, Kernel, KernelExecution};
 use accel::AccelError;
+use admission::{AdmissionConfig, CanonicalKey, ResultCache, SingleFlight};
 use numerics::rng::SeedStream;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -100,6 +101,16 @@ pub struct RuntimeConfig {
     /// is history-dependent: runs that must reproduce byte-for-byte across
     /// worker counts should use [`QuarantinePolicy::disabled`].
     pub quarantine: QuarantinePolicy,
+    /// The admission tier: kernel canonicalization plus a seeded result
+    /// cache, single-flight coalescing of identical in-flight submissions,
+    /// and hedged portfolio dispatch for SAT kernels. Because every result
+    /// is a pure function of `(canonical kernel, seed, policy)`, the
+    /// default (cache + coalescing on) serves duplicates byte-identically
+    /// to recomputation; [`AdmissionConfig::disabled`] recomputes
+    /// everything. `DeadlineAware` jobs bypass the cache and coalescing —
+    /// their routing depends on the deadline budget, which is not part of
+    /// the admission identity.
+    pub admission: AdmissionConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -114,8 +125,56 @@ impl Default for RuntimeConfig {
             faults: None,
             retry: RetryPolicy::default(),
             quarantine: QuarantinePolicy::default(),
+            admission: AdmissionConfig::default(),
         }
     }
+}
+
+/// The admission identity of a job: canonical kernel key, execution seed,
+/// and routing-policy discriminant. Two submissions with the same identity
+/// are guaranteed byte-identical results.
+type AdmissionKey = (CanonicalKey, u64, u8);
+
+/// A stable discriminant for [`DispatchPolicy`], part of the admission
+/// identity (the same kernel and seed route — and may therefore resolve —
+/// differently under different policies).
+fn policy_code(policy: DispatchPolicy) -> u8 {
+    match policy {
+        DispatchPolicy::PreferSpecialized => 0,
+        DispatchPolicy::CpuOnly => 1,
+        DispatchPolicy::MinPredictedLatency => 2,
+        DispatchPolicy::MinPredictedEnergy => 3,
+        DispatchPolicy::DeadlineAware => 4,
+    }
+}
+
+/// The outcome payload the admission cache stores: enough to replay a
+/// `JobOutcome::Completed` without re-executing.
+#[derive(Debug, Clone)]
+struct CachedOutcome {
+    backend: String,
+    execution: KernelExecution,
+}
+
+/// A submission coalesced behind an identical in-flight job. The lead's
+/// worker publishes the shared outcome to every waiter when the flight
+/// completes; a waiter that cancels first simply wins its own
+/// write-once publish race and is skipped.
+struct Waiter {
+    state: Arc<JobState>,
+    enqueued: Instant,
+    deadline: Option<Instant>,
+}
+
+/// The mutexed admission state shared by submitters and workers.
+struct AdmissionTier {
+    cache: ResultCache<AdmissionKey, CachedOutcome>,
+    inflight: SingleFlight<AdmissionKey, Waiter>,
+    coalesce: bool,
+}
+
+fn lock_tier(tier: &Mutex<AdmissionTier>) -> MutexGuard<'_, AdmissionTier> {
+    tier.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// One queued job envelope.
@@ -129,6 +188,10 @@ struct QueuedJob {
     state: Arc<JobState>,
     enqueued: Instant,
     deadline: Option<Instant>,
+    /// The job's admission identity, when the admission tier applies to
+    /// it (tier enabled, policy not `DeadlineAware`). Keyed jobs carry
+    /// the *canonical* kernel in `kernel`.
+    admission_key: Option<AdmissionKey>,
 }
 
 /// State shared between the submission side and the workers.
@@ -139,6 +202,10 @@ struct Shared {
     /// The fault plan, if chaos is on — consulted per job for worker
     /// stalls (backend faults live inside the wrapped backends).
     faults: Option<FaultPlan>,
+    /// The admission tier: result cache + single-flight registry.
+    admission: Mutex<AdmissionTier>,
+    /// Hedged portfolio dispatch for SAT kernels, when configured.
+    hedge: Option<admission::HedgeConfig>,
 }
 
 /// The concurrent job-serving engine. See the [module docs](self).
@@ -148,18 +215,27 @@ pub struct Runtime {
     next_id: AtomicU64,
     seed: u64,
     default_timeout: Option<Duration>,
+    policy: DispatchPolicy,
+    admission_keyed: bool,
 }
 
 impl Runtime {
     /// Starts a runtime whose workers each own the standard heterogeneous
-    /// pool (quantum, oscillator, memcomputing, CPU fallback).
+    /// pool (quantum, oscillator, memcomputing, CPU fallback) — extended
+    /// with the WalkSAT engine ([`accel::backends::portfolio_pool`]) when
+    /// hedged dispatch is configured, so SAT races have a portfolio to
+    /// draw from.
     ///
     /// # Errors
     ///
     /// [`RuntimeError::Config`] for a zero worker count or queue capacity;
     /// [`RuntimeError::Backend`] if building a backend pool fails.
     pub fn start(config: RuntimeConfig) -> Result<Self, RuntimeError> {
-        Self::with_backend_factory(config, accel::backends::standard_pool)
+        if config.admission.hedge.is_some() {
+            Self::with_backend_factory(config, accel::backends::portfolio_pool)
+        } else {
+            Self::with_backend_factory(config, accel::backends::standard_pool)
+        }
     }
 
     /// Starts a runtime whose workers build their backend pools through
@@ -205,6 +281,12 @@ impl Runtime {
             stats: StatsCollector::new(),
             workers: config.workers,
             faults: config.faults,
+            admission: Mutex::new(AdmissionTier {
+                cache: ResultCache::new(config.admission.cache_capacity),
+                inflight: SingleFlight::new(),
+                coalesce: config.admission.coalesce,
+            }),
+            hedge: config.admission.hedge,
         });
         let handles = hosts
             .into_iter()
@@ -223,6 +305,8 @@ impl Runtime {
             next_id: AtomicU64::new(0),
             seed: config.seed,
             default_timeout: config.default_timeout,
+            policy: config.policy,
+            admission_keyed: config.admission.cache_capacity > 0 || config.admission.coalesce,
         })
     }
 
@@ -250,12 +334,19 @@ impl Runtime {
     ) -> Result<JobHandle, SubmitError> {
         self.validate(&kernel)?;
         let (job, handle) = self.prepare(kernel, options);
+        let Some(job) = self.admission_intercept(job) else {
+            return Ok(handle);
+        };
+        let key = job.admission_key;
         match self.shared.queue.push(job) {
             Ok(()) => {
                 self.shared.stats.record_submitted();
                 Ok(handle)
             }
-            Err(PushError::Closed(_) | PushError::Full(_)) => Err(SubmitError::ShutDown),
+            Err(PushError::Closed(_) | PushError::Full(_)) => {
+                self.abort_lead(key.as_ref());
+                Err(SubmitError::ShutDown)
+            }
         }
     }
 
@@ -281,16 +372,24 @@ impl Runtime {
     ) -> Result<JobHandle, SubmitError> {
         self.validate(&kernel)?;
         let (job, handle) = self.prepare(kernel, options);
+        let Some(job) = self.admission_intercept(job) else {
+            return Ok(handle);
+        };
+        let key = job.admission_key;
         match self.shared.queue.try_push(job) {
             Ok(()) => {
                 self.shared.stats.record_submitted();
                 Ok(handle)
             }
             Err(PushError::Full(_)) => {
+                self.abort_lead(key.as_ref());
                 self.shared.stats.record_rejected();
                 Err(SubmitError::QueueFull)
             }
-            Err(PushError::Closed(_)) => Err(SubmitError::ShutDown),
+            Err(PushError::Closed(_)) => {
+                self.abort_lead(key.as_ref());
+                Err(SubmitError::ShutDown)
+            }
         }
     }
 
@@ -310,16 +409,85 @@ impl Runtime {
         // lint:allow(determinism::wall-clock, reason = "queue-time/deadline stamping only; job seeds and payloads never derive from it")
         let now = Instant::now();
         let timeout = options.timeout.or(self.default_timeout);
+        let seed = options.seed.unwrap_or_else(|| job_seed(self.seed, id));
+        // Admission-keyed jobs are canonicalized at the door and execute
+        // the canonical form, so cold runs, cache hits, and coalesced
+        // serves all resolve the identical kernel. `DeadlineAware` routing
+        // depends on the deadline budget, which the admission identity
+        // does not capture, so such jobs stay raw and uncached.
+        let effective_policy = options.policy.unwrap_or(self.policy);
+        let (kernel, admission_key) =
+            if self.admission_keyed && effective_policy != DispatchPolicy::DeadlineAware {
+                let (canonical, key) = admission::admit(&kernel);
+                (canonical, Some((key, seed, policy_code(effective_policy))))
+            } else {
+                (kernel, None)
+            };
         let job = QueuedJob {
             kernel,
-            seed: options.seed.unwrap_or_else(|| job_seed(self.seed, id)),
+            seed,
             policy: options.policy,
             budget: timeout,
             state,
             enqueued: now,
             deadline: timeout.map(|t| now + t),
+            admission_key,
         };
         (job, handle)
+    }
+
+    /// Tries to settle a keyed job at admission: a cache hit publishes the
+    /// stored outcome immediately, and a duplicate of an in-flight job
+    /// attaches as a waiter behind the lead execution. Returns the job
+    /// back when it must actually queue (it missed, and now leads any
+    /// duplicates that arrive while it runs).
+    fn admission_intercept(&self, job: QueuedJob) -> Option<QueuedJob> {
+        let Some(key) = job.admission_key else {
+            return Some(job);
+        };
+        let mut tier = lock_tier(&self.shared.admission);
+        if let Some(cached) = tier.cache.get(&key) {
+            drop(tier);
+            self.shared.stats.record_submitted();
+            self.shared.stats.record_cache_hit();
+            publish_cached(&self.shared, &job.state, cached);
+            return None;
+        }
+        if tier.coalesce && !tier.inflight.lead(key) {
+            let waiter = Waiter {
+                state: Arc::clone(&job.state),
+                enqueued: job.enqueued,
+                deadline: job.deadline,
+            };
+            if tier.inflight.attach(&key, waiter).is_ok() {
+                drop(tier);
+                self.shared.stats.record_submitted();
+                self.shared.stats.record_coalesced();
+                return None;
+            }
+        }
+        drop(tier);
+        // Only leads count as misses, so every keyed submission lands in
+        // exactly one of cache_hits / coalesced / cache_misses.
+        self.shared.stats.record_cache_miss();
+        Some(job)
+    }
+
+    /// Unwinds a lead registration whose queue push was refused. Any
+    /// waiters that raced in behind the doomed lead are failed rather than
+    /// left dangling (their submissions were already acknowledged).
+    fn abort_lead(&self, key: Option<&AdmissionKey>) {
+        let Some(key) = key else { return };
+        let waiters = lock_tier(&self.shared.admission).inflight.complete(key);
+        for waiter in waiters {
+            let installed = waiter.state.finish_then(
+                JobOutcome::Failed("coalesced lead was refused by the queue".into()),
+                |_| self.shared.stats.record_failed(),
+            );
+            if !installed {
+                self.shared.stats.record_cancelled();
+            }
+        }
     }
 
     /// A point-in-time statistics snapshot.
@@ -375,17 +543,92 @@ fn worker_loop(shared: &Shared, mut host: HostRuntime) {
     }
 }
 
+/// Publishes a cache hit straight from the submission path: the job never
+/// queues, its result is the stored execution, byte-identical to what
+/// recomputation under the same `(canonical kernel, seed, policy)` would
+/// produce.
+fn publish_cached(shared: &Shared, state: &Arc<JobState>, cached: CachedOutcome) {
+    let outcome = JobOutcome::Completed {
+        backend: cached.backend,
+        execution: cached.execution,
+        wall: Duration::ZERO,
+    };
+    let installed = state.finish_then(outcome, |_| {
+        shared.stats.record_served_derived(Duration::ZERO);
+    });
+    if !installed {
+        shared.stats.record_cancelled();
+    }
+}
+
+/// Publishes the flight's shared outcome to one coalesced waiter. A waiter
+/// that already cancelled wins its own write-once publish race and is only
+/// counted, never overwritten — cancelling one waiter never affects its
+/// peers or the lead.
+fn publish_to_waiter(shared: &Shared, waiter: &Waiter, outcome: &JobOutcome) {
+    // lint:allow(determinism::wall-clock, reason = "waiter deadline check and latency accounting; the shared result is already computed")
+    let now = Instant::now();
+    let resolved = match outcome {
+        JobOutcome::Completed {
+            backend,
+            execution,
+            wall,
+        } => {
+            if waiter.deadline.is_some_and(|d| now >= d) {
+                JobOutcome::TimedOut
+            } else {
+                JobOutcome::Completed {
+                    backend: backend.clone(),
+                    execution: execution.clone(),
+                    wall: *wall,
+                }
+            }
+        }
+        JobOutcome::Failed(msg) => JobOutcome::Failed(msg.clone()),
+        // The flight resolved without executing (lead blocked, no live
+        // waiters) — anything drained here is itself already settled.
+        JobOutcome::TimedOut | JobOutcome::Cancelled => JobOutcome::Cancelled,
+    };
+    let latency = now.duration_since(waiter.enqueued);
+    let installed = waiter.state.finish_then(resolved, |visible| match visible {
+        JobOutcome::Completed { .. } => shared.stats.record_served_derived(latency),
+        JobOutcome::Failed(_) => shared.stats.record_failed(),
+        JobOutcome::TimedOut => shared.stats.record_timed_out(),
+        JobOutcome::Cancelled => shared.stats.record_cancelled(),
+    });
+    if !installed {
+        shared.stats.record_cancelled();
+    }
+}
+
 /// Resolves one popped job and records exactly one terminal statistic,
-/// chosen by whichever outcome actually won the installation race.
+/// chosen by whichever outcome actually won the installation race. When
+/// the job is a coalesced-flight lead, its execution is also stored in the
+/// admission cache and published to every waiter.
 fn serve_one(shared: &Shared, host: &mut HostRuntime, job: &QueuedJob) {
     // lint:allow(determinism::wall-clock, reason = "deadline check and latency accounting; results are pure functions of the job seed")
     let picked_up = Instant::now();
     let mut predicted_estimate = None;
-    let outcome = if job.deadline.is_some_and(|d| picked_up >= d) {
-        JobOutcome::TimedOut
+    // The lead's own pre-dispatch verdict.
+    let blocked = if job.deadline.is_some_and(|d| picked_up >= d) {
+        Some(JobOutcome::TimedOut)
     } else if job.state.cancel_requested() || job.state.outcome().is_some() {
-        JobOutcome::Cancelled
+        Some(JobOutcome::Cancelled)
     } else {
+        None
+    };
+    // A blocked lead with live coalesced waiters still executes: a
+    // waiter's result must not depend on the lead's deadline expiring or
+    // on a peer cancelling first.
+    let waiters_pending = blocked.is_some()
+        && job.admission_key.as_ref().is_some_and(|key| {
+            lock_tier(&shared.admission)
+                .inflight
+                .waiters(key)
+                .iter()
+                .any(|w| w.state.outcome().is_none() && !w.state.cancel_requested())
+        });
+    let executed = if blocked.is_none() || waiters_pending {
         // An injected worker stall delays the job but never changes its
         // outcome: it runs after the deadline/cancel checks, and results
         // are pure functions of the job seed regardless of timing.
@@ -401,11 +644,26 @@ fn serve_one(shared: &Shared, host: &mut HostRuntime, job: &QueuedJob) {
             policy: job.policy,
             deadline_seconds: job.budget.map(|t| t.as_secs_f64()),
         };
-        let dispatched = host.dispatch_planned(&job.kernel, &request);
+        // SAT kernels race a portfolio when hedging is configured; the
+        // hedge keeps the highest-ranked success, so the winning result is
+        // exactly what the sequential walk would have produced.
+        let hedge = shared
+            .hedge
+            .filter(|_| matches!(job.kernel, Kernel::SolveSat { .. }));
+        let dispatched = match hedge {
+            Some(cfg) => {
+                host.dispatch_hedged(&job.kernel, &request, cfg.top_k)
+                    .map(|(report, race)| {
+                        shared.stats.record_hedge(&race);
+                        report
+                    })
+            }
+            None => host.dispatch_planned(&job.kernel, &request),
+        };
         // Failed dispatches return no report, so fault accounting drains
         // from the host's ledger on both paths.
         shared.stats.record_faults(&host.drain_faults());
-        match dispatched {
+        Some(match dispatched {
             Ok(report) => {
                 predicted_estimate = report.estimate;
                 JobOutcome::Completed {
@@ -415,7 +673,41 @@ fn serve_one(shared: &Shared, host: &mut HostRuntime, job: &QueuedJob) {
                 }
             }
             Err(err) => JobOutcome::Failed(err.to_string()),
+        })
+    } else {
+        None
+    };
+    // Resolve the admission flight: store a completed execution in the
+    // cache, then publish the shared outcome to every coalesced waiter.
+    if let Some(key) = &job.admission_key {
+        let waiters = {
+            let mut tier = lock_tier(&shared.admission);
+            if let Some(JobOutcome::Completed {
+                backend, execution, ..
+            }) = &executed
+            {
+                let evicted = tier.cache.insert(
+                    *key,
+                    CachedOutcome {
+                        backend: backend.clone(),
+                        execution: execution.clone(),
+                    },
+                );
+                shared.stats.record_cache_evictions(evicted);
+            }
+            tier.inflight.complete(key)
+        };
+        if let Some(outcome) = executed.as_ref().or(blocked.as_ref()) {
+            for waiter in &waiters {
+                publish_to_waiter(shared, waiter, outcome);
+            }
         }
+    }
+    let outcome = match (blocked, executed) {
+        (Some(verdict), _) => verdict,
+        (None, Some(served)) => served,
+        // Unreachable: one of the two is always Some.
+        (None, None) => JobOutcome::Cancelled,
     };
     // Account the outcome *before* it becomes visible (under the state
     // lock): a caller that has observed its result is guaranteed to find
@@ -856,6 +1148,227 @@ mod tests {
                 other => panic!("unexpected {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn duplicate_submissions_hit_the_cache() {
+        let rt = Runtime::with_backend_factory(small(), cpu_pool).unwrap();
+        let kernel = Kernel::DnaSimilarity {
+            a: "ACGTACGTACGTACGT".into(),
+            b: "ACGTTCGTACGAACGT".into(),
+            k: 3,
+        };
+        let opts = JobOptions::with_seed(77);
+        let cold = rt.submit_with(kernel.clone(), opts).unwrap().wait();
+        let warm = rt.submit_with(kernel, opts).unwrap().wait();
+        match (&cold, &warm) {
+            (
+                JobOutcome::Completed {
+                    execution: a,
+                    backend: ba,
+                    ..
+                },
+                JobOutcome::Completed {
+                    execution: b,
+                    backend: bb,
+                    ..
+                },
+            ) => {
+                assert_eq!(a, b, "cached result must be byte-identical");
+                assert_eq!(ba, bb);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let stats = rt.shutdown();
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.completed, 2);
+        assert_eq!(
+            stats.per_backend["cpu"].jobs, 1,
+            "the hit must not re-execute"
+        );
+    }
+
+    #[test]
+    fn disabled_admission_recomputes_duplicates() {
+        let mut config = small();
+        config.admission = admission::AdmissionConfig::disabled();
+        let rt = Runtime::with_backend_factory(config, cpu_pool).unwrap();
+        let kernel = Kernel::Compare { x: 0.125, y: 0.625 };
+        let opts = JobOptions::with_seed(5);
+        let first = rt.submit_with(kernel.clone(), opts).unwrap().wait();
+        let second = rt.submit_with(kernel, opts).unwrap().wait();
+        match (&first, &second) {
+            (
+                JobOutcome::Completed { execution: a, .. },
+                JobOutcome::Completed { execution: b, .. },
+            ) => assert_eq!(a.result, b.result),
+            other => panic!("unexpected {other:?}"),
+        }
+        let stats = rt.shutdown();
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.cache_misses, 0);
+        assert_eq!(stats.coalesced, 0);
+        assert_eq!(stats.per_backend["cpu"].jobs, 2);
+    }
+
+    #[test]
+    fn clause_permuted_sat_duplicates_share_one_entry() {
+        use mem::cnf::Formula;
+        use mem::generators::planted_3sat;
+        let base = planted_3sat(10, 3.8, 41).unwrap().formula;
+        let mut reversed_clauses: Vec<_> = base.clauses().to_vec();
+        reversed_clauses.reverse();
+        let reversed = Formula::new(base.n_vars(), reversed_clauses).unwrap();
+        let rt = Runtime::with_backend_factory(small(), cpu_pool).unwrap();
+        let opts = JobOptions::with_seed(13);
+        let a = rt
+            .submit_with(Kernel::SolveSat { formula: base }, opts)
+            .unwrap()
+            .wait();
+        let b = rt
+            .submit_with(Kernel::SolveSat { formula: reversed }, opts)
+            .unwrap()
+            .wait();
+        match (&a, &b) {
+            (
+                JobOutcome::Completed { execution: ea, .. },
+                JobOutcome::Completed { execution: eb, .. },
+            ) => assert_eq!(ea, eb, "clause order is not part of the identity"),
+            other => panic!("unexpected {other:?}"),
+        }
+        let stats = rt.shutdown();
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.per_backend["cpu"].jobs, 1);
+    }
+
+    /// A CPU backend whose executions block until the test releases it —
+    /// the deterministic way to hold a flight open while duplicates and
+    /// cancellations arrive.
+    struct GatedCpu {
+        gate: Arc<std::sync::atomic::AtomicBool>,
+        inner: CpuBackend,
+    }
+
+    impl Accelerator for GatedCpu {
+        fn name(&self) -> &str {
+            self.inner.name()
+        }
+        fn supports(&self, kernel: &Kernel) -> bool {
+            self.inner.supports(kernel)
+        }
+        fn reseed(&mut self, seed: u64) {
+            self.inner.reseed(seed);
+        }
+        fn estimate(&self, kernel: &Kernel) -> Option<accel::kernel::CostEstimate> {
+            self.inner.estimate(kernel)
+        }
+        fn execute(
+            &mut self,
+            kernel: &Kernel,
+        ) -> Result<accel::kernel::KernelExecution, AccelError> {
+            while !self.gate.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            self.inner.execute(kernel)
+        }
+    }
+
+    #[test]
+    fn in_flight_duplicates_coalesce_and_cancel_independently() {
+        let gate = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let factory_gate = Arc::clone(&gate);
+        let config = RuntimeConfig {
+            workers: 1,
+            queue_capacity: 16,
+            policy: DispatchPolicy::CpuOnly,
+            seed: 2,
+            ..RuntimeConfig::default()
+        };
+        let rt = Runtime::with_backend_factory(config, move |seed| {
+            Ok(vec![Box::new(GatedCpu {
+                gate: Arc::clone(&factory_gate),
+                inner: CpuBackend::new(seed),
+            })])
+        })
+        .unwrap();
+        let kernel = Kernel::DnaSimilarity {
+            a: "ACGTACGTACGT".into(),
+            b: "TTGTACGAACGA".into(),
+            k: 2,
+        };
+        let opts = JobOptions::with_seed(99);
+        // The lead blocks inside the gated backend; the duplicates attach
+        // to its flight instead of queueing executions of their own.
+        let lead = rt.submit_with(kernel.clone(), opts).unwrap();
+        let kept = rt.submit_with(kernel.clone(), opts).unwrap();
+        let dropped = rt.submit_with(kernel, opts).unwrap();
+        // Cancelling one waiter must not leak to the lead or its peer.
+        assert!(dropped.cancel());
+        gate.store(true, Ordering::SeqCst);
+        let lead_outcome = lead.wait();
+        let kept_outcome = kept.wait();
+        assert_eq!(dropped.wait(), JobOutcome::Cancelled);
+        match (&lead_outcome, &kept_outcome) {
+            (
+                JobOutcome::Completed { execution: a, .. },
+                JobOutcome::Completed { execution: b, .. },
+            ) => assert_eq!(a, b, "waiter must receive the lead's exact result"),
+            other => panic!("unexpected {other:?}"),
+        }
+        let stats = rt.shutdown();
+        assert_eq!(stats.coalesced, 2);
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.cancelled, 1);
+        assert_eq!(stats.settled(), 3);
+        assert_eq!(
+            stats.per_backend["cpu"].jobs, 1,
+            "one execution served the whole flight"
+        );
+    }
+
+    #[test]
+    fn hedged_serving_matches_unhedged_results() {
+        use mem::generators::planted_3sat;
+        let run = |hedge: Option<admission::HedgeConfig>| {
+            let config = RuntimeConfig {
+                workers: 2,
+                queue_capacity: 32,
+                policy: DispatchPolicy::PreferSpecialized,
+                seed: 19,
+                admission: admission::AdmissionConfig {
+                    hedge,
+                    ..admission::AdmissionConfig::default()
+                },
+                ..RuntimeConfig::default()
+            };
+            let rt = Runtime::start(config).unwrap();
+            let handles: Vec<_> = (0..6)
+                .map(|i| {
+                    let formula = planted_3sat(10, 3.8, 100 + i).unwrap().formula;
+                    rt.submit(Kernel::SolveSat { formula }).unwrap()
+                })
+                .collect();
+            let outcomes: Vec<_> = handles.iter().map(JobHandle::wait).collect();
+            (outcomes, rt.shutdown())
+        };
+        let (plain, plain_stats) = run(None);
+        let (hedged, hedged_stats) = run(Some(admission::HedgeConfig { top_k: 2 }));
+        for (a, b) in plain.iter().zip(&hedged) {
+            match (a, b) {
+                (
+                    JobOutcome::Completed { execution: ea, .. },
+                    JobOutcome::Completed { execution: eb, .. },
+                ) => assert_eq!(ea.result, eb.result, "hedging must never change results"),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(plain_stats.hedged, 0);
+        assert_eq!(hedged_stats.hedged, 6);
+        assert!(
+            hedged_stats.per_backend.contains_key("walksat"),
+            "the portfolio's WalkSAT engine must have raced"
+        );
     }
 
     #[test]

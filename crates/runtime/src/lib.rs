@@ -57,12 +57,13 @@ pub use queue::{JobQueue, PushError};
 pub use stats::{BackendThroughput, LatencyHistogram, RuntimeStats};
 
 // Re-exported so serving callers can pick a routing policy, seed the
-// planner's cost corrections, configure fault injection and failover, and
-// match on submission-validation failures without depending on `accel`
-// directly.
+// planner's cost corrections, configure fault injection and failover,
+// tune the admission tier, and match on submission-validation failures
+// without depending on `accel` or `admission` directly.
 pub use accel::fault::{FaultPlan, FaultSpec};
 pub use accel::host::{CorrectionTable, DispatchPolicy, QuarantinePolicy, RetryPolicy};
 pub use accel::kernel::{CostEstimate, InvalidKernel};
+pub use admission::{AdmissionConfig, HedgeConfig};
 
 /// Crate-wide error type.
 #[derive(Debug)]

@@ -4,7 +4,7 @@
 //! [`crate::Runtime::stats`] snapshots it into an owned [`RuntimeStats`]
 //! that renders as a small serving report.
 
-use accel::host::{CorrectionTable, FaultLedger, CORRECTION_ALPHA};
+use accel::host::{CorrectionTable, FaultLedger, HedgeReport, CORRECTION_ALPHA};
 use accel::kernel::CostEstimate;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -214,6 +214,26 @@ pub struct RuntimeStats {
     pub quarantine_events: u64,
     /// Recovery probes sent to quarantined backends.
     pub recovery_probes: u64,
+    /// Submissions served straight from the admission tier's result cache
+    /// (counted in [`RuntimeStats::completed`] but never in
+    /// [`RuntimeStats::per_backend`]: no backend executed).
+    pub cache_hits: u64,
+    /// Cacheable submissions that found nothing stored and queued as the
+    /// lead execution for their key. Every keyed submission lands in
+    /// exactly one of [`RuntimeStats::cache_hits`],
+    /// [`RuntimeStats::coalesced`], or this counter.
+    pub cache_misses: u64,
+    /// Cache entries displaced by capacity pressure.
+    pub cache_evictions: u64,
+    /// Submissions that attached as waiters to an identical in-flight
+    /// job instead of queueing their own execution.
+    pub coalesced: u64,
+    /// Jobs dispatched as a hedged portfolio race instead of a sequential
+    /// planned walk.
+    pub hedged: u64,
+    /// Hedge losers that conceded mid-retry once a higher-ranked rival
+    /// had already won.
+    pub hedge_cancelled: u64,
 }
 
 impl RuntimeStats {
@@ -287,6 +307,18 @@ impl fmt::Display for RuntimeStats {
                 self.recovery_probes
             )?;
         }
+        if self.cache_hits + self.cache_misses + self.coalesced + self.hedged > 0 {
+            writeln!(
+                f,
+                "admission: {} cache hits | {} misses | {} evictions | {} coalesced | {} hedged | {} hedge-cancelled",
+                self.cache_hits,
+                self.cache_misses,
+                self.cache_evictions,
+                self.coalesced,
+                self.hedged,
+                self.hedge_cancelled
+            )?;
+        }
         writeln!(f, "per-backend throughput:")?;
         for (name, t) in &self.per_backend {
             writeln!(
@@ -333,6 +365,12 @@ struct Collected {
     reroutes: u64,
     quarantine_events: u64,
     recovery_probes: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_evictions: u64,
+    coalesced: u64,
+    hedged: u64,
+    hedge_cancelled: u64,
 }
 
 impl StatsCollector {
@@ -386,6 +424,55 @@ impl StatsCollector {
         inner.latency.record(latency);
     }
 
+    /// A job settled without its own backend execution — served from the
+    /// result cache or published by the lead of its coalesced flight. It
+    /// counts as completed with a queue-to-result latency, but touches no
+    /// per-backend row: those account actual executions only.
+    pub(crate) fn record_served_derived(&self, latency: Duration) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.completed += 1;
+        inner.latency.record(latency);
+    }
+
+    pub(crate) fn record_cache_hit(&self) {
+        self.inner.lock().unwrap().cache_hits += 1;
+    }
+
+    pub(crate) fn record_cache_miss(&self) {
+        self.inner.lock().unwrap().cache_misses += 1;
+    }
+
+    pub(crate) fn record_cache_evictions(&self, evicted: u64) {
+        if evicted > 0 {
+            self.inner.lock().unwrap().cache_evictions += evicted;
+        }
+    }
+
+    pub(crate) fn record_coalesced(&self) {
+        self.inner.lock().unwrap().coalesced += 1;
+    }
+
+    /// Folds one hedged race into the counters. The winner is accounted
+    /// separately through [`StatsCollector::record_completed`]; here the
+    /// *losers'* completed executions land in the per-backend rows (their
+    /// device time was really spent, and their predicted-vs-actual pairs
+    /// feed calibration) without counting a job.
+    pub(crate) fn record_hedge(&self, report: &HedgeReport) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.hedged += 1;
+        inner.hedge_cancelled += u64::from(report.losers_cancelled);
+        for outcome in report.outcomes.iter().filter(|o| !o.won) {
+            let entry = inner
+                .per_backend
+                .entry(outcome.backend.clone())
+                .or_default();
+            entry.device_seconds += outcome.actual_device_seconds;
+            if let Some(predicted) = outcome.predicted {
+                entry.observe_prediction(predicted, outcome.actual_device_seconds);
+            }
+        }
+    }
+
     /// Folds one dispatch's drained [`FaultLedger`] into the counters.
     pub(crate) fn record_faults(&self, ledger: &FaultLedger) {
         if ledger.is_empty() {
@@ -421,6 +508,12 @@ impl StatsCollector {
             reroutes: inner.reroutes,
             quarantine_events: inner.quarantine_events,
             recovery_probes: inner.recovery_probes,
+            cache_hits: inner.cache_hits,
+            cache_misses: inner.cache_misses,
+            cache_evictions: inner.cache_evictions,
+            coalesced: inner.coalesced,
+            hedged: inner.hedged,
+            hedge_cancelled: inner.hedge_cancelled,
         }
     }
 }
@@ -577,6 +670,62 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("5 device faults"), "{text}");
         assert!(text.contains("1 reroutes"), "{text}");
+    }
+
+    #[test]
+    fn admission_counters_accumulate_and_display() {
+        use accel::host::HedgeOutcome;
+        let c = StatsCollector::new();
+        c.record_cache_miss();
+        c.record_cache_hit();
+        c.record_served_derived(Duration::from_micros(2));
+        c.record_coalesced();
+        c.record_served_derived(Duration::from_micros(4));
+        c.record_cache_evictions(3);
+        c.record_cache_evictions(0); // no-op
+        c.record_hedge(&HedgeReport {
+            candidates: 2,
+            winner_rank: 0,
+            losers_cancelled: 1,
+            outcomes: vec![
+                HedgeOutcome {
+                    backend: "memcomputing".into(),
+                    rank: 0,
+                    predicted: None,
+                    actual_device_seconds: 1e-6,
+                    won: true,
+                },
+                HedgeOutcome {
+                    backend: "walksat".into(),
+                    rank: 1,
+                    predicted: Some(CostEstimate {
+                        device_seconds: 2e-6,
+                        energy_joules: 1e-7,
+                    }),
+                    actual_device_seconds: 3e-6,
+                    won: false,
+                },
+            ],
+        });
+        let s = c.snapshot(0, 1);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.cache_evictions, 3);
+        assert_eq!(s.coalesced, 1);
+        assert_eq!(s.hedged, 1);
+        assert_eq!(s.hedge_cancelled, 1);
+        assert_eq!(s.completed, 2, "cached + coalesced serves both complete");
+        assert_eq!(s.latency.total(), 2);
+        // Only the hedge loser lands in per-backend rows here; the winner
+        // arrives via record_completed.
+        assert!(!s.per_backend.contains_key("memcomputing"));
+        let loser = s.per_backend["walksat"];
+        assert_eq!(loser.jobs, 0, "a lost race is not a completed job");
+        assert!(loser.device_seconds > 0.0);
+        assert!(loser.predicted_device_seconds > 0.0);
+        let text = s.to_string();
+        assert!(text.contains("1 cache hits"), "{text}");
+        assert!(text.contains("1 hedged"), "{text}");
     }
 
     #[test]

@@ -85,7 +85,10 @@ pub const MAGIC: [u8; 4] = *b"RBCM";
 /// * **3** — fault accounting: `Stats` gains the global fault counters
 ///   (device faults, retries, reroutes, quarantine events, recovery
 ///   probes) and each backend row gains its fault count.
-pub const PROTOCOL_VERSION: u16 = 3;
+/// * **4** — admission tier: `Stats` gains the global admission counters
+///   (cache hits, misses, evictions, coalesced submissions, hedged
+///   dispatches, hedge cancellations) after the fault-counter block.
+pub const PROTOCOL_VERSION: u16 = 4;
 
 /// The oldest protocol version this build still accepts.
 pub const MIN_SUPPORTED_VERSION: u16 = 1;

@@ -418,7 +418,9 @@ pub(crate) fn get_outcome(r: &mut ByteReader<'_>) -> Result<WireOutcome, WireErr
 /// original row layout; version ≥ 2 rows append the prediction-tracking
 /// triple (predicted device seconds, EWMA correction, EWMA error);
 /// version ≥ 3 adds the global fault counters after the worker count and
-/// a per-row fault count after the triple.
+/// a per-row fault count after the triple; version ≥ 4 adds the global
+/// admission counters (cache hits/misses/evictions, coalesced, hedged,
+/// hedge-cancelled) after the fault-counter block.
 pub(crate) fn put_stats(
     w: &mut ByteWriter,
     stats: &RuntimeStats,
@@ -439,6 +441,14 @@ pub(crate) fn put_stats(
         w.put_u64(stats.reroutes);
         w.put_u64(stats.quarantine_events);
         w.put_u64(stats.recovery_probes);
+    }
+    if version >= 4 {
+        w.put_u64(stats.cache_hits);
+        w.put_u64(stats.cache_misses);
+        w.put_u64(stats.cache_evictions);
+        w.put_u64(stats.coalesced);
+        w.put_u64(stats.hedged);
+        w.put_u64(stats.hedge_cancelled);
     }
     if stats.per_backend.len() as u64 > u64::from(MAX_SEQUENCE_LEN) {
         return Err(WireError::TooLarge {
@@ -491,6 +501,19 @@ pub(crate) fn get_stats(r: &mut ByteReader<'_>, version: u16) -> Result<RuntimeS
     } else {
         (0, 0, 0, 0, 0)
     };
+    let (cache_hits, cache_misses, cache_evictions, coalesced, hedged, hedge_cancelled) =
+        if version >= 4 {
+            (
+                r.get_u64("stats cache hits")?,
+                r.get_u64("stats cache misses")?,
+                r.get_u64("stats cache evictions")?,
+                r.get_u64("stats coalesced")?,
+                r.get_u64("stats hedged")?,
+                r.get_u64("stats hedge cancelled")?,
+            )
+        } else {
+            (0, 0, 0, 0, 0, 0)
+        };
     let backend_count = r.get_count(MAX_SEQUENCE_LEN, 37, "backend table")?;
     let mut per_backend = BTreeMap::new();
     for _ in 0..backend_count {
@@ -540,6 +563,12 @@ pub(crate) fn get_stats(r: &mut ByteReader<'_>, version: u16) -> Result<RuntimeS
         reroutes,
         quarantine_events,
         recovery_probes,
+        cache_hits,
+        cache_misses,
+        cache_evictions,
+        coalesced,
+        hedged,
+        hedge_cancelled,
     })
 }
 
@@ -724,7 +753,24 @@ mod tests {
             reroutes: 2,
             quarantine_events: 1,
             recovery_probes: 4,
+            cache_hits: 9,
+            cache_misses: 11,
+            cache_evictions: 2,
+            coalesced: 6,
+            hedged: 5,
+            hedge_cancelled: 3,
         }
+    }
+
+    #[test]
+    fn stats_round_trip_v4() {
+        let stats = sample_stats();
+        let mut w = ByteWriter::new();
+        put_stats(&mut w, &stats, 4).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(get_stats(&mut r, 4).unwrap(), stats);
+        r.finish().unwrap();
     }
 
     #[test]
@@ -734,8 +780,19 @@ mod tests {
         put_stats(&mut w, &stats, 3).unwrap();
         let bytes = w.into_bytes();
         let mut r = ByteReader::new(&bytes);
-        assert_eq!(get_stats(&mut r, 3).unwrap(), stats);
+        let back = get_stats(&mut r, 3).unwrap();
         r.finish().unwrap();
+        // v3 peers never see the admission counters; everything else survives.
+        assert_eq!(back.cache_hits, 0);
+        assert_eq!(back.cache_misses, 0);
+        assert_eq!(back.cache_evictions, 0);
+        assert_eq!(back.coalesced, 0);
+        assert_eq!(back.hedged, 0);
+        assert_eq!(back.hedge_cancelled, 0);
+        assert_eq!(back.backend_faults, stats.backend_faults);
+        assert_eq!(back.retries, stats.retries);
+        assert_eq!(back.per_backend, stats.per_backend);
+        assert_eq!(back.latency, stats.latency);
     }
 
     #[test]

@@ -12,11 +12,19 @@
 //!
 //! Run with: `cargo run --release --example loadgen -- [--clients N]
 //! [--jobs N] [--workers N] [--queue N] [--policy P] [--chaos]
-//! [--seed N]` where `P` is one of `prefer-specialized`, `cpu-only`,
-//! `min-latency`, `min-energy`, or `deadline`. The policy rides the
-//! protocol-v2 per-job `Submit` field, and when it differs from
-//! `prefer-specialized` the run also reports how many jobs the
-//! cost-model planner routed differently.
+//! [--seed N] [--mix M] [--dup-ratio R]` where `P` is one of
+//! `prefer-specialized`, `cpu-only`, `min-latency`, `min-energy`, or
+//! `deadline`. The policy rides the protocol-v2 per-job `Submit` field,
+//! and when it differs from `prefer-specialized` the run also reports
+//! how many jobs the cost-model planner routed differently.
+//!
+//! `--mix duplicate-heavy` swaps in a workload where a small unique pool
+//! of `(kernel, seed)` pairs is resubmitted over and over (`--dup-ratio`
+//! controls the duplicate fraction, default 0.9), exercising the
+//! admission tier: the run reports the server's cache/coalescing
+//! counters and hit rate, asserts the hit rate clears the duplicate
+//! ratio, and replays the workload on an admission-*disabled* runtime to
+//! prove cached results are byte-identical to cold recomputation.
 //!
 //! `--chaos` installs the stock [`FaultPlan::chaos`] schedule (seeded by
 //! `--seed`, default 29) on the server's runtime: backends fault, the
@@ -26,16 +34,23 @@
 //! fingerprint of every outcome — so two runs with the same seed can be
 //! compared byte-for-byte from their stdout alone.
 
-use rebooting_models::workload::{job_seeds, mixed_workload};
+use rebooting_models::workload::{duplicate_heavy_workload, job_seeds, mixed_workload};
 use runtime::stats::LatencyHistogram;
 use runtime::{
-    DispatchPolicy, FaultPlan, JobOptions, JobOutcome, QuarantinePolicy, Runtime, RuntimeConfig,
+    AdmissionConfig, DispatchPolicy, FaultPlan, JobOptions, JobOutcome, QuarantinePolicy, Runtime,
+    RuntimeConfig,
 };
 use server::{Client, Server, ServerConfig, SubmitOptions};
 use std::time::Instant;
 use wire::{encode_kernel_result, WireError, WireOutcome};
 
 const MASTER_SEED: u64 = 2019;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Mix {
+    Mixed,
+    DuplicateHeavy,
+}
 
 struct Args {
     clients: usize,
@@ -45,6 +60,8 @@ struct Args {
     policy: DispatchPolicy,
     chaos: bool,
     chaos_seed: u64,
+    mix: Mix,
+    dup_ratio: f64,
 }
 
 fn parse_policy(name: &str) -> Result<DispatchPolicy, String> {
@@ -70,6 +87,8 @@ fn parse_args() -> Result<Args, String> {
         policy: DispatchPolicy::MinPredictedLatency,
         chaos: false,
         chaos_seed: 29,
+        mix: Mix::Mixed,
+        dup_ratio: 0.9,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -84,6 +103,26 @@ fn parse_args() -> Result<Args, String> {
         }
         if flag == "--seed" {
             args.chaos_seed = raw.parse::<u64>().map_err(|e| format!("{flag}: {e}"))?;
+            continue;
+        }
+        if flag == "--mix" {
+            args.mix = match raw.as_str() {
+                "mixed" => Mix::Mixed,
+                "duplicate-heavy" => Mix::DuplicateHeavy,
+                other => {
+                    return Err(format!(
+                        "unknown mix {other} (expected mixed or duplicate-heavy)"
+                    ))
+                }
+            };
+            continue;
+        }
+        if flag == "--dup-ratio" {
+            let ratio = raw.parse::<f64>().map_err(|e| format!("{flag}: {e}"))?;
+            if !(0.0..=1.0).contains(&ratio) {
+                return Err(format!("{flag} must be in [0, 1], got {ratio}"));
+            }
+            args.dup_ratio = ratio;
             continue;
         }
         let value = raw.parse::<usize>().map_err(|e| format!("{flag}: {e}"))?;
@@ -208,6 +247,7 @@ fn run_direct(
     seeds: &[u64],
     policy: DispatchPolicy,
     faults: Option<FaultPlan>,
+    admission: AdmissionConfig,
 ) -> Result<DirectResults, Box<dyn std::error::Error>> {
     let chaos = faults.is_some();
     let rt = Runtime::start(RuntimeConfig {
@@ -220,6 +260,7 @@ fn run_direct(
         // Quarantine is history-dependent; disabling it keeps routing a
         // pure function of the job, matching the server configuration.
         quarantine: QuarantinePolicy::disabled(),
+        admission,
         ..RuntimeConfig::default()
     })?;
     let handles: Vec<_> = workload
@@ -245,8 +286,13 @@ fn run_direct(
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = parse_args().map_err(|e| format!("usage error: {e}"))?;
-    let workload = mixed_workload(args.jobs, MASTER_SEED)?;
-    let seeds = job_seeds(args.jobs, MASTER_SEED);
+    let (workload, seeds) = match args.mix {
+        Mix::Mixed => (
+            mixed_workload(args.jobs, MASTER_SEED)?,
+            job_seeds(args.jobs, MASTER_SEED),
+        ),
+        Mix::DuplicateHeavy => duplicate_heavy_workload(args.jobs, MASTER_SEED, args.dup_ratio)?,
+    };
     let plan = args.chaos.then(|| FaultPlan::chaos(args.chaos_seed));
 
     let server = Server::start(ServerConfig {
@@ -349,8 +395,56 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
+    if args.mix == Mix::DuplicateHeavy {
+        let served = server_stats.cache_hits + server_stats.cache_misses + server_stats.coalesced;
+        #[allow(clippy::cast_precision_loss)]
+        let hit_rate = if served == 0 {
+            0.0
+        } else {
+            (server_stats.cache_hits + server_stats.coalesced) as f64 / served as f64
+        };
+        println!(
+            "admission: {} cache hits + {} coalesced over {} keyed submissions \
+             (hit rate {:.1}%, {} evictions)",
+            server_stats.cache_hits,
+            server_stats.coalesced,
+            served,
+            hit_rate * 100.0,
+            server_stats.cache_evictions,
+        );
+        if args.policy == DispatchPolicy::DeadlineAware {
+            println!("deadline-aware jobs bypass admission; skipping the hit-rate check");
+        } else if args.chaos {
+            // Failed leads are never cached, so chaos runs legitimately
+            // recompute some duplicates; only the floor applies.
+            assert!(
+                hit_rate > 0.0,
+                "a duplicate-heavy chaos run must still serve some duplicates from admission"
+            );
+        } else {
+            // The pool size rounds down, so the duplicate share is at
+            // least the requested ratio (capped by the single-unique
+            // clamp); every duplicate must be a hit or a coalesced
+            // waiter.
+            #[allow(clippy::cast_precision_loss)]
+            let floor = args
+                .dup_ratio
+                .min((args.jobs - 1) as f64 / args.jobs as f64);
+            assert!(
+                hit_rate > 0.0 && hit_rate + 1e-9 >= floor,
+                "duplicate-heavy hit rate {hit_rate:.3} fell below the duplicate share {floor:.3}"
+            );
+        }
+    }
+
     println!("replaying on a direct 1-worker runtime to check determinism ...");
-    let direct = run_direct(&workload, &seeds, args.policy, plan)?;
+    let direct = run_direct(
+        &workload,
+        &seeds,
+        args.policy,
+        plan.clone(),
+        AdmissionConfig::default(),
+    )?;
     let mut agreements = 0usize;
     for (i, fingerprint) in fingerprints.iter().enumerate() {
         assert_eq!(
@@ -364,8 +458,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         args.clients, args.jobs
     );
 
+    if args.mix == Mix::DuplicateHeavy {
+        println!("replaying cold (admission disabled) to check cached results byte-for-byte ...");
+        let cold = run_direct(
+            &workload,
+            &seeds,
+            args.policy,
+            plan,
+            AdmissionConfig::disabled(),
+        )?;
+        for (i, fingerprint) in fingerprints.iter().enumerate() {
+            assert_eq!(
+                fingerprint, &cold[i].0,
+                "job {i}: cached outcome must match cold recomputation byte for byte"
+            );
+        }
+        println!(
+            "cached and cold runs agree byte-for-byte on all {}/{} outcomes \
+             (digest {:016x})",
+            cold.len(),
+            args.jobs,
+            digest(&fingerprints)
+        );
+    }
+
     if args.policy != DispatchPolicy::PreferSpecialized && !args.chaos {
-        let baseline = run_direct(&workload, &seeds, DispatchPolicy::PreferSpecialized, None)?;
+        let baseline = run_direct(
+            &workload,
+            &seeds,
+            DispatchPolicy::PreferSpecialized,
+            None,
+            AdmissionConfig::default(),
+        )?;
         let rerouted = direct
             .iter()
             .zip(&baseline)

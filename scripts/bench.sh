@@ -14,6 +14,10 @@ else
   cargo bench -p bench --bench dispatch_policies
 fi
 
+echo "==> loadgen duplicate-heavy (admission tier under wire load)"
+timeout 180 cargo run --release --example loadgen -- --clients 4 --jobs 160 --workers 4 \
+  --mix duplicate-heavy --dup-ratio 0.9
+
 if [[ -f BENCH_dispatch.json ]]; then
   echo "==> BENCH_dispatch.json"
   cat BENCH_dispatch.json

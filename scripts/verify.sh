@@ -34,4 +34,16 @@ echo "==> smoke: loadgen chaos (seeded fault injection + failover)"
 timeout 180 cargo run --release --example loadgen -- --clients 2 --jobs 24 --workers 2 \
   --policy prefer-specialized --chaos --seed 29
 
+echo "==> smoke: loadgen duplicate-heavy (admission cache + coalescing)"
+# loadgen itself asserts the hit rate clears the duplicate ratio and that
+# cached results are byte-identical to an admission-disabled cold replay;
+# the greps below keep this script honest about what that run proved.
+dup_out=$(timeout 180 cargo run --release --example loadgen -- --clients 2 --jobs 40 \
+  --workers 2 --mix duplicate-heavy --dup-ratio 0.9)
+echo "$dup_out" | tail -n 8
+echo "$dup_out" | grep -E "admission: [0-9]+ cache hits" | grep -qv "admission: 0 cache hits + 0 coalesced" \
+  || { echo "verify: duplicate-heavy run served no traffic from admission" >&2; exit 1; }
+echo "$dup_out" | grep -q "cached and cold runs agree byte-for-byte" \
+  || { echo "verify: cached-vs-cold byte equality check missing" >&2; exit 1; }
+
 echo "verify: all checks passed"

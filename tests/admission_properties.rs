@@ -1,0 +1,444 @@
+//! Property tests for the admission tier, driven by the workspace's
+//! seeded RNG so every run checks the same cases.
+//!
+//! # What "canonicalization preserves results" means here
+//!
+//! The SAT solvers are clause-order sensitive: DPLL's unit propagation and
+//! WalkSAT's flip sequence both depend on clause presentation order, so a
+//! permuted formula can converge to a *different satisfying assignment*
+//! on the raw backend. The invariant the system guarantees is therefore a
+//! serving-level one: the runtime canonicalizes every keyed submission at
+//! the door and executes the canonical form, so
+//! `run(canonicalize(k), seed) == run(k, seed)` holds byte-for-byte for
+//! the serving path by construction — submitting a kernel, its canonical
+//! form, or any syntactic scramble of it yields the same bytes, cold or
+//! cached alike. The tests below pin exactly that:
+//!
+//! * scrambled kernels (permuted/duplicated SAT clauses, shuffled marked
+//!   search items, `-0.0` compare operands) share both halves of the
+//!   admission identity and one canonical form, across all families;
+//! * independent runtimes serving the raw, canonical, and scrambled
+//!   variants of the same kernel under the same seed produce
+//!   byte-identical completed outcomes;
+//! * single-flight coalescing isolates waiter cancellations: randomized
+//!   cancelled subsets never perturb the lead or surviving waiters, and
+//!   the statistics settle exactly;
+//! * hedged portfolio dispatch returns the same bytes as unhedged
+//!   dispatch, including under chaos where hedge losers die to injected
+//!   permanent faults.
+
+use accel::accelerator::{Accelerator, CpuBackend};
+use accel::kernel::Kernel;
+use accel::AccelError;
+use admission::{admit, canonicalize};
+use mem::cnf::{Clause, Formula};
+use mem::generators::planted_3sat;
+use numerics::rng::{rng_from_seed, Rng, StdRng};
+use runtime::{
+    AdmissionConfig, DispatchPolicy, FaultPlan, FaultSpec, HedgeConfig, JobOptions, JobOutcome,
+    Runtime, RuntimeConfig, RuntimeStats,
+};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Fisher–Yates shuffle on the workspace RNG (the RNG has no shuffle of
+/// its own, and determinism requires staying on the seeded stream).
+fn shuffle<T>(items: &mut [T], rng: &mut StdRng) {
+    for i in (1..items.len()).rev() {
+        items.swap(i, rng.gen_range(0..=i));
+    }
+}
+
+/// A random kernel plus a syntactic scramble denoting the same
+/// computation, per family.
+fn scrambled_pair(family: u32, rng: &mut StdRng) -> (Kernel, Kernel) {
+    match family {
+        0 => {
+            // SAT: shuffle clause order, reverse literals inside each
+            // clause, and duplicate a random clause.
+            let base = planted_3sat(rng.gen_range(8..13usize), 3.8, rng.gen::<u64>())
+                .expect("generator parameters are valid")
+                .formula;
+            let mut clauses: Vec<Clause> = base.clauses().to_vec();
+            let dup = clauses[rng.gen_range(0..clauses.len())].clone();
+            clauses.push(dup);
+            shuffle(&mut clauses, rng);
+            let clauses: Vec<Clause> = clauses
+                .iter()
+                .map(|c| {
+                    let mut lits = c.literals().to_vec();
+                    lits.reverse();
+                    Clause::new(lits).expect("reversing literals keeps the clause valid")
+                })
+                .collect();
+            let scrambled = Formula::new(base.n_vars(), clauses)
+                .expect("same variable space as the base formula");
+            (
+                Kernel::SolveSat { formula: base },
+                Kernel::SolveSat { formula: scrambled },
+            )
+        }
+        1 => {
+            // Search: shuffle the marked items and duplicate one.
+            let n_qubits = rng.gen_range(3..8usize);
+            let marked: Vec<usize> = (0..rng.gen_range(2..5usize))
+                .map(|_| rng.gen_range(0..(1usize << n_qubits)))
+                .collect();
+            let mut scrambled = marked.clone();
+            scrambled.push(marked[rng.gen_range(0..marked.len())]);
+            shuffle(&mut scrambled, rng);
+            (
+                Kernel::Search { n_qubits, marked },
+                Kernel::Search {
+                    n_qubits,
+                    marked: scrambled,
+                },
+            )
+        }
+        _ => {
+            // Compare: a zero operand scrambles to negative zero.
+            let x = if rng.gen_range(0..2u32) == 0 {
+                0.0
+            } else {
+                rng.gen_range(0.0..1.0)
+            };
+            let y = rng.gen_range(0.0..1.0);
+            let scrub = |v: f64| if v == 0.0 { -0.0 } else { v };
+            (
+                Kernel::Compare { x, y },
+                Kernel::Compare {
+                    x: scrub(x),
+                    y: scrub(y),
+                },
+            )
+        }
+    }
+}
+
+#[test]
+fn scrambles_share_one_canonical_identity() {
+    let mut rng = rng_from_seed(0x5eed_ad31);
+    for round in 0..200 {
+        let (raw, scrambled) = scrambled_pair(round % 3, &mut rng);
+        let (canon_raw, key_raw) = admit(&raw);
+        let (canon_scrambled, key_scrambled) = admit(&scrambled);
+        assert_eq!(
+            canon_raw, canon_scrambled,
+            "round {round}: scramble changed the canonical form"
+        );
+        assert_eq!(
+            key_raw, key_scrambled,
+            "round {round}: scramble changed the admission identity"
+        );
+        // Canonicalization is idempotent, and the canonical form is its
+        // own fixed point under re-admission.
+        assert_eq!(canonicalize(&canon_raw), canon_raw);
+        assert_eq!(admit(&canon_raw).1, key_raw);
+    }
+}
+
+/// Serves the kernels on a fresh single-worker runtime and returns the
+/// completed `(backend, execution)` pairs in submission order.
+fn serve(kernels: &[Kernel], seeds: &[u64]) -> Vec<(String, accel::kernel::KernelExecution)> {
+    let config = RuntimeConfig {
+        workers: 1,
+        queue_capacity: 16,
+        policy: DispatchPolicy::PreferSpecialized,
+        seed: 0,
+        ..RuntimeConfig::default()
+    };
+    let rt = Runtime::start(config).expect("runtime starts");
+    let handles: Vec<_> = kernels
+        .iter()
+        .zip(seeds)
+        .map(|(kernel, &seed)| {
+            rt.submit_with(kernel.clone(), JobOptions::with_seed(seed))
+                .expect("submission is valid")
+        })
+        .collect();
+    handles
+        .iter()
+        .map(|h| match h.wait() {
+            JobOutcome::Completed {
+                backend, execution, ..
+            } => (backend, execution),
+            other => panic!("unexpected outcome {other:?}"),
+        })
+        .collect()
+}
+
+#[test]
+fn serving_raw_canonical_and_scrambled_forms_is_byte_identical() {
+    let mut rng = rng_from_seed(0xf00d_cafe);
+    for round in 0..4u64 {
+        // One kernel per family per round, each with a pinned job seed.
+        let pairs: Vec<(Kernel, Kernel)> = (0..3).map(|f| scrambled_pair(f, &mut rng)).collect();
+        let seeds: Vec<u64> = (0..3).map(|f| round * 31 + f).collect();
+        let raw: Vec<Kernel> = pairs.iter().map(|(r, _)| r.clone()).collect();
+        let canonical: Vec<Kernel> = raw.iter().map(canonicalize).collect();
+        let scrambled: Vec<Kernel> = pairs.iter().map(|(_, s)| s.clone()).collect();
+        // Three *independent* runtimes — no shared cache — so equality
+        // comes from each runtime executing the canonical form, not from
+        // one runtime serving stored bytes.
+        let served_raw = serve(&raw, &seeds);
+        let served_canonical = serve(&canonical, &seeds);
+        let served_scrambled = serve(&scrambled, &seeds);
+        assert_eq!(
+            served_raw, served_canonical,
+            "round {round}: run(canonicalize(k), seed) != run(k, seed)"
+        );
+        assert_eq!(
+            served_raw, served_scrambled,
+            "round {round}: a syntactic scramble changed served bytes"
+        );
+    }
+}
+
+/// A CPU backend whose executions block until the test opens the gate —
+/// the deterministic way to hold a flight open while duplicates attach
+/// and cancellations race.
+struct GatedCpu {
+    gate: Arc<AtomicBool>,
+    inner: CpuBackend,
+}
+
+impl Accelerator for GatedCpu {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+    fn supports(&self, kernel: &Kernel) -> bool {
+        self.inner.supports(kernel)
+    }
+    fn reseed(&mut self, seed: u64) {
+        self.inner.reseed(seed);
+    }
+    fn estimate(&self, kernel: &Kernel) -> Option<accel::kernel::CostEstimate> {
+        self.inner.estimate(kernel)
+    }
+    fn execute(&mut self, kernel: &Kernel) -> Result<accel::kernel::KernelExecution, AccelError> {
+        while !self.gate.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        self.inner.execute(kernel)
+    }
+}
+
+fn gated_runtime(seed: u64, gate: &Arc<AtomicBool>) -> Runtime {
+    let factory_gate = Arc::clone(gate);
+    let config = RuntimeConfig {
+        workers: 1,
+        queue_capacity: 32,
+        policy: DispatchPolicy::CpuOnly,
+        seed,
+        ..RuntimeConfig::default()
+    };
+    Runtime::with_backend_factory(config, move |pool_seed| {
+        Ok(vec![Box::new(GatedCpu {
+            gate: Arc::clone(&factory_gate),
+            inner: CpuBackend::new(pool_seed),
+        }) as Box<dyn Accelerator>])
+    })
+    .expect("runtime starts")
+}
+
+#[test]
+fn randomized_waiter_cancellations_never_leak_across_a_flight() {
+    const WAITERS: usize = 4;
+    const ROUNDS: usize = 10;
+    let gate = Arc::new(AtomicBool::new(false));
+    let rt = gated_runtime(11, &gate);
+
+    let mut rng = rng_from_seed(0xca9c_e1ed);
+    let mut total_cancelled = 0u64;
+    let mut total_kept = 0u64;
+    for round in 0..ROUNDS {
+        // A fresh kernel per round keeps rounds on separate cache keys.
+        let kernel = Kernel::Compare {
+            x: (round as f64 + 1.0) / 16.0,
+            y: 0.5,
+        };
+        let opts = JobOptions::with_seed(1000 + round as u64);
+        gate.store(false, Ordering::SeqCst);
+        // The flight registers at submission time, so the duplicates
+        // attach deterministically whether or not the worker has picked
+        // the lead up yet.
+        let lead = rt.submit_with(kernel.clone(), opts).expect("submit lead");
+        let waiters: Vec<_> = (0..WAITERS)
+            .map(|_| rt.submit_with(kernel.clone(), opts).expect("submit dup"))
+            .collect();
+        // A random subset of waiters — forced non-empty and non-full —
+        // cancels while the lead is still gated.
+        let mut cancel = [false; WAITERS];
+        for flag in &mut cancel {
+            *flag = rng.gen_range(0..2u32) == 1;
+        }
+        cancel[rng.gen_range(0..WAITERS)] = true;
+        cancel[rng.gen_range(0..WAITERS)] = false;
+        for (waiter, &doomed) in waiters.iter().zip(&cancel) {
+            if doomed {
+                assert!(waiter.cancel(), "round {round}: cancel lost its race");
+            }
+        }
+        gate.store(true, Ordering::SeqCst);
+
+        let lead_outcome = lead.wait();
+        let JobOutcome::Completed {
+            execution: lead_execution,
+            ..
+        } = &lead_outcome
+        else {
+            panic!("round {round}: unexpected lead outcome {lead_outcome:?}");
+        };
+        for (i, (waiter, &doomed)) in waiters.iter().zip(&cancel).enumerate() {
+            let outcome = waiter.wait();
+            if doomed {
+                total_cancelled += 1;
+                assert_eq!(
+                    outcome,
+                    JobOutcome::Cancelled,
+                    "round {round}: cancelled waiter {i} resolved otherwise"
+                );
+            } else {
+                total_kept += 1;
+                let JobOutcome::Completed { execution, .. } = &outcome else {
+                    panic!("round {round}: surviving waiter {i} got {outcome:?}");
+                };
+                assert_eq!(
+                    execution, lead_execution,
+                    "round {round}: waiter {i} diverged from the lead's bytes"
+                );
+            }
+        }
+    }
+    let stats = rt.shutdown();
+    assert_eq!(stats.coalesced, (WAITERS * ROUNDS) as u64);
+    assert_eq!(stats.cache_misses, ROUNDS as u64, "one lead per round");
+    assert_eq!(stats.cancelled, total_cancelled);
+    assert_eq!(stats.completed, ROUNDS as u64 + total_kept);
+    assert_eq!(stats.settled(), ((1 + WAITERS) * ROUNDS) as u64);
+    assert_eq!(
+        stats.per_backend["cpu"].jobs, ROUNDS as u64,
+        "each flight must execute exactly once"
+    );
+}
+
+#[test]
+fn cancelling_the_lead_still_serves_its_waiters() {
+    let gate = Arc::new(AtomicBool::new(false));
+    let rt = gated_runtime(23, &gate);
+    let kernel = Kernel::Compare { x: 0.375, y: 0.875 };
+    let opts = JobOptions::with_seed(7);
+    let lead = rt.submit_with(kernel.clone(), opts).expect("submit lead");
+    let waiter = rt.submit_with(kernel, opts).expect("submit dup");
+    // The lead cancels while gated; its live waiter must still be served
+    // a real execution rather than inheriting the cancellation.
+    assert!(lead.cancel());
+    gate.store(true, Ordering::SeqCst);
+    assert_eq!(lead.wait(), JobOutcome::Cancelled);
+    assert!(
+        matches!(waiter.wait(), JobOutcome::Completed { .. }),
+        "a lead's cancellation leaked to its waiter"
+    );
+    let stats = rt.shutdown();
+    assert_eq!(stats.cancelled, 1);
+    assert_eq!(stats.completed, 1);
+}
+
+/// Runs a fixed SAT batch with the given hedge/fault configuration and
+/// returns the completed results with the final statistics.
+fn sat_batch(
+    master_seed: u64,
+    hedge: Option<HedgeConfig>,
+    faults: Option<FaultPlan>,
+) -> (Vec<JobOutcome>, RuntimeStats) {
+    let config = RuntimeConfig {
+        workers: 2,
+        queue_capacity: 32,
+        policy: DispatchPolicy::PreferSpecialized,
+        seed: master_seed,
+        faults,
+        admission: AdmissionConfig {
+            hedge,
+            ..AdmissionConfig::default()
+        },
+        ..RuntimeConfig::default()
+    };
+    // Both sides race-or-walk the same portfolio pool: comparing hedged
+    // serving against an unhedged pool *without* WalkSAT would measure the
+    // pool difference, not the hedge.
+    let rt = Runtime::with_backend_factory(config, accel::backends::portfolio_pool)
+        .expect("runtime starts");
+    let handles: Vec<_> = (0..5u64)
+        .map(|i| {
+            let formula = planted_3sat(10 + (i as usize % 3), 3.8, master_seed ^ (i * 977))
+                .expect("generator parameters are valid")
+                .formula;
+            rt.submit_with(
+                Kernel::SolveSat { formula },
+                JobOptions::with_seed(master_seed.wrapping_mul(131) + i),
+            )
+            .expect("submission is valid")
+        })
+        .collect();
+    let outcomes = handles.iter().map(runtime::JobHandle::wait).collect();
+    (outcomes, rt.shutdown())
+}
+
+/// Completed results must match pairwise, byte for byte.
+fn assert_same_results(plain: &[JobOutcome], hedged: &[JobOutcome], context: &str) {
+    for (i, (a, b)) in plain.iter().zip(hedged).enumerate() {
+        match (a, b) {
+            (
+                JobOutcome::Completed { execution: ea, .. },
+                JobOutcome::Completed { execution: eb, .. },
+            ) => assert_eq!(
+                ea.result, eb.result,
+                "{context}: job {i} changed results under hedging"
+            ),
+            other => panic!("{context}: job {i} unexpected outcomes {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn hedged_dispatch_matches_unhedged_across_seeds() {
+    for master_seed in [3u64, 17, 29, 101] {
+        let (plain, plain_stats) = sat_batch(master_seed, None, None);
+        let (hedged, hedged_stats) = sat_batch(master_seed, Some(HedgeConfig { top_k: 2 }), None);
+        assert_same_results(&plain, &hedged, &format!("seed {master_seed}"));
+        assert_eq!(plain_stats.hedged, 0);
+        assert_eq!(
+            hedged_stats.hedged, 5,
+            "seed {master_seed}: every SAT job must race a portfolio"
+        );
+    }
+}
+
+#[test]
+fn hedge_losers_dying_to_faults_never_change_results() {
+    // The DMM is the top-ranked SAT backend under PreferSpecialized;
+    // killing it permanently makes a hedge racer (and the sequential
+    // walk's first pick) fault on every attempt. Results must still match
+    // the unhedged walk byte-for-byte, because the hedge only ever keeps
+    // the winner the sequential failover would have reached.
+    for master_seed in [5u64, 43] {
+        let plan = || {
+            Some(
+                FaultPlan::new(master_seed).with_backend("memcomputing", FaultSpec::permanent(1.0)),
+            )
+        };
+        let (plain, plain_stats) = sat_batch(master_seed, None, plan());
+        let (hedged, hedged_stats) = sat_batch(master_seed, Some(HedgeConfig { top_k: 3 }), plan());
+        assert_same_results(&plain, &hedged, &format!("chaos seed {master_seed}"));
+        assert!(
+            plain_stats.backend_faults > 0 && hedged_stats.backend_faults > 0,
+            "chaos seed {master_seed}: the fault plan never fired"
+        );
+        assert_eq!(hedged_stats.hedged, 5);
+        assert_eq!(
+            hedged_stats.completed, 5,
+            "chaos seed {master_seed}: hedged serving must absorb the dead racer"
+        );
+    }
+}

@@ -1,7 +1,7 @@
 //! Golden-vector regression tests for the wire codecs.
 //!
 //! Every request and response tag has its byte encoding frozen here, at
-//! every protocol version whose layout differs (v1, v2, v3). If any of
+//! every protocol version whose layout differs (v1–v4). If any of
 //! these assertions fails, the change is a wire-format break: deployed
 //! peers will misparse frames. Either revert the layout change or bump
 //! [`PROTOCOL_VERSION`] and add *new* vectors while keeping the old
@@ -92,6 +92,12 @@ fn sample_responses() -> Vec<(&'static str, Response)> {
         reroutes: 2,
         quarantine_events: 1,
         recovery_probes: 4,
+        cache_hits: 9,
+        cache_misses: 11,
+        cache_evictions: 2,
+        coalesced: 6,
+        hedged: 5,
+        hedge_cancelled: 3,
         ..RuntimeStats::default()
     };
     stats.per_backend.insert(
@@ -172,8 +178,9 @@ fn sample_responses() -> Vec<(&'static str, Response)> {
 }
 
 /// Versions whose payload layouts differ. v1 has no Submit policy byte
-/// and no stats prediction triple; v2 adds both; v3 adds fault counters.
-const VERSIONS: [u16; 3] = [1, 2, 3];
+/// and no stats prediction triple; v2 adds both; v3 adds fault counters;
+/// v4 adds the global admission counters.
+const VERSIONS: [u16; 4] = [1, 2, 3, 4];
 
 /// Requests that cannot encode at a given version (by design).
 fn request_encodable(name: &str, version: u16) -> bool {
@@ -188,9 +195,11 @@ const REQUEST_GOLDENS: &[(&str, u16, &str)] = &[
     ("hello", 1, "0100010003"),
     ("hello", 2, "0100010003"),
     ("hello", 3, "0100010003"),
+    ("hello", 4, "0100010003"),
     ("ping", 1, "0200000000deadbeef"),
     ("ping", 2, "0200000000deadbeef"),
     ("ping", 3, "0200000000deadbeef"),
+    ("ping", 4, "0200000000deadbeef"),
     (
         "submit_plain",
         1,
@@ -207,6 +216,11 @@ const REQUEST_GOLDENS: &[(&str, u16, &str)] = &[
         "0300000000000000070100000000000000fa01000000000000002a0000000000000000004d",
     ),
     (
+        "submit_plain",
+        4,
+        "0300000000000000070100000000000000fa01000000000000002a0000000000000000004d",
+    ),
+    (
         "submit_policy",
         2,
         "030000000000000008000003043fd00000000000003fe8000000000000",
@@ -216,46 +230,58 @@ const REQUEST_GOLDENS: &[(&str, u16, &str)] = &[
         3,
         "030000000000000008000003043fd00000000000003fe8000000000000",
     ),
+    (
+        "submit_policy",
+        4,
+        "030000000000000008000003043fd00000000000003fe8000000000000",
+    ),
     ("cancel", 1, "040000000000000009"),
     ("cancel", 2, "040000000000000009"),
     ("cancel", 3, "040000000000000009"),
+    ("cancel", 4, "040000000000000009"),
     ("get_stats", 1, "05000000000000000a"),
     ("get_stats", 2, "05000000000000000a"),
     ("get_stats", 3, "05000000000000000a"),
+    ("get_stats", 4, "05000000000000000a"),
 ];
-
 const RESPONSE_GOLDENS: &[(&str, u16, &str)] = &[
     ("hello_ack", 1, "810003"),
     ("hello_ack", 2, "810003"),
     ("hello_ack", 3, "810003"),
+    ("hello_ack", 4, "810003"),
     ("pong", 1, "8200000000deadbeef"),
     ("pong", 2, "8200000000deadbeef"),
     ("pong", 3, "8200000000deadbeef"),
+    ("pong", 4, "8200000000deadbeef"),
     ("job_result_completed", 1, "83000000000000000700000000077175616e74756d000000000000000007000000000000000b3ec0c6f7a0b5ed8d000000000000004000000000000004d2"),
     ("job_result_completed", 2, "83000000000000000700000000077175616e74756d000000000000000007000000000000000b3ec0c6f7a0b5ed8d000000000000004000000000000004d2"),
     ("job_result_completed", 3, "83000000000000000700000000077175616e74756d000000000000000007000000000000000b3ec0c6f7a0b5ed8d000000000000004000000000000004d2"),
+    ("job_result_completed", 4, "83000000000000000700000000077175616e74756d000000000000000007000000000000000b3ec0c6f7a0b5ed8d000000000000004000000000000004d2"),
     ("job_result_failed", 1, "83000000000000000801000000286261636b656e6420607175616e74756d60207065726d616e656e7420646576696365206661756c74"),
     ("job_result_failed", 2, "83000000000000000801000000286261636b656e6420607175616e74756d60207065726d616e656e7420646576696365206661756c74"),
     ("job_result_failed", 3, "83000000000000000801000000286261636b656e6420607175616e74756d60207065726d616e656e7420646576696365206661756c74"),
+    ("job_result_failed", 4, "83000000000000000801000000286261636b656e6420607175616e74756d60207065726d616e656e7420646576696365206661756c74"),
     ("job_result_timed_out", 1, "83000000000000000902"),
     ("job_result_timed_out", 2, "83000000000000000902"),
     ("job_result_timed_out", 3, "83000000000000000902"),
+    ("job_result_timed_out", 4, "83000000000000000902"),
     ("job_result_cancelled", 1, "83000000000000000a03"),
     ("job_result_cancelled", 2, "83000000000000000a03"),
     ("job_result_cancelled", 3, "83000000000000000a03"),
+    ("job_result_cancelled", 4, "83000000000000000a03"),
     ("cancel_result", 1, "84000000000000000901"),
     ("cancel_result", 2, "84000000000000000901"),
     ("cancel_result", 3, "84000000000000000901"),
+    ("cancel_result", 4, "84000000000000000901"),
     ("stats", 1, "85000000000000000a000000000000000600000000000000040000000000000001000000000000000000000000000000000000000000000001000000000000000000000000000000020000000000000003000000010000000363707500000000000000043fe000000000000000000000000000803fd00000000000000000000800000000000000020000000000000000000000000000000000000000000000010000000000000000000000000000000000000000000000000000000000000000"),
     ("stats", 2, "85000000000000000a000000000000000600000000000000040000000000000001000000000000000000000000000000000000000000000001000000000000000000000000000000020000000000000003000000010000000363707500000000000000043fe000000000000000000000000000803fd00000000000003fd999999999999a3ff40000000000003fc00000000000000000000800000000000000020000000000000000000000000000000000000000000000010000000000000000000000000000000000000000000000000000000000000000"),
     ("stats", 3, "85000000000000000a00000000000000060000000000000004000000000000000100000000000000000000000000000000000000000000000100000000000000000000000000000002000000000000000300000000000000050000000000000003000000000000000200000000000000010000000000000004000000010000000363707500000000000000043fe000000000000000000000000000803fd00000000000003fd999999999999a3ff40000000000003fc000000000000000000000000000050000000800000000000000020000000000000000000000000000000000000000000000010000000000000000000000000000000000000000000000000000000000000000"),
+    ("stats", 4, "85000000000000000a000000000000000600000000000000040000000000000001000000000000000000000000000000000000000000000001000000000000000000000000000000020000000000000003000000000000000500000000000000030000000000000002000000000000000100000000000000040000000000000009000000000000000b0000000000000002000000000000000600000000000000050000000000000003000000010000000363707500000000000000043fe000000000000000000000000000803fd00000000000003fd999999999999a3ff40000000000003fc000000000000000000000000000050000000800000000000000020000000000000000000000000000000000000000000000010000000000000000000000000000000000000000000000000000000000000000"),
     ("error", 1, "8600000000000000000200000009626164206672616d65"),
     ("error", 2, "8600000000000000000200000009626164206672616d65"),
     ("error", 3, "8600000000000000000200000009626164206672616d65"),
+    ("error", 4, "8600000000000000000200000009626164206672616d65"),
 ];
-
-/// A full frame (header + payload) for one fixed request, freezing the
-/// framing layer too: magic, length prefix, byte order.
 const FRAMED_PING_GOLDEN: &str = "5242434d000000090200000000deadbeef";
 
 fn golden_for<'a>(table: &'a [(&str, u16, &str)], name: &str, version: u16) -> &'a str {
@@ -331,7 +357,7 @@ fn downlevel_stats_goldens_decode_with_zeroed_new_fields() {
     let Response::Stats { stats: full, .. } = &response else {
         unreachable!()
     };
-    for version in [1u16, 2] {
+    for version in [1u16, 2, 3] {
         let bytes = unhex(golden_for(RESPONSE_GOLDENS, "stats", version));
         let Response::Stats { stats, request_id } = decode_response_v(&bytes, version).unwrap()
         else {
@@ -340,6 +366,19 @@ fn downlevel_stats_goldens_decode_with_zeroed_new_fields() {
         assert_eq!(request_id, 10);
         assert_eq!(stats.submitted, full.submitted);
         assert_eq!(stats.completed, full.completed);
+        // v4 fields are zero-filled below v4.
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.cache_misses, 0);
+        assert_eq!(stats.coalesced, 0);
+        assert_eq!(stats.hedged, 0);
+        if version >= 3 {
+            assert_eq!(stats.backend_faults, full.backend_faults);
+            assert_eq!(
+                stats.per_backend["cpu"].faults,
+                full.per_backend["cpu"].faults
+            );
+            continue;
+        }
         // v3 fields are zero-filled below v3.
         assert_eq!(stats.backend_faults, 0);
         assert_eq!(stats.reroutes, 0);
