@@ -61,6 +61,25 @@ pub struct CanonicalKey {
     pub exact: u64,
 }
 
+impl CanonicalKey {
+    /// A single `u64` mixing both halves, for placing the kernel on a
+    /// consistent-hash ring.
+    ///
+    /// Routers shard by this value so duplicate submissions of the same
+    /// canonical kernel land on the same shard — and therefore on the same
+    /// shard-local result cache. The coarse half alone would suffice for
+    /// correctness (both halves must still match inside the cache), but
+    /// folding in the exact half spreads α-equivalent-but-distinct kernels
+    /// across shards instead of piling a whole coarse bucket onto one.
+    #[must_use]
+    pub fn routing_hash(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.u64(self.key);
+        h.u64(self.exact);
+        h.finish()
+    }
+}
+
 /// Incremental FNV-1a over a structured byte stream.
 #[derive(Debug, Clone, Copy)]
 struct Fnv(u64);
@@ -249,6 +268,18 @@ pub fn admit(kernel: &Kernel) -> (Kernel, CanonicalKey) {
     let canonical = canonicalize(kernel);
     let key = canonical_key(&canonical);
     (canonical, key)
+}
+
+/// The consistent-hash placement of a kernel: canonicalize, key, mix.
+///
+/// This is the routing entry point — callers hand it the kernel as
+/// submitted, so every syntactic variant of one canonical kernel yields
+/// the same hash and lands on the same shard (and shard-local cache).
+/// [`CanonicalKey::routing_hash`] alone skips the canonicalization and is
+/// only safe on keys derived from already-canonical kernels.
+#[must_use]
+pub fn routing_hash(kernel: &Kernel) -> u64 {
+    canonical_key(&canonicalize(kernel)).routing_hash()
 }
 
 /// Normalizes a quantum circuit by cancelling adjacent inverse gate pairs.
@@ -483,5 +514,28 @@ mod tests {
         for (a, b) in full.amplitudes().iter().zip(reduced.amplitudes()) {
             assert!((a.re - b.re).abs() < 1e-12 && (a.im - b.im).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn routing_hash_follows_the_canonical_key() {
+        // Syntactic variants of one kernel share a routing hash...
+        let a = routing_hash(&Kernel::Search {
+            n_qubits: 4,
+            marked: vec![3, 1, 3],
+        });
+        let b = routing_hash(&Kernel::Search {
+            n_qubits: 4,
+            marked: vec![1, 3],
+        });
+        assert_eq!(a, b);
+        // ...while distinct kernels do not.
+        let c = routing_hash(&Kernel::Factor { n: 21 });
+        assert_ne!(a, c);
+        // And the hash mixes both key halves: flipping `exact` alone
+        // moves it.
+        let key = canonical_key(&Kernel::Factor { n: 21 });
+        let mut flipped = key;
+        flipped.exact ^= 1;
+        assert_ne!(key.routing_hash(), flipped.routing_hash());
     }
 }

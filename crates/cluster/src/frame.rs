@@ -1,0 +1,243 @@
+//! Incremental reassembly of wire frames from non-blocking reads.
+//!
+//! The blocking server reads one frame per call with
+//! [`wire::read_frame`], which parks until the frame completes. An event
+//! loop cannot park per connection, so each connection owns a
+//! [`FrameBuffer`]: bytes arrive in whatever chunks the socket delivers,
+//! and complete `magic + length + payload` frames are peeled off as they
+//! finish. The hostile-input contract matches the wire crate's: a bad
+//! magic or an oversized length prefix is rejected *before* any
+//! payload-sized allocation, and truncation simply waits for more bytes.
+
+use std::io::{self, ErrorKind, Read};
+use wire::{WireError, MAGIC, MAX_FRAME_LEN};
+
+/// Frame header size: 4 magic bytes plus a `u32` big-endian length.
+const HEADER_LEN: usize = 8;
+
+/// Read chunk size per [`FrameBuffer::fill_from`] call.
+const READ_CHUNK: usize = 8192;
+
+/// Compact the buffer (shift surviving bytes to the front) once this many
+/// consumed bytes accumulate at the head.
+const COMPACT_THRESHOLD: usize = 4096;
+
+/// What one non-blocking fill observed on the socket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fill {
+    /// This many bytes were appended to the buffer.
+    Bytes(usize),
+    /// The peer closed its write side; no more bytes will ever arrive.
+    Eof,
+    /// No bytes were available right now (`WouldBlock`).
+    WouldBlock,
+}
+
+/// Buffered reassembly of length-prefixed frames from partial reads.
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl FrameBuffer {
+    /// An empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        FrameBuffer::default()
+    }
+
+    /// Appends up to one read's worth of bytes from a non-blocking
+    /// source. `Err` is a real socket error; `WouldBlock` and
+    /// `Interrupted` are normal non-blocking idioms and map to
+    /// [`Fill::WouldBlock`].
+    pub fn fill_from(&mut self, r: &mut impl Read) -> io::Result<Fill> {
+        let mut chunk = [0u8; READ_CHUNK];
+        match r.read(&mut chunk) {
+            Ok(0) => Ok(Fill::Eof),
+            Ok(n) => {
+                self.buf.extend_from_slice(chunk.get(..n).unwrap_or(&[]));
+                Ok(Fill::Bytes(n))
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => Ok(Fill::WouldBlock),
+            Err(e) if e.kind() == ErrorKind::Interrupted => Ok(Fill::WouldBlock),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Appends bytes directly (tests and in-process shims).
+    pub fn push_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed — nonzero at EOF means the
+    /// peer hung up mid-frame.
+    #[must_use]
+    pub fn pending_len(&self) -> usize {
+        self.buf.len().saturating_sub(self.start)
+    }
+
+    /// Peels off the next complete frame payload, if one has fully
+    /// arrived.
+    ///
+    /// * `Ok(Some(payload))` — one frame, magic and length already
+    ///   validated and stripped;
+    /// * `Ok(None)` — the buffer holds only a partial frame so far;
+    /// * `Err(..)` — the byte stream is unsalvageable (bad magic or an
+    ///   oversized length prefix); the owner should drop the connection.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, WireError> {
+        let Some(magic) = self.take4(0) else {
+            return Ok(None);
+        };
+        if magic != MAGIC {
+            return Err(WireError::BadMagic { found: magic });
+        }
+        let Some(len_bytes) = self.take4(4) else {
+            return Ok(None);
+        };
+        let len = u32::from_be_bytes(len_bytes);
+        if len > MAX_FRAME_LEN {
+            return Err(WireError::TooLarge {
+                context: "frame payload",
+                len: u64::from(len),
+                max: u64::from(MAX_FRAME_LEN),
+            });
+        }
+        let total = HEADER_LEN + len as usize;
+        if self.pending_len() < total {
+            return Ok(None);
+        }
+        let Some(payload) = self
+            .buf
+            .get(self.start + HEADER_LEN..self.start + total)
+            .map(<[u8]>::to_vec)
+        else {
+            return Ok(None);
+        };
+        self.start += total;
+        self.compact();
+        Ok(Some(payload))
+    }
+
+    /// Four buffered bytes at `offset` past the read cursor, if present.
+    fn take4(&self, offset: usize) -> Option<[u8; 4]> {
+        let at = self.start.checked_add(offset)?;
+        let slice = self.buf.get(at..at.checked_add(4)?)?;
+        let mut out = [0u8; 4];
+        for (dst, &src) in out.iter_mut().zip(slice) {
+            *dst = src;
+        }
+        Some(out)
+    }
+
+    fn compact(&mut self) {
+        if self.start >= self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start >= COMPACT_THRESHOLD {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wire::message::{encode_request, Request};
+
+    fn framed(req: &Request) -> Vec<u8> {
+        let payload = encode_request(req).unwrap();
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    fn hello() -> Request {
+        Request::Hello {
+            min_version: 1,
+            max_version: 5,
+        }
+    }
+
+    #[test]
+    fn reassembles_across_byte_at_a_time_delivery() {
+        let bytes = framed(&hello());
+        let mut fb = FrameBuffer::new();
+        for (i, b) in bytes.iter().enumerate() {
+            fb.push_bytes(&[*b]);
+            let got = fb.next_frame().unwrap();
+            if i + 1 < bytes.len() {
+                assert!(got.is_none(), "frame complete after {} bytes?", i + 1);
+            } else {
+                let payload = got.expect("frame should complete on final byte");
+                assert_eq!(wire::message::decode_request(&payload).unwrap(), hello());
+            }
+        }
+        assert_eq!(fb.pending_len(), 0);
+    }
+
+    #[test]
+    fn peels_multiple_frames_from_one_fill() {
+        let a = framed(&hello());
+        let b = framed(&Request::GetStats { request_id: 9 });
+        let mut fb = FrameBuffer::new();
+        let mut combined = a.clone();
+        combined.extend_from_slice(&b);
+        fb.push_bytes(&combined);
+        assert!(fb.next_frame().unwrap().is_some());
+        assert!(fb.next_frame().unwrap().is_some());
+        assert!(fb.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut fb = FrameBuffer::new();
+        fb.push_bytes(b"HTTP/1.1 GET /");
+        assert!(matches!(
+            fb.next_frame(),
+            Err(WireError::BadMagic { found }) if &found == b"HTTP"
+        ));
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected_before_allocation() {
+        let mut fb = FrameBuffer::new();
+        fb.push_bytes(&MAGIC);
+        fb.push_bytes(&u32::MAX.to_be_bytes());
+        assert!(matches!(fb.next_frame(), Err(WireError::TooLarge { .. })));
+    }
+
+    #[test]
+    fn fill_from_reports_eof_and_bytes() {
+        let bytes = framed(&hello());
+        let mut cursor = std::io::Cursor::new(bytes.clone());
+        let mut fb = FrameBuffer::new();
+        assert_eq!(fb.fill_from(&mut cursor).unwrap(), Fill::Bytes(bytes.len()));
+        assert_eq!(fb.fill_from(&mut cursor).unwrap(), Fill::Eof);
+        assert!(fb.next_frame().unwrap().is_some());
+    }
+
+    #[test]
+    fn compaction_preserves_pending_frames() {
+        let frame = framed(&hello());
+        let mut fb = FrameBuffer::new();
+        // Enough consumed frames to cross the compaction threshold, with
+        // a partial frame straddling the boundary.
+        let rounds = COMPACT_THRESHOLD / frame.len() + 2;
+        for _ in 0..rounds {
+            fb.push_bytes(&frame);
+        }
+        let half = frame.len() / 2;
+        fb.push_bytes(&frame[..half]);
+        for _ in 0..rounds {
+            assert!(fb.next_frame().unwrap().is_some());
+        }
+        assert!(fb.next_frame().unwrap().is_none());
+        fb.push_bytes(&frame[half..]);
+        assert!(fb.next_frame().unwrap().is_some());
+        assert_eq!(fb.pending_len(), 0);
+    }
+}

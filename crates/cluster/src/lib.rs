@@ -1,0 +1,66 @@
+//! The cluster serving tier: event loop, consistent-hash router, and
+//! shard health gossip.
+//!
+//! The paper's closing argument is that post-CMOS accelerators will be
+//! reached *as services* long before they are linked as libraries — which
+//! means the serving layer in front of them has to scale past one host.
+//! This crate supplies the three pieces of that tier, all `std`-only and
+//! fully offline:
+//!
+//! * [`poll`] — a readiness-driven event loop over non-blocking TCP (an
+//!   own miniature mio: tokens, an event queue, a cross-thread waker),
+//!   plus [`pool::WorkerPool`], a fixed pool that replaces per-job waiter
+//!   threads, and [`frame::FrameBuffer`], incremental reassembly of
+//!   length-prefixed wire frames from partial reads.
+//! * [`router`] — a front-end that shards submissions across N runtime
+//!   shards by [`admission::CanonicalKey`] on a consistent-hash
+//!   [`ring::HashRing`], so duplicate submissions of one canonical kernel
+//!   land on the same shard's result cache. Unkeyed and `DeadlineAware`
+//!   jobs round-robin instead. Each shard link keeps a bounded in-flight
+//!   window and surfaces `Busy` instead of queueing unboundedly.
+//! * [`health`] — per-shard alive/suspect/quarantined state driven by
+//!   seeded-deterministic heartbeat ticks and consecutive-failure
+//!   counters (the same [`accel::host::QuarantinePolicy`] math the
+//!   in-process planner uses), exchanged between routers and shards in
+//!   wire v5 gossip frames and merged by epoch.
+//!
+//! # Determinism contract
+//!
+//! The cluster tier routes and retries; it never computes. A job's result
+//! bytes remain a pure function of (canonical kernel, explicit seed,
+//! policy) no matter which shard executes it, so re-routing after a shard
+//! death cannot change outcomes — only placement. Everything that *is*
+//! cluster-local state (health transitions, probe schedules, reconnect
+//! jitter) derives from explicit seeds, so a chaos run replays exactly.
+
+pub mod frame;
+pub mod health;
+pub mod poll;
+pub mod pool;
+pub mod ring;
+pub mod router;
+
+pub use frame::{Fill, FrameBuffer};
+pub use health::{HealthBoard, ShardHealth, ShardStatus};
+pub use poll::{Event, Poll, Token, Waker};
+pub use pool::WorkerPool;
+pub use ring::HashRing;
+pub use router::{ClusterStats, Router, RouterConfig, RouterError};
+
+/// Shared lock helper: recover the guard from a poisoned mutex instead of
+/// panicking.
+///
+/// A worker that panics while holding a cluster lock poisons it; every
+/// structure guarded here (event queues, outboxes, health boards) stays
+/// structurally valid at each await point, so the right response is to
+/// keep serving, not to cascade the panic through the event loop.
+pub(crate) mod sync {
+    use std::sync::{Mutex, MutexGuard};
+
+    pub(crate) fn lock_or_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+        match m.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! A fixed worker pool for off-loop work.
+//!
+//! The thread-per-connection server spent a thread *per in-flight job*
+//! waiting on [`runtime::JobHandle::wait`]. The event-loop server keeps
+//! completion event-driven (`JobHandle::on_finish`) and pushes the only
+//! remaining CPU work — encoding result frames, running submission
+//! callbacks — onto this pool: N threads created once at startup, fed
+//! over a channel, joined on shutdown. Pool size bounds concurrency
+//! explicitly instead of letting the connection count decide it.
+
+use crate::sync::lock_or_recover;
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of worker threads draining one shared task channel.
+#[derive(Debug)]
+pub struct WorkerPool {
+    sender: Option<Sender<Task>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `size.max(1)` workers, each named `{name}-{index}`.
+    #[must_use]
+    pub fn new(name: &str, size: usize) -> Self {
+        let (sender, receiver) = mpsc::channel::<Task>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..size.max(1))
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("{name}-{i}"))
+                    .spawn(move || worker_loop(&receiver))
+            })
+            .filter_map(Result::ok)
+            .collect();
+        WorkerPool {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// How many worker threads are running.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Queues a task. Returns `false` if the pool has already shut down
+    /// (the task is dropped in that case).
+    pub fn execute(&self, task: impl FnOnce() + Send + 'static) -> bool {
+        match &self.sender {
+            Some(sender) => sender.send(Box::new(task)).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Closes the channel and joins every worker. Queued tasks all run
+    /// before this returns; new `execute` calls fail.
+    pub fn shutdown(&mut self) {
+        self.sender = None;
+        let me = std::thread::current().id();
+        for handle in self.workers.drain(..) {
+            // A pool task can end up dropping the last handle to the pool
+            // itself (late completions during teardown); a thread cannot
+            // join itself, so let that one worker exit unjoined.
+            if handle.thread().id() == me {
+                continue;
+            }
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(receiver: &Arc<Mutex<Receiver<Task>>>) {
+    loop {
+        // Hold the receiver lock only for the dequeue, never while the
+        // task runs — tasks themselves may take other locks.
+        let task = {
+            let guard = lock_or_recover(receiver);
+            guard.recv()
+        };
+        match task {
+            Ok(task) => task(),
+            Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc::channel;
+
+    #[test]
+    fn runs_tasks_on_pool_threads() {
+        let pool = WorkerPool::new("test-pool", 4);
+        assert_eq!(pool.size(), 4);
+        let (tx, rx) = channel();
+        for i in 0..32 {
+            let tx = tx.clone();
+            assert!(pool.execute(move || {
+                let name = std::thread::current().name().map(str::to_owned);
+                tx.send((i, name)).unwrap();
+            }));
+        }
+        let mut seen = Vec::new();
+        for _ in 0..32 {
+            let (i, name) = rx.recv().unwrap();
+            assert!(name.unwrap().starts_with("test-pool-"));
+            seen.push(i);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shutdown_drains_queued_tasks_then_rejects() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut pool = WorkerPool::new("drain", 2);
+        for _ in 0..64 {
+            let counter = Arc::clone(&counter);
+            pool.execute(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+        assert!(!pool.execute(|| {}));
+    }
+
+    #[test]
+    fn zero_size_still_gets_one_worker() {
+        let pool = WorkerPool::new("min", 0);
+        assert_eq!(pool.size(), 1);
+        let (tx, rx) = channel();
+        pool.execute(move || tx.send(7u32).unwrap());
+        assert_eq!(rx.recv().unwrap(), 7);
+    }
+}

@@ -47,10 +47,12 @@ pub const DETERMINISTIC_CRATES: &[&str] = &[
     "numerics",
     "runtime",
     "admission",
+    "cluster",
 ];
 
 /// The strictly pure subset where even hash-order iteration is forbidden.
-/// `runtime`/`server` legitimately keep hash maps for keyed lookup.
+/// `runtime`/`server`/`cluster` legitimately keep hash maps for keyed
+/// lookup.
 pub const HASH_ITER_CRATES: &[&str] = &[
     "accel",
     "wire",
@@ -62,10 +64,10 @@ pub const HASH_ITER_CRATES: &[&str] = &[
 ];
 
 /// Hostile-input and serving surfaces: library code must not panic.
-pub const PANIC_CRATES: &[&str] = &["wire", "server", "admission"];
+pub const PANIC_CRATES: &[&str] = &["wire", "server", "admission", "cluster"];
 
 /// Crates whose `Mutex`/`Condvar` acquisitions feed the lock-order graph.
-pub const LOCK_CRATES: &[&str] = &["runtime", "server"];
+pub const LOCK_CRATES: &[&str] = &["runtime", "server", "cluster"];
 
 /// Workspace-relative path of the wire-freeze registry.
 pub const WIRE_REGISTRY: &str = "crates/lint/wire_freeze.registry";

@@ -55,6 +55,9 @@ pub const FROZEN_FNS: &[(&str, &[&str])] = &[
             "encode_response_v",
             "decode_response_v",
             "negotiate",
+            "put_gossip_entries",
+            "get_gossip_entries",
+            "require_gossip_version",
         ],
     ),
     (
@@ -463,7 +466,7 @@ mod tests {
             "lib",
             "pub const PROTOCOL_VERSION: u16 = 3;\npub const MIN_SUPPORTED_VERSION: u16 = 1;",
         );
-        let msg = wire_file("message", "const TAG_HELLO: u8 = 0x01;\nfn encode_request_v() {}\nfn decode_request_v() {}\nfn encode_response_v() {}\nfn decode_response_v() {}\nfn negotiate() {}");
+        let msg = wire_file("message", "const TAG_HELLO: u8 = 0x01;\nfn encode_request_v() {}\nfn decode_request_v() {}\nfn encode_response_v() {}\nfn decode_response_v() {}\nfn negotiate() {}\nfn put_gossip_entries() {}\nfn get_gossip_entries() {}\nfn require_gossip_version() {}");
         let mut files = BTreeMap::new();
         files.insert("lib".to_string(), &lib);
         files.insert("message".to_string(), &msg);
@@ -480,7 +483,7 @@ mod tests {
             "clean sources must pass: {fn_errors:?}"
         );
 
-        let edited = wire_file("message", "const TAG_HELLO: u8 = 0x01;\nfn encode_request_v() { changed(); }\nfn decode_request_v() {}\nfn encode_response_v() {}\nfn decode_response_v() {}\nfn negotiate() {}");
+        let edited = wire_file("message", "const TAG_HELLO: u8 = 0x01;\nfn encode_request_v() { changed(); }\nfn decode_request_v() {}\nfn encode_response_v() {}\nfn decode_response_v() {}\nfn negotiate() {}\nfn put_gossip_entries() {}\nfn get_gossip_entries() {}\nfn require_gossip_version() {}");
         let mut files2 = BTreeMap::new();
         files2.insert("lib".to_string(), &lib);
         files2.insert("message".to_string(), &edited);

@@ -52,6 +52,37 @@ fn admission_tier_mistakes_fire_at_the_right_lines() {
 }
 
 #[test]
+fn cluster_tier_mistakes_fire_at_the_right_lines() {
+    // The cluster crate sits in every rule family: deterministic
+    // (heartbeat ticks and ring placement must replay), panic-free (the
+    // router faces hostile shard responses), and lock-ordered (gossip
+    // and stats registries).
+    let report = check_files(&[fixture("cluster_bad.rs")]).expect("fixture must be readable");
+    let point_findings: Vec<_> = report
+        .diags
+        .iter()
+        .filter(|d| d.rule != "locks::cycle")
+        .map(|d| (d.rule.to_string(), d.line))
+        .collect();
+    assert_eq!(
+        point_findings,
+        vec![
+            ("determinism::wall-clock".to_string(), 6),
+            ("panic::index".to_string(), 11),
+            ("panic::unwrap".to_string(), 15),
+        ]
+    );
+    let cycles: Vec<_> = report
+        .diags
+        .iter()
+        .filter(|d| d.rule == "locks::cycle")
+        .collect();
+    assert_eq!(cycles.len(), 1, "{:?}", report.diags);
+    assert!(cycles[0].message.contains("cluster_bad::gossip"));
+    assert!(cycles[0].message.contains("cluster_bad::stats"));
+}
+
+#[test]
 fn annotated_escapes_silence_the_determinism_rules() {
     assert_eq!(findings("determinism_allow.rs"), vec![]);
 }

@@ -99,11 +99,24 @@ impl JobOutcome {
 
 /// The shared completion cell. Crate-internal; callers interact through
 /// [`JobHandle`].
-#[derive(Debug)]
 pub(crate) struct JobState {
     cancel_requested: AtomicBool,
     outcome: Mutex<Option<JobOutcome>>,
     done: Condvar,
+    /// Completion callbacks registered through [`JobHandle::on_finish`],
+    /// run exactly once by whichever party installs the outcome.
+    watchers: Mutex<Vec<Watcher>>,
+}
+
+type Watcher = Box<dyn FnOnce(&JobOutcome) + Send>;
+
+impl std::fmt::Debug for JobState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobState")
+            .field("cancel_requested", &self.cancel_requested)
+            .field("outcome", &self.outcome)
+            .finish_non_exhaustive()
+    }
 }
 
 impl JobState {
@@ -112,6 +125,7 @@ impl JobState {
             cancel_requested: AtomicBool::new(false),
             outcome: Mutex::new(None),
             done: Condvar::new(),
+            watchers: Mutex::new(Vec::new()),
         }
     }
 
@@ -136,9 +150,16 @@ impl JobState {
             return false;
         }
         before_publish(&outcome);
-        *slot = Some(outcome);
+        *slot = Some(outcome.clone());
         drop(slot);
         self.done.notify_all();
+        // Run completion callbacks outside both locks. Registration holds
+        // the watcher lock while it checks the outcome, so no callback can
+        // slip in between this drain and the install above.
+        let watchers: Vec<Watcher> = std::mem::take(&mut *self.watchers.lock().unwrap());
+        for watcher in watchers {
+            watcher(&outcome);
+        }
         true
     }
 
@@ -231,6 +252,28 @@ impl JobHandle {
         }
     }
 
+    /// Registers a completion callback, run exactly once with the job's
+    /// outcome: immediately on this thread if the job already finished,
+    /// otherwise on whichever thread later installs the outcome (worker,
+    /// canceller, or timeout path). Event-driven callers — the cluster
+    /// tier's event-loop server — use this instead of parking a waiter
+    /// thread per job; callbacks must therefore be short and non-blocking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job's state mutex was poisoned.
+    pub fn on_finish(&self, callback: impl FnOnce(&JobOutcome) + Send + 'static) {
+        let mut watchers = self.state.watchers.lock().unwrap();
+        let settled = self.state.outcome.lock().unwrap().clone();
+        match settled {
+            Some(outcome) => {
+                drop(watchers);
+                callback(&outcome);
+            }
+            None => watchers.push(Box::new(callback)),
+        }
+    }
+
     /// Requests cooperative cancellation.
     ///
     /// Returns `true` iff this call settled the job as
@@ -299,6 +342,52 @@ mod tests {
         assert!(h.state.finish(JobOutcome::TimedOut));
         assert!(!h.cancel());
         assert_eq!(h.try_result(), Some(JobOutcome::TimedOut));
+    }
+
+    #[test]
+    fn on_finish_fires_when_outcome_installs() {
+        use std::sync::mpsc;
+        let h = handle();
+        let (tx, rx) = mpsc::channel();
+        h.on_finish(move |o| tx.send(o.clone()).unwrap());
+        assert!(rx.try_recv().is_err(), "must not fire before completion");
+        assert!(h.state.finish(JobOutcome::TimedOut));
+        assert_eq!(rx.recv().unwrap(), JobOutcome::TimedOut);
+    }
+
+    #[test]
+    fn on_finish_after_completion_fires_immediately() {
+        use std::sync::mpsc;
+        let h = handle();
+        assert!(h.cancel());
+        let (tx, rx) = mpsc::channel();
+        h.on_finish(move |o| tx.send(o.clone()).unwrap());
+        assert_eq!(rx.try_recv().unwrap(), JobOutcome::Cancelled);
+    }
+
+    #[test]
+    fn on_finish_races_with_finish_never_lose_a_callback() {
+        use std::sync::atomic::AtomicUsize;
+        for _ in 0..64 {
+            let h = handle();
+            let fired = Arc::new(AtomicUsize::new(0));
+            let finisher = {
+                let h = h.clone();
+                thread::spawn(move || h.state.finish(JobOutcome::TimedOut))
+            };
+            let registrar = {
+                let h = h.clone();
+                let fired = Arc::clone(&fired);
+                thread::spawn(move || {
+                    h.on_finish(move |_| {
+                        fired.fetch_add(1, Ordering::SeqCst);
+                    });
+                })
+            };
+            finisher.join().unwrap();
+            registrar.join().unwrap();
+            assert_eq!(fired.load(Ordering::SeqCst), 1);
+        }
     }
 
     #[test]

@@ -162,6 +162,26 @@ impl BackendThroughput {
         }
     }
 
+    /// Folds another shard's row for the same backend into this one.
+    /// Counters add; the EWMA calibration pair becomes the jobs-weighted
+    /// mean (each shard's EWMA summarises its own job stream, so weighting
+    /// by jobs keeps the merged value an honest average observation).
+    pub fn absorb(&mut self, other: &BackendThroughput) {
+        let total_jobs = self.jobs + other.jobs;
+        if total_jobs > 0 {
+            let mine = self.jobs as f64 / total_jobs as f64;
+            let theirs = other.jobs as f64 / total_jobs as f64;
+            self.ewma_correction = mine * self.ewma_correction + theirs * other.ewma_correction;
+            self.ewma_error = mine * self.ewma_error + theirs * other.ewma_error;
+        }
+        self.jobs = total_jobs;
+        self.device_seconds += other.device_seconds;
+        self.operations += other.operations;
+        self.busy_seconds += other.busy_seconds;
+        self.predicted_device_seconds += other.predicted_device_seconds;
+        self.faults += other.faults;
+    }
+
     fn observe_prediction(&mut self, predicted: CostEstimate, actual_seconds: f64) {
         self.predicted_device_seconds += predicted.device_seconds;
         if predicted.device_seconds > 0.0 && actual_seconds.is_finite() && actual_seconds >= 0.0 {
@@ -256,6 +276,42 @@ impl RuntimeStats {
     #[must_use]
     pub fn total_device_seconds(&self) -> f64 {
         self.per_backend.values().map(|t| t.device_seconds).sum()
+    }
+
+    /// Folds another runtime's snapshot into this one — the cluster-level
+    /// aggregation a router uses to present N shards as one logical
+    /// runtime. Counters and queue depths add, worker counts add, latency
+    /// histograms merge bucket-wise via [`LatencyHistogram::merge`], and
+    /// per-backend rows with the same name are combined with
+    /// [`BackendThroughput::absorb`].
+    pub fn absorb(&mut self, other: &RuntimeStats) {
+        self.submitted += other.submitted;
+        self.completed += other.completed;
+        self.failed += other.failed;
+        self.rejected += other.rejected;
+        self.invalid += other.invalid;
+        self.timed_out += other.timed_out;
+        self.cancelled += other.cancelled;
+        self.queue_depth += other.queue_depth;
+        self.workers += other.workers;
+        for (name, theirs) in &other.per_backend {
+            self.per_backend
+                .entry(name.clone())
+                .or_default()
+                .absorb(theirs);
+        }
+        self.latency.merge(&other.latency);
+        self.backend_faults += other.backend_faults;
+        self.retries += other.retries;
+        self.reroutes += other.reroutes;
+        self.quarantine_events += other.quarantine_events;
+        self.recovery_probes += other.recovery_probes;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_evictions += other.cache_evictions;
+        self.coalesced += other.coalesced;
+        self.hedged += other.hedged;
+        self.hedge_cancelled += other.hedge_cancelled;
     }
 
     /// Folds the observed per-backend correction ratios into `base`,
@@ -726,6 +782,80 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("1 cache hits"), "{text}");
         assert!(text.contains("1 hedged"), "{text}");
+    }
+
+    #[test]
+    fn absorb_merges_shard_snapshots() {
+        let a_coll = StatsCollector::new();
+        a_coll.record_submitted();
+        a_coll.record_completed(
+            "quantum",
+            1e-6,
+            10,
+            None,
+            Duration::from_micros(10),
+            Duration::from_micros(20),
+        );
+        a_coll.record_cache_hit();
+        let b_coll = StatsCollector::new();
+        b_coll.record_submitted();
+        b_coll.record_submitted();
+        b_coll.record_completed(
+            "quantum",
+            3e-6,
+            30,
+            None,
+            Duration::from_micros(10),
+            Duration::from_millis(2),
+        );
+        b_coll.record_completed(
+            "cpu",
+            2e-6,
+            5,
+            None,
+            Duration::from_micros(10),
+            Duration::from_micros(20),
+        );
+        b_coll.record_timed_out();
+        let mut merged = a_coll.snapshot(1, 2);
+        let b = b_coll.snapshot(3, 4);
+        merged.absorb(&b);
+        assert_eq!(merged.submitted, 3);
+        assert_eq!(merged.completed, 3);
+        assert_eq!(merged.timed_out, 1);
+        assert_eq!(merged.cache_hits, 1);
+        assert_eq!(merged.queue_depth, 4);
+        assert_eq!(merged.workers, 6);
+        assert_eq!(merged.per_backend["quantum"].jobs, 2);
+        assert!((merged.per_backend["quantum"].device_seconds - 4e-6).abs() < 1e-15);
+        assert_eq!(merged.per_backend["cpu"].jobs, 1);
+        assert_eq!(merged.latency.total(), 3);
+        // Jobs-weighted EWMA: both shards default to 1.0 → stays 1.0.
+        assert!((merged.per_backend["quantum"].ewma_correction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorb_weighs_ewma_by_jobs() {
+        let mut a = BackendThroughput {
+            jobs: 3,
+            ewma_correction: 2.0,
+            ewma_error: 0.3,
+            ..Default::default()
+        };
+        let b = BackendThroughput {
+            jobs: 1,
+            ewma_correction: 6.0,
+            ewma_error: 0.7,
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.jobs, 4);
+        assert!((a.ewma_correction - 3.0).abs() < 1e-12);
+        assert!((a.ewma_error - 0.4).abs() < 1e-12);
+        // Absorbing an empty row is a no-op on the EWMA pair.
+        let before = a;
+        a.absorb(&BackendThroughput::default());
+        assert_eq!(a, before);
     }
 
     #[test]

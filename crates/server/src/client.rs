@@ -6,15 +6,26 @@
 //! submissions can therefore be in flight on one connection, and results
 //! may arrive in any order.
 
-use accel::host::DispatchPolicy;
+use accel::host::{DispatchPolicy, RetryPolicy};
 use accel::kernel::Kernel;
+use numerics::rng::{Rng, StdRng};
 use runtime::RuntimeStats;
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 use wire::{
     decode_response_v, encode_request_v, read_frame, write_frame, ErrorCode, Request, Response,
     WireError, WireOutcome, MIN_SUPPORTED_VERSION, PROTOCOL_VERSION,
+};
+
+/// Reconnect schedule: capped exponential backoff between attempts.
+/// Combined with per-client jitter, a fleet of routers reconnecting to a
+/// recovered shard spreads out instead of arriving as a thundering herd.
+const RECONNECT_POLICY: RetryPolicy = RetryPolicy {
+    max_retries: 4,
+    base_backoff: Duration::from_millis(10),
+    max_backoff: Duration::from_millis(320),
 };
 
 /// Per-submission knobs, mirroring [`runtime::JobOptions`] across the
@@ -145,6 +156,10 @@ pub struct Client {
     peer: SocketAddr,
     version_range: (u16, u16),
     next_id: u64,
+    /// Seeded jitter source for reconnect backoff: derived from the
+    /// connection's port pair, so delays are reproducible for a given
+    /// socket assignment yet distinct across concurrent clients.
+    jitter: StdRng,
     results: HashMap<u64, WireOutcome>,
     cancels: HashMap<u64, bool>,
     stats: HashMap<u64, RuntimeStats>,
@@ -179,6 +194,7 @@ impl Client {
         let stream = TcpStream::connect(addr).map_err(WireError::Io)?;
         let peer = stream.peer_addr().map_err(WireError::Io)?;
         let _ = stream.set_nodelay(true);
+        let jitter = StdRng::seed_from_u64(jitter_seed(&stream, peer));
         let mut client = Client {
             stream,
             // Hello encodes identically under every version; the real
@@ -187,6 +203,7 @@ impl Client {
             peer,
             version_range: (min_version, max_version),
             next_id: 1, // id 0 is reserved for connection-level errors
+            jitter,
             results: HashMap::new(),
             cancels: HashMap::new(),
             stats: HashMap::new(),
@@ -198,7 +215,9 @@ impl Client {
     }
 
     /// Drops the current connection and performs a fresh connect plus
-    /// handshake against the same peer with the same version range.
+    /// handshake against the same peer with the same version range,
+    /// retrying with capped exponential backoff and seeded jitter when
+    /// the peer is not (yet) reachable.
     ///
     /// In-flight tickets do not survive: the server binds jobs to their
     /// connection, so every stash is cleared and unredeemed tickets are
@@ -207,8 +226,29 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// Same as [`Client::connect`].
+    /// Same as [`Client::connect`], after the retry budget is spent. A
+    /// version rejection returns immediately — a fresh connection would
+    /// only repeat it.
     pub fn reconnect(&mut self) -> Result<(), ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.reconnect_once() {
+                Ok(()) => return Ok(()),
+                Err(e @ ClientError::VersionRejected(_)) => return Err(e),
+                Err(e) => {
+                    if attempt >= RECONNECT_POLICY.max_retries {
+                        return Err(e);
+                    }
+                    attempt += 1;
+                    let base = RECONNECT_POLICY.backoff(attempt);
+                    std::thread::sleep(jittered(base, &mut self.jitter));
+                }
+            }
+        }
+    }
+
+    /// One reconnect attempt: fresh connect, cleared stashes, handshake.
+    fn reconnect_once(&mut self) -> Result<(), ClientError> {
         let stream = TcpStream::connect(self.peer).map_err(WireError::Io)?;
         let _ = stream.set_nodelay(true);
         self.stream = stream;
@@ -392,6 +432,12 @@ impl Client {
                     "HelloAck({version}) after the handshake"
                 )))
             }
+            // This client never gossips; routers speak that dialect.
+            Response::GossipAck { request_id, .. } => {
+                return Err(ClientError::UnexpectedResponse(format!(
+                    "unsolicited GossipAck for request {request_id}"
+                )))
+            }
         }
         Ok(())
     }
@@ -406,6 +452,31 @@ impl Client {
         let payload = read_frame(&mut self.stream)?;
         Ok(decode_response_v(&payload, self.version)?)
     }
+}
+
+/// FNV-1a over the connection's local and peer ports. Stable for a given
+/// socket pair (reproducible delays), distinct across clients (each gets
+/// its own ephemeral port, so reconnect storms decorrelate).
+fn jitter_seed(stream: &TcpStream, peer: SocketAddr) -> u64 {
+    let local = stream.local_addr().map(|a| a.port()).unwrap_or(0);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in local
+        .to_be_bytes()
+        .into_iter()
+        .chain(peer.port().to_be_bytes())
+    {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Half the base delay guaranteed plus a uniform random half: keeps the
+/// expected wait near the schedule while decorrelating concurrent
+/// reconnectors.
+fn jittered(base: Duration, rng: &mut impl Rng) -> Duration {
+    let half = base / 2;
+    half + half.mul_f64(rng.next_f64())
 }
 
 #[cfg(test)]
@@ -461,5 +532,35 @@ mod tests {
         // Port 1 on localhost is essentially never listening.
         let result = Client::connect("127.0.0.1:1");
         assert!(matches!(result, Err(ClientError::Wire(WireError::Io(_)))));
+    }
+
+    #[test]
+    fn jittered_backoff_stays_within_bounds_and_is_seeded() {
+        let base = Duration::from_millis(100);
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            let d = jittered(base, &mut a);
+            assert!(d >= base / 2, "jitter below the guaranteed half: {d:?}");
+            assert!(d <= base, "jitter above the base delay: {d:?}");
+            assert_eq!(d, jittered(base, &mut b), "same seed, different delay");
+        }
+        // Different seeds decorrelate the schedules.
+        let mut c = StdRng::seed_from_u64(8);
+        let schedule_a: Vec<_> = (0..8).map(|_| jittered(base, &mut a)).collect();
+        let schedule_c: Vec<_> = (0..8).map(|_| jittered(base, &mut c)).collect();
+        assert_ne!(schedule_a, schedule_c);
+    }
+
+    #[test]
+    fn reconnect_backoff_schedule_is_capped() {
+        let policy = RECONNECT_POLICY;
+        let mut prev = Duration::ZERO;
+        for attempt in 1..=policy.max_retries {
+            let delay = policy.backoff(attempt);
+            assert!(delay >= prev, "backoff shrank at attempt {attempt}");
+            assert!(delay <= policy.max_backoff);
+            prev = delay;
+        }
     }
 }

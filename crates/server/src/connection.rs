@@ -1,98 +1,208 @@
-//! The per-connection protocol loop.
+//! The per-connection state machine for the event-loop server.
 //!
-//! Each connection gets one handler thread running this loop plus one
-//! short-lived waiter thread per in-flight job. Requests are pipelined:
-//! the handler keeps reading while waiters write each job's result as it
-//! finishes, so responses arrive in completion order, demultiplexed by
-//! `request_id`. All writes to the socket go through one mutex so frames
-//! never interleave.
+//! One [`Conn`] per accepted socket, owned entirely by the server's loop
+//! thread — no per-connection threads, no per-job waiter threads, no
+//! write mutex. Bytes arriving on readiness events accumulate in a
+//! [`cluster::FrameBuffer`]; complete frames dispatch through the
+//! handshake/serving states; every response is encoded at the negotiated
+//! version into a per-connection outbox the loop flushes non-blockingly.
+//! Job completions re-enter the loop through the completion queue: a
+//! [`runtime::JobHandle::on_finish`] watcher hands the outcome to the
+//! encode pool, which pushes the finished frame and wakes the loop.
+//!
+//! Backpressure is a state, not a blocked thread: when the runtime queue
+//! is full the submit *parks*, the connection is muted (stops reading),
+//! and the loop retries the parked submit each tick until it lands —
+//! pipelined requests behind it simply wait in the buffer.
 
-use crate::server::ServerShared;
-use crate::sync::lock_or_recover;
-use accel::host::DispatchPolicy;
+use crate::server::{Completion, LoopShared, ServerShared};
+use accel::kernel::Kernel;
+use cluster::{Fill, FrameBuffer, Poll, Token};
 use runtime::{JobHandle, JobOptions, SubmitError};
-use std::collections::HashMap;
-use std::net::{SocketAddr, TcpStream};
-use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, ErrorKind, Write};
+use std::net::SocketAddr;
+use std::sync::Arc;
 use std::time::Duration;
 use wire::{
-    decode_request_v, encode_response_v, negotiate, read_frame, write_frame, ErrorCode, Request,
-    Response, WireError, WireOutcome, MIN_SUPPORTED_VERSION, PROTOCOL_VERSION,
+    decode_request_v, encode_response_v, negotiate, write_frame, ErrorCode, Request, Response,
+    WireOutcome, MIN_SUPPORTED_VERSION, PROTOCOL_VERSION,
 };
 
-/// Everything a handler needs from the server.
-pub(crate) struct ConnectionContext {
-    pub(crate) shared: Arc<ServerShared>,
-    pub(crate) peer: SocketAddr,
-    pub(crate) conn_id: u64,
+/// Where a connection is in its protocol lifecycle.
+enum ConnState {
+    /// Waiting for the opening `Hello`.
+    Handshake,
+    /// Version negotiated; serving pipelined requests.
+    Serving,
 }
 
-/// Jobs in flight on one connection, keyed by client request id.
-type PendingJobs = Arc<Mutex<HashMap<u64, Arc<JobHandle>>>>;
-
-/// Serves one connection to completion: handshake, then the request
-/// loop, then joining every waiter so all responses flush before the
-/// handler exits (which is what makes server shutdown drain cleanly).
-pub(crate) fn handle_connection(stream: TcpStream, ctx: &ConnectionContext) {
-    let reader = stream;
-    let writer = match reader.try_clone() {
-        Ok(w) => Arc::new(Mutex::new(w)),
-        Err(_) => return,
-    };
-    let mut conn = Connection {
-        reader,
-        writer,
-        ctx,
-        // Hello decodes identically under every version, so the
-        // pre-negotiation default only matters for the error path.
-        version: PROTOCOL_VERSION,
-        pending: Arc::new(Mutex::new(HashMap::new())),
-        waiters: Vec::new(),
-    };
-    if conn.handshake() {
-        conn.serve();
-    }
-    for waiter in conn.waiters.drain(..) {
-        let _ = waiter.join();
-    }
-    // Close the socket for real: the server's registry holds a clone, so
-    // dropping our halves alone would leave the peer waiting for EOF.
-    let _ = conn.reader.shutdown(std::net::Shutdown::Both);
-    ctx.shared.deregister(ctx.conn_id);
+/// A submit the runtime had no queue room for. The connection is muted
+/// while one of these exists; the loop retries it every tick.
+struct Parked {
+    request_id: u64,
+    kernel: Kernel,
+    options: JobOptions,
 }
 
-struct Connection<'a> {
-    reader: TcpStream,
-    writer: Arc<Mutex<TcpStream>>,
-    ctx: &'a ConnectionContext,
-    /// The protocol version negotiated in `handshake`. Every frame after
-    /// the ack — including waiter-thread job results — is encoded and
-    /// decoded at this version, so a v1 client never sees v2 bytes.
+/// One client connection's full state, owned by the loop thread.
+pub(crate) struct Conn {
+    token: Token,
+    peer: SocketAddr,
+    /// The protocol version negotiated in the handshake. Every frame
+    /// after the ack — including pool-encoded job results — is encoded
+    /// and decoded at this version, so a v1 client never sees v5 bytes.
+    /// (`Hello` decodes identically under every version, so the
+    /// pre-negotiation default only matters for the error path.)
     version: u16,
-    pending: PendingJobs,
-    waiters: Vec<JoinHandle<()>>,
+    state: ConnState,
+    buffer: FrameBuffer,
+    /// Encoded frames awaiting flush, plus the byte offset already
+    /// written of the front frame.
+    outbox: VecDeque<Vec<u8>>,
+    out_off: usize,
+    /// Jobs in flight on this connection, keyed by client request id.
+    pending: HashMap<u64, JobHandle>,
+    parked: Option<Parked>,
+    /// The peer half-closed (or errored) its write side; we stop reading
+    /// but still flush pending results before closing.
+    pub(crate) read_closed: bool,
+    /// A protocol violation was answered; close once the outbox drains.
+    pub(crate) close_after_flush: bool,
 }
 
-impl Connection<'_> {
-    /// Reads the opening `Hello` and answers with `HelloAck` or a
-    /// connection-level error. Returns whether the session may proceed.
-    fn handshake(&mut self) -> bool {
-        let request = match self.read_request() {
-            Some(r) => r,
-            None => return false,
+impl Conn {
+    pub(crate) fn new(token: Token, peer: SocketAddr) -> Self {
+        Conn {
+            token,
+            peer,
+            version: PROTOCOL_VERSION,
+            state: ConnState::Handshake,
+            buffer: FrameBuffer::new(),
+            outbox: VecDeque::new(),
+            out_off: 0,
+            pending: HashMap::new(),
+            parked: None,
+            read_closed: false,
+            close_after_flush: false,
+        }
+    }
+
+    /// Whether the connection still owes the peer work: jobs in flight
+    /// or a parked submit. (The outbox is tracked separately by flush.)
+    pub(crate) fn has_work(&self) -> bool {
+        !self.pending.is_empty() || self.parked.is_some()
+    }
+
+    /// Notes that the read side is done and stops readiness scans for
+    /// this connection (level-triggered readiness would spin otherwise).
+    pub(crate) fn mark_read_closed(&mut self, poll: &mut Poll) {
+        self.read_closed = true;
+        poll.mute(self.token);
+    }
+
+    /// Drains the socket into the frame buffer and dispatches every
+    /// complete frame, stopping at `WouldBlock`, a parked submit, EOF, or
+    /// a protocol violation.
+    pub(crate) fn on_readable(
+        &mut self,
+        poll: &mut Poll,
+        shared: &Arc<ServerShared>,
+        loop_shared: &Arc<LoopShared>,
+        draining: bool,
+    ) {
+        if self.read_closed || self.close_after_flush {
+            return;
+        }
+        loop {
+            if self.parked.is_some() {
+                poll.mute(self.token);
+                return;
+            }
+            match self.buffer.next_frame() {
+                Ok(Some(payload)) => {
+                    self.handle_payload(&payload, shared, loop_shared, draining);
+                    if self.close_after_flush {
+                        poll.mute(self.token);
+                        return;
+                    }
+                }
+                Ok(None) => {
+                    let fill = match poll.stream(self.token) {
+                        Some(mut stream) => self.buffer.fill_from(&mut stream),
+                        None => return,
+                    };
+                    match fill {
+                        Ok(Fill::Bytes(_)) => {}
+                        Ok(Fill::WouldBlock) => return,
+                        // I/O errors on read close the connection the same
+                        // way a clean EOF does: no error frame, flush what
+                        // is owed, tear down.
+                        Ok(Fill::Eof) | Err(_) => {
+                            self.mark_read_closed(poll);
+                            return;
+                        }
+                    }
+                }
+                Err(e) => {
+                    // Framing violation (bad magic, hostile length):
+                    // answer with a connection-level error, then close
+                    // once it flushes. Never panics on bad input — the
+                    // buffer bounds every length before allocating.
+                    self.queue(&Response::Error {
+                        request_id: 0,
+                        code: ErrorCode::Malformed,
+                        message: format!("unreadable frame from {}: {e}", self.peer),
+                    });
+                    self.close_after_flush = true;
+                    poll.mute(self.token);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Decodes and dispatches one frame.
+    fn handle_payload(
+        &mut self,
+        payload: &[u8],
+        shared: &Arc<ServerShared>,
+        loop_shared: &Arc<LoopShared>,
+        draining: bool,
+    ) {
+        let request = match decode_request_v(payload, self.version) {
+            Ok(request) => request,
+            Err(e) => {
+                self.queue(&Response::Error {
+                    request_id: 0,
+                    code: ErrorCode::Malformed,
+                    message: format!("undecodable request: {e}"),
+                });
+                self.close_after_flush = true;
+                return;
+            }
         };
+        match self.state {
+            ConnState::Handshake => self.handshake(&request),
+            ConnState::Serving => self.serve_request(request, shared, loop_shared, draining),
+        }
+    }
+
+    /// Handles the opening `Hello`, answering `HelloAck` or a
+    /// connection-level error.
+    fn handshake(&mut self, request: &Request) {
         match request {
             Request::Hello {
                 min_version,
                 max_version,
-            } => match negotiate(min_version, max_version) {
+            } => match negotiate(*min_version, *max_version) {
                 Some(version) => {
                     self.version = version;
-                    self.send(&Response::HelloAck { version })
+                    self.state = ConnState::Serving;
+                    self.queue(&Response::HelloAck { version });
                 }
                 None => {
-                    self.send(&Response::Error {
+                    self.queue(&Response::Error {
                         request_id: 0,
                         code: ErrorCode::UnsupportedVersion,
                         message: format!(
@@ -100,170 +210,281 @@ impl Connection<'_> {
                              client offered {min_version}..={max_version}"
                         ),
                     });
-                    false
+                    self.close_after_flush = true;
                 }
             },
             _ => {
-                self.send(&Response::Error {
+                self.queue(&Response::Error {
                     request_id: 0,
                     code: ErrorCode::Malformed,
                     message: "expected Hello as the first request".into(),
                 });
-                false
+                self.close_after_flush = true;
             }
         }
     }
 
-    /// The post-handshake request loop; returns on disconnect or a
-    /// malformed frame.
-    fn serve(&mut self) {
-        loop {
-            let request = match self.read_request() {
-                Some(r) => r,
-                None => return,
-            };
-            let keep_going = match request {
-                Request::Hello { .. } => {
-                    self.send(&Response::Error {
-                        request_id: 0,
-                        code: ErrorCode::Malformed,
-                        message: "duplicate Hello".into(),
-                    });
-                    false
-                }
-                Request::Ping { token } => self.send(&Response::Pong { token }),
-                Request::Submit {
-                    request_id,
-                    timeout_ms,
-                    seed,
-                    policy,
-                    kernel,
-                } => self.submit(request_id, timeout_ms, seed, policy, kernel),
-                Request::Cancel { request_id } => self.cancel(request_id),
-                Request::GetStats { request_id } => self.send(&Response::Stats {
-                    request_id,
-                    stats: self.ctx.shared.runtime.stats(),
-                }),
-            };
-            if !keep_going {
-                return;
-            }
-        }
-    }
-
-    /// Reads and decodes one request. `None` means the connection is
-    /// done: clean disconnect, or a malformed/hostile frame (answered
-    /// with a connection-level error first). Never panics on bad input —
-    /// the wire layer bounds every length before allocating.
-    fn read_request(&mut self) -> Option<Request> {
-        let payload = match read_frame(&mut self.reader) {
-            Ok(p) => p,
-            Err(e) => {
-                if !e.is_disconnect() {
-                    self.send(&Response::Error {
-                        request_id: 0,
-                        code: ErrorCode::Malformed,
-                        message: format!("unreadable frame from {}: {e}", self.ctx.peer),
-                    });
-                }
-                return None;
-            }
-        };
-        match decode_request_v(&payload, self.version) {
-            Ok(request) => Some(request),
-            Err(e) => {
-                self.send(&Response::Error {
+    /// Dispatches one post-handshake request.
+    fn serve_request(
+        &mut self,
+        request: Request,
+        shared: &Arc<ServerShared>,
+        loop_shared: &Arc<LoopShared>,
+        draining: bool,
+    ) {
+        match request {
+            Request::Hello { .. } => {
+                self.queue(&Response::Error {
                     request_id: 0,
                     code: ErrorCode::Malformed,
-                    message: format!("undecodable request: {e}"),
+                    message: "duplicate Hello".into(),
                 });
-                None
+                self.close_after_flush = true;
+            }
+            Request::Ping { token } => self.queue(&Response::Pong { token }),
+            Request::Submit {
+                request_id,
+                timeout_ms,
+                seed,
+                policy,
+                kernel,
+            } => {
+                let options = JobOptions {
+                    timeout: timeout_ms.map(Duration::from_millis),
+                    seed,
+                    policy,
+                };
+                self.submit(request_id, kernel, options, shared, loop_shared, draining);
+            }
+            Request::Cancel { request_id } => {
+                // A request id that already completed (or never existed)
+                // reports `cancelled: false` — cancellation raced
+                // completion and lost.
+                let cancelled = self.pending.get(&request_id).is_some_and(JobHandle::cancel);
+                self.queue(&Response::CancelResult {
+                    request_id,
+                    cancelled,
+                });
+            }
+            Request::GetStats { request_id } => {
+                let stats = shared.runtime.stats();
+                self.queue(&Response::Stats { request_id, stats });
+            }
+            Request::Gossip {
+                request_id,
+                origin: _,
+                entries,
+            } => {
+                let entries = shared.merge_gossip(&entries);
+                self.queue(&Response::GossipAck {
+                    request_id,
+                    entries,
+                });
             }
         }
     }
 
-    /// Submits a kernel and spawns a waiter that writes the job's result
-    /// when it completes. Uses the runtime's *blocking* submission path,
-    /// so a full queue slows this connection down (backpressure) instead
-    /// of failing its requests.
+    /// Validates and attempts a submission. New submits are refused while
+    /// draining; a full queue parks the submit instead of failing it.
     fn submit(
         &mut self,
         request_id: u64,
-        timeout_ms: Option<u64>,
-        seed: Option<u64>,
-        policy: Option<DispatchPolicy>,
-        kernel: accel::kernel::Kernel,
-    ) -> bool {
-        if lock_or_recover(&self.pending).contains_key(&request_id) {
-            return self.send(&Response::Error {
+        kernel: Kernel,
+        options: JobOptions,
+        shared: &Arc<ServerShared>,
+        loop_shared: &Arc<LoopShared>,
+        draining: bool,
+    ) {
+        if self.pending.contains_key(&request_id) {
+            self.queue(&Response::Error {
                 request_id,
                 code: ErrorCode::Malformed,
                 message: format!("request id {request_id} is already in flight"),
             });
+            return;
         }
-        let options = JobOptions {
-            timeout: timeout_ms.map(Duration::from_millis),
-            seed,
-            policy,
-        };
-        let handle = match self.ctx.shared.runtime.submit_with(kernel, options) {
-            Ok(handle) => Arc::new(handle),
+        if draining {
+            self.queue(&Response::Error {
+                request_id,
+                code: ErrorCode::ShuttingDown,
+                message: "server is shutting down".into(),
+            });
+            return;
+        }
+        self.try_submit(request_id, kernel, options, shared, loop_shared);
+    }
+
+    /// One submission attempt. Returns `false` when the submit parked
+    /// (queue full); `true` when it was accepted or answered with an
+    /// error frame.
+    fn try_submit(
+        &mut self,
+        request_id: u64,
+        kernel: Kernel,
+        options: JobOptions,
+        shared: &Arc<ServerShared>,
+        loop_shared: &Arc<LoopShared>,
+    ) -> bool {
+        // The runtime consumes the kernel; keep a copy in case the queue
+        // is full and the submit has to park for a retry.
+        let retry = kernel.clone();
+        match shared.runtime.try_submit_with(kernel, options) {
+            Ok(handle) => {
+                arm_watcher(loop_shared, self.token.0, request_id, self.version, &handle);
+                self.pending.insert(request_id, handle);
+                true
+            }
+            Err(SubmitError::QueueFull) => {
+                // Backpressure: park the submit and stop reading this
+                // connection. The loop retries each tick; pipelined
+                // requests behind it wait in the frame buffer.
+                self.parked = Some(Parked {
+                    request_id,
+                    kernel: retry,
+                    options,
+                });
+                false
+            }
             Err(e) => {
                 let (code, message) = submit_error_frame(&e);
-                return self.send(&Response::Error {
+                self.queue(&Response::Error {
                     request_id,
                     code,
                     message,
                 });
-            }
-        };
-        lock_or_recover(&self.pending).insert(request_id, Arc::clone(&handle));
-        let pending = Arc::clone(&self.pending);
-        let writer = Arc::clone(&self.writer);
-        let version = self.version;
-        let spawned = std::thread::Builder::new()
-            .name(format!("server-job-{request_id}"))
-            .spawn(move || {
-                let outcome = WireOutcome::from(&handle.wait());
-                lock_or_recover(&pending).remove(&request_id);
-                write_response(
-                    &writer,
-                    &Response::JobResult {
-                        request_id,
-                        outcome,
-                    },
-                    version,
-                );
-            });
-        match spawned {
-            Ok(waiter) => {
-                self.waiters.push(waiter);
                 true
             }
-            Err(_) => self.send(&Response::Error {
-                request_id,
-                code: ErrorCode::Internal,
-                message: "could not spawn result waiter".into(),
-            }),
         }
     }
 
-    /// Requests cancellation of an in-flight submission. A request id
-    /// that already completed (or never existed) reports
-    /// `cancelled: false` — cancellation raced completion and lost.
-    fn cancel(&mut self, request_id: u64) -> bool {
-        let cancelled = lock_or_recover(&self.pending)
-            .get(&request_id)
-            .is_some_and(|handle| handle.cancel());
-        self.send(&Response::CancelResult {
+    /// Retries a parked submit; on success, unmutes the connection and
+    /// immediately processes any frames that buffered while parked.
+    pub(crate) fn retry_parked(
+        &mut self,
+        poll: &mut Poll,
+        shared: &Arc<ServerShared>,
+        loop_shared: &Arc<LoopShared>,
+        draining: bool,
+    ) {
+        let Some(parked) = self.parked.take() else {
+            return;
+        };
+        let Parked {
             request_id,
-            cancelled,
-        })
+            kernel,
+            options,
+        } = parked;
+        if self.try_submit(request_id, kernel, options, shared, loop_shared) {
+            if !self.read_closed && !self.close_after_flush {
+                poll.unmute(self.token);
+            }
+            // Frames that arrived while parked are already buffered and
+            // raise no new readiness event; drain them now.
+            self.on_readable(poll, shared, loop_shared, draining);
+        }
     }
 
-    fn send(&self, response: &Response) -> bool {
-        write_response(&self.writer, response, self.version)
+    /// Accepts a finished job's encoded result frame from the completion
+    /// queue.
+    pub(crate) fn on_completion(&mut self, completion: Completion) {
+        self.pending.remove(&completion.request_id);
+        match completion.frame {
+            Some(frame) => self.outbox.push_back(frame),
+            // Encoding failed (or the pool was gone): the result cannot
+            // reach the peer; close once everything else flushes.
+            None => self.close_after_flush = true,
+        }
     }
+
+    /// Encodes a response at the negotiated version onto the outbox. An
+    /// encode failure closes the connection (parity with a failed write).
+    fn queue(&mut self, response: &Response) {
+        match encode_frame(response, self.version) {
+            Some(frame) => self.outbox.push_back(frame),
+            None => self.close_after_flush = true,
+        }
+    }
+
+    /// Writes as much of the outbox as the socket accepts right now.
+    /// `Ok(true)` means fully flushed; `Ok(false)` means the peer's
+    /// buffer is full (retry next tick); `Err` means the peer is gone.
+    pub(crate) fn flush(&mut self, poll: &Poll) -> io::Result<bool> {
+        let Some(mut stream) = poll.stream(self.token) else {
+            return Ok(self.outbox.is_empty());
+        };
+        while let Some(front) = self.outbox.front() {
+            let rest = front.get(self.out_off..).unwrap_or_default();
+            if rest.is_empty() {
+                self.outbox.pop_front();
+                self.out_off = 0;
+                continue;
+            }
+            match stream.write(rest) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        ErrorKind::WriteZero,
+                        "peer stopped accepting bytes",
+                    ))
+                }
+                Ok(n) => self.out_off += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(true)
+    }
+}
+
+/// Registers a completion watcher on a freshly submitted job: when the
+/// job settles (on a runtime worker thread), the outcome is handed to
+/// the encode pool, which builds the `JobResult` frame off-loop and
+/// pushes it onto the completion queue, waking the loop to flush it.
+fn arm_watcher(
+    loop_shared: &Arc<LoopShared>,
+    conn_id: u64,
+    request_id: u64,
+    version: u16,
+    handle: &JobHandle,
+) {
+    let shared = Arc::clone(loop_shared);
+    handle.on_finish(move |outcome| {
+        let outcome = WireOutcome::from(outcome);
+        let encode_shared = Arc::clone(&shared);
+        let queued = shared.pool.execute(move || {
+            let frame = encode_frame(
+                &Response::JobResult {
+                    request_id,
+                    outcome,
+                },
+                version,
+            );
+            encode_shared.complete(Completion {
+                conn_id,
+                request_id,
+                frame,
+            });
+        });
+        if !queued {
+            // The pool is already shut down (late completion during
+            // teardown); still clear the pending entry so drain finishes.
+            shared.complete(Completion {
+                conn_id,
+                request_id,
+                frame: None,
+            });
+        }
+    });
+}
+
+/// Serializes one response at `version` into a ready-to-write frame.
+/// `None` means the response cannot be represented at this version (for
+/// example a result larger than the frame bound).
+pub(crate) fn encode_frame(response: &Response, version: u16) -> Option<Vec<u8>> {
+    let payload = encode_response_v(response, version).ok()?;
+    let mut framed = Vec::with_capacity(payload.len() + 8);
+    write_frame(&mut framed, &payload).ok()?;
+    Some(framed)
 }
 
 /// Maps a submission failure to its wire error frame.
@@ -274,18 +495,6 @@ fn submit_error_frame(e: &SubmitError) -> (ErrorCode, String) {
         SubmitError::ShutDown => ErrorCode::ShuttingDown,
     };
     (code, e.to_string())
-}
-
-/// Serializes one response onto the shared socket at the connection's
-/// negotiated version; returns whether the write succeeded (a failed
-/// write means the peer is gone).
-fn write_response(writer: &Arc<Mutex<TcpStream>>, response: &Response, version: u16) -> bool {
-    let payload = match encode_response_v(response, version) {
-        Ok(p) => p,
-        Err(WireError::TooLarge { .. }) | Err(_) => return false,
-    };
-    let mut stream = lock_or_recover(writer);
-    write_frame(&mut *stream, &payload).is_ok()
 }
 
 #[cfg(test)]
@@ -306,5 +515,14 @@ mod tests {
             }));
         assert_eq!(code, ErrorCode::InvalidKernel);
         assert!(msg.contains("invalid kernel"));
+    }
+
+    #[test]
+    fn encode_frame_produces_a_parseable_frame() {
+        let framed = encode_frame(&Response::Pong { token: 9 }, PROTOCOL_VERSION).unwrap();
+        let mut cursor = std::io::Cursor::new(framed);
+        let payload = wire::read_frame(&mut cursor).unwrap();
+        let response = wire::decode_response_v(&payload, PROTOCOL_VERSION).unwrap();
+        assert_eq!(response, Response::Pong { token: 9 });
     }
 }

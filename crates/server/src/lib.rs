@@ -3,15 +3,16 @@
 //! The paper's heterogeneous machine only earns its keep when it serves
 //! traffic, so this crate puts the runtime behind a socket:
 //!
-//! * [`server`] — [`Server`]: a `std::net::TcpListener` accept loop, one
-//!   handler thread per connection, a connection limit with graceful
-//!   "server busy" rejection, and a draining shutdown that lets every
-//!   in-flight job finish and flush its response before the runtime stops;
-//! * [`connection`] — the per-connection protocol loop: version
+//! * [`server`] — [`Server`]: a single readiness-driven event loop
+//!   (built on [`cluster::Poll`]) owning the listener and every
+//!   connection, a connection limit with graceful "server busy"
+//!   rejection, and a draining shutdown that lets every in-flight job
+//!   finish and flush its response before the runtime stops;
+//! * [`connection`] — the per-connection state machine: version
 //!   negotiation, pipelined requests (many submissions in flight,
 //!   responses written as each job finishes, in completion order),
 //!   per-request deadlines mapped onto [`runtime::JobOptions`] timeouts,
-//!   cancellation, and a stats endpoint;
+//!   cancellation, a stats endpoint, and shard-health gossip merge;
 //! * [`client`] — [`Client`]: a blocking client with ticket-based
 //!   pipelining (`submit` returns immediately; `wait` demultiplexes
 //!   out-of-order responses).
@@ -46,10 +47,11 @@ pub mod server;
 pub(crate) mod sync {
     //! Poison-tolerant locking for the serving surfaces.
     //!
-    //! A handler or waiter thread that panics while holding one of the
-    //! server's registries poisons the mutex; every registry here stays
-    //! structurally valid mid-update (plain map inserts/removes), so
-    //! serving must outlive the panic rather than cascade it.
+    //! An encode-pool or runtime-watcher thread that panics while
+    //! holding one of the server's registries poisons the mutex; every
+    //! registry here stays structurally valid mid-update (plain pushes
+    //! and map inserts), so serving must outlive the panic rather than
+    //! cascade it.
 
     use std::sync::{Mutex, MutexGuard, PoisonError};
 

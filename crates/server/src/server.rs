@@ -1,19 +1,35 @@
-//! The listener: accept loop, connection limit, draining shutdown.
+//! The listener: readiness event loop, connection limit, draining
+//! shutdown.
+//!
+//! One `server-loop` thread owns a [`cluster::Poll`] with the listener
+//! and every connection registered on it. Each loop tick: drain
+//! readiness events (accepts, readable connections), drain the
+//! completion queue (finished jobs, encoded off-loop), retry parked
+//! submits, flush outboxes, and tear down finished connections. There
+//! is no accept sleep-poll and no thread-per-connection — idle time is
+//! spent parked on the poll's condvar, which job completions and
+//! shutdown interrupt through a [`cluster::Waker`].
 
-use crate::connection::{handle_connection, ConnectionContext};
+use crate::connection::Conn;
 use crate::sync::lock_or_recover;
+use cluster::{Event, Poll, Token, Waker, WorkerPool};
 use runtime::{Runtime, RuntimeConfig, RuntimeError, RuntimeStats};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
-use wire::{encode_response, write_frame, ErrorCode, Response};
+use wire::{encode_response, write_frame, ErrorCode, GossipEntry, Response};
 
-/// How long the accept loop sleeps when no connection is pending.
-const ACCEPT_POLL: Duration = Duration::from_millis(5);
+/// Upper bound on one poll wait. Completions and shutdown wake the loop
+/// early; this only caps how long a parked-submit retry can lag.
+const POLL_TIMEOUT: Duration = Duration::from_millis(25);
+
+/// Cap on encode-pool threads; result encoding is cheap, so a few
+/// workers keep up with many runtime workers.
+const ENCODE_WORKERS: usize = 4;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -75,17 +91,19 @@ impl From<io::Error> for ServerError {
     }
 }
 
-/// State shared between the accept loop, connection handlers, and the
-/// shutdown path.
+/// State shared between the loop thread, the public [`Server`] handle,
+/// and the shutdown path. Job-completion machinery lives in
+/// [`LoopShared`] instead, so in-flight watchers never keep this alive
+/// past the loop join (shutdown unwraps it to consume the runtime).
 pub(crate) struct ServerShared {
     pub(crate) runtime: Runtime,
     pub(crate) running: AtomicBool,
     pub(crate) active: AtomicUsize,
-    /// Live connections by id, so shutdown can unblock their handlers'
-    /// reads. Handlers deregister themselves on exit.
-    streams: Mutex<HashMap<u64, TcpStream>>,
-    /// Monotonic counter naming connections.
-    conn_counter: AtomicU64,
+    /// Cluster health gossip: the freshest entry seen per shard id.
+    /// Routers push their local views in `Gossip` frames and read the
+    /// merged picture back from the ack, so shard failures propagate
+    /// through any shared server without a dedicated gossip mesh.
+    gossip: Mutex<BTreeMap<u32, GossipEntry>>,
 }
 
 impl ServerShared {
@@ -93,29 +111,57 @@ impl ServerShared {
         self.running.load(Ordering::Acquire)
     }
 
-    /// Drops a finished connection's registry entry (its socket was
-    /// already shut down by the handler).
-    pub(crate) fn deregister(&self, conn_id: u64) {
-        lock_or_recover(&self.streams).remove(&conn_id);
+    /// Folds a router's gossip entries into the server's view (higher
+    /// epoch wins, ties keep the incumbent) and returns the merged view,
+    /// ascending by shard id.
+    pub(crate) fn merge_gossip(&self, entries: &[GossipEntry]) -> Vec<GossipEntry> {
+        let mut board = lock_or_recover(&self.gossip);
+        for entry in entries {
+            match board.get(&entry.shard) {
+                Some(existing) if existing.epoch >= entry.epoch => {}
+                _ => {
+                    board.insert(entry.shard, *entry);
+                }
+            }
+        }
+        board.values().cloned().collect()
     }
 }
 
-/// Decrements the live-connection count when a handler exits, however it
-/// exits.
-pub(crate) struct ActiveGuard {
-    shared: Arc<ServerShared>,
+/// A finished job's encoded result, in transit from the encode pool back
+/// to the loop thread.
+pub(crate) struct Completion {
+    pub(crate) conn_id: u64,
+    pub(crate) request_id: u64,
+    /// The encoded `JobResult` frame; `None` when encoding failed and
+    /// the connection should close instead of silently dropping the
+    /// result.
+    pub(crate) frame: Option<Vec<u8>>,
 }
 
-impl ActiveGuard {
-    fn new(shared: Arc<ServerShared>) -> Self {
-        shared.active.fetch_add(1, Ordering::AcqRel);
-        ActiveGuard { shared }
+/// Completion plumbing shared by the loop thread, job watchers, and the
+/// encode pool. Kept separate from [`ServerShared`] so a job that
+/// outlives its connection (watcher still registered) cannot block
+/// shutdown's `Arc::try_unwrap` on the runtime.
+pub(crate) struct LoopShared {
+    completions: Mutex<Vec<Completion>>,
+    waker: Waker,
+    pub(crate) pool: WorkerPool,
+}
+
+impl LoopShared {
+    /// Queues a completion and wakes the loop to deliver it.
+    pub(crate) fn complete(&self, completion: Completion) {
+        let mut queue = lock_or_recover(&self.completions);
+        queue.push(completion);
+        drop(queue);
+        self.waker.wake();
     }
-}
 
-impl Drop for ActiveGuard {
-    fn drop(&mut self) {
-        self.shared.active.fetch_sub(1, Ordering::AcqRel);
+    /// Takes everything queued so far.
+    fn drain(&self) -> Vec<Completion> {
+        let mut queue = lock_or_recover(&self.completions);
+        std::mem::take(&mut *queue)
     }
 }
 
@@ -125,12 +171,12 @@ impl Drop for ActiveGuard {
 pub struct Server {
     shared: Arc<ServerShared>,
     local_addr: SocketAddr,
-    accept_handle: Option<JoinHandle<()>>,
-    conn_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    loop_handle: Option<JoinHandle<()>>,
+    waker: Waker,
 }
 
 impl Server {
-    /// Binds the listener, starts the runtime, and spawns the accept
+    /// Binds the listener, starts the runtime, and spawns the event
     /// loop.
     ///
     /// # Errors
@@ -144,32 +190,39 @@ impl Server {
                 "connection limit must be at least 1".into(),
             ));
         }
+        let max_connections = config.max_connections;
         let listener = TcpListener::bind(&config.addr)?;
-        listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
+        let encode_workers = config.runtime.workers.clamp(1, ENCODE_WORKERS);
         let runtime = Runtime::start(config.runtime).map_err(ServerError::Runtime)?;
+        let mut poll = Poll::new();
+        let listener_token = poll.register_listener(listener)?;
+        let waker = poll.waker();
         let shared = Arc::new(ServerShared {
             runtime,
             running: AtomicBool::new(true),
             active: AtomicUsize::new(0),
-            streams: Mutex::new(HashMap::new()),
-            conn_counter: AtomicU64::new(0),
+            gossip: Mutex::new(BTreeMap::new()),
         });
-        let conn_handles = Arc::new(Mutex::new(Vec::new()));
-        let accept_handle = {
+        let loop_shared = Arc::new(LoopShared {
+            completions: Mutex::new(Vec::new()),
+            waker: waker.clone(),
+            pool: WorkerPool::new("server-encode", encode_workers),
+        });
+        let loop_handle = {
             let shared = Arc::clone(&shared);
-            let conn_handles = Arc::clone(&conn_handles);
-            let max_connections = config.max_connections;
             std::thread::Builder::new()
-                .name("server-accept".into())
-                .spawn(move || accept_loop(&listener, &shared, &conn_handles, max_connections))
+                .name("server-loop".into())
+                .spawn(move || {
+                    event_loop(poll, listener_token, &shared, &loop_shared, max_connections);
+                })
                 .map_err(ServerError::Io)?
         };
         Ok(Server {
             shared,
             local_addr,
-            accept_handle: Some(accept_handle),
-            conn_handles,
+            loop_handle: Some(loop_handle),
+            waker,
         })
     }
 
@@ -194,10 +247,11 @@ impl Server {
     /// Gracefully drains and stops the server, returning final runtime
     /// statistics.
     ///
-    /// Ordering matters: stop accepting, unblock every connection's read
-    /// side, let handlers finish waiting on their in-flight jobs (the
-    /// runtime is still alive, so results execute and flush to clients),
-    /// join the handlers, and only then shut the runtime down.
+    /// Ordering matters: stop accepting, then let the loop keep serving
+    /// until every connection's in-flight jobs complete and flush (the
+    /// runtime is still alive, so results execute and reach their
+    /// clients; cancels are still answered), join the loop, and only
+    /// then shut the runtime down.
     #[must_use]
     pub fn shutdown(mut self) -> RuntimeStats {
         self.stop();
@@ -205,24 +259,16 @@ impl Server {
         drop(self); // releases this handle's Arc before the unwrap below
         match Arc::try_unwrap(shared) {
             Ok(shared) => shared.runtime.shutdown(),
-            // A handler thread leaked its Arc (should be impossible once
-            // all handlers are joined); fall back to a snapshot.
+            // Something leaked an Arc (should be impossible once the
+            // loop is joined); fall back to a snapshot.
             Err(shared) => shared.runtime.stats(),
         }
     }
 
     fn stop(&mut self) {
         self.shared.running.store(false, Ordering::Release);
-        if let Some(handle) = self.accept_handle.take() {
-            let _ = handle.join();
-        }
-        // Unblock handlers stuck in read_frame. Writes stay open so
-        // in-flight job results still reach their clients.
-        for (_, stream) in lock_or_recover(&self.shared.streams).drain() {
-            let _ = stream.shutdown(Shutdown::Read);
-        }
-        let handles: Vec<_> = lock_or_recover(&self.conn_handles).drain(..).collect();
-        for handle in handles {
+        self.waker.wake();
+        if let Some(handle) = self.loop_handle.take() {
             let _ = handle.join();
         }
     }
@@ -234,57 +280,95 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(
-    listener: &TcpListener,
+/// The loop body: owns the poll and every connection until drain
+/// completes.
+fn event_loop(
+    mut poll: Poll,
+    listener_token: Token,
     shared: &Arc<ServerShared>,
-    conn_handles: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+    loop_shared: &Arc<LoopShared>,
     max_connections: usize,
 ) {
-    while shared.is_running() {
-        match listener.accept() {
-            Ok((stream, peer)) => {
-                let _ = stream.set_nodelay(true);
-                if shared.active.load(Ordering::Acquire) >= max_connections {
-                    reject_busy(stream, max_connections);
-                    continue;
+    let mut conns: BTreeMap<u64, Conn> = BTreeMap::new();
+    let mut events: Vec<Event> = Vec::new();
+    let mut draining = false;
+    loop {
+        if !draining && !shared.is_running() {
+            // Drain mode: stop accepting, keep serving until every
+            // connection's pending work flushes. Cancels, pings, and
+            // stats still get answers; new submits are refused.
+            draining = true;
+            let _ = poll.deregister_listener(listener_token);
+        }
+        events.clear();
+        let _ = poll.poll(&mut events, POLL_TIMEOUT);
+        for event in events.drain(..) {
+            match event {
+                Event::Accepted { stream, peer, .. } => {
+                    if draining || conns.len() >= max_connections {
+                        reject_busy(stream, max_connections);
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    if let Ok(token) = poll.register_stream(stream) {
+                        conns.insert(token.0, Conn::new(token, peer));
+                    }
                 }
-                let _ = stream.set_nonblocking(false);
-                let conn_id = shared.conn_counter.fetch_add(1, Ordering::Relaxed);
-                if let Ok(read_half) = stream.try_clone() {
-                    lock_or_recover(&shared.streams).insert(conn_id, read_half);
-                } else {
-                    continue;
+                Event::Readable(token) => {
+                    if let Some(conn) = conns.get_mut(&token.0) {
+                        conn.on_readable(&mut poll, shared, loop_shared, draining);
+                    }
                 }
-                let guard = ActiveGuard::new(Arc::clone(shared));
-                let ctx = ConnectionContext {
-                    shared: Arc::clone(shared),
-                    peer,
-                    conn_id,
-                };
-                let spawned = std::thread::Builder::new()
-                    .name(format!("server-conn-{conn_id}"))
-                    .spawn(move || {
-                        let _guard = guard;
-                        handle_connection(stream, &ctx);
-                    });
-                match spawned {
-                    Ok(handle) => lock_or_recover(conn_handles).push(handle),
-                    // The guard already dropped with the closure; free
-                    // the registry slot too.
-                    Err(_) => shared.deregister(conn_id),
+                Event::Closed(token) => {
+                    if let Some(conn) = conns.get_mut(&token.0) {
+                        conn.mark_read_closed(&mut poll);
+                    }
                 }
             }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(ACCEPT_POLL);
+        }
+        for completion in loop_shared.drain() {
+            if let Some(conn) = conns.get_mut(&completion.conn_id) {
+                conn.on_completion(completion);
             }
-            Err(_) => std::thread::sleep(ACCEPT_POLL),
+            // A completion for a connection already torn down just drops;
+            // the job ran, the peer is gone.
+        }
+        for conn in conns.values_mut() {
+            conn.retry_parked(&mut poll, shared, loop_shared, draining);
+        }
+        let mut dead = Vec::new();
+        for (&id, conn) in &mut conns {
+            match conn.flush(&poll) {
+                Ok(flushed) => {
+                    // A connection closes once it owes nothing: no jobs
+                    // in flight, no parked submit, outbox flushed — and
+                    // either the peer is done (read side closed), a
+                    // violation was answered, or the server is draining.
+                    let finished = flushed && !conn.has_work();
+                    if finished && (conn.close_after_flush || conn.read_closed || draining) {
+                        dead.push(id);
+                    }
+                }
+                Err(_) => dead.push(id),
+            }
+        }
+        for id in dead {
+            if let Some(stream) = poll.deregister(Token(id)) {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+            conns.remove(&id);
+        }
+        shared.active.store(conns.len(), Ordering::Release);
+        if draining && conns.is_empty() {
+            return;
         }
     }
 }
 
 /// Turns a connection away with a connection-level busy frame instead of
 /// a silent hangup, so clients can distinguish "try later" from a crash.
-fn reject_busy(mut stream: TcpStream, max_connections: usize) {
+fn reject_busy(stream: TcpStream, max_connections: usize) {
+    let mut stream = stream;
     let _ = stream.set_nonblocking(false);
     let response = Response::Error {
         request_id: 0,

@@ -65,7 +65,8 @@ pub use chaos::{ChaosStream, StreamFault};
 pub use frame::{read_frame, write_frame};
 pub use message::{
     decode_request, decode_request_v, decode_response, decode_response_v, encode_request,
-    encode_request_v, encode_response, encode_response_v, negotiate, ErrorCode, Request, Response,
+    encode_request_v, encode_response, encode_response_v, negotiate, ErrorCode, GossipEntry,
+    Request, Response, GOSSIP_ALIVE, GOSSIP_QUARANTINED, GOSSIP_SUSPECT,
 };
 pub use payload::{
     decode_kernel, decode_kernel_result, encode_kernel, encode_kernel_result, WireOutcome,
@@ -88,7 +89,12 @@ pub const MAGIC: [u8; 4] = *b"RBCM";
 /// * **4** — admission tier: `Stats` gains the global admission counters
 ///   (cache hits, misses, evictions, coalesced submissions, hedged
 ///   dispatches, hedge cancellations) after the fault-counter block.
-pub const PROTOCOL_VERSION: u16 = 4;
+/// * **5** — cluster tier: new `Gossip` request / `GossipAck` response
+///   carrying per-shard health entries (status, consecutive failures,
+///   epoch) between routers and shards. `Submit`/`Stats` layouts are
+///   unchanged — a v5 frame of any v4 message is byte-identical to its
+///   v4 encoding.
+pub const PROTOCOL_VERSION: u16 = 5;
 
 /// The oldest protocol version this build still accepts.
 pub const MIN_SUPPORTED_VERSION: u16 = 1;

@@ -10,7 +10,7 @@ use crate::payload::{
     get_kernel, get_outcome, get_policy, get_stats, put_kernel, put_outcome, put_policy, put_stats,
     WireOutcome,
 };
-use crate::{WireError, MIN_SUPPORTED_VERSION, PROTOCOL_VERSION};
+use crate::{WireError, MAX_SEQUENCE_LEN, MIN_SUPPORTED_VERSION, PROTOCOL_VERSION};
 use accel::host::DispatchPolicy;
 use accel::kernel::Kernel;
 use runtime::RuntimeStats;
@@ -55,7 +55,45 @@ pub enum Request {
         /// Client-chosen id echoed in the matching [`Response::Stats`].
         request_id: u64,
     },
+    /// A shard-health gossip exchange (protocol version ≥ 5): the sender's
+    /// view of every shard's health, answered by a [`Response::GossipAck`]
+    /// with the receiver's merged view. Encoding one on an older link is a
+    /// [`WireError::Invalid`].
+    Gossip {
+        /// Client-chosen id echoed in the matching ack.
+        request_id: u64,
+        /// Shard id of the sender (`u64::MAX` for a router, which is not
+        /// itself a shard).
+        origin: u64,
+        /// The sender's health view, one entry per shard it knows about.
+        entries: Vec<GossipEntry>,
+    },
 }
+
+/// One shard's health as carried in v5 gossip frames.
+///
+/// `status` uses the [`GOSSIP_ALIVE`]/[`GOSSIP_SUSPECT`]/
+/// [`GOSSIP_QUARANTINED`] encoding; any other value is rejected at decode
+/// time with [`WireError::Invalid`]. Views are merged by `epoch`: the
+/// entry with the higher epoch is the fresher observation and wins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GossipEntry {
+    /// The shard this entry describes.
+    pub shard: u32,
+    /// Health status byte (0 alive, 1 suspect, 2 quarantined).
+    pub status: u8,
+    /// Consecutive failures observed against this shard.
+    pub failures: u32,
+    /// Logical clock of the observation; higher is fresher.
+    pub epoch: u64,
+}
+
+/// [`GossipEntry::status`] value: the shard is serving normally.
+pub const GOSSIP_ALIVE: u8 = 0;
+/// [`GossipEntry::status`] value: recent failures, still routable.
+pub const GOSSIP_SUSPECT: u8 = 1;
+/// [`GossipEntry::status`] value: unroutable until a probe succeeds.
+pub const GOSSIP_QUARANTINED: u8 = 2;
 
 /// A server-to-client message.
 #[derive(Debug, Clone, PartialEq)]
@@ -99,6 +137,14 @@ pub enum Response {
         code: ErrorCode,
         /// Human-readable detail.
         message: String,
+    },
+    /// Answer to a [`Request::Gossip`] (protocol version ≥ 5): the
+    /// receiver's health view after merging in the sender's entries.
+    GossipAck {
+        /// The id from the originating `Gossip`.
+        request_id: u64,
+        /// The receiver's merged view.
+        entries: Vec<GossipEntry>,
     },
 }
 
@@ -171,6 +217,7 @@ const TAG_PING: u8 = 0x02;
 const TAG_SUBMIT: u8 = 0x03;
 const TAG_CANCEL: u8 = 0x04;
 const TAG_GET_STATS: u8 = 0x05;
+const TAG_GOSSIP: u8 = 0x06;
 
 const TAG_HELLO_ACK: u8 = 0x81;
 const TAG_PONG: u8 = 0x82;
@@ -178,6 +225,63 @@ const TAG_JOB_RESULT: u8 = 0x83;
 const TAG_CANCEL_RESULT: u8 = 0x84;
 const TAG_STATS: u8 = 0x85;
 const TAG_ERROR: u8 = 0x86;
+const TAG_GOSSIP_ACK: u8 = 0x87;
+
+/// Writes a gossip entry table: u32 count then fixed-width entries.
+fn put_gossip_entries(w: &mut ByteWriter, entries: &[GossipEntry]) -> Result<(), WireError> {
+    let count = u32::try_from(entries.len()).unwrap_or(u32::MAX);
+    if count > MAX_SEQUENCE_LEN {
+        return Err(WireError::TooLarge {
+            context: "gossip entries",
+            len: entries.len() as u64,
+            max: u64::from(MAX_SEQUENCE_LEN),
+        });
+    }
+    w.put_u32(count);
+    for entry in entries {
+        w.put_u32(entry.shard);
+        w.put_u8(entry.status);
+        w.put_u32(entry.failures);
+        w.put_u64(entry.epoch);
+    }
+    Ok(())
+}
+
+/// Reads a gossip entry table, validating every status byte.
+fn get_gossip_entries(r: &mut ByteReader) -> Result<Vec<GossipEntry>, WireError> {
+    // Each entry is 17 bytes: shard u32 + status u8 + failures u32 + epoch u64.
+    let count = r.get_count(MAX_SEQUENCE_LEN, 17, "gossip entries")?;
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let shard = r.get_u32("gossip shard")?;
+        let status = r.get_u8("gossip status")?;
+        if status > GOSSIP_QUARANTINED {
+            return Err(WireError::Invalid {
+                context: "gossip status",
+                detail: format!("expected 0..=2, got {status}"),
+            });
+        }
+        entries.push(GossipEntry {
+            shard,
+            status,
+            failures: r.get_u32("gossip failures")?,
+            epoch: r.get_u64("gossip epoch")?,
+        });
+    }
+    Ok(entries)
+}
+
+/// Rejects gossip traffic on a pre-v5 link with a uniform diagnostic.
+fn require_gossip_version(version: u16) -> Result<(), WireError> {
+    if version >= 5 {
+        Ok(())
+    } else {
+        Err(WireError::Invalid {
+            context: "gossip version",
+            detail: format!("gossip frames need protocol version 5, link is v{version}"),
+        })
+    }
+}
 
 /// Encodes one request to a frame payload at [`PROTOCOL_VERSION`].
 ///
@@ -243,6 +347,17 @@ pub fn encode_request_v(request: &Request, version: u16) -> Result<Vec<u8>, Wire
             w.put_u8(TAG_GET_STATS);
             w.put_u64(*request_id);
         }
+        Request::Gossip {
+            request_id,
+            origin,
+            entries,
+        } => {
+            require_gossip_version(version)?;
+            w.put_u8(TAG_GOSSIP);
+            w.put_u64(*request_id);
+            w.put_u64(*origin);
+            put_gossip_entries(&mut w, entries)?;
+        }
     }
     Ok(w.into_bytes())
 }
@@ -291,6 +406,14 @@ pub fn decode_request_v(bytes: &[u8], version: u16) -> Result<Request, WireError
         TAG_GET_STATS => Request::GetStats {
             request_id: r.get_u64("stats request id")?,
         },
+        TAG_GOSSIP => {
+            require_gossip_version(version)?;
+            Request::Gossip {
+                request_id: r.get_u64("gossip request id")?,
+                origin: r.get_u64("gossip origin")?,
+                entries: get_gossip_entries(&mut r)?,
+            }
+        }
         tag => {
             return Err(WireError::UnknownTag {
                 context: "request",
@@ -360,6 +483,15 @@ pub fn encode_response_v(response: &Response, version: u16) -> Result<Vec<u8>, W
             w.put_u8(code.to_u8());
             w.put_str(message)?;
         }
+        Response::GossipAck {
+            request_id,
+            entries,
+        } => {
+            require_gossip_version(version)?;
+            w.put_u8(TAG_GOSSIP_ACK);
+            w.put_u64(*request_id);
+            put_gossip_entries(&mut w, entries)?;
+        }
     }
     Ok(w.into_bytes())
 }
@@ -415,6 +547,13 @@ pub fn decode_response_v(bytes: &[u8], version: u16) -> Result<Response, WireErr
             code: ErrorCode::from_u8(r.get_u8("error code")?)?,
             message: r.get_str("error message")?,
         },
+        TAG_GOSSIP_ACK => {
+            require_gossip_version(version)?;
+            Response::GossipAck {
+                request_id: r.get_u64("gossip request id")?,
+                entries: get_gossip_entries(&mut r)?,
+            }
+        }
         tag => {
             return Err(WireError::UnknownTag {
                 context: "response",
@@ -641,6 +780,146 @@ mod tests {
             encode_response_v(&ack, 1).unwrap(),
             encode_response_v(&ack, 2).unwrap()
         );
+    }
+
+    #[test]
+    fn gossip_round_trips_at_v5() {
+        let gossip = Request::Gossip {
+            request_id: 40,
+            origin: u64::MAX,
+            entries: vec![
+                GossipEntry {
+                    shard: 0,
+                    status: GOSSIP_ALIVE,
+                    failures: 0,
+                    epoch: 12,
+                },
+                GossipEntry {
+                    shard: 1,
+                    status: GOSSIP_QUARANTINED,
+                    failures: 5,
+                    epoch: 9,
+                },
+            ],
+        };
+        let bytes = encode_request_v(&gossip, 5).unwrap();
+        assert_eq!(decode_request_v(&bytes, 5).unwrap(), gossip);
+        let ack = Response::GossipAck {
+            request_id: 40,
+            entries: vec![GossipEntry {
+                shard: 1,
+                status: GOSSIP_SUSPECT,
+                failures: 2,
+                epoch: 14,
+            }],
+        };
+        let bytes = encode_response_v(&ack, 5).unwrap();
+        assert_eq!(decode_response_v(&bytes, 5).unwrap(), ack);
+    }
+
+    #[test]
+    fn gossip_refused_on_pre_v5_links() {
+        let gossip = Request::Gossip {
+            request_id: 1,
+            origin: 0,
+            entries: vec![],
+        };
+        let bytes = encode_request_v(&gossip, 5).unwrap();
+        for version in 1..5 {
+            assert!(matches!(
+                encode_request_v(&gossip, version),
+                Err(WireError::Invalid {
+                    context: "gossip version",
+                    ..
+                })
+            ));
+            assert!(decode_request_v(&bytes, version).is_err());
+        }
+        let ack = Response::GossipAck {
+            request_id: 1,
+            entries: vec![],
+        };
+        assert!(encode_response_v(&ack, 4).is_err());
+    }
+
+    #[test]
+    fn gossip_status_is_validated_at_decode() {
+        let good = Request::Gossip {
+            request_id: 2,
+            origin: 3,
+            entries: vec![GossipEntry {
+                shard: 7,
+                status: GOSSIP_ALIVE,
+                failures: 0,
+                epoch: 1,
+            }],
+        };
+        let mut bytes = encode_request_v(&good, 5).unwrap();
+        // The status byte sits after tag + request_id + origin + count + shard.
+        let status_at = 1 + 8 + 8 + 4 + 4;
+        bytes[status_at] = 3;
+        assert!(matches!(
+            decode_request_v(&bytes, 5),
+            Err(WireError::Invalid {
+                context: "gossip status",
+                ..
+            })
+        ));
+        // A hostile entry count is bounded by the bytes actually present.
+        let mut short = encode_request_v(&good, 5).unwrap();
+        short[1 + 8 + 8 + 3] = 200;
+        assert!(decode_request_v(&short, 5).is_err());
+    }
+
+    #[test]
+    fn v5_encoding_of_v4_messages_is_byte_identical() {
+        let submit = Request::Submit {
+            request_id: 7,
+            timeout_ms: Some(250),
+            seed: Some(42),
+            policy: Some(DispatchPolicy::MinPredictedLatency),
+            kernel: Kernel::Factor { n: 77 },
+        };
+        assert_eq!(
+            encode_request_v(&submit, 4).unwrap(),
+            encode_request_v(&submit, 5).unwrap()
+        );
+        let stats = Response::Stats {
+            request_id: 9,
+            stats: RuntimeStats {
+                submitted: 5,
+                completed: 5,
+                ..RuntimeStats::default()
+            },
+        };
+        assert_eq!(
+            encode_response_v(&stats, 4).unwrap(),
+            encode_response_v(&stats, 5).unwrap()
+        );
+    }
+
+    #[test]
+    fn truncated_gossip_errors_not_panics() {
+        let full = encode_request_v(
+            &Request::Gossip {
+                request_id: 3,
+                origin: 1,
+                entries: vec![GossipEntry {
+                    shard: 0,
+                    status: GOSSIP_SUSPECT,
+                    failures: 1,
+                    epoch: 2,
+                }],
+            },
+            5,
+        )
+        .unwrap();
+        for cut in 0..full.len() {
+            assert!(
+                decode_request_v(&full[..cut], 5).is_err(),
+                "truncation at {cut} must error"
+            );
+        }
     }
 
     #[test]

@@ -11,12 +11,19 @@
 //! order must not change a single bit of output.
 //!
 //! Run with: `cargo run --release --example loadgen -- [--clients N]
-//! [--jobs N] [--workers N] [--queue N] [--policy P] [--chaos]
-//! [--seed N] [--mix M] [--dup-ratio R]` where `P` is one of
+//! [--jobs N] [--workers N] [--queue N] [--shards N] [--policy P]
+//! [--chaos] [--seed N] [--mix M] [--dup-ratio R]` where `P` is one of
 //! `prefer-specialized`, `cpu-only`, `min-latency`, `min-energy`, or
 //! `deadline`. The policy rides the protocol-v2 per-job `Submit` field,
 //! and when it differs from `prefer-specialized` the run also reports
 //! how many jobs the cost-model planner routed differently.
+//!
+//! `--shards N` (default 1) serves the workload from an N-shard cluster
+//! instead of one server: N `server::Server` shards, each client driving
+//! a [`cluster::Router`] that consistent-hash-shards keyed submissions
+//! across them. The determinism check is unchanged — whatever shard a
+//! job lands on (or re-routes to), its bytes must match the direct
+//! single-worker replay.
 //!
 //! `--mix duplicate-heavy` swaps in a workload where a small unique pool
 //! of `(kernel, seed)` pairs is resubmitted over and over (`--dup-ratio`
@@ -57,6 +64,7 @@ struct Args {
     jobs: usize,
     workers: usize,
     queue: usize,
+    shards: usize,
     policy: DispatchPolicy,
     chaos: bool,
     chaos_seed: u64,
@@ -84,6 +92,7 @@ fn parse_args() -> Result<Args, String> {
         jobs: 160,
         workers: 4,
         queue: 64,
+        shards: 1,
         policy: DispatchPolicy::MinPredictedLatency,
         chaos: false,
         chaos_seed: 29,
@@ -131,11 +140,15 @@ fn parse_args() -> Result<Args, String> {
             "--jobs" => args.jobs = value,
             "--workers" => args.workers = value,
             "--queue" => args.queue = value,
+            "--shards" => args.shards = value,
             other => return Err(format!("unknown flag {other}")),
         }
     }
     if args.clients == 0 || args.jobs == 0 || args.workers == 0 || args.queue == 0 {
         return Err("all parameters must be at least 1".into());
+    }
+    if args.shards == 0 {
+        return Err("--shards must be at least 1".into());
     }
     Ok(args)
 }
@@ -235,6 +248,57 @@ fn run_client(
     Ok((results, latency))
 }
 
+/// Runs one cluster client over its round-robin slice: a private
+/// [`cluster::Router`] over every shard, pipelining submissions up to
+/// the router's in-flight window before redeeming tickets.
+fn run_cluster_client(
+    addrs: &[std::net::SocketAddr],
+    workload: &[accel::kernel::Kernel],
+    seeds: &[u64],
+    policy: DispatchPolicy,
+    chaos: bool,
+    client_idx: usize,
+    clients: usize,
+) -> Result<ClientReport, String> {
+    let fail = |e: &dyn std::fmt::Display| format!("cluster client {client_idx}: {e}");
+    let mut router = cluster::Router::connect(
+        addrs,
+        cluster::RouterConfig {
+            seed: MASTER_SEED,
+            ..cluster::RouterConfig::default()
+        },
+    )
+    .map_err(|e| fail(&e))?;
+    let mine: Vec<usize> = (0..workload.len())
+        .filter(|i| i % clients == client_idx)
+        .collect();
+    let started = Instant::now();
+    let mut tickets = Vec::with_capacity(mine.len());
+    for &i in &mine {
+        let options = JobOptions {
+            seed: Some(seeds[i]),
+            policy: Some(policy),
+            timeout: None,
+        };
+        let ticket = router
+            .submit_blocking(workload[i].clone(), options)
+            .map_err(|e| fail(&e))?;
+        tickets.push((i, ticket));
+    }
+    let mut results = Vec::with_capacity(mine.len());
+    let mut latency = LatencyHistogram::new();
+    for (i, ticket) in tickets {
+        let outcome = router.wait(ticket).map_err(|e| fail(&e))?;
+        match &outcome {
+            WireOutcome::Completed { .. } => latency.record(started.elapsed()),
+            other if !chaos => return Err(format!("job {i} did not complete: {other:?}")),
+            _ => {}
+        }
+        results.push((i, wire_fingerprint(&outcome).map_err(|e| fail(&e))?));
+    }
+    Ok((results, latency))
+}
+
 /// `(outcome fingerprint, backend name)` per workload index; the backend
 /// is empty for jobs that did not complete.
 type DirectResults = Vec<(Vec<u8>, String)>;
@@ -284,6 +348,156 @@ fn run_direct(
     Ok(results)
 }
 
+/// The `--shards N` flavor: N shard servers behind per-client routers,
+/// then the same direct-replay determinism check as the 1-server path.
+fn run_cluster(
+    args: &Args,
+    workload: &[accel::kernel::Kernel],
+    seeds: &[u64],
+    plan: Option<FaultPlan>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let shards: Vec<Server> = (0..args.shards)
+        .map(|_| {
+            Server::start(ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                max_connections: args.clients + 2,
+                runtime: RuntimeConfig {
+                    workers: args.workers,
+                    queue_capacity: args.queue,
+                    policy: args.policy,
+                    seed: MASTER_SEED,
+                    default_timeout: None,
+                    faults: plan.clone(),
+                    quarantine: QuarantinePolicy::disabled(),
+                    ..RuntimeConfig::default()
+                },
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    let addrs: Vec<std::net::SocketAddr> = shards.iter().map(Server::local_addr).collect();
+    println!(
+        "loadgen: {} jobs over {} clients against a {}-shard cluster ({} workers/shard, \
+         queue {}, policy {:?})",
+        args.jobs, args.clients, args.shards, args.workers, args.queue, args.policy
+    );
+    if args.chaos {
+        println!(
+            "chaos mode: fault plan seed {} (reproduce with --chaos --seed {})",
+            args.chaos_seed, args.chaos_seed
+        );
+    }
+    println!();
+
+    let started = Instant::now();
+    let reports: Vec<ClientReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.clients)
+            .map(|c| {
+                let addrs = &addrs;
+                scope.spawn(move || {
+                    run_cluster_client(
+                        addrs,
+                        workload,
+                        seeds,
+                        args.policy,
+                        args.chaos,
+                        c,
+                        args.clients,
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("cluster client thread panicked"))
+            .collect::<Result<_, _>>()
+    })
+    .map_err(|e| format!("cluster client failed: {e}"))?;
+    let wall = started.elapsed();
+
+    let mut wire_results: Vec<Option<Vec<u8>>> = vec![None; args.jobs];
+    let mut latency = LatencyHistogram::new();
+    for (results, client_latency) in reports {
+        latency.merge(&client_latency);
+        for (i, fingerprint) in results {
+            wire_results[i] = Some(fingerprint);
+        }
+    }
+    #[allow(clippy::cast_precision_loss)]
+    let throughput = args.jobs as f64 / wall.as_secs_f64();
+    println!(
+        "served {} jobs in {:.3}s  ({throughput:.0} jobs/s across {} shards)",
+        args.jobs,
+        wall.as_secs_f64(),
+        args.shards
+    );
+    println!("client-side completion latency:");
+    for (idx, &count) in latency.counts().iter().enumerate() {
+        if count > 0 {
+            println!("  {:<8} {count}", LatencyHistogram::bucket_label(idx));
+        }
+    }
+
+    // One more router for the cluster-wide stats view (and a gossip
+    // round, so the v5 frames see traffic on every loadgen run).
+    let mut probe = cluster::Router::connect(&addrs, cluster::RouterConfig::default())?;
+    probe.gossip_round()?;
+    let stats = probe.stats()?;
+    println!("\nper-shard admission:");
+    for (shard, s) in &stats.per_shard {
+        let keyed = s.cache_hits + s.cache_misses + s.coalesced;
+        #[allow(clippy::cast_precision_loss)]
+        let hit_rate = if keyed == 0 {
+            0.0
+        } else {
+            (s.cache_hits + s.coalesced) as f64 / keyed as f64
+        };
+        println!(
+            "  shard {shard}: {} submitted, {} cache hits + {} coalesced / {} keyed \
+             ({:.1}% hit rate)",
+            s.submitted,
+            s.cache_hits,
+            s.coalesced,
+            keyed,
+            hit_rate * 100.0
+        );
+    }
+    println!("\ncluster stats (all shards merged):\n{}", stats.merged);
+    drop(probe);
+
+    let fingerprints: Vec<Vec<u8>> = wire_results
+        .iter()
+        .map(|o| o.clone().expect("every job must report"))
+        .collect();
+    if args.chaos {
+        println!("chaos digest: {:016x}", digest(&fingerprints));
+    }
+
+    println!("replaying on a direct 1-worker runtime to check determinism ...");
+    let direct = run_direct(
+        workload,
+        seeds,
+        args.policy,
+        plan,
+        AdmissionConfig::default(),
+    )?;
+    for (i, fingerprint) in fingerprints.iter().enumerate() {
+        assert_eq!(
+            fingerprint, &direct[i].0,
+            "job {i}: outcomes must match byte for byte across the cluster"
+        );
+    }
+    println!(
+        "cluster ({} shards) and direct (1 worker) runs agree byte-for-byte on all {}/{} outcomes",
+        args.shards,
+        direct.len(),
+        args.jobs
+    );
+    for shard in shards {
+        let _ = shard.shutdown();
+    }
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = parse_args().map_err(|e| format!("usage error: {e}"))?;
     let (workload, seeds) = match args.mix {
@@ -294,6 +508,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Mix::DuplicateHeavy => duplicate_heavy_workload(args.jobs, MASTER_SEED, args.dup_ratio)?,
     };
     let plan = args.chaos.then(|| FaultPlan::chaos(args.chaos_seed));
+
+    if args.shards > 1 {
+        return run_cluster(&args, &workload, &seeds, plan);
+    }
 
     let server = Server::start(ServerConfig {
         addr: "127.0.0.1:0".into(),

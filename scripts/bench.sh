@@ -18,7 +18,15 @@ echo "==> loadgen duplicate-heavy (admission tier under wire load)"
 timeout 180 cargo run --release --example loadgen -- --clients 4 --jobs 160 --workers 4 \
   --mix duplicate-heavy --dup-ratio 0.9
 
+echo "==> cluster bench (1-shard vs 2-shard aggregate-cache scaling)"
+timeout 580 cargo run --release --example cluster_bench
+
 if [[ -f BENCH_dispatch.json ]]; then
   echo "==> BENCH_dispatch.json"
   cat BENCH_dispatch.json
+fi
+
+if [[ -f BENCH_cluster.json ]]; then
+  echo "==> BENCH_cluster.json"
+  cat BENCH_cluster.json
 fi

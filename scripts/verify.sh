@@ -46,4 +46,11 @@ echo "$dup_out" | grep -E "admission: [0-9]+ cache hits" | grep -qv "admission: 
 echo "$dup_out" | grep -q "cached and cold runs agree byte-for-byte" \
   || { echo "verify: cached-vs-cold byte equality check missing" >&2; exit 1; }
 
+echo "==> smoke: loadgen 2-shard cluster (router sharding + cross-shard determinism)"
+cluster_out=$(timeout 180 cargo run --release --example loadgen -- --shards 2 --clients 2 \
+  --jobs 60 --workers 1 --mix duplicate-heavy --dup-ratio 0.9)
+echo "$cluster_out" | tail -n 6
+echo "$cluster_out" | grep -q "cluster (2 shards) and direct (1 worker) runs agree byte-for-byte" \
+  || { echo "verify: cluster-vs-direct byte equality check missing" >&2; exit 1; }
+
 echo "verify: all checks passed"

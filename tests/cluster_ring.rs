@@ -1,0 +1,197 @@
+//! Property tests for the cluster's consistent-hash ring, driven by the
+//! admission tier's canonical routing hashes — the exact keys the router
+//! shards by in production.
+//!
+//! The properties under test are the two that make consistent hashing
+//! worth its complexity over `hash % n`:
+//!
+//! * **Stability** — adding or removing one shard moves only the keys
+//!   that shard gains or owned; everything else stays put. (Modulo
+//!   hashing would reshuffle nearly all keys and flush every shard's
+//!   result cache on each membership change.)
+//! * **Affinity** — every syntactic variant of one canonical kernel
+//!   routes to the same live shard, including after failures knock
+//!   shards out of the routable set.
+
+use accel::kernel::Kernel;
+use admission::routing_hash;
+use cluster::HashRing;
+use numerics::rng::{Rng, SeedStream, StdRng};
+use rebooting_models::workload::mixed_workload;
+
+const MASTER_SEED: u64 = 2019;
+
+/// A pile of realistic routing hashes: canonical keys of a mixed
+/// workload, plus seeded synthetic keys to get into the thousands.
+fn routing_hashes(count: usize) -> Vec<u64> {
+    let workload = mixed_workload(count.min(64), MASTER_SEED).unwrap();
+    let mut hashes: Vec<u64> = workload.iter().map(routing_hash).collect();
+    let mut stream = SeedStream::new(MASTER_SEED);
+    while hashes.len() < count {
+        hashes.push(stream.next_seed());
+    }
+    hashes
+}
+
+#[test]
+fn adding_a_shard_moves_at_most_its_fair_share() {
+    let keys = routing_hashes(4_000);
+    for n in [2u32, 4, 8] {
+        let mut ring = HashRing::new();
+        for s in 0..n {
+            ring.add_shard(s);
+        }
+        let before: Vec<Option<u32>> = keys.iter().map(|&k| ring.route(k)).collect();
+        ring.add_shard(n);
+        let after: Vec<Option<u32>> = keys.iter().map(|&k| ring.route(k)).collect();
+        let moved = before.iter().zip(&after).filter(|(b, a)| b != a).count();
+        // Every moved key must have moved *onto* the new shard — a key
+        // changing hands between two old shards is a stability bug.
+        for (b, a) in before.iter().zip(&after) {
+            if b != a {
+                assert_eq!(*a, Some(n), "key moved between two old shards");
+            }
+        }
+        // Expected movement is K/(N+1); allow 2x slack for hash variance.
+        let fair = keys.len() / (n as usize + 1);
+        assert!(
+            moved <= fair * 2,
+            "{moved} of {} keys moved adding shard {n} to {n} shards (fair share {fair})",
+            keys.len()
+        );
+        assert!(moved > 0, "the new shard must take ownership of something");
+    }
+}
+
+#[test]
+fn removing_a_shard_moves_only_its_own_keys() {
+    let keys = routing_hashes(4_000);
+    let mut ring = HashRing::new();
+    for s in 0..5u32 {
+        ring.add_shard(s);
+    }
+    let before: Vec<Option<u32>> = keys.iter().map(|&k| ring.route(k)).collect();
+    ring.remove_shard(2);
+    let after: Vec<Option<u32>> = keys.iter().map(|&k| ring.route(k)).collect();
+    for (&key, (b, a)) in keys.iter().zip(before.iter().zip(&after)) {
+        if *b == Some(2) {
+            assert_ne!(*a, Some(2), "key {key:#x} still routes to a removed shard");
+        } else {
+            assert_eq!(a, b, "key {key:#x} moved although its shard survived");
+        }
+    }
+}
+
+#[test]
+fn syntactic_variants_of_one_kernel_land_on_one_shard() {
+    // Each group is one canonical kernel spelled several ways; the
+    // admission hash folds them together and the ring must keep them
+    // together, on any membership.
+    let groups: Vec<Vec<Kernel>> = vec![
+        vec![
+            Kernel::Search {
+                n_qubits: 4,
+                marked: vec![3, 1, 3],
+            },
+            Kernel::Search {
+                n_qubits: 4,
+                marked: vec![1, 3],
+            },
+            Kernel::Search {
+                n_qubits: 4,
+                marked: vec![3, 1],
+            },
+        ],
+        vec![
+            Kernel::Compare { x: -0.0, y: 0.25 },
+            Kernel::Compare { x: 0.0, y: 0.25 },
+        ],
+        vec![Kernel::Factor { n: 77 }, Kernel::Factor { n: 77 }],
+    ];
+    for n in [1u32, 2, 3, 8] {
+        let mut ring = HashRing::new();
+        for s in 0..n {
+            ring.add_shard(s);
+        }
+        for group in &groups {
+            let shards: Vec<Option<u32>> =
+                group.iter().map(|k| ring.route(routing_hash(k))).collect();
+            assert!(
+                shards.windows(2).all(|w| w[0] == w[1]),
+                "variants split across shards at n={n}: {shards:?}"
+            );
+            assert!(shards[0].is_some());
+        }
+    }
+}
+
+#[test]
+fn filtered_routing_walks_past_dead_shards_consistently() {
+    let keys = routing_hashes(2_000);
+    let mut ring = HashRing::new();
+    for s in 0..4u32 {
+        ring.add_shard(s);
+    }
+    let dead = 1u32;
+    for &key in &keys {
+        let filtered = ring.route_filtered(key, |s| s != dead);
+        assert_ne!(filtered, Some(dead), "filter must exclude the dead shard");
+        // A key that was not on the dead shard keeps its owner; one that
+        // was re-homes exactly where a ring without the shard would put it.
+        let owner = ring.route(key);
+        if owner != Some(dead) {
+            assert_eq!(filtered, owner);
+        } else {
+            let mut shrunk = HashRing::new();
+            for s in (0..4u32).filter(|&s| s != dead) {
+                shrunk.add_shard(s);
+            }
+            assert_eq!(filtered, shrunk.route(key));
+        }
+    }
+}
+
+#[test]
+fn ring_distribution_is_roughly_balanced() {
+    // Not a strict property of consistent hashing, but a regression
+    // guard on the point-hash mixing: with 64 virtual points per shard
+    // no shard should own a wildly outsized share.
+    let keys = routing_hashes(8_000);
+    let mut ring = HashRing::new();
+    for s in 0..4u32 {
+        ring.add_shard(s);
+    }
+    let mut counts = [0usize; 4];
+    for &key in &keys {
+        let s = ring.route(key).unwrap();
+        counts[s as usize] += 1;
+    }
+    let fair = keys.len() / 4;
+    for (s, &c) in counts.iter().enumerate() {
+        assert!(
+            c > fair / 3 && c < fair * 3,
+            "shard {s} owns {c} of {} keys (fair {fair}): {counts:?}",
+            keys.len()
+        );
+    }
+}
+
+#[test]
+fn routing_is_a_pure_function_of_the_key() {
+    // Same ring, same key, same answer — across construction orders. The
+    // ring sorts its points, so insertion order must not matter.
+    let keys = routing_hashes(512);
+    let mut forward = HashRing::new();
+    for s in 0..6u32 {
+        forward.add_shard(s);
+    }
+    let mut backward = HashRing::new();
+    for s in (0..6u32).rev() {
+        backward.add_shard(s);
+    }
+    let mut rng = StdRng::seed_from_u64(MASTER_SEED);
+    for _ in 0..keys.len() {
+        let key = keys[rng.gen_range(0..keys.len())];
+        assert_eq!(forward.route(key), backward.route(key));
+    }
+}

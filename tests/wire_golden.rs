@@ -1,7 +1,7 @@
 //! Golden-vector regression tests for the wire codecs.
 //!
 //! Every request and response tag has its byte encoding frozen here, at
-//! every protocol version whose layout differs (v1–v4). If any of
+//! every protocol version whose layout differs (v1–v5). If any of
 //! these assertions fails, the change is a wire-format break: deployed
 //! peers will misparse frames. Either revert the layout change or bump
 //! [`PROTOCOL_VERSION`] and add *new* vectors while keeping the old
@@ -19,7 +19,7 @@ use runtime::stats::{BackendThroughput, LatencyHistogram, LATENCY_BUCKETS};
 use runtime::RuntimeStats;
 use wire::{
     decode_request_v, decode_response_v, encode_request_v, encode_response_v, write_frame,
-    ErrorCode, Request, Response, WireOutcome, PROTOCOL_VERSION,
+    ErrorCode, GossipEntry, Request, Response, WireOutcome, PROTOCOL_VERSION,
 };
 
 fn hex(bytes: &[u8]) -> String {
@@ -68,6 +68,32 @@ fn sample_requests() -> Vec<(&'static str, Request)> {
         ),
         ("cancel", Request::Cancel { request_id: 9 }),
         ("get_stats", Request::GetStats { request_id: 10 }),
+        (
+            "gossip",
+            Request::Gossip {
+                request_id: 11,
+                origin: 2,
+                entries: sample_gossip_entries(),
+            },
+        ),
+    ]
+}
+
+/// Fixed shard-health entries shared by the gossip request/ack samples.
+fn sample_gossip_entries() -> Vec<GossipEntry> {
+    vec![
+        GossipEntry {
+            shard: 0,
+            status: 0,
+            failures: 0,
+            epoch: 3,
+        },
+        GossipEntry {
+            shard: 1,
+            status: 2,
+            failures: 4,
+            epoch: 9,
+        },
     ]
 }
 
@@ -174,17 +200,29 @@ fn sample_responses() -> Vec<(&'static str, Response)> {
                 message: "bad frame".into(),
             },
         ),
+        (
+            "gossip_ack",
+            Response::GossipAck {
+                request_id: 11,
+                entries: sample_gossip_entries(),
+            },
+        ),
     ]
 }
 
 /// Versions whose payload layouts differ. v1 has no Submit policy byte
 /// and no stats prediction triple; v2 adds both; v3 adds fault counters;
-/// v4 adds the global admission counters.
-const VERSIONS: [u16; 4] = [1, 2, 3, 4];
+/// v4 adds the global admission counters; v5 adds the gossip frames.
+const VERSIONS: [u16; 5] = [1, 2, 3, 4, 5];
 
 /// Requests that cannot encode at a given version (by design).
 fn request_encodable(name: &str, version: u16) -> bool {
-    !(name == "submit_policy" && version < 2)
+    !(name == "submit_policy" && version < 2 || name == "gossip" && version < 5)
+}
+
+/// Responses that cannot encode at a given version (by design).
+fn response_encodable(name: &str, version: u16) -> bool {
+    !(name == "gossip_ack" && version < 5)
 }
 
 // ---------------------------------------------------------------------
@@ -196,91 +234,80 @@ const REQUEST_GOLDENS: &[(&str, u16, &str)] = &[
     ("hello", 2, "0100010003"),
     ("hello", 3, "0100010003"),
     ("hello", 4, "0100010003"),
+    ("hello", 5, "0100010003"),
     ("ping", 1, "0200000000deadbeef"),
     ("ping", 2, "0200000000deadbeef"),
     ("ping", 3, "0200000000deadbeef"),
     ("ping", 4, "0200000000deadbeef"),
-    (
-        "submit_plain",
-        1,
-        "0300000000000000070100000000000000fa01000000000000002a00000000000000004d",
-    ),
-    (
-        "submit_plain",
-        2,
-        "0300000000000000070100000000000000fa01000000000000002a0000000000000000004d",
-    ),
-    (
-        "submit_plain",
-        3,
-        "0300000000000000070100000000000000fa01000000000000002a0000000000000000004d",
-    ),
-    (
-        "submit_plain",
-        4,
-        "0300000000000000070100000000000000fa01000000000000002a0000000000000000004d",
-    ),
-    (
-        "submit_policy",
-        2,
-        "030000000000000008000003043fd00000000000003fe8000000000000",
-    ),
-    (
-        "submit_policy",
-        3,
-        "030000000000000008000003043fd00000000000003fe8000000000000",
-    ),
-    (
-        "submit_policy",
-        4,
-        "030000000000000008000003043fd00000000000003fe8000000000000",
-    ),
+    ("ping", 5, "0200000000deadbeef"),
+    ("submit_plain", 1, "0300000000000000070100000000000000fa01000000000000002a00000000000000004d"),
+    ("submit_plain", 2, "0300000000000000070100000000000000fa01000000000000002a0000000000000000004d"),
+    ("submit_plain", 3, "0300000000000000070100000000000000fa01000000000000002a0000000000000000004d"),
+    ("submit_plain", 4, "0300000000000000070100000000000000fa01000000000000002a0000000000000000004d"),
+    ("submit_plain", 5, "0300000000000000070100000000000000fa01000000000000002a0000000000000000004d"),
+    ("submit_policy", 2, "030000000000000008000003043fd00000000000003fe8000000000000"),
+    ("submit_policy", 3, "030000000000000008000003043fd00000000000003fe8000000000000"),
+    ("submit_policy", 4, "030000000000000008000003043fd00000000000003fe8000000000000"),
+    ("submit_policy", 5, "030000000000000008000003043fd00000000000003fe8000000000000"),
     ("cancel", 1, "040000000000000009"),
     ("cancel", 2, "040000000000000009"),
     ("cancel", 3, "040000000000000009"),
     ("cancel", 4, "040000000000000009"),
+    ("cancel", 5, "040000000000000009"),
     ("get_stats", 1, "05000000000000000a"),
     ("get_stats", 2, "05000000000000000a"),
     ("get_stats", 3, "05000000000000000a"),
     ("get_stats", 4, "05000000000000000a"),
+    ("get_stats", 5, "05000000000000000a"),
+    ("gossip", 5, "06000000000000000b00000000000000020000000200000000000000000000000000000000030000000102000000040000000000000009"),
 ];
 const RESPONSE_GOLDENS: &[(&str, u16, &str)] = &[
     ("hello_ack", 1, "810003"),
     ("hello_ack", 2, "810003"),
     ("hello_ack", 3, "810003"),
     ("hello_ack", 4, "810003"),
+    ("hello_ack", 5, "810003"),
     ("pong", 1, "8200000000deadbeef"),
     ("pong", 2, "8200000000deadbeef"),
     ("pong", 3, "8200000000deadbeef"),
     ("pong", 4, "8200000000deadbeef"),
+    ("pong", 5, "8200000000deadbeef"),
     ("job_result_completed", 1, "83000000000000000700000000077175616e74756d000000000000000007000000000000000b3ec0c6f7a0b5ed8d000000000000004000000000000004d2"),
     ("job_result_completed", 2, "83000000000000000700000000077175616e74756d000000000000000007000000000000000b3ec0c6f7a0b5ed8d000000000000004000000000000004d2"),
     ("job_result_completed", 3, "83000000000000000700000000077175616e74756d000000000000000007000000000000000b3ec0c6f7a0b5ed8d000000000000004000000000000004d2"),
     ("job_result_completed", 4, "83000000000000000700000000077175616e74756d000000000000000007000000000000000b3ec0c6f7a0b5ed8d000000000000004000000000000004d2"),
+    ("job_result_completed", 5, "83000000000000000700000000077175616e74756d000000000000000007000000000000000b3ec0c6f7a0b5ed8d000000000000004000000000000004d2"),
     ("job_result_failed", 1, "83000000000000000801000000286261636b656e6420607175616e74756d60207065726d616e656e7420646576696365206661756c74"),
     ("job_result_failed", 2, "83000000000000000801000000286261636b656e6420607175616e74756d60207065726d616e656e7420646576696365206661756c74"),
     ("job_result_failed", 3, "83000000000000000801000000286261636b656e6420607175616e74756d60207065726d616e656e7420646576696365206661756c74"),
     ("job_result_failed", 4, "83000000000000000801000000286261636b656e6420607175616e74756d60207065726d616e656e7420646576696365206661756c74"),
+    ("job_result_failed", 5, "83000000000000000801000000286261636b656e6420607175616e74756d60207065726d616e656e7420646576696365206661756c74"),
     ("job_result_timed_out", 1, "83000000000000000902"),
     ("job_result_timed_out", 2, "83000000000000000902"),
     ("job_result_timed_out", 3, "83000000000000000902"),
     ("job_result_timed_out", 4, "83000000000000000902"),
+    ("job_result_timed_out", 5, "83000000000000000902"),
     ("job_result_cancelled", 1, "83000000000000000a03"),
     ("job_result_cancelled", 2, "83000000000000000a03"),
     ("job_result_cancelled", 3, "83000000000000000a03"),
     ("job_result_cancelled", 4, "83000000000000000a03"),
+    ("job_result_cancelled", 5, "83000000000000000a03"),
     ("cancel_result", 1, "84000000000000000901"),
     ("cancel_result", 2, "84000000000000000901"),
     ("cancel_result", 3, "84000000000000000901"),
     ("cancel_result", 4, "84000000000000000901"),
+    ("cancel_result", 5, "84000000000000000901"),
     ("stats", 1, "85000000000000000a000000000000000600000000000000040000000000000001000000000000000000000000000000000000000000000001000000000000000000000000000000020000000000000003000000010000000363707500000000000000043fe000000000000000000000000000803fd00000000000000000000800000000000000020000000000000000000000000000000000000000000000010000000000000000000000000000000000000000000000000000000000000000"),
     ("stats", 2, "85000000000000000a000000000000000600000000000000040000000000000001000000000000000000000000000000000000000000000001000000000000000000000000000000020000000000000003000000010000000363707500000000000000043fe000000000000000000000000000803fd00000000000003fd999999999999a3ff40000000000003fc00000000000000000000800000000000000020000000000000000000000000000000000000000000000010000000000000000000000000000000000000000000000000000000000000000"),
     ("stats", 3, "85000000000000000a00000000000000060000000000000004000000000000000100000000000000000000000000000000000000000000000100000000000000000000000000000002000000000000000300000000000000050000000000000003000000000000000200000000000000010000000000000004000000010000000363707500000000000000043fe000000000000000000000000000803fd00000000000003fd999999999999a3ff40000000000003fc000000000000000000000000000050000000800000000000000020000000000000000000000000000000000000000000000010000000000000000000000000000000000000000000000000000000000000000"),
     ("stats", 4, "85000000000000000a000000000000000600000000000000040000000000000001000000000000000000000000000000000000000000000001000000000000000000000000000000020000000000000003000000000000000500000000000000030000000000000002000000000000000100000000000000040000000000000009000000000000000b0000000000000002000000000000000600000000000000050000000000000003000000010000000363707500000000000000043fe000000000000000000000000000803fd00000000000003fd999999999999a3ff40000000000003fc000000000000000000000000000050000000800000000000000020000000000000000000000000000000000000000000000010000000000000000000000000000000000000000000000000000000000000000"),
+    ("stats", 5, "85000000000000000a000000000000000600000000000000040000000000000001000000000000000000000000000000000000000000000001000000000000000000000000000000020000000000000003000000000000000500000000000000030000000000000002000000000000000100000000000000040000000000000009000000000000000b0000000000000002000000000000000600000000000000050000000000000003000000010000000363707500000000000000043fe000000000000000000000000000803fd00000000000003fd999999999999a3ff40000000000003fc000000000000000000000000000050000000800000000000000020000000000000000000000000000000000000000000000010000000000000000000000000000000000000000000000000000000000000000"),
     ("error", 1, "8600000000000000000200000009626164206672616d65"),
     ("error", 2, "8600000000000000000200000009626164206672616d65"),
     ("error", 3, "8600000000000000000200000009626164206672616d65"),
     ("error", 4, "8600000000000000000200000009626164206672616d65"),
+    ("error", 5, "8600000000000000000200000009626164206672616d65"),
+    ("gossip_ack", 5, "87000000000000000b0000000200000000000000000000000000000000030000000102000000040000000000000009"),
 ];
 const FRAMED_PING_GOLDEN: &str = "5242434d000000090200000000deadbeef";
 
@@ -314,6 +341,9 @@ fn request_encodings_match_goldens() {
 fn response_encodings_match_goldens() {
     for (name, response) in sample_responses() {
         for version in VERSIONS {
+            if !response_encodable(name, version) {
+                continue;
+            }
             let bytes = encode_response_v(&response, version)
                 .unwrap_or_else(|e| panic!("{name} v{version}: {e}"));
             assert_eq!(
@@ -428,6 +458,9 @@ fn regenerate() {
     println!("const RESPONSE_GOLDENS: &[(&str, u16, &str)] = &[");
     for (name, response) in sample_responses() {
         for version in VERSIONS {
+            if !response_encodable(name, version) {
+                continue;
+            }
             let bytes = encode_response_v(&response, version).unwrap();
             println!("    (\"{name}\", {version}, \"{}\"),", hex(&bytes));
         }
