@@ -21,6 +21,7 @@
 //! # Ok::<(), accel::AccelError>(())
 //! ```
 
+use crate::family::{registry, BackendProfile};
 use crate::kernel::{CostEstimate, CostReport, Kernel, KernelExecution, KernelResult};
 use crate::AccelError;
 use mem::dpll::Dpll;
@@ -96,6 +97,15 @@ impl CpuBackend {
         }
     }
 
+    /// The cost-relevant parameters of this backend, for registry-served
+    /// families.
+    fn profile(&self) -> BackendProfile {
+        BackendProfile::Cpu {
+            seconds_per_op: self.seconds_per_op,
+            watts: self.watts,
+        }
+    }
+
     /// Predicted abstract operation count for `kernel` — the calibrated
     /// asymptotics of the classical algorithms in [`CpuBackend::execute`].
     fn predicted_ops(&self, kernel: &Kernel) -> f64 {
@@ -121,6 +131,9 @@ impl CpuBackend {
             }
             // Subtract, abs, compare.
             Kernel::Compare { .. } => 3.0,
+            // Registry families are estimated through their family entry
+            // (see `estimate` below), never through this table.
+            Kernel::Family(_) => 0.0,
         }
     }
 
@@ -145,6 +158,15 @@ impl Accelerator for CpuBackend {
     }
 
     fn estimate(&self, kernel: &Kernel) -> Option<CostEstimate> {
+        // Registry-served families carry their own per-profile cost model;
+        // legacy families return None here and fall through to the native
+        // asymptotics table (byte-identical to the pre-registry planner).
+        if let Some(estimate) = registry()
+            .family_of(kernel)
+            .estimate(kernel, &self.profile())
+        {
+            return Some(estimate);
+        }
         let seconds = self.predicted_ops(kernel) * self.seconds_per_op;
         Some(CostEstimate {
             device_seconds: seconds,
@@ -220,6 +242,11 @@ impl Accelerator for CpuBackend {
             Kernel::Compare { x, y } => {
                 let _ = self.seed;
                 Ok(self.report(KernelResult::Distance((x - y).abs()), 3))
+            }
+            Kernel::Family(_) => {
+                registry()
+                    .family_of(kernel)
+                    .execute(kernel, &self.profile(), self.seed)
             }
         }
     }

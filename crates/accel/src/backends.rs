@@ -27,6 +27,7 @@
 //! ```
 
 use crate::accelerator::Accelerator;
+use crate::family::{registry, BackendProfile};
 use crate::kernel::{CostEstimate, CostReport, Kernel, KernelExecution, KernelResult};
 use crate::AccelError;
 use mem::dmm::{DmmParams, DmmSolver};
@@ -271,6 +272,15 @@ impl OscillatorBackend {
             window_seconds,
         })
     }
+
+    /// The cost-relevant parameters of this backend, for registry-served
+    /// families.
+    fn profile(&self) -> BackendProfile {
+        BackendProfile::Oscillator {
+            window_seconds: self.window_seconds,
+            block_watts: OSC_BLOCK_WATTS,
+        }
+    }
 }
 
 impl Accelerator for OscillatorBackend {
@@ -280,17 +290,23 @@ impl Accelerator for OscillatorBackend {
 
     fn supports(&self, kernel: &Kernel) -> bool {
         matches!(kernel, Kernel::Compare { .. })
+            || registry()
+                .family_of(kernel)
+                .supports(kernel, &self.profile())
     }
 
     fn estimate(&self, kernel: &Kernel) -> Option<CostEstimate> {
         // Exactly one readout window per comparison — the one cost this
         // backend ever reports — at the paper's FAST block power.
+        // Registry-served families bring their own per-profile cost model.
         match kernel {
             Kernel::Compare { .. } => Some(CostEstimate {
                 device_seconds: self.window_seconds,
                 energy_joules: self.window_seconds * OSC_BLOCK_WATTS,
             }),
-            _ => None,
+            _ => registry()
+                .family_of(kernel)
+                .estimate(kernel, &self.profile()),
         }
     }
 
@@ -305,6 +321,10 @@ impl Accelerator for OscillatorBackend {
                     operations: 1,
                 },
             }),
+            // The oscillator substrate is deterministic — no seed state.
+            Kernel::Family(_) => registry()
+                .family_of(kernel)
+                .execute(kernel, &self.profile(), 0),
             other => Err(AccelError::Unsupported {
                 backend: OSC_NAME.into(),
                 kernel: other.describe(),
@@ -329,6 +349,15 @@ impl MemBackend {
             solver: DmmSolver::new(DmmParams::default()),
         }
     }
+
+    /// The cost-relevant parameters of this backend, for registry-served
+    /// families.
+    fn profile(&self) -> BackendProfile {
+        BackendProfile::Mem {
+            dt: self.solver.params().dt,
+            cell_watts: MEM_CELL_WATTS,
+        }
+    }
 }
 
 impl Accelerator for MemBackend {
@@ -342,6 +371,9 @@ impl Accelerator for MemBackend {
 
     fn supports(&self, kernel: &Kernel) -> bool {
         matches!(kernel, Kernel::SolveSat { .. })
+            || registry()
+                .family_of(kernel)
+                .supports(kernel, &self.profile())
     }
 
     fn estimate(&self, kernel: &Kernel) -> Option<CostEstimate> {
@@ -357,7 +389,10 @@ impl Accelerator for MemBackend {
                     energy_joules: seconds * MEM_CELL_WATTS,
                 })
             }
-            _ => None,
+            // Registry-served families bring their own per-profile model.
+            _ => registry()
+                .family_of(kernel)
+                .estimate(kernel, &self.profile()),
         }
     }
 
@@ -380,6 +415,12 @@ impl Accelerator for MemBackend {
                         operations: outcome.steps,
                     },
                 })
+            }
+            Kernel::Family(_) => {
+                let seed = self.seeds.next_seed();
+                registry()
+                    .family_of(kernel)
+                    .execute(kernel, &self.profile(), seed)
             }
             other => Err(AccelError::Unsupported {
                 backend: MEM_NAME.into(),

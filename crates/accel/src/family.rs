@@ -1,0 +1,2187 @@
+//! Kernel families: the open registry behind [`Kernel`].
+//!
+//! The paper's premise is a heterogeneous future — new compute substrates
+//! and workloads keep arriving, and the host must absorb them without
+//! being rebuilt. Historically `Kernel` was a closed enum, so every tier
+//! (validation, canonicalization, cost model, planner, wire codec,
+//! routing, lint) pattern-matched on it and a new workload meant editing
+//! seven crates by hand. This module replaces those matches with a
+//! registry of [`KernelFamily`] entries: one trait object per workload
+//! family owning its
+//!
+//! * **stable wire tag** (see [`FAMILY_TAGS`]; append-only, frozen by
+//!   rebootlint's family-tag registry),
+//! * **validation** ([`KernelFamily::validate`]),
+//! * **canonical form + two-level canonical key**
+//!   ([`KernelFamily::canonicalize`], [`KernelFamily::canonical_key`] —
+//!   the exact byte streams formerly hashed in `admission::canonical`),
+//! * **cost model per backend class** ([`KernelFamily::estimate`] against
+//!   a [`BackendProfile`]),
+//! * **execution** on the backend classes it supports, and
+//! * **wire body codec** for the protocol-v6 generic family frame
+//!   ([`KernelFamily::encode_body`] / [`KernelFamily::decode_body`] and
+//!   the result-side pair).
+//!
+//! The five legacy families (factor, search, DNA similarity, SAT, analog
+//! compare) are registry entries whose canonical keys and wire frames are
+//! **byte-identical** to the pre-registry enum code — `tests/family_registry.rs`
+//! pins every observable against goldens captured before the refactor.
+//! They keep their native v1 wire tags; only *new* families (coloring,
+//! QUBO) travel in the generic family frame, which is why old peers keep
+//! decoding old traffic unchanged.
+//!
+//! # The two new families
+//!
+//! * **Phase-dynamics vertex coloring** ([`ColoringSpec`], tag 6) — a
+//!   graph is loaded onto the coupled-oscillator array
+//!   (`osc::coloring::color_graph`); anti-phase dynamics push adjacent
+//!   vertices apart and the phase clusters read out as color classes
+//!   (Bonnin et al., *Coupled oscillator networks for von Neumann and
+//!   non von Neumann computing*). Deterministic — no RNG anywhere in the
+//!   oscillator path.
+//! * **Ising/QUBO energy minimization** ([`QuboSpec`], tag 7) — minimize
+//!   `x^T Q x + c^T x` over binary `x` on the digital-memcomputing
+//!   machine (`mem::qubo::Qubo::minimize_dmm`), with a seeded
+//!   greedy-descent CPU fallback.
+//!
+//! # Adding a family
+//!
+//! Implement [`KernelFamily`] for a unit struct, add a `Kernel::Family`
+//! spec variant, append a `(tag, name)` row to [`FAMILY_TAGS`], register
+//! the entry in [`FamilyRegistry::family_of`] and the `REGISTRY` entry
+//! list, then bless the tag with `cargo run -p lint -- --bless-families`.
+//! No other crate needs a new match: admission, the planner, the wire
+//! codec, the router, and the server all go through the registry.
+
+use crate::kernel::{
+    CostEstimate, CostReport, InvalidKernel, Kernel, KernelClass, KernelExecution, KernelResult,
+};
+use crate::AccelError;
+use mem::cnf::{Clause, Formula};
+use mem::maxsat::MaxSatDmmParams;
+use mem::qubo::Qubo;
+use numerics::rng::{rng_from_seed, Rng};
+use osc::coloring::{color_graph, ColoringConfig};
+use std::collections::BTreeMap;
+
+/// FNV-1a offset basis (the same constants the load generator uses for
+/// its outcome digests).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// Grid resolution for quantizing the analog compare operands inside the
+/// coarse key: operands are snapped to a `2^-20` lattice, far finer than
+/// the oscillator substrate's own noise floor.
+const COMPARE_QUANTUM: f64 = (1u64 << 20) as f64;
+
+/// Grid resolution for quantizing QUBO coefficients inside the coarse
+/// key: a `2^-12` lattice buckets near-identical objective surfaces while
+/// the exact half still separates them before any bytes are served.
+const QUBO_QUANTUM: f64 = (1u64 << 12) as f64;
+
+/// Serving cap on coloring vertices (the oscillator array size the cost
+/// model is calibrated for; also the wire decoder's allocation bound).
+pub const MAX_COLORING_VERTICES: usize = 1024;
+/// Serving cap on coloring edges.
+pub const MAX_COLORING_EDGES: usize = 1 << 16;
+/// Serving cap on QUBO variables.
+pub const MAX_QUBO_VARS: usize = 1024;
+/// Serving cap on QUBO terms (each of the linear and quadratic lists).
+pub const MAX_QUBO_TERMS: usize = 1 << 16;
+
+/// Simulated integration window for one oscillator coloring run — the
+/// `osc::coloring::ColoringConfig` default duration, restated here so the
+/// a-priori estimate matches what execution will report.
+const COLORING_SIM_SECONDS: f64 = 4e-6;
+
+/// The append-only wire-tag table: one row per registered family,
+/// `(stable wire tag, family name)`.
+///
+/// Tags 1–5 are the legacy families (their canonical-key domain bytes,
+/// now doubling as registry tags); they keep their native v1 wire frames.
+/// Tags ≥ 6 are registry-born families served through the v6 generic
+/// family frame. Rows are append-only and duplicate-free — rebootlint's
+/// family-tag-freeze rule pins this table against
+/// `crates/lint/family_tags.registry` and fails the build on any
+/// mutation that is not a blessed append.
+pub const FAMILY_TAGS: &[(u16, &str)] = &[
+    (1, "factor"),
+    (2, "search"),
+    (3, "dna-similarity"),
+    (4, "solve-sat"),
+    (5, "compare"),
+    (6, "coloring"),
+    (7, "qubo"),
+];
+
+/// The two-level canonical identity of a kernel. See
+/// `admission::canonical` for why both halves must match before a cached
+/// result may be served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CanonicalKey {
+    /// Coarse identity: FNV-1a over the canonical form after stable
+    /// variable renumbering (SAT) and parameter quantization (compare,
+    /// QUBO).
+    pub key: u64,
+    /// Exact identity: FNV-1a over the canonical form verbatim,
+    /// including variable count and raw `f64` bit patterns.
+    pub exact: u64,
+}
+
+impl CanonicalKey {
+    /// A single `u64` mixing both halves, for placing the kernel on a
+    /// consistent-hash ring.
+    ///
+    /// Routers shard by this value so duplicate submissions of the same
+    /// canonical kernel land on the same shard — and therefore on the same
+    /// shard-local result cache. The coarse half alone would suffice for
+    /// correctness (both halves must still match inside the cache), but
+    /// folding in the exact half spreads α-equivalent-but-distinct kernels
+    /// across shards instead of piling a whole coarse bucket onto one.
+    #[must_use]
+    pub fn routing_hash(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.u64(self.key);
+        h.u64(self.exact);
+        h.finish()
+    }
+}
+
+/// Incremental FNV-1a over a structured byte stream.
+#[derive(Debug, Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(FNV_OFFSET)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 ^= u64::from(b);
+        self.0 = self.0.wrapping_mul(FNV_PRIME);
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.byte(b);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_be_bytes());
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// A registry-served workload: the spec payload of [`Kernel::Family`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FamilyKernel {
+    /// Phase-dynamics vertex coloring on the oscillator array.
+    Coloring(ColoringSpec),
+    /// Ising/QUBO energy minimization on the DMM.
+    Qubo(QuboSpec),
+}
+
+/// A vertex-coloring instance for the phase-dynamics family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColoringSpec {
+    /// Number of vertices (oscillators).
+    pub n_vertices: usize,
+    /// Number of color classes to cluster the phases into.
+    pub n_colors: usize,
+    /// Undirected edges as vertex-index pairs.
+    pub edges: Vec<(usize, usize)>,
+}
+
+/// A QUBO instance: minimize `Σ c_i·x_i + Σ q_ij·x_i·x_j` over binary x.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuboSpec {
+    /// Number of binary variables.
+    pub n_vars: usize,
+    /// Linear terms `(i, c_i)`.
+    pub linear: Vec<(usize, f64)>,
+    /// Quadratic terms `(i, j, q_ij)` with `i != j`.
+    pub quadratic: Vec<(usize, usize, f64)>,
+}
+
+/// The result payload of a registry-served family execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FamilyResult {
+    /// A coloring: one color index per vertex, plus the number of edges
+    /// whose endpoints ended up in the same phase cluster.
+    Coloring {
+        /// Color class per vertex.
+        colors: Vec<usize>,
+        /// Monochromatic (conflicting) edges.
+        conflicts: u64,
+    },
+    /// A QUBO assignment and its objective value.
+    Qubo {
+        /// The binary assignment.
+        bits: Vec<bool>,
+        /// The objective value at `bits`.
+        energy: f64,
+    },
+}
+
+/// The cost-relevant parameters of one backend *class*, handed to the
+/// registry so family entries can estimate and execute without depending
+/// on concrete backend types.
+///
+/// Legacy families return `None`/`false` for every profile — their
+/// backends keep their native execution arms (byte-identity with the
+/// pre-registry code). New families are served exclusively through these
+/// profiles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BackendProfile {
+    /// The classical reference core.
+    Cpu {
+        /// Seconds per abstract operation.
+        seconds_per_op: f64,
+        /// Modelled core power draw in watts.
+        watts: f64,
+    },
+    /// The coupled-oscillator array.
+    Oscillator {
+        /// Readout window time per measurement (seconds).
+        window_seconds: f64,
+        /// Per-block power at the paper's FAST figure (watts).
+        block_watts: f64,
+    },
+    /// The digital-memcomputing crossbar.
+    Mem {
+        /// Integration step in RC time units.
+        dt: f64,
+        /// Modelled crossbar power (watts).
+        cell_watts: f64,
+    },
+}
+
+impl BackendProfile {
+    /// The backend name this profile describes, for error reports.
+    #[must_use]
+    pub fn backend_name(&self) -> &'static str {
+        match self {
+            BackendProfile::Cpu { .. } => "cpu",
+            BackendProfile::Oscillator { .. } => "oscillator",
+            BackendProfile::Mem { .. } => "memcomputing",
+        }
+    }
+}
+
+/// Errors from the generic family frame's body codecs.
+///
+/// The wire crate maps these onto `WireError`; they exist separately so
+/// `accel` does not depend on `wire`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FamilyCodecError {
+    /// No registered family carries this wire tag.
+    UnknownTag {
+        /// The unrecognized tag.
+        tag: u16,
+    },
+    /// The family is framed natively (legacy v1 tags), not generically.
+    LegacyFraming {
+        /// Family name.
+        family: &'static str,
+    },
+    /// The body ended before a field was complete.
+    Truncated {
+        /// What was being decoded.
+        context: &'static str,
+    },
+    /// A count or size exceeds the family's serving cap.
+    TooLarge {
+        /// What was being decoded.
+        context: &'static str,
+        /// The declared size.
+        len: u64,
+        /// The cap.
+        max: u64,
+    },
+    /// A field value is structurally invalid.
+    Invalid {
+        /// What was being decoded.
+        context: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Bytes remained after a complete body was decoded.
+    TrailingBytes {
+        /// What was being decoded.
+        context: &'static str,
+        /// Leftover byte count.
+        remaining: usize,
+    },
+}
+
+impl std::fmt::Display for FamilyCodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FamilyCodecError::UnknownTag { tag } => {
+                write!(f, "unknown kernel family tag {tag}")
+            }
+            FamilyCodecError::LegacyFraming { family } => {
+                write!(
+                    f,
+                    "family `{family}` uses native v1 framing, not the generic family frame"
+                )
+            }
+            FamilyCodecError::Truncated { context } => {
+                write!(f, "family frame truncated while decoding {context}")
+            }
+            FamilyCodecError::TooLarge { context, len, max } => {
+                write!(f, "family frame {context} of {len} exceeds cap {max}")
+            }
+            FamilyCodecError::Invalid { context, detail } => {
+                write!(f, "invalid family frame {context}: {detail}")
+            }
+            FamilyCodecError::TrailingBytes { context, remaining } => {
+                write!(f, "{remaining} trailing bytes after family frame {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FamilyCodecError {}
+
+/// Big-endian body writer for the generic family frame.
+#[derive(Debug, Default)]
+pub struct BodyWriter {
+    buf: Vec<u8>,
+}
+
+impl BodyWriter {
+    /// Creates an empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        BodyWriter::default()
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a big-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends an `f64` as its big-endian bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Consumes the writer, yielding the body bytes.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Bounds-checked big-endian body reader for the generic family frame.
+/// Never panics and never allocates more than the declared body holds.
+#[derive(Debug)]
+pub struct BodyReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BodyReader<'a> {
+    /// Wraps a body slice.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        BodyReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], FamilyCodecError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(FamilyCodecError::Truncated { context })?;
+        let slice = self
+            .buf
+            .get(self.pos..end)
+            .ok_or(FamilyCodecError::Truncated { context })?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self, context: &'static str) -> Result<u8, FamilyCodecError> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    /// Reads a big-endian `u16`.
+    pub fn get_u16(&mut self, context: &'static str) -> Result<u16, FamilyCodecError> {
+        let b = self.take(2, context)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a big-endian `u32`.
+    pub fn get_u32(&mut self, context: &'static str) -> Result<u32, FamilyCodecError> {
+        let b = self.take(4, context)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a big-endian `u64`.
+    pub fn get_u64(&mut self, context: &'static str) -> Result<u64, FamilyCodecError> {
+        let b = self.take(8, context)?;
+        Ok(u64::from_be_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads an `f64` bit pattern.
+    pub fn get_f64(&mut self, context: &'static str) -> Result<f64, FamilyCodecError> {
+        Ok(f64::from_bits(self.get_u64(context)?))
+    }
+
+    /// Reads a `u32` element count, rejecting counts above `max` or counts
+    /// whose minimum encoding could not fit in the remaining bytes — the
+    /// allocation guard against hostile length claims.
+    pub fn get_count(
+        &mut self,
+        max: usize,
+        min_elem_bytes: usize,
+        context: &'static str,
+    ) -> Result<usize, FamilyCodecError> {
+        let count = self.get_u32(context)? as usize;
+        if count > max {
+            return Err(FamilyCodecError::TooLarge {
+                context,
+                len: count as u64,
+                max: max as u64,
+            });
+        }
+        if count.saturating_mul(min_elem_bytes) > self.remaining() {
+            return Err(FamilyCodecError::Truncated { context });
+        }
+        Ok(count)
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    /// Asserts the body was consumed exactly.
+    pub fn finish(&self, context: &'static str) -> Result<(), FamilyCodecError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(FamilyCodecError::TrailingBytes {
+                context,
+                remaining: self.remaining(),
+            })
+        }
+    }
+}
+
+/// One workload family: the open-world replacement for matching on
+/// [`Kernel`].
+///
+/// Every tier consults the entry for a kernel via
+/// [`FamilyRegistry::family_of`] instead of matching on the enum:
+/// `Kernel::{describe,validate,class}` delegate here, `admission`
+/// canonicalizes and keys through here (and `cluster::router`'s routing
+/// hash therefore flows through family canonicalization), backends
+/// estimate/execute registry families through [`BackendProfile`]s, the
+/// runtime's hedge gate asks [`KernelFamily::hedgeable`], and the wire
+/// crate's v6 generic frame calls the body codecs.
+pub trait KernelFamily: Send + Sync {
+    /// The stable wire tag (a [`FAMILY_TAGS`] row; append-only, linted).
+    fn tag(&self) -> u16;
+
+    /// The stable family name (the other half of the [`FAMILY_TAGS`] row).
+    fn name(&self) -> &'static str;
+
+    /// The coarse dispatch class every kernel of this family belongs to.
+    fn class(&self) -> KernelClass;
+
+    /// A short human-readable description (used in errors and reports).
+    fn describe(&self, kernel: &Kernel) -> String;
+
+    /// Validates the kernel's inputs, as done at submission time by the
+    /// serving layer.
+    ///
+    /// # Errors
+    ///
+    /// The specific [`InvalidKernel`] variant describing the first
+    /// violated constraint.
+    fn validate(&self, kernel: &Kernel) -> Result<(), InvalidKernel>;
+
+    /// Rewrites a kernel into the canonical form the runtime executes.
+    /// Never fails; returns the kernel unchanged when it is already
+    /// canonical (or when a rebuild would be rejected, which cannot
+    /// happen for validated input).
+    fn canonicalize(&self, kernel: &Kernel) -> Kernel;
+
+    /// Derives the two-level [`CanonicalKey`] of a kernel (which should
+    /// already be in canonical form).
+    fn canonical_key(&self, kernel: &Kernel) -> CanonicalKey;
+
+    /// Whether hedged (portfolio) dispatch may race this family across
+    /// backends. Default: no.
+    fn hedgeable(&self) -> bool {
+        false
+    }
+
+    /// Whether a backend with this profile can serve the family. Legacy
+    /// families return `false` — their backends keep native support arms.
+    fn supports(&self, kernel: &Kernel, profile: &BackendProfile) -> bool {
+        let _ = (kernel, profile);
+        false
+    }
+
+    /// A-priori cost of executing `kernel` on a backend with `profile`,
+    /// or `None` when the profile cannot serve the family. Must be a pure
+    /// function of `(kernel, profile)` so planning stays deterministic.
+    fn estimate(&self, kernel: &Kernel, profile: &BackendProfile) -> Option<CostEstimate> {
+        let _ = (kernel, profile);
+        None
+    }
+
+    /// Executes `kernel` on a backend with `profile`, deterministically
+    /// in `seed`.
+    ///
+    /// # Errors
+    ///
+    /// [`AccelError::Unsupported`] when the profile cannot serve the
+    /// family, or a wrapped solver failure.
+    fn execute(
+        &self,
+        kernel: &Kernel,
+        profile: &BackendProfile,
+        seed: u64,
+    ) -> Result<KernelExecution, AccelError> {
+        let _ = seed;
+        Err(AccelError::Unsupported {
+            backend: profile.backend_name().into(),
+            kernel: self.describe(kernel),
+        })
+    }
+
+    /// Encodes the kernel's spec as a generic family-frame body.
+    ///
+    /// # Errors
+    ///
+    /// [`FamilyCodecError::LegacyFraming`] for natively-framed families.
+    fn encode_body(&self, kernel: &Kernel, w: &mut BodyWriter) -> Result<(), FamilyCodecError> {
+        let _ = (kernel, w);
+        Err(FamilyCodecError::LegacyFraming {
+            family: self.name(),
+        })
+    }
+
+    /// Decodes a generic family-frame body back into a kernel.
+    ///
+    /// # Errors
+    ///
+    /// Any [`FamilyCodecError`] on malformed input; never panics.
+    fn decode_body(&self, r: &mut BodyReader<'_>) -> Result<Kernel, FamilyCodecError> {
+        let _ = r;
+        Err(FamilyCodecError::LegacyFraming {
+            family: self.name(),
+        })
+    }
+
+    /// Encodes a result of this family as a generic family-frame body.
+    ///
+    /// # Errors
+    ///
+    /// [`FamilyCodecError::LegacyFraming`] for natively-framed families.
+    fn encode_result(
+        &self,
+        result: &KernelResult,
+        w: &mut BodyWriter,
+    ) -> Result<(), FamilyCodecError> {
+        let _ = (result, w);
+        Err(FamilyCodecError::LegacyFraming {
+            family: self.name(),
+        })
+    }
+
+    /// Decodes a generic family-frame result body.
+    ///
+    /// # Errors
+    ///
+    /// Any [`FamilyCodecError`] on malformed input; never panics.
+    fn decode_result(&self, r: &mut BodyReader<'_>) -> Result<KernelResult, FamilyCodecError> {
+        let _ = r;
+        Err(FamilyCodecError::LegacyFraming {
+            family: self.name(),
+        })
+    }
+}
+
+/// The registry of every known kernel family, in tag order.
+pub struct FamilyRegistry {
+    entries: &'static [&'static dyn KernelFamily],
+}
+
+static FACTOR_FAMILY: FactorFamily = FactorFamily;
+static SEARCH_FAMILY: SearchFamily = SearchFamily;
+static DNA_FAMILY: DnaFamily = DnaFamily;
+static SAT_FAMILY: SatFamily = SatFamily;
+static COMPARE_FAMILY: CompareFamily = CompareFamily;
+static COLORING_FAMILY: ColoringFamily = ColoringFamily;
+static QUBO_FAMILY: QuboFamily = QuboFamily;
+
+static REGISTRY: FamilyRegistry = FamilyRegistry {
+    entries: &[
+        &FACTOR_FAMILY,
+        &SEARCH_FAMILY,
+        &DNA_FAMILY,
+        &SAT_FAMILY,
+        &COMPARE_FAMILY,
+        &COLORING_FAMILY,
+        &QUBO_FAMILY,
+    ],
+};
+
+/// The process-wide family registry.
+#[must_use]
+pub fn registry() -> &'static FamilyRegistry {
+    &REGISTRY
+}
+
+impl FamilyRegistry {
+    /// All registered families, in tag order.
+    pub fn families(&self) -> impl Iterator<Item = &'static dyn KernelFamily> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Looks a family up by its stable wire tag.
+    #[must_use]
+    pub fn by_tag(&self, tag: u16) -> Option<&'static dyn KernelFamily> {
+        self.entries.iter().copied().find(|f| f.tag() == tag)
+    }
+
+    /// The family a kernel belongs to. Total: every [`Kernel`] variant
+    /// maps to exactly one registered entry (this match is the *single*
+    /// place in the workspace that pairs kernel variants with families).
+    #[must_use]
+    pub fn family_of(&self, kernel: &Kernel) -> &'static dyn KernelFamily {
+        match kernel {
+            Kernel::Factor { .. } => &FACTOR_FAMILY,
+            Kernel::Search { .. } => &SEARCH_FAMILY,
+            Kernel::DnaSimilarity { .. } => &DNA_FAMILY,
+            Kernel::SolveSat { .. } => &SAT_FAMILY,
+            Kernel::Compare { .. } => &COMPARE_FAMILY,
+            Kernel::Family(FamilyKernel::Coloring(_)) => &COLORING_FAMILY,
+            Kernel::Family(FamilyKernel::Qubo(_)) => &QUBO_FAMILY,
+        }
+    }
+
+    /// The family a registry result payload belongs to.
+    #[must_use]
+    pub fn family_of_result(&self, result: &FamilyResult) -> &'static dyn KernelFamily {
+        match result {
+            FamilyResult::Coloring { .. } => &COLORING_FAMILY,
+            FamilyResult::Qubo { .. } => &QUBO_FAMILY,
+        }
+    }
+}
+
+/// Encodes a `Kernel::Family` spec into `(wire tag, body bytes)` for the
+/// v6 generic family frame.
+///
+/// # Errors
+///
+/// [`FamilyCodecError::LegacyFraming`] for natively-framed kernels.
+pub fn encode_kernel_body(kernel: &Kernel) -> Result<(u16, Vec<u8>), FamilyCodecError> {
+    let family = registry().family_of(kernel);
+    let mut w = BodyWriter::new();
+    family.encode_body(kernel, &mut w)?;
+    Ok((family.tag(), w.into_bytes()))
+}
+
+/// Decodes a v6 generic family-frame body back into a kernel.
+///
+/// # Errors
+///
+/// [`FamilyCodecError::UnknownTag`] for unregistered tags, or any codec
+/// error on malformed bodies; never panics, never over-allocates.
+pub fn decode_kernel_body(tag: u16, body: &[u8]) -> Result<Kernel, FamilyCodecError> {
+    let family = registry()
+        .by_tag(tag)
+        .ok_or(FamilyCodecError::UnknownTag { tag })?;
+    let mut r = BodyReader::new(body);
+    let kernel = family.decode_body(&mut r)?;
+    r.finish("kernel body")?;
+    Ok(kernel)
+}
+
+/// Encodes a registry result into `(wire tag, body bytes)` for the v6
+/// generic family frame.
+///
+/// # Errors
+///
+/// Propagates the family codec's errors.
+pub fn encode_result_body(result: &FamilyResult) -> Result<(u16, Vec<u8>), FamilyCodecError> {
+    let family = registry().family_of_result(result);
+    let mut w = BodyWriter::new();
+    family.encode_result(&KernelResult::Family(result.clone()), &mut w)?;
+    Ok((family.tag(), w.into_bytes()))
+}
+
+/// Decodes a v6 generic family-frame result body.
+///
+/// # Errors
+///
+/// [`FamilyCodecError::UnknownTag`] for unregistered tags, or any codec
+/// error on malformed bodies; never panics, never over-allocates.
+pub fn decode_result_body(tag: u16, body: &[u8]) -> Result<KernelResult, FamilyCodecError> {
+    let family = registry()
+        .by_tag(tag)
+        .ok_or(FamilyCodecError::UnknownTag { tag })?;
+    let mut r = BodyReader::new(body);
+    let result = family.decode_result(&mut r)?;
+    r.finish("result body")?;
+    Ok(result)
+}
+
+// ---------------------------------------------------------------------------
+// Legacy families. Their describe/validate/class/canonicalize/canonical_key
+// logic is the pre-registry enum code moved verbatim — the byte streams and
+// strings are frozen by the goldens in tests/family_registry.rs. Backend
+// support and wire framing stay native, so every trait default applies.
+// ---------------------------------------------------------------------------
+
+/// Integer factoring (tag 1).
+#[derive(Debug)]
+struct FactorFamily;
+
+impl KernelFamily for FactorFamily {
+    fn tag(&self) -> u16 {
+        1
+    }
+
+    fn name(&self) -> &'static str {
+        "factor"
+    }
+
+    fn class(&self) -> KernelClass {
+        KernelClass::Quantum
+    }
+
+    fn describe(&self, kernel: &Kernel) -> String {
+        match kernel {
+            Kernel::Factor { n } => format!("factor({n})"),
+            _ => self.name().to_string(),
+        }
+    }
+
+    fn validate(&self, kernel: &Kernel) -> Result<(), InvalidKernel> {
+        if let Kernel::Factor { n } = kernel {
+            if *n < 4 {
+                return Err(InvalidKernel::FactorTooSmall { n: *n });
+            }
+        }
+        Ok(())
+    }
+
+    fn canonicalize(&self, kernel: &Kernel) -> Kernel {
+        kernel.clone()
+    }
+
+    fn canonical_key(&self, kernel: &Kernel) -> CanonicalKey {
+        let mut coarse = Fnv::new();
+        let mut exact = Fnv::new();
+        if let Kernel::Factor { n } = kernel {
+            for h in [&mut coarse, &mut exact] {
+                h.byte(1);
+                h.u64(*n);
+            }
+        }
+        CanonicalKey {
+            key: coarse.finish(),
+            exact: exact.finish(),
+        }
+    }
+}
+
+/// Unstructured (Grover) search (tag 2).
+#[derive(Debug)]
+struct SearchFamily;
+
+impl KernelFamily for SearchFamily {
+    fn tag(&self) -> u16 {
+        2
+    }
+
+    fn name(&self) -> &'static str {
+        "search"
+    }
+
+    fn class(&self) -> KernelClass {
+        KernelClass::Quantum
+    }
+
+    fn describe(&self, kernel: &Kernel) -> String {
+        match kernel {
+            Kernel::Search { n_qubits, marked } => {
+                format!("search(2^{n_qubits}, {} marked)", marked.len())
+            }
+            _ => self.name().to_string(),
+        }
+    }
+
+    fn validate(&self, kernel: &Kernel) -> Result<(), InvalidKernel> {
+        if let Kernel::Search { n_qubits, marked } = kernel {
+            if *n_qubits == 0 {
+                return Err(InvalidKernel::EmptySearchSpace);
+            }
+            // Past usize::BITS qubits every representable item fits.
+            if *n_qubits < usize::BITS as usize {
+                let space = 1usize << n_qubits;
+                if let Some(&item) = marked.iter().find(|&&m| m >= space) {
+                    return Err(InvalidKernel::MarkedOutOfRange {
+                        item,
+                        n_qubits: *n_qubits,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn canonicalize(&self, kernel: &Kernel) -> Kernel {
+        match kernel {
+            Kernel::Search { n_qubits, marked } => {
+                let mut marked = marked.clone();
+                marked.sort_unstable();
+                marked.dedup();
+                Kernel::Search {
+                    n_qubits: *n_qubits,
+                    marked,
+                }
+            }
+            _ => kernel.clone(),
+        }
+    }
+
+    fn canonical_key(&self, kernel: &Kernel) -> CanonicalKey {
+        let mut coarse = Fnv::new();
+        let mut exact = Fnv::new();
+        if let Kernel::Search { n_qubits, marked } = kernel {
+            for h in [&mut coarse, &mut exact] {
+                h.byte(2);
+                h.u64(*n_qubits as u64);
+                h.u64(marked.len() as u64);
+                for &m in marked {
+                    h.u64(m as u64);
+                }
+            }
+        }
+        CanonicalKey {
+            key: coarse.finish(),
+            exact: exact.finish(),
+        }
+    }
+}
+
+/// DNA sequence similarity (tag 3).
+#[derive(Debug)]
+struct DnaFamily;
+
+impl KernelFamily for DnaFamily {
+    fn tag(&self) -> u16 {
+        3
+    }
+
+    fn name(&self) -> &'static str {
+        "dna-similarity"
+    }
+
+    fn class(&self) -> KernelClass {
+        KernelClass::Quantum
+    }
+
+    fn describe(&self, kernel: &Kernel) -> String {
+        match kernel {
+            Kernel::DnaSimilarity { a, b, k } => {
+                format!("dna_similarity(|a|={}, |b|={}, k={k})", a.len(), b.len())
+            }
+            _ => self.name().to_string(),
+        }
+    }
+
+    fn validate(&self, kernel: &Kernel) -> Result<(), InvalidKernel> {
+        if let Kernel::DnaSimilarity { a, b, k } = kernel {
+            if *k == 0 {
+                return Err(InvalidKernel::ZeroKmer);
+            }
+            let shorter = a.len().min(b.len());
+            if *k > shorter {
+                return Err(InvalidKernel::KmerTooLong { k: *k, shorter });
+            }
+        }
+        Ok(())
+    }
+
+    fn canonicalize(&self, kernel: &Kernel) -> Kernel {
+        kernel.clone()
+    }
+
+    fn canonical_key(&self, kernel: &Kernel) -> CanonicalKey {
+        let mut coarse = Fnv::new();
+        let mut exact = Fnv::new();
+        if let Kernel::DnaSimilarity { a, b, k } = kernel {
+            for h in [&mut coarse, &mut exact] {
+                h.byte(3);
+                h.u64(a.len() as u64);
+                h.bytes(a.as_bytes());
+                h.u64(b.len() as u64);
+                h.bytes(b.as_bytes());
+                h.u64(*k as u64);
+            }
+        }
+        CanonicalKey {
+            key: coarse.finish(),
+            exact: exact.finish(),
+        }
+    }
+}
+
+/// SAT solving (tag 4). The only hedgeable family: portfolio dispatch
+/// races the DMM, WalkSAT, and DPLL paths.
+#[derive(Debug)]
+struct SatFamily;
+
+impl KernelFamily for SatFamily {
+    fn tag(&self) -> u16 {
+        4
+    }
+
+    fn name(&self) -> &'static str {
+        "solve-sat"
+    }
+
+    fn class(&self) -> KernelClass {
+        KernelClass::Optimization
+    }
+
+    fn hedgeable(&self) -> bool {
+        true
+    }
+
+    fn describe(&self, kernel: &Kernel) -> String {
+        match kernel {
+            Kernel::SolveSat { formula } => format!(
+                "solve_sat({} vars, {} clauses)",
+                formula.n_vars(),
+                formula.len()
+            ),
+            _ => self.name().to_string(),
+        }
+    }
+
+    fn validate(&self, kernel: &Kernel) -> Result<(), InvalidKernel> {
+        // Formula validity is enforced by construction in `mem::cnf`.
+        let _ = kernel;
+        Ok(())
+    }
+
+    fn canonicalize(&self, kernel: &Kernel) -> Kernel {
+        match kernel {
+            Kernel::SolveSat { formula } => canonical_formula(formula)
+                .map_or_else(|| kernel.clone(), |formula| Kernel::SolveSat { formula }),
+            _ => kernel.clone(),
+        }
+    }
+
+    fn canonical_key(&self, kernel: &Kernel) -> CanonicalKey {
+        let mut coarse = Fnv::new();
+        let mut exact = Fnv::new();
+        if let Kernel::SolveSat { formula } = kernel {
+            exact.byte(4);
+            exact.u64(formula.n_vars() as u64);
+            exact.u64(formula.len() as u64);
+            for clause in formula.clauses() {
+                exact.u64(clause.literals().len() as u64);
+                for lit in clause.literals() {
+                    exact.u64(lit.var() as u64);
+                    exact.byte(u8::from(lit.is_negated()));
+                }
+            }
+            // Coarse half: stable first-occurrence renumbering. Variables
+            // are relabeled densely in the order they first appear in the
+            // canonical clause stream, and the variable *count* is left
+            // out, so formulas that differ only by a variable permutation
+            // or by trailing unused variables share a bucket. The exact
+            // half above still separates them before any bytes are served.
+            let mut renumber: BTreeMap<usize, u64> = BTreeMap::new();
+            coarse.byte(4);
+            coarse.u64(formula.len() as u64);
+            for clause in formula.clauses() {
+                coarse.u64(clause.literals().len() as u64);
+                for lit in clause.literals() {
+                    let next = renumber.len() as u64;
+                    let dense = *renumber.entry(lit.var()).or_insert(next);
+                    coarse.u64(dense);
+                    coarse.byte(u8::from(lit.is_negated()));
+                }
+            }
+        }
+        CanonicalKey {
+            key: coarse.finish(),
+            exact: exact.finish(),
+        }
+    }
+}
+
+/// The canonical clause ordering: literals sorted within each clause,
+/// clauses sorted lexicographically, duplicates removed. `None` only if a
+/// rebuilt clause or formula fails validation, which cannot happen for a
+/// formula that was valid on the way in.
+fn canonical_formula(formula: &Formula) -> Option<Formula> {
+    let mut clauses = Vec::with_capacity(formula.len());
+    for clause in formula.clauses() {
+        let mut literals = clause.literals().to_vec();
+        literals.sort_unstable();
+        clauses.push(Clause::new(literals).ok()?);
+    }
+    clauses.sort_by(|a, b| a.literals().cmp(b.literals()));
+    clauses.dedup_by(|a, b| a.literals() == b.literals());
+    Formula::new(formula.n_vars(), clauses).ok()
+}
+
+/// Analog scalar comparison (tag 5).
+#[derive(Debug)]
+struct CompareFamily;
+
+impl KernelFamily for CompareFamily {
+    fn tag(&self) -> u16 {
+        5
+    }
+
+    fn name(&self) -> &'static str {
+        "compare"
+    }
+
+    fn class(&self) -> KernelClass {
+        KernelClass::Analog
+    }
+
+    fn describe(&self, kernel: &Kernel) -> String {
+        match kernel {
+            Kernel::Compare { x, y } => format!("compare({x:.3}, {y:.3})"),
+            _ => self.name().to_string(),
+        }
+    }
+
+    fn validate(&self, kernel: &Kernel) -> Result<(), InvalidKernel> {
+        if let Kernel::Compare { x, y } = kernel {
+            if !x.is_finite() || !y.is_finite() {
+                return Err(InvalidKernel::CompareNotFinite { x: *x, y: *y });
+            }
+            if !(0.0..=1.0).contains(x) || !(0.0..=1.0).contains(y) {
+                return Err(InvalidKernel::CompareOutOfRange { x: *x, y: *y });
+            }
+        }
+        Ok(())
+    }
+
+    fn canonicalize(&self, kernel: &Kernel) -> Kernel {
+        match kernel {
+            Kernel::Compare { x, y } => Kernel::Compare {
+                x: scrub_zero(*x),
+                y: scrub_zero(*y),
+            },
+            _ => kernel.clone(),
+        }
+    }
+
+    fn canonical_key(&self, kernel: &Kernel) -> CanonicalKey {
+        let mut coarse = Fnv::new();
+        let mut exact = Fnv::new();
+        if let Kernel::Compare { x, y } = kernel {
+            exact.byte(5);
+            exact.u64(x.to_bits());
+            exact.u64(y.to_bits());
+            coarse.byte(5);
+            coarse.u64(quantize(*x));
+            coarse.u64(quantize(*y));
+        }
+        CanonicalKey {
+            key: coarse.finish(),
+            exact: exact.finish(),
+        }
+    }
+}
+
+/// `-0.0` and `+0.0` compare equal but have different bit patterns; fold
+/// them together so the exact hash does not split them.
+fn scrub_zero(v: f64) -> f64 {
+    if v == 0.0 {
+        0.0
+    } else {
+        v
+    }
+}
+
+/// Snaps an analog operand to the coarse-key lattice.
+fn quantize(v: f64) -> u64 {
+    // Operands are validated into [0, 1], so the product fits comfortably
+    // in i64; the cast saturates rather than wrapping if it ever did not.
+    ((v * COMPARE_QUANTUM).round() as i64) as u64
+}
+
+/// Snaps a QUBO coefficient to the coarse-key lattice.
+fn quantize_coefficient(v: f64) -> u64 {
+    // Coefficients are validated finite; the cast saturates at the i64
+    // range rather than wrapping for extreme magnitudes.
+    ((v * QUBO_QUANTUM).round() as i64) as u64
+}
+
+// ---------------------------------------------------------------------------
+// Registry-born families: served exclusively through the registry — no
+// backend, admission, router, or server code matches on their variants.
+// ---------------------------------------------------------------------------
+
+/// Phase-dynamics vertex coloring (tag 6).
+#[derive(Debug)]
+struct ColoringFamily;
+
+impl ColoringFamily {
+    fn spec<'a>(&self, kernel: &'a Kernel) -> Option<&'a ColoringSpec> {
+        match kernel {
+            Kernel::Family(FamilyKernel::Coloring(spec)) => Some(spec),
+            _ => None,
+        }
+    }
+
+    /// Modelled device time: one anti-phase settling window on the
+    /// oscillator array plus one phase-readout window.
+    fn oscillator_seconds(window_seconds: f64) -> f64 {
+        COLORING_SIM_SECONDS + window_seconds
+    }
+
+    /// Deterministic greedy (Welsh–Powell order) fallback coloring:
+    /// vertices by descending degree (index-tiebroken), each taking the
+    /// lowest color unused among its already-colored neighbors, wrapping
+    /// to color 0 when the palette is exhausted.
+    fn greedy(spec: &ColoringSpec) -> (Vec<usize>, u64) {
+        let mut degree = vec![0usize; spec.n_vertices];
+        for &(a, b) in &spec.edges {
+            degree[a] += 1;
+            degree[b] += 1;
+        }
+        let mut order: Vec<usize> = (0..spec.n_vertices).collect();
+        order.sort_by_key(|&v| (std::cmp::Reverse(degree[v]), v));
+        let mut adjacency = vec![Vec::new(); spec.n_vertices];
+        for &(a, b) in &spec.edges {
+            adjacency[a].push(b);
+            adjacency[b].push(a);
+        }
+        let mut colors = vec![usize::MAX; spec.n_vertices];
+        for &v in &order {
+            let mut used = vec![false; spec.n_colors];
+            for &u in &adjacency[v] {
+                if colors[u] != usize::MAX {
+                    used[colors[u]] = true;
+                }
+            }
+            colors[v] = used.iter().position(|&taken| !taken).unwrap_or(0);
+        }
+        let conflicts = spec
+            .edges
+            .iter()
+            .filter(|&&(a, b)| colors[a] == colors[b])
+            .count() as u64;
+        (colors, conflicts)
+    }
+}
+
+impl KernelFamily for ColoringFamily {
+    fn tag(&self) -> u16 {
+        6
+    }
+
+    fn name(&self) -> &'static str {
+        "coloring"
+    }
+
+    fn class(&self) -> KernelClass {
+        KernelClass::Analog
+    }
+
+    fn describe(&self, kernel: &Kernel) -> String {
+        match self.spec(kernel) {
+            Some(spec) => format!(
+                "coloring({} vertices, {} edges, {} colors)",
+                spec.n_vertices,
+                spec.edges.len(),
+                spec.n_colors
+            ),
+            None => self.name().to_string(),
+        }
+    }
+
+    fn validate(&self, kernel: &Kernel) -> Result<(), InvalidKernel> {
+        let Some(spec) = self.spec(kernel) else {
+            return Ok(());
+        };
+        if spec.n_vertices > MAX_COLORING_VERTICES {
+            return Err(InvalidKernel::FamilyTooLarge {
+                family: self.name(),
+                field: "vertices",
+                len: spec.n_vertices,
+                max: MAX_COLORING_VERTICES,
+            });
+        }
+        if spec.edges.len() > MAX_COLORING_EDGES {
+            return Err(InvalidKernel::FamilyTooLarge {
+                family: self.name(),
+                field: "edges",
+                len: spec.edges.len(),
+                max: MAX_COLORING_EDGES,
+            });
+        }
+        if spec.n_vertices < 2 || spec.n_colors < 2 || spec.n_colors > spec.n_vertices {
+            return Err(InvalidKernel::ColoringDegenerate {
+                n_vertices: spec.n_vertices,
+                n_colors: spec.n_colors,
+            });
+        }
+        for &(a, b) in &spec.edges {
+            if a >= spec.n_vertices || b >= spec.n_vertices || a == b {
+                return Err(InvalidKernel::ColoringEdgeInvalid {
+                    a,
+                    b,
+                    n_vertices: spec.n_vertices,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn canonicalize(&self, kernel: &Kernel) -> Kernel {
+        let Some(spec) = self.spec(kernel) else {
+            return kernel.clone();
+        };
+        // Graph normal form: undirected edges as ordered pairs, sorted,
+        // deduplicated.
+        let mut edges: Vec<(usize, usize)> = spec
+            .edges
+            .iter()
+            .map(|&(a, b)| (a.min(b), a.max(b)))
+            .collect();
+        edges.sort_unstable();
+        edges.dedup();
+        Kernel::Family(FamilyKernel::Coloring(ColoringSpec {
+            n_vertices: spec.n_vertices,
+            n_colors: spec.n_colors,
+            edges,
+        }))
+    }
+
+    fn canonical_key(&self, kernel: &Kernel) -> CanonicalKey {
+        let mut coarse = Fnv::new();
+        let mut exact = Fnv::new();
+        if let Some(spec) = self.spec(kernel) {
+            for h in [&mut coarse, &mut exact] {
+                h.byte(6);
+                h.u64(spec.n_vertices as u64);
+                h.u64(spec.n_colors as u64);
+                h.u64(spec.edges.len() as u64);
+                for &(a, b) in &spec.edges {
+                    h.u64(a as u64);
+                    h.u64(b as u64);
+                }
+            }
+        }
+        CanonicalKey {
+            key: coarse.finish(),
+            exact: exact.finish(),
+        }
+    }
+
+    fn supports(&self, kernel: &Kernel, profile: &BackendProfile) -> bool {
+        self.spec(kernel).is_some()
+            && matches!(
+                profile,
+                BackendProfile::Oscillator { .. } | BackendProfile::Cpu { .. }
+            )
+    }
+
+    fn estimate(&self, kernel: &Kernel, profile: &BackendProfile) -> Option<CostEstimate> {
+        let spec = self.spec(kernel)?;
+        match profile {
+            BackendProfile::Oscillator {
+                window_seconds,
+                block_watts,
+            } => {
+                // One settling + readout window, with every vertex's
+                // oscillator block powered for the duration.
+                let seconds = Self::oscillator_seconds(*window_seconds);
+                Some(CostEstimate {
+                    device_seconds: seconds,
+                    energy_joules: seconds * block_watts * spec.n_vertices as f64,
+                })
+            }
+            BackendProfile::Cpu {
+                seconds_per_op,
+                watts,
+            } => {
+                // Greedy coloring touches each vertex and each edge a
+                // constant number of times.
+                let ops = (spec.n_vertices + 2 * spec.edges.len()) as f64;
+                let seconds = ops * seconds_per_op;
+                Some(CostEstimate {
+                    device_seconds: seconds,
+                    energy_joules: seconds * watts,
+                })
+            }
+            BackendProfile::Mem { .. } => None,
+        }
+    }
+
+    fn execute(
+        &self,
+        kernel: &Kernel,
+        profile: &BackendProfile,
+        seed: u64,
+    ) -> Result<KernelExecution, AccelError> {
+        // Both substrates are deterministic for this family; the seed is
+        // deliberately unused so replays are trivially byte-identical.
+        let _ = seed;
+        let Some(spec) = self.spec(kernel) else {
+            return Err(AccelError::Unsupported {
+                backend: profile.backend_name().into(),
+                kernel: self.describe(kernel),
+            });
+        };
+        match profile {
+            BackendProfile::Oscillator {
+                window_seconds,
+                block_watts: _,
+            } => {
+                let mut config = ColoringConfig::default();
+                config.n_colors = spec.n_colors;
+                let run = color_graph(spec.n_vertices, &spec.edges, &config)
+                    .map_err(|e| AccelError::backend(profile.backend_name(), e))?;
+                Ok(KernelExecution {
+                    result: KernelResult::Family(FamilyResult::Coloring {
+                        colors: run.colors,
+                        conflicts: run.conflicts as u64,
+                    }),
+                    cost: CostReport {
+                        device_seconds: Self::oscillator_seconds(*window_seconds),
+                        operations: (spec.n_vertices + spec.edges.len()) as u64,
+                    },
+                })
+            }
+            BackendProfile::Cpu { seconds_per_op, .. } => {
+                let (colors, conflicts) = Self::greedy(spec);
+                let ops = (spec.n_vertices + 2 * spec.edges.len()) as u64;
+                Ok(KernelExecution {
+                    result: KernelResult::Family(FamilyResult::Coloring { colors, conflicts }),
+                    cost: CostReport {
+                        device_seconds: ops as f64 * seconds_per_op,
+                        operations: ops,
+                    },
+                })
+            }
+            BackendProfile::Mem { .. } => Err(AccelError::Unsupported {
+                backend: profile.backend_name().into(),
+                kernel: self.describe(kernel),
+            }),
+        }
+    }
+
+    fn encode_body(&self, kernel: &Kernel, w: &mut BodyWriter) -> Result<(), FamilyCodecError> {
+        let spec = self
+            .spec(kernel)
+            .ok_or(FamilyCodecError::LegacyFraming { family: "coloring" })?;
+        w.put_u64(spec.n_vertices as u64);
+        w.put_u64(spec.n_colors as u64);
+        w.put_u32(spec.edges.len() as u32);
+        for &(a, b) in &spec.edges {
+            w.put_u64(a as u64);
+            w.put_u64(b as u64);
+        }
+        Ok(())
+    }
+
+    fn decode_body(&self, r: &mut BodyReader<'_>) -> Result<Kernel, FamilyCodecError> {
+        let n_vertices = r.get_u64("coloring vertices")?;
+        if n_vertices > MAX_COLORING_VERTICES as u64 {
+            return Err(FamilyCodecError::TooLarge {
+                context: "coloring vertices",
+                len: n_vertices,
+                max: MAX_COLORING_VERTICES as u64,
+            });
+        }
+        let n_colors = r.get_u64("coloring colors")?;
+        if n_colors > MAX_COLORING_VERTICES as u64 {
+            return Err(FamilyCodecError::TooLarge {
+                context: "coloring colors",
+                len: n_colors,
+                max: MAX_COLORING_VERTICES as u64,
+            });
+        }
+        let count = r.get_count(MAX_COLORING_EDGES, 16, "coloring edges")?;
+        let mut edges = Vec::with_capacity(count);
+        for _ in 0..count {
+            let a = r.get_u64("coloring edge endpoint")?;
+            let b = r.get_u64("coloring edge endpoint")?;
+            edges.push((a as usize, b as usize));
+        }
+        Ok(Kernel::Family(FamilyKernel::Coloring(ColoringSpec {
+            n_vertices: n_vertices as usize,
+            n_colors: n_colors as usize,
+            edges,
+        })))
+    }
+
+    fn encode_result(
+        &self,
+        result: &KernelResult,
+        w: &mut BodyWriter,
+    ) -> Result<(), FamilyCodecError> {
+        let KernelResult::Family(FamilyResult::Coloring { colors, conflicts }) = result else {
+            return Err(FamilyCodecError::LegacyFraming { family: "coloring" });
+        };
+        w.put_u32(colors.len() as u32);
+        for &c in colors {
+            w.put_u32(c as u32);
+        }
+        w.put_u64(*conflicts);
+        Ok(())
+    }
+
+    fn decode_result(&self, r: &mut BodyReader<'_>) -> Result<KernelResult, FamilyCodecError> {
+        let count = r.get_count(MAX_COLORING_VERTICES, 4, "coloring result colors")?;
+        let mut colors = Vec::with_capacity(count);
+        for _ in 0..count {
+            colors.push(r.get_u32("coloring result color")? as usize);
+        }
+        let conflicts = r.get_u64("coloring result conflicts")?;
+        Ok(KernelResult::Family(FamilyResult::Coloring {
+            colors,
+            conflicts,
+        }))
+    }
+}
+
+/// Ising/QUBO energy minimization (tag 7).
+#[derive(Debug)]
+struct QuboFamily;
+
+impl QuboFamily {
+    fn spec<'a>(&self, kernel: &'a Kernel) -> Option<&'a QuboSpec> {
+        match kernel {
+            Kernel::Family(FamilyKernel::Qubo(spec)) => Some(spec),
+            _ => None,
+        }
+    }
+
+    fn terms(spec: &QuboSpec) -> usize {
+        spec.linear.len() + spec.quadratic.len()
+    }
+
+    /// Predicted DMM trajectory length, mirroring the SAT backend's
+    /// steps-linear-in-size model.
+    fn dmm_steps(spec: &QuboSpec) -> f64 {
+        50.0 * (spec.n_vars as f64 + Self::terms(spec) as f64)
+    }
+
+    /// Predicted CPU greedy-descent work: a few full sweeps, each
+    /// touching every variable against every term.
+    fn cpu_ops(spec: &QuboSpec) -> f64 {
+        (spec.n_vars * (spec.n_vars + Self::terms(spec))) as f64
+    }
+
+    fn build(&self, spec: &QuboSpec, backend: &'static str) -> Result<Qubo, AccelError> {
+        let mut q = Qubo::new(spec.n_vars).map_err(|e| AccelError::backend(backend, e))?;
+        for &(i, c) in &spec.linear {
+            q.add_linear(i, c)
+                .map_err(|e| AccelError::backend(backend, e))?;
+        }
+        for &(i, j, v) in &spec.quadratic {
+            q.add_quadratic(i, j, v)
+                .map_err(|e| AccelError::backend(backend, e))?;
+        }
+        Ok(q)
+    }
+}
+
+impl KernelFamily for QuboFamily {
+    fn tag(&self) -> u16 {
+        7
+    }
+
+    fn name(&self) -> &'static str {
+        "qubo"
+    }
+
+    fn class(&self) -> KernelClass {
+        KernelClass::Optimization
+    }
+
+    fn describe(&self, kernel: &Kernel) -> String {
+        match self.spec(kernel) {
+            Some(spec) => format!("qubo({} vars, {} terms)", spec.n_vars, Self::terms(spec)),
+            None => self.name().to_string(),
+        }
+    }
+
+    fn validate(&self, kernel: &Kernel) -> Result<(), InvalidKernel> {
+        let Some(spec) = self.spec(kernel) else {
+            return Ok(());
+        };
+        if spec.n_vars == 0 {
+            return Err(InvalidKernel::QuboEmpty);
+        }
+        if spec.n_vars > MAX_QUBO_VARS {
+            return Err(InvalidKernel::FamilyTooLarge {
+                family: self.name(),
+                field: "variables",
+                len: spec.n_vars,
+                max: MAX_QUBO_VARS,
+            });
+        }
+        if spec.linear.len() > MAX_QUBO_TERMS {
+            return Err(InvalidKernel::FamilyTooLarge {
+                family: self.name(),
+                field: "linear terms",
+                len: spec.linear.len(),
+                max: MAX_QUBO_TERMS,
+            });
+        }
+        if spec.quadratic.len() > MAX_QUBO_TERMS {
+            return Err(InvalidKernel::FamilyTooLarge {
+                family: self.name(),
+                field: "quadratic terms",
+                len: spec.quadratic.len(),
+                max: MAX_QUBO_TERMS,
+            });
+        }
+        for &(i, c) in &spec.linear {
+            if i >= spec.n_vars {
+                return Err(InvalidKernel::QuboIndexInvalid {
+                    i,
+                    j: i,
+                    n_vars: spec.n_vars,
+                });
+            }
+            if !c.is_finite() {
+                return Err(InvalidKernel::QuboCoefficientNotFinite { i, j: i });
+            }
+        }
+        for &(i, j, v) in &spec.quadratic {
+            if i >= spec.n_vars || j >= spec.n_vars || i == j {
+                return Err(InvalidKernel::QuboIndexInvalid {
+                    i,
+                    j,
+                    n_vars: spec.n_vars,
+                });
+            }
+            if !v.is_finite() {
+                return Err(InvalidKernel::QuboCoefficientNotFinite { i, j });
+            }
+        }
+        Ok(())
+    }
+
+    fn canonicalize(&self, kernel: &Kernel) -> Kernel {
+        let Some(spec) = self.spec(kernel) else {
+            return kernel.clone();
+        };
+        // Coefficient normal form: like terms combined, exact zeros
+        // dropped, `-0.0` scrubbed, sorted by index.
+        let mut linear: BTreeMap<usize, f64> = BTreeMap::new();
+        for &(i, c) in &spec.linear {
+            *linear.entry(i).or_insert(0.0) += c;
+        }
+        let linear: Vec<(usize, f64)> = linear
+            .into_iter()
+            .filter(|&(_, c)| c != 0.0)
+            .map(|(i, c)| (i, scrub_zero(c)))
+            .collect();
+        let mut quadratic: BTreeMap<(usize, usize), f64> = BTreeMap::new();
+        for &(i, j, v) in &spec.quadratic {
+            *quadratic.entry((i.min(j), i.max(j))).or_insert(0.0) += v;
+        }
+        let quadratic: Vec<(usize, usize, f64)> = quadratic
+            .into_iter()
+            .filter(|&(_, v)| v != 0.0)
+            .map(|((i, j), v)| (i, j, scrub_zero(v)))
+            .collect();
+        Kernel::Family(FamilyKernel::Qubo(QuboSpec {
+            n_vars: spec.n_vars,
+            linear,
+            quadratic,
+        }))
+    }
+
+    fn canonical_key(&self, kernel: &Kernel) -> CanonicalKey {
+        let mut coarse = Fnv::new();
+        let mut exact = Fnv::new();
+        if let Some(spec) = self.spec(kernel) {
+            exact.byte(7);
+            exact.u64(spec.n_vars as u64);
+            exact.u64(spec.linear.len() as u64);
+            for &(i, c) in &spec.linear {
+                exact.u64(i as u64);
+                exact.u64(c.to_bits());
+            }
+            exact.u64(spec.quadratic.len() as u64);
+            for &(i, j, v) in &spec.quadratic {
+                exact.u64(i as u64);
+                exact.u64(j as u64);
+                exact.u64(v.to_bits());
+            }
+            // Coarse half: same structure with coefficients snapped to the
+            // QUBO lattice, so near-identical objective surfaces bucket
+            // together while the exact half keeps them apart.
+            coarse.byte(7);
+            coarse.u64(spec.n_vars as u64);
+            coarse.u64(spec.linear.len() as u64);
+            for &(i, c) in &spec.linear {
+                coarse.u64(i as u64);
+                coarse.u64(quantize_coefficient(c));
+            }
+            coarse.u64(spec.quadratic.len() as u64);
+            for &(i, j, v) in &spec.quadratic {
+                coarse.u64(i as u64);
+                coarse.u64(j as u64);
+                coarse.u64(quantize_coefficient(v));
+            }
+        }
+        CanonicalKey {
+            key: coarse.finish(),
+            exact: exact.finish(),
+        }
+    }
+
+    fn supports(&self, kernel: &Kernel, profile: &BackendProfile) -> bool {
+        self.spec(kernel).is_some()
+            && matches!(
+                profile,
+                BackendProfile::Mem { .. } | BackendProfile::Cpu { .. }
+            )
+    }
+
+    fn estimate(&self, kernel: &Kernel, profile: &BackendProfile) -> Option<CostEstimate> {
+        let spec = self.spec(kernel)?;
+        match profile {
+            BackendProfile::Mem { dt, cell_watts } => {
+                // The DMM's trajectory length grows roughly linearly in
+                // instance size; predicted device time is steps · dt at
+                // the 1 ns RC time unit.
+                let seconds = Self::dmm_steps(spec) * dt * 1e-9;
+                Some(CostEstimate {
+                    device_seconds: seconds,
+                    energy_joules: seconds * cell_watts,
+                })
+            }
+            BackendProfile::Cpu {
+                seconds_per_op,
+                watts,
+            } => {
+                let seconds = Self::cpu_ops(spec) * seconds_per_op;
+                Some(CostEstimate {
+                    device_seconds: seconds,
+                    energy_joules: seconds * watts,
+                })
+            }
+            BackendProfile::Oscillator { .. } => None,
+        }
+    }
+
+    fn execute(
+        &self,
+        kernel: &Kernel,
+        profile: &BackendProfile,
+        seed: u64,
+    ) -> Result<KernelExecution, AccelError> {
+        let Some(spec) = self.spec(kernel) else {
+            return Err(AccelError::Unsupported {
+                backend: profile.backend_name().into(),
+                kernel: self.describe(kernel),
+            });
+        };
+        match profile {
+            BackendProfile::Mem { dt, .. } => {
+                let q = self.build(spec, "memcomputing")?;
+                let (bits, energy) = q
+                    .minimize_dmm(MaxSatDmmParams::default(), seed)
+                    .map_err(|e| AccelError::backend("memcomputing", e))?;
+                let steps = Self::dmm_steps(spec);
+                Ok(KernelExecution {
+                    result: KernelResult::Family(FamilyResult::Qubo { bits, energy }),
+                    cost: CostReport {
+                        // Modelled device time: the predicted trajectory at
+                        // the crossbar's RC time unit (the MaxSAT reduction
+                        // does not expose its own step count).
+                        device_seconds: steps * dt * 1e-9,
+                        operations: steps as u64,
+                    },
+                })
+            }
+            BackendProfile::Cpu { seconds_per_op, .. } => {
+                let q = self.build(spec, "cpu")?;
+                let mut rng = rng_from_seed(seed);
+                let start: Vec<bool> = (0..spec.n_vars).map(|_| rng.gen_bool(0.5)).collect();
+                let (bits, energy) = q.minimize_greedy(&start);
+                let ops = Self::cpu_ops(spec);
+                Ok(KernelExecution {
+                    result: KernelResult::Family(FamilyResult::Qubo { bits, energy }),
+                    cost: CostReport {
+                        device_seconds: ops * seconds_per_op,
+                        operations: ops as u64,
+                    },
+                })
+            }
+            BackendProfile::Oscillator { .. } => Err(AccelError::Unsupported {
+                backend: profile.backend_name().into(),
+                kernel: self.describe(kernel),
+            }),
+        }
+    }
+
+    fn encode_body(&self, kernel: &Kernel, w: &mut BodyWriter) -> Result<(), FamilyCodecError> {
+        let spec = self
+            .spec(kernel)
+            .ok_or(FamilyCodecError::LegacyFraming { family: "qubo" })?;
+        w.put_u64(spec.n_vars as u64);
+        w.put_u32(spec.linear.len() as u32);
+        for &(i, c) in &spec.linear {
+            w.put_u64(i as u64);
+            w.put_f64(c);
+        }
+        w.put_u32(spec.quadratic.len() as u32);
+        for &(i, j, v) in &spec.quadratic {
+            w.put_u64(i as u64);
+            w.put_u64(j as u64);
+            w.put_f64(v);
+        }
+        Ok(())
+    }
+
+    fn decode_body(&self, r: &mut BodyReader<'_>) -> Result<Kernel, FamilyCodecError> {
+        let n_vars = r.get_u64("qubo variables")?;
+        if n_vars > MAX_QUBO_VARS as u64 {
+            return Err(FamilyCodecError::TooLarge {
+                context: "qubo variables",
+                len: n_vars,
+                max: MAX_QUBO_VARS as u64,
+            });
+        }
+        let n_linear = r.get_count(MAX_QUBO_TERMS, 16, "qubo linear terms")?;
+        let mut linear = Vec::with_capacity(n_linear);
+        for _ in 0..n_linear {
+            let i = r.get_u64("qubo linear index")?;
+            let c = r.get_f64("qubo linear coefficient")?;
+            linear.push((i as usize, c));
+        }
+        let n_quadratic = r.get_count(MAX_QUBO_TERMS, 24, "qubo quadratic terms")?;
+        let mut quadratic = Vec::with_capacity(n_quadratic);
+        for _ in 0..n_quadratic {
+            let i = r.get_u64("qubo quadratic index")?;
+            let j = r.get_u64("qubo quadratic index")?;
+            let v = r.get_f64("qubo quadratic coefficient")?;
+            quadratic.push((i as usize, j as usize, v));
+        }
+        Ok(Kernel::Family(FamilyKernel::Qubo(QuboSpec {
+            n_vars: n_vars as usize,
+            linear,
+            quadratic,
+        })))
+    }
+
+    fn encode_result(
+        &self,
+        result: &KernelResult,
+        w: &mut BodyWriter,
+    ) -> Result<(), FamilyCodecError> {
+        let KernelResult::Family(FamilyResult::Qubo { bits, energy }) = result else {
+            return Err(FamilyCodecError::LegacyFraming { family: "qubo" });
+        };
+        w.put_u32(bits.len() as u32);
+        for &b in bits {
+            w.put_u8(u8::from(b));
+        }
+        w.put_f64(*energy);
+        Ok(())
+    }
+
+    fn decode_result(&self, r: &mut BodyReader<'_>) -> Result<KernelResult, FamilyCodecError> {
+        let count = r.get_count(MAX_QUBO_VARS, 1, "qubo result bits")?;
+        let mut bits = Vec::with_capacity(count);
+        for _ in 0..count {
+            let b = r.get_u8("qubo result bit")?;
+            match b {
+                0 => bits.push(false),
+                1 => bits.push(true),
+                other => {
+                    return Err(FamilyCodecError::Invalid {
+                        context: "qubo result bit",
+                        detail: format!("expected 0 or 1, got {other}"),
+                    })
+                }
+            }
+        }
+        let energy = r.get_f64("qubo result energy")?;
+        Ok(KernelResult::Family(FamilyResult::Qubo { bits, energy }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coloring(n: usize, colors: usize, edges: &[(usize, usize)]) -> Kernel {
+        Kernel::Family(FamilyKernel::Coloring(ColoringSpec {
+            n_vertices: n,
+            n_colors: colors,
+            edges: edges.to_vec(),
+        }))
+    }
+
+    fn qubo(n: usize, linear: &[(usize, f64)], quadratic: &[(usize, usize, f64)]) -> Kernel {
+        Kernel::Family(FamilyKernel::Qubo(QuboSpec {
+            n_vars: n,
+            linear: linear.to_vec(),
+            quadratic: quadratic.to_vec(),
+        }))
+    }
+
+    #[test]
+    fn registry_tags_match_the_frozen_table() {
+        let from_registry: Vec<(u16, &str)> =
+            registry().families().map(|f| (f.tag(), f.name())).collect();
+        assert_eq!(from_registry, FAMILY_TAGS.to_vec());
+    }
+
+    #[test]
+    fn tags_are_unique_and_resolvable() {
+        for &(tag, name) in FAMILY_TAGS {
+            let family = registry().by_tag(tag).expect("registered");
+            assert_eq!(family.name(), name);
+        }
+        assert!(registry().by_tag(0).is_none());
+        assert!(registry().by_tag(99).is_none());
+    }
+
+    #[test]
+    fn every_kernel_variant_resolves_to_its_family() {
+        let cases = [
+            (Kernel::Factor { n: 21 }, "factor"),
+            (
+                Kernel::Search {
+                    n_qubits: 3,
+                    marked: vec![1],
+                },
+                "search",
+            ),
+            (
+                Kernel::DnaSimilarity {
+                    a: "ACGT".into(),
+                    b: "ACGT".into(),
+                    k: 2,
+                },
+                "dna-similarity",
+            ),
+            (Kernel::Compare { x: 0.1, y: 0.2 }, "compare"),
+            (coloring(3, 2, &[(0, 1)]), "coloring"),
+            (qubo(2, &[(0, 1.0)], &[]), "qubo"),
+        ];
+        for (kernel, name) in cases {
+            assert_eq!(registry().family_of(&kernel).name(), name);
+        }
+    }
+
+    #[test]
+    fn coloring_validation_catches_degenerate_and_hostile_specs() {
+        assert!(coloring(5, 3, &[(0, 1), (1, 4)]).validate().is_ok());
+        assert!(matches!(
+            coloring(1, 2, &[]).validate(),
+            Err(InvalidKernel::ColoringDegenerate { .. })
+        ));
+        assert!(matches!(
+            coloring(4, 1, &[]).validate(),
+            Err(InvalidKernel::ColoringDegenerate { .. })
+        ));
+        assert!(matches!(
+            coloring(4, 5, &[]).validate(),
+            Err(InvalidKernel::ColoringDegenerate { .. })
+        ));
+        assert!(matches!(
+            coloring(4, 2, &[(0, 4)]).validate(),
+            Err(InvalidKernel::ColoringEdgeInvalid { b: 4, .. })
+        ));
+        assert!(matches!(
+            coloring(4, 2, &[(2, 2)]).validate(),
+            Err(InvalidKernel::ColoringEdgeInvalid { a: 2, b: 2, .. })
+        ));
+        assert!(matches!(
+            coloring(MAX_COLORING_VERTICES + 1, 2, &[]).validate(),
+            Err(InvalidKernel::FamilyTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn qubo_validation_catches_degenerate_and_hostile_specs() {
+        assert!(qubo(3, &[(0, 1.0)], &[(0, 1, -2.0)]).validate().is_ok());
+        assert_eq!(qubo(0, &[], &[]).validate(), Err(InvalidKernel::QuboEmpty));
+        assert!(matches!(
+            qubo(2, &[(2, 1.0)], &[]).validate(),
+            Err(InvalidKernel::QuboIndexInvalid { i: 2, .. })
+        ));
+        assert!(matches!(
+            qubo(2, &[], &[(1, 1, 1.0)]).validate(),
+            Err(InvalidKernel::QuboIndexInvalid { i: 1, j: 1, .. })
+        ));
+        assert!(matches!(
+            qubo(2, &[(0, f64::NAN)], &[]).validate(),
+            Err(InvalidKernel::QuboCoefficientNotFinite { .. })
+        ));
+        assert!(matches!(
+            qubo(MAX_QUBO_VARS + 1, &[], &[]).validate(),
+            Err(InvalidKernel::FamilyTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn coloring_canonical_form_orders_and_dedups_edges() {
+        let raw = coloring(4, 2, &[(3, 1), (0, 2), (1, 3), (2, 0)]);
+        let canon = registry().family_of(&raw).canonicalize(&raw);
+        assert_eq!(canon, coloring(4, 2, &[(0, 2), (1, 3)]));
+        // Idempotent, and syntactic variants share both key halves.
+        let entry = registry().family_of(&canon);
+        assert_eq!(canon, entry.canonicalize(&canon));
+        assert_eq!(
+            entry.canonical_key(&canon),
+            entry.canonical_key(&entry.canonicalize(&raw))
+        );
+    }
+
+    #[test]
+    fn qubo_canonical_form_combines_and_drops_terms() {
+        let raw = qubo(
+            3,
+            &[(1, 0.5), (0, 1.0), (1, -0.5)],
+            &[(2, 0, 1.0), (0, 2, 0.5), (1, 2, 0.0)],
+        );
+        let canon = registry().family_of(&raw).canonicalize(&raw);
+        assert_eq!(canon, qubo(3, &[(0, 1.0)], &[(0, 2, 1.5)]));
+        let entry = registry().family_of(&canon);
+        assert_eq!(canon, entry.canonicalize(&canon));
+    }
+
+    #[test]
+    fn qubo_coarse_key_quantizes_and_exact_key_does_not() {
+        let a = qubo(2, &[(0, 0.5)], &[]);
+        let b = qubo(2, &[(0, 0.5 + 1e-9)], &[]);
+        let ka = registry().family_of(&a).canonical_key(&a);
+        let kb = registry().family_of(&b).canonical_key(&b);
+        assert_eq!(ka.key, kb.key);
+        assert_ne!(ka.exact, kb.exact);
+    }
+
+    #[test]
+    fn new_family_keys_are_domain_separated() {
+        let c = coloring(3, 2, &[(0, 1)]);
+        let q = qubo(3, &[], &[]);
+        let kc = registry().family_of(&c).canonical_key(&c);
+        let kq = registry().family_of(&q).canonical_key(&q);
+        assert_ne!(kc, kq);
+    }
+
+    #[test]
+    fn kernel_bodies_round_trip() {
+        let kernels = [
+            coloring(5, 3, &[(0, 1), (1, 2), (3, 4)]),
+            coloring(2, 2, &[]),
+            qubo(4, &[(0, 1.5), (3, -0.25)], &[(0, 1, 2.0), (2, 3, -1.0)]),
+            qubo(1, &[], &[]),
+        ];
+        for kernel in kernels {
+            let (tag, body) = encode_kernel_body(&kernel).expect("encode");
+            let back = decode_kernel_body(tag, &body).expect("decode");
+            assert_eq!(kernel, back);
+        }
+    }
+
+    #[test]
+    fn result_bodies_round_trip() {
+        let results = [
+            FamilyResult::Coloring {
+                colors: vec![0, 1, 0, 2],
+                conflicts: 1,
+            },
+            FamilyResult::Qubo {
+                bits: vec![true, false, true],
+                energy: -2.5,
+            },
+        ];
+        for result in results {
+            let (tag, body) = encode_result_body(&result).expect("encode");
+            let back = decode_result_body(tag, &body).expect("decode");
+            assert_eq!(KernelResult::Family(result), back);
+        }
+    }
+
+    #[test]
+    fn hostile_bodies_error_and_never_panic() {
+        // Unknown tag.
+        assert!(matches!(
+            decode_kernel_body(999, &[]),
+            Err(FamilyCodecError::UnknownTag { tag: 999 })
+        ));
+        // Legacy tags have no generic body.
+        assert!(matches!(
+            decode_kernel_body(1, &[0; 32]),
+            Err(FamilyCodecError::LegacyFraming { .. })
+        ));
+        // Truncations at every prefix of a valid body.
+        let (tag, body) =
+            encode_kernel_body(&qubo(3, &[(0, 1.0)], &[(1, 2, -1.0)])).expect("encode");
+        for cut in 0..body.len() {
+            assert!(decode_kernel_body(tag, &body[..cut]).is_err(), "cut {cut}");
+        }
+        // Trailing garbage is rejected.
+        let mut long = body.clone();
+        long.push(0);
+        assert!(matches!(
+            decode_kernel_body(tag, &long),
+            Err(FamilyCodecError::TrailingBytes { .. })
+        ));
+        // A hostile length claim cannot force a large allocation.
+        let mut hostile = BodyWriter::new();
+        hostile.put_u64(4); // n_vertices
+        hostile.put_u64(2); // n_colors
+        hostile.put_u32(u32::MAX); // edge count
+        assert!(matches!(
+            decode_kernel_body(6, &hostile.into_bytes()),
+            Err(FamilyCodecError::TooLarge { .. } | FamilyCodecError::Truncated { .. })
+        ));
+        // Non-boolean result bits are rejected.
+        let mut bad = BodyWriter::new();
+        bad.put_u32(1);
+        bad.put_u8(7);
+        bad.put_f64(0.0);
+        assert!(matches!(
+            decode_result_body(7, &bad.into_bytes()),
+            Err(FamilyCodecError::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn coloring_estimates_and_supports_follow_profiles() {
+        let kernel = coloring(6, 2, &[(0, 1), (2, 3)]);
+        let family = registry().family_of(&kernel);
+        let osc = BackendProfile::Oscillator {
+            window_seconds: 1.6e-6,
+            block_watts: 0.936e-3,
+        };
+        let cpu = BackendProfile::Cpu {
+            seconds_per_op: 1e-9,
+            watts: 1.0,
+        };
+        let mem = BackendProfile::Mem {
+            dt: 0.1,
+            cell_watts: 10e-3,
+        };
+        assert!(family.supports(&kernel, &osc));
+        assert!(family.supports(&kernel, &cpu));
+        assert!(!family.supports(&kernel, &mem));
+        let e = family.estimate(&kernel, &osc).expect("estimate");
+        assert!(e.device_seconds > 0.0 && e.energy_joules > 0.0);
+        assert!(family.estimate(&kernel, &mem).is_none());
+    }
+
+    #[test]
+    fn qubo_executes_deterministically_on_cpu_profile() {
+        let kernel = qubo(6, &[(0, 1.0), (5, -2.0)], &[(0, 1, 1.5), (2, 3, -1.0)]);
+        let family = registry().family_of(&kernel);
+        let cpu = BackendProfile::Cpu {
+            seconds_per_op: 1e-9,
+            watts: 1.0,
+        };
+        let a = family.execute(&kernel, &cpu, 42).expect("execute");
+        let b = family.execute(&kernel, &cpu, 42).expect("execute");
+        assert_eq!(a, b);
+        let KernelResult::Family(FamilyResult::Qubo { bits, energy }) = &a.result else {
+            panic!("unexpected {:?}", a.result);
+        };
+        assert_eq!(bits.len(), 6);
+        assert!(energy.is_finite());
+        // Greedy descent never lands above the all-false baseline it
+        // could reach by flipping everything off.
+        let spec_value: f64 = 0.0;
+        assert!(*energy <= spec_value + 1e-12 || !bits.iter().any(|&b| b));
+    }
+
+    #[test]
+    fn coloring_greedy_colors_bipartite_graphs_exactly() {
+        let kernel = coloring(6, 2, &[(0, 3), (0, 4), (1, 3), (1, 5), (2, 4), (2, 5)]);
+        let family = registry().family_of(&kernel);
+        let cpu = BackendProfile::Cpu {
+            seconds_per_op: 1e-9,
+            watts: 1.0,
+        };
+        let run = family.execute(&kernel, &cpu, 0).expect("execute");
+        let KernelResult::Family(FamilyResult::Coloring { colors, conflicts }) = run.result else {
+            panic!("unexpected result");
+        };
+        assert_eq!(colors.len(), 6);
+        assert_eq!(conflicts, 0);
+        assert!(colors.iter().all(|&c| c < 2));
+    }
+
+    #[test]
+    fn legacy_families_refuse_generic_framing() {
+        let kernel = Kernel::Factor { n: 21 };
+        assert!(matches!(
+            encode_kernel_body(&kernel),
+            Err(FamilyCodecError::LegacyFraming { family: "factor" })
+        ));
+    }
+
+    #[test]
+    fn codec_errors_display() {
+        let errs: Vec<FamilyCodecError> = vec![
+            FamilyCodecError::UnknownTag { tag: 42 },
+            FamilyCodecError::LegacyFraming { family: "factor" },
+            FamilyCodecError::Truncated { context: "x" },
+            FamilyCodecError::TooLarge {
+                context: "x",
+                len: 9,
+                max: 3,
+            },
+            FamilyCodecError::Invalid {
+                context: "x",
+                detail: "bad".into(),
+            },
+            FamilyCodecError::TrailingBytes {
+                context: "x",
+                remaining: 2,
+            },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -61,6 +61,52 @@ pub enum InvalidKernel {
         /// Second operand.
         y: f64,
     },
+    /// A registry-family kernel exceeds its family's serving cap.
+    FamilyTooLarge {
+        /// The family name.
+        family: &'static str,
+        /// Which field overflowed.
+        field: &'static str,
+        /// The submitted size.
+        len: usize,
+        /// The serving cap.
+        max: usize,
+    },
+    /// A coloring instance too small or with an unusable palette.
+    ColoringDegenerate {
+        /// Vertex count.
+        n_vertices: usize,
+        /// Palette size.
+        n_colors: usize,
+    },
+    /// A coloring edge with an out-of-range endpoint or a self-loop.
+    ColoringEdgeInvalid {
+        /// First endpoint.
+        a: usize,
+        /// Second endpoint.
+        b: usize,
+        /// Vertex count.
+        n_vertices: usize,
+    },
+    /// A QUBO over zero variables.
+    QuboEmpty,
+    /// A QUBO term indexing outside `0..n_vars`, or a diagonal quadratic
+    /// term (diagonal weight belongs in the linear part: `x·x = x`).
+    QuboIndexInvalid {
+        /// First index.
+        i: usize,
+        /// Second index (equal to `i` for linear terms).
+        j: usize,
+        /// Variable count.
+        n_vars: usize,
+    },
+    /// A QUBO coefficient is NaN or infinite.
+    QuboCoefficientNotFinite {
+        /// First index.
+        i: usize,
+        /// Second index (equal to `i` for linear terms).
+        j: usize,
+    },
 }
 
 impl std::fmt::Display for InvalidKernel {
@@ -88,6 +134,45 @@ impl std::fmt::Display for InvalidKernel {
             }
             InvalidKernel::CompareOutOfRange { x, y } => {
                 write!(f, "compare operands ({x}, {y}) must lie in [0, 1]")
+            }
+            InvalidKernel::FamilyTooLarge {
+                family,
+                field,
+                len,
+                max,
+            } => {
+                write!(
+                    f,
+                    "{family}: {len} {field} exceeds the serving cap of {max}"
+                )
+            }
+            InvalidKernel::ColoringDegenerate {
+                n_vertices,
+                n_colors,
+            } => {
+                write!(
+                    f,
+                    "coloring over {n_vertices} vertices with {n_colors} colors is degenerate \
+                     (need 2 <= colors <= vertices)"
+                )
+            }
+            InvalidKernel::ColoringEdgeInvalid { a, b, n_vertices } => {
+                write!(
+                    f,
+                    "coloring edge ({a}, {b}) invalid for {n_vertices} vertices \
+                     (endpoints must be distinct and in range)"
+                )
+            }
+            InvalidKernel::QuboEmpty => write!(f, "qubo over 0 variables"),
+            InvalidKernel::QuboIndexInvalid { i, j, n_vars } => {
+                write!(
+                    f,
+                    "qubo term ({i}, {j}) invalid for {n_vars} variables \
+                     (indices must be distinct and in range)"
+                )
+            }
+            InvalidKernel::QuboCoefficientNotFinite { i, j } => {
+                write!(f, "qubo coefficient at ({i}, {j}) must be finite")
             }
         }
     }
@@ -132,92 +217,46 @@ pub enum Kernel {
         /// Second operand.
         y: f64,
     },
+    /// A registry-served workload (coloring, QUBO, and every family
+    /// added after the registry opened — see [`crate::family`]).
+    Family(crate::family::FamilyKernel),
 }
 
 impl Kernel {
     /// A short human-readable description (used in errors and reports).
+    ///
+    /// Delegates to the kernel's [`crate::family::KernelFamily`] entry.
     #[must_use]
     pub fn describe(&self) -> String {
-        match self {
-            Kernel::Factor { n } => format!("factor({n})"),
-            Kernel::Search { n_qubits, marked } => {
-                format!("search(2^{n_qubits}, {} marked)", marked.len())
-            }
-            Kernel::DnaSimilarity { a, b, k } => {
-                format!("dna_similarity(|a|={}, |b|={}, k={k})", a.len(), b.len())
-            }
-            Kernel::SolveSat { formula } => format!(
-                "solve_sat({} vars, {} clauses)",
-                formula.n_vars(),
-                formula.len()
-            ),
-            Kernel::Compare { x, y } => format!("compare({x:.3}, {y:.3})"),
-        }
+        crate::family::registry().family_of(self).describe(self)
     }
 
     /// Validates the kernel's inputs, as done at submission time by the
     /// serving layer (see [`InvalidKernel`]).
+    ///
+    /// Delegates to the kernel's [`crate::family::KernelFamily`] entry.
     ///
     /// # Errors
     ///
     /// The specific [`InvalidKernel`] variant describing the first
     /// violated constraint.
     pub fn validate(&self) -> Result<(), InvalidKernel> {
-        match self {
-            Kernel::Factor { n } => {
-                if *n < 4 {
-                    return Err(InvalidKernel::FactorTooSmall { n: *n });
-                }
-            }
-            Kernel::Search { n_qubits, marked } => {
-                if *n_qubits == 0 {
-                    return Err(InvalidKernel::EmptySearchSpace);
-                }
-                // Past usize::BITS qubits every representable item fits.
-                if *n_qubits < usize::BITS as usize {
-                    let space = 1usize << n_qubits;
-                    if let Some(&item) = marked.iter().find(|&&m| m >= space) {
-                        return Err(InvalidKernel::MarkedOutOfRange {
-                            item,
-                            n_qubits: *n_qubits,
-                        });
-                    }
-                }
-            }
-            Kernel::DnaSimilarity { a, b, k } => {
-                if *k == 0 {
-                    return Err(InvalidKernel::ZeroKmer);
-                }
-                let shorter = a.len().min(b.len());
-                if *k > shorter {
-                    return Err(InvalidKernel::KmerTooLong { k: *k, shorter });
-                }
-            }
-            Kernel::SolveSat { .. } => {
-                // Formula validity is enforced by construction in `mem::cnf`.
-            }
-            Kernel::Compare { x, y } => {
-                if !x.is_finite() || !y.is_finite() {
-                    return Err(InvalidKernel::CompareNotFinite { x: *x, y: *y });
-                }
-                if !(0.0..=1.0).contains(x) || !(0.0..=1.0).contains(y) {
-                    return Err(InvalidKernel::CompareOutOfRange { x: *x, y: *y });
-                }
-            }
-        }
-        Ok(())
+        crate::family::registry().family_of(self).validate(self)
     }
 
     /// A coarse class tag for dispatch policies.
+    ///
+    /// Delegates to the kernel's [`crate::family::KernelFamily`] entry.
     #[must_use]
     pub fn class(&self) -> KernelClass {
-        match self {
-            Kernel::Factor { .. } | Kernel::Search { .. } | Kernel::DnaSimilarity { .. } => {
-                KernelClass::Quantum
-            }
-            Kernel::SolveSat { .. } => KernelClass::Optimization,
-            Kernel::Compare { .. } => KernelClass::Analog,
-        }
+        crate::family::registry().family_of(self).class()
+    }
+
+    /// Whether this kernel travels in the protocol-v6 generic family
+    /// frame (registry-born families) rather than a native v1 frame.
+    #[must_use]
+    pub fn uses_family_frame(&self) -> bool {
+        matches!(self, Kernel::Family(_))
     }
 }
 
@@ -256,6 +295,17 @@ pub enum KernelResult {
     SatSolution(Option<Vec<bool>>),
     /// An analog distance measure.
     Distance(f64),
+    /// A registry-served family's result payload (see [`crate::family`]).
+    Family(crate::family::FamilyResult),
+}
+
+impl KernelResult {
+    /// Whether this result travels in the protocol-v6 generic family
+    /// frame (registry-born families) rather than a native v1 frame.
+    #[must_use]
+    pub fn uses_family_frame(&self) -> bool {
+        matches!(self, KernelResult::Family(_))
+    }
 }
 
 /// Device-time and work accounting for one execution.

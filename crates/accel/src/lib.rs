@@ -39,6 +39,7 @@
 )]
 pub mod accelerator;
 pub mod backends;
+pub mod family;
 pub mod fault;
 pub mod host;
 pub mod kernel;

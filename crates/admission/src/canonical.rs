@@ -32,86 +32,17 @@
 //! coarse half can only ever *group* candidates, never cause one kernel to
 //! be served another kernel's bytes.
 
+use accel::family::registry;
 use accel::kernel::Kernel;
-use mem::cnf::{Clause, Formula};
 use quantum::circuit::Circuit;
 use quantum::gate::Gate;
-use std::collections::BTreeMap;
 
-/// FNV-1a offset basis (the same constants the load generator uses for
-/// its outcome digests).
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-/// FNV-1a prime.
-const FNV_PRIME: u64 = 0x100_0000_01b3;
-
-/// Grid resolution for quantizing the analog compare operands inside the
-/// coarse key: operands are snapped to a `2^-20` lattice, far finer than
-/// the oscillator substrate's own noise floor.
-const COMPARE_QUANTUM: f64 = (1u64 << 20) as f64;
-
-/// The two-level canonical identity of a kernel. See the module docs for
-/// why both halves must match before a cached result may be served.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct CanonicalKey {
-    /// Coarse identity: FNV-1a over the canonical form after stable
-    /// variable renumbering (SAT) and parameter quantization (compare).
-    pub key: u64,
-    /// Exact identity: FNV-1a over the canonical form verbatim,
-    /// including variable count and raw `f64` bit patterns.
-    pub exact: u64,
-}
-
-impl CanonicalKey {
-    /// A single `u64` mixing both halves, for placing the kernel on a
-    /// consistent-hash ring.
-    ///
-    /// Routers shard by this value so duplicate submissions of the same
-    /// canonical kernel land on the same shard — and therefore on the same
-    /// shard-local result cache. The coarse half alone would suffice for
-    /// correctness (both halves must still match inside the cache), but
-    /// folding in the exact half spreads α-equivalent-but-distinct kernels
-    /// across shards instead of piling a whole coarse bucket onto one.
-    #[must_use]
-    pub fn routing_hash(&self) -> u64 {
-        let mut h = Fnv::new();
-        h.u64(self.key);
-        h.u64(self.exact);
-        h.finish()
-    }
-}
-
-/// Incremental FNV-1a over a structured byte stream.
-#[derive(Debug, Clone, Copy)]
-struct Fnv(u64);
-
-impl Fnv {
-    fn new() -> Self {
-        Fnv(FNV_OFFSET)
-    }
-
-    fn byte(&mut self, b: u8) {
-        self.0 ^= u64::from(b);
-        self.0 = self.0.wrapping_mul(FNV_PRIME);
-    }
-
-    fn bytes(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.byte(b);
-        }
-    }
-
-    fn u64(&mut self, v: u64) {
-        self.bytes(&v.to_be_bytes());
-    }
-
-    fn finish(self) -> u64 {
-        self.0
-    }
-}
+pub use accel::family::CanonicalKey;
 
 /// Rewrites a kernel into the canonical form the runtime executes.
 ///
-/// Per family:
+/// Dispatches to the kernel's [`accel::family::KernelFamily`] registry
+/// entry, which owns the family's normal form. For the legacy families:
 ///
 /// * `SolveSat` — literals sorted within each clause, clauses sorted
 ///   lexicographically and deduplicated, all in the original variable
@@ -122,143 +53,26 @@ impl Fnv {
 ///   numerically equal, so every backend's distance is unchanged).
 /// * `Factor`, `DnaSimilarity` — already canonical; returned unchanged.
 ///
+/// Registry-born families bring their own normal forms (edge-sorted
+/// graphs for coloring, combined-and-sorted coefficients for QUBO).
+///
 /// Canonicalization never fails: if a rebuilt formula would be rejected by
 /// its validating constructor (impossible for input that passed
 /// `Kernel::validate`), the kernel is returned unchanged.
 #[must_use]
 pub fn canonicalize(kernel: &Kernel) -> Kernel {
-    match kernel {
-        Kernel::Factor { .. } | Kernel::DnaSimilarity { .. } => kernel.clone(),
-        Kernel::Search { n_qubits, marked } => {
-            let mut marked = marked.clone();
-            marked.sort_unstable();
-            marked.dedup();
-            Kernel::Search {
-                n_qubits: *n_qubits,
-                marked,
-            }
-        }
-        Kernel::SolveSat { formula } => canonical_formula(formula)
-            .map_or_else(|| kernel.clone(), |formula| Kernel::SolveSat { formula }),
-        Kernel::Compare { x, y } => Kernel::Compare {
-            x: scrub_zero(*x),
-            y: scrub_zero(*y),
-        },
-    }
-}
-
-/// `-0.0` and `+0.0` compare equal but have different bit patterns; fold
-/// them together so the exact hash does not split them.
-fn scrub_zero(v: f64) -> f64 {
-    if v == 0.0 {
-        0.0
-    } else {
-        v
-    }
-}
-
-/// The canonical clause ordering: literals sorted within each clause,
-/// clauses sorted lexicographically, duplicates removed. `None` only if a
-/// rebuilt clause or formula fails validation, which cannot happen for a
-/// formula that was valid on the way in.
-fn canonical_formula(formula: &Formula) -> Option<Formula> {
-    let mut clauses = Vec::with_capacity(formula.len());
-    for clause in formula.clauses() {
-        let mut literals = clause.literals().to_vec();
-        literals.sort_unstable();
-        clauses.push(Clause::new(literals).ok()?);
-    }
-    clauses.sort_by(|a, b| a.literals().cmp(b.literals()));
-    clauses.dedup_by(|a, b| a.literals() == b.literals());
-    Formula::new(formula.n_vars(), clauses).ok()
+    registry().family_of(kernel).canonicalize(kernel)
 }
 
 /// Derives the two-level [`CanonicalKey`] of a kernel.
 ///
-/// The input should already be in canonical form (see [`canonicalize`]);
-/// [`admit`] packages the two steps. Calling this on a non-canonical
-/// kernel simply yields the key of that syntactic variant.
+/// Dispatches to the kernel's [`accel::family::KernelFamily`] registry
+/// entry. The input should already be in canonical form (see
+/// [`canonicalize`]); [`admit`] packages the two steps. Calling this on a
+/// non-canonical kernel simply yields the key of that syntactic variant.
 #[must_use]
 pub fn canonical_key(kernel: &Kernel) -> CanonicalKey {
-    let mut coarse = Fnv::new();
-    let mut exact = Fnv::new();
-    match kernel {
-        Kernel::Factor { n } => {
-            for h in [&mut coarse, &mut exact] {
-                h.byte(1);
-                h.u64(*n);
-            }
-        }
-        Kernel::Search { n_qubits, marked } => {
-            for h in [&mut coarse, &mut exact] {
-                h.byte(2);
-                h.u64(*n_qubits as u64);
-                h.u64(marked.len() as u64);
-                for &m in marked {
-                    h.u64(m as u64);
-                }
-            }
-        }
-        Kernel::DnaSimilarity { a, b, k } => {
-            for h in [&mut coarse, &mut exact] {
-                h.byte(3);
-                h.u64(a.len() as u64);
-                h.bytes(a.as_bytes());
-                h.u64(b.len() as u64);
-                h.bytes(b.as_bytes());
-                h.u64(*k as u64);
-            }
-        }
-        Kernel::SolveSat { formula } => {
-            exact.byte(4);
-            exact.u64(formula.n_vars() as u64);
-            exact.u64(formula.len() as u64);
-            for clause in formula.clauses() {
-                exact.u64(clause.literals().len() as u64);
-                for lit in clause.literals() {
-                    exact.u64(lit.var() as u64);
-                    exact.byte(u8::from(lit.is_negated()));
-                }
-            }
-            // Coarse half: stable first-occurrence renumbering. Variables
-            // are relabeled densely in the order they first appear in the
-            // canonical clause stream, and the variable *count* is left
-            // out, so formulas that differ only by a variable permutation
-            // or by trailing unused variables share a bucket. The exact
-            // half above still separates them before any bytes are served.
-            let mut renumber: BTreeMap<usize, u64> = BTreeMap::new();
-            coarse.byte(4);
-            coarse.u64(formula.len() as u64);
-            for clause in formula.clauses() {
-                coarse.u64(clause.literals().len() as u64);
-                for lit in clause.literals() {
-                    let next = renumber.len() as u64;
-                    let dense = *renumber.entry(lit.var()).or_insert(next);
-                    coarse.u64(dense);
-                    coarse.byte(u8::from(lit.is_negated()));
-                }
-            }
-        }
-        Kernel::Compare { x, y } => {
-            exact.byte(5);
-            exact.u64(x.to_bits());
-            exact.u64(y.to_bits());
-            coarse.byte(5);
-            coarse.u64(quantize(*x));
-            coarse.u64(quantize(*y));
-        }
-    }
-    CanonicalKey {
-        key: coarse.finish(),
-        exact: exact.finish(),
-    }
-}
-
-/// Snaps an analog operand to the coarse-key lattice.
-fn quantize(v: f64) -> u64 {
-    // Operands are validated into [0, 1], so the product fits comfortably
-    // in i64; the cast saturates rather than wrapping if it ever did not.
-    ((v * COMPARE_QUANTUM).round() as i64) as u64
+    registry().family_of(kernel).canonical_key(kernel)
 }
 
 /// Canonicalizes a kernel and derives its key in one step — the form the
@@ -318,7 +132,7 @@ pub fn cancel_adjacent_inverses(circuit: &Circuit) -> Circuit {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mem::cnf::Literal;
+    use mem::cnf::{Clause, Formula, Literal};
     use mem::generators::planted_3sat;
     use quantum::state::StateVector;
 

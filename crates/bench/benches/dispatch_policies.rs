@@ -4,13 +4,20 @@
 //! Each policy runs the same `src/workload.rs` mix for several rounds; the
 //! correction table harvested from one round's [`RuntimeStats`] seeds the
 //! next round's planner, so the predicted-vs-actual device-time ledger
-//! should converge. Results land in `BENCH_dispatch.json` at the repo root
-//! (throughput, p50/p99 latency, predicted vs actual device seconds, and
-//! the per-round calibration error).
+//! should converge. Two registry-family mixes (coloring-heavy, qubo-heavy)
+//! then run under `PreferSpecialized` to show the family registry's cost
+//! models steering the new kernels onto their specialized substrates.
+//! Results land in `BENCH_dispatch.json` at the repo root (throughput,
+//! p50/p99 latency, predicted vs actual device seconds, per-round
+//! calibration error, and per-backend routing for the family mixes).
 
+use accel::kernel::Kernel;
 use bench::{banner, eng};
 use criterion::{criterion_group, criterion_main, Criterion};
-use rebooting_models::workload::{duplicate_heavy_workload, job_seeds, mixed_workload};
+use rebooting_models::workload::{
+    coloring_heavy_workload, duplicate_heavy_workload, job_seeds, mixed_workload,
+    qubo_heavy_workload,
+};
 use runtime::{
     AdmissionConfig, CorrectionTable, DispatchPolicy, JobOptions, JobOutcome, Runtime,
     RuntimeConfig, RuntimeStats,
@@ -27,6 +34,8 @@ const SEED: u64 = 2019;
 const DUP_JOBS: usize = 64;
 /// Duplicate fraction of the duplicate-heavy workload.
 const DUP_RATIO: f64 = 0.9;
+/// Jobs in each registry-family mix experiment.
+const FAMILY_JOBS: usize = 32;
 
 const POLICIES: [DispatchPolicy; 5] = [
     DispatchPolicy::PreferSpecialized,
@@ -145,6 +154,45 @@ fn run_duplicate_heavy(admission: AdmissionConfig) -> DupReport {
     }
 }
 
+struct FamilyReport {
+    mix: &'static str,
+    /// Wall-clock seconds for the whole run.
+    elapsed: f64,
+    stats: RuntimeStats,
+    /// Jobs that rode the protocol-v6 generic family frame.
+    family_jobs: usize,
+}
+
+/// Runs a registry-family mix closed-loop under `PreferSpecialized`, so
+/// the planner routes each family to its specialized substrate purely
+/// through its registry entry (no `Kernel` match arms on this path).
+fn run_family_mix(mix: &'static str, kernels: &[Kernel]) -> FamilyReport {
+    let seeds = job_seeds(kernels.len(), SEED);
+    let rt = Runtime::start(RuntimeConfig {
+        workers: 2,
+        policy: DispatchPolicy::PreferSpecialized,
+        ..RuntimeConfig::default()
+    })
+    .expect("runtime starts");
+    let started = Instant::now();
+    for (kernel, &seed) in kernels.iter().zip(&seeds) {
+        let handle = rt
+            .submit_with(kernel.clone(), JobOptions::with_seed(seed))
+            .expect("submit accepted");
+        match handle.wait() {
+            JobOutcome::Completed { .. } => {}
+            other => panic!("job did not complete: {other:?}"),
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    FamilyReport {
+        mix,
+        elapsed,
+        stats: rt.shutdown(),
+        family_jobs: kernels.iter().filter(|k| k.uses_family_frame()).count(),
+    }
+}
+
 /// Nearest-rank percentile of an ascending-sorted sample.
 fn percentile(sorted: &[f64], p: f64) -> f64 {
     assert!(!sorted.is_empty());
@@ -190,6 +238,7 @@ fn render_json(
     results: &[(DispatchPolicy, Vec<RoundReport>)],
     cached: &DupReport,
     cold: &DupReport,
+    families: &[FamilyReport],
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -230,6 +279,45 @@ fn render_json(
     out.push_str(&format!("    \"coalesced\": {},\n", cached.stats.coalesced));
     out.push_str(&format!("    \"hit_rate\": {}\n", json_num(hit_rate)));
     out.push_str("  },\n");
+    out.push_str("  \"family_mixes\": [\n");
+    for (fi, report) in families.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"mix\": \"{}\",\n", report.mix));
+        out.push_str(&format!("      \"jobs\": {FAMILY_JOBS},\n"));
+        out.push_str(&format!(
+            "      \"family_frame_jobs\": {},\n",
+            report.family_jobs
+        ));
+        out.push_str("      \"policy\": \"prefer-specialized\",\n");
+        #[allow(clippy::cast_precision_loss)]
+        out.push_str(&format!(
+            "      \"throughput_jobs_per_sec\": {},\n",
+            json_num(FAMILY_JOBS as f64 / report.elapsed)
+        ));
+        out.push_str(&format!(
+            "      \"predicted_device_seconds\": {},\n",
+            json_num(report.stats.total_predicted_device_seconds())
+        ));
+        out.push_str(&format!(
+            "      \"actual_device_seconds\": {},\n",
+            json_num(report.stats.total_device_seconds())
+        ));
+        out.push_str("      \"jobs_per_backend\": {");
+        let mut first = true;
+        for (name, t) in &report.stats.per_backend {
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            out.push_str(&format!("\"{name}\": {}", t.jobs));
+        }
+        out.push_str("}\n");
+        out.push_str(&format!(
+            "    }}{}\n",
+            if fi + 1 < families.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
     out.push_str("  \"policies\": [\n");
     for (pi, (policy, rounds)) in results.iter().enumerate() {
         let last = rounds.last().expect("at least one round");
@@ -376,7 +464,61 @@ fn print_experiment() {
         cold.elapsed
     );
 
-    let json = render_json(&results, &cached, &cold);
+    println!("\nregistry-family mix experiment: {FAMILY_JOBS} jobs each, prefer-specialized");
+    let coloring = run_family_mix(
+        "coloring-heavy",
+        &coloring_heavy_workload(FAMILY_JOBS, SEED).expect("coloring workload"),
+    );
+    let qubo = run_family_mix(
+        "qubo-heavy",
+        &qubo_heavy_workload(FAMILY_JOBS, SEED).expect("qubo workload"),
+    );
+    for report in [&coloring, &qubo] {
+        let routed: Vec<String> = report
+            .stats
+            .per_backend
+            .iter()
+            .map(|(name, t)| format!("{name}={}", t.jobs))
+            .collect();
+        #[allow(clippy::cast_precision_loss)]
+        {
+            println!(
+                "  {:<15} {:>10} jobs/s   {}/{} v6 family frames   [{}]",
+                report.mix,
+                eng(FAMILY_JOBS as f64 / report.elapsed),
+                report.family_jobs,
+                FAMILY_JOBS,
+                routed.join(", ")
+            );
+        }
+        assert!(
+            report.family_jobs > 0 && report.family_jobs < FAMILY_JOBS,
+            "a family-heavy mix must interleave family and legacy kernels"
+        );
+    }
+    // The registry cost models — not any `Kernel` match arm — are what
+    // steer each family onto its specialized substrate, so routing there
+    // is a hard property of the refactor.
+    let oscillator_jobs = coloring
+        .stats
+        .per_backend
+        .get("oscillator")
+        .map_or(0, |t| t.jobs);
+    assert!(
+        oscillator_jobs > 0,
+        "coloring-heavy mix never reached the oscillator backend"
+    );
+    let dmm_jobs = qubo
+        .stats
+        .per_backend
+        .get("memcomputing")
+        .map_or(0, |t| t.jobs);
+    assert!(
+        dmm_jobs > 0,
+        "qubo-heavy mix never reached the memcomputing backend"
+    );
+
+    let json = render_json(&results, &cached, &cold, &[coloring, qubo]);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dispatch.json");
     std::fs::write(path, &json).expect("write BENCH_dispatch.json");
     println!("\nwrote {path}");

@@ -4,13 +4,14 @@
 //! The repo's core contract is that chaos runs, planner routing, and
 //! cross-wire results replay byte-for-byte. The runtime tests enforce the
 //! contract after the fact; this crate enforces its *ingredients* at the
-//! source level, with four rule families:
+//! source level, with five rule families:
 //!
 //! | family | rule ids | scope |
 //! |---|---|---|
 //! | determinism | `determinism::{wall-clock, system-time, thread-rng, hash-iter}` | `accel`, `wire`, `mem`, `osc`, `quantum`, `numerics`, `runtime` |
 //! | panic-hygiene | `panic::{unwrap, expect, panic, todo, unimplemented, index}` | `wire`, `server`, `accel::host` |
 //! | wire-freeze | `wire::{frozen, tag-dup, version-freeze}` | `crates/wire` + the registry |
+//! | family-tag-freeze | `family::{frozen, tag-dup}` | `accel::family::FAMILY_TAGS` + the registry |
 //! | lock-order | `locks::cycle` | `runtime`, `server` |
 //!
 //! Legitimate violations are annotated in place:
@@ -71,6 +72,9 @@ pub const LOCK_CRATES: &[&str] = &["runtime", "server", "cluster"];
 
 /// Workspace-relative path of the wire-freeze registry.
 pub const WIRE_REGISTRY: &str = "crates/lint/wire_freeze.registry";
+
+/// Workspace-relative path of the kernel-family tag registry.
+pub const FAMILY_REGISTRY: &str = "crates/lint/family_tags.registry";
 
 const MISSING_REASON: &str = "allow::missing-reason";
 const UNUSED_ALLOW: &str = "allow::unused";
@@ -142,11 +146,11 @@ pub fn load_workspace(root: &Path) -> io::Result<Vec<SourceFile>> {
     Ok(files)
 }
 
-/// Runs every rule over pre-parsed sources. `wire_registry` is the text
-/// of the freeze registry ("" when absent — every frozen item then fails
-/// as unblessed).
+/// Runs every rule over pre-parsed sources. `wire_registry` and
+/// `family_registry` are the texts of the two freeze registries ("" when
+/// absent — every frozen item then fails as unblessed).
 #[must_use]
-pub fn check_sources(files: &[SourceFile], wire_registry: &str) -> Report {
+pub fn check_sources(files: &[SourceFile], wire_registry: &str, family_registry: &str) -> Report {
     let mut raw = Vec::new();
 
     for file in files {
@@ -183,6 +187,15 @@ pub fn check_sources(files: &[SourceFile], wire_registry: &str) -> Report {
             &wire_files,
             wire_registry,
             Path::new(WIRE_REGISTRY),
+            &mut raw,
+        );
+    }
+
+    if let Some(family_file) = find_family_file(files) {
+        rules::families::check(
+            family_file,
+            family_registry,
+            Path::new(FAMILY_REGISTRY),
             &mut raw,
         );
     }
@@ -244,12 +257,20 @@ fn apply_allows(files: &[SourceFile], raw: Vec<Diagnostic>) -> Report {
     }
 }
 
-/// Full workspace check: loads sources and the freeze registry from
+/// The source holding the kernel-family tag table.
+fn find_family_file(files: &[SourceFile]) -> Option<&SourceFile> {
+    files
+        .iter()
+        .find(|f| f.crate_name == "accel" && f.path.file_name().is_some_and(|n| n == "family.rs"))
+}
+
+/// Full workspace check: loads sources and both freeze registries from
 /// `root` and runs every rule.
 pub fn check_workspace(root: &Path) -> io::Result<Report> {
     let files = load_workspace(root)?;
-    let registry = fs::read_to_string(root.join(WIRE_REGISTRY)).unwrap_or_default();
-    Ok(check_sources(&files, &registry))
+    let wire = fs::read_to_string(root.join(WIRE_REGISTRY)).unwrap_or_default();
+    let family = fs::read_to_string(root.join(FAMILY_REGISTRY)).unwrap_or_default();
+    Ok(check_sources(&files, &wire, &family))
 }
 
 /// Checks explicit files (fixtures, ad-hoc runs) with the determinism,
@@ -290,6 +311,22 @@ pub fn bless_wire(root: &Path) -> io::Result<String> {
     Ok(rendered)
 }
 
+/// Regenerates the family-tag registry from the current
+/// `accel::family::FAMILY_TAGS` table and writes it to
+/// `root/`[`FAMILY_REGISTRY`]. Returns the rendered registry.
+pub fn bless_families(root: &Path) -> io::Result<String> {
+    let files = load_workspace(root)?;
+    let Some(family_file) = find_family_file(&files) else {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            "crates/accel/src/family.rs not found — nothing to bless",
+        ));
+    };
+    let rendered = rules::families::bless(family_file);
+    fs::write(root.join(FAMILY_REGISTRY), &rendered)?;
+    Ok(rendered)
+}
+
 /// Ascends from `start` to the first directory whose `Cargo.toml`
 /// declares `[workspace]`.
 #[must_use]
@@ -322,7 +359,7 @@ mod tests {
             "runtime",
             "fn f() {\n    // lint:allow(wall-clock, reason = \"latency only\")\n    let t = Instant::now();\n}\n",
         );
-        let report = check_sources(std::slice::from_ref(&f), "");
+        let report = check_sources(std::slice::from_ref(&f), "", "");
         assert!(
             report
                 .diags
@@ -340,7 +377,7 @@ mod tests {
             "runtime",
             "fn f() {\n    // lint:allow(wall-clock)\n    let t = Instant::now();\n}\n",
         );
-        let report = check_sources(std::slice::from_ref(&f), "");
+        let report = check_sources(std::slice::from_ref(&f), "", "");
         assert!(report
             .diags
             .iter()
@@ -354,7 +391,7 @@ mod tests {
             "runtime",
             "// lint:allow(wall-clock, reason = \"nothing here\")\nfn f() {}\n",
         );
-        let report = check_sources(std::slice::from_ref(&f), "");
+        let report = check_sources(std::slice::from_ref(&f), "", "");
         assert!(report.diags.iter().any(|d| d.rule == "allow::unused"));
         assert_eq!(report.errors(), 0);
     }
@@ -374,7 +411,7 @@ mod tests {
             "server",
             "fn g() { let t = Instant::now(); go(t); }",
         );
-        let report = check_sources(&[runtime, server], "");
+        let report = check_sources(&[runtime, server], "", "");
         assert_eq!(report.errors(), 0, "{:?}", report.diags);
     }
 }

@@ -4,6 +4,7 @@
 //! cargo run -p lint                      # check the whole workspace
 //! cargo run -p lint -- --json report.json
 //! cargo run -p lint -- --bless-wire     # re-record the wire-freeze registry
+//! cargo run -p lint -- --bless-families # re-record the family-tag registry
 //! cargo run -p lint -- --files a.rs ... # run the file-local rules on fixtures
 //! ```
 //!
@@ -17,6 +18,7 @@ struct Args {
     root: Option<PathBuf>,
     json: Option<String>,
     bless_wire: bool,
+    bless_families: bool,
     files: Vec<PathBuf>,
 }
 
@@ -25,6 +27,7 @@ fn parse_args() -> Result<Args, String> {
         root: None,
         json: None,
         bless_wire: false,
+        bless_families: false,
         files: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -38,12 +41,13 @@ fn parse_args() -> Result<Args, String> {
                 args.json = Some(it.next().unwrap_or_else(|| "-".to_string()));
             }
             "--bless-wire" => args.bless_wire = true,
+            "--bless-families" => args.bless_families = true,
             "--files" => {
                 args.files.extend(it.by_ref().map(PathBuf::from));
             }
             "--help" | "-h" => {
                 return Err("usage: rebootlint [--root DIR] [--json [FILE|-]] \
-                            [--bless-wire] [--files FILE...]"
+                            [--bless-wire] [--bless-families] [--files FILE...]"
                     .to_string())
             }
             other => return Err(format!("unknown argument `{other}` (try --help)")),
@@ -71,24 +75,30 @@ fn main() -> ExitCode {
             eprintln!("rebootlint: no workspace root found (looked for a Cargo.toml with [workspace]); pass --root");
             return ExitCode::from(2);
         };
-        if args.bless_wire {
-            return match lint::bless_wire(&root) {
-                Ok(rendered) => {
-                    let entries = rendered
-                        .lines()
-                        .filter(|l| !l.trim_start().starts_with('#') && !l.trim().is_empty())
-                        .count();
-                    println!(
-                        "rebootlint: blessed {} ({entries} entries)",
-                        lint::WIRE_REGISTRY
-                    );
-                    ExitCode::SUCCESS
+        if args.bless_wire || args.bless_families {
+            let mut blessings = Vec::new();
+            if args.bless_wire {
+                blessings.push((lint::bless_wire(&root), lint::WIRE_REGISTRY));
+            }
+            if args.bless_families {
+                blessings.push((lint::bless_families(&root), lint::FAMILY_REGISTRY));
+            }
+            for (result, registry) in blessings {
+                match result {
+                    Ok(rendered) => {
+                        let entries = rendered
+                            .lines()
+                            .filter(|l| !l.trim_start().starts_with('#') && !l.trim().is_empty())
+                            .count();
+                        println!("rebootlint: blessed {registry} ({entries} entries)");
+                    }
+                    Err(e) => {
+                        eprintln!("rebootlint: bless failed: {e}");
+                        return ExitCode::from(2);
+                    }
                 }
-                Err(e) => {
-                    eprintln!("rebootlint: bless failed: {e}");
-                    ExitCode::from(2)
-                }
-            };
+            }
+            return ExitCode::SUCCESS;
         }
         match lint::check_workspace(&root) {
             Ok(r) => r,

@@ -34,6 +34,7 @@ pub const FROZEN_FNS: &[(&str, &[&str])] = &[
             "put_f64",
             "put_opt_u64",
             "put_str",
+            "put_bytes",
             "get_u8",
             "get_u16",
             "get_u32",
@@ -44,6 +45,7 @@ pub const FROZEN_FNS: &[(&str, &[&str])] = &[
             "get_opt_u64",
             "get_count",
             "get_str",
+            "get_bytes",
         ],
     ),
     ("frame", &["write_frame", "read_frame"]),
@@ -58,6 +60,7 @@ pub const FROZEN_FNS: &[(&str, &[&str])] = &[
             "put_gossip_entries",
             "get_gossip_entries",
             "require_gossip_version",
+            "require_family_version",
         ],
     ),
     (
@@ -78,6 +81,8 @@ pub const FROZEN_FNS: &[(&str, &[&str])] = &[
             "put_stats",
             "get_stats",
             "put_seq_len",
+            "put_family_body",
+            "get_family_body",
         ],
     ),
 ];
@@ -112,7 +117,7 @@ pub fn fn_hash(file: &SourceFile, name: &str) -> Option<u64> {
 
 /// Parses integer literals in any Rust base, ignoring `_` separators and
 /// type suffixes.
-fn parse_int(text: &str) -> Option<u64> {
+pub(crate) fn parse_int(text: &str) -> Option<u64> {
     let clean: String = text.chars().filter(|c| *c != '_').collect();
     let (digits, radix) = match clean.as_str() {
         s if s.starts_with("0x") || s.starts_with("0X") => (&s[2..], 16),
@@ -466,7 +471,7 @@ mod tests {
             "lib",
             "pub const PROTOCOL_VERSION: u16 = 3;\npub const MIN_SUPPORTED_VERSION: u16 = 1;",
         );
-        let msg = wire_file("message", "const TAG_HELLO: u8 = 0x01;\nfn encode_request_v() {}\nfn decode_request_v() {}\nfn encode_response_v() {}\nfn decode_response_v() {}\nfn negotiate() {}\nfn put_gossip_entries() {}\nfn get_gossip_entries() {}\nfn require_gossip_version() {}");
+        let msg = wire_file("message", "const TAG_HELLO: u8 = 0x01;\nfn encode_request_v() {}\nfn decode_request_v() {}\nfn encode_response_v() {}\nfn decode_response_v() {}\nfn negotiate() {}\nfn put_gossip_entries() {}\nfn get_gossip_entries() {}\nfn require_gossip_version() {}\nfn require_family_version() {}");
         let mut files = BTreeMap::new();
         files.insert("lib".to_string(), &lib);
         files.insert("message".to_string(), &msg);
@@ -483,7 +488,7 @@ mod tests {
             "clean sources must pass: {fn_errors:?}"
         );
 
-        let edited = wire_file("message", "const TAG_HELLO: u8 = 0x01;\nfn encode_request_v() { changed(); }\nfn decode_request_v() {}\nfn encode_response_v() {}\nfn decode_response_v() {}\nfn negotiate() {}\nfn put_gossip_entries() {}\nfn get_gossip_entries() {}\nfn require_gossip_version() {}");
+        let edited = wire_file("message", "const TAG_HELLO: u8 = 0x01;\nfn encode_request_v() { changed(); }\nfn decode_request_v() {}\nfn encode_response_v() {}\nfn decode_response_v() {}\nfn negotiate() {}\nfn put_gossip_entries() {}\nfn get_gossip_entries() {}\nfn require_gossip_version() {}\nfn require_family_version() {}");
         let mut files2 = BTreeMap::new();
         files2.insert("lib".to_string(), &lib);
         files2.insert("message".to_string(), &edited);

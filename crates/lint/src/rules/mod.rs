@@ -1,6 +1,7 @@
-//! The four rule families of `rebootlint`.
+//! The five rule families of `rebootlint`.
 
 pub mod determinism;
+pub mod families;
 pub mod freeze;
 pub mod locks;
 pub mod panics;

@@ -644,12 +644,13 @@ fn serve_one(shared: &Shared, host: &mut HostRuntime, job: &QueuedJob) {
             policy: job.policy,
             deadline_seconds: job.budget.map(|t| t.as_secs_f64()),
         };
-        // SAT kernels race a portfolio when hedging is configured; the
-        // hedge keeps the highest-ranked success, so the winning result is
-        // exactly what the sequential walk would have produced.
+        // Hedgeable families (per their registry entry — SAT today) race a
+        // portfolio when hedging is configured; the hedge keeps the
+        // highest-ranked success, so the winning result is exactly what
+        // the sequential walk would have produced.
         let hedge = shared
             .hedge
-            .filter(|_| matches!(job.kernel, Kernel::SolveSat { .. }));
+            .filter(|_| accel::family::registry().family_of(&job.kernel).hedgeable());
         let dispatched = match hedge {
             Some(cfg) => {
                 host.dispatch_hedged(&job.kernel, &request, cfg.top_k)

@@ -85,6 +85,12 @@ impl ByteWriter {
         }
     }
 
+    /// Appends raw bytes with no length prefix. Callers write a
+    /// cap-validated length field first (the generic family frame does).
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
     /// Appends a length-prefixed UTF-8 string.
     ///
     /// # Errors
@@ -273,6 +279,17 @@ impl<'a> ByteReader<'a> {
             return Err(WireError::Truncated { context });
         }
         Ok(count)
+    }
+
+    /// Reads exactly `len` raw bytes. Callers must have validated `len`
+    /// against a protocol cap *and* the remaining input first (via
+    /// [`ByteReader::get_count`]); this only re-checks the input bound.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] when fewer than `len` bytes remain.
+    pub fn get_bytes(&mut self, len: usize, context: &'static str) -> Result<&'a [u8], WireError> {
+        self.take(len, context)
     }
 
     /// Reads a length-prefixed UTF-8 string.

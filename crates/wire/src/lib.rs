@@ -94,7 +94,14 @@ pub const MAGIC: [u8; 4] = *b"RBCM";
 ///   epoch) between routers and shards. `Submit`/`Stats` layouts are
 ///   unchanged — a v5 frame of any v4 message is byte-identical to its
 ///   v4 encoding.
-pub const PROTOCOL_VERSION: u16 = 5;
+/// * **6** — kernel-family registry: kernel tag `5` and result tag `5`
+///   open a *generic family frame* (u16 registry family tag, u32
+///   length-prefixed family-owned body), so new workload families ship
+///   through their [`accel::family`] registry entry without new
+///   top-level wire tags. The legacy five families keep their native
+///   v1 tags — a v6 frame of any v5 message is byte-identical to its
+///   v5 encoding.
+pub const PROTOCOL_VERSION: u16 = 6;
 
 /// The oldest protocol version this build still accepts.
 pub const MIN_SUPPORTED_VERSION: u16 = 1;
@@ -116,6 +123,11 @@ pub const MAX_CLAUSES: u32 = 1 << 20;
 
 /// Hard cap on the width (literal count) of one encoded clause.
 pub const MAX_CLAUSE_WIDTH: u32 = 1 << 10;
+
+/// Hard cap on the body of one generic family frame (kernel/result tag
+/// `5`, protocol version ≥ 6). Individual families enforce their own,
+/// tighter serving caps inside the body.
+pub const MAX_FAMILY_BODY: u32 = 1 << 20;
 
 /// Everything that can go wrong encoding, decoding, or framing.
 #[derive(Debug)]

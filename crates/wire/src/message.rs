@@ -283,6 +283,20 @@ fn require_gossip_version(version: u16) -> Result<(), WireError> {
     }
 }
 
+/// Rejects generic family frames on a pre-v6 link with a uniform
+/// diagnostic. A v5 peer has no kernel/result tag `5`, so registry-served
+/// kernels must not be encoded toward — or accepted from — older links.
+fn require_family_version(version: u16) -> Result<(), WireError> {
+    if version >= 6 {
+        Ok(())
+    } else {
+        Err(WireError::Invalid {
+            context: "family version",
+            detail: format!("generic family frames need protocol version 6, link is v{version}"),
+        })
+    }
+}
+
 /// Encodes one request to a frame payload at [`PROTOCOL_VERSION`].
 ///
 /// # Errors
@@ -337,6 +351,9 @@ pub fn encode_request_v(request: &Request, version: u16) -> Result<Vec<u8>, Wire
                     ),
                 });
             }
+            if kernel.uses_family_frame() {
+                require_family_version(version)?;
+            }
             put_kernel(&mut w, kernel)?;
         }
         Request::Cancel { request_id } => {
@@ -389,17 +406,27 @@ pub fn decode_request_v(bytes: &[u8], version: u16) -> Result<Request, WireError
         TAG_PING => Request::Ping {
             token: r.get_u64("ping token")?,
         },
-        TAG_SUBMIT => Request::Submit {
-            request_id: r.get_u64("submit request id")?,
-            timeout_ms: r.get_opt_u64("submit timeout")?,
-            seed: r.get_opt_u64("submit seed")?,
-            policy: if version >= 2 {
+        TAG_SUBMIT => {
+            let request_id = r.get_u64("submit request id")?;
+            let timeout_ms = r.get_opt_u64("submit timeout")?;
+            let seed = r.get_opt_u64("submit seed")?;
+            let policy = if version >= 2 {
                 get_policy(&mut r)?
             } else {
                 None
-            },
-            kernel: get_kernel(&mut r)?,
-        },
+            };
+            let kernel = get_kernel(&mut r)?;
+            if kernel.uses_family_frame() {
+                require_family_version(version)?;
+            }
+            Request::Submit {
+                request_id,
+                timeout_ms,
+                seed,
+                policy,
+                kernel,
+            }
+        }
         TAG_CANCEL => Request::Cancel {
             request_id: r.get_u64("cancel request id")?,
         },
@@ -456,6 +483,11 @@ pub fn encode_response_v(response: &Response, version: u16) -> Result<Vec<u8>, W
             request_id,
             outcome,
         } => {
+            if let WireOutcome::Completed { result, .. } = outcome {
+                if result.uses_family_frame() {
+                    require_family_version(version)?;
+                }
+            }
             w.put_u8(TAG_JOB_RESULT);
             w.put_u64(*request_id);
             put_outcome(&mut w, outcome)?;
@@ -521,10 +553,19 @@ pub fn decode_response_v(bytes: &[u8], version: u16) -> Result<Response, WireErr
         TAG_PONG => Response::Pong {
             token: r.get_u64("pong token")?,
         },
-        TAG_JOB_RESULT => Response::JobResult {
-            request_id: r.get_u64("result request id")?,
-            outcome: get_outcome(&mut r)?,
-        },
+        TAG_JOB_RESULT => {
+            let request_id = r.get_u64("result request id")?;
+            let outcome = get_outcome(&mut r)?;
+            if let WireOutcome::Completed { result, .. } = &outcome {
+                if result.uses_family_frame() {
+                    require_family_version(version)?;
+                }
+            }
+            Response::JobResult {
+                request_id,
+                outcome,
+            }
+        }
         TAG_CANCEL_RESULT => Response::CancelResult {
             request_id: r.get_u64("cancel request id")?,
             cancelled: match r.get_u8("cancelled flag")? {
@@ -584,6 +625,7 @@ pub fn negotiate(client_min: u16, client_max: u16) -> Option<u16> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use accel::family::{ColoringSpec, FamilyKernel, FamilyResult};
     use accel::kernel::{CostReport, KernelResult};
     use runtime::stats::{LatencyHistogram, LATENCY_BUCKETS};
 
@@ -895,6 +937,113 @@ mod tests {
         assert_eq!(
             encode_response_v(&stats, 4).unwrap(),
             encode_response_v(&stats, 5).unwrap()
+        );
+    }
+
+    fn family_submit() -> Request {
+        Request::Submit {
+            request_id: 21,
+            timeout_ms: None,
+            seed: Some(9),
+            policy: None,
+            kernel: Kernel::Family(FamilyKernel::Coloring(ColoringSpec {
+                n_vertices: 3,
+                n_colors: 2,
+                edges: vec![(0, 1), (1, 2)],
+            })),
+        }
+    }
+
+    #[test]
+    fn family_submit_round_trips_at_v6() {
+        let submit = family_submit();
+        let bytes = encode_request_v(&submit, 6).unwrap();
+        assert_eq!(decode_request_v(&bytes, 6).unwrap(), submit);
+        let result = Response::JobResult {
+            request_id: 21,
+            outcome: WireOutcome::Completed {
+                backend: "oscillator".into(),
+                result: KernelResult::Family(FamilyResult::Coloring {
+                    colors: vec![0, 1, 0],
+                    conflicts: 0,
+                }),
+                cost: CostReport {
+                    device_seconds: 5.6e-6,
+                    operations: 3,
+                },
+                wall_nanos: 900,
+            },
+        };
+        let bytes = encode_response_v(&result, 6).unwrap();
+        assert_eq!(decode_response_v(&bytes, 6).unwrap(), result);
+    }
+
+    #[test]
+    fn family_frames_refused_on_pre_v6_links() {
+        let submit = family_submit();
+        let bytes = encode_request_v(&submit, 6).unwrap();
+        for version in 1..6 {
+            assert!(matches!(
+                encode_request_v(&submit, version),
+                Err(WireError::Invalid {
+                    context: "family version",
+                    ..
+                })
+            ));
+            assert!(decode_request_v(&bytes, version).is_err());
+        }
+        let result = Response::JobResult {
+            request_id: 1,
+            outcome: WireOutcome::Completed {
+                backend: "cpu".into(),
+                result: KernelResult::Family(FamilyResult::Qubo {
+                    bits: vec![true],
+                    energy: -1.0,
+                }),
+                cost: CostReport {
+                    device_seconds: 1e-9,
+                    operations: 1,
+                },
+                wall_nanos: 10,
+            },
+        };
+        assert!(matches!(
+            encode_response_v(&result, 5),
+            Err(WireError::Invalid {
+                context: "family version",
+                ..
+            })
+        ));
+        let bytes = encode_response_v(&result, 6).unwrap();
+        assert!(decode_response_v(&bytes, 5).is_err());
+    }
+
+    #[test]
+    fn v6_encoding_of_v5_messages_is_byte_identical() {
+        let submit = Request::Submit {
+            request_id: 7,
+            timeout_ms: Some(250),
+            seed: Some(42),
+            policy: Some(DispatchPolicy::MinPredictedLatency),
+            kernel: Kernel::Factor { n: 77 },
+        };
+        assert_eq!(
+            encode_request_v(&submit, 5).unwrap(),
+            encode_request_v(&submit, 6).unwrap()
+        );
+        let gossip = Request::Gossip {
+            request_id: 40,
+            origin: 2,
+            entries: vec![GossipEntry {
+                shard: 0,
+                status: GOSSIP_ALIVE,
+                failures: 0,
+                epoch: 12,
+            }],
+        };
+        assert_eq!(
+            encode_request_v(&gossip, 5).unwrap(),
+            encode_request_v(&gossip, 6).unwrap()
         );
     }
 

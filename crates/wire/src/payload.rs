@@ -7,7 +7,8 @@
 //! constructors so a decoded formula is structurally sound by construction.
 
 use crate::codec::{ByteReader, ByteWriter};
-use crate::{WireError, MAX_CLAUSES, MAX_CLAUSE_WIDTH, MAX_SEQUENCE_LEN};
+use crate::{WireError, MAX_CLAUSES, MAX_CLAUSE_WIDTH, MAX_FAMILY_BODY, MAX_SEQUENCE_LEN};
+use accel::family::FamilyCodecError;
 use accel::host::DispatchPolicy;
 use accel::kernel::{CostReport, Kernel, KernelResult};
 use mem::cnf::{Clause, Formula, Literal};
@@ -100,6 +101,11 @@ pub(crate) fn put_kernel(w: &mut ByteWriter, kernel: &Kernel) -> Result<(), Wire
             w.put_f64(*x);
             w.put_f64(*y);
         }
+        Kernel::Family(_) => {
+            let (tag, body) = accel::family::encode_kernel_body(kernel).map_err(family_err)?;
+            w.put_u8(5);
+            put_family_body(w, tag, &body)?;
+        }
     }
     Ok(())
 }
@@ -130,6 +136,10 @@ pub(crate) fn get_kernel(r: &mut ByteReader<'_>) -> Result<Kernel, WireError> {
             x: r.get_f64("compare x")?,
             y: r.get_f64("compare y")?,
         }),
+        5 => {
+            let (tag, body) = get_family_body(r)?;
+            accel::family::decode_kernel_body(tag, body).map_err(family_err)
+        }
         tag => Err(WireError::UnknownTag {
             context: "kernel",
             tag,
@@ -198,6 +208,12 @@ pub(crate) fn put_kernel_result(
             w.put_u8(4);
             w.put_f64(*d);
         }
+        KernelResult::Family(family_result) => {
+            let (tag, body) =
+                accel::family::encode_result_body(family_result).map_err(family_err)?;
+            w.put_u8(5);
+            put_family_body(w, tag, &body)?;
+        }
     }
     Ok(())
 }
@@ -235,6 +251,10 @@ pub(crate) fn get_kernel_result(r: &mut ByteReader<'_>) -> Result<KernelResult, 
             }),
         },
         4 => Ok(KernelResult::Distance(r.get_f64("distance")?)),
+        5 => {
+            let (tag, body) = get_family_body(r)?;
+            accel::family::decode_result_body(tag, body).map_err(family_err)
+        }
         tag => Err(WireError::UnknownTag {
             context: "kernel result",
             tag,
@@ -572,6 +592,60 @@ pub(crate) fn get_stats(r: &mut ByteReader<'_>, version: u16) -> Result<RuntimeS
     })
 }
 
+// ---------------------------------------------------- family frames (v6)
+
+/// Writes the generic family frame introduced at protocol version 6:
+/// u16 registry family tag, u32 body length, then the family-owned body
+/// bytes (encoded by the family's registry entry, opaque to this layer).
+fn put_family_body(w: &mut ByteWriter, tag: u16, body: &[u8]) -> Result<(), WireError> {
+    if body.len() as u64 > u64::from(MAX_FAMILY_BODY) {
+        return Err(WireError::TooLarge {
+            context: "family body",
+            len: body.len() as u64,
+            max: u64::from(MAX_FAMILY_BODY),
+        });
+    }
+    w.put_u16(tag);
+    w.put_u32(body.len() as u32);
+    w.put_bytes(body);
+    Ok(())
+}
+
+/// Reads one generic family frame: the registry tag plus the exact body
+/// slice. The length prefix is validated against [`MAX_FAMILY_BODY`] and
+/// the remaining input before the slice is taken.
+fn get_family_body<'a>(r: &mut ByteReader<'a>) -> Result<(u16, &'a [u8]), WireError> {
+    let tag = r.get_u16("family tag")?;
+    let len = r.get_count(MAX_FAMILY_BODY, 1, "family body")?;
+    let body = r.get_bytes(len, "family body")?;
+    Ok((tag, body))
+}
+
+/// Maps a family body codec error onto the wire error taxonomy. A family
+/// tag is a u16, so its unknown-tag case cannot reuse
+/// [`WireError::UnknownTag`] (a u8 slot) and lands on `Invalid` instead.
+fn family_err(err: FamilyCodecError) -> WireError {
+    match err {
+        FamilyCodecError::UnknownTag { tag } => WireError::Invalid {
+            context: "family tag",
+            detail: format!("unknown kernel family tag {tag}"),
+        },
+        FamilyCodecError::LegacyFraming { family } => WireError::Invalid {
+            context: "family frame",
+            detail: format!("family `{family}` uses native v1 framing"),
+        },
+        FamilyCodecError::Truncated { context } => WireError::Truncated { context },
+        FamilyCodecError::TooLarge { context, len, max } => {
+            WireError::TooLarge { context, len, max }
+        }
+        FamilyCodecError::Invalid { context, detail } => WireError::Invalid { context, detail },
+        FamilyCodecError::TrailingBytes { context, remaining } => WireError::Invalid {
+            context,
+            detail: format!("{remaining} trailing bytes inside a family body"),
+        },
+    }
+}
+
 // ---------------------------------------------------------------- helpers
 
 fn put_seq_len(w: &mut ByteWriter, len: usize, context: &'static str) -> Result<(), WireError> {
@@ -597,6 +671,7 @@ fn too_large(context: &'static str) -> WireError {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use accel::family::{ColoringSpec, FamilyKernel, FamilyResult, QuboSpec};
     use mem::generators::planted_3sat;
     use std::time::Duration;
 
@@ -959,5 +1034,167 @@ mod tests {
             decode_kernel_result(&bytes),
             Err(WireError::Invalid { .. })
         ));
+    }
+
+    fn coloring_kernel() -> Kernel {
+        Kernel::Family(FamilyKernel::Coloring(ColoringSpec {
+            n_vertices: 4,
+            n_colors: 2,
+            edges: vec![(0, 1), (1, 2), (2, 3), (3, 0)],
+        }))
+    }
+
+    fn qubo_kernel() -> Kernel {
+        Kernel::Family(FamilyKernel::Qubo(QuboSpec {
+            n_vars: 3,
+            linear: vec![(0, 1.5), (2, -0.25)],
+            quadratic: vec![(0, 1, -2.0), (1, 2, 0.5)],
+        }))
+    }
+
+    #[test]
+    fn family_kernels_round_trip() {
+        for kernel in [coloring_kernel(), qubo_kernel()] {
+            assert_eq!(round_trip_kernel(&kernel), kernel);
+        }
+    }
+
+    #[test]
+    fn family_results_round_trip() {
+        let results = vec![
+            KernelResult::Family(FamilyResult::Coloring {
+                colors: vec![0, 1, 0, 1],
+                conflicts: 0,
+            }),
+            KernelResult::Family(FamilyResult::Qubo {
+                bits: vec![true, false, true],
+                energy: -1.75,
+            }),
+        ];
+        for result in &results {
+            assert_eq!(&round_trip_result(result), result);
+        }
+    }
+
+    #[test]
+    fn family_frame_layout_is_tag_then_length_prefixed_body() {
+        let bytes = encode_kernel(&coloring_kernel()).unwrap();
+        assert_eq!(bytes[0], 5, "generic family frames use kernel tag 5");
+        assert_eq!(
+            u16::from_be_bytes([bytes[1], bytes[2]]),
+            6,
+            "coloring carries registry family tag 6"
+        );
+        let body_len = u32::from_be_bytes([bytes[3], bytes[4], bytes[5], bytes[6]]) as usize;
+        assert_eq!(bytes.len(), 7 + body_len, "body length prefix is exact");
+    }
+
+    #[test]
+    fn unknown_family_tag_rejected() {
+        let mut w = ByteWriter::new();
+        w.put_u8(5); // family frame
+        w.put_u16(999); // no such family
+        w.put_u32(1);
+        w.put_u8(0);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            decode_kernel(&bytes),
+            Err(WireError::Invalid {
+                context: "family tag",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn legacy_families_refuse_generic_framing() {
+        // Registry tag 1 is Factor, which is natively framed (kernel tag
+        // 0); smuggling it through a family frame must be rejected, not
+        // silently accepted as a second encoding of the same kernel.
+        let mut w = ByteWriter::new();
+        w.put_u8(5);
+        w.put_u16(1);
+        w.put_u32(8);
+        w.put_u64(21);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            decode_kernel(&bytes),
+            Err(WireError::Invalid {
+                context: "family frame",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn truncated_family_frames_error_not_panic() {
+        for kernel in [coloring_kernel(), qubo_kernel()] {
+            let full = encode_kernel(&kernel).unwrap();
+            for cut in 0..full.len() {
+                assert!(
+                    decode_kernel(&full[..cut]).is_err(),
+                    "truncation at {cut} must error"
+                );
+            }
+        }
+        let full = encode_kernel_result(&KernelResult::Family(FamilyResult::Qubo {
+            bits: vec![true, false],
+            energy: 0.5,
+        }))
+        .unwrap();
+        for cut in 0..full.len() {
+            assert!(
+                decode_kernel_result(&full[..cut]).is_err(),
+                "truncation at {cut} must error"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_family_body_length_rejected() {
+        // A body length claiming more bytes than remain must fail before
+        // any allocation.
+        let mut w = ByteWriter::new();
+        w.put_u8(5);
+        w.put_u16(6);
+        w.put_u32(u32::MAX);
+        w.put_u8(0);
+        let bytes = w.into_bytes();
+        let err = decode_kernel(&bytes).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                WireError::TooLarge { .. } | WireError::Truncated { .. }
+            ),
+            "unexpected {err}"
+        );
+    }
+
+    #[test]
+    fn family_body_trailing_bytes_rejected() {
+        // Pad a valid coloring body with one extra byte inside the
+        // length-prefixed region: the family decoder must notice.
+        let (tag, mut body) = accel::family::encode_kernel_body(&coloring_kernel()).unwrap();
+        body.push(0);
+        let mut w = ByteWriter::new();
+        w.put_u8(5);
+        w.put_u16(tag);
+        w.put_u32(body.len() as u32);
+        w.put_bytes(&body);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            decode_kernel(&bytes),
+            Err(WireError::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn family_frames_are_deterministic() {
+        for kernel in [coloring_kernel(), qubo_kernel()] {
+            assert_eq!(
+                encode_kernel(&kernel).unwrap(),
+                encode_kernel(&kernel).unwrap()
+            );
+        }
     }
 }

@@ -33,6 +33,13 @@
 //! ratio, and replays the workload on an admission-*disabled* runtime to
 //! prove cached results are byte-identical to cold recomputation.
 //!
+//! `--mix coloring-heavy` / `--mix qubo-heavy` swap in registry-family
+//! workloads: three of every four jobs are phase-dynamics vertex
+//! colorings (or Ising/QUBO minimizations) riding the protocol-v6
+//! generic family frame, interleaved with legacy kernels on their native
+//! v1 frames. The run reports how many jobs used the v6 frame and the
+//! byte-for-byte replay covers both framings on the same connections.
+//!
 //! `--chaos` installs the stock [`FaultPlan::chaos`] schedule (seeded by
 //! `--seed`, default 29) on the server's runtime: backends fault, the
 //! dispatcher retries and fails over, and every job must still resolve
@@ -41,7 +48,10 @@
 //! fingerprint of every outcome — so two runs with the same seed can be
 //! compared byte-for-byte from their stdout alone.
 
-use rebooting_models::workload::{duplicate_heavy_workload, job_seeds, mixed_workload};
+use rebooting_models::workload::{
+    coloring_heavy_workload, duplicate_heavy_workload, job_seeds, mixed_workload,
+    qubo_heavy_workload,
+};
 use runtime::stats::LatencyHistogram;
 use runtime::{
     AdmissionConfig, DispatchPolicy, FaultPlan, JobOptions, JobOutcome, QuarantinePolicy, Runtime,
@@ -57,6 +67,8 @@ const MASTER_SEED: u64 = 2019;
 enum Mix {
     Mixed,
     DuplicateHeavy,
+    ColoringHeavy,
+    QuboHeavy,
 }
 
 struct Args {
@@ -118,9 +130,12 @@ fn parse_args() -> Result<Args, String> {
             args.mix = match raw.as_str() {
                 "mixed" => Mix::Mixed,
                 "duplicate-heavy" => Mix::DuplicateHeavy,
+                "coloring-heavy" => Mix::ColoringHeavy,
+                "qubo-heavy" => Mix::QuboHeavy,
                 other => {
                     return Err(format!(
-                        "unknown mix {other} (expected mixed or duplicate-heavy)"
+                        "unknown mix {other} (expected mixed, duplicate-heavy, \
+                         coloring-heavy, or qubo-heavy)"
                     ))
                 }
             };
@@ -506,7 +521,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             job_seeds(args.jobs, MASTER_SEED),
         ),
         Mix::DuplicateHeavy => duplicate_heavy_workload(args.jobs, MASTER_SEED, args.dup_ratio)?,
+        Mix::ColoringHeavy => (
+            coloring_heavy_workload(args.jobs, MASTER_SEED)?,
+            job_seeds(args.jobs, MASTER_SEED),
+        ),
+        Mix::QuboHeavy => (
+            qubo_heavy_workload(args.jobs, MASTER_SEED)?,
+            job_seeds(args.jobs, MASTER_SEED),
+        ),
     };
+    let family_jobs = workload.iter().filter(|k| k.uses_family_frame()).count();
+    if matches!(args.mix, Mix::ColoringHeavy | Mix::QuboHeavy) {
+        assert!(
+            family_jobs > 0 && (args.jobs < 4 || family_jobs < args.jobs),
+            "a family-heavy mix must interleave family and legacy kernels"
+        );
+        println!(
+            "family mix: {family_jobs}/{} jobs ride the protocol-v6 generic family frame, \
+             the rest stay on native v1 frames",
+            args.jobs
+        );
+    }
     let plan = args.chaos.then(|| FaultPlan::chaos(args.chaos_seed));
 
     if args.shards > 1 {

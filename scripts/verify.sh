@@ -15,7 +15,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo clippy (release profile)"
 cargo clippy --workspace --all-targets --release -- -D warnings
 
-echo "==> rebootlint (determinism, panic-hygiene, wire-freeze, lock-order)"
+echo "==> rebootlint (determinism, panic-hygiene, wire-freeze, family-tag-freeze, lock-order)"
 cargo run --release -q -p lint
 
 echo "==> tier-1: cargo build --release"
@@ -45,6 +45,27 @@ echo "$dup_out" | grep -E "admission: [0-9]+ cache hits" | grep -qv "admission: 
   || { echo "verify: duplicate-heavy run served no traffic from admission" >&2; exit 1; }
 echo "$dup_out" | grep -q "cached and cold runs agree byte-for-byte" \
   || { echo "verify: cached-vs-cold byte equality check missing" >&2; exit 1; }
+
+echo "==> smoke: loadgen coloring-heavy (v6 family frames + cross-wire determinism)"
+# Three of four jobs ride the protocol-v6 generic family frame; the rest
+# stay on native v1 frames over the same connections. loadgen asserts the
+# networked results match a direct replay byte-for-byte.
+col_out=$(timeout 180 cargo run --release --example loadgen -- --clients 2 --jobs 40 \
+  --workers 2 --mix coloring-heavy)
+echo "$col_out" | tail -n 4
+echo "$col_out" | grep -q "family mix: 30/40 jobs ride the protocol-v6 generic family frame" \
+  || { echo "verify: coloring-heavy run did not use v6 family frames" >&2; exit 1; }
+echo "$col_out" | grep -q "agree byte-for-byte on all 40/40 outcomes" \
+  || { echo "verify: coloring-heavy byte equality check missing" >&2; exit 1; }
+
+echo "==> smoke: loadgen qubo-heavy (v6 family frames on the DMM backend)"
+qubo_out=$(timeout 180 cargo run --release --example loadgen -- --clients 2 --jobs 40 \
+  --workers 2 --mix qubo-heavy --policy prefer-specialized)
+echo "$qubo_out" | tail -n 4
+echo "$qubo_out" | grep -q "family mix: 30/40 jobs ride the protocol-v6 generic family frame" \
+  || { echo "verify: qubo-heavy run did not use v6 family frames" >&2; exit 1; }
+echo "$qubo_out" | grep -q "agree byte-for-byte on all 40/40 outcomes" \
+  || { echo "verify: qubo-heavy byte equality check missing" >&2; exit 1; }
 
 echo "==> smoke: loadgen 2-shard cluster (router sharding + cross-shard determinism)"
 cluster_out=$(timeout 180 cargo run --release --example loadgen -- --shards 2 --clients 2 \

@@ -4,6 +4,7 @@
 //! runtime) and `examples/loadgen.rs` (over the network), so the two can
 //! compare results byte for byte.
 
+use accel::family::{ColoringSpec, FamilyKernel, QuboSpec};
 use accel::kernel::Kernel;
 use mem::generators::planted_3sat;
 use mem::MemError;
@@ -98,6 +99,106 @@ pub fn duplicate_heavy_workload(
     Ok((kernels, seeds))
 }
 
+/// One legacy (pre-registry) kernel for the thin interleave stream of the
+/// family-heavy mixes, so v6 generic family frames and native v1 frames
+/// share every connection.
+fn legacy_filler(slot: usize, rng: &mut impl Rng) -> Result<Kernel, MemError> {
+    let semiprimes = [15u64, 21, 33, 35, 55, 77];
+    Ok(match slot % 3 {
+        0 => Kernel::Factor {
+            n: semiprimes[rng.gen_range(0..semiprimes.len())],
+        },
+        1 => Kernel::Compare {
+            x: rng.gen_range(0.0..1.0),
+            y: rng.gen_range(0.0..1.0),
+        },
+        _ => {
+            let sat = planted_3sat(12, 3.8, rng.gen::<u64>())?;
+            Kernel::SolveSat {
+                formula: sat.formula,
+            }
+        }
+    })
+}
+
+/// A coloring-heavy workload for exercising the kernel-family registry:
+/// three of every four jobs are phase-dynamics vertex-coloring kernels
+/// (a ring plus a few random chords, 3 colors), which ride the
+/// protocol-v6 generic family frame; the fourth is a rotating legacy
+/// kernel on its native v1 frame, so both framings share every
+/// connection and the byte-for-byte replay covers them together.
+///
+/// # Errors
+///
+/// Propagates [`MemError`] from SAT instance generation in the legacy
+/// interleave (cannot happen for the sizes used here).
+pub fn coloring_heavy_workload(jobs: usize, master_seed: u64) -> Result<Vec<Kernel>, MemError> {
+    let mut rng = rng_from_seed(master_seed ^ 0x636f_6c6f_7269_6e67);
+    let mut kernels = Vec::with_capacity(jobs);
+    for i in 0..jobs {
+        if i % 4 == 3 {
+            kernels.push(legacy_filler(i / 4, &mut rng)?);
+            continue;
+        }
+        let n_vertices = rng.gen_range(6..14);
+        // A ring guarantees a connected conflict graph; chords make some
+        // instances genuinely frustrated under 3 colors.
+        let mut edges: Vec<(usize, usize)> =
+            (0..n_vertices).map(|v| (v, (v + 1) % n_vertices)).collect();
+        for _ in 0..rng.gen_range(0..4) {
+            let a = rng.gen_range(0..n_vertices);
+            let b = rng.gen_range(0..n_vertices);
+            if a != b {
+                edges.push((a, b));
+            }
+        }
+        kernels.push(Kernel::Family(FamilyKernel::Coloring(ColoringSpec {
+            n_vertices,
+            n_colors: 3,
+            edges,
+        })));
+    }
+    Ok(kernels)
+}
+
+/// A QUBO-heavy workload for exercising the kernel-family registry:
+/// three of every four jobs are Ising/QUBO energy minimizations (dense
+/// linear terms, sparse random couplings) on the v6 generic family
+/// frame, interleaved with rotating legacy kernels exactly like
+/// [`coloring_heavy_workload`].
+///
+/// # Errors
+///
+/// Propagates [`MemError`] from SAT instance generation in the legacy
+/// interleave (cannot happen for the sizes used here).
+pub fn qubo_heavy_workload(jobs: usize, master_seed: u64) -> Result<Vec<Kernel>, MemError> {
+    let mut rng = rng_from_seed(master_seed ^ 0x7175_626f_2121_2121);
+    let mut kernels = Vec::with_capacity(jobs);
+    for i in 0..jobs {
+        if i % 4 == 3 {
+            kernels.push(legacy_filler(i / 4, &mut rng)?);
+            continue;
+        }
+        let n_vars = rng.gen_range(4..12);
+        let linear: Vec<(usize, f64)> =
+            (0..n_vars).map(|v| (v, rng.gen_range(-1.0..1.0))).collect();
+        let mut quadratic = Vec::with_capacity(n_vars);
+        for _ in 0..n_vars {
+            let i = rng.gen_range(0..n_vars);
+            let j = rng.gen_range(0..n_vars);
+            if i != j {
+                quadratic.push((i, j, rng.gen_range(-1.0..1.0)));
+            }
+        }
+        kernels.push(Kernel::Family(FamilyKernel::Qubo(QuboSpec {
+            n_vars,
+            linear,
+            quadratic,
+        })));
+    }
+    Ok(kernels)
+}
+
 /// One explicit execution seed per job, derived from the master seed.
 ///
 /// Concurrent clients reach the server in nondeterministic order, so
@@ -166,6 +267,34 @@ mod tests {
         let (kernels, seeds) = duplicate_heavy_workload(12, 3, 1.0).unwrap();
         assert!(kernels.iter().all(|k| *k == kernels[0]));
         assert!(seeds.iter().all(|&s| s == seeds[0]));
+    }
+
+    #[test]
+    fn family_heavy_workloads_mix_frames_and_validate() {
+        for (name, workload) in [
+            ("coloring", coloring_heavy_workload(32, 7).unwrap()),
+            ("qubo", qubo_heavy_workload(32, 7).unwrap()),
+        ] {
+            let family = workload.iter().filter(|k| k.uses_family_frame()).count();
+            let legacy = workload.len() - family;
+            assert_eq!(family, 24, "{name}: 3 of 4 jobs ride the family frame");
+            assert_eq!(legacy, 8, "{name}: 1 of 4 jobs stays on a v1 frame");
+            for kernel in &workload {
+                kernel.validate().unwrap();
+            }
+        }
+        assert_eq!(
+            coloring_heavy_workload(32, 7).unwrap(),
+            coloring_heavy_workload(32, 7).unwrap()
+        );
+        assert_eq!(
+            qubo_heavy_workload(32, 7).unwrap(),
+            qubo_heavy_workload(32, 7).unwrap()
+        );
+        assert_ne!(
+            coloring_heavy_workload(32, 7).unwrap(),
+            coloring_heavy_workload(32, 8).unwrap()
+        );
     }
 
     #[test]

@@ -11,7 +11,9 @@ use accel::accelerator::{Accelerator, CpuBackend};
 use accel::fault::{FaultPlan, FaultSpec};
 use accel::host::{QuarantinePolicy, RetryPolicy};
 use accel::kernel::Kernel;
-use rebooting_models::workload::{job_seeds, mixed_workload};
+use rebooting_models::workload::{
+    coloring_heavy_workload, job_seeds, mixed_workload, qubo_heavy_workload,
+};
 use runtime::{DispatchPolicy, JobOptions, JobOutcome, Runtime, RuntimeConfig, RuntimeStats};
 use server::{Client, Server, ServerConfig, SubmitOptions};
 use std::net::TcpStream;
@@ -75,12 +77,17 @@ fn chaos_runtime_config(plan_seed: u64, workers: usize) -> RuntimeConfig {
 }
 
 /// Runs the full TCP stack under a chaos plan: `clients` concurrent
-/// connections submit a fixed mixed workload to a `workers`-wide server.
+/// connections submit the given workload to a `workers`-wide server.
 /// Returns the per-job fingerprints (workload order) and the server's
 /// stats snapshot taken after every job settled.
-fn chaos_over_tcp(plan_seed: u64, clients: usize, workers: usize) -> (Vec<Vec<u8>>, RuntimeStats) {
-    let workload = mixed_workload(JOBS, MASTER_SEED).expect("workload");
-    let seeds = job_seeds(JOBS, MASTER_SEED);
+fn chaos_over_tcp(
+    workload: &[Kernel],
+    seeds: &[u64],
+    plan_seed: u64,
+    clients: usize,
+    workers: usize,
+) -> (Vec<Vec<u8>>, RuntimeStats) {
+    let jobs = workload.len();
     let server = Server::start(ServerConfig {
         addr: "127.0.0.1:0".into(),
         max_connections: clients + 2,
@@ -89,15 +96,13 @@ fn chaos_over_tcp(plan_seed: u64, clients: usize, workers: usize) -> (Vec<Vec<u8
     .expect("server must start under a fault plan");
     let addr = server.local_addr();
 
-    let mut prints: Vec<Option<Vec<u8>>> = vec![None; JOBS];
+    let mut prints: Vec<Option<Vec<u8>>> = vec![None; jobs];
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
             .map(|c| {
-                let workload = &workload;
-                let seeds = &seeds;
                 scope.spawn(move || {
                     let mut client = Client::connect(addr).expect("client connects");
-                    let mine: Vec<usize> = (0..JOBS).filter(|i| i % clients == c).collect();
+                    let mine: Vec<usize> = (0..jobs).filter(|i| i % clients == c).collect();
                     let tickets: Vec<(usize, u64)> = mine
                         .iter()
                         .map(|&i| {
@@ -135,13 +140,15 @@ fn chaos_over_tcp(plan_seed: u64, clients: usize, workers: usize) -> (Vec<Vec<u8
 
 /// Replays the same workload on a 1-worker runtime directly (no sockets)
 /// under the same plan — the deterministic baseline.
-fn chaos_direct(plan_seed: u64) -> (Vec<Vec<u8>>, RuntimeStats) {
-    let workload = mixed_workload(JOBS, MASTER_SEED).expect("workload");
-    let seeds = job_seeds(JOBS, MASTER_SEED);
+fn chaos_direct(
+    workload: &[Kernel],
+    seeds: &[u64],
+    plan_seed: u64,
+) -> (Vec<Vec<u8>>, RuntimeStats) {
     let rt = Runtime::start(chaos_runtime_config(plan_seed, 1)).expect("runtime");
     let handles: Vec<_> = workload
         .iter()
-        .zip(&seeds)
+        .zip(seeds)
         .map(|(kernel, &seed)| {
             rt.submit_with(kernel.clone(), JobOptions::with_seed(seed))
                 .expect("submit")
@@ -153,13 +160,15 @@ fn chaos_direct(plan_seed: u64) -> (Vec<Vec<u8>>, RuntimeStats) {
 
 #[test]
 fn seeded_chaos_resolves_reproduces_and_matches_direct_baseline() {
+    let workload = mixed_workload(JOBS, MASTER_SEED).expect("workload");
+    let seeds = job_seeds(JOBS, MASTER_SEED);
     for plan_seed in CHAOS_SEEDS {
         // Two independent server runs with *different* topologies, plus a
         // direct no-socket replay: fault decisions are pure functions of
         // (plan seed, backend, job seed), so all three must agree.
-        let (first, stats_a) = chaos_over_tcp(plan_seed, 3, 3);
-        let (second, stats_b) = chaos_over_tcp(plan_seed, 2, 4);
-        let (direct, stats_c) = chaos_direct(plan_seed);
+        let (first, stats_a) = chaos_over_tcp(&workload, &seeds, plan_seed, 3, 3);
+        let (second, stats_b) = chaos_over_tcp(&workload, &seeds, plan_seed, 2, 4);
+        let (direct, stats_c) = chaos_direct(&workload, &seeds, plan_seed);
 
         assert_eq!(
             first, second,
@@ -207,6 +216,49 @@ fn seeded_chaos_resolves_reproduces_and_matches_direct_baseline() {
         assert_eq!(stats_a.completed, JOBS as u64);
         assert_eq!(stats_a.settled(), JOBS as u64);
     }
+}
+
+#[test]
+fn chaos_byte_replay_covers_mixed_legacy_and_family_frames() {
+    // Registry-born families (coloring and QUBO, riding the protocol-v6
+    // generic family frame) and legacy kernels (native v1 frames) share
+    // every chaotic connection in one seeded stream. The same plan seed
+    // must reproduce every outcome byte-for-byte across topologies, and
+    // the direct no-socket replay must agree — the family registry adds
+    // no nondeterminism to the failure-handling contract.
+    let mut workload = coloring_heavy_workload(16, MASTER_SEED).expect("coloring workload");
+    workload.extend(qubo_heavy_workload(16, MASTER_SEED).expect("qubo workload"));
+    let seeds = job_seeds(workload.len(), MASTER_SEED);
+    let family = workload.iter().filter(|k| k.uses_family_frame()).count();
+    assert!(
+        family > 0 && family < workload.len(),
+        "the stream must mix v6 family frames with native v1 frames"
+    );
+
+    let plan_seed = 29;
+    let (first, stats_a) = chaos_over_tcp(&workload, &seeds, plan_seed, 3, 3);
+    let (second, _) = chaos_over_tcp(&workload, &seeds, plan_seed, 2, 4);
+    let (direct, stats_c) = chaos_direct(&workload, &seeds, plan_seed);
+
+    assert_eq!(
+        first, second,
+        "same plan seed must reproduce the mixed-frame stream byte-for-byte"
+    );
+    assert_eq!(
+        first, direct,
+        "TCP outcomes for the mixed-frame stream must match the direct baseline"
+    );
+    for (i, fp) in first.iter().enumerate() {
+        assert_eq!(fp[0], 0, "job {i} must complete, got tag {}", fp[0]);
+    }
+    assert!(
+        stats_a.backend_faults > 0,
+        "the chaos plan must actually fire on the mixed-frame stream"
+    );
+    assert_eq!(
+        stats_a.backend_faults, stats_c.backend_faults,
+        "fault count must be exact across transports"
+    );
 }
 
 #[test]
@@ -264,9 +316,11 @@ fn at_least_one_chaos_seed_exercises_failover() {
     // The per-seed test above asserts exactness; this one pins the
     // tentpole claim that the planner actually *fails over* under the
     // checked-in seeds, not merely retries in place.
+    let workload = mixed_workload(JOBS, MASTER_SEED).expect("workload");
+    let seeds = job_seeds(JOBS, MASTER_SEED);
     let total_reroutes: u64 = CHAOS_SEEDS
         .iter()
-        .map(|&seed| chaos_direct(seed).1.reroutes)
+        .map(|&seed| chaos_direct(&workload, &seeds, seed).1.reroutes)
         .sum();
     assert!(
         total_reroutes > 0,

@@ -1,7 +1,7 @@
 //! Golden-vector regression tests for the wire codecs.
 //!
 //! Every request and response tag has its byte encoding frozen here, at
-//! every protocol version whose layout differs (v1–v5). If any of
+//! every protocol version whose layout differs (v1–v6). If any of
 //! these assertions fails, the change is a wire-format break: deployed
 //! peers will misparse frames. Either revert the layout change or bump
 //! [`PROTOCOL_VERSION`] and add *new* vectors while keeping the old
@@ -13,6 +13,7 @@
 //! cargo test --test wire_golden regenerate -- --ignored --nocapture
 //! ```
 
+use accel::family::{ColoringSpec, FamilyKernel, FamilyResult, QuboSpec};
 use accel::host::DispatchPolicy;
 use accel::kernel::{CostReport, Kernel, KernelResult};
 use runtime::stats::{BackendThroughput, LatencyHistogram, LATENCY_BUCKETS};
@@ -74,6 +75,34 @@ fn sample_requests() -> Vec<(&'static str, Request)> {
                 request_id: 11,
                 origin: 2,
                 entries: sample_gossip_entries(),
+            },
+        ),
+        (
+            "submit_coloring",
+            Request::Submit {
+                request_id: 12,
+                timeout_ms: None,
+                seed: Some(3),
+                policy: None,
+                kernel: Kernel::Family(FamilyKernel::Coloring(ColoringSpec {
+                    n_vertices: 3,
+                    n_colors: 2,
+                    edges: vec![(0, 1), (1, 2)],
+                })),
+            },
+        ),
+        (
+            "submit_qubo",
+            Request::Submit {
+                request_id: 13,
+                timeout_ms: Some(500),
+                seed: None,
+                policy: None,
+                kernel: Kernel::Family(FamilyKernel::Qubo(QuboSpec {
+                    n_vars: 2,
+                    linear: vec![(0, 1.0)],
+                    quadratic: vec![(0, 1, -2.0)],
+                })),
             },
         ),
     ]
@@ -207,22 +236,62 @@ fn sample_responses() -> Vec<(&'static str, Response)> {
                 entries: sample_gossip_entries(),
             },
         ),
+        (
+            "job_result_coloring",
+            Response::JobResult {
+                request_id: 12,
+                outcome: WireOutcome::Completed {
+                    backend: "oscillator".into(),
+                    result: KernelResult::Family(FamilyResult::Coloring {
+                        colors: vec![0, 1, 0],
+                        conflicts: 0,
+                    }),
+                    cost: CostReport {
+                        device_seconds: 5.6e-6,
+                        operations: 3,
+                    },
+                    wall_nanos: 910,
+                },
+            },
+        ),
+        (
+            "job_result_qubo",
+            Response::JobResult {
+                request_id: 13,
+                outcome: WireOutcome::Completed {
+                    backend: "memcomputing".into(),
+                    result: KernelResult::Family(FamilyResult::Qubo {
+                        bits: vec![true, false],
+                        energy: -1.0,
+                    }),
+                    cost: CostReport {
+                        device_seconds: 1.5e-7,
+                        operations: 150,
+                    },
+                    wall_nanos: 1_100,
+                },
+            },
+        ),
     ]
 }
 
 /// Versions whose payload layouts differ. v1 has no Submit policy byte
 /// and no stats prediction triple; v2 adds both; v3 adds fault counters;
-/// v4 adds the global admission counters; v5 adds the gossip frames.
-const VERSIONS: [u16; 5] = [1, 2, 3, 4, 5];
+/// v4 adds the global admission counters; v5 adds the gossip frames;
+/// v6 adds the generic family frames (kernel/result tag 5).
+const VERSIONS: [u16; 6] = [1, 2, 3, 4, 5, 6];
 
 /// Requests that cannot encode at a given version (by design).
 fn request_encodable(name: &str, version: u16) -> bool {
-    !(name == "submit_policy" && version < 2 || name == "gossip" && version < 5)
+    !(name == "submit_policy" && version < 2
+        || name == "gossip" && version < 5
+        || (name == "submit_coloring" || name == "submit_qubo") && version < 6)
 }
 
 /// Responses that cannot encode at a given version (by design).
 fn response_encodable(name: &str, version: u16) -> bool {
-    !(name == "gossip_ack" && version < 5)
+    !(name == "gossip_ack" && version < 5
+        || (name == "job_result_coloring" || name == "job_result_qubo") && version < 6)
 }
 
 // ---------------------------------------------------------------------
@@ -235,31 +304,40 @@ const REQUEST_GOLDENS: &[(&str, u16, &str)] = &[
     ("hello", 3, "0100010003"),
     ("hello", 4, "0100010003"),
     ("hello", 5, "0100010003"),
+    ("hello", 6, "0100010003"),
     ("ping", 1, "0200000000deadbeef"),
     ("ping", 2, "0200000000deadbeef"),
     ("ping", 3, "0200000000deadbeef"),
     ("ping", 4, "0200000000deadbeef"),
     ("ping", 5, "0200000000deadbeef"),
+    ("ping", 6, "0200000000deadbeef"),
     ("submit_plain", 1, "0300000000000000070100000000000000fa01000000000000002a00000000000000004d"),
     ("submit_plain", 2, "0300000000000000070100000000000000fa01000000000000002a0000000000000000004d"),
     ("submit_plain", 3, "0300000000000000070100000000000000fa01000000000000002a0000000000000000004d"),
     ("submit_plain", 4, "0300000000000000070100000000000000fa01000000000000002a0000000000000000004d"),
     ("submit_plain", 5, "0300000000000000070100000000000000fa01000000000000002a0000000000000000004d"),
+    ("submit_plain", 6, "0300000000000000070100000000000000fa01000000000000002a0000000000000000004d"),
     ("submit_policy", 2, "030000000000000008000003043fd00000000000003fe8000000000000"),
     ("submit_policy", 3, "030000000000000008000003043fd00000000000003fe8000000000000"),
     ("submit_policy", 4, "030000000000000008000003043fd00000000000003fe8000000000000"),
     ("submit_policy", 5, "030000000000000008000003043fd00000000000003fe8000000000000"),
+    ("submit_policy", 6, "030000000000000008000003043fd00000000000003fe8000000000000"),
     ("cancel", 1, "040000000000000009"),
     ("cancel", 2, "040000000000000009"),
     ("cancel", 3, "040000000000000009"),
     ("cancel", 4, "040000000000000009"),
     ("cancel", 5, "040000000000000009"),
+    ("cancel", 6, "040000000000000009"),
     ("get_stats", 1, "05000000000000000a"),
     ("get_stats", 2, "05000000000000000a"),
     ("get_stats", 3, "05000000000000000a"),
     ("get_stats", 4, "05000000000000000a"),
     ("get_stats", 5, "05000000000000000a"),
+    ("get_stats", 6, "05000000000000000a"),
     ("gossip", 5, "06000000000000000b00000000000000020000000200000000000000000000000000000000030000000102000000040000000000000009"),
+    ("gossip", 6, "06000000000000000b00000000000000020000000200000000000000000000000000000000030000000102000000040000000000000009"),
+    ("submit_coloring", 6, "03000000000000000c00010000000000000003000500060000003400000000000000030000000000000002000000020000000000000000000000000000000100000000000000010000000000000002"),
+    ("submit_qubo", 6, "03000000000000000d0100000000000001f400000500070000003800000000000000020000000100000000000000003ff00000000000000000000100000000000000000000000000000001c000000000000000"),
 ];
 const RESPONSE_GOLDENS: &[(&str, u16, &str)] = &[
     ("hello_ack", 1, "810003"),
@@ -267,50 +345,61 @@ const RESPONSE_GOLDENS: &[(&str, u16, &str)] = &[
     ("hello_ack", 3, "810003"),
     ("hello_ack", 4, "810003"),
     ("hello_ack", 5, "810003"),
+    ("hello_ack", 6, "810003"),
     ("pong", 1, "8200000000deadbeef"),
     ("pong", 2, "8200000000deadbeef"),
     ("pong", 3, "8200000000deadbeef"),
     ("pong", 4, "8200000000deadbeef"),
     ("pong", 5, "8200000000deadbeef"),
+    ("pong", 6, "8200000000deadbeef"),
     ("job_result_completed", 1, "83000000000000000700000000077175616e74756d000000000000000007000000000000000b3ec0c6f7a0b5ed8d000000000000004000000000000004d2"),
     ("job_result_completed", 2, "83000000000000000700000000077175616e74756d000000000000000007000000000000000b3ec0c6f7a0b5ed8d000000000000004000000000000004d2"),
     ("job_result_completed", 3, "83000000000000000700000000077175616e74756d000000000000000007000000000000000b3ec0c6f7a0b5ed8d000000000000004000000000000004d2"),
     ("job_result_completed", 4, "83000000000000000700000000077175616e74756d000000000000000007000000000000000b3ec0c6f7a0b5ed8d000000000000004000000000000004d2"),
     ("job_result_completed", 5, "83000000000000000700000000077175616e74756d000000000000000007000000000000000b3ec0c6f7a0b5ed8d000000000000004000000000000004d2"),
+    ("job_result_completed", 6, "83000000000000000700000000077175616e74756d000000000000000007000000000000000b3ec0c6f7a0b5ed8d000000000000004000000000000004d2"),
     ("job_result_failed", 1, "83000000000000000801000000286261636b656e6420607175616e74756d60207065726d616e656e7420646576696365206661756c74"),
     ("job_result_failed", 2, "83000000000000000801000000286261636b656e6420607175616e74756d60207065726d616e656e7420646576696365206661756c74"),
     ("job_result_failed", 3, "83000000000000000801000000286261636b656e6420607175616e74756d60207065726d616e656e7420646576696365206661756c74"),
     ("job_result_failed", 4, "83000000000000000801000000286261636b656e6420607175616e74756d60207065726d616e656e7420646576696365206661756c74"),
     ("job_result_failed", 5, "83000000000000000801000000286261636b656e6420607175616e74756d60207065726d616e656e7420646576696365206661756c74"),
+    ("job_result_failed", 6, "83000000000000000801000000286261636b656e6420607175616e74756d60207065726d616e656e7420646576696365206661756c74"),
     ("job_result_timed_out", 1, "83000000000000000902"),
     ("job_result_timed_out", 2, "83000000000000000902"),
     ("job_result_timed_out", 3, "83000000000000000902"),
     ("job_result_timed_out", 4, "83000000000000000902"),
     ("job_result_timed_out", 5, "83000000000000000902"),
+    ("job_result_timed_out", 6, "83000000000000000902"),
     ("job_result_cancelled", 1, "83000000000000000a03"),
     ("job_result_cancelled", 2, "83000000000000000a03"),
     ("job_result_cancelled", 3, "83000000000000000a03"),
     ("job_result_cancelled", 4, "83000000000000000a03"),
     ("job_result_cancelled", 5, "83000000000000000a03"),
+    ("job_result_cancelled", 6, "83000000000000000a03"),
     ("cancel_result", 1, "84000000000000000901"),
     ("cancel_result", 2, "84000000000000000901"),
     ("cancel_result", 3, "84000000000000000901"),
     ("cancel_result", 4, "84000000000000000901"),
     ("cancel_result", 5, "84000000000000000901"),
+    ("cancel_result", 6, "84000000000000000901"),
     ("stats", 1, "85000000000000000a000000000000000600000000000000040000000000000001000000000000000000000000000000000000000000000001000000000000000000000000000000020000000000000003000000010000000363707500000000000000043fe000000000000000000000000000803fd00000000000000000000800000000000000020000000000000000000000000000000000000000000000010000000000000000000000000000000000000000000000000000000000000000"),
     ("stats", 2, "85000000000000000a000000000000000600000000000000040000000000000001000000000000000000000000000000000000000000000001000000000000000000000000000000020000000000000003000000010000000363707500000000000000043fe000000000000000000000000000803fd00000000000003fd999999999999a3ff40000000000003fc00000000000000000000800000000000000020000000000000000000000000000000000000000000000010000000000000000000000000000000000000000000000000000000000000000"),
     ("stats", 3, "85000000000000000a00000000000000060000000000000004000000000000000100000000000000000000000000000000000000000000000100000000000000000000000000000002000000000000000300000000000000050000000000000003000000000000000200000000000000010000000000000004000000010000000363707500000000000000043fe000000000000000000000000000803fd00000000000003fd999999999999a3ff40000000000003fc000000000000000000000000000050000000800000000000000020000000000000000000000000000000000000000000000010000000000000000000000000000000000000000000000000000000000000000"),
     ("stats", 4, "85000000000000000a000000000000000600000000000000040000000000000001000000000000000000000000000000000000000000000001000000000000000000000000000000020000000000000003000000000000000500000000000000030000000000000002000000000000000100000000000000040000000000000009000000000000000b0000000000000002000000000000000600000000000000050000000000000003000000010000000363707500000000000000043fe000000000000000000000000000803fd00000000000003fd999999999999a3ff40000000000003fc000000000000000000000000000050000000800000000000000020000000000000000000000000000000000000000000000010000000000000000000000000000000000000000000000000000000000000000"),
     ("stats", 5, "85000000000000000a000000000000000600000000000000040000000000000001000000000000000000000000000000000000000000000001000000000000000000000000000000020000000000000003000000000000000500000000000000030000000000000002000000000000000100000000000000040000000000000009000000000000000b0000000000000002000000000000000600000000000000050000000000000003000000010000000363707500000000000000043fe000000000000000000000000000803fd00000000000003fd999999999999a3ff40000000000003fc000000000000000000000000000050000000800000000000000020000000000000000000000000000000000000000000000010000000000000000000000000000000000000000000000000000000000000000"),
+    ("stats", 6, "85000000000000000a000000000000000600000000000000040000000000000001000000000000000000000000000000000000000000000001000000000000000000000000000000020000000000000003000000000000000500000000000000030000000000000002000000000000000100000000000000040000000000000009000000000000000b0000000000000002000000000000000600000000000000050000000000000003000000010000000363707500000000000000043fe000000000000000000000000000803fd00000000000003fd999999999999a3ff40000000000003fc000000000000000000000000000050000000800000000000000020000000000000000000000000000000000000000000000010000000000000000000000000000000000000000000000000000000000000000"),
     ("error", 1, "8600000000000000000200000009626164206672616d65"),
     ("error", 2, "8600000000000000000200000009626164206672616d65"),
     ("error", 3, "8600000000000000000200000009626164206672616d65"),
     ("error", 4, "8600000000000000000200000009626164206672616d65"),
     ("error", 5, "8600000000000000000200000009626164206672616d65"),
+    ("error", 6, "8600000000000000000200000009626164206672616d65"),
     ("gossip_ack", 5, "87000000000000000b0000000200000000000000000000000000000000030000000102000000040000000000000009"),
+    ("gossip_ack", 6, "87000000000000000b0000000200000000000000000000000000000000030000000102000000040000000000000009"),
+    ("job_result_coloring", 6, "83000000000000000c000000000a6f7363696c6c61746f72050006000000180000000300000000000000010000000000000000000000003ed77cf44765195f0000000000000003000000000000038e"),
+    ("job_result_qubo", 6, "83000000000000000d000000000c6d656d636f6d707574696e670500070000000e000000020100bff00000000000003e8421f5f40d83760000000000000096000000000000044c"),
 ];
 const FRAMED_PING_GOLDEN: &str = "5242434d000000090200000000deadbeef";
-
 fn golden_for<'a>(table: &'a [(&str, u16, &str)], name: &str, version: u16) -> &'a str {
     table
         .iter()
