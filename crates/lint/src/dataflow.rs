@@ -1,0 +1,342 @@
+//! Intra-function value-flow: tracks wire-derived sizes from their
+//! `ByteReader` read to any allocation they size.
+//!
+//! The model is deliberately small — straight-line taint over the token
+//! stream of one function body:
+//!
+//! * **Sources.** A `let`-binding (or re-assignment) whose right-hand
+//!   side calls a raw `ByteReader` integer read (`get_u16`, `get_u32`,
+//!   `get_u64`, `get_usize`, `get_i64`, `get_opt_u64`) or decodes bytes
+//!   directly (`from_be_bytes`, `from_le_bytes`) is tainted.
+//!   `get_count` / `get_str` are *not* sources: they validate against a
+//!   cap and the remaining payload before returning, which is exactly
+//!   the sanction this analysis enforces.
+//! * **Propagation.** `let y = …x…;` with tainted `x` taints `y`.
+//! * **Sanitizers.** A tainted name is cleared once the function
+//!   compares it (`<`, `>`, `<=`, `>=` — token order approximates
+//!   dominance, which holds for the straight-line decode code this rule
+//!   targets) or clamps it (`.min(…)`, `.clamp(…)`).
+//! * **Sinks.** `Vec::with_capacity(x)` / `String::with_capacity(x)`,
+//!   `.reserve(x)` / `.reserve_exact(x)`, and `vec![v; x]` with a
+//!   tainted `x` are reported.
+//!
+//! The analysis is intraprocedural: a size returned by one function and
+//! allocated in another is not tracked. The workspace convention that
+//! makes that sound is `ByteReader::get_count` — the one sanctioned way
+//! to pass a wire count to an allocation.
+
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+use std::collections::BTreeMap;
+
+/// Raw `ByteReader` integer reads: attacker-controlled values.
+const SOURCES: &[&str] = &[
+    "get_u16",
+    "get_u32",
+    "get_u64",
+    "get_usize",
+    "get_i64",
+    "get_opt_u64",
+];
+
+/// Byte-decoding constructors that are sources even without a reader.
+const RAW_SOURCES: &[&str] = &["from_be_bytes", "from_le_bytes"];
+
+/// One tainted value reaching an allocation sink.
+#[derive(Debug)]
+pub struct TaintSink {
+    /// Position of the allocation call.
+    pub line: u32,
+    pub col: u32,
+    /// The tainted identifier sizing the allocation.
+    pub ident: String,
+    /// What the sink was (`Vec::with_capacity`, `reserve`, `vec![_; _]`).
+    pub sink: String,
+    /// Line of the wire read that produced the value.
+    pub source_line: u32,
+}
+
+/// Scans one function body (token range `open..=close`, braces
+/// included) and returns every tainted allocation.
+#[must_use]
+pub fn scan_fn(file: &SourceFile, open: usize, close: usize) -> Vec<TaintSink> {
+    let toks = &file.toks;
+    let mut tainted: BTreeMap<String, u32> = BTreeMap::new();
+    let mut out = Vec::new();
+
+    let mut k = open;
+    while k <= close {
+        let t = &toks[k];
+        if t.kind != TokKind::Ident {
+            k += 1;
+            continue;
+        }
+        let next_is = |off: usize, s: &str| toks.get(k + off).is_some_and(|x| x.text == s);
+
+        // Source: a raw wire read bound to a name.
+        let is_reader_source =
+            SOURCES.contains(&t.text.as_str()) && k > 0 && toks[k - 1].text == ".";
+        let is_raw_source = RAW_SOURCES.contains(&t.text.as_str());
+        if (is_reader_source || is_raw_source) && next_is(1, "(") {
+            if let Some(name) = binding_of(toks, open, k) {
+                tainted.insert(name, t.line);
+            }
+            k += 1;
+            continue;
+        }
+
+        // Sink: an allocation sized by a tainted name.
+        if t.text == "with_capacity" && next_is(1, "(") {
+            report_tainted_args(file, k + 1, close, &tainted, "with_capacity", &mut out);
+        } else if (t.text == "reserve" || t.text == "reserve_exact")
+            && k > 0
+            && toks[k - 1].text == "."
+            && next_is(1, "(")
+        {
+            report_tainted_args(file, k + 1, close, &tainted, "reserve", &mut out);
+        } else if t.text == "vec" && next_is(1, "!") && next_is(2, "[") {
+            // `vec![elem; len]` — only the length position allocates by
+            // count; scan tokens after the top-level `;`.
+            if let Some(semi) = macro_len_position(toks, k + 2, close) {
+                report_tainted_range(file, semi, k + 2, close, &tainted, "vec![_; _]", &mut out);
+            }
+        }
+
+        // Sanitizer: comparing or clamping a tainted name clears it.
+        if tainted.contains_key(&t.text) {
+            let compared = toks
+                .get(k + 1)
+                .is_some_and(|x| x.text == "<" || x.text == ">")
+                || (k > 0 && (toks[k - 1].text == "<" || toks[k - 1].text == ">"));
+            let clamped = next_is(1, ".")
+                && toks
+                    .get(k + 2)
+                    .is_some_and(|x| x.text == "min" || x.text == "clamp");
+            if compared || clamped {
+                tainted.remove(&t.text);
+                k += 1;
+                continue;
+            }
+            // Propagation: `let y = …x…;` taints `y` too.
+            if let Some(src) = tainted.get(&t.text).copied() {
+                if let Some(name) = binding_of(toks, open, k) {
+                    if name != t.text {
+                        tainted.insert(name, src);
+                    }
+                }
+            }
+        }
+        k += 1;
+    }
+    out
+}
+
+/// The name the statement containing token `k` binds (`let name = …` /
+/// `name = …`), if `k` sits on the right-hand side of the `=`.
+fn binding_of(toks: &[crate::lexer::Tok], body_open: usize, k: usize) -> Option<String> {
+    let mut j = k;
+    while j > body_open {
+        match toks[j - 1].text.as_str() {
+            ";" | "{" | "}" => break,
+            _ => j -= 1,
+        }
+    }
+    let first = &toks[j];
+    if first.text == "let" {
+        let mut n = j + 1;
+        if toks.get(n).is_some_and(|t| t.text == "mut") {
+            n += 1;
+        }
+        let name = toks.get(n).filter(|t| t.kind == TokKind::Ident)?;
+        // Only a plain `let name = …` counts; `k` must be past the `=`.
+        let eq = toks.get(n + 1).filter(|t| t.text == "=")?;
+        let _ = eq;
+        return (k > n + 1).then(|| name.text.clone());
+    }
+    if first.kind == TokKind::Ident
+        && toks.get(j + 1).is_some_and(|t| t.text == "=")
+        && toks.get(j + 2).is_none_or(|t| t.text != "=")
+        && k > j + 1
+    {
+        return Some(first.text.clone());
+    }
+    None
+}
+
+/// Index of the top-level `;` inside the `[`…`]` of `vec![elem; len]`.
+fn macro_len_position(
+    toks: &[crate::lexer::Tok],
+    open_bracket: usize,
+    close: usize,
+) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in toks
+        .iter()
+        .enumerate()
+        .skip(open_bracket)
+        .take(close + 1 - open_bracket)
+    {
+        match t.text.as_str() {
+            "[" | "(" | "{" => depth += 1,
+            "]" | ")" | "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return None;
+                }
+            }
+            ";" if depth == 1 => return Some(j),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Reports every tainted identifier inside the delimited group opening
+/// at `open_delim` (used for call argument lists).
+fn report_tainted_args(
+    file: &SourceFile,
+    open_delim: usize,
+    close: usize,
+    tainted: &BTreeMap<String, u32>,
+    sink: &str,
+    out: &mut Vec<TaintSink>,
+) {
+    report_tainted_range(file, open_delim, open_delim, close, tainted, sink, out);
+}
+
+/// Reports tainted identifiers between `start` and the token matching
+/// the delimiter at `group_open`. An ident immediately clamped in place
+/// (`n.min(64)`) is not reported.
+fn report_tainted_range(
+    file: &SourceFile,
+    start: usize,
+    group_open: usize,
+    close: usize,
+    tainted: &BTreeMap<String, u32>,
+    sink: &str,
+    out: &mut Vec<TaintSink>,
+) {
+    let toks = &file.toks;
+    let (open_s, close_s) = match toks[group_open].text.as_str() {
+        "[" => ("[", "]"),
+        _ => ("(", ")"),
+    };
+    let mut depth = 0i32;
+    let mut j = group_open;
+    while j <= close {
+        let t = &toks[j];
+        if t.text == open_s {
+            depth += 1;
+        } else if t.text == close_s {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        if j >= start && t.kind == TokKind::Ident {
+            if let Some(&source_line) = tainted.get(&t.text) {
+                let clamped = toks.get(j + 1).is_some_and(|x| x.text == ".")
+                    && toks
+                        .get(j + 2)
+                        .is_some_and(|x| x.text == "min" || x.text == "clamp");
+                if !clamped {
+                    out.push(TaintSink {
+                        line: t.line,
+                        col: t.col,
+                        ident: t.text.clone(),
+                        sink: sink.to_string(),
+                        source_line,
+                    });
+                }
+            }
+        }
+        j += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn sinks(src: &str) -> Vec<TaintSink> {
+        let f = SourceFile::parse(PathBuf::from("t.rs"), "t", src);
+        let mut out = Vec::new();
+        for item in &f.fns {
+            if let Some((open, close)) = item.body {
+                out.extend(scan_fn(&f, open, close));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn raw_read_into_with_capacity_is_tainted() {
+        let s = sinks(
+            "fn d(r: &mut ByteReader) -> R { let n = r.get_u32()? as usize; \
+             let v = Vec::with_capacity(n); fill(v) }",
+        );
+        assert_eq!(s.len(), 1, "{s:?}");
+        assert_eq!(s[0].ident, "n");
+        assert_eq!(s[0].sink, "with_capacity");
+    }
+
+    #[test]
+    fn get_count_is_a_sanctioned_source() {
+        let s = sinks(
+            "fn d(r: &mut ByteReader) -> R { let n = r.get_count(MAX, 2, \"xs\")?; \
+             let v = Vec::with_capacity(n); fill(v) }",
+        );
+        assert!(s.is_empty(), "{s:?}");
+    }
+
+    #[test]
+    fn dominating_comparison_sanitizes() {
+        let s = sinks(
+            "fn d(b: [u8; 4]) -> V { let len = u32::from_be_bytes(b); \
+             if len > MAX_FRAME_LEN { return V::err(); } \
+             let v = vec![0u8; len as usize]; V::ok(v) }",
+        );
+        assert!(s.is_empty(), "{s:?}");
+    }
+
+    #[test]
+    fn unguarded_vec_macro_is_tainted() {
+        let s = sinks(
+            "fn d(b: [u8; 4]) -> V { let len = u32::from_be_bytes(b); \
+             let v = vec![0u8; len as usize]; V::ok(v) }",
+        );
+        assert_eq!(s.len(), 1, "{s:?}");
+        assert_eq!(s[0].sink, "vec![_; _]");
+        assert_eq!(s[0].ident, "len");
+    }
+
+    #[test]
+    fn clamp_in_place_sanitizes() {
+        let s = sinks(
+            "fn d(r: &mut ByteReader) -> R { let n = r.get_u16()? as usize; \
+             let v = Vec::with_capacity(n.min(64)); fill(v) }",
+        );
+        assert!(s.is_empty(), "{s:?}");
+    }
+
+    #[test]
+    fn taint_propagates_through_let() {
+        let s = sinks(
+            "fn d(r: &mut ByteReader) -> R { let n = r.get_u64()?; \
+             let total = n as usize * 8; r.buf.reserve(total); R::ok() }",
+        );
+        assert_eq!(s.len(), 1, "{s:?}");
+        assert_eq!(s[0].ident, "total");
+        assert_eq!(s[0].sink, "reserve");
+    }
+
+    #[test]
+    fn vec_macro_element_position_is_not_a_sink() {
+        let s = sinks(
+            "fn d(r: &mut ByteReader) -> R { let n = r.get_u32()?; \
+             let v = vec![n; 4]; R::ok(v) }",
+        );
+        assert!(s.is_empty(), "{s:?}");
+    }
+}

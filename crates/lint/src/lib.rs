@@ -2,9 +2,10 @@
 //! workspace.
 //!
 //! The repo's core contract is that chaos runs, planner routing, and
-//! cross-wire results replay byte-for-byte. The runtime tests enforce the
-//! contract after the fact; this crate enforces its *ingredients* at the
-//! source level, with five rule families:
+//! cross-wire results replay byte-for-byte — served from a
+//! single-threaded readiness loop fed hostile input. The runtime tests
+//! enforce the contract after the fact; this crate enforces its
+//! *ingredients* at the source level, with eight rule families:
 //!
 //! | family | rule ids | scope |
 //! |---|---|---|
@@ -12,7 +13,14 @@
 //! | panic-hygiene | `panic::{unwrap, expect, panic, todo, unimplemented, index}` | `wire`, `server`, `accel::host` |
 //! | wire-freeze | `wire::{frozen, tag-dup, version-freeze}` | `crates/wire` + the registry |
 //! | family-tag-freeze | `family::{frozen, tag-dup}` | `accel::family::FAMILY_TAGS` + the registry |
-//! | lock-order | `locks::cycle` | `runtime`, `server` |
+//! | lock-order | `locks::cycle` | `runtime`, `server`, `cluster` |
+//! | event-loop | `eventloop::blocking` | `cluster`, `server` (minus the blocking client tier) |
+//! | alloc-bounds | `alloc::unbounded` | `wire`, `cluster`, `server`, `admission` |
+//! | channel-discipline | `channel::send-under-lock` + edges into `locks::cycle` | `runtime`, `server`, `cluster` |
+//!
+//! The first five work on flat token scans; the last three sit on the
+//! syntactic analysis pipeline (lexer → function items →
+//! [`callgraph`] → [`dataflow`]).
 //!
 //! Legitimate violations are annotated in place:
 //!
@@ -21,9 +29,12 @@
 //! let now = Instant::now();
 //! ```
 //!
-//! An allow without a reason is itself an error; an allow that suppresses
-//! nothing is a warning.
+//! An allow without a reason is itself an error, and so is an allow that
+//! suppresses nothing — stale suppressions hide exactly the regressions
+//! the lint exists to catch.
 
+pub mod callgraph;
+pub mod dataflow;
 pub mod diag;
 pub mod lexer;
 pub mod rules;
@@ -68,7 +79,22 @@ pub const HASH_ITER_CRATES: &[&str] = &[
 pub const PANIC_CRATES: &[&str] = &["wire", "server", "admission", "cluster"];
 
 /// Crates whose `Mutex`/`Condvar` acquisitions feed the lock-order graph.
+/// Channel endpoints in these crates join the same graph, so
+/// lock↔channel cycles fail like lock↔lock cycles.
 pub const LOCK_CRATES: &[&str] = &["runtime", "server", "cluster"];
+
+/// Crates served from the single-threaded readiness loop: nothing
+/// reachable from the dispatch path (`fn event_loop`, `poll.rs`) may
+/// block without an audited annotation.
+pub const EVENTLOOP_CRATES: &[&str] = &["cluster", "server"];
+
+/// Files excluded from the event-loop call graph: the synchronous
+/// client is the designed blocking tier, and its trivially named methods
+/// (`submit`, `wait`, `stats`) would otherwise alias loop-side calls.
+pub const EVENTLOOP_EXEMPT_FILES: &[&str] = &["client.rs"];
+
+/// Crates whose decode paths must bound wire-derived allocation sizes.
+pub const ALLOC_CRATES: &[&str] = &["wire", "cluster", "server", "admission"];
 
 /// Workspace-relative path of the wire-freeze registry.
 pub const WIRE_REGISTRY: &str = "crates/lint/wire_freeze.registry";
@@ -107,6 +133,8 @@ fn scanned_crates() -> BTreeSet<&'static str> {
         .chain(HASH_ITER_CRATES)
         .chain(PANIC_CRATES)
         .chain(LOCK_CRATES)
+        .chain(EVENTLOOP_CRATES)
+        .chain(ALLOC_CRATES)
         .chain(["accel", "wire"].iter())
         .copied()
         .collect()
@@ -163,15 +191,30 @@ pub fn check_sources(files: &[SourceFile], wire_registry: &str, family_registry:
         if panic_surface {
             rules::panics::check(file, &mut raw);
         }
+        if ALLOC_CRATES.contains(&c) {
+            rules::alloc::check(file, &mut raw);
+        }
     }
 
     let mut graph = LockGraph::default();
     for file in files {
         if LOCK_CRATES.contains(&file.crate_name.as_str()) {
             rules::locks::collect(file, &mut graph);
+            rules::channel::collect(file, &mut graph, &mut raw);
         }
     }
     rules::locks::check_cycles(&graph, &mut raw);
+
+    let loop_files: Vec<&SourceFile> = files
+        .iter()
+        .filter(|f| EVENTLOOP_CRATES.contains(&f.crate_name.as_str()))
+        .filter(|f| {
+            !f.path
+                .file_name()
+                .is_some_and(|n| EVENTLOOP_EXEMPT_FILES.iter().any(|e| n == *e))
+        })
+        .collect();
+    rules::eventloop::check(&loop_files, &mut raw);
 
     let wire_files: BTreeMap<String, &SourceFile> = files
         .iter()
@@ -238,13 +281,14 @@ fn apply_allows(files: &[SourceFile], raw: Vec<Diagnostic>) -> Report {
                     "write `// lint:allow(rule, reason = \"why this site is sound\")`",
                 ));
             } else if !was_used {
-                kept.push(Diagnostic::warning(
+                kept.push(Diagnostic::error(
                     UNUSED_ALLOW,
                     &file.path,
                     allow.line,
                     allow.col,
                     format!("`lint:allow({})` suppresses nothing", allow.rule),
-                    "delete the stale annotation",
+                    "delete the stale annotation — a suppression outliving its \
+                     violation hides the next regression at this site",
                 ));
             }
         }
@@ -274,8 +318,9 @@ pub fn check_workspace(root: &Path) -> io::Result<Report> {
 }
 
 /// Checks explicit files (fixtures, ad-hoc runs) with the determinism,
-/// panic-hygiene and lock-order rules — everything except wire-freeze,
-/// which only makes sense against the real `crates/wire` tree.
+/// panic-hygiene, lock-order, event-loop, alloc-bounds and
+/// channel-discipline rules — everything except the freeze rules, which
+/// only make sense against the real workspace trees.
 pub fn check_files(paths: &[PathBuf]) -> io::Result<Report> {
     let mut files = Vec::new();
     for path in paths {
@@ -287,9 +332,13 @@ pub fn check_files(paths: &[PathBuf]) -> io::Result<Report> {
     for file in &files {
         rules::determinism::check(file, true, &mut raw);
         rules::panics::check(file, &mut raw);
+        rules::alloc::check(file, &mut raw);
         rules::locks::collect(file, &mut graph);
+        rules::channel::collect(file, &mut graph, &mut raw);
     }
     rules::locks::check_cycles(&graph, &mut raw);
+    let refs: Vec<&SourceFile> = files.iter().collect();
+    rules::eventloop::check(&refs, &mut raw);
     Ok(apply_allows(&files, raw))
 }
 
@@ -385,7 +434,7 @@ mod tests {
     }
 
     #[test]
-    fn stale_allow_warns() {
+    fn stale_allow_is_an_error() {
         let f = src_file(
             "crates/runtime/src/x.rs",
             "runtime",
@@ -393,7 +442,7 @@ mod tests {
         );
         let report = check_sources(std::slice::from_ref(&f), "", "");
         assert!(report.diags.iter().any(|d| d.rule == "allow::unused"));
-        assert_eq!(report.errors(), 0);
+        assert_eq!(report.errors(), 1, "{:?}", report.diags);
     }
 
     #[test]

@@ -1,0 +1,87 @@
+//! No attacker-sized allocation in decode paths.
+//!
+//! PR 2's codec review established the contract in a comment: a length
+//! or count read off the wire must be validated against a cap before it
+//! sizes an allocation. This rule enforces it with the intra-function
+//! taint analysis in [`crate::dataflow`]: a raw `ByteReader` integer
+//! read (or `from_be_bytes`/`from_le_bytes` decode) that flows into
+//! `Vec::with_capacity`, `.reserve`/`.reserve_exact`, or the length
+//! position of `vec![_; _]` without a dominating comparison (`<`/`>`)
+//! or in-place clamp (`.min`/`.clamp`) is an error.
+//!
+//! `ByteReader::get_count` and `get_str` are the sanctioned
+//! cross-function escape: they validate against both an explicit cap and
+//! the bytes actually remaining, so values they return are clean.
+
+use crate::dataflow;
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+
+pub const UNBOUNDED: &str = "alloc::unbounded";
+
+/// Runs the taint analysis over every non-test function of `file`.
+pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for item in &file.fns {
+        if item.in_test {
+            continue;
+        }
+        let Some((open, close)) = item.body else {
+            continue;
+        };
+        for sink in dataflow::scan_fn(file, open, close) {
+            out.push(Diagnostic::error(
+                UNBOUNDED,
+                &file.path,
+                sink.line,
+                sink.col,
+                format!(
+                    "`{}` sized by `{}`, a wire-derived value (read at line {}) \
+                     never compared against a cap",
+                    sink.sink, sink.ident, sink.source_line
+                ),
+                "bound it first (compare against a cap, `.min(cap)`, or read it \
+                 via `ByteReader::get_count`)",
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse(PathBuf::from("codec.rs"), "wire", src);
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn unguarded_capacity_is_an_error_with_source_line() {
+        let out = run(
+            "fn decode(r: &mut ByteReader) -> R {\n    let n = r.get_u32()? as usize;\n    let v = Vec::with_capacity(n);\n    fill(v)\n}",
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, UNBOUNDED);
+        assert_eq!(out[0].line, 3);
+        assert!(out[0].message.contains("read at line 2"), "{out:?}");
+    }
+
+    #[test]
+    fn guarded_capacity_is_clean() {
+        let out = run(
+            "fn decode(r: &mut ByteReader) -> R {\n    let n = r.get_u32()? as usize;\n    if n > MAX { return R::err(); }\n    let v = Vec::with_capacity(n);\n    fill(v)\n}",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn test_functions_are_exempt() {
+        let out = run(
+            "#[cfg(test)]\nmod tests {\n    fn decode(r: &mut ByteReader) -> R {\n        let n = r.get_u32()? as usize;\n        let v = Vec::with_capacity(n);\n        fill(v)\n    }\n}",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

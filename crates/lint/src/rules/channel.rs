@@ -1,0 +1,334 @@
+//! Channel discipline for the concurrent crates.
+//!
+//! A bounded channel is a lock in disguise: `SyncSender::send` parks the
+//! caller until the consumer drains capacity, so sending while holding a
+//! mutex couples the lock to the consumer's progress — the classic
+//! producer-holds-lock / consumer-needs-lock deadlock. Two enforcement
+//! layers:
+//!
+//! * **`channel::send-under-lock`** — a bounded send while any mutex
+//!   guard is held is an immediate error, whatever the consumer does.
+//! * **Graph edges.** Channel endpoints join the lock-order graph as
+//!   `chan:<stem>::<name>` nodes: a bounded send under guard `A` adds
+//!   `A → chan:C`; a recv (blocking on either channel flavour) under
+//!   guard `A` adds `chan:C → A`. A lock↔channel cycle then fails
+//!   [`super::locks::CYCLE`] exactly like a lock↔lock inversion.
+//!
+//! Endpoints are classified per file, by name: tuple bindings from
+//! `mpsc::sync_channel` (bounded) or `mpsc::channel` (unbounded), and
+//! `SyncSender<…>` / `Receiver<…>` type annotations on fields, params
+//! and lets. Both ends of a tuple binding map to one channel node named
+//! after the send end (`chan:<stem>::<tx>`); annotated endpoints share a
+//! per-file node (`chan:<stem>`). Endpoints that reach the analysis
+//! through an opaque binding (say, a guard returned by
+//! `lock_or_recover`) are skipped rather than guessed.
+
+use super::locks::{walk_guards, EdgeSite, LockGraph};
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+use std::collections::BTreeMap;
+
+pub const SEND_UNDER_LOCK: &str = "channel::send-under-lock";
+
+/// Channel-endpoint classification for one file: identifier → channel
+/// node id (`chan:<stem>::<name>`).
+#[derive(Debug, Default)]
+pub struct ChannelMap {
+    /// Endpoints whose `send` can block (bounded channels only).
+    pub bounded_send: BTreeMap<String, String>,
+    /// Endpoints whose `recv` blocks (every channel flavour).
+    pub recv: BTreeMap<String, String>,
+}
+
+impl ChannelMap {
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bounded_send.is_empty() && self.recv.is_empty()
+    }
+}
+
+/// Classifies every channel endpoint named in `file`.
+#[must_use]
+pub fn channel_map(file: &SourceFile) -> ChannelMap {
+    let stem = stem_of(file);
+    let toks = &file.toks;
+    let mut map = ChannelMap::default();
+
+    for (k, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            // `let (tx, rx) = mpsc::sync_channel(..)` / `mpsc::channel()`.
+            "sync_channel" | "channel" => {
+                let Some((tx, rx)) = tuple_binding(toks, k) else {
+                    continue;
+                };
+                let chan = format!("chan:{stem}::{tx}");
+                if t.text == "sync_channel" {
+                    map.bounded_send.insert(tx, chan.clone());
+                }
+                map.recv.insert(rx, chan);
+            }
+            // `name: SyncSender<..>` / `name: Receiver<..>` annotations.
+            // Annotated endpoints can't be paired by construction site,
+            // so they share one per-file channel node (`chan:<stem>`):
+            // coarse, but it is what lets a send under lock A and a recv
+            // under lock A in the same module close into a cycle.
+            "SyncSender" => {
+                if let Some(name) = annotated_binding(toks, k) {
+                    map.bounded_send.insert(name, format!("chan:{stem}"));
+                }
+            }
+            "Receiver" => {
+                if let Some(name) = annotated_binding(toks, k) {
+                    map.recv.insert(name, format!("chan:{stem}"));
+                }
+            }
+            _ => {}
+        }
+    }
+    map
+}
+
+/// Scans one file's non-test functions: flags bounded sends under a
+/// guard and feeds lock↔channel ordering edges into `graph`.
+pub fn collect(file: &SourceFile, graph: &mut LockGraph, out: &mut Vec<Diagnostic>) {
+    let chans = channel_map(file);
+    if chans.is_empty() {
+        return;
+    }
+    let stem = stem_of(file);
+    for item in &file.fns {
+        if item.in_test {
+            continue;
+        }
+        let Some((open, close)) = item.body else {
+            continue;
+        };
+        let func = item.name.clone();
+        let toks = &file.toks;
+        walk_guards(
+            file,
+            &stem,
+            open,
+            close,
+            &mut |_, _, _| {},
+            &mut |k, held| {
+                if held.is_empty() {
+                    return;
+                }
+                let t = &toks[k];
+                let method = t.kind == TokKind::Ident
+                    && k >= 2
+                    && toks[k - 1].text == "."
+                    && toks[k - 2].kind == TokKind::Ident
+                    && toks.get(k + 1).is_some_and(|n| n.text == "(");
+                if !method {
+                    return;
+                }
+                let recv_name = toks[k - 2].text.as_str();
+                let site = || EdgeSite {
+                    file: file.path.display().to_string(),
+                    line: t.line,
+                    col: t.col,
+                    func: func.clone(),
+                };
+                match t.text.as_str() {
+                    "send" | "try_send" if t.text == "send" => {
+                        if let Some(chan) = chans.bounded_send.get(recv_name) {
+                            let holding = held
+                                .iter()
+                                .map(|h| format!("`{}`", h.id))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            out.push(Diagnostic::error(
+                                SEND_UNDER_LOCK,
+                                &file.path,
+                                t.line,
+                                t.col,
+                                format!("bounded channel send on `{chan}` while holding {holding}"),
+                                "a full channel parks this thread while the guard blocks \
+                                 the consumer; drop the guard before sending",
+                            ));
+                            for h in held {
+                                graph.add_edge(&h.id, chan, site());
+                            }
+                        }
+                    }
+                    "recv" | "recv_timeout" => {
+                        if let Some(chan) = chans.recv.get(recv_name) {
+                            for h in held {
+                                graph.add_edge(chan, &h.id, site());
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            },
+        );
+    }
+}
+
+fn stem_of(file: &SourceFile) -> String {
+    file.path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_default()
+}
+
+/// Matches `let ( a , b ) =` looking back from a channel constructor.
+fn tuple_binding(toks: &[crate::lexer::Tok], k: usize) -> Option<(String, String)> {
+    let mut j = k;
+    while j > 0 {
+        match toks[j - 1].text.as_str() {
+            ";" | "{" | "}" => break,
+            _ => j -= 1,
+        }
+    }
+    if toks.get(j)?.text != "let" || toks.get(j + 1)?.text != "(" {
+        return None;
+    }
+    let a = toks.get(j + 2).filter(|t| t.kind == TokKind::Ident)?;
+    if toks.get(j + 3)?.text != "," {
+        return None;
+    }
+    let b = toks.get(j + 4).filter(|t| t.kind == TokKind::Ident)?;
+    if toks.get(j + 5)?.text != ")" {
+        return None;
+    }
+    Some((a.text.clone(), b.text.clone()))
+}
+
+/// For a type name at `k`, the identifier it annotates: walks back over
+/// type-ish tokens to the nearest `:` and takes the ident before it
+/// (same shape as the determinism rule's hash-container detection).
+fn annotated_binding(toks: &[crate::lexer::Tok], k: usize) -> Option<String> {
+    let mut j = k;
+    let mut budget = 12;
+    while j > 0 && budget > 0 {
+        j -= 1;
+        budget -= 1;
+        let text = toks[j].text.as_str();
+        match toks[j].kind {
+            TokKind::Punct if text == ":" => {
+                return toks
+                    .get(j.checked_sub(1)?)
+                    .filter(|t| t.kind == TokKind::Ident)
+                    .map(|t| t.text.clone());
+            }
+            TokKind::Punct if matches!(text, "<" | ">" | "&" | "::" | ",") => {}
+            TokKind::Ident | TokKind::Lifetime | TokKind::Num => {}
+            _ => break,
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn run(src: &str) -> (LockGraph, Vec<Diagnostic>) {
+        let f = SourceFile::parse(PathBuf::from("m.rs"), "t", src);
+        let mut g = LockGraph::default();
+        let mut out = Vec::new();
+        collect(&f, &mut g, &mut out);
+        (g, out)
+    }
+
+    #[test]
+    fn bounded_send_under_lock_is_an_error() {
+        let src = "
+            fn produce(&self) {
+                let (tx, rx) = mpsc::sync_channel(8);
+                let guard = self.state.lock().unwrap();
+                tx.send(1);
+                drop(guard);
+                consume(rx);
+            }";
+        let (g, out) = run(src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, SEND_UNDER_LOCK);
+        assert!(out[0].message.contains("chan:m::tx"));
+        assert!(out[0].message.contains("m::state"));
+        assert!(g
+            .edges
+            .get("m::state")
+            .is_some_and(|m| m.contains_key("chan:m::tx")));
+    }
+
+    #[test]
+    fn unbounded_send_under_lock_is_silent() {
+        let src = "
+            fn produce(&self) {
+                let (tx, rx) = mpsc::channel();
+                let guard = self.state.lock().unwrap();
+                tx.send(1);
+                drop(guard);
+                consume(rx);
+            }";
+        let (g, out) = run(src);
+        assert!(out.is_empty(), "{out:?}");
+        assert!(!g.edges.contains_key("m::state"));
+    }
+
+    #[test]
+    fn send_after_drop_is_clean() {
+        let src = "
+            fn produce(&self) {
+                let (tx, rx) = mpsc::sync_channel(8);
+                let guard = self.state.lock().unwrap();
+                drop(guard);
+                tx.send(1);
+                consume(rx);
+            }";
+        let (_, out) = run(src);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn recv_under_lock_adds_a_reverse_edge_only() {
+        let src = "
+            fn consume(rx: Receiver<u8>, state: &Mutex<u8>) {
+                let guard = state.lock().unwrap();
+                let v = rx.recv();
+                go(guard, v);
+            }";
+        let (g, out) = run(src);
+        assert!(out.is_empty(), "{out:?}");
+        assert!(g
+            .edges
+            .get("chan:m")
+            .is_some_and(|m| m.contains_key("m::state")));
+    }
+
+    #[test]
+    fn lock_channel_cycle_is_reported_like_a_lock_cycle() {
+        let src = "
+            fn produce(&self) {
+                let guard = self.state.lock().unwrap();
+                self.tx.send(1);
+                drop(guard);
+            }
+            fn consume(&self) {
+                let guard = self.state.lock().unwrap();
+                let v = self.rx.recv();
+                go(guard, v);
+            }
+            struct Plumbing { tx: SyncSender<u8>, rx: Receiver<u8>, state: Mutex<u8> }";
+        let f = SourceFile::parse(PathBuf::from("m.rs"), "t", src);
+        let mut g = LockGraph::default();
+        let mut out = Vec::new();
+        collect(&f, &mut g, &mut out);
+        super::super::locks::check_cycles(&g, &mut out);
+        assert!(
+            out.iter().any(|d| d.rule == super::super::locks::CYCLE
+                && d.message.contains("chan:m")
+                && d.message.contains("m::state")),
+            "{out:?}"
+        );
+    }
+}

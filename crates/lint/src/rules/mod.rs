@@ -1,6 +1,9 @@
-//! The five rule families of `rebootlint`.
+//! The eight rule families of `rebootlint`.
 
+pub mod alloc;
+pub mod channel;
 pub mod determinism;
+pub mod eventloop;
 pub mod families;
 pub mod freeze;
 pub mod locks;

@@ -128,6 +128,80 @@ fn consistent_lock_order_is_silent() {
 }
 
 #[test]
+fn blocking_on_the_loop_path_fires_at_the_right_lines() {
+    // Line 7 is direct (`thread::sleep` in `event_loop`); line 13 is
+    // reached through the call graph (`event_loop -> drain_one`). The
+    // identical lock in `background` (line 18) is off-path and silent.
+    assert_eq!(
+        findings("eventloop_bad.rs"),
+        vec![
+            ("eventloop::blocking".to_string(), 7),
+            ("eventloop::blocking".to_string(), 13),
+        ]
+    );
+}
+
+#[test]
+fn annotated_and_deferred_loop_blocking_is_silent() {
+    assert_eq!(findings("eventloop_allow.rs"), vec![]);
+}
+
+#[test]
+fn unbounded_decode_allocations_fire_at_the_right_lines() {
+    assert_eq!(
+        findings("alloc_bad.rs"),
+        vec![
+            ("alloc::unbounded".to_string(), 6),
+            ("alloc::unbounded".to_string(), 14),
+            ("alloc::unbounded".to_string(), 20),
+        ]
+    );
+}
+
+#[test]
+fn capped_decode_allocations_are_silent() {
+    assert_eq!(findings("alloc_ok.rs"), vec![]);
+}
+
+#[test]
+fn send_under_lock_fires_and_closes_a_channel_cycle() {
+    let report = check_files(&[fixture("channel_bad.rs")]).expect("fixture must be readable");
+    let point_findings: Vec<_> = report
+        .diags
+        .iter()
+        .filter(|d| d.rule != "locks::cycle")
+        .map(|d| (d.rule.to_string(), d.line))
+        .collect();
+    assert_eq!(
+        point_findings,
+        vec![("channel::send-under-lock".to_string(), 13)]
+    );
+    let cycles: Vec<_> = report
+        .diags
+        .iter()
+        .filter(|d| d.rule == "locks::cycle")
+        .collect();
+    assert_eq!(cycles.len(), 1, "{:?}", report.diags);
+    assert!(cycles[0].message.contains("chan:channel_bad"));
+    assert!(cycles[0].message.contains("channel_bad::state"));
+}
+
+#[test]
+fn disciplined_channel_shapes_are_silent() {
+    assert_eq!(findings("channel_ok.rs"), vec![]);
+}
+
+#[test]
+fn stale_allow_is_an_error_with_a_position() {
+    let report = check_files(&[fixture("allow_stale.rs")]).expect("fixture must be readable");
+    assert_eq!(
+        findings("allow_stale.rs"),
+        vec![("allow::unused".to_string(), 4)]
+    );
+    assert_eq!(report.errors(), 1, "{:?}", report.diags);
+}
+
+#[test]
 fn cross_file_edges_also_form_cycles() {
     // The graph is workspace-wide: fn a in one file and fn b in another
     // still collide. Checked here by handing both lock fixtures to one

@@ -1,0 +1,21 @@
+//! Fixture: wire-derived lengths flowing into allocations without a
+//! dominating cap check — one per sink kind.
+
+pub fn decode_frame(r: &mut ByteReader) -> Result<Frame, WireError> {
+    let len = r.get_u32()? as usize;
+    let mut payload = Vec::with_capacity(len);
+    r.take_into(&mut payload)?;
+    Ok(Frame { payload })
+}
+
+pub fn decode_batch(r: &mut ByteReader) -> Result<Batch, WireError> {
+    let count = r.get_u16()? as usize;
+    let mut out = Vec::new();
+    out.reserve(count);
+    Ok(Batch { out })
+}
+
+pub fn decode_blob(r: &mut ByteReader) -> Result<Vec<u8>, WireError> {
+    let n = r.get_u64()? as usize;
+    Ok(vec![0u8; n])
+}

@@ -1,0 +1,25 @@
+//! Fixture: the sanctioned ways to size an allocation from the wire —
+//! a dominating comparison, `ByteReader::get_count`, or an in-place
+//! clamp.
+
+pub fn decode_frame(r: &mut ByteReader) -> Result<Frame, WireError> {
+    let len = r.get_u32()? as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::TooLong);
+    }
+    let mut payload = Vec::with_capacity(len);
+    r.take_into(&mut payload)?;
+    Ok(Frame { payload })
+}
+
+pub fn decode_batch(r: &mut ByteReader) -> Result<Batch, WireError> {
+    let count = r.get_count(MAX_BATCH, 2, "jobs")?;
+    let mut out = Vec::with_capacity(count);
+    fill(r, &mut out)?;
+    Ok(Batch { out })
+}
+
+pub fn decode_blob(r: &mut ByteReader) -> Result<Vec<u8>, WireError> {
+    let n = r.get_u64()? as usize;
+    Ok(vec![0u8; n.min(MAX_BLOB)])
+}

@@ -1,0 +1,7 @@
+//! Fixture: a suppression with nothing left to suppress — stale allows
+//! are errors, not warnings.
+
+// lint:allow(wall-clock, reason = "stamping that a refactor has since removed")
+pub fn tick(counter: &mut u64) {
+    *counter += 1;
+}

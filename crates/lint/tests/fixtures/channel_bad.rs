@@ -1,0 +1,22 @@
+//! Fixture: a bounded-channel send under a mutex guard, and the
+//! lock↔channel cycle it closes with the consumer.
+
+pub struct Plumbing {
+    jobs: SyncSender<Job>,
+    done: Receiver<Job>,
+    state: Mutex<State>,
+}
+
+impl Plumbing {
+    pub fn produce(&self, job: Job) {
+        let guard = lock_or_recover(&self.state);
+        self.jobs.send(job);
+        drop(guard);
+    }
+
+    pub fn consume(&self) {
+        let guard = lock_or_recover(&self.state);
+        let job = self.done.recv();
+        apply(guard, job);
+    }
+}

@@ -1,0 +1,24 @@
+//! Fixture: disciplined channel shapes — the guard drops before a
+//! bounded send, and an unbounded send never blocks, lock held or not.
+
+pub struct Plumbing {
+    jobs: SyncSender<Job>,
+    state: Mutex<State>,
+}
+
+impl Plumbing {
+    pub fn produce(&self, job: Job) {
+        let guard = lock_or_recover(&self.state);
+        stage(guard, &job);
+        drop(guard);
+        self.jobs.send(job);
+    }
+
+    pub fn notify(&self, event: Event) {
+        let (tx, rx) = mpsc::channel();
+        let guard = lock_or_recover(&self.state);
+        tx.send(event);
+        drop(guard);
+        forward(rx);
+    }
+}

@@ -1,0 +1,24 @@
+//! Fixture: the same blocking shapes as `eventloop_bad.rs`, annotated
+//! with audited reasons — and actually exercised, so none of the allows
+//! is stale. Off-loop work handed to a deferred sink needs no
+//! annotation at all.
+
+pub fn event_loop(queue: &WorkQueue) {
+    loop {
+        // lint:allow(eventloop, reason = "bounded park slice; any waker interrupts it")
+        std::thread::sleep(POLL_SLICE);
+        scan(queue);
+        queue.pool.execute(move || flush_archive(queue));
+    }
+}
+
+fn scan(queue: &WorkQueue) {
+    // lint:allow(eventloop, reason = "bounded hold: swaps the inbox out, nothing else under the guard")
+    let guard = lock_or_recover(&queue.inbox);
+    serve(guard);
+}
+
+fn flush_archive(queue: &WorkQueue) {
+    let guard = lock_or_recover(&queue.archive);
+    persist(guard);
+}

@@ -1,0 +1,20 @@
+//! Fixture: blocking operations reachable from the event-loop dispatch
+//! path — directly and through a callee — plus an off-path function
+//! that may block freely.
+
+pub fn event_loop(queue: &WorkQueue) {
+    loop {
+        std::thread::sleep(POLL_SLICE);
+        drain_one(queue);
+    }
+}
+
+fn drain_one(queue: &WorkQueue) {
+    let guard = lock_or_recover(&queue.inbox);
+    serve(guard);
+}
+
+fn background(queue: &WorkQueue) {
+    let guard = lock_or_recover(&queue.inbox);
+    serve(guard);
+}

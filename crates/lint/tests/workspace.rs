@@ -27,6 +27,145 @@ fn admission_crate_is_in_every_rule_family() {
     assert!(lint::DETERMINISTIC_CRATES.contains(&"admission"));
     assert!(lint::HASH_ITER_CRATES.contains(&"admission"));
     assert!(lint::PANIC_CRATES.contains(&"admission"));
+    assert!(lint::ALLOC_CRATES.contains(&"admission"));
+}
+
+#[test]
+fn serving_tier_is_in_the_analysis_rule_families() {
+    // The readiness loop lives in cluster (poll) and server (dispatch);
+    // both decode hostile input and share the lock graph. The client is
+    // the designed blocking tier and stays out of the loop analysis.
+    assert!(lint::EVENTLOOP_CRATES.contains(&"cluster"));
+    assert!(lint::EVENTLOOP_CRATES.contains(&"server"));
+    assert!(lint::EVENTLOOP_EXEMPT_FILES.contains(&"client.rs"));
+    assert!(lint::ALLOC_CRATES.contains(&"wire"));
+    assert!(lint::ALLOC_CRATES.contains(&"cluster"));
+    assert!(lint::LOCK_CRATES.contains(&"cluster"));
+}
+
+#[test]
+fn blocking_call_injected_into_the_dispatch_path_fails() {
+    // Tamper with the real event loop: park the thread between poll
+    // rounds. The rule must name the op, the path, and the line.
+    let server_path = workspace_root().join("crates/server/src/server.rs");
+    let original = std::fs::read_to_string(&server_path).expect("server.rs must exist");
+    let tampered_text = original.replace(
+        "events.clear();",
+        "std::thread::sleep(POLL_TIMEOUT);\n        events.clear();",
+    );
+    assert_ne!(original, tampered_text, "tamper target not found");
+    let injected_line = tampered_text
+        .lines()
+        .position(|l| l.trim() == "std::thread::sleep(POLL_TIMEOUT);")
+        .expect("injected line must exist") as u32
+        + 1;
+    let tampered = SourceFile::parse(
+        PathBuf::from("crates/server/src/server.rs"),
+        "server",
+        &tampered_text,
+    );
+
+    let mut out = Vec::new();
+    lint::rules::eventloop::check(&[&tampered], &mut out);
+    assert!(
+        out.iter().any(|d| d.rule == "eventloop::blocking"
+            && d.line == injected_line
+            && d.message.contains("thread::sleep")
+            && d.message.contains("event_loop")),
+        "{out:#?}"
+    );
+}
+
+#[test]
+fn unguarded_decoder_allocation_fails() {
+    // Tamper with a real decode path: swap the sanctioned get_count for
+    // a raw u32 read feeding Vec::with_capacity two lines later.
+    let payload_path = workspace_root().join("crates/wire/src/payload.rs");
+    let original = std::fs::read_to_string(&payload_path).expect("payload.rs must exist");
+    let tampered_text = original.replace(
+        "r.get_count(MAX_SEQUENCE_LEN, 8, \"marked items\")?",
+        "r.get_u32(\"marked items\")? as usize",
+    );
+    assert_ne!(original, tampered_text, "tamper target not found");
+    let tampered = SourceFile::parse(
+        PathBuf::from("crates/wire/src/payload.rs"),
+        "wire",
+        &tampered_text,
+    );
+
+    // Sanity: the shipped source is clean under the rule.
+    let clean = SourceFile::parse(
+        PathBuf::from("crates/wire/src/payload.rs"),
+        "wire",
+        &original,
+    );
+    let mut out = Vec::new();
+    lint::rules::alloc::check(&clean, &mut out);
+    assert!(out.is_empty(), "{out:#?}");
+
+    lint::rules::alloc::check(&tampered, &mut out);
+    assert!(
+        out.iter()
+            .any(|d| d.rule == "alloc::unbounded" && d.line > 0 && d.message.contains("`count`")),
+        "{out:#?}"
+    );
+}
+
+#[test]
+fn send_under_lock_injected_into_the_pool_fails() {
+    // Tamper with the worker pool: a bounded feeder that sends while
+    // holding the receiver mutex — the producer-holds-lock deadlock.
+    let pool_path = workspace_root().join("crates/cluster/src/pool.rs");
+    let original = std::fs::read_to_string(&pool_path).expect("pool.rs must exist");
+    let tampered_text = format!(
+        "{original}\nimpl WorkerPool {{\n    fn feed(&self, task: Task) {{\n        \
+         let (tx, rx) = mpsc::sync_channel(1);\n        \
+         let guard = lock_or_recover(&self.receiver);\n        \
+         let _ = tx.send(task);\n        \
+         drop(guard);\n        \
+         keep(rx);\n    }}\n}}\n"
+    );
+    let tampered = SourceFile::parse(
+        PathBuf::from("crates/cluster/src/pool.rs"),
+        "cluster",
+        &tampered_text,
+    );
+
+    let mut graph = lint::rules::locks::LockGraph::default();
+    let mut out = Vec::new();
+    lint::rules::channel::collect(&tampered, &mut graph, &mut out);
+    assert!(
+        out.iter().any(|d| d.rule == "channel::send-under-lock"
+            && d.file.ends_with("pool.rs")
+            && d.line > 0
+            && d.message.contains("chan:pool::tx")),
+        "{out:#?}"
+    );
+}
+
+#[test]
+fn stale_allow_injected_into_a_clean_file_fails() {
+    // Tamper with a clean file: an allow at the top that suppresses
+    // nothing must surface as an error, not a warning.
+    let pool_path = workspace_root().join("crates/cluster/src/pool.rs");
+    let original = std::fs::read_to_string(&pool_path).expect("pool.rs must exist");
+    let tampered_text =
+        format!("// lint:allow(eventloop, reason = \"left behind by a refactor\")\n{original}");
+    let tampered = SourceFile::parse(
+        PathBuf::from("crates/cluster/src/pool.rs"),
+        "cluster",
+        &tampered_text,
+    );
+    let report = lint::check_sources(&[tampered], "", "");
+    assert!(
+        report
+            .diags
+            .iter()
+            .any(|d| d.rule == "allow::unused" && d.line == 1),
+        "{:#?}",
+        report.diags
+    );
+    assert_eq!(report.errors(), 1, "{:#?}", report.diags);
 }
 
 #[test]

@@ -115,6 +115,7 @@ impl ServerShared {
     /// epoch wins, ties keep the incumbent) and returns the merged view,
     /// ascending by shard id.
     pub(crate) fn merge_gossip(&self, entries: &[GossipEntry]) -> Vec<GossipEntry> {
+        // lint:allow(eventloop, reason = "bounded hold: the gossip board is only ever locked here, for a BTreeMap fold")
         let mut board = lock_or_recover(&self.gossip);
         for entry in entries {
             match board.get(&entry.shard) {
@@ -160,6 +161,7 @@ impl LoopShared {
 
     /// Takes everything queued so far.
     fn drain(&self) -> Vec<Completion> {
+        // lint:allow(eventloop, reason = "bounded hold: producers only push-and-wake, the loop swaps the Vec out")
         let mut queue = lock_or_recover(&self.completions);
         std::mem::take(&mut *queue)
     }
@@ -306,7 +308,7 @@ fn event_loop(
             match event {
                 Event::Accepted { stream, peer, .. } => {
                     if draining || conns.len() >= max_connections {
-                        reject_busy(stream, max_connections);
+                        reject_busy(stream, loop_shared, max_connections);
                         continue;
                     }
                     let _ = stream.set_nodelay(true);
@@ -367,18 +369,23 @@ fn event_loop(
 
 /// Turns a connection away with a connection-level busy frame instead of
 /// a silent hangup, so clients can distinguish "try later" from a crash.
-fn reject_busy(stream: TcpStream, max_connections: usize) {
-    let mut stream = stream;
-    let _ = stream.set_nonblocking(false);
-    let response = Response::Error {
-        request_id: 0,
-        code: ErrorCode::Busy,
-        message: format!("server at its {max_connections}-connection limit"),
-    };
-    if let Ok(payload) = encode_response(&response) {
-        let _ = write_frame(&mut stream, &payload);
-    }
-    let _ = stream.shutdown(Shutdown::Both);
+/// The farewell write is blocking I/O against a possibly-stalled peer,
+/// so it runs on the encode pool — the loop thread only hands the stream
+/// off.
+fn reject_busy(stream: TcpStream, loop_shared: &LoopShared, max_connections: usize) {
+    loop_shared.pool.execute(move || {
+        let mut stream = stream;
+        let _ = stream.set_nonblocking(false);
+        let response = Response::Error {
+            request_id: 0,
+            code: ErrorCode::Busy,
+            message: format!("server at its {max_connections}-connection limit"),
+        };
+        if let Ok(payload) = encode_response(&response) {
+            let _ = write_frame(&mut stream, &payload);
+        }
+        let _ = stream.shutdown(Shutdown::Both);
+    });
 }
 
 #[cfg(test)]

@@ -15,8 +15,19 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo clippy (release profile)"
 cargo clippy --workspace --all-targets --release -- -D warnings
 
-echo "==> rebootlint (determinism, panic-hygiene, wire-freeze, family-tag-freeze, lock-order)"
+echo "==> rebootlint (determinism, panic-hygiene, wire-freeze, family-tag-freeze, lock-order, event-loop, alloc-bounds, channel-discipline)"
+# Wall-clock budget: the call-graph + dataflow analyses must stay cheap
+# enough to run on every check. The binary is already built release by
+# the clippy step above, so this times analysis, not compilation.
+LINT_BUDGET_SECS=30
+lint_start=$SECONDS
 cargo run --release -q -p lint
+lint_elapsed=$((SECONDS - lint_start))
+echo "    rebootlint wall-clock: ${lint_elapsed}s (budget ${LINT_BUDGET_SECS}s)"
+if [ "$lint_elapsed" -gt "$LINT_BUDGET_SECS" ]; then
+  echo "verify: rebootlint took ${lint_elapsed}s, over its ${LINT_BUDGET_SECS}s budget" >&2
+  exit 1
+fi
 
 echo "==> tier-1: cargo build --release"
 cargo build --release
